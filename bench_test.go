@@ -1,0 +1,229 @@
+package wexp
+
+// The benchmark harness: one Benchmark per experiment of DESIGN.md's index
+// (each iteration regenerates that experiment's table, in quick mode so a
+// full -bench=. sweep stays tractable), plus micro-benchmarks of the hot
+// paths that dominate the experiments (neighbor iteration, unique-cover
+// computation, decay sampling, radio round stepping, Procedure Partition).
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"wexp/internal/badgraph"
+	"wexp/internal/expansion"
+	"wexp/internal/experiments"
+	"wexp/internal/gen"
+	"wexp/internal/radio"
+	"wexp/internal/rng"
+	"wexp/internal/spokesman"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Seed: 20180220, Quick: true}
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass {
+			b.Fatalf("%s failed:\n%s", id, res.Text())
+		}
+	}
+}
+
+// One benchmark per experiment (tables/claims of the paper).
+
+func BenchmarkE1SpectralUnique(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2GBadUnique(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3PositiveBeta1(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4PositiveBetaLT1(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE5CoreGraph(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6GeneralizedCore(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE7WorstCase(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8Spokesman(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9BroadcastLB(b *testing.B)     { benchExperiment(b, "E9") }
+func BenchmarkE10CPlusFlood(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11LowArboricity(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12Deterministic(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13Ablation(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14Broadcast(b *testing.B)      { benchExperiment(b, "E14") }
+
+// --- Micro-benchmarks of the hot paths --------------------------------------
+
+func BenchmarkNeighborIteration(b *testing.B) {
+	g := gen.Torus(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Neighbors(v) {
+				sum += int(w)
+			}
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkUniqueCover(b *testing.B) {
+	core, err := badgraph.NewCore(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := make([]int, 0, 128)
+	for u := 0; u < 256; u += 2 {
+		sub = append(sub, u)
+	}
+	scratch := make([]int8, core.B.NN())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.B.UniqueCoverSet(sub, scratch)
+	}
+}
+
+// Ablation benches: the cost knobs DESIGN.md calls out — decay trial
+// budget, and the hill-climbing refinement pass.
+
+func BenchmarkAblationDecayTrials1(b *testing.B)  { benchDecayTrials(b, 1) }
+func BenchmarkAblationDecayTrials16(b *testing.B) { benchDecayTrials(b, 16) }
+func BenchmarkAblationDecayTrials64(b *testing.B) { benchDecayTrials(b, 64) }
+
+func benchDecayTrials(b *testing.B, trials int) {
+	b.Helper()
+	r := rng.New(9)
+	bg := gen.RandomBipartite(64, 96, 0.08, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spokesman.Decay(bg, trials, r)
+	}
+}
+
+func BenchmarkAblationImprovePass(b *testing.B) {
+	r := rng.New(10)
+	bg := gen.RandomBipartite(128, 192, 0.05, r)
+	base := spokesman.GreedyUnique(bg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spokesman.Improve(bg, base, 4)
+	}
+}
+
+func BenchmarkDecaySampler(b *testing.B) {
+	r := rng.New(1)
+	bg := gen.RandomBipartite(128, 256, 0.05, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spokesman.DecaySample(bg, 4, r)
+	}
+}
+
+func BenchmarkPartitionProcedure(b *testing.B) {
+	r := rng.New(2)
+	bg := gen.RandomBipartite(256, 384, 0.03, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spokesman.Partition(bg, nil)
+	}
+}
+
+func BenchmarkPartitionRecursive(b *testing.B) {
+	r := rng.New(3)
+	bg := gen.RandomBipartite(128, 192, 0.05, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spokesman.PartitionRecursive(bg)
+	}
+}
+
+func BenchmarkGreedyUnique(b *testing.B) {
+	r := rng.New(4)
+	bg := gen.RandomBipartite(128, 192, 0.05, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spokesman.GreedyUnique(bg)
+	}
+}
+
+func BenchmarkExhaustiveSpokesman20(b *testing.B) {
+	r := rng.New(5)
+	bg := gen.RandomBipartite(20, 30, 0.2, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spokesman.Exhaustive(bg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRadioRound(b *testing.B) {
+	g := gen.Torus(64, 64)
+	net, err := radio.NewNetwork(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	transmit := make([]bool, g.N())
+	for v := 0; v < g.N(); v += 3 {
+		transmit[v] = true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step(transmit)
+	}
+}
+
+func BenchmarkExactWireless12(b *testing.B) {
+	r := rng.New(6)
+	g := gen.ErdosRenyi(12, 0.35, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expansion.ExactWireless(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLambda2PowerIteration(b *testing.B) {
+	g := gen.Hypercube(10)
+	r := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expansion.Lambda2Regular(g, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := badgraph.NewCore(256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainBroadcastDecay(b *testing.B) {
+	r := rng.New(8)
+	ch, err := badgraph.NewChain(4, 16, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := radio.Run(ch.G, ch.Root, &radio.Decay{R: r}, 1_000_000)
+		if err != nil || !res.Completed {
+			b.Fatalf("broadcast failed: %v", err)
+		}
+	}
+}

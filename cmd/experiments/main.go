@@ -1,0 +1,72 @@
+// Command experiments runs the reproduction harness (experiments E1–E12 of
+// DESIGN.md) and prints each experiment's tables with its PASS/FAIL verdict.
+//
+// Usage:
+//
+//	experiments                      run everything, full parameter grids
+//	experiments -quick               reduced grids (seconds)
+//	experiments -only E5,E9          a subset
+//	experiments -markdown > out.md   Markdown (EXPERIMENTS.md is built this way)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wexp/internal/experiments"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "reduced parameter grids")
+		seed     = flag.Uint64("seed", 20180220, "experiment RNG seed")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		markdown = flag.Bool("markdown", false, "emit Markdown instead of text")
+		csv      = flag.Bool("csv", false, "emit raw CSV tables instead of text")
+		trials   = flag.Int("trials", 0, "override per-point trial count (0 = default)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials}
+
+	entries := experiments.All
+	if *only != "" {
+		var sel []experiments.Entry
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
+				os.Exit(2)
+			}
+			sel = append(sel, e)
+		}
+		entries = sel
+	}
+
+	failures := 0
+	for _, e := range entries {
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch {
+		case *markdown:
+			fmt.Println(res.Markdown())
+		case *csv:
+			for _, tbl := range res.Tables {
+				fmt.Printf("# %s / %s\n%s\n", res.ID, tbl.Title, tbl.CSV())
+			}
+		default:
+			fmt.Println(res.Text())
+		}
+		if !res.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Command wexp measures the three expansion notions of the paper on a
+// generated graph family and prints them next to the paper's bounds.
+//
+// Usage:
+//
+//	wexp -family hypercube -size 4 -alpha 0.5
+//	wexp -family cplus -size 8 -alpha 0.5
+//	wexp -family margulis -size 16 -alpha 0.25 -seed 7   (estimates)
+//
+// For graphs small enough the values are exact; beyond the exact-solver
+// limits the tool prints certified one-sided bounds and labels them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wexp/internal/bounds"
+	"wexp/internal/expansion"
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+	"wexp/internal/spokesman"
+	"wexp/internal/table"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "hypercube", "graph family: complete|cycle|hypercube|grid|torus|tree|margulis|cplus|barbell")
+		size    = flag.Int("size", 4, "family size parameter (n, dimension, side, ...)")
+		load    = flag.String("load", "", "instead of -family: read an edge-list file (see graph.WriteEdgeList format)")
+		alpha   = flag.Float64("alpha", 0.5, "expansion parameter α: sets up to α·n are considered")
+		seed    = flag.Uint64("seed", 1, "RNG seed for estimators")
+		trials  = flag.Int("trials", 40, "sampled sets for the estimators")
+		profile = flag.Bool("profile", false, "also print the exact per-size expansion profile (n ≤ 16)")
+	)
+	flag.Parse()
+	if err := run(*family, *size, *load, *alpha, *seed, *trials, *profile); err != nil {
+		fmt.Fprintln(os.Stderr, "wexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(family string, size int, load string, alpha float64, seed uint64, trials int, profile bool) error {
+	var g *graph.Graph
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = graph.ReadEdgeList(f)
+		if err != nil {
+			return err
+		}
+		family, size = load, g.N()
+	} else {
+		var err error
+		g, err = gen.FromFamily(gen.Family(family), size)
+		if err != nil {
+			return err
+		}
+	}
+	r := rng.New(seed)
+	fmt.Printf("%s(%d): n=%d m=%d ∆=%d avg=%.2f", family, size, g.N(), g.M(), g.MaxDegree(), g.AvgDegree())
+	if lo, hi := g.ArboricityEstimate(); true {
+		fmt.Printf(" arboricity∈[%d,%d]", lo, hi)
+	}
+	fmt.Println()
+
+	tb := table.New("Expansion measurements", "quantity", "value", "mode", "notes")
+	if g.N() <= 16 {
+		beta, betaW, betaU, err := expansion.Ordering(g, alpha)
+		if err != nil {
+			return err
+		}
+		tb.AddRow("β (ordinary)", beta, "exact", "")
+		tb.AddRow("βw (wireless)", betaW, "exact", "")
+		tb.AddRow("βu (unique)", betaU, "exact", "Obs 2.1: β ≥ βw ≥ βu")
+		tb.AddRow("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), beta), "formula",
+			"βw = Ω(β/log 2·min{∆/β, ∆β})")
+	} else {
+		est := expansion.EstimateOrdinary(g, alpha, trials, r)
+		tb.AddRow("β (ordinary)", est.Bound, "upper bound", fmt.Sprintf("%d sets sampled", est.Sampled))
+		estU := expansion.EstimateUnique(g, alpha, trials, r)
+		tb.AddRow("βu (unique)", estU.Bound, "upper bound", "")
+		sets := expansion.SampleSets(g, alpha, trials, r)
+		lower, upper, _ := expansion.WirelessBounds(g, sets, func(b *graph.Bipartite) int {
+			return spokesman.Best(b, 12, r).Unique
+		})
+		tb.AddRow("βw (wireless)", fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket",
+			"certified lower / sampled upper")
+		tb.AddRow("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), est.Bound), "formula", "")
+	}
+	fmt.Print(tb.Text())
+
+	if profile {
+		maxK := int(alpha * float64(g.N()))
+		if maxK < 1 {
+			maxK = 1
+		}
+		tp, err := expansion.Profiles(g, maxK)
+		if err != nil {
+			return fmt.Errorf("profile unavailable: %w", err)
+		}
+		pt := table.New("Exact per-size profile (min over sets of each size)",
+			"|S|", "β", "βw", "βu")
+		for k := 1; k <= tp.MaxK; k++ {
+			pt.AddRow(k, tp.Ordinary[k], tp.Wireless[k], tp.Unique[k])
+		}
+		pt.Note = "Observation 2.1 holds pointwise: β ≥ βw ≥ βu in every row."
+		fmt.Print(pt.Text())
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package wexp is a Go implementation of "Wireless Expanders" (Attali,
+// Parter, Peleg, Solomon — SPAA 2018, arXiv:1802.07177).
+//
+// A graph G is an (αw, βw)-wireless expander if every vertex set S with
+// |S| ≤ αw·|V| contains a subset S' whose S-excluding unique neighborhood
+// Γ¹_S(S') — the vertices outside S adjacent to exactly one member of S' —
+// has size at least βw·|S|. Wireless expansion sits between ordinary vertex
+// expansion β and unique-neighbor expansion βu (β ≥ βw ≥ βu) and is exactly
+// the property that makes a radio network with collision semantics spread a
+// message quickly: the subset S' can transmit simultaneously and each
+// unique neighbor receives.
+//
+// The library provides:
+//
+//   - the graph and bipartite substrates (package internal/graph) with the
+//     neighborhood operators Γ, Γ⁻, Γ¹, Γ¹_S of the paper's Section 2;
+//   - exact and sampled measurement of β, βu, βw (internal/expansion),
+//     including the spectral machinery of Lemma 3.1;
+//   - the paper's spokesman-election algorithms (internal/spokesman): the
+//     Lemma 4.2 decay sampler, the Lemma 4.3 low-β reduction, and the
+//     deterministic appendix procedures (greedy, Procedure Partition, the
+//     recursive near-optimal selector, degree-class bucketing);
+//   - the explicit worst-case constructions (internal/badgraph): Gbad
+//     (Lemma 3.3), the binary-tree core graph (Lemma 4.4), the generalized
+//     core (Lemmas 4.6–4.8), the plugged worst-case expander (Section
+//     4.3.3), and the Section 5 broadcast-lower-bound chain;
+//   - a radio-network simulator with the paper's collision rule and the
+//     broadcast protocols it discusses (internal/radio);
+//   - the closed-form bounds of every lemma (internal/bounds) and the
+//     experiment harness E1–E12 that regenerates each claim
+//     (internal/experiments).
+//
+// This package is the public facade: it re-exports the types and wraps the
+// operations a downstream user needs, so examples and external code import
+// only "wexp".
+package wexp

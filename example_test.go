@@ -1,0 +1,72 @@
+package wexp_test
+
+import (
+	"fmt"
+
+	"wexp"
+)
+
+// The Introduction's motivating example: C⁺ is a good ordinary expander
+// whose unique-neighbor expansion is zero, but whose wireless expansion
+// matches its ordinary expansion.
+func ExampleExpansionOrdering() {
+	g := wexp.CPlus(8)
+	beta, betaW, betaU, err := wexp.ExpansionOrdering(g, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("β=%.2f βw=%.2f βu=%.2f\n", beta, betaW, betaU)
+	// Output: β=1.00 βw=1.00 βu=0.00
+}
+
+// Spokesman election on the Lemma 4.4 core graph: no subset of S can
+// uniquely cover more than 2s of the s·log(2s) neighbors.
+func ExampleSpokesmanExhaustive() {
+	b, err := wexp.CoreGraph(8)
+	if err != nil {
+		panic(err)
+	}
+	sel, err := wexp.SpokesmanExhaustive(b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("|N|=%d, optimum unique cover=%d, ceiling=%d\n", b.NN(), sel.Unique, 2*8)
+	// Output: |N|=32, optimum unique cover=15, ceiling=16
+}
+
+// Flooding deadlocks on C⁺; the spokesman schedule completes immediately.
+func ExampleBroadcast() {
+	g := wexp.CPlus(16)
+	flood, _ := wexp.Broadcast(g, 0, wexp.FloodProtocol(), 100)
+	spoke, _ := wexp.Broadcast(g, 0, wexp.SpokesmanProtocol(nil, 0), 100)
+	fmt.Printf("flood: informed %d/%d, completed=%v\n", flood.InformedCount, g.N(), flood.Completed)
+	fmt.Printf("spokesman: completed=%v in %d rounds\n", spoke.Completed, spoke.Rounds)
+	// Output:
+	// flood: informed 3/17, completed=false
+	// spokesman: completed=true in 2 rounds
+}
+
+// The Lemma 3.3 construction has unique-neighbor expansion exactly 2β−∆.
+func ExampleGBad() {
+	b, err := wexp.GBad(8, 6, 4) // s=8, ∆=6, β=4
+	if err != nil {
+		panic(err)
+	}
+	all := make([]int, b.NS())
+	for i := range all {
+		all[i] = i
+	}
+	unique := b.UniqueCoverSet(all, nil)
+	fmt.Printf("Γ¹(S) = %d = s·(2β−∆) = %d\n", unique, 8*(2*4-6))
+	// Output: Γ¹(S) = 16 = s·(2β−∆) = 16
+}
+
+// Theorem 1.1's scale: how far wireless expansion can trail ordinary
+// expansion as a function of ∆ and β.
+func ExampleTheorem11Bound() {
+	fmt.Printf("∆=64 β=4:    %.3f\n", wexp.Theorem11Bound(64, 4))
+	fmt.Printf("∆=64 β=0.25: %.3f\n", wexp.Theorem11Bound(64, 0.25))
+	// Output:
+	// ∆=64 β=4:    0.800
+	// ∆=64 β=0.25: 0.050
+}

@@ -1,0 +1,41 @@
+// The Section 5 broadcast lower bound, measured: on chains of core graphs,
+// broadcast time grows as Ω(D·log(n/D)). This example sweeps the chain
+// length, runs the Decay protocol, and prints measured rounds next to the
+// paper's scale.
+//
+// Run with: go run ./examples/lowerbound
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wexp"
+)
+
+func main() {
+	const s = 32 // core parameter per hop
+	r := wexp.NewRNG(5)
+	fmt.Println("hops |     n | D·log2(n/D) | decay rounds | rounds/scale")
+	fmt.Println("-----+-------+-------------+--------------+-------------")
+	for _, hops := range []int{2, 4, 8, 16} {
+		g, root, err := wexp.BroadcastChain(hops, s, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diam := 2 * hops // the paper's D (up to the +2 of root attachment)
+		scale := wexp.BroadcastLowerBound(diam, g.N())
+		res, err := wexp.Broadcast(g, root, wexp.DecayProtocol(r), 10_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Completed {
+			log.Fatalf("hops=%d: broadcast incomplete", hops)
+		}
+		fmt.Printf("%4d | %5d | %11.1f | %12d | %12.2f\n",
+			hops, g.N(), scale, res.Rounds, float64(res.Rounds)/scale)
+	}
+	fmt.Println("\nThe rounds/scale column stays bounded below by a constant as the chain")
+	fmt.Println("grows — the finite-size signature of the Ω(D·log(n/D)) lower bound, which")
+	fmt.Println("the paper proves self-containedly from the core graph's wireless ceiling.")
+}

@@ -1,0 +1,86 @@
+// Low-arboricity graphs (the corollary to Theorem 1.1): on planar grids,
+// tori, and trees, wireless expansion matches ordinary expansion up to a
+// constant — radio broadcast on such topologies is nearly as effective as
+// wired flooding.
+//
+// Run with: go run ./examples/planar
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"wexp"
+)
+
+func main() {
+	r := wexp.NewRNG(11)
+	families := []struct {
+		name string
+		g    *wexp.Graph
+	}{
+		{"grid 16x16", wexp.Grid(16, 16)},
+		{"torus 16x16", wexp.Torus(16, 16)},
+		{"binary tree (8 levels)", wexp.CompleteBinaryTree(8)},
+	}
+	fmt.Println("family                  |   n  | sets | min Γ¹-cover / |Γ⁻(S)|")
+	fmt.Println("------------------------+------+------+------------------------")
+	for _, f := range families {
+		minRatio := math.Inf(1)
+		sets := sampleSets(f.g, r)
+		for _, S := range sets {
+			sel, _ := wexp.WirelessCertificate(f.g, S, 8, r)
+			b, _ := wexp.InducedBipartite(f.g, S)
+			if b.NN() == 0 {
+				continue
+			}
+			if ratio := float64(sel.Unique) / float64(b.NN()); ratio < minRatio {
+				minRatio = ratio
+			}
+		}
+		fmt.Printf("%-23s | %4d | %4d | %22.2f\n", f.name, f.g.N(), len(sets), minRatio)
+	}
+	fmt.Println("\nEvery sampled set keeps a constant fraction of its neighborhood uniquely")
+	fmt.Println("coverable: on low-arboricity graphs min{∆/β, ∆β} is O(1), so Theorem 1.1's")
+	fmt.Println("log factor collapses to a constant.")
+}
+
+// sampleSets draws a few BFS balls and random sets of varying size.
+func sampleSets(g *wexp.Graph, r *wexp.RNG) [][]int {
+	var out [][]int
+	n := g.N()
+	for k := 2; k <= n/4; k *= 2 {
+		var S []int
+		seen := map[int]bool{}
+		for len(S) < k {
+			v := r.Intn(n)
+			if !seen[v] {
+				seen[v] = true
+				S = append(S, v)
+			}
+		}
+		out = append(out, S)
+		// A contiguous BFS ball of the same size.
+		ball := bfsBall(g, r.Intn(n), k)
+		out = append(out, ball)
+	}
+	return out
+}
+
+func bfsBall(g *wexp.Graph, src, k int) []int {
+	dist := g.BFS(src)
+	var ball []int
+	for d := 0; len(ball) < k; d++ {
+		added := false
+		for v, dv := range dist {
+			if dv == d && len(ball) < k {
+				ball = append(ball, v)
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return ball
+}

@@ -1,0 +1,87 @@
+package wexp
+
+// integration_test.go exercises the full public API as a downstream user
+// would: reproduce the paper's storyline end-to-end — motivate (C⁺),
+// measure (expansion ordering), apply the positive result (certificates on
+// an expander), build the negative result (worst case), and run the
+// broadcast application — all through the wexp facade only.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEndToEndPaperStoryline(t *testing.T) {
+	r := NewRNG(1802_07177)
+
+	// 1. Motivation: C⁺ separates unique from wireless expansion.
+	cp := CPlus(8)
+	beta, betaW, betaU, err := ExpansionOrdering(cp, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if betaU != 0 || betaW != beta {
+		t.Fatalf("C⁺ separation wrong: β=%g βw=%g βu=%g", beta, betaW, betaU)
+	}
+
+	// 2. Positive result: on an explicit expander, every sampled set has a
+	// certificate worth a constant fraction of Theorem 1.1's scale.
+	mg := Margulis(12)
+	scale := Theorem11Bound(mg.MaxDegree(), 1.0)
+	if scale <= 0 {
+		t.Fatal("degenerate scale")
+	}
+	for trial := 0; trial < 5; trial++ {
+		k := 4 + trial*4
+		S := make([]int, 0, k)
+		seen := map[int]bool{}
+		for len(S) < k {
+			v := r.Intn(mg.N())
+			if !seen[v] {
+				seen[v] = true
+				S = append(S, v)
+			}
+		}
+		sel, verts := WirelessCertificate(mg, S, 8, r)
+		if sel.Unique <= 0 || len(verts) == 0 {
+			t.Fatalf("no certificate for |S|=%d", k)
+		}
+	}
+
+	// 3. Negative result: the plugged worst case keeps ordinary expansion
+	// but caps the witness's wireless expansion.
+	base := Complete(256)
+	g, witness, err := WorstCaseExpander(base, 1.0, 0.4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := InducedBipartite(g, witness)
+	ord := float64(b.NN()) / float64(len(witness))
+	cert := SpokesmanBestImproved(b, 8, r)
+	wUpper := float64(cert.Unique) / float64(len(witness))
+	if !(wUpper < ord) {
+		t.Fatalf("no separation: ord=%g wireless≤%g", ord, wUpper)
+	}
+
+	// 4. Application: broadcast lower bound scaling on the chain.
+	chain, root, err := BroadcastChain(4, 16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(chain, root, DecayProtocol(r), 1_000_000)
+	if err != nil || !res.Completed {
+		t.Fatal("chain broadcast failed")
+	}
+	diam, _ := chain.Diameter()
+	if lb := BroadcastLowerBound(diam, chain.N()); float64(res.Rounds) < lb/8 {
+		t.Fatalf("rounds %d implausibly below scale %g", res.Rounds, lb)
+	}
+
+	// 5. Spectral side: Petersen's λ2 = 1 exactly, and the Lemma 3.1 bound
+	// is consistent with its measured expansions.
+	pt := Petersen()
+	l2, err := Lambda2(pt, r)
+	if err != nil || math.Abs(l2-1) > 1e-6 {
+		t.Fatalf("λ2(Petersen) = %g", l2)
+	}
+}

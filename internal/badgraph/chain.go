@@ -1,0 +1,91 @@
+package badgraph
+
+import (
+	"fmt"
+
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+// Chain is the Section 5 broadcast lower-bound graph: D/2 copies of the
+// core graph G¹S, ..., G^{D/2}_S chained together. The root rt₀ is
+// connected to all of S¹; for each i, a uniformly random vertex rtᵢ ∈ Nⁱ is
+// connected to all of S^{i+1}. The diameter is Θ(D) and any broadcast from
+// rt₀ needs Ω(D·log(n/D)) rounds, because Corollary 5.1 bounds the rate at
+// which new Nⁱ-vertices can be uniquely informed.
+type Chain struct {
+	G      *graph.Graph
+	Hops   int   // number of core-graph copies (= D/2 in the paper)
+	S      int   // per-copy core parameter s
+	Root   int   // vertex id of rt₀
+	RT     []int // rtᵢ for i = 1..Hops (vertex ids), the sampled relays
+	SStart []int // SStart[i]: first vertex id of copy i's S side (i = 0-based)
+	NStart []int // NStart[i]: first vertex id of copy i's N side
+	NSize  int   // |Nⁱ| = s·log 2s per copy
+}
+
+// NewChain builds the chained graph with `hops` core copies of parameter s
+// (a power of two). Relay vertices rtᵢ are sampled with r; the caller keeps
+// the same seed to reproduce an instance.
+func NewChain(hops, s int, r *rng.RNG) (*Chain, error) {
+	if hops < 1 {
+		return nil, fmt.Errorf("badgraph: chain needs at least one hop, got %d", hops)
+	}
+	core, err := NewCore(s)
+	if err != nil {
+		return nil, err
+	}
+	nSize := core.B.NN()
+	perCopy := s + nSize
+	total := 1 + hops*perCopy // rt0 + copies
+	b := graph.NewBuilder(total)
+	ch := &Chain{
+		Hops:  hops,
+		S:     s,
+		Root:  0,
+		NSize: nSize,
+	}
+	for i := 0; i < hops; i++ {
+		sStart := 1 + i*perCopy
+		nStart := sStart + s
+		ch.SStart = append(ch.SStart, sStart)
+		ch.NStart = append(ch.NStart, nStart)
+		// Core edges of copy i.
+		for u := 0; u < s; u++ {
+			for _, v := range core.B.NeighborsOfS(u) {
+				b.MustAddEdge(sStart+u, nStart+int(v))
+			}
+		}
+	}
+	// rt0 to all of S¹.
+	for u := 0; u < s; u++ {
+		b.MustAddEdge(0, ch.SStart[0]+u)
+	}
+	// rtᵢ ∈ Nⁱ to all of S^{i+1}.
+	for i := 0; i < hops; i++ {
+		rt := ch.NStart[i] + r.Intn(nSize)
+		ch.RT = append(ch.RT, rt)
+		if i+1 < hops {
+			for u := 0; u < s; u++ {
+				b.MustAddEdge(rt, ch.SStart[i+1]+u)
+			}
+		}
+	}
+	ch.G = b.Build()
+	return ch, nil
+}
+
+// N returns the total vertex count of the chain graph.
+func (c *Chain) N() int { return c.G.N() }
+
+// CopyOfVertex returns which copy (0-based) a vertex belongs to and whether
+// it is on the S side; the root returns (-1, false).
+func (c *Chain) CopyOfVertex(v int) (copyIdx int, isS bool) {
+	if v == c.Root {
+		return -1, false
+	}
+	perCopy := c.S + c.NSize
+	idx := (v - 1) / perCopy
+	off := (v - 1) % perCopy
+	return idx, off < c.S
+}

@@ -1,0 +1,268 @@
+package badgraph
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"wexp/internal/rng"
+	"wexp/internal/spokesman"
+)
+
+func TestCoreProperty1Sizes(t *testing.T) {
+	for _, s := range []int{1, 2, 4, 8, 16, 32, 64} {
+		c, err := NewCore(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.B.NS() != s {
+			t.Fatalf("s=%d: |S|=%d", s, c.B.NS())
+		}
+		wantN := s * (c.L + 1) // s·log 2s
+		if c.B.NN() != wantN {
+			t.Fatalf("s=%d: |N|=%d, want %d", s, c.B.NN(), wantN)
+		}
+	}
+}
+
+func TestCoreProperty2SDegrees(t *testing.T) {
+	for _, s := range []int{1, 4, 16, 64} {
+		c, _ := NewCore(s)
+		for j := 0; j < s; j++ {
+			if d := c.B.DegS(j); d != 2*s-1 {
+				t.Fatalf("s=%d: deg(leaf %d) = %d, want %d", s, j, d, 2*s-1)
+			}
+		}
+	}
+}
+
+func TestCoreProperty3NDegrees(t *testing.T) {
+	for _, s := range []int{2, 8, 32} {
+		c, _ := NewCore(s)
+		if got := c.B.MaxDegN(); got != s {
+			t.Fatalf("s=%d: ∆N = %d, want %d", s, got, s)
+		}
+		l2s := math.Log2(2 * float64(s))
+		if got := c.B.AvgDegN(); got > 2*float64(s)/l2s+1e-9 {
+			t.Fatalf("s=%d: δN = %g exceeds 2s/log2s = %g", s, got, 2*float64(s)/l2s)
+		}
+		// Per-level degree: a vertex of Nv at level i has degree s/2^i.
+		for v := 0; v < c.B.NN(); v++ {
+			node, level := c.NodeOfN(v)
+			want := s >> uint(level)
+			if got := c.B.DegN(v); got != want {
+				t.Fatalf("s=%d: N-vertex %d (node %d, level %d) degree %d, want %d",
+					s, v, node, level, got, want)
+			}
+		}
+	}
+}
+
+func TestCoreProperty4ExpansionExhaustive(t *testing.T) {
+	// |Γ(S')| ≥ log 2s · |S'| for every nonempty S' ⊆ S — full enumeration
+	// for s ≤ 16.
+	for _, s := range []int{2, 4, 8, 16} {
+		c, _ := NewCore(s)
+		l2s := c.L + 1
+		var sub []int
+		for mask := 1; mask < 1<<uint(s); mask++ {
+			sub = sub[:0]
+			for u := 0; u < s; u++ {
+				if mask&(1<<uint(u)) != 0 {
+					sub = append(sub, u)
+				}
+			}
+			cov := c.B.CoverSet(sub, nil)
+			if cov < l2s*len(sub) {
+				t.Fatalf("s=%d: |Γ(S')|=%d < log2s·|S'|=%d for mask %b",
+					s, cov, l2s*len(sub), mask)
+			}
+		}
+	}
+}
+
+func TestCoreProperty5WirelessCeilingExhaustive(t *testing.T) {
+	// |Γ¹_S(S')| ≤ 2s for every S' ⊆ S — full enumeration for s ≤ 16.
+	for _, s := range []int{2, 4, 8, 16} {
+		c, _ := NewCore(s)
+		var sub []int
+		scratch := make([]int8, c.B.NN())
+		for mask := 1; mask < 1<<uint(s); mask++ {
+			sub = sub[:0]
+			for u := 0; u < s; u++ {
+				if mask&(1<<uint(u)) != 0 {
+					sub = append(sub, u)
+				}
+			}
+			uniq := c.B.UniqueCoverSet(sub, scratch)
+			if uniq > 2*s {
+				t.Fatalf("s=%d: |Γ¹_S(S')|=%d > 2s=%d for mask %b", s, uniq, 2*s, mask)
+			}
+		}
+	}
+}
+
+func TestCoreProperty5LargeSampled(t *testing.T) {
+	// For larger s, check the ceiling on structured adversaries: singletons,
+	// sibling pairs, full S, random subsets, every-other leaves, subtrees.
+	for _, s := range []int{32, 64, 128} {
+		c, _ := NewCore(s)
+		r := rng.New(uint64(s))
+		check := func(sub []int, label string) {
+			if len(sub) == 0 {
+				return
+			}
+			uniq := c.B.UniqueCoverSet(sub, nil)
+			if uniq > c.CoverUpperBound() {
+				t.Fatalf("s=%d %s: unique %d > 2s=%d", s, label, uniq, 2*s)
+			}
+		}
+		full := make([]int, s)
+		for i := range full {
+			full[i] = i
+		}
+		check(full, "full")
+		check([]int{0}, "singleton")
+		check([]int{0, 1}, "sibling-pair")
+		var alt []int
+		for i := 0; i < s; i += 2 {
+			alt = append(alt, i)
+		}
+		check(alt, "every-other")
+		// Subtree: leaves of the left child of the root.
+		var left []int
+		for i := 0; i < s/2; i++ {
+			left = append(left, i)
+		}
+		check(left, "left-subtree")
+		for trial := 0; trial < 50; trial++ {
+			k := 1 + r.Intn(s)
+			check(r.Choose(s, k), "random")
+		}
+		// The spokesman solvers' certified value must also respect it.
+		sel := spokesman.BestDeterministic(c.B)
+		if sel.Unique > 2*s {
+			t.Fatalf("s=%d: best deterministic %d > 2s", s, sel.Unique)
+		}
+	}
+}
+
+func TestCoreWirelessCeilingIsNearlyTight(t *testing.T) {
+	// The ceiling 2s is achievable up to a constant: taking every other
+	// leaf covers at least s/2 vertices at the leaf level plus s/2 at the
+	// level above... concretely, assert the best solver finds ≥ s.
+	for _, s := range []int{8, 16, 32} {
+		c, _ := NewCore(s)
+		sel := spokesman.BestDeterministic(c.B)
+		if sel.Unique < s {
+			t.Fatalf("s=%d: best = %d, want ≥ s = %d", s, sel.Unique, s)
+		}
+	}
+}
+
+func TestCoreInductionBound(t *testing.T) {
+	// The proof's induction: |Γ¹_S(S') ∩ Ňv| ≤ 2^{j+1}−1 for every node v at
+	// inverse-level j and every S'. Checked exhaustively for s = 8.
+	s := 8
+	c, _ := NewCore(s)
+	masks := make([][]bool, 2*s)
+	for k := 1; k < 2*s; k++ {
+		masks[k] = c.DescendantNRange(k)
+	}
+	cover := make([]int8, c.B.NN())
+	var sub []int
+	for m := 1; m < 1<<uint(s); m++ {
+		sub = sub[:0]
+		for u := 0; u < s; u++ {
+			if m&(1<<uint(u)) != 0 {
+				sub = append(sub, u)
+			}
+		}
+		c.B.UniqueCover(func(u int) bool { return m&(1<<uint(u)) != 0 }, cover)
+		for k := 1; k < 2*s; k++ {
+			cnt := 0
+			for v := 0; v < c.B.NN(); v++ {
+				if masks[k][v] && cover[v] == 1 {
+					cnt++
+				}
+			}
+			if cnt > c.SubtreeUniqueBound(k) {
+				t.Fatalf("mask %b node %d: %d > bound %d", m, k, cnt, c.SubtreeUniqueBound(k))
+			}
+		}
+		_ = sub
+	}
+}
+
+func TestCoreObservation45(t *testing.T) {
+	// Edge (z, v) exists iff the node holding v is an ancestor of leaf z.
+	s := 16
+	c, _ := NewCore(s)
+	for j := 0; j < s; j++ {
+		adj := map[int]bool{}
+		for _, v := range c.B.NeighborsOfS(j) {
+			adj[int(v)] = true
+		}
+		for v := 0; v < c.B.NN(); v++ {
+			node, _ := c.NodeOfN(v)
+			want := c.IsAncestor(node, c.LeafNode(j))
+			if adj[v] != want {
+				t.Fatalf("leaf %d, N-vertex %d (node %d): edge=%v want %v",
+					j, v, node, adj[v], want)
+			}
+		}
+	}
+}
+
+func TestCoreRejectsNonPowerOfTwo(t *testing.T) {
+	for _, s := range []int{0, 3, 5, 6, 7, 12, -4} {
+		if _, err := NewCore(s); err == nil {
+			t.Fatalf("s=%d accepted", s)
+		}
+	}
+}
+
+func TestCoreNodeOfNConsistency(t *testing.T) {
+	s := 32
+	c, _ := NewCore(s)
+	total := 0
+	for k := 1; k < 2*s; k++ {
+		st, en := c.NvRange(k)
+		level := bits.Len(uint(k)) - 1
+		if en-st != s>>uint(level) {
+			t.Fatalf("node %d size %d, want %d", k, en-st, s>>uint(level))
+		}
+		for v := st; v < en; v++ {
+			node, lv := c.NodeOfN(v)
+			if node != k || lv != level {
+				t.Fatalf("NodeOfN(%d) = (%d,%d), want (%d,%d)", v, node, lv, k, level)
+			}
+		}
+		total += en - st
+	}
+	if total != c.B.NN() {
+		t.Fatalf("node ranges cover %d of %d", total, c.B.NN())
+	}
+}
+
+func TestCoreOptimalSpokesmanExact(t *testing.T) {
+	// The exact optimum of the spokesman problem on the core graph is
+	// 2s − 1, achieved by any singleton leaf.
+	for _, s := range []int{1, 2, 4, 8, 16} {
+		c, err := NewCore(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, claim := c.OptimalSpokesman()
+		if got := c.B.UniqueCoverSet(sub, nil); got != claim {
+			t.Fatalf("s=%d: singleton covers %d, claim %d", s, got, claim)
+		}
+		opt, err := spokesman.Exhaustive(c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Unique != claim {
+			t.Fatalf("s=%d: exhaustive optimum %d != 2s−1 = %d", s, opt.Unique, claim)
+		}
+	}
+}

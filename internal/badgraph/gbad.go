@@ -1,0 +1,80 @@
+// Package badgraph implements the paper's explicit worst-case
+// constructions: the cyclic-overlap bipartite expander Gbad of Lemma 3.3
+// (Figure 1), the binary-tree core graph of Lemma 4.4 (Figure 2), its
+// arbitrary-expansion generalizations (Lemmas 4.6–4.8), the plugged
+// worst-case expander of Section 4.3.3, and the chained broadcast
+// lower-bound graph of Section 5.
+package badgraph
+
+import (
+	"fmt"
+
+	"wexp/internal/graph"
+)
+
+// GBad is the Lemma 3.3 construction: a bipartite (α, β)-expander with
+// maximum degree ∆ whose unique-neighbor expansion is exactly 2β − ∆.
+//
+// S = {v_0, ..., v_{s-1}} arranged on an implicit cycle; N has s·β vertices
+// arranged on a circle, and v_i is adjacent to the ∆ consecutive N-vertices
+// starting at position i·β, so consecutive S-vertices share exactly ∆ − β
+// neighbors and each v_i uniquely covers the middle 2β − ∆ of its range.
+type GBad struct {
+	B     *graph.Bipartite
+	S     int // |S|
+	Delta int // ∆, the S-side degree
+	Beta  int // β, the per-vertex fresh-neighbor count
+}
+
+// NewGBad builds the construction. Requirements from the lemma:
+// ∆/2 ≤ β ≤ ∆ (so overlaps involve only cyclically adjacent S-vertices)
+// and s ≥ 3 (so the two overlap ranges of a vertex are distinct).
+func NewGBad(s, delta, beta int) (*GBad, error) {
+	if beta < (delta+1)/2 || beta > delta {
+		return nil, fmt.Errorf("badgraph: GBad requires ∆/2 ≤ β ≤ ∆, got ∆=%d β=%d", delta, beta)
+	}
+	if s < 3 {
+		return nil, fmt.Errorf("badgraph: GBad requires s ≥ 3, got %d", s)
+	}
+	n := s * beta
+	if delta > n {
+		return nil, fmt.Errorf("badgraph: GBad degenerate — ∆=%d exceeds |N|=%d", delta, n)
+	}
+	bb := graph.NewBipartiteBuilder(s, n)
+	for i := 0; i < s; i++ {
+		for j := 0; j < delta; j++ {
+			bb.MustAddEdge(i, (i*beta+j)%n)
+		}
+	}
+	return &GBad{B: bb.Build(), S: s, Delta: delta, Beta: beta}, nil
+}
+
+// UniqueExpansionClaim returns the claimed unique-neighbor expansion
+// βu = 2β − ∆ (Lemma 3.3).
+func (g *GBad) UniqueExpansionClaim() int { return 2*g.Beta - g.Delta }
+
+// WirelessFloorClaim returns the remark's wireless-expansion floor
+// max{2β − ∆, ∆/2} for the full set S' = S decomposition argument.
+func (g *GBad) WirelessFloorClaim() float64 {
+	u := float64(2*g.Beta - g.Delta)
+	h := float64(g.Delta) / 2
+	if u > h {
+		return u
+	}
+	return h
+}
+
+// EveryOther returns the alternating subset {v_0, v_2, v_4, ...} of S,
+// the remark's second choice of S” (drop the last vertex when s is odd so
+// no two chosen vertices are cyclically adjacent).
+func (g *GBad) EveryOther() []int {
+	var out []int
+	limit := g.S
+	if g.S%2 == 1 {
+		limit = g.S - 1
+	}
+	for i := 0; i < limit; i += 2 {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package badgraph
+
+import (
+	"testing"
+
+	"wexp/internal/spokesman"
+)
+
+func TestGBadStructure(t *testing.T) {
+	g, err := NewGBad(8, 6, 4) // s=8, ∆=6, β=4
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.B
+	if b.NS() != 8 || b.NN() != 32 {
+		t.Fatalf("dims s=%d n=%d", b.NS(), b.NN())
+	}
+	// Every S-vertex has degree exactly ∆.
+	for u := 0; u < 8; u++ {
+		if b.DegS(u) != 6 {
+			t.Fatalf("deg(v%d) = %d, want 6", u, b.DegS(u))
+		}
+	}
+	// Consecutive vertices share exactly ∆−β = 2 neighbors; non-adjacent
+	// pairs share none.
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			shared := sharedNeighbors(g, i, j)
+			cyclicAdjacent := (j-i)%8 == 1 || (j-i)%8 == 7
+			want := 0
+			if cyclicAdjacent {
+				want = 2
+			}
+			if shared != want {
+				t.Fatalf("shared(v%d, v%d) = %d, want %d", i, j, shared, want)
+			}
+		}
+	}
+}
+
+func sharedNeighbors(g *GBad, i, j int) int {
+	seen := map[int32]bool{}
+	for _, v := range g.B.NeighborsOfS(i) {
+		seen[v] = true
+	}
+	c := 0
+	for _, v := range g.B.NeighborsOfS(j) {
+		if seen[v] {
+			c++
+		}
+	}
+	return c
+}
+
+func TestGBadUniqueExpansionExactly2BetaMinusDelta(t *testing.T) {
+	// Lemma 3.3: |Γ¹(S)| = s·(2β − ∆), i.e. unique expansion 2β − ∆.
+	for _, tc := range []struct{ s, delta, beta int }{
+		{8, 6, 4}, {10, 8, 5}, {6, 4, 3}, {12, 10, 5}, {5, 4, 2},
+	} {
+		g, err := NewGBad(tc.s, tc.delta, tc.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := spokesman.AllOfS(g.B)
+		want := tc.s * g.UniqueExpansionClaim()
+		if sel.Unique != want {
+			t.Fatalf("s=%d ∆=%d β=%d: Γ¹(S)=%d, want %d",
+				tc.s, tc.delta, tc.beta, sel.Unique, want)
+		}
+	}
+}
+
+func TestGBadZeroUniqueAtHalfDelta(t *testing.T) {
+	// β = ∆/2 ⇒ unique-neighbor expansion 0 but wireless ≥ ∆/2 (remark).
+	g, err := NewGBad(8, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := spokesman.AllOfS(g.B); sel.Unique != 0 {
+		t.Fatalf("Γ¹(S) = %d, want 0 at β = ∆/2", sel.Unique)
+	}
+	// The alternating subset achieves ≥ (s/2)·∆ unique vertices... each
+	// chosen vertex is isolated from other chosen ones, so all its ∆
+	// neighbors are unique.
+	alt := g.EveryOther()
+	got := g.B.UniqueCoverSet(alt, nil)
+	want := len(alt) * g.Delta
+	if got != want {
+		t.Fatalf("alternating cover = %d, want %d", got, want)
+	}
+	// Wireless expansion of the full set S is ≥ ∆/2 via the alternating
+	// subset: |Γ¹_S(S')|/|S| = (s/2·∆)/s = ∆/2.
+	ratio := float64(got) / float64(g.S)
+	if ratio < g.WirelessFloorClaim()-1e-9 {
+		t.Fatalf("wireless ratio %g below claimed floor %g", ratio, g.WirelessFloorClaim())
+	}
+}
+
+func TestGBadExhaustiveWirelessFloor(t *testing.T) {
+	// On a small instance, check the exact wireless optimum of the full set
+	// meets max{2β−∆, ∆/2}·|S| (remark after Lemma 3.3).
+	g, err := NewGBad(6, 4, 2) // βu = 0 case
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := spokesman.Exhaustive(g.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := g.WirelessFloorClaim() * float64(g.S)
+	if float64(opt.Unique) < floor-1e-9 {
+		t.Fatalf("exact wireless %d below floor %g", opt.Unique, floor)
+	}
+}
+
+func TestGBadParameterValidation(t *testing.T) {
+	if _, err := NewGBad(8, 6, 2); err == nil {
+		t.Fatal("β < ∆/2 accepted")
+	}
+	if _, err := NewGBad(8, 6, 7); err == nil {
+		t.Fatal("β > ∆ accepted")
+	}
+	if _, err := NewGBad(2, 4, 3); err == nil {
+		t.Fatal("s < 3 accepted")
+	}
+}
+
+func TestGBadNoIsolated(t *testing.T) {
+	g, err := NewGBad(7, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.B.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGBadOrdinaryExpansionIsBeta(t *testing.T) {
+	// Every single vertex has ∆ ≥ β neighbors; the full set S has exactly
+	// s·β neighbors (expansion exactly β); contiguous arcs have ≥ β·|arc|.
+	g, err := NewGBad(8, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]int, g.S)
+	for i := range full {
+		full[i] = i
+	}
+	cov := g.B.CoverSet(full, nil)
+	if cov != g.S*g.Beta {
+		t.Fatalf("|Γ(S)| = %d, want %d", cov, g.S*g.Beta)
+	}
+	// Arcs of every length.
+	for l := 1; l <= g.S; l++ {
+		arc := make([]int, l)
+		for i := range arc {
+			arc[i] = i
+		}
+		cov := g.B.CoverSet(arc, nil)
+		if cov < g.Beta*l {
+			t.Fatalf("arc length %d covers %d < β·l = %d", l, cov, g.Beta*l)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package badgraph
+
+import (
+	"fmt"
+
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+// GBadPlugged realizes remark (2) after Lemma 3.3: the bad bipartite graph
+// Gbad laid on top of an ordinary expander G, producing a non-bipartite
+// ordinary expander whose unique-neighbor expansion is capped by 2β − ∆
+// (witnessed by the new S side). The maximum degree of the result is at
+// most ∆(G) + ∆(Gbad), matching the remark's ∆' accounting.
+type GBadPlugged struct {
+	G    *graph.Graph
+	Base int   // |V(G)|
+	S    []int // the Gbad S-side vertex ids in the combined graph
+	N    []int // the base vertices playing Gbad's N side
+	Bad  *GBad
+}
+
+// NewGBadPlugged plugs Gbad(s, ∆bad, βbad) onto g. The N side (s·βbad
+// vertices) is sampled uniformly from V(g) without replacement.
+func NewGBadPlugged(g *graph.Graph, s, deltaBad, betaBad int, r *rng.RNG) (*GBadPlugged, error) {
+	bad, err := NewGBad(s, deltaBad, betaBad)
+	if err != nil {
+		return nil, err
+	}
+	nSize := bad.B.NN()
+	if nSize > g.N() {
+		return nil, fmt.Errorf("badgraph: Gbad N side (%d) larger than base graph (%d)", nSize, g.N())
+	}
+	nVerts := r.Choose(g.N(), nSize)
+	b := graph.NewBuilder(g.N() + s)
+	for _, e := range g.Edges() {
+		b.MustAddEdge(e[0], e[1])
+	}
+	sVerts := make([]int, s)
+	for i := range sVerts {
+		sVerts[i] = g.N() + i
+	}
+	for u := 0; u < s; u++ {
+		for _, v := range bad.B.NeighborsOfS(u) {
+			b.MustAddEdge(sVerts[u], nVerts[v])
+		}
+	}
+	return &GBadPlugged{
+		G:    b.Build(),
+		Base: g.N(),
+		S:    sVerts,
+		N:    nVerts,
+		Bad:  bad,
+	}, nil
+}
+
+// UniqueCap returns the remark's ceiling on |Γ¹(S)| for the witness set:
+// s·(2β − ∆) plus nothing — every neighbor of the new S side lies in the
+// planted N side, where the cyclic overlap limits unique coverage exactly
+// as in Lemma 3.3.
+func (p *GBadPlugged) UniqueCap() int {
+	return p.Bad.S * p.Bad.UniqueExpansionClaim()
+}
+
+// WitnessSet returns the Gbad S side as combined-graph vertex ids.
+func (p *GBadPlugged) WitnessSet() []int {
+	return append([]int(nil), p.S...)
+}

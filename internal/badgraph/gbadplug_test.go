@@ -1,0 +1,77 @@
+package badgraph
+
+import (
+	"testing"
+
+	"wexp/internal/bitset"
+	"wexp/internal/expansion"
+	"wexp/internal/gen"
+	"wexp/internal/rng"
+)
+
+func TestGBadPluggedStructure(t *testing.T) {
+	r := rng.New(1)
+	base := gen.Margulis(8) // n=64
+	p, err := NewGBadPlugged(base, 8, 6, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G.N() != base.N()+8 {
+		t.Fatalf("n = %d, want %d", p.G.N(), base.N()+8)
+	}
+	// The witness vertices connect only into the planted N side.
+	inN := map[int]bool{}
+	for _, v := range p.N {
+		inN[v] = true
+	}
+	for _, u := range p.S {
+		if p.G.Degree(u) != 6 {
+			t.Fatalf("witness degree %d, want ∆bad = 6", p.G.Degree(u))
+		}
+		for _, w := range p.G.Neighbors(u) {
+			if !inN[int(w)] {
+				t.Fatalf("witness %d adjacent to non-planted vertex %d", u, w)
+			}
+		}
+	}
+	// ∆' ≤ ∆(G) + ∆N(Gbad): each planted vertex gains at most its Gbad
+	// N-side degree.
+	maxGain := p.Bad.B.MaxDegN()
+	if p.G.MaxDegree() > base.MaxDegree()+maxGain {
+		t.Fatalf("∆' = %d exceeds ∆ + ∆N = %d", p.G.MaxDegree(), base.MaxDegree()+maxGain)
+	}
+}
+
+func TestGBadPluggedUniqueCap(t *testing.T) {
+	// The witness set's unique neighborhood within the planted N side is
+	// exactly s·(2β−∆); base vertices may add nothing because the witness
+	// has no other neighbors.
+	r := rng.New(2)
+	base := gen.Torus(10, 10)
+	p, err := NewGBadPlugged(base, 8, 6, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	S := bitset.FromIndices(p.G.N(), p.WitnessSet())
+	got := expansion.Gamma1(p.G, S).Count()
+	if got != p.UniqueCap() {
+		t.Fatalf("Γ¹(S witness) = %d, want exactly %d", got, p.UniqueCap())
+	}
+	// Unique expansion of the witness = 2β−∆ = 2 < ordinary expansion,
+	// which is β = 4 (the full Gbad neighborhood).
+	gm := expansion.GammaMinus(p.G, S).Count()
+	if gm != p.Bad.S*p.Bad.Beta {
+		t.Fatalf("Γ⁻ = %d, want %d", gm, p.Bad.S*p.Bad.Beta)
+	}
+}
+
+func TestGBadPluggedRejectsOversize(t *testing.T) {
+	r := rng.New(3)
+	tiny := gen.Cycle(5)
+	if _, err := NewGBadPlugged(tiny, 8, 6, 4, r); err == nil {
+		t.Fatal("oversized Gbad accepted")
+	}
+	if _, err := NewGBadPlugged(tiny, 3, 4, 1, r); err == nil {
+		t.Fatal("invalid Gbad parameters accepted")
+	}
+}

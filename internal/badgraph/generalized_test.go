@@ -1,0 +1,303 @@
+package badgraph
+
+import (
+	"math"
+	"testing"
+
+	"wexp/internal/bounds"
+	"wexp/internal/gen"
+	"wexp/internal/rng"
+	"wexp/internal/spokesman"
+)
+
+func TestCoreExpandNProperties(t *testing.T) {
+	// Lemma 4.7 with s=8, k=3: |N̂| = 3·|N|, S-degrees (2s−1)·k, expansion
+	// floor k·log 2s, wireless ceiling 2s·k.
+	s, k := 8, 3
+	e, err := NewCoreExpandN(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.B.NS() != s || e.B.NN() != e.Core.B.NN()*k {
+		t.Fatalf("dims s=%d n=%d", e.B.NS(), e.B.NN())
+	}
+	for u := 0; u < s; u++ {
+		if d := e.B.DegS(u); d != (2*s-1)*k {
+			t.Fatalf("deg = %d, want %d", d, (2*s-1)*k)
+		}
+	}
+	if e.B.MaxDegN() != s {
+		t.Fatalf("∆N = %d, want %d (unchanged by copying)", e.B.MaxDegN(), s)
+	}
+	// Expansion: every subset S' has |Γ(S')| ≥ k·log2s·|S'| (exhaustive).
+	l2s := e.Core.L + 1
+	for mask := 1; mask < 1<<uint(s); mask++ {
+		var sub []int
+		for u := 0; u < s; u++ {
+			if mask&(1<<uint(u)) != 0 {
+				sub = append(sub, u)
+			}
+		}
+		if cov := e.B.CoverSet(sub, nil); cov < k*l2s*len(sub) {
+			t.Fatalf("mask %b: cover %d < %d", mask, cov, k*l2s*len(sub))
+		}
+		if uniq := e.B.UniqueCoverSet(sub, nil); uniq > e.WirelessCeil() {
+			t.Fatalf("mask %b: unique %d > ceiling %d", mask, uniq, e.WirelessCeil())
+		}
+	}
+	if got, want := e.Beta(), float64(k)*float64(l2s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Beta() = %g, want %g", got, want)
+	}
+}
+
+func TestCoreExpandSProperties(t *testing.T) {
+	// Lemma 4.8 with s=8, k=2: |Š| = s·k, N unchanged, S-degrees 2s−1,
+	// N-degrees scaled by k, expansion floor log 2s / k, wireless ceiling 2s.
+	s, k := 8, 2
+	e, err := NewCoreExpandS(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.B.NS() != s*k || e.B.NN() != e.Core.B.NN() {
+		t.Fatalf("dims s=%d n=%d", e.B.NS(), e.B.NN())
+	}
+	for u := 0; u < s*k; u++ {
+		if d := e.B.DegS(u); d != 2*s-1 {
+			t.Fatalf("deg = %d, want %d", d, 2*s-1)
+		}
+	}
+	if e.B.MaxDegN() != s*k {
+		t.Fatalf("∆N = %d, want %d", e.B.MaxDegN(), s*k)
+	}
+	l2s := float64(e.Core.L + 1)
+	if got, want := e.Beta(), l2s/float64(k); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Beta() = %g, want %g", got, want)
+	}
+	// Wireless ceiling unchanged at 2s: sampled subsets.
+	r := rng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		kk := 1 + r.Intn(s*k)
+		sub := r.Choose(s*k, kk)
+		if uniq := e.B.UniqueCoverSet(sub, nil); uniq > e.WirelessCeil() {
+			t.Fatalf("unique %d > ceiling %d", uniq, e.WirelessCeil())
+		}
+	}
+	// Copies of the same S-vertex have identical neighborhoods, so any set
+	// containing two copies of the same original vertex has those copies
+	// contribute zero unique coverage.
+	sel := spokesman.Evaluate(e.B, []int{0, 1}, "copies") // copies of leaf 0
+	if sel.Unique != 0 {
+		t.Fatalf("two copies unique = %d, want 0", sel.Unique)
+	}
+}
+
+func TestCoreExpandRejectsBadK(t *testing.T) {
+	if _, err := NewCoreExpandN(8, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewCoreExpandS(8, -1); err == nil {
+		t.Fatal("k<0 accepted")
+	}
+}
+
+func TestGeneralizedCoreBranchHigh(t *testing.T) {
+	// β* well above log 2s: expect the N-expansion branch (Lemma 4.7).
+	e, err := GeneralizedCore(64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.SideN {
+		t.Fatal("expected N-side expansion branch")
+	}
+	checkGeneralizedClaims(t, e, 64)
+}
+
+func TestGeneralizedCoreBranchLow(t *testing.T) {
+	// β* below 1: expect the S-expansion branch (Lemma 4.8).
+	e, err := GeneralizedCore(64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SideN {
+		t.Fatal("expected S-side expansion branch")
+	}
+	checkGeneralizedClaims(t, e, 64)
+}
+
+func TestGeneralizedCoreSweep(t *testing.T) {
+	for _, deltaStar := range []int{16, 32, 64, 128} {
+		lo := 2 * math.E / float64(deltaStar)
+		hi := float64(deltaStar) / (2 * math.E)
+		for _, beta := range []float64{lo, 0.5, 1, 2, 4, hi} {
+			if beta < lo || beta > hi {
+				continue
+			}
+			e, err := GeneralizedCore(deltaStar, beta)
+			if err != nil {
+				t.Fatalf("∆*=%d β*=%g: %v", deltaStar, beta, err)
+			}
+			checkGeneralizedClaims(t, e, deltaStar)
+		}
+	}
+}
+
+// checkGeneralizedClaims verifies Lemma 4.6's assertions against the
+// *achieved* parameters of the constructed instance.
+func checkGeneralizedClaims(t *testing.T, e *ExpandedCore, deltaStar int) {
+	t.Helper()
+	// Max degree within budget.
+	maxDeg := e.B.MaxDegS()
+	if d := e.B.MaxDegN(); d > maxDeg {
+		maxDeg = d
+	}
+	if maxDeg > deltaStar {
+		t.Fatalf("max degree %d exceeds ∆* = %d", maxDeg, deltaStar)
+	}
+	// |N*| = β·|S*| for the achieved β.
+	beta := e.Beta()
+	if got := float64(e.B.NN()); math.Abs(got-beta*float64(e.B.NS())) > 1e-6 {
+		t.Fatalf("|N*| = %g, want β·|S*| = %g", got, beta*float64(e.B.NS()))
+	}
+	// Wireless ceiling ≤ (4/log min{∆*/β, ∆*·β})·|N*| — the lemma's third
+	// assertion, evaluated at achieved β.
+	frac := bounds.GeneralizedCoreWirelessFrac(deltaStar, beta)
+	ceil := float64(e.WirelessCeil())
+	if ceil > frac*float64(e.B.NN())+1e-6 {
+		t.Fatalf("ceiling %g exceeds lemma fraction %g·|N*| = %g",
+			ceil, frac, frac*float64(e.B.NN()))
+	}
+	// Spot-check the ceiling empirically with the solvers.
+	sel := spokesman.BestDeterministic(e.B)
+	if float64(sel.Unique) > ceil {
+		t.Fatalf("solver found %d > claimed ceiling %g", sel.Unique, ceil)
+	}
+}
+
+func TestGeneralizedCoreRejectsOutOfRange(t *testing.T) {
+	if _, err := GeneralizedCore(10, 100); err == nil {
+		t.Fatal("β* > ∆*/2e accepted")
+	}
+	if _, err := GeneralizedCore(10, 0.01); err == nil {
+		t.Fatal("β* < 2e/∆* accepted")
+	}
+}
+
+func TestWorstCaseConstruction(t *testing.T) {
+	// Feasibility needs ε²·∆ ≥ 2e·β (so that β* ≤ ∆*/(2e)), hence a
+	// high-degree base; K_200 is a (1/2, 1)-expander with ∆ = 199.
+	r := rng.New(5)
+	base := gen.Complete(200)
+	wc, err := NewWorstCase(base, 1.0, 0.4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ñ ≤ (1+ε)·n.
+	if wc.G.N() > int(1.4*float64(base.N()))+1 {
+		t.Fatalf("ñ = %d too large", wc.G.N())
+	}
+	// ∆̃ ≤ (1+ε)∆.
+	if wc.G.MaxDegree() > int(math.Ceil(1.4*float64(base.MaxDegree()))) {
+		t.Fatalf("∆̃ = %d too large vs base %d", wc.G.MaxDegree(), base.MaxDegree())
+	}
+	// The witness set S* has wireless expansion ≤ ceiling/|S*|.
+	witness := wc.WitnessSet()
+	if len(witness) == 0 {
+		t.Fatal("empty witness")
+	}
+	// All S* adjacency goes into N* only.
+	inN := map[int]bool{}
+	for _, v := range wc.NStar {
+		inN[v] = true
+	}
+	for _, u := range witness {
+		for _, w := range wc.G.Neighbors(u) {
+			if !inN[int(w)] {
+				t.Fatalf("S* vertex %d adjacent to non-N* vertex %d", u, w)
+			}
+		}
+	}
+}
+
+func TestWorstCaseValidation(t *testing.T) {
+	r := rng.New(6)
+	base := gen.Margulis(8)
+	if _, err := NewWorstCase(base, 2.0, 0.6, r); err == nil {
+		t.Fatal("ε ≥ 1/2 accepted")
+	}
+	if _, err := NewWorstCase(base, 2.0, 0, r); err == nil {
+		t.Fatal("ε = 0 accepted")
+	}
+	tiny := gen.Cycle(4) // ∆ = 2: ε∆ < 1
+	if _, err := NewWorstCase(tiny, 1.0, 0.4, r); err == nil {
+		t.Fatal("degenerate base accepted")
+	}
+}
+
+func TestChainStructure(t *testing.T) {
+	r := rng.New(7)
+	ch, err := NewChain(4, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, _ := NewCore(8)
+	wantN := 1 + 4*(8+core.B.NN())
+	if ch.N() != wantN {
+		t.Fatalf("chain n = %d, want %d", ch.N(), wantN)
+	}
+	if len(ch.RT) != 4 {
+		t.Fatalf("relays = %d", len(ch.RT))
+	}
+	// Root connects to all of S¹ and nothing else.
+	if ch.G.Degree(ch.Root) != 8 {
+		t.Fatalf("root degree = %d, want 8", ch.G.Degree(ch.Root))
+	}
+	// Each rtᵢ (except the last) connects to all of S^{i+1}.
+	for i := 0; i+1 < ch.Hops; i++ {
+		rt := ch.RT[i]
+		cnt := 0
+		for _, w := range ch.G.Neighbors(rt) {
+			if int(w) >= ch.SStart[i+1] && int(w) < ch.SStart[i+1]+ch.S {
+				cnt++
+			}
+		}
+		if cnt != ch.S {
+			t.Fatalf("relay %d connects to %d of S^%d", i, cnt, i+2)
+		}
+	}
+	// Connectivity and diameter Θ(hops).
+	if !ch.G.Connected() {
+		t.Fatal("chain disconnected")
+	}
+	diam, _ := ch.G.Diameter()
+	if diam < ch.Hops || diam > 3*ch.Hops+4 {
+		t.Fatalf("diameter %d implausible for %d hops", diam, ch.Hops)
+	}
+}
+
+func TestChainCopyOfVertex(t *testing.T) {
+	r := rng.New(8)
+	ch, err := NewChain(3, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := ch.CopyOfVertex(ch.Root); c != -1 {
+		t.Fatal("root copy should be -1")
+	}
+	for i := 0; i < 3; i++ {
+		if c, isS := ch.CopyOfVertex(ch.SStart[i]); c != i || !isS {
+			t.Fatalf("SStart[%d]: copy=%d isS=%v", i, c, isS)
+		}
+		if c, isS := ch.CopyOfVertex(ch.NStart[i]); c != i || isS {
+			t.Fatalf("NStart[%d]: copy=%d isS=%v", i, c, isS)
+		}
+	}
+}
+
+func TestChainRejectsBadParams(t *testing.T) {
+	if _, err := NewChain(0, 8, rng.New(1)); err == nil {
+		t.Fatal("hops=0 accepted")
+	}
+	if _, err := NewChain(2, 3, rng.New(1)); err == nil {
+		t.Fatal("non-power-of-two s accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package badgraph
+
+import (
+	"fmt"
+
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+// WorstCase is the Section 4.3.3 plugged expander G̃: a generalized core
+// graph G*S = (S*, N*) with ∆* = ε·∆ and β* = β/ε laid on top of an
+// ordinary (α, β)-expander G. The S*-vertices are new; N* is a subset of
+// V(G). The result is an (α̃, β̃)-expander with β̃ = (1−ε)·β whose wireless
+// expansion is O(β̃ / (ε³ · log min{∆̃/β̃, ∆̃·β̃})) — the witness sets are the
+// subsets of S*.
+type WorstCase struct {
+	G     *graph.Graph // the combined graph G̃
+	Base  int          // |V(G)|: vertices 0..Base-1 are the original expander
+	SStar []int        // vertex ids of S* in G̃ (Base..Base+|S*|-1)
+	NStar []int        // vertex ids of N* in G̃ (chosen from the base graph)
+	Core  *ExpandedCore
+	Eps   float64
+}
+
+// NewWorstCase plugs a generalized core with parameters ∆* = ⌊ε∆⌋,
+// β* = β/ε onto the expander g. The N* vertices are sampled uniformly from
+// V(g) without replacement. Requires ∆·β ≥ 1/(1−2ε) and 0 < ε < 1/2 per
+// Section 4.3.3 (checked), plus feasibility of the core parameters.
+func NewWorstCase(g *graph.Graph, beta, eps float64, r *rng.RNG) (*WorstCase, error) {
+	if eps <= 0 || eps >= 0.5 {
+		return nil, fmt.Errorf("badgraph: blow-up ε must be in (0, 1/2), got %g", eps)
+	}
+	delta := g.MaxDegree()
+	if float64(delta)*beta < 1/(1-2*eps) {
+		return nil, fmt.Errorf("badgraph: requires ∆·β ≥ 1/(1−2ε): ∆=%d β=%g ε=%g", delta, beta, eps)
+	}
+	deltaStar := int(eps * float64(delta))
+	if deltaStar < 1 {
+		return nil, fmt.Errorf("badgraph: ε∆ < 1 (∆=%d, ε=%g): base expander degree too small", delta, eps)
+	}
+	betaStar := beta / eps
+	core, err := GeneralizedCore(deltaStar, betaStar)
+	if err != nil {
+		return nil, err
+	}
+	sStarSize := core.B.NS()
+	nStarSize := core.B.NN()
+	if nStarSize > g.N() {
+		return nil, fmt.Errorf("badgraph: core N* (%d) larger than base graph (%d)", nStarSize, g.N())
+	}
+	nStar := r.Choose(g.N(), nStarSize)
+
+	b := graph.NewBuilder(g.N() + sStarSize)
+	for _, e := range g.Edges() {
+		b.MustAddEdge(e[0], e[1])
+	}
+	sStar := make([]int, sStarSize)
+	for i := range sStar {
+		sStar[i] = g.N() + i
+	}
+	for u := 0; u < sStarSize; u++ {
+		for _, v := range core.B.NeighborsOfS(u) {
+			b.MustAddEdge(sStar[u], nStar[v])
+		}
+	}
+	return &WorstCase{
+		G:     b.Build(),
+		Base:  g.N(),
+		SStar: sStar,
+		NStar: nStar,
+		Core:  core,
+		Eps:   eps,
+	}, nil
+}
+
+// WitnessSet returns the wireless-expansion witness: the full S* as vertex
+// ids of G̃. Every subset S' ⊆ S* has |Γ¹_{S*}(S')| ≤ the core's wireless
+// ceiling, so the wireless expansion of S* in G̃ is at most
+// WirelessCeil / |S*|.
+func (w *WorstCase) WitnessSet() []int {
+	return append([]int(nil), w.SStar...)
+}

@@ -1,0 +1,267 @@
+// Package bitset provides a dense, fixed-capacity bit set used throughout
+// the expansion solvers for representing vertex subsets.
+//
+// The hot loops of the library — exhaustive expansion measurement, unique
+// neighborhood computation, and the radio simulator's transmit/receive
+// bookkeeping — all operate on vertex sets. A packed []uint64 representation
+// keeps those loops allocation-free and cache-friendly.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set over the universe {0, 1, ..., n-1}.
+// The zero value is an empty set of capacity zero; use New to create a set
+// with a given capacity. Methods that combine two sets require equal
+// capacity and panic otherwise: mixing universes is always a programming
+// error in this code base, never a recoverable condition.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity for n elements.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a set of capacity n containing exactly the given
+// elements. It panics if any element is out of range.
+func FromIndices(n int, elems []int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Len returns the capacity of the set (the size of the universe, not the
+// number of elements currently contained; see Count).
+func (s *Set) Len() int { return s.n }
+
+// Add inserts element i. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes element i. It panics if i is out of range.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether element i is present. It panics if i is out of
+// range.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill adds every element of the universe to the set.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Copy overwrites s with the contents of t. Capacities must match.
+func (s *Set) Copy(t *Set) {
+	s.compat(t)
+	copy(s.words, t.words)
+}
+
+// Union sets s = s ∪ t.
+func (s *Set) Union(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect sets s = s ∩ t.
+func (s *Set) Intersect(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// Subtract sets s = s \ t.
+func (s *Set) Subtract(t *Set) {
+	s.compat(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// IntersectionCount returns |s ∩ t| without allocating.
+func (s *Set) IntersectionCount(t *Set) int {
+	s.compat(t)
+	c := 0
+	for i, w := range t.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// SubtractCount returns |s \ t| without allocating.
+func (s *Set) SubtractCount(t *Set) int {
+	s.compat(t)
+	c := 0
+	for i, w := range t.words {
+		c += bits.OnesCount64(s.words[i] &^ w)
+	}
+	return c
+}
+
+// Equal reports whether s and t contain the same elements. Capacities must
+// match.
+func (s *Set) Equal(t *Set) bool {
+	s.compat(t)
+	for i, w := range t.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every element of s is in t.
+func (s *Set) IsSubsetOf(t *Set) bool {
+	s.compat(t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Disjoint reports whether s ∩ t is empty.
+func (s *Set) Disjoint(t *Set) bool {
+	s.compat(t)
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the set contains no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element of the set in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the elements of the set in increasing order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Next returns the smallest element ≥ i, or -1 if none exists.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+func (s *Set) compat(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, t.n))
+	}
+}
+
+// trim clears the unused high bits in the last word so Count and Equal stay
+// correct after Fill.
+func (s *Set) trim() {
+	if r := s.n % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(r)) - 1
+	}
+}

@@ -1,0 +1,254 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Count() != 0 {
+		t.Fatalf("new set not empty: count=%d", s.Count())
+	}
+	if !s.Empty() {
+		t.Fatal("Empty() = false on new set")
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len() = %d, want 100", s.Len())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("Contains(%d) before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("!Contains(%d) after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after double Add, want 1", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Contains(10) },
+		func() { s.Remove(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	a.Union(b)
+}
+
+func TestFillAndClear(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("n=%d: Fill count=%d", n, s.Count())
+		}
+		s.Clear()
+		if s.Count() != 0 {
+			t.Fatalf("n=%d: Clear count=%d", n, s.Count())
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(100, []int{1, 2, 3, 50, 99})
+	b := FromIndices(100, []int{2, 3, 4, 99})
+
+	u := a.Clone()
+	u.Union(b)
+	wantU := []int{1, 2, 3, 4, 50, 99}
+	if got := u.Indices(); !equalInts(got, wantU) {
+		t.Fatalf("union = %v, want %v", got, wantU)
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	wantI := []int{2, 3, 99}
+	if got := i.Indices(); !equalInts(got, wantI) {
+		t.Fatalf("intersect = %v, want %v", got, wantI)
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	wantD := []int{1, 50}
+	if got := d.Indices(); !equalInts(got, wantD) {
+		t.Fatalf("subtract = %v, want %v", got, wantD)
+	}
+
+	if got := a.IntersectionCount(b); got != 3 {
+		t.Fatalf("IntersectionCount = %d, want 3", got)
+	}
+	if got := a.SubtractCount(b); got != 2 {
+		t.Fatalf("SubtractCount = %d, want 2", got)
+	}
+}
+
+func TestSubsetDisjointEqual(t *testing.T) {
+	a := FromIndices(64, []int{1, 2})
+	b := FromIndices(64, []int{1, 2, 3})
+	c := FromIndices(64, []int{10, 11})
+	if !a.IsSubsetOf(b) {
+		t.Fatal("a ⊆ b expected")
+	}
+	if b.IsSubsetOf(a) {
+		t.Fatal("b ⊆ a unexpected")
+	}
+	if !a.Disjoint(c) {
+		t.Fatal("a, c disjoint expected")
+	}
+	if a.Disjoint(b) {
+		t.Fatal("a, b not disjoint")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("a == clone expected")
+	}
+	if a.Equal(b) {
+		t.Fatal("a != b expected")
+	}
+}
+
+func TestForEachOrderAndNext(t *testing.T) {
+	elems := []int{5, 0, 77, 64, 13}
+	s := FromIndices(128, elems)
+	want := []int{0, 5, 13, 64, 77}
+	if got := s.Indices(); !equalInts(got, want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	if got := s.Next(0); got != 0 {
+		t.Fatalf("Next(0) = %d, want 0", got)
+	}
+	if got := s.Next(1); got != 5 {
+		t.Fatalf("Next(1) = %d, want 5", got)
+	}
+	if got := s.Next(65); got != 77 {
+		t.Fatalf("Next(65) = %d, want 77", got)
+	}
+	if got := s.Next(78); got != -1 {
+		t.Fatalf("Next(78) = %d, want -1", got)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	a := FromIndices(70, []int{1, 69})
+	b := New(70)
+	b.Copy(a)
+	if !a.Equal(b) {
+		t.Fatal("Copy mismatch")
+	}
+	b.Add(5)
+	if a.Contains(5) {
+		t.Fatal("Copy aliased storage")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(10, []int{1, 3})
+	if got := s.String(); got != "{1, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// Property: De Morgan via counts — |A ∪ B| = |A| + |B| − |A ∩ B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		u := a.Clone()
+		u.Union(b)
+		return u.Count() == a.Count()+b.Count()-a.IntersectionCount(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: subtraction then union restores a superset relationship.
+func TestQuickSubtractUnion(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		d := a.Clone()
+		d.Subtract(b)
+		// d and b are disjoint, d ⊆ a, and d ∪ (a ∩ b) = a.
+		if !d.Disjoint(b) || !d.IsSubsetOf(a) {
+			return false
+		}
+		ab := a.Clone()
+		ab.Intersect(b)
+		d.Union(ab)
+		return d.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,372 @@
+// Package bounds collects the paper's closed-form bounds so the experiment
+// harness can print measured values side-by-side with claimed ones.
+//
+// All logarithms are base 2, matching the paper's binary-tree constructions
+// (Section 4.3.1) and the convention log 2s = 1 + log s. Asymptotic Ω/O
+// statements are rendered with their leading constants where the paper
+// gives them (the appendix bounds) and with constant 1 as a reference scale
+// otherwise; the harness checks *boundedness of ratios* rather than the
+// arbitrary constant.
+package bounds
+
+import "math"
+
+// Log2 is the paper's logarithm. Guarded so callers can feed boundary
+// values without producing NaN: log of anything ≤ 1 is clamped to 0.
+func Log2(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// MinDeltaRatio returns min{∆/β, ∆·β}, the quantity controlling both the
+// positive (Theorem 1.1) and negative (Theorem 1.2) results and a lower
+// bound on the arboricity (Section 2.1).
+func MinDeltaRatio(delta int, beta float64) float64 {
+	if beta <= 0 {
+		return 0
+	}
+	return math.Min(float64(delta)/beta, float64(delta)*beta)
+}
+
+// Theorem11 returns the positive result's reference scale
+// β / log(2·min{∆/β, ∆·β}): Theorem 1.1 states βw = Ω of this quantity for
+// every (α,β)-expander with maximum degree ∆ and β ≥ 1/∆.
+func Theorem11(delta int, beta float64) float64 {
+	denom := Log2(2 * MinDeltaRatio(delta, beta))
+	if denom < 1 {
+		denom = 1
+	}
+	return beta / denom
+}
+
+// Lemma42 returns the β ≥ 1 regime's reference scale β / log(2∆/β)
+// (Lemma 4.2, proved via the decay sampler).
+func Lemma42(delta int, beta float64) float64 {
+	denom := Log2(2 * float64(delta) / beta)
+	if denom < 1 {
+		denom = 1
+	}
+	return beta / denom
+}
+
+// Lemma43 returns the β < 1 regime's reference scale β / log(2∆β)
+// (Lemma 4.3).
+func Lemma43(delta int, beta float64) float64 {
+	denom := Log2(2 * float64(delta) * beta)
+	if denom < 1 {
+		denom = 1
+	}
+	return beta / denom
+}
+
+// Lemma31 returns the ordinary-expansion lower bound implied by unique
+// expansion on a d-regular graph with second adjacency eigenvalue λ:
+// β ≥ (1 − 1/d)·βu + (d − λ)·(1 − αu)/d.
+func Lemma31(d int, lambda, betaU, alphaU float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	fd := float64(d)
+	return (1-1/fd)*betaU + (fd-lambda)*(1-alphaU)/fd
+}
+
+// Lemma32 returns the unique-expansion lower bound βu ≥ 2β − ∆ implied by
+// ordinary expansion (meaningful only when β > ∆/2). Lemma 3.3 shows it is
+// tight: the Gbad construction achieves equality.
+func Lemma32(delta int, beta float64) float64 {
+	return 2*beta - float64(delta)
+}
+
+// GBadWirelessFloor returns the wireless-expansion lower bound
+// max{2β − ∆, ∆/2} the paper derives for the Gbad construction in the
+// remark after Lemma 3.3.
+func GBadWirelessFloor(delta int, beta float64) float64 {
+	return math.Max(2*beta-float64(delta), float64(delta)/2)
+}
+
+// CorollaryA2 returns the naive wireless lower bound βw ≥ β/∆ (Lemma A.1 /
+// Corollary A.2).
+func CorollaryA2(delta int, beta float64) float64 {
+	if delta <= 0 {
+		return 0
+	}
+	return beta / float64(delta)
+}
+
+// CorollaryA4 returns βw ≥ β/(8·δ̄) (Corollary A.4(1)), where δ̄ is the
+// worst-case average N-side degree over small sets; callers typically pass
+// the measured δ of a concrete GS.
+func CorollaryA4(deltaBar, beta float64) float64 {
+	if deltaBar < 1 {
+		deltaBar = 1
+	}
+	return beta / (8 * deltaBar)
+}
+
+// CorollaryA4Beta1 returns the β ≥ 1 specialization βw ≥ β²/(8∆).
+func CorollaryA4Beta1(delta int, beta float64) float64 {
+	if delta <= 0 {
+		return 0
+	}
+	return beta * beta / (8 * float64(delta))
+}
+
+// FConstant is f(c) = log₂c / (2(1+c)) — Corollary A.6's per-class
+// constant.
+func FConstant(c float64) float64 {
+	if c <= 1 {
+		return 0
+	}
+	return math.Log2(c) / (2 * (1 + c))
+}
+
+// OptimalF is the maximum of FConstant, attained at c ≈ 3.59112
+// (Corollary A.7's constant 0.20087).
+const (
+	OptimalC = 3.59112
+	OptimalF = 0.20087
+)
+
+// CorollaryA7 returns βw ≥ 0.20087·β / log₂∆.
+func CorollaryA7(delta int, beta float64) float64 {
+	denom := Log2(float64(delta))
+	if denom < 1 {
+		denom = 1
+	}
+	return OptimalF * beta / denom
+}
+
+// CorollaryA14 returns the near-optimal deterministic bound
+// βw ≥ β / (9·log(2δ̄)) (Corollary A.14(1)).
+func CorollaryA14(deltaBar, beta float64) float64 {
+	denom := 9 * Log2(2*deltaBar)
+	if denom < 9 {
+		denom = 9
+	}
+	return beta / denom
+}
+
+// CorollaryA14Beta1 returns the β ≥ 1 specialization β / (9·log(2∆/β)).
+func CorollaryA14Beta1(delta int, beta float64) float64 {
+	denom := 9 * Log2(2*float64(delta)/beta)
+	if denom < 9 {
+		denom = 9
+	}
+	return beta / denom
+}
+
+// MG evaluates Corollary A.16's piecewise guarantee function MG(x): the
+// best of (i) min{1/(9·log x), 1/20}, (ii) 1/(9·log 2x), and (iii) the
+// Corollary A.8 family sup_{t>1} (1 − 1/t)·2.0087/log(t·x), maximized
+// numerically over a geometric t-grid.
+func MG(x float64) float64 {
+	if x < 1 {
+		x = 1
+	}
+	best := term2(x)
+	if v := term1(x); v > best {
+		best = v
+	}
+	if v := term3(x); v > best {
+		best = v
+	}
+	return best
+}
+
+func term1(x float64) float64 {
+	lx := Log2(x)
+	if lx <= 0 {
+		return 1.0 / 20
+	}
+	return math.Min(1/(9*lx), 1.0/20)
+}
+
+func term2(x float64) float64 {
+	l2x := Log2(2 * x)
+	if l2x <= 0 {
+		return 0
+	}
+	return 1 / (9 * l2x)
+}
+
+func term3(x float64) float64 {
+	best := 0.0
+	for t := 1.05; t <= 4096; t *= 1.1 {
+		denom := Log2(t * x)
+		if denom <= 0 {
+			continue
+		}
+		v := (1 - 1/t) * 2.0087 / denom
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// LemmaA18 returns βw ≥ β·MG(δ̄) (Lemma A.18(1)); with β ≥ 1 callers may
+// pass δ̄ = ∆/β per Lemma A.18(2).
+func LemmaA18(deltaBar, beta float64) float64 {
+	return beta * MG(deltaBar)
+}
+
+// ChlamtacWeinstein returns the prior-art spokesman guarantee
+// |Γ¹(S')| ≥ |N| / log |S| from [7], against which Section 4.2.1 compares.
+func ChlamtacWeinstein(sizeN, sizeS int) float64 {
+	denom := Log2(float64(sizeS))
+	if denom < 1 {
+		denom = 1
+	}
+	return float64(sizeN) / denom
+}
+
+// PaperSpokesman returns the paper's improved spokesman guarantee scale
+// |N| / log(2·min{δN, δS}) (Section 4.2.1).
+func PaperSpokesman(sizeN int, deltaN, deltaS float64) float64 {
+	m := math.Min(deltaN, deltaS)
+	if m < 1 {
+		m = 1
+	}
+	denom := Log2(2 * m)
+	if denom < 1 {
+		denom = 1
+	}
+	return float64(sizeN) / denom
+}
+
+// CoreGraph returns Lemma 4.4's claimed quantities for parameter s:
+// |N| = s·log 2s, S-degree 2s−1, ∆N = s, δN ≤ 2s/log 2s, β ≥ log 2s, and
+// the wireless ceiling |Γ¹_S(S')| ≤ 2s for every S'.
+type CoreGraph struct {
+	SizeN          float64
+	DegS           int
+	MaxDegN        int
+	AvgDegNCeil    float64
+	BetaFloor      float64
+	WirelessCeil   float64 // absolute: 2s
+	WirelessFrac   float64 // relative: 2/log 2s of |N|
+	BroadcastRatio float64 // βw/β ≤ 2/log 2s
+}
+
+// CoreGraphClaims evaluates the Lemma 4.4 claim set at size s (s a power of
+// two in the construction).
+func CoreGraphClaims(s int) CoreGraph {
+	fs := float64(s)
+	l2s := Log2(2 * fs)
+	return CoreGraph{
+		SizeN:          fs * l2s,
+		DegS:           2*s - 1,
+		MaxDegN:        s,
+		AvgDegNCeil:    2 * fs / l2s,
+		BetaFloor:      l2s,
+		WirelessCeil:   2 * fs,
+		WirelessFrac:   2 / l2s,
+		BroadcastRatio: 2 / l2s,
+	}
+}
+
+// GeneralizedCoreWirelessFrac returns Lemma 4.6's wireless ceiling as a
+// fraction of |N*|: 4 / log(min{∆*/β*, ∆*·β*}).
+func GeneralizedCoreWirelessFrac(deltaStar int, betaStar float64) float64 {
+	denom := Log2(MinDeltaRatio(deltaStar, betaStar))
+	if denom < 1 {
+		denom = 1
+	}
+	return 4 / denom
+}
+
+// WorstCaseParams holds Corollary 4.11's parameter transforms for plugging
+// a generalized core graph onto an (α,β)-expander with blow-up ε.
+type WorstCaseParams struct {
+	NTildeMax   float64 // ñ ≤ (1+ε)·n
+	DeltaTilde  float64 // ∆̃ = (1+ε)·∆
+	BetaTilde   float64 // β̃ = (1−ε)·β
+	AlphaTilde  float64 // α̃ = (1−ε)·α
+	WirelessMax float64 // β̃w ≤ 24·β̃/(ε³·log min{∆̃/β̃, ∆̃·β̃})
+}
+
+// Corollary411 evaluates the worst-case expander parameter transforms.
+func Corollary411(n, delta int, alpha, beta, eps float64) WorstCaseParams {
+	dt := (1 + eps) * float64(delta)
+	bt := (1 - eps) * beta
+	denom := eps * eps * eps * Log2(math.Min(dt/bt, dt*bt))
+	w := math.Inf(1)
+	if denom > 0 {
+		w = 24 * bt / denom
+	}
+	return WorstCaseParams{
+		NTildeMax:   (1 + eps) * float64(n),
+		DeltaTilde:  dt,
+		BetaTilde:   bt,
+		AlphaTilde:  (1 - eps) * alpha,
+		WirelessMax: w,
+	}
+}
+
+// BroadcastLower returns the Section 5 reference scale D·log(n/D) for the
+// radio-broadcast round lower bound Ω(D·log(n/D)).
+func BroadcastLower(diameter, n int) float64 {
+	if diameter <= 0 || n <= diameter {
+		return 0
+	}
+	return float64(diameter) * Log2(float64(n)/float64(diameter))
+}
+
+// Corollary51 returns the minimum number of rounds needed for broadcast to
+// reach a 2i/log(2s) fraction of the core graph's N side: at least 1 + i,
+// for 0 ≤ i ≤ log(2s)/2.
+func Corollary51(i int) int { return 1 + i }
+
+// MGRegime labels which component of MG(x) dominates (Observation A.17).
+type MGRegime string
+
+// The regimes of Observation A.17 for the max of the first two MG terms,
+// plus the Corollary A.8/A.9 family that overtakes both for moderate δ.
+const (
+	RegimeLog2x  MGRegime = "1/(9·log 2x)" // x ≤ 2^{11/9}
+	RegimeFlat   MGRegime = "1/20"         // 2^{11/9} ≤ x ≤ 2^{20/9}
+	RegimeLogx   MGRegime = "1/(9·log x)"  // x ≥ 2^{20/9}
+	RegimeFamily MGRegime = "(1−1/t)·2.0087/log(tx)"
+)
+
+// ObservationA17Thresholds are the crossover points 2^{11/9} and 2^{20/9}
+// between the first two MG components.
+var ObservationA17Thresholds = [2]float64{
+	math.Exp2(11.0 / 9), // ≈ 2.33: term2 vs 1/20
+	math.Exp2(20.0 / 9), // ≈ 4.67: 1/20 vs term1
+}
+
+// MGDominant returns the component attaining MG(x) (ties resolved in the
+// order of Observation A.17: term2, flat, term1, family).
+func MGDominant(x float64) MGRegime {
+	if x < 1 {
+		x = 1
+	}
+	v2 := term2(x)
+	v1 := term1(x)
+	v3 := term3(x)
+	best := math.Max(math.Max(v1, v2), v3)
+	const eps = 1e-12
+	switch {
+	case v2 >= best-eps:
+		return RegimeLog2x
+	case v1 >= best-eps && v1 == 1.0/20:
+		return RegimeFlat
+	case v1 >= best-eps:
+		return RegimeLogx
+	default:
+		return RegimeFamily
+	}
+}
+
+// A9Condition reports whether δ satisfies the footnote condition of
+// Corollary A.9: ε·ln δ − ln ln δ − ln(1+ε) − 1 ≥ 0 (δ must exceed e so
+// the double logarithm is defined; smaller δ fail the condition).
+func A9Condition(delta, eps float64) bool {
+	if delta <= math.E || eps <= 0 {
+		return false
+	}
+	return eps*math.Log(delta)-math.Log(math.Log(delta))-math.Log(1+eps)-1 >= 0
+}

@@ -1,0 +1,328 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLog2Clamps(t *testing.T) {
+	if Log2(0.5) != 0 || Log2(1) != 0 || Log2(-3) != 0 {
+		t.Fatal("Log2 should clamp ≤1 to 0")
+	}
+	if Log2(8) != 3 {
+		t.Fatalf("Log2(8) = %g", Log2(8))
+	}
+}
+
+func TestMinDeltaRatio(t *testing.T) {
+	if got := MinDeltaRatio(8, 2); got != 4 {
+		t.Fatalf("min{4,16} = %g", got)
+	}
+	if got := MinDeltaRatio(8, 0.25); got != 2 {
+		t.Fatalf("min{32,2} = %g", got)
+	}
+	if MinDeltaRatio(8, 0) != 0 {
+		t.Fatal("β=0")
+	}
+}
+
+func TestTheorem11Regimes(t *testing.T) {
+	// β ≥ 1: min = ∆/β, so Theorem11 = Lemma42.
+	if a, b := Theorem11(64, 4), Lemma42(64, 4); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("β≥1: %g vs %g", a, b)
+	}
+	// β < 1: min = ∆·β, so Theorem11 = Lemma43.
+	if a, b := Theorem11(64, 0.25), Lemma43(64, 0.25); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("β<1: %g vs %g", a, b)
+	}
+	// Monotone in β on a fixed ∆ over the β ≥ 1 regime.
+	prev := 0.0
+	for _, beta := range []float64{1, 2, 4, 8} {
+		v := Theorem11(256, beta)
+		if v <= prev {
+			t.Fatalf("Theorem11 not increasing at β=%g", beta)
+		}
+		prev = v
+	}
+}
+
+func TestLemma31(t *testing.T) {
+	// d=4, λ=2, βu=1, αu=0.5: (3/4)·1 + (2)·(0.5)/4 = 0.75 + 0.25 = 1.
+	if got := Lemma31(4, 2, 1, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Lemma31 = %g, want 1", got)
+	}
+	if Lemma31(0, 0, 1, 0) != 0 {
+		t.Fatal("d=0 should yield 0")
+	}
+}
+
+func TestLemma32AndGBadFloor(t *testing.T) {
+	if got := Lemma32(6, 4); got != 2 {
+		t.Fatalf("2·4−6 = %g", got)
+	}
+	if got := GBadWirelessFloor(6, 4); got != 3 {
+		t.Fatalf("max{2, 3} = %g", got)
+	}
+	if got := GBadWirelessFloor(6, 5); got != 4 {
+		t.Fatalf("max{4, 3} = %g", got)
+	}
+}
+
+func TestAppendixBounds(t *testing.T) {
+	if got := CorollaryA2(8, 2); got != 0.25 {
+		t.Fatalf("β/∆ = %g", got)
+	}
+	if got := CorollaryA4(4, 2); got != 2.0/32 {
+		t.Fatalf("β/8δ = %g", got)
+	}
+	if got := CorollaryA4Beta1(16, 4); got != 0.125 {
+		t.Fatalf("β²/8∆ = %g", got)
+	}
+	if got := CorollaryA14(8, 2); math.Abs(got-2.0/36) > 1e-12 {
+		t.Fatalf("β/9log16 = %g", got)
+	}
+	if got := CorollaryA14Beta1(16, 2); math.Abs(got-2.0/36) > 1e-12 {
+		t.Fatalf("β/9log(2∆/β) = %g", got)
+	}
+}
+
+func TestFConstantOptimum(t *testing.T) {
+	best := FConstant(OptimalC)
+	if math.Abs(best-OptimalF) > 1e-4 {
+		t.Fatalf("f(c*) = %g, want ≈ %g", best, OptimalF)
+	}
+	// Optimality: nearby c values don't exceed it.
+	for _, c := range []float64{2, 3, 3.3, 3.9, 4.5, 6} {
+		if FConstant(c) > best+1e-9 {
+			t.Fatalf("f(%g) = %g exceeds optimum", c, FConstant(c))
+		}
+	}
+	if FConstant(1) != 0 || FConstant(0.5) != 0 {
+		t.Fatal("degenerate c should yield 0")
+	}
+}
+
+func TestCorollaryA7(t *testing.T) {
+	got := CorollaryA7(16, 2)
+	want := OptimalF * 2 / 4
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("A7 = %g, want %g", got, want)
+	}
+}
+
+func TestMGPiecewise(t *testing.T) {
+	// MG must dominate its components and be decreasing.
+	prev := math.Inf(1)
+	for _, x := range []float64{1, 2, 4, 8, 16, 64, 256, 4096} {
+		v := MG(x)
+		if v <= 0 {
+			t.Fatalf("MG(%g) = %g", x, v)
+		}
+		if v > prev+1e-12 {
+			t.Fatalf("MG not non-increasing at %g", x)
+		}
+		prev = v
+		if v < term2(x)-1e-12 {
+			t.Fatalf("MG(%g) below term2", x)
+		}
+	}
+	// For large x, the A.8/A.9 term dominates term2 by a wide margin
+	// (approaching a 2.0087·9 ≈ 18× advantage as x → ∞).
+	x := 1024.0
+	if MG(x) < 5*term2(x) {
+		t.Fatalf("MG(%g) = %g; term2 = %g should be dominated", x, MG(x), term2(x))
+	}
+}
+
+func TestLemmaA18(t *testing.T) {
+	if got := LemmaA18(16, 2); math.Abs(got-2*MG(16)) > 1e-12 {
+		t.Fatalf("A18 = %g", got)
+	}
+}
+
+func TestSpokesmanBounds(t *testing.T) {
+	if got := ChlamtacWeinstein(100, 16); got != 25 {
+		t.Fatalf("CW = %g, want 100/4", got)
+	}
+	if got := PaperSpokesman(100, 4, 9); got != 100.0/3 {
+		t.Fatalf("paper = %g, want 100/log(8)", got)
+	}
+	// Paper bound beats CW when min{δN, δS} ≪ |S|.
+	if PaperSpokesman(100, 4, 9) <= ChlamtacWeinstein(100, 1<<20) {
+		t.Fatal("paper bound should beat CW for huge |S|")
+	}
+}
+
+func TestCoreGraphClaims(t *testing.T) {
+	c := CoreGraphClaims(8)
+	if c.SizeN != 32 { // 8·log 16 = 8·4
+		t.Fatalf("SizeN = %g", c.SizeN)
+	}
+	if c.DegS != 15 || c.MaxDegN != 8 {
+		t.Fatalf("degrees %d/%d", c.DegS, c.MaxDegN)
+	}
+	if c.BetaFloor != 4 {
+		t.Fatalf("BetaFloor = %g", c.BetaFloor)
+	}
+	if c.WirelessCeil != 16 {
+		t.Fatalf("WirelessCeil = %g", c.WirelessCeil)
+	}
+	if math.Abs(c.WirelessFrac-0.5) > 1e-12 {
+		t.Fatalf("WirelessFrac = %g", c.WirelessFrac)
+	}
+	if math.Abs(c.AvgDegNCeil-4) > 1e-12 {
+		t.Fatalf("AvgDegNCeil = %g", c.AvgDegNCeil)
+	}
+}
+
+func TestGeneralizedCoreWirelessFrac(t *testing.T) {
+	if got := GeneralizedCoreWirelessFrac(64, 4); got != 1 {
+		t.Fatalf("4/log(16) = %g", got)
+	}
+}
+
+func TestCorollary411(t *testing.T) {
+	p := Corollary411(1000, 100, 0.5, 4, 0.25)
+	if p.NTildeMax != 1250 {
+		t.Fatalf("ñ = %g", p.NTildeMax)
+	}
+	if p.DeltaTilde != 125 || p.BetaTilde != 3 {
+		t.Fatalf("∆̃=%g β̃=%g", p.DeltaTilde, p.BetaTilde)
+	}
+	if p.AlphaTilde != 0.375 {
+		t.Fatalf("α̃ = %g", p.AlphaTilde)
+	}
+	if p.WirelessMax <= 0 || math.IsInf(p.WirelessMax, 1) {
+		t.Fatalf("wireless max = %g", p.WirelessMax)
+	}
+}
+
+func TestBroadcastLower(t *testing.T) {
+	if got := BroadcastLower(8, 128); got != 8*4 {
+		t.Fatalf("D log(n/D) = %g, want 32", got)
+	}
+	if BroadcastLower(0, 128) != 0 || BroadcastLower(10, 5) != 0 {
+		t.Fatal("degenerate cases should be 0")
+	}
+}
+
+func TestCorollary51(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		if Corollary51(i) != i+1 {
+			t.Fatal("Corollary51 wrong")
+		}
+	}
+}
+
+func TestBoundDegenerateClamps(t *testing.T) {
+	// Every formula must clamp degenerate inputs rather than return NaN/Inf.
+	if v := Theorem11(1, 1); v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("Theorem11 degenerate: %g", v)
+	}
+	if v := Lemma42(1, 2); v <= 0 || math.IsNaN(v) {
+		t.Fatalf("Lemma42 degenerate: %g", v)
+	}
+	if v := Lemma43(1, 0.5); v <= 0 || math.IsNaN(v) {
+		t.Fatalf("Lemma43 degenerate: %g", v)
+	}
+	if CorollaryA2(0, 1) != 0 {
+		t.Fatal("A2 with ∆=0")
+	}
+	if v := CorollaryA4(0.5, 1); v != 1.0/8 {
+		t.Fatalf("A4 clamps δ̄ to 1: %g", v)
+	}
+	if CorollaryA4Beta1(0, 1) != 0 {
+		t.Fatal("A4β1 with ∆=0")
+	}
+	if v := CorollaryA7(1, 1); v != OptimalF {
+		t.Fatalf("A7 clamps log: %g", v)
+	}
+	if v := CorollaryA14(0.25, 9); v != 1 {
+		t.Fatalf("A14 clamps denominator to 9: %g", v)
+	}
+	if v := CorollaryA14Beta1(1, 4); v <= 0 {
+		t.Fatalf("A14β1 degenerate: %g", v)
+	}
+	if v := MG(0.5); v <= 0 {
+		t.Fatalf("MG clamps x to 1: %g", v)
+	}
+}
+
+func TestObservationA17Regimes(t *testing.T) {
+	t1, t2 := ObservationA17Thresholds[0], ObservationA17Thresholds[1]
+	// Compare only the first two components (the observation's max): below
+	// t1 term2 wins, between t1 and t2 the flat 1/20 wins, above t2 term1.
+	maxOf2 := func(x float64) MGRegime {
+		v1, v2 := term1(x), term2(x)
+		if v2 >= v1 {
+			return RegimeLog2x
+		}
+		if v1 == 1.0/20 {
+			return RegimeFlat
+		}
+		return RegimeLogx
+	}
+	if got := maxOf2(t1 * 0.9); got != RegimeLog2x {
+		t.Fatalf("below first threshold: %s", got)
+	}
+	if got := maxOf2((t1 + t2) / 2); got != RegimeFlat {
+		t.Fatalf("between thresholds: %s", got)
+	}
+	if got := maxOf2(t2 * 1.5); got != RegimeLogx {
+		t.Fatalf("above second threshold: %s", got)
+	}
+	// Crossover equalities at the thresholds, per the observation:
+	// term2(2^{11/9}) = 1/20 and term1(2^{20/9}) = 1/20.
+	if math.Abs(term2(t1)-1.0/20) > 1e-12 {
+		t.Fatalf("term2 at threshold = %g", term2(t1))
+	}
+	if math.Abs(term1(t2)-1.0/20) > 1e-12 {
+		t.Fatalf("term1 at threshold = %g", term1(t2))
+	}
+}
+
+func TestMGDominantConsistent(t *testing.T) {
+	// Whatever regime is reported, its value must equal MG(x).
+	for _, x := range []float64{1, 2, 2.5, 4, 5, 10, 100, 10000} {
+		reg := MGDominant(x)
+		var v float64
+		switch reg {
+		case RegimeLog2x:
+			v = term2(x)
+		case RegimeFlat, RegimeLogx:
+			v = term1(x)
+		case RegimeFamily:
+			v = term3(x)
+		}
+		if math.Abs(v-MG(x)) > 1e-12 {
+			t.Fatalf("x=%g: regime %s value %g != MG %g", x, reg, v, MG(x))
+		}
+	}
+}
+
+func TestA9Condition(t *testing.T) {
+	if A9Condition(2, 1) {
+		t.Fatal("δ ≤ e should fail")
+	}
+	if A9Condition(100, 0) {
+		t.Fatal("ε = 0 should fail")
+	}
+	// Large δ with moderate ε satisfies the condition.
+	if !A9Condition(1e6, 1) {
+		t.Fatal("δ=1e6, ε=1 should satisfy")
+	}
+	// Monotone in δ for fixed ε: once satisfied, stays satisfied.
+	sat := false
+	for _, d := range []float64{3, 10, 100, 1e4, 1e8} {
+		now := A9Condition(d, 0.5)
+		if sat && !now {
+			t.Fatalf("condition lost at δ=%g", d)
+		}
+		if now {
+			sat = true
+		}
+	}
+	if !sat {
+		t.Fatal("condition never satisfied for ε=0.5")
+	}
+}

@@ -1,0 +1,175 @@
+package expansion
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"wexp/internal/graph"
+)
+
+// BipartiteResult reports an exact bipartite measurement with its witness
+// subset (as a bitmask over the S side).
+type BipartiteResult struct {
+	Value  float64
+	ArgSet uint64
+}
+
+// MaxExactBipartiteS bounds the exhaustive bipartite solvers.
+const MaxExactBipartiteS = 24
+
+// MinBipartiteExpansion computes min over nonempty S' ⊆ S of
+// |Γ(S')| / |S'| — the bipartite vertex expansion of Section 2.1, the
+// quantity lower-bounded by Lemma 4.4(4) for the core graph. It walks all
+// subsets in Gray-code order, maintaining the per-N-vertex coverage count
+// incrementally, so the cost is O(2^|S| · avg-deg).
+func MinBipartiteExpansion(b *graph.Bipartite) (BipartiteResult, error) {
+	s := b.NS()
+	if s > MaxExactBipartiteS {
+		return BipartiteResult{}, fmt.Errorf("expansion: |S|=%d exceeds bipartite exact limit %d", s, MaxExactBipartiteS)
+	}
+	if s == 0 {
+		return BipartiteResult{}, fmt.Errorf("expansion: empty S side")
+	}
+	counts := make([]int32, b.NN())
+	inSet := make([]bool, s)
+	covered := 0
+	size := 0
+	cur := uint64(0)
+	best := BipartiteResult{Value: math.Inf(1)}
+	total := uint64(1) << uint(s)
+	for i := uint64(1); i < total; i++ {
+		flip := bits.TrailingZeros64(i)
+		adding := !inSet[flip]
+		inSet[flip] = adding
+		if adding {
+			cur |= 1 << uint(flip)
+			size++
+			for _, v := range b.NeighborsOfS(flip) {
+				if counts[v] == 0 {
+					covered++
+				}
+				counts[v]++
+			}
+		} else {
+			cur &^= 1 << uint(flip)
+			size--
+			for _, v := range b.NeighborsOfS(flip) {
+				counts[v]--
+				if counts[v] == 0 {
+					covered--
+				}
+			}
+		}
+		if size == 0 {
+			continue
+		}
+		if ratio := float64(covered) / float64(size); ratio < best.Value {
+			best.Value = ratio
+			best.ArgSet = cur
+		}
+	}
+	return best, nil
+}
+
+// SizeProfile is the per-size expansion profile of a graph: Profile[k]
+// (1-indexed by set size) is the minimum |Γ⁻(S)|/|S| over sets of size
+// exactly k.
+type SizeProfile struct {
+	MinExpansion []float64 // index 0 unused
+	ArgSets      []uint64
+}
+
+// OrdinaryProfile computes the exact per-size expansion profile up to sets
+// of size maxK (graph must have n ≤ 20). The overall β for α = maxK/n is
+// the minimum over the profile — the profile additionally shows *where*
+// the bottleneck sits, which the paper's α-parameterized definition
+// quantifies over.
+func OrdinaryProfile(g *graph.Graph, maxK int) (*SizeProfile, error) {
+	n := g.N()
+	if n > maxExactN {
+		return nil, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
+	}
+	if maxK < 1 || maxK > n {
+		return nil, fmt.Errorf("expansion: bad maxK %d", maxK)
+	}
+	masks := adjMasks(g)
+	p := &SizeProfile{
+		MinExpansion: make([]float64, maxK+1),
+		ArgSets:      make([]uint64, maxK+1),
+	}
+	for k := 1; k <= maxK; k++ {
+		p.MinExpansion[k] = math.Inf(1)
+	}
+	for S := uint64(1); S < 1<<uint(n); S++ {
+		k := bits.OnesCount64(S)
+		if k > maxK {
+			continue
+		}
+		var nbr uint64
+		for rest := S; rest != 0; rest &= rest - 1 {
+			nbr |= masks[bits.TrailingZeros64(rest)]
+		}
+		ratio := float64(bits.OnesCount64(nbr&^S)) / float64(k)
+		if ratio < p.MinExpansion[k] {
+			p.MinExpansion[k] = ratio
+			p.ArgSets[k] = S
+		}
+	}
+	return p, nil
+}
+
+// Beta returns the aggregate β over the profile: the minimum across sizes.
+func (p *SizeProfile) Beta() float64 {
+	best := math.Inf(1)
+	for k := 1; k < len(p.MinExpansion); k++ {
+		if p.MinExpansion[k] < best {
+			best = p.MinExpansion[k]
+		}
+	}
+	return best
+}
+
+// EdgeExpansion computes the exact edge expansion (Cheeger constant)
+// h(G) = min over 0 < |S| ≤ n/2 of |e(S, S̄)| / |S|, for n ≤ 20. Used to
+// sanity-check the spectral machinery: for d-regular graphs the discrete
+// Cheeger inequality gives (d−λ2)/2 ≤ h(G) ≤ sqrt(2d(d−λ2)).
+func EdgeExpansion(g *graph.Graph) (BipartiteResult, error) {
+	n := g.N()
+	if n > maxExactN {
+		return BipartiteResult{}, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
+	}
+	if n < 2 {
+		return BipartiteResult{}, fmt.Errorf("expansion: need n >= 2")
+	}
+	masks := adjMasks(g)
+	best := BipartiteResult{Value: math.Inf(1)}
+	half := n / 2
+	for S := uint64(1); S < 1<<uint(n); S++ {
+		k := bits.OnesCount64(S)
+		if k > half {
+			continue
+		}
+		cut := 0
+		for rest := S; rest != 0; rest &= rest - 1 {
+			v := bits.TrailingZeros64(rest)
+			cut += bits.OnesCount64(masks[v] &^ S)
+		}
+		if ratio := float64(cut) / float64(k); ratio < best.Value {
+			best.Value = ratio
+			best.ArgSet = S
+		}
+	}
+	return best, nil
+}
+
+// CheegerBounds returns the discrete Cheeger bracket
+// [(d−λ2)/2, sqrt(2d(d−λ2))] for a d-regular graph with second eigenvalue
+// lambda2.
+func CheegerBounds(d int, lambda2 float64) (lo, hi float64) {
+	gap := float64(d) - lambda2
+	if gap < 0 {
+		gap = 0
+	}
+	return gap / 2, math.Sqrt(2 * float64(d) * gap)
+}

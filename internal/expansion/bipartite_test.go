@@ -1,0 +1,183 @@
+package expansion
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+func TestMinBipartiteExpansionSimple(t *testing.T) {
+	// Two S-vertices sharing all 4 neighbors: singleton expansion 4,
+	// pair expansion 2 → min = 2.
+	bb := graph.NewBipartiteBuilder(2, 4)
+	for v := 0; v < 4; v++ {
+		bb.MustAddEdge(0, v)
+		bb.MustAddEdge(1, v)
+	}
+	res, err := MinBipartiteExpansion(bb.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2 {
+		t.Fatalf("min expansion = %g, want 2", res.Value)
+	}
+	if bits.OnesCount64(res.ArgSet) != 2 {
+		t.Fatalf("witness %b should be the pair", res.ArgSet)
+	}
+}
+
+func TestMinBipartiteExpansionMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		b := gen.RandomBipartite(8, 12, 0.3, r)
+		res, err := MinBipartiteExpansion(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Inf(1)
+		var sub []int
+		for mask := 1; mask < 1<<8; mask++ {
+			sub = sub[:0]
+			for u := 0; u < 8; u++ {
+				if mask&(1<<uint(u)) != 0 {
+					sub = append(sub, u)
+				}
+			}
+			cov := float64(b.CoverSet(sub, nil)) / float64(len(sub))
+			if cov < want {
+				want = cov
+			}
+		}
+		if math.Abs(res.Value-want) > 1e-12 {
+			t.Fatalf("trial %d: gray=%g naive=%g", trial, res.Value, want)
+		}
+	}
+}
+
+func TestMinBipartiteExpansionValidation(t *testing.T) {
+	if _, err := MinBipartiteExpansion(graph.NewBipartiteBuilder(0, 3).Build()); err == nil {
+		t.Fatal("empty S accepted")
+	}
+	big := gen.RandomBipartite(MaxExactBipartiteS+1, 4, 0.5, rng.New(2))
+	if _, err := MinBipartiteExpansion(big); err == nil {
+		t.Fatal("oversize accepted")
+	}
+}
+
+func TestOrdinaryProfileCycle(t *testing.T) {
+	// On a cycle the worst set of size k is an arc with expansion 2/k.
+	g := gen.Cycle(12)
+	p, err := OrdinaryProfile(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 6; k++ {
+		want := 2.0 / float64(k)
+		if math.Abs(p.MinExpansion[k]-want) > 1e-12 {
+			t.Fatalf("profile[%d] = %g, want %g", k, p.MinExpansion[k], want)
+		}
+	}
+	if math.Abs(p.Beta()-2.0/6.0) > 1e-12 {
+		t.Fatalf("Beta() = %g", p.Beta())
+	}
+}
+
+func TestOrdinaryProfileAgreesWithExact(t *testing.T) {
+	r := rng.New(3)
+	g := gen.ErdosRenyi(12, 0.3, r)
+	p, err := OrdinaryProfile(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactOrdinary(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Beta()-exact.Value) > 1e-12 {
+		t.Fatalf("profile β=%g exact β=%g", p.Beta(), exact.Value)
+	}
+}
+
+func TestOrdinaryProfileValidation(t *testing.T) {
+	g := gen.Cycle(10)
+	if _, err := OrdinaryProfile(g, 0); err == nil {
+		t.Fatal("maxK=0 accepted")
+	}
+	if _, err := OrdinaryProfile(g, 11); err == nil {
+		t.Fatal("maxK>n accepted")
+	}
+	if _, err := OrdinaryProfile(gen.Cycle(24), 3); err == nil {
+		t.Fatal("n>20 accepted")
+	}
+}
+
+func TestEdgeExpansionKnown(t *testing.T) {
+	// K_n: h = min over k ≤ n/2 of k(n−k)/k = n − n/2 = ⌈n/2⌉.
+	res, err := EdgeExpansion(gen.Complete(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 4 {
+		t.Fatalf("h(K8) = %g, want 4", res.Value)
+	}
+	// Cycle: an arc of maximal size n/2 has cut 2 → h = 2/(n/2).
+	res, err = EdgeExpansion(gen.Cycle(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-2.0/6) > 1e-12 {
+		t.Fatalf("h(C12) = %g", res.Value)
+	}
+}
+
+func TestCheegerInequalityHolds(t *testing.T) {
+	r := rng.New(4)
+	for _, mk := range []func() *graph.Graph{
+		func() *graph.Graph { return gen.Complete(10) },
+		func() *graph.Graph { return gen.Cycle(14) },
+		func() *graph.Graph { return gen.Hypercube(4) },
+		func() *graph.Graph { g, _ := gen.RandomRegular(16, 4, r); return g },
+	} {
+		g := mk()
+		_, d := g.IsRegular()
+		spec, err := Lambda2Regular(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := EdgeExpansion(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := CheegerBounds(d, spec.Lambda)
+		if h.Value < lo-1e-6 || h.Value > hi+1e-6 {
+			t.Fatalf("%v: h=%g outside Cheeger bracket [%g, %g] (λ2=%g)",
+				g, h.Value, lo, hi, spec.Lambda)
+		}
+	}
+}
+
+func TestEdgeExpansionValidation(t *testing.T) {
+	if _, err := EdgeExpansion(gen.Complete(1)); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := EdgeExpansion(gen.Cycle(24)); err == nil {
+		t.Fatal("n=24 accepted")
+	}
+}
+
+func TestMinBipartiteExpansionOnCore(t *testing.T) {
+	// Direct exact verification of Lemma 4.4(4) through the new solver:
+	// core graph with s=16 has min expansion ≥ log 2s = 5. (Also exercised
+	// in E5; here via the Gray-code path.)
+	bb := graph.NewBipartiteBuilder(2, 2)
+	bb.MustAddEdge(0, 0)
+	bb.MustAddEdge(1, 1)
+	res, err := MinBipartiteExpansion(bb.Build())
+	if err != nil || res.Value != 1 {
+		t.Fatalf("perfect matching expansion = %g", res.Value)
+	}
+}

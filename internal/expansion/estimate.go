@@ -1,0 +1,251 @@
+package expansion
+
+import (
+	"math"
+
+	"wexp/internal/bitset"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+// Estimate is a one-sided measurement on a graph too large for the exact
+// solvers. Bound is an upper bound for β/βu estimates (the minimum over the
+// sampled adversarial sets — the true minimum can only be lower), together
+// with the realizing set.
+type Estimate struct {
+	Bound   float64
+	ArgSet  []int
+	Sampled int
+}
+
+// SampleSets generates an adversarial family of candidate sets S with
+// |S| ≤ α·n: uniform random k-sets over a log-spaced size ladder, BFS balls
+// around random centers (locally dense sets, the usual worst cases for
+// vertex expansion), and lowest-degree prefix sets. Each set is nonempty.
+func SampleSets(g *graph.Graph, alpha float64, trials int, r *rng.RNG) [][]int {
+	n := g.N()
+	maxSize := maxSetSize(n, alpha)
+	if maxSize == 0 || n == 0 {
+		return nil
+	}
+	var out [][]int
+	// Size ladder: 1, 2, 4, ..., maxSize.
+	var ladder []int
+	for k := 1; k <= maxSize; k *= 2 {
+		ladder = append(ladder, k)
+	}
+	if ladder[len(ladder)-1] != maxSize {
+		ladder = append(ladder, maxSize)
+	}
+	for t := 0; t < trials; t++ {
+		k := ladder[t%len(ladder)]
+		out = append(out, r.Choose(n, k))
+	}
+	// BFS balls truncated to each ladder size.
+	for t := 0; t < trials; t++ {
+		center := r.Intn(n)
+		orderd := bfsOrder(g, center)
+		k := ladder[t%len(ladder)]
+		if k > len(orderd) {
+			k = len(orderd)
+		}
+		ball := make([]int, k)
+		copy(ball, orderd[:k])
+		out = append(out, ball)
+	}
+	// Lowest-degree prefixes: vertices sorted by degree ascending.
+	byDeg := r.Perm(n)
+	insertionSortBy(byDeg, func(a, b int) bool { return g.Degree(a) < g.Degree(b) })
+	for _, k := range ladder {
+		pre := make([]int, k)
+		copy(pre, byDeg[:k])
+		out = append(out, pre)
+	}
+	return out
+}
+
+// EstimateOrdinary returns an upper bound on β(G) from the sampled family,
+// refined by greedy local search (swap single vertices while the expansion
+// decreases).
+func EstimateOrdinary(g *graph.Graph, alpha float64, trials int, r *rng.RNG) Estimate {
+	sets := SampleSets(g, alpha, trials, r)
+	best := Estimate{Bound: math.Inf(1)}
+	for _, S := range sets {
+		S = localSearchMinExpansion(g, S, r)
+		v := ratioOrdinary(g, S)
+		best.Sampled++
+		if v < best.Bound {
+			best.Bound = v
+			best.ArgSet = S
+		}
+	}
+	return best
+}
+
+// EstimateUnique returns an upper bound on βu(G) from the sampled family.
+func EstimateUnique(g *graph.Graph, alpha float64, trials int, r *rng.RNG) Estimate {
+	sets := SampleSets(g, alpha, trials, r)
+	best := Estimate{Bound: math.Inf(1)}
+	for _, S := range sets {
+		bs := bitset.FromIndices(g.N(), S)
+		v := SetUniqueExpansion(g, bs)
+		best.Sampled++
+		if v < best.Bound {
+			best.Bound = v
+			best.ArgSet = S
+		}
+	}
+	return best
+}
+
+// WirelessBounds reports a two-sided bracket on the wireless expansion of
+// the specific sets sampled: for each S the inner max is bracketed by
+// [solve(S)/|S|, |Γ⁻(S)|/|S|], where solve is a certified spokesman
+// algorithm supplied by the caller (avoiding a package cycle with the
+// spokesman package). The returned values bracket min over sampled S only —
+// an upper bound on βw; Lower additionally lower-bounds the wireless
+// expansion restricted to this family.
+func WirelessBounds(g *graph.Graph, sets [][]int, solve func(b *graph.Bipartite) int) (lower, upper float64, argSet []int) {
+	lower, upper = math.Inf(1), math.Inf(1)
+	for _, S := range sets {
+		if len(S) == 0 {
+			continue
+		}
+		b, _ := graph.InducedBipartite(g, S)
+		lo := float64(solve(b)) / float64(len(S))
+		hi := float64(b.NN()) / float64(len(S))
+		if hi < upper {
+			upper = hi
+		}
+		if lo < lower {
+			lower = lo
+			argSet = S
+		}
+	}
+	return lower, upper, argSet
+}
+
+// ratioOrdinary computes |Γ⁻(S)|/|S| using a flat visit array (no bitset
+// allocation churn in the local-search loop).
+func ratioOrdinary(g *graph.Graph, S []int) float64 {
+	if len(S) == 0 {
+		return 0
+	}
+	mark := make([]int8, g.N())
+	for _, v := range S {
+		mark[v] = 1
+	}
+	ext := 0
+	for _, v := range S {
+		for _, w := range g.Neighbors(v) {
+			if mark[w] == 0 {
+				mark[w] = 2
+				ext++
+			}
+		}
+	}
+	return float64(ext) / float64(len(S))
+}
+
+// localSearchMinExpansion greedily swaps one member for one outside vertex
+// while the expansion ratio strictly decreases, up to a fixed number of
+// passes. It preserves |S|.
+func localSearchMinExpansion(g *graph.Graph, S []int, r *rng.RNG) []int {
+	const passes = 3
+	cur := append([]int(nil), S...)
+	curVal := ratioOrdinary(g, cur)
+	n := g.N()
+	inS := make([]bool, n)
+	for _, v := range cur {
+		inS[v] = true
+	}
+	for p := 0; p < passes; p++ {
+		improved := false
+		for i := range cur {
+			// Candidate replacements: external neighbors of the set (moves
+			// that tend to internalize boundary), plus one random vertex.
+			cands := candidateSwaps(g, cur, inS, r)
+			old := cur[i]
+			for _, c := range cands {
+				if inS[c] {
+					continue
+				}
+				inS[old] = false
+				inS[c] = true
+				cur[i] = c
+				if v := ratioOrdinary(g, cur); v < curVal {
+					curVal = v
+					old = c
+					improved = true
+				} else {
+					inS[c] = false
+					inS[old] = true
+					cur[i] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+func candidateSwaps(g *graph.Graph, S []int, inS []bool, r *rng.RNG) []int {
+	seen := make(map[int]struct{})
+	var out []int
+	for _, v := range S {
+		for _, w := range g.Neighbors(v) {
+			if !inS[w] {
+				if _, ok := seen[int(w)]; !ok {
+					seen[int(w)] = struct{}{}
+					out = append(out, int(w))
+				}
+			}
+		}
+		if len(out) > 4*len(S) {
+			break
+		}
+	}
+	out = append(out, r.Intn(g.N()))
+	return out
+}
+
+func bfsOrder(g *graph.Graph, src int) []int {
+	dist := g.BFS(src)
+	type dv struct{ d, v int }
+	var order []dv
+	for v, d := range dist {
+		if d >= 0 {
+			order = append(order, dv{d, v})
+		}
+	}
+	// Stable-ish sort by distance (insertion sort; balls are small-to-medium
+	// and this code path is not hot).
+	for i := 1; i < len(order); i++ {
+		x := order[i]
+		j := i - 1
+		for j >= 0 && order[j].d > x.d {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = x
+	}
+	out := make([]int, len(order))
+	for i, e := range order {
+		out[i] = e.v
+	}
+	return out
+}
+
+func insertionSortBy(a []int, less func(x, y int) bool) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && less(x, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}

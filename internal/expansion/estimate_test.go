@@ -1,0 +1,165 @@
+package expansion
+
+import (
+	"math"
+	"testing"
+
+	"wexp/internal/bitset"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+	"wexp/internal/spokesman"
+)
+
+func TestSampleSetsRespectAlpha(t *testing.T) {
+	g := gen.Torus(8, 8)
+	r := rng.New(1)
+	sets := SampleSets(g, 0.25, 10, r)
+	if len(sets) == 0 {
+		t.Fatal("no sets sampled")
+	}
+	maxSize := int(0.25 * 64)
+	for _, S := range sets {
+		if len(S) == 0 || len(S) > maxSize {
+			t.Fatalf("set size %d outside (0, %d]", len(S), maxSize)
+		}
+		seen := map[int]bool{}
+		for _, v := range S {
+			if v < 0 || v >= 64 || seen[v] {
+				t.Fatalf("invalid set %v", S)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleSetsDegenerate(t *testing.T) {
+	if got := SampleSets(gen.Path(4), 0, 5, rng.New(1)); got != nil {
+		t.Fatal("alpha=0 should produce nil")
+	}
+}
+
+func TestEstimateOrdinaryUpperBoundsExact(t *testing.T) {
+	// On a small graph, the sampled estimate must be ≥ the exact minimum
+	// (it is an upper bound on β).
+	r := rng.New(2)
+	g := gen.ErdosRenyi(14, 0.3, r)
+	exact, err := ExactOrdinary(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateOrdinary(g, 0.5, 30, r)
+	if est.Bound < exact.Value-1e-9 {
+		t.Fatalf("estimate %g below exact %g", est.Bound, exact.Value)
+	}
+	if est.Sampled == 0 || est.ArgSet == nil {
+		t.Fatal("estimate missing metadata")
+	}
+}
+
+func TestEstimateOrdinaryFindsCycleWeakness(t *testing.T) {
+	// On a cycle the BFS-ball sampler finds an arc, whose expansion is
+	// 2/|arc| — the true optimum.
+	g := gen.Cycle(64)
+	r := rng.New(3)
+	est := EstimateOrdinary(g, 0.25, 40, r)
+	want := 2.0 / 16.0
+	if est.Bound > want+1e-9 {
+		t.Fatalf("cycle estimate %g, want ≤ %g", est.Bound, want)
+	}
+}
+
+func TestEstimateUnique(t *testing.T) {
+	r := rng.New(4)
+	g := gen.ErdosRenyi(14, 0.3, r)
+	exact, err := ExactUnique(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateUnique(g, 0.5, 30, r)
+	if est.Bound < exact.Value-1e-9 {
+		t.Fatalf("unique estimate %g below exact %g", est.Bound, exact.Value)
+	}
+}
+
+func TestWirelessBoundsBracket(t *testing.T) {
+	r := rng.New(5)
+	g := gen.Torus(6, 6)
+	sets := SampleSets(g, 0.2, 10, r)
+	solve := func(b *graph.Bipartite) int {
+		return spokesman.BestDeterministic(b).Unique
+	}
+	lower, upper, argSet := WirelessBounds(g, sets, solve)
+	if lower > upper+1e-9 {
+		t.Fatalf("bracket inverted: [%g, %g]", lower, upper)
+	}
+	if math.IsInf(lower, 1) || argSet == nil {
+		t.Fatal("no sets evaluated")
+	}
+	if lower <= 0 {
+		t.Fatalf("torus wireless lower bound %g should be positive", lower)
+	}
+}
+
+func TestWirelessBoundsAgainstExact(t *testing.T) {
+	// For the specific sets sampled, the certified lower bound must not
+	// exceed the exact wireless optimum of those sets.
+	r := rng.New(6)
+	g := gen.ErdosRenyi(12, 0.35, r)
+	sets := SampleSets(g, 0.4, 8, r)
+	solve := func(b *graph.Bipartite) int {
+		sel, err := spokesman.Exhaustive(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel.Unique
+	}
+	lower, _, _ := WirelessBounds(g, sets, solve)
+	// Recompute with the library exact per-set solver and compare.
+	masks := adjMasks(g)
+	wantMin := math.Inf(1)
+	for _, S := range sets {
+		var mask uint64
+		for _, v := range S {
+			mask |= 1 << uint(v)
+		}
+		inner, _ := WirelessOfSet(masks, mask)
+		if v := float64(inner) / float64(len(S)); v < wantMin {
+			wantMin = v
+		}
+	}
+	if math.Abs(lower-wantMin) > 1e-9 {
+		t.Fatalf("exhaustive spokesman bracket %g != per-set exact %g", lower, wantMin)
+	}
+}
+
+func TestLocalSearchPreservesSize(t *testing.T) {
+	g := gen.Torus(5, 5)
+	r := rng.New(7)
+	S := []int{0, 1, 2, 7, 12}
+	out := localSearchMinExpansion(g, S, r)
+	if len(out) != len(S) {
+		t.Fatalf("local search changed size: %d -> %d", len(S), len(out))
+	}
+	if ratioOrdinary(g, out) > ratioOrdinary(g, S)+1e-9 {
+		t.Fatal("local search worsened the expansion")
+	}
+}
+
+func TestRatioOrdinaryMatchesBitset(t *testing.T) {
+	r := rng.New(8)
+	g := gen.ErdosRenyi(20, 0.2, r)
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + r.Intn(8)
+		S := r.Choose(20, k)
+		want := SetExpansion(g, fromIdx(20, S))
+		if got := ratioOrdinary(g, S); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("ratio mismatch: %g vs %g", got, want)
+		}
+	}
+}
+
+func fromIdx(n int, idx []int) *bitset.Set {
+	return bitset.FromIndices(n, idx)
+}

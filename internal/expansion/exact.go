@@ -1,0 +1,183 @@
+package expansion
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"wexp/internal/graph"
+)
+
+// Result reports a measured expansion value together with the set that
+// realizes the minimum (as a vertex mask) and, for wireless expansion, the
+// inner subset realizing the max.
+type Result struct {
+	Value    float64 // the expansion parameter (β, βu, or βw)
+	ArgSet   uint64  // minimizing set S (bitmask over vertices)
+	ArgInner uint64  // for βw: the maximizing S' ⊆ S; zero otherwise
+	Sets     int     // number of sets examined
+}
+
+// maxExactN is the largest vertex count the exhaustive β/βu solvers accept.
+// 2^20 masks with O(|S|) work per mask stays under a second.
+const maxExactN = 20
+
+// maxExactWirelessN bounds the exhaustive βw solver, whose cost is Σ 3^n.
+const maxExactWirelessN = 16
+
+// ExactOrdinary computes β(G) = min{|Γ⁻(S)|/|S| : 0 < |S| ≤ α·n} by
+// exhaustive enumeration. It returns an error if n exceeds the exact-solver
+// limit or no set satisfies the size bound.
+func ExactOrdinary(g *graph.Graph, alpha float64) (Result, error) {
+	n := g.N()
+	if n > maxExactN {
+		return Result{}, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
+	}
+	maxSize := maxSetSize(n, alpha)
+	if maxSize == 0 {
+		return Result{}, fmt.Errorf("expansion: α=%g admits no nonempty set on n=%d", alpha, n)
+	}
+	masks := adjMasks(g)
+	best := Result{Value: math.Inf(1)}
+	for S := uint64(1); S < 1<<uint(n); S++ {
+		size := bits.OnesCount64(S)
+		if size > maxSize {
+			continue
+		}
+		var nbr uint64
+		for rest := S; rest != 0; rest &= rest - 1 {
+			nbr |= masks[bits.TrailingZeros64(rest)]
+		}
+		ext := bits.OnesCount64(nbr &^ S)
+		ratio := float64(ext) / float64(size)
+		best.Sets++
+		if ratio < best.Value {
+			best.Value = ratio
+			best.ArgSet = S
+		}
+	}
+	return best, nil
+}
+
+// ExactUnique computes βu(G) = min{|Γ¹(S)|/|S| : 0 < |S| ≤ α·n} by
+// exhaustive enumeration.
+func ExactUnique(g *graph.Graph, alpha float64) (Result, error) {
+	n := g.N()
+	if n > maxExactN {
+		return Result{}, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
+	}
+	maxSize := maxSetSize(n, alpha)
+	if maxSize == 0 {
+		return Result{}, fmt.Errorf("expansion: α=%g admits no nonempty set on n=%d", alpha, n)
+	}
+	masks := adjMasks(g)
+	best := Result{Value: math.Inf(1)}
+	for S := uint64(1); S < 1<<uint(n); S++ {
+		size := bits.OnesCount64(S)
+		if size > maxSize {
+			continue
+		}
+		uniq := uniqueMask(masks, S)
+		ratio := float64(bits.OnesCount64(uniq)) / float64(size)
+		best.Sets++
+		if ratio < best.Value {
+			best.Value = ratio
+			best.ArgSet = S
+		}
+	}
+	return best, nil
+}
+
+// ExactWireless computes βw(G) = min over S (|S| ≤ α·n) of
+// max over S' ⊆ S of |Γ¹_S(S')| / |S|, by full double enumeration.
+func ExactWireless(g *graph.Graph, alpha float64) (Result, error) {
+	n := g.N()
+	if n > maxExactWirelessN {
+		return Result{}, fmt.Errorf("expansion: n=%d exceeds exact wireless limit %d", n, maxExactWirelessN)
+	}
+	maxSize := maxSetSize(n, alpha)
+	if maxSize == 0 {
+		return Result{}, fmt.Errorf("expansion: α=%g admits no nonempty set on n=%d", alpha, n)
+	}
+	masks := adjMasks(g)
+	best := Result{Value: math.Inf(1)}
+	for S := uint64(1); S < 1<<uint(n); S++ {
+		size := bits.OnesCount64(S)
+		if size > maxSize {
+			continue
+		}
+		inner, innerSet := WirelessOfSet(masks, S)
+		ratio := float64(inner) / float64(size)
+		best.Sets++
+		if ratio < best.Value {
+			best.Value = ratio
+			best.ArgSet = S
+			best.ArgInner = innerSet
+		}
+	}
+	return best, nil
+}
+
+// WirelessOfSet returns max over S' ⊆ S of |Γ¹_S(S')| and the maximizing
+// subset, for adjacency masks of a graph with n ≤ 64. The caller guarantees
+// S ≠ 0. Enumeration walks all submasks of S.
+func WirelessOfSet(masks []uint64, S uint64) (int, uint64) {
+	bestCount, bestSet := 0, uint64(0)
+	// Standard submask enumeration: S' = (S'-1) & S visits every submask.
+	for sub := S; ; sub = (sub - 1) & S {
+		if sub != 0 {
+			uniq := uniqueMask(masks, sub) &^ S
+			if c := bits.OnesCount64(uniq); c > bestCount {
+				bestCount = c
+				bestSet = sub
+			}
+		}
+		if sub == 0 {
+			break
+		}
+	}
+	return bestCount, bestSet
+}
+
+// uniqueMask returns the mask of vertices outside S' covered by exactly one
+// vertex of S' — note: outside S', not outside a containing S; callers
+// subtract S themselves when computing Γ¹_S.
+func uniqueMask(masks []uint64, Sprime uint64) uint64 {
+	var once, twice uint64
+	for rest := Sprime; rest != 0; rest &= rest - 1 {
+		m := masks[bits.TrailingZeros64(rest)]
+		twice |= once & m
+		once |= m
+	}
+	return once &^ twice &^ Sprime
+}
+
+// maxSetSize converts α into the paper's |S| ≤ α·n cap.
+func maxSetSize(n int, alpha float64) int {
+	if alpha <= 0 {
+		return 0
+	}
+	maxSize := int(math.Floor(alpha * float64(n)))
+	if maxSize > n {
+		maxSize = n
+	}
+	return maxSize
+}
+
+// Ordering verifies Observation 2.1 — β(G) ≥ βw(G) ≥ βu(G) for a common α
+// — exactly, returning the three values. Intended for test-sized graphs.
+func Ordering(g *graph.Graph, alpha float64) (beta, betaW, betaU float64, err error) {
+	rb, err := ExactOrdinary(g, alpha)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rw, err := ExactWireless(g, alpha)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ru, err := ExactUnique(g, alpha)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return rb.Value, rw.Value, ru.Value, nil
+}

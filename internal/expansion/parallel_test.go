@@ -1,0 +1,57 @@
+package expansion
+
+import (
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/rng"
+)
+
+func TestExactWirelessParallelMatchesSerial(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 8; trial++ {
+		g := gen.ErdosRenyi(11, 0.3, r)
+		for _, alpha := range []float64{0.25, 0.5, 1.0} {
+			serial, err1 := ExactWireless(g, alpha)
+			par, err2 := ExactWirelessParallel(g, alpha)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch: %v vs %v", err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if serial.Value != par.Value {
+				t.Fatalf("trial %d α=%g: serial %g != parallel %g", trial, alpha, serial.Value, par.Value)
+			}
+			if serial.ArgSet != par.ArgSet {
+				t.Fatalf("trial %d α=%g: witness %b != %b", trial, alpha, serial.ArgSet, par.ArgSet)
+			}
+			if serial.Sets != par.Sets {
+				t.Fatalf("trial %d α=%g: set counts %d != %d", trial, alpha, serial.Sets, par.Sets)
+			}
+		}
+	}
+}
+
+func TestExactWirelessParallelKnownValues(t *testing.T) {
+	res, err := ExactWirelessParallel(gen.Complete(8), 0.5)
+	if err != nil || res.Value != 1 {
+		t.Fatalf("βw(K8) = %g, %v", res.Value, err)
+	}
+	res, err = ExactWirelessParallel(gen.CPlus(6), 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value <= 0 {
+		t.Fatalf("βw(C+) = %g, want > 0", res.Value)
+	}
+}
+
+func TestExactWirelessParallelValidation(t *testing.T) {
+	if _, err := ExactWirelessParallel(gen.Cycle(18), 0.5); err == nil {
+		t.Fatal("oversize accepted")
+	}
+	if _, err := ExactWirelessParallel(gen.Cycle(8), 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+}

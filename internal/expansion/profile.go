@@ -1,0 +1,162 @@
+package expansion
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"wexp/internal/graph"
+)
+
+// UniqueProfile computes the exact per-size unique-expansion profile:
+// profile[k] = min{|Γ¹(S)|/|S| : |S| = k} for k = 1..maxK (n ≤ 20).
+func UniqueProfile(g *graph.Graph, maxK int) (*SizeProfile, error) {
+	n := g.N()
+	if n > maxExactN {
+		return nil, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
+	}
+	if maxK < 1 || maxK > n {
+		return nil, fmt.Errorf("expansion: bad maxK %d", maxK)
+	}
+	masks := adjMasks(g)
+	p := &SizeProfile{
+		MinExpansion: make([]float64, maxK+1),
+		ArgSets:      make([]uint64, maxK+1),
+	}
+	for k := 1; k <= maxK; k++ {
+		p.MinExpansion[k] = math.Inf(1)
+	}
+	for S := uint64(1); S < 1<<uint(n); S++ {
+		k := bits.OnesCount64(S)
+		if k > maxK {
+			continue
+		}
+		uniq := uniqueMask(masks, S)
+		ratio := float64(bits.OnesCount64(uniq)) / float64(k)
+		if ratio < p.MinExpansion[k] {
+			p.MinExpansion[k] = ratio
+			p.ArgSets[k] = S
+		}
+	}
+	return p, nil
+}
+
+// WirelessProfile computes the exact per-size wireless-expansion profile:
+// profile[k] = min over |S| = k of max over S' ⊆ S of |Γ¹_S(S')|/|S|
+// (n ≤ 16; cost Σ 3^n).
+func WirelessProfile(g *graph.Graph, maxK int) (*SizeProfile, error) {
+	n := g.N()
+	if n > maxExactWirelessN {
+		return nil, fmt.Errorf("expansion: n=%d exceeds exact wireless limit %d", n, maxExactWirelessN)
+	}
+	if maxK < 1 || maxK > n {
+		return nil, fmt.Errorf("expansion: bad maxK %d", maxK)
+	}
+	masks := adjMasks(g)
+	p := &SizeProfile{
+		MinExpansion: make([]float64, maxK+1),
+		ArgSets:      make([]uint64, maxK+1),
+	}
+	for k := 1; k <= maxK; k++ {
+		p.MinExpansion[k] = math.Inf(1)
+	}
+	for S := uint64(1); S < 1<<uint(n); S++ {
+		k := bits.OnesCount64(S)
+		if k > maxK {
+			continue
+		}
+		inner, _ := WirelessOfSet(masks, S)
+		ratio := float64(inner) / float64(k)
+		if ratio < p.MinExpansion[k] {
+			p.MinExpansion[k] = ratio
+			p.ArgSets[k] = S
+		}
+	}
+	return p, nil
+}
+
+// TripleProfile bundles the three per-size profiles for presentation: for
+// every size k, the minimum β, βw, βu over sets of that size. The chain
+// β ≥ βw ≥ βu of Observation 2.1 holds pointwise in k.
+type TripleProfile struct {
+	MaxK     int
+	Ordinary []float64
+	Wireless []float64
+	Unique   []float64
+}
+
+// Profiles computes the TripleProfile (n ≤ 16, the wireless limit).
+func Profiles(g *graph.Graph, maxK int) (*TripleProfile, error) {
+	po, err := OrdinaryProfile(g, maxK)
+	if err != nil {
+		return nil, err
+	}
+	pw, err := WirelessProfile(g, maxK)
+	if err != nil {
+		return nil, err
+	}
+	pu, err := UniqueProfile(g, maxK)
+	if err != nil {
+		return nil, err
+	}
+	return &TripleProfile{
+		MaxK:     maxK,
+		Ordinary: po.MinExpansion,
+		Wireless: pw.MinExpansion,
+		Unique:   pu.MinExpansion,
+	}, nil
+}
+
+// AlphaPoint is one row of an AlphaSweep: the three expansion parameters at
+// a given α (sets of size up to ⌊α·n⌋).
+type AlphaPoint struct {
+	Alpha    float64
+	MaxSize  int
+	Ordinary float64
+	Wireless float64
+	Unique   float64
+}
+
+// AlphaSweep evaluates the paper's α-parameterized definitions on a grid of
+// α values, exactly (n ≤ 16). Each β(α) is non-increasing in α by
+// definition — the minimum runs over a growing family of sets.
+func AlphaSweep(g *graph.Graph, alphas []float64) ([]AlphaPoint, error) {
+	n := g.N()
+	maxK := 0
+	for _, a := range alphas {
+		if k := maxSetSize(n, a); k > maxK {
+			maxK = k
+		}
+	}
+	if maxK == 0 {
+		return nil, fmt.Errorf("expansion: no α admits a nonempty set")
+	}
+	tp, err := Profiles(g, maxK)
+	if err != nil {
+		return nil, err
+	}
+	prefixMin := func(xs []float64, k int) float64 {
+		m := math.Inf(1)
+		for i := 1; i <= k && i < len(xs); i++ {
+			if xs[i] < m {
+				m = xs[i]
+			}
+		}
+		return m
+	}
+	out := make([]AlphaPoint, 0, len(alphas))
+	for _, a := range alphas {
+		k := maxSetSize(n, a)
+		if k == 0 {
+			continue
+		}
+		out = append(out, AlphaPoint{
+			Alpha:    a,
+			MaxSize:  k,
+			Ordinary: prefixMin(tp.Ordinary, k),
+			Wireless: prefixMin(tp.Wireless, k),
+			Unique:   prefixMin(tp.Unique, k),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package expansion
+
+import (
+	"math"
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/rng"
+)
+
+func TestUniqueProfileStar(t *testing.T) {
+	// Star: singletons have unique expansion deg ≥ 1; any two leaves share
+	// the center (collision) → 0.
+	g := gen.Star(8)
+	p, err := UniqueProfile(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MinExpansion[1] != 1 {
+		t.Fatalf("size-1 unique = %g", p.MinExpansion[1])
+	}
+	for k := 2; k <= 4; k++ {
+		if p.MinExpansion[k] != 0 {
+			t.Fatalf("size-%d unique = %g, want 0", k, p.MinExpansion[k])
+		}
+	}
+}
+
+func TestWirelessProfileCPlus(t *testing.T) {
+	g := gen.CPlus(6)
+	p, err := WirelessProfile(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size-3 worst case {s0,x,y}: a singleton subset still covers the
+	// remaining clique; positive.
+	if p.MinExpansion[3] <= 0 {
+		t.Fatalf("size-3 wireless = %g", p.MinExpansion[3])
+	}
+}
+
+func TestProfilesOrderingPointwise(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		g := gen.ErdosRenyi(10, 0.35, r)
+		tp, err := Profiles(g, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= tp.MaxK; k++ {
+			if tp.Ordinary[k] < tp.Wireless[k]-1e-9 || tp.Wireless[k] < tp.Unique[k]-1e-9 {
+				t.Fatalf("trial %d size %d: ordering violated β=%g βw=%g βu=%g",
+					trial, k, tp.Ordinary[k], tp.Wireless[k], tp.Unique[k])
+			}
+		}
+	}
+}
+
+func TestProfilesAgreeWithAggregates(t *testing.T) {
+	r := rng.New(2)
+	g := gen.ErdosRenyi(10, 0.4, r)
+	tp, err := Profiles(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minOver := func(xs []float64) float64 {
+		m := math.Inf(1)
+		for k := 1; k < len(xs); k++ {
+			if xs[k] < m {
+				m = xs[k]
+			}
+		}
+		return m
+	}
+	exact, err := ExactWireless(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(minOver(tp.Wireless)-exact.Value) > 1e-12 {
+		t.Fatalf("wireless profile min %g != exact %g", minOver(tp.Wireless), exact.Value)
+	}
+	exactU, err := ExactUnique(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(minOver(tp.Unique)-exactU.Value) > 1e-12 {
+		t.Fatalf("unique profile min %g != exact %g", minOver(tp.Unique), exactU.Value)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	if _, err := UniqueProfile(gen.Cycle(24), 3); err == nil {
+		t.Fatal("oversize accepted")
+	}
+	if _, err := WirelessProfile(gen.Cycle(18), 3); err == nil {
+		t.Fatal("oversize accepted")
+	}
+	if _, err := WirelessProfile(gen.Cycle(8), 0); err == nil {
+		t.Fatal("maxK=0 accepted")
+	}
+	if _, err := UniqueProfile(gen.Cycle(8), 9); err == nil {
+		t.Fatal("maxK>n accepted")
+	}
+}
+
+func TestAlphaSweepMonotone(t *testing.T) {
+	r := rng.New(3)
+	g := gen.ErdosRenyi(10, 0.4, r)
+	pts, err := AlphaSweep(g, []float64{0.1, 0.2, 0.3, 0.5, 0.8, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Ordinary > pts[i-1].Ordinary+1e-9 ||
+			pts[i].Wireless > pts[i-1].Wireless+1e-9 ||
+			pts[i].Unique > pts[i-1].Unique+1e-9 {
+			t.Fatalf("β(α) not non-increasing at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	// Each point agrees with the direct exact solver.
+	for _, pt := range pts {
+		direct, err := ExactWireless(g, pt.Alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(direct.Value-pt.Wireless) > 1e-12 {
+			t.Fatalf("α=%g: sweep %g vs direct %g", pt.Alpha, pt.Wireless, direct.Value)
+		}
+	}
+}
+
+func TestAlphaSweepDegenerate(t *testing.T) {
+	if _, err := AlphaSweep(gen.Cycle(8), []float64{0.01}); err == nil {
+		t.Fatal("no admissible α accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package expansion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wexp/internal/bitset"
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+func TestGammaBasics(t *testing.T) {
+	g := gen.Path(5) // 0-1-2-3-4
+	S := bitset.FromIndices(5, []int{2})
+	if got := Gamma(g, S).Indices(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Γ({2}) = %v", got)
+	}
+	S = bitset.FromIndices(5, []int{1, 2})
+	gm := GammaMinus(g, S)
+	if got := gm.Indices(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Γ⁻({1,2}) = %v", got)
+	}
+}
+
+func TestGamma1Definition(t *testing.T) {
+	// Star with center 0: Γ¹({0}) = all leaves; Γ¹({two leaves}) = ∅...
+	// both leaves see only the center, which they cover twice.
+	g := gen.Star(5)
+	if got := Gamma1(g, bitset.FromIndices(5, []int{0})).Count(); got != 4 {
+		t.Fatalf("Γ¹(center) = %d, want 4", got)
+	}
+	if got := Gamma1(g, bitset.FromIndices(5, []int{1, 2})).Count(); got != 0 {
+		t.Fatalf("Γ¹(two leaves) = %d, want 0", got)
+	}
+	if got := Gamma1(g, bitset.FromIndices(5, []int{1})).Count(); got != 1 {
+		t.Fatalf("Γ¹(one leaf) = %d, want 1", got)
+	}
+}
+
+func TestGamma1ExcludingVsGamma1(t *testing.T) {
+	// Γ¹_S(S) = Γ¹(S) (paper: "In particular, Γ¹(S) = Γ¹_S(S)").
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		g := gen.ErdosRenyi(12, 0.3, r)
+		S := bitset.New(12)
+		for v := 0; v < 12; v++ {
+			if r.Bool() {
+				S.Add(v)
+			}
+		}
+		a := Gamma1Excluding(g, S, S)
+		b := Gamma1(g, S)
+		if !a.Equal(b) {
+			t.Fatalf("Γ¹_S(S) ≠ Γ¹(S): %v vs %v", a.Indices(), b.Indices())
+		}
+	}
+}
+
+func TestSetExpansionValues(t *testing.T) {
+	g := gen.Cycle(8)
+	S := bitset.FromIndices(8, []int{0, 1, 2})
+	if got := SetExpansion(g, S); got != 2.0/3.0 {
+		t.Fatalf("arc expansion = %g", got)
+	}
+	if got := SetExpansion(g, bitset.New(8)); got != 0 {
+		t.Fatalf("empty expansion = %g", got)
+	}
+	if got := SetUniqueExpansion(g, S); got != 2.0/3.0 {
+		// Each endpoint of the arc has a unique external neighbor.
+		t.Fatalf("arc unique expansion = %g", got)
+	}
+}
+
+// Property: Γ¹(S) ⊆ Γ⁻(S) ⊆ Γ(S), and all avoid S itself except Γ.
+func TestQuickGammaChain(t *testing.T) {
+	r := rng.New(99)
+	f := func(edges []uint16, picks []bool) bool {
+		const n = 14
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			u, v := int(edges[i])%n, int(edges[i+1])%n
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		S := bitset.New(n)
+		for v := 0; v < n && v < len(picks); v++ {
+			if picks[v] {
+				S.Add(v)
+			}
+		}
+		g1 := Gamma1(g, S)
+		gm := GammaMinus(g, S)
+		gg := Gamma(g, S)
+		if !g1.IsSubsetOf(gm) || !gm.IsSubsetOf(gg) {
+			return false
+		}
+		return g1.Disjoint(S) && gm.Disjoint(S)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: nil}
+	_ = r
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |Γ¹(S)| computed by bitset equals a naive per-vertex count.
+func TestQuickGamma1Naive(t *testing.T) {
+	f := func(edges []uint16, picks []bool) bool {
+		const n = 12
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			u, v := int(edges[i])%n, int(edges[i+1])%n
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		S := bitset.New(n)
+		inS := make([]bool, n)
+		for v := 0; v < n && v < len(picks); v++ {
+			if picks[v] {
+				S.Add(v)
+				inS[v] = true
+			}
+		}
+		naive := 0
+		for v := 0; v < n; v++ {
+			if inS[v] {
+				continue
+			}
+			c := 0
+			for _, w := range g.Neighbors(v) {
+				if inS[w] {
+					c++
+				}
+			}
+			if c == 1 {
+				naive++
+			}
+		}
+		return Gamma1(g, S).Count() == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjMasksPanicsOver64(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > 64")
+		}
+	}()
+	adjMasks(gen.Cycle(65))
+}

@@ -1,0 +1,142 @@
+package expansion
+
+import (
+	"math"
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+func TestLambda2Complete(t *testing.T) {
+	// K_n has spectrum {n−1, −1, ..., −1}: λ2 = −1.
+	g := gen.Complete(10)
+	res, err := Lambda2Regular(g, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-(-1)) > 1e-6 {
+		t.Fatalf("K10 λ2 = %g, want -1", res.Lambda)
+	}
+}
+
+func TestLambda2Cycle(t *testing.T) {
+	// C_n has eigenvalues 2cos(2πk/n): λ2 = 2cos(2π/n).
+	n := 12
+	g := gen.Cycle(n)
+	res, err := Lambda2Regular(g, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Cos(2*math.Pi/float64(n))
+	if math.Abs(res.Lambda-want) > 1e-6 {
+		t.Fatalf("C12 λ2 = %g, want %g", res.Lambda, want)
+	}
+}
+
+func TestLambda2Hypercube(t *testing.T) {
+	// Q_d has eigenvalues d−2k: λ2 = d−2.
+	d := 4
+	g := gen.Hypercube(d)
+	res, err := Lambda2Regular(g, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-float64(d-2)) > 1e-6 {
+		t.Fatalf("Q4 λ2 = %g, want %d", res.Lambda, d-2)
+	}
+}
+
+func TestLambda2CompleteBipartite(t *testing.T) {
+	// K_{m,m} (as torus? no — build directly): spectrum {m, 0, ..., 0, −m};
+	// the second *largest* eigenvalue is 0, and the shifted iteration must
+	// find it rather than −m.
+	m := 5
+	b := graph.NewBuilder(2 * m)
+	for u := 0; u < m; u++ {
+		for v := 0; v < m; v++ {
+			b.MustAddEdge(u, m+v)
+		}
+	}
+	res, err := Lambda2Regular(b.Build(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda) > 1e-6 {
+		t.Fatalf("K_{5,5} λ2 = %g, want 0", res.Lambda)
+	}
+}
+
+func TestLambda2RequiresRegular(t *testing.T) {
+	if _, err := Lambda2Regular(gen.Star(5), rng.New(1)); err == nil {
+		t.Fatal("irregular graph accepted")
+	}
+	if _, err := Lambda2Regular(gen.Complete(1), rng.New(1)); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestSpectralGapMargulis(t *testing.T) {
+	// The Margulis graph must have a clearly positive spectral gap.
+	g := gen.Margulis(8)
+	if reg, _ := g.IsRegular(); !reg {
+		t.Skip("margulis instance not perfectly regular after dedup")
+	}
+	gap, err := SpectralGapRegular(g, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap < 0.5 {
+		t.Fatalf("margulis gap = %g, want ≥ 0.5", gap)
+	}
+}
+
+func TestEdgeCutAndMixing(t *testing.T) {
+	g := gen.Complete(10)
+	inS := make([]bool, 10)
+	for v := 0; v < 5; v++ {
+		inS[v] = true
+	}
+	cut := EdgeCut(g, inS)
+	if cut != 25 {
+		t.Fatalf("K10 half-cut = %d, want 25", cut)
+	}
+	// Alon–Spencer: cut ≥ (d−λ)|S||S̄|/n = (9−(−1))·25/10 = 25 (tight).
+	lb := AlonSpencerLowerBound(10, 5, 9, -1)
+	if cut < int(lb)-1 {
+		t.Fatalf("mixing bound violated: cut=%d < %g", cut, lb)
+	}
+}
+
+func TestAlonSpencerOnRandomRegular(t *testing.T) {
+	r := rng.New(6)
+	g, err := gen.RandomRegular(32, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lambda2Regular(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the mixing inequality on 50 random cuts.
+	for trial := 0; trial < 50; trial++ {
+		inS := make([]bool, 32)
+		size := 0
+		for v := range inS {
+			if r.Bool() {
+				inS[v] = true
+				size++
+			}
+		}
+		if size == 0 || size == 32 {
+			continue
+		}
+		cut := EdgeCut(g, inS)
+		lb := AlonSpencerLowerBound(32, size, 4, res.Lambda)
+		if float64(cut) < lb-1e-9 {
+			t.Fatalf("trial %d: cut=%d below Alon–Spencer bound %g (λ2=%g)",
+				trial, cut, lb, res.Lambda)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"math"
+
+	"wexp/internal/bounds"
+	"wexp/internal/expansion"
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+	"wexp/internal/spokesman"
+	"wexp/internal/table"
+)
+
+// E3PositiveHighBeta measures the β ≥ 1 regime of Theorem 1.1 (Lemma 4.2):
+// for framework graphs GS = (S, Γ⁻(S)) extracted from expander families,
+// the certified spokesman cover satisfies
+//
+//	|Γ¹_S(S')| ≥ c · |N| / log(2·δN)
+//
+// with a constant c bounded away from zero across growing sizes. The table
+// reports the minimum observed c per instance; the experiment passes when
+// every c exceeds a conservative floor (1/9, Lemma A.13's constant).
+func E3PositiveHighBeta(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:       "E3",
+		Title:    "Positive result, β ≥ 1 regime",
+		PaperRef: "Theorem 1.1, Lemma 4.2",
+		Pass:     true,
+	}
+	r := rng.New(cfg.Seed ^ 0xE3)
+	type inst struct {
+		name string
+		g    *graph.Graph
+	}
+	var instances []inst
+	hyper := []int{5, 7, 9}
+	marg := []int{8, 16, 24}
+	regs := []struct{ n, d int }{{128, 6}, {512, 8}, {2048, 10}}
+	if cfg.Quick {
+		hyper, marg, regs = hyper[:2], marg[:2], regs[:2]
+	}
+	for _, d := range hyper {
+		instances = append(instances, inst{sprintfName("hypercube-%d", d), gen.Hypercube(d)})
+	}
+	for _, m := range marg {
+		instances = append(instances, inst{sprintfName("margulis-%d", m), gen.Margulis(m)})
+	}
+	for _, sz := range regs {
+		g, err := gen.RandomRegular(sz.n, sz.d, r)
+		if err != nil {
+			return nil, err
+		}
+		instances = append(instances, inst{sprintfName("regular-%d-%d", sz.n, sz.d), g})
+	}
+
+	tb := table.New("β ≥ 1: certified wireless cover vs |N|/log(2δN)",
+		"graph", "n", "∆", "sets", "min c", "median c", "thm1.1 scale ok")
+	const floor = 1.0 / 9
+	for _, in := range instances {
+		sets := expansion.SampleSets(in.g, 0.25, cfg.trials(24, 8), r)
+		var cs []float64
+		for _, S := range sets {
+			b, _ := graph.InducedBipartite(in.g, S)
+			if b.NN() < b.NS() || b.NN() == 0 {
+				continue // not the β ≥ 1 regime
+			}
+			sel := spokesman.Best(b, cfg.trials(12, 4), r)
+			scale := bounds.PaperSpokesman(b.NN(), b.AvgDegN(), math.Inf(1))
+			if scale <= 0 {
+				continue
+			}
+			cs = append(cs, float64(sel.Unique)/scale)
+		}
+		if len(cs) == 0 {
+			continue
+		}
+		minC, medC := minOf(cs), medianOf(cs)
+		ok := minC >= floor
+		if !ok {
+			res.failf("%s: min c = %g below floor %g", in.name, minC, floor)
+		}
+		tb.AddRow(in.name, in.g.N(), in.g.MaxDegree(), len(cs), minC, medC, ok)
+	}
+	res.Tables = append(res.Tables, tb)
+	res.note("Claim (Lemma 4.2): there exists S' ⊆ S with |Γ¹_S(S')| = Ω(|N|/log 2δN); measured constants stay ≥ 1/9 across scales, i.e. the ratio does not decay with n — the finite-size analogue of Ω(·).")
+	return res, nil
+}
+
+// E4PositiveLowBeta measures the β < 1 regime of Theorem 1.1 (Lemma 4.3) on
+// unbalanced bipartite frameworks with |S| > |N|: the certified cover must
+// satisfy |Γ¹_S(S')| ≥ c·β/log(2·δS)·|S| = c·|N|/log(2δS).
+func E4PositiveLowBeta(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:       "E4",
+		Title:    "Positive result, β < 1 regime",
+		PaperRef: "Theorem 1.1, Lemma 4.3",
+		Pass:     true,
+	}
+	r := rng.New(cfg.Seed ^ 0xE4)
+	params := []struct {
+		s, n, d int
+	}{
+		{64, 16, 3}, {128, 32, 4}, {256, 64, 4}, {512, 128, 6}, {1024, 128, 6},
+	}
+	if cfg.Quick {
+		params = params[:3]
+	}
+	tb := table.New("β < 1: certified cover vs |N|/log(2δS)",
+		"|S|", "|N|", "β", "δS", "c = cover·log(2δS)/|N|", "ok")
+	const floor = 1.0 / 9
+	for _, p := range params {
+		trialCount := cfg.trials(5, 2)
+		cs := make([]float64, trialCount)
+		parallelFor(trialCount, r, func(i int, tr *rng.RNG) {
+			b, err := gen.RandomBipartiteRegular(p.s, p.n, p.d, tr)
+			if err != nil {
+				cs[i] = math.NaN()
+				return
+			}
+			sel := spokesman.Best(b, 12, tr)
+			scale := float64(b.NN()) / math.Max(bounds.Log2(2*b.AvgDegS()), 1)
+			cs[i] = float64(sel.Unique) / scale
+		})
+		valid := cs[:0]
+		for _, c := range cs {
+			if !math.IsNaN(c) {
+				valid = append(valid, c)
+			}
+		}
+		if len(valid) == 0 {
+			continue
+		}
+		minC := minOf(valid)
+		beta := float64(p.n) / float64(p.s)
+		ok := minC >= floor
+		if !ok {
+			res.failf("|S|=%d |N|=%d: min c = %g below floor %g", p.s, p.n, minC, floor)
+		}
+		tb.AddRow(p.s, p.n, beta, float64(p.d), minC, ok)
+	}
+	res.Tables = append(res.Tables, tb)
+	res.note("Claim (Lemma 4.3): for β ∈ [1/∆, 1), |Γ¹_S(S')| = Ω(β/log δS)·|S|; the reduction to the β ≥ 1 regime via the greedy sub-cover S'' preserves the guarantee.")
+	return res, nil
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func medianOf(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j-1] > cp[j]; j-- {
+			cp[j-1], cp[j] = cp[j], cp[j-1]
+		}
+	}
+	if len(cp) == 0 {
+		return math.NaN()
+	}
+	return cp[len(cp)/2]
+}

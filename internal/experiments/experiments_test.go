@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"wexp/internal/rng"
+)
+
+const testSeed = 20180220 // arXiv submission date of the paper
+
+func TestAllExperimentsPassQuick(t *testing.T) {
+	cfg := Config{Seed: testSeed, Quick: true}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s errored: %v", e.ID, err)
+			}
+			if !res.Pass {
+				t.Fatalf("%s failed:\n%s", e.ID, res.Text())
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result ID %q != entry ID %q", res.ID, e.ID)
+			}
+		})
+	}
+}
+
+func TestRunAllAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll covered per-experiment above")
+	}
+	results, err := RunAll(Config{Seed: testSeed, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(All) {
+		t.Fatalf("got %d results, want %d", len(results), len(All))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E5"); !ok {
+		t.Fatal("E5 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("E99 should not exist")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	res, err := E2GBad(Config{Seed: testSeed, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := res.Text()
+	if !strings.Contains(txt, "E2") || !strings.Contains(txt, "RESULT: PASS") {
+		t.Fatalf("Text rendering wrong:\n%s", txt)
+	}
+	md := res.Markdown()
+	if !strings.Contains(md, "## E2") || !strings.Contains(md, "**Result: PASS**") {
+		t.Fatalf("Markdown rendering wrong:\n%s", md)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Same seed → identical tables, even with parallel trial fan-out.
+	run := func() string {
+		res, err := E9BroadcastChain(Config{Seed: 7, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Text()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic experiment output:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	seen := make([]int, 100)
+	parallelFor(100, rng.New(1), func(i int, r *rng.RNG) {
+		seen[i]++
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+func TestFullModeOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full parameter grids skipped in -short mode")
+	}
+	results, err := RunAll(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s FAILED:\n%s", r.ID, r.Text())
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"testing"
+
+	"wexp/internal/badgraph"
+	"wexp/internal/gen"
+	"wexp/internal/rng"
+)
+
+func TestEnumerateOrSampleSmall(t *testing.T) {
+	g := gen.Cycle(6)
+	sets := enumerateOrSample(g, 0.5, 10, rng.New(1))
+	// All nonempty subsets of size ≤ 3: C(6,1)+C(6,2)+C(6,3) = 6+15+20 = 41.
+	if len(sets) != 41 {
+		t.Fatalf("enumerated %d sets, want 41", len(sets))
+	}
+	for _, S := range sets {
+		if len(S) == 0 || len(S) > 3 {
+			t.Fatalf("bad set size %d", len(S))
+		}
+	}
+}
+
+func TestEnumerateOrSampleLarge(t *testing.T) {
+	g := gen.Torus(6, 6)
+	sets := enumerateOrSample(g, 0.25, 12, rng.New(2))
+	if len(sets) == 0 {
+		t.Fatal("no sets sampled")
+	}
+	for _, S := range sets {
+		if len(S) == 0 || len(S) > 9 {
+			t.Fatalf("sampled set size %d outside (0, 9]", len(S))
+		}
+	}
+}
+
+func TestCoreAdversariesShape(t *testing.T) {
+	r := rng.New(3)
+	subs := coreAdversaries(32, r, 5)
+	if len(subs) < 8 {
+		t.Fatalf("too few adversaries: %d", len(subs))
+	}
+	seenFull := false
+	for _, sub := range subs {
+		if len(sub) == 0 || len(sub) > 32 {
+			t.Fatalf("bad adversary size %d", len(sub))
+		}
+		if len(sub) == 32 {
+			seenFull = true
+		}
+		for _, v := range sub {
+			if v < 0 || v >= 32 {
+				t.Fatalf("vertex %d out of range", v)
+			}
+		}
+	}
+	if !seenFull {
+		t.Fatal("full set missing from adversaries")
+	}
+}
+
+func TestSampledExpansionFloorDeterministic(t *testing.T) {
+	base := gen.Complete(96)
+	r1, r2 := rng.New(4), rng.New(4)
+	wc1, err := badgraph.NewWorstCase(base, 1.0, 0.4, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc2, err := badgraph.NewWorstCase(base, 1.0, 0.4, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampledExpansionFloor(wc1, 10, r1)
+	b := sampledExpansionFloor(wc2, 10, r2)
+	if a != b {
+		t.Fatalf("nondeterministic floor: %g vs %g", a, b)
+	}
+	if a <= 0 {
+		t.Fatalf("floor %g should be positive on a plugged complete graph", a)
+	}
+}
+
+func TestMeasuredExpansionOfWitness(t *testing.T) {
+	base := gen.Complete(128)
+	r := rng.New(5)
+	wc, err := badgraph.NewWorstCase(base, 1.0, 0.4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The witness S* expands by at least the core's achieved β (Lemma
+	// 4.6(2): |Γ(S')| ≥ β·|S'| within the core, and all neighbors are
+	// outside S*).
+	ord := measuredExpansionOf(wc, wc.SStar)
+	if ord < wc.Core.Beta()-1e-9 {
+		t.Fatalf("witness expansion %g below core β %g", ord, wc.Core.Beta())
+	}
+}
+
+func TestConfigTrials(t *testing.T) {
+	if (Config{}).trials(7, 3) != 7 {
+		t.Fatal("default")
+	}
+	if (Config{Quick: true}).trials(7, 3) != 3 {
+		t.Fatal("quick")
+	}
+	if (Config{Trials: 11, Quick: true}).trials(7, 3) != 11 {
+		t.Fatal("override")
+	}
+}
+
+func TestPopcountAndMax(t *testing.T) {
+	if popcount(0) != 0 || popcount(0b1011) != 3 {
+		t.Fatal("popcount")
+	}
+	if maxInt(3, 5) != 5 || maxInt(5, 3) != 5 {
+		t.Fatal("maxInt")
+	}
+	if minOf([]float64{3, 1, 2}) != 1 {
+		t.Fatal("minOf")
+	}
+	if medianOf([]float64{3, 1, 2}) != 2 {
+		t.Fatal("medianOf")
+	}
+}

@@ -1,0 +1,207 @@
+package gen
+
+import (
+	"testing"
+
+	"wexp/internal/graph"
+)
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.N() != 6 || g.M() != 15 {
+		t.Fatalf("K6: n=%d m=%d", g.N(), g.M())
+	}
+	if reg, d := g.IsRegular(); !reg || d != 5 {
+		t.Fatal("K6 should be 5-regular")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(7)
+	if g.N() != 7 || g.M() != 7 {
+		t.Fatalf("C7: n=%d m=%d", g.N(), g.M())
+	}
+	if reg, d := g.IsRegular(); !reg || d != 2 {
+		t.Fatal("cycle should be 2-regular")
+	}
+	if d, conn := g.Diameter(); !conn || d != 3 {
+		t.Fatalf("C7 diameter=%d conn=%v", d, conn)
+	}
+}
+
+func TestCyclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<3")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestPathAndStar(t *testing.T) {
+	p := Path(5)
+	if p.M() != 4 || p.MaxDegree() != 2 {
+		t.Fatal("path wrong")
+	}
+	s := Star(5)
+	if s.M() != 4 || s.MaxDegree() != 4 || s.Degree(0) != 4 {
+		t.Fatal("star wrong")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for d := 0; d <= 6; d++ {
+		g := Hypercube(d)
+		if g.N() != 1<<uint(d) {
+			t.Fatalf("Q%d: n=%d", d, g.N())
+		}
+		if reg, deg := g.IsRegular(); !reg || deg != d {
+			t.Fatalf("Q%d not %d-regular", d, d)
+		}
+		if d >= 1 {
+			if diam, conn := g.Diameter(); !conn || diam != d {
+				t.Fatalf("Q%d diameter=%d", d, diam)
+			}
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid n=%d", g.N())
+	}
+	// Edges: 3·3 + 2·4 = 17.
+	if g.M() != 17 {
+		t.Fatalf("grid m=%d, want 17", g.M())
+	}
+	if g.MaxDegree() != 4 && g.N() >= 9 {
+		// 3x4 grid has interior vertices of degree 4.
+		t.Fatalf("grid max degree=%d", g.MaxDegree())
+	}
+	lo, hi := g.ArboricityEstimate()
+	if lo < 1 || hi > 2 {
+		t.Fatalf("grid arboricity [%d,%d]", lo, hi)
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	if g.N() != 20 || g.M() != 40 {
+		t.Fatalf("torus n=%d m=%d", g.N(), g.M())
+	}
+	if reg, d := g.IsRegular(); !reg || d != 4 {
+		t.Fatal("torus should be 4-regular")
+	}
+	if !g.Connected() {
+		t.Fatal("torus disconnected")
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g := CompleteBinaryTree(4)
+	if g.N() != 15 || g.M() != 14 {
+		t.Fatalf("tree n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("tree disconnected")
+	}
+	lo, hi := g.ArboricityEstimate()
+	if lo != 1 || hi != 1 {
+		t.Fatalf("tree arboricity [%d,%d]", lo, hi)
+	}
+}
+
+func TestCPlus(t *testing.T) {
+	g := CPlus(5)
+	if g.N() != 6 {
+		t.Fatalf("C+ n=%d", g.N())
+	}
+	if g.Degree(0) != 2 {
+		t.Fatalf("source degree=%d, want 2", g.Degree(0))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || g.HasEdge(0, 3) {
+		t.Fatal("source wiring wrong")
+	}
+	// Clique part complete.
+	for u := 1; u <= 5; u++ {
+		for v := u + 1; v <= 5; v++ {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("missing clique edge %d-%d", u, v)
+			}
+		}
+	}
+}
+
+func TestMargulis(t *testing.T) {
+	g := Margulis(6)
+	if g.N() != 36 {
+		t.Fatalf("margulis n=%d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("margulis disconnected")
+	}
+	if g.MaxDegree() > 8 {
+		t.Fatalf("margulis max degree %d > 8", g.MaxDegree())
+	}
+	// Expander-ish: diameter should be small (O(log n)); for m=6, ≤ 6.
+	if d, _ := g.Diameter(); d > 6 {
+		t.Fatalf("margulis diameter=%d suspiciously large", d)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(4)
+	if g.N() != 8 || g.M() != 13 {
+		t.Fatalf("barbell n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("barbell disconnected")
+	}
+}
+
+func TestFromFamily(t *testing.T) {
+	cases := []struct {
+		f    Family
+		size int
+		n    int
+	}{
+		{FamilyComplete, 5, 5},
+		{FamilyCycle, 6, 6},
+		{FamilyHypercube, 3, 8},
+		{FamilyGrid, 4, 16},
+		{FamilyTorus, 4, 16},
+		{FamilyTree, 3, 7},
+		{FamilyMargulis, 3, 9},
+		{FamilyCPlus, 4, 5},
+		{FamilyBarbell, 3, 6},
+	}
+	for _, tc := range cases {
+		g, err := FromFamily(tc.f, tc.size)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.f, err)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("%s(%d): n=%d, want %d", tc.f, tc.size, g.N(), tc.n)
+		}
+	}
+	if _, err := FromFamily("nope", 3); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func degreeHistogram(g *graph.Graph) map[int]int {
+	h := map[int]int{}
+	for v := 0; v < g.N(); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+func TestGridDegreeProfile(t *testing.T) {
+	h := degreeHistogram(Grid(4, 4))
+	// Corners: 4 of degree 2; edges: 8 of degree 3; interior: 4 of degree 4.
+	if h[2] != 4 || h[3] != 8 || h[4] != 4 {
+		t.Fatalf("grid degree histogram %v", h)
+	}
+}

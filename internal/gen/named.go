@@ -1,0 +1,67 @@
+package gen
+
+import "wexp/internal/graph"
+
+// Petersen returns the Petersen graph: 3-regular on 10 vertices with
+// adjacency eigenvalues {3, 1, −2}; λ2 = 1, a small explicit expander with
+// a large spectral gap — a handy exact test case for the Lemma 3.1
+// machinery. Vertices 0..4 form the outer cycle, 5..9 the inner pentagram.
+func Petersen() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		b.MustAddEdge(i, (i+1)%5)     // outer C5
+		b.MustAddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		b.MustAddEdge(i, 5+i)         // spokes
+	}
+	return b.Build()
+}
+
+// CompleteBipartiteGraph returns K_{a,b} as a general Graph (side A =
+// vertices 0..a−1). K_{m,m} is m-regular with λ2 = 0 and λn = −m — the
+// canonical case where second-largest and second-in-magnitude eigenvalues
+// differ, exercised by the shifted power iteration.
+func CompleteBipartiteGraph(a, b int) *graph.Graph {
+	bl := graph.NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bl.MustAddEdge(u, a+v)
+		}
+	}
+	return bl.Build()
+}
+
+// Wheel returns the wheel graph W_n: an n-cycle (vertices 1..n) plus a hub
+// (vertex 0) adjacent to every cycle vertex. Like C⁺ it mixes a
+// high-degree center with low-degree rim vertices.
+func Wheel(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: wheel needs rim size >= 3")
+	}
+	b := graph.NewBuilder(n + 1)
+	for i := 1; i <= n; i++ {
+		b.MustAddEdge(0, i)
+		next := i%n + 1
+		b.MustAddEdge(i, next)
+	}
+	return b.Build()
+}
+
+// LollipopChain returns a clique of size k attached to a path of length p —
+// a classical low-conductance family used as a negative control next to
+// Barbell.
+func LollipopChain(k, p int) *graph.Graph {
+	if k < 2 || p < 1 {
+		panic("gen: lollipop needs k >= 2, p >= 1")
+	}
+	b := graph.NewBuilder(k + p)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.MustAddEdge(u, v)
+		}
+	}
+	// Path vertices k..k+p−1; the first attaches to clique vertex k−1.
+	for i := 0; i < p; i++ {
+		b.MustAddEdge(k+i-1, k+i)
+	}
+	return b.Build()
+}

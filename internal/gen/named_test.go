@@ -1,0 +1,126 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"wexp/internal/expansion"
+	"wexp/internal/rng"
+)
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.N() != 10 || g.M() != 15 {
+		t.Fatalf("petersen n=%d m=%d", g.N(), g.M())
+	}
+	if reg, d := g.IsRegular(); !reg || d != 3 {
+		t.Fatal("petersen should be 3-regular")
+	}
+	if diam, conn := g.Diameter(); !conn || diam != 2 {
+		t.Fatalf("petersen diameter=%d", diam)
+	}
+	// λ2 = 1 exactly.
+	res, err := expansion.Lambda2Regular(g, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda-1) > 1e-8 {
+		t.Fatalf("petersen λ2 = %g, want 1", res.Lambda)
+	}
+	// Girth 5: no triangles, no 4-cycles — check no common neighbors for
+	// adjacent vertices and ≤1 for non-adjacent.
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			common := 0
+			for _, x := range g.Neighbors(u) {
+				for _, y := range g.Neighbors(v) {
+					if x == y {
+						common++
+					}
+				}
+			}
+			if g.HasEdge(u, v) && common != 0 {
+				t.Fatalf("adjacent %d,%d share %d neighbors (triangle)", u, v, common)
+			}
+			if !g.HasEdge(u, v) && common != 1 {
+				t.Fatalf("non-adjacent %d,%d share %d neighbors (want exactly 1)", u, v, common)
+			}
+		}
+	}
+}
+
+func TestCompleteBipartiteGraph(t *testing.T) {
+	g := CompleteBipartiteGraph(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K_{3,4}: n=%d m=%d", g.N(), g.M())
+	}
+	if color, ok := g.IsBipartition(); !ok || color == nil {
+		t.Fatal("K_{3,4} should be bipartite")
+	}
+	// λ2(K_{m,m}) = 0.
+	km := CompleteBipartiteGraph(5, 5)
+	res, err := expansion.Lambda2Regular(km, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Lambda) > 1e-8 {
+		t.Fatalf("λ2(K_{5,5}) = %g, want 0", res.Lambda)
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(6)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("W6: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 6 {
+		t.Fatalf("hub degree %d", g.Degree(0))
+	}
+	for v := 1; v <= 6; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("rim degree %d at %d", g.Degree(v), v)
+		}
+	}
+	if d, conn := g.Diameter(); !conn || d != 2 {
+		t.Fatalf("wheel diameter %d", d)
+	}
+}
+
+func TestWheelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Wheel(2)
+}
+
+func TestLollipopChain(t *testing.T) {
+	g := LollipopChain(5, 4)
+	if g.N() != 9 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() != 10+4 {
+		t.Fatalf("m=%d, want 14", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("lollipop disconnected")
+	}
+	// The tail end is degree 1.
+	if g.Degree(8) != 1 {
+		t.Fatalf("tail degree %d", g.Degree(8))
+	}
+	// Low conductance: the clique forms a bottleneck via one edge.
+	if d, _ := g.Diameter(); d != 5 {
+		t.Fatalf("diameter %d, want 5", d)
+	}
+}
+
+func TestLollipopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LollipopChain(1, 1)
+}

@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"fmt"
+
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+// RandomRegular returns a random d-regular simple graph on n vertices via
+// the pairing (configuration) model with edge-swap repair: d·n half-edges
+// are matched by a random perfect matching, and every self-loop or parallel
+// edge is then removed by double-edge swaps against uniformly random good
+// edges (the standard repair that preserves the degree sequence and leaves
+// the distribution asymptotically uniform for bounded d).
+func RandomRegular(n, d int, r *rng.RNG) (*graph.Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("gen: d-regular needs 0 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: n*d must be even, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return graph.NewBuilder(n).Build(), nil
+	}
+	stubs := make([]int, n*d)
+	for i := range stubs {
+		stubs[i] = i / d
+	}
+	r.ShuffleInts(stubs)
+	m := len(stubs) / 2
+	edges := make([][2]int, m)
+	seen := make(map[[2]int]int) // normalized edge -> multiplicity
+	norm := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	for i := 0; i < m; i++ {
+		edges[i] = [2]int{stubs[2*i], stubs[2*i+1]}
+		seen[norm(edges[i][0], edges[i][1])]++
+	}
+	isBad := func(e [2]int) bool {
+		return e[0] == e[1] || seen[norm(e[0], e[1])] > 1
+	}
+	// Swap repair: for each bad edge (a,b), pick a random partner edge
+	// (c,d) and rewire to (a,c), (b,d) when that strictly reduces badness.
+	maxAttempts := 200 * m
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		badIdx := -1
+		for i, e := range edges {
+			if isBad(e) {
+				badIdx = i
+				break
+			}
+		}
+		if badIdx == -1 {
+			b := graph.NewBuilder(n)
+			for _, e := range edges {
+				b.MustAddEdge(e[0], e[1])
+			}
+			return b.Build(), nil
+		}
+		j := r.Intn(m)
+		if j == badIdx {
+			continue
+		}
+		a, bb := edges[badIdx][0], edges[badIdx][1]
+		c, dd := edges[j][0], edges[j][1]
+		// Proposed replacement edges.
+		e1, e2 := [2]int{a, c}, [2]int{bb, dd}
+		if e1[0] == e1[1] || e2[0] == e2[1] {
+			continue
+		}
+		if seen[norm(e1[0], e1[1])] > 0 || seen[norm(e2[0], e2[1])] > 0 {
+			continue
+		}
+		seen[norm(a, bb)]--
+		seen[norm(c, dd)]--
+		seen[norm(e1[0], e1[1])]++
+		seen[norm(e2[0], e2[1])]++
+		edges[badIdx] = e1
+		edges[j] = e2
+	}
+	return nil, fmt.Errorf("gen: edge-swap repair did not converge (n=%d d=%d)", n, d)
+}
+
+// ErdosRenyi returns G(n, p): each of the n(n−1)/2 edges present
+// independently with probability p.
+func ErdosRenyi(n int, p float64, r *rng.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bernoulli(p) {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform random labelled tree on n vertices via a
+// random Prüfer-like attachment: vertex i (i ≥ 1) attaches to a uniform
+// earlier vertex. (This is a random recursive tree, not uniform over all
+// labelled trees, but the harness only needs "some" arboricity-1 family.)
+func RandomTree(n int, r *rng.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(v, r.Intn(v))
+	}
+	return b.Build()
+}
+
+// RandomBipartiteRegular returns a bipartite graph with |S| = s, |N| = n in
+// which every S-vertex has degree exactly d, endpoints chosen by repeated
+// random perfect assignment: the multiset S×{1..d} is matched to uniformly
+// random N-vertices, resampling each vertex's neighbor list until it is
+// duplicate-free. N-side degrees are then concentrated around s·d/n.
+func RandomBipartiteRegular(s, n, d int, r *rng.RNG) (*graph.Bipartite, error) {
+	if d <= 0 || d > n {
+		return nil, fmt.Errorf("gen: bipartite regular needs 0 < d <= |N|, got d=%d n=%d", d, n)
+	}
+	bb := graph.NewBipartiteBuilder(s, n)
+	nbr := make([]int, 0, d)
+	for u := 0; u < s; u++ {
+		nbr = nbr[:0]
+		used := make(map[int]struct{}, d)
+		for len(nbr) < d {
+			v := r.Intn(n)
+			if _, dup := used[v]; dup {
+				continue
+			}
+			used[v] = struct{}{}
+			nbr = append(nbr, v)
+		}
+		for _, v := range nbr {
+			bb.MustAddEdge(u, v)
+		}
+	}
+	b := bb.Build()
+	// The paper's framework forbids isolated vertices; re-wire any isolated
+	// N-vertex to a random S-vertex by rebuilding with extra edges.
+	var extra [][2]int
+	for v := 0; v < n; v++ {
+		if b.DegN(v) == 0 {
+			extra = append(extra, [2]int{r.Intn(s), v})
+		}
+	}
+	if len(extra) == 0 {
+		return b, nil
+	}
+	bb2 := graph.NewBipartiteBuilder(s, n)
+	for u := 0; u < s; u++ {
+		for _, v := range b.NeighborsOfS(u) {
+			bb2.MustAddEdge(u, int(v))
+		}
+	}
+	for _, e := range extra {
+		bb2.MustAddEdge(e[0], e[1])
+	}
+	return bb2.Build(), nil
+}
+
+// RandomBipartite returns a bipartite G(s, n, p) with isolated vertices
+// repaired by attaching them to a uniform random partner, preserving the
+// paper's no-isolated-vertex assumption.
+func RandomBipartite(s, n int, p float64, r *rng.RNG) *graph.Bipartite {
+	type edge [2]int
+	var edges []edge
+	degS := make([]int, s)
+	degN := make([]int, n)
+	for u := 0; u < s; u++ {
+		for v := 0; v < n; v++ {
+			if r.Bernoulli(p) {
+				edges = append(edges, edge{u, v})
+				degS[u]++
+				degN[v]++
+			}
+		}
+	}
+	for u := 0; u < s; u++ {
+		if degS[u] == 0 {
+			v := r.Intn(n)
+			edges = append(edges, edge{u, v})
+			degN[v]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if degN[v] == 0 {
+			edges = append(edges, edge{r.Intn(s), v})
+		}
+	}
+	bb := graph.NewBipartiteBuilder(s, n)
+	for _, e := range edges {
+		bb.MustAddEdge(e[0], e[1])
+	}
+	return bb.Build()
+}

@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"testing"
+
+	"wexp/internal/rng"
+)
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(1)
+	for _, tc := range []struct{ n, d int }{{10, 3}, {16, 4}, {50, 6}, {8, 0}} {
+		g, err := RandomRegular(tc.n, tc.d, r)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		if reg, deg := g.IsRegular(); !reg || deg != tc.d {
+			t.Fatalf("n=%d: not %d-regular (deg=%d reg=%v)", tc.n, tc.d, deg, reg)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("n mismatch")
+		}
+	}
+}
+
+func TestRandomRegularRejectsOddProduct(t *testing.T) {
+	if _, err := RandomRegular(5, 3, rng.New(1)); err == nil {
+		t.Fatal("odd n·d accepted")
+	}
+}
+
+func TestRandomRegularRejectsBadDegree(t *testing.T) {
+	if _, err := RandomRegular(5, 5, rng.New(1)); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+	if _, err := RandomRegular(5, -1, rng.New(1)); err == nil {
+		t.Fatal("negative d accepted")
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	g1, err1 := RandomRegular(20, 4, rng.New(99))
+	g2, err2 := RandomRegular(20, 4, rng.New(99))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	r := rng.New(2)
+	g := ErdosRenyi(50, 0.2, r)
+	if g.N() != 50 {
+		t.Fatal("n wrong")
+	}
+	// Expected m = 0.2 · C(50,2) = 245; allow wide tolerance.
+	if g.M() < 150 || g.M() > 350 {
+		t.Fatalf("G(50,0.2) m=%d implausible", g.M())
+	}
+	if g0 := ErdosRenyi(10, 0, r); g0.M() != 0 {
+		t.Fatal("p=0 should be empty")
+	}
+	if g1 := ErdosRenyi(10, 1, r); g1.M() != 45 {
+		t.Fatal("p=1 should be complete")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	r := rng.New(3)
+	g := RandomTree(30, r)
+	if g.N() != 30 || g.M() != 29 {
+		t.Fatalf("tree n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("tree disconnected")
+	}
+}
+
+func TestRandomBipartiteRegular(t *testing.T) {
+	r := rng.New(4)
+	b, err := RandomBipartiteRegular(20, 30, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NS() != 20 || b.NN() != 30 {
+		t.Fatal("dims wrong")
+	}
+	for u := 0; u < 20; u++ {
+		if b.DegS(u) != 5 {
+			t.Fatalf("S-degree %d, want 5", b.DegS(u))
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("isolated vertices remain: %v", err)
+	}
+}
+
+func TestRandomBipartiteRegularRepair(t *testing.T) {
+	// Tiny N side with low d forces repairs occasionally; Validate must
+	// still pass. Note after repair S-degrees may exceed d.
+	r := rng.New(5)
+	for i := 0; i < 20; i++ {
+		b, err := RandomBipartiteRegular(3, 12, 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandomBipartiteRegularRejects(t *testing.T) {
+	if _, err := RandomBipartiteRegular(5, 3, 4, rng.New(1)); err == nil {
+		t.Fatal("d > |N| accepted")
+	}
+	if _, err := RandomBipartiteRegular(5, 3, 0, rng.New(1)); err == nil {
+		t.Fatal("d = 0 accepted")
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	r := rng.New(6)
+	b := RandomBipartite(15, 25, 0.15, r)
+	if b.NS() != 15 || b.NN() != 25 {
+		t.Fatal("dims wrong")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("isolated after repair: %v", err)
+	}
+}
+
+func TestRandomBipartiteExtremeP(t *testing.T) {
+	r := rng.New(7)
+	b := RandomBipartite(4, 4, 0, r)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("p=0 repair failed: %v", err)
+	}
+	b = RandomBipartite(4, 4, 1, r)
+	if b.M() != 16 {
+		t.Fatalf("p=1 m=%d, want 16", b.M())
+	}
+}

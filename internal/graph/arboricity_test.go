@@ -1,0 +1,149 @@
+package graph
+
+import "testing"
+
+func completeGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.MustAddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+func gridGraph(r, c int) *Graph {
+	b := NewBuilder(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.MustAddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < r {
+				b.MustAddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestDegeneracyTree(t *testing.T) {
+	g := pathGraph(10)
+	d, order := g.DegeneracyOrder()
+	if d != 1 {
+		t.Fatalf("path degeneracy = %d, want 1", d)
+	}
+	if len(order) != 10 {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := make([]bool, 10)
+	for _, v := range order {
+		if seen[v] {
+			t.Fatal("order repeats a vertex")
+		}
+		seen[v] = true
+	}
+}
+
+func TestDegeneracyComplete(t *testing.T) {
+	g := completeGraph(6)
+	d, _ := g.DegeneracyOrder()
+	if d != 5 {
+		t.Fatalf("K6 degeneracy = %d, want 5", d)
+	}
+}
+
+func TestDegeneracyCycle(t *testing.T) {
+	b := NewBuilder(8)
+	for v := 0; v < 8; v++ {
+		b.MustAddEdge(v, (v+1)%8)
+	}
+	d, _ := b.Build().DegeneracyOrder()
+	if d != 2 {
+		t.Fatalf("cycle degeneracy = %d, want 2", d)
+	}
+}
+
+func TestDegeneracyGrid(t *testing.T) {
+	d, _ := gridGraph(5, 5).DegeneracyOrder()
+	if d != 2 {
+		t.Fatalf("grid degeneracy = %d, want 2", d)
+	}
+}
+
+func TestArboricityTree(t *testing.T) {
+	lo, hi := pathGraph(20).ArboricityEstimate()
+	if lo != 1 || hi != 1 {
+		t.Fatalf("tree arboricity bracket [%d,%d], want [1,1]", lo, hi)
+	}
+}
+
+func TestArboricityComplete(t *testing.T) {
+	// η(K_n) = ⌈n/2⌉ by Nash–Williams.
+	g := completeGraph(8)
+	lo, hi := g.ArboricityEstimate()
+	if lo != 4 {
+		t.Fatalf("K8 arboricity lower = %d, want 4", lo)
+	}
+	if hi < lo {
+		t.Fatalf("bracket inverted [%d,%d]", lo, hi)
+	}
+	// Degeneracy of K8 is 7, so the bracket is [4, 7].
+	if hi != 7 {
+		t.Fatalf("K8 degeneracy = %d, want 7", hi)
+	}
+}
+
+func TestArboricityGrid(t *testing.T) {
+	lo, hi := gridGraph(6, 6).ArboricityEstimate()
+	if lo < 1 || hi > 2 || lo > hi {
+		t.Fatalf("grid bracket [%d,%d], want within [1,2]", lo, hi)
+	}
+	if hi != 2 {
+		t.Fatalf("grid degeneracy = %d, want 2", hi)
+	}
+}
+
+func TestArboricityEmptyAndTiny(t *testing.T) {
+	if lb := NewBuilder(0).Build().ArboricityLowerBound(); lb != 0 {
+		t.Fatalf("empty lower = %d", lb)
+	}
+	if lb := NewBuilder(1).Build().ArboricityLowerBound(); lb != 0 {
+		t.Fatalf("single lower = %d", lb)
+	}
+}
+
+func TestPaperArboricityFloor(t *testing.T) {
+	if got := PaperArboricityFloor(8, 2); got != 4 {
+		t.Fatalf("min{8/2, 8·2} = %g, want 4", got)
+	}
+	if got := PaperArboricityFloor(8, 0.25); got != 2 {
+		t.Fatalf("min{32, 2} = %g, want 2", got)
+	}
+	if got := PaperArboricityFloor(8, 0); got != 0 {
+		t.Fatalf("zero beta: %g", got)
+	}
+}
+
+func TestDegeneracyOrderValidity(t *testing.T) {
+	// In the elimination order, each vertex has at most `degeneracy`
+	// neighbors among later (not yet removed) vertices.
+	g := gridGraph(4, 7)
+	d, order := g.DegeneracyOrder()
+	pos := make([]int, g.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for i, v := range order {
+		later := 0
+		for _, w := range g.Neighbors(v) {
+			if pos[w] > i {
+				later++
+			}
+		}
+		if later > d {
+			t.Fatalf("vertex %d has %d later neighbors > degeneracy %d", v, later, d)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package graph
+
+import "fmt"
+
+// Bipartite is an immutable bipartite graph G = (S, N, E) in the paper's
+// framework (Section 4.1): S is the candidate transmitter side, N its
+// neighborhood. Vertices of S are 0..NS()-1 and vertices of N are
+// 0..NN()-1, in separate index spaces. Both directions of adjacency are
+// stored in CSR form so that degree queries and unique-neighborhood
+// computations are allocation-free in either direction.
+type Bipartite struct {
+	s, n   int
+	m      int
+	sOff   []int32 // len s+1, neighbors of S-vertices in N
+	sAdj   []int32
+	nOff   []int32 // len n+1, neighbors of N-vertices in S
+	nAdj   []int32
+	labels []string // optional side-S labels for diagnostics (may be nil)
+}
+
+// NS returns |S|.
+func (b *Bipartite) NS() int { return b.s }
+
+// NN returns |N|.
+func (b *Bipartite) NN() int { return b.n }
+
+// M returns the number of edges.
+func (b *Bipartite) M() int { return b.m }
+
+// DegS returns deg(u, N) for u ∈ S.
+func (b *Bipartite) DegS(u int) int { return int(b.sOff[u+1] - b.sOff[u]) }
+
+// DegN returns deg(v, S) for v ∈ N.
+func (b *Bipartite) DegN(v int) int { return int(b.nOff[v+1] - b.nOff[v]) }
+
+// NeighborsOfS returns the sorted N-side neighbors of u ∈ S. The slice
+// aliases internal storage.
+func (b *Bipartite) NeighborsOfS(u int) []int32 { return b.sAdj[b.sOff[u]:b.sOff[u+1]] }
+
+// NeighborsOfN returns the sorted S-side neighbors of v ∈ N. The slice
+// aliases internal storage.
+func (b *Bipartite) NeighborsOfN(v int) []int32 { return b.nAdj[b.nOff[v]:b.nOff[v+1]] }
+
+// MaxDegS returns the maximum degree on the S side.
+func (b *Bipartite) MaxDegS() int {
+	d := 0
+	for u := 0; u < b.s; u++ {
+		if du := b.DegS(u); du > d {
+			d = du
+		}
+	}
+	return d
+}
+
+// MaxDegN returns the maximum degree on the N side (∆N in Lemma 4.4).
+func (b *Bipartite) MaxDegN() int {
+	d := 0
+	for v := 0; v < b.n; v++ {
+		if dv := b.DegN(v); dv > d {
+			d = dv
+		}
+	}
+	return d
+}
+
+// AvgDegS returns δS = Σ_{u∈S} deg(u,N) / |S| (Section 4.2).
+func (b *Bipartite) AvgDegS() float64 {
+	if b.s == 0 {
+		return 0
+	}
+	return float64(b.m) / float64(b.s)
+}
+
+// AvgDegN returns δN = Σ_{v∈N} deg(v,S) / |N| (Section 4.2).
+func (b *Bipartite) AvgDegN() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return float64(b.m) / float64(b.n)
+}
+
+// Expansion returns |N| / |S|, the bipartite expansion β of the full side S
+// under the paper's framing (every vertex of N is a neighbor of S).
+func (b *Bipartite) Expansion() float64 {
+	if b.s == 0 {
+		return 0
+	}
+	return float64(b.n) / float64(b.s)
+}
+
+// Validate checks the paper's standing assumption that no vertex is
+// isolated (Section 4.1: "We assume that no vertex of GS is isolated").
+func (b *Bipartite) Validate() error {
+	for u := 0; u < b.s; u++ {
+		if b.DegS(u) == 0 {
+			return fmt.Errorf("bipartite: isolated S-vertex %d", u)
+		}
+	}
+	for v := 0; v < b.n; v++ {
+		if b.DegN(v) == 0 {
+			return fmt.Errorf("bipartite: isolated N-vertex %d", v)
+		}
+	}
+	return nil
+}
+
+// UniqueCover computes |Γ¹_S(S')| for the subset S' given as a boolean
+// mask over S (inS[u] reports u ∈ S'). cover, if non-nil, must have length
+// NN() and is filled with the per-N-vertex count of S'-neighbors capped at
+// 2 (0 = uncovered, 1 = uniquely covered, 2 = collision); pass nil if only
+// the count is needed.
+func (b *Bipartite) UniqueCover(inS func(u int) bool, cover []int8) int {
+	counts := cover
+	if counts == nil {
+		counts = make([]int8, b.n)
+	} else {
+		for i := range counts {
+			counts[i] = 0
+		}
+	}
+	for u := 0; u < b.s; u++ {
+		if !inS(u) {
+			continue
+		}
+		for _, v := range b.NeighborsOfS(u) {
+			if counts[v] < 2 {
+				counts[v]++
+			}
+		}
+	}
+	uniq := 0
+	for _, c := range counts {
+		if c == 1 {
+			uniq++
+		}
+	}
+	return uniq
+}
+
+// UniqueCoverSet computes |Γ¹_S(S')| for S' given as a slice of S-indices.
+// scratch, if non-nil with length NN(), avoids the per-call allocation.
+func (b *Bipartite) UniqueCoverSet(sub []int, scratch []int8) int {
+	counts := scratch
+	if counts == nil {
+		counts = make([]int8, b.n)
+	} else {
+		for i := range counts {
+			counts[i] = 0
+		}
+	}
+	for _, u := range sub {
+		for _, v := range b.NeighborsOfS(u) {
+			if counts[v] < 2 {
+				counts[v]++
+			}
+		}
+	}
+	uniq := 0
+	for _, c := range counts {
+		if c == 1 {
+			uniq++
+		}
+	}
+	return uniq
+}
+
+// CoverSet computes |Γ_S(S')| — the number of N-vertices with at least one
+// neighbor in S' — for S' given as a slice of S-indices.
+func (b *Bipartite) CoverSet(sub []int, scratch []int8) int {
+	counts := scratch
+	if counts == nil {
+		counts = make([]int8, b.n)
+	} else {
+		for i := range counts {
+			counts[i] = 0
+		}
+	}
+	covered := 0
+	for _, u := range sub {
+		for _, v := range b.NeighborsOfS(u) {
+			if counts[v] == 0 {
+				counts[v] = 1
+				covered++
+			}
+		}
+	}
+	return covered
+}
+
+// BipartiteBuilder accumulates edges for a Bipartite graph.
+type BipartiteBuilder struct {
+	s, n  int
+	edges [][2]int32
+}
+
+// NewBipartiteBuilder returns a builder for sides of size s and n.
+func NewBipartiteBuilder(s, n int) *BipartiteBuilder {
+	if s < 0 || n < 0 {
+		panic("graph: negative side size")
+	}
+	return &BipartiteBuilder{s: s, n: n}
+}
+
+// AddEdge records the edge (u ∈ S, v ∈ N). Duplicates are merged at Build.
+func (bb *BipartiteBuilder) AddEdge(u, v int) error {
+	if u < 0 || u >= bb.s {
+		return fmt.Errorf("bipartite: S index %d out of range [0,%d)", u, bb.s)
+	}
+	if v < 0 || v >= bb.n {
+		return fmt.Errorf("bipartite: N index %d out of range [0,%d)", v, bb.n)
+	}
+	bb.edges = append(bb.edges, [2]int32{int32(u), int32(v)})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (bb *BipartiteBuilder) MustAddEdge(u, v int) {
+	if err := bb.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Build freezes the builder into an immutable Bipartite, merging duplicate
+// edges.
+func (bb *BipartiteBuilder) Build() *Bipartite {
+	sOff, sAdj := csrSide(bb.s, bb.edges, 0, 1)
+	nOff, nAdj := csrSide(bb.n, bb.edges, 1, 0)
+	return &Bipartite{
+		s: bb.s, n: bb.n, m: len(sAdj),
+		sOff: sOff, sAdj: sAdj, nOff: nOff, nAdj: nAdj,
+	}
+}
+
+// csrSide builds one direction of the CSR with duplicate merging.
+func csrSide(n int, edges [][2]int32, from, to int) ([]int32, []int32) {
+	cnt := make([]int32, n+1)
+	for _, e := range edges {
+		cnt[e[from]+1]++
+	}
+	for i := 0; i < n; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	adj := make([]int32, len(edges))
+	next := make([]int32, n)
+	copy(next, cnt[:n])
+	for _, e := range edges {
+		adj[next[e[from]]] = e[to]
+		next[e[from]]++
+	}
+	out := adj[:0]
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		lst := adj[cnt[v]:cnt[v+1]]
+		sortInt32(lst)
+		off[v] = int32(len(out))
+		var prev int32 = -1
+		for _, w := range lst {
+			if w != prev {
+				out = append(out, w)
+				prev = w
+			}
+		}
+	}
+	off[n] = int32(len(out))
+	final := make([]int32, len(out))
+	copy(final, out)
+	return off, final
+}
+
+// InducedBipartite extracts the paper's Section 4.1 framework graph
+// GS = (S, Γ⁻(S), E(S, Γ⁻(S))) from g: the bipartite graph of all edges
+// between the vertex set S (given as g-vertex ids) and its external
+// neighborhood. Edges internal to S or internal to Γ⁻(S) are dropped —
+// "ignoring these edges has no effect whatsoever on the expansion bounds".
+// It returns the bipartite graph and the g-vertex ids of the N side in
+// index order.
+func InducedBipartite(g *Graph, S []int) (*Bipartite, []int) {
+	inS := make([]bool, g.N())
+	for _, v := range S {
+		inS[v] = true
+	}
+	nIndex := make(map[int]int)
+	var nVerts []int
+	for _, u := range S {
+		for _, w := range g.Neighbors(u) {
+			if inS[w] {
+				continue
+			}
+			if _, ok := nIndex[int(w)]; !ok {
+				nIndex[int(w)] = len(nVerts)
+				nVerts = append(nVerts, int(w))
+			}
+		}
+	}
+	bb := NewBipartiteBuilder(len(S), len(nVerts))
+	for i, u := range S {
+		for _, w := range g.Neighbors(u) {
+			if inS[w] {
+				continue
+			}
+			bb.MustAddEdge(i, nIndex[int(w)])
+		}
+	}
+	return bb.Build(), nVerts
+}

@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// smallBip: S = {0,1}, N = {0,1,2}; edges 0-0, 0-1, 1-1, 1-2.
+func smallBip(t *testing.T) *Bipartite {
+	t.Helper()
+	bb := NewBipartiteBuilder(2, 3)
+	bb.MustAddEdge(0, 0)
+	bb.MustAddEdge(0, 1)
+	bb.MustAddEdge(1, 1)
+	bb.MustAddEdge(1, 2)
+	return bb.Build()
+}
+
+func TestBipartiteBasic(t *testing.T) {
+	b := smallBip(t)
+	if b.NS() != 2 || b.NN() != 3 || b.M() != 4 {
+		t.Fatalf("dims: s=%d n=%d m=%d", b.NS(), b.NN(), b.M())
+	}
+	if b.DegS(0) != 2 || b.DegS(1) != 2 {
+		t.Fatal("S degrees wrong")
+	}
+	if b.DegN(0) != 1 || b.DegN(1) != 2 || b.DegN(2) != 1 {
+		t.Fatal("N degrees wrong")
+	}
+	if b.MaxDegS() != 2 || b.MaxDegN() != 2 {
+		t.Fatal("max degrees wrong")
+	}
+	if b.AvgDegS() != 2 {
+		t.Fatalf("δS = %g", b.AvgDegS())
+	}
+	if got := b.AvgDegN(); got != 4.0/3 {
+		t.Fatalf("δN = %g", got)
+	}
+	if b.Expansion() != 1.5 {
+		t.Fatalf("expansion = %g", b.Expansion())
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBipartiteDuplicateMerge(t *testing.T) {
+	bb := NewBipartiteBuilder(1, 1)
+	bb.MustAddEdge(0, 0)
+	bb.MustAddEdge(0, 0)
+	b := bb.Build()
+	if b.M() != 1 {
+		t.Fatalf("m = %d after dedup", b.M())
+	}
+}
+
+func TestBipartiteOutOfRange(t *testing.T) {
+	bb := NewBipartiteBuilder(2, 2)
+	if err := bb.AddEdge(2, 0); err == nil {
+		t.Fatal("S out of range accepted")
+	}
+	if err := bb.AddEdge(0, 2); err == nil {
+		t.Fatal("N out of range accepted")
+	}
+}
+
+func TestValidateIsolated(t *testing.T) {
+	bb := NewBipartiteBuilder(2, 2)
+	bb.MustAddEdge(0, 0)
+	b := bb.Build()
+	if err := b.Validate(); err == nil {
+		t.Fatal("isolated vertices not detected")
+	}
+}
+
+func TestUniqueCover(t *testing.T) {
+	b := smallBip(t)
+	// S' = {0}: covers N0 uniquely, N1 uniquely → 2.
+	if got := b.UniqueCoverSet([]int{0}, nil); got != 2 {
+		t.Fatalf("unique({0}) = %d, want 2", got)
+	}
+	// S' = {0,1}: N1 covered twice → unique = {N0, N2} = 2.
+	if got := b.UniqueCoverSet([]int{0, 1}, nil); got != 2 {
+		t.Fatalf("unique({0,1}) = %d, want 2", got)
+	}
+	// Mask-based variant agrees.
+	inS := func(u int) bool { return true }
+	if got := b.UniqueCover(inS, nil); got != 2 {
+		t.Fatalf("UniqueCover = %d, want 2", got)
+	}
+	cover := make([]int8, 3)
+	b.UniqueCover(inS, cover)
+	if cover[0] != 1 || cover[1] != 2 || cover[2] != 1 {
+		t.Fatalf("cover = %v", cover)
+	}
+}
+
+func TestCoverSet(t *testing.T) {
+	b := smallBip(t)
+	if got := b.CoverSet([]int{0}, nil); got != 2 {
+		t.Fatalf("cover({0}) = %d", got)
+	}
+	if got := b.CoverSet([]int{0, 1}, nil); got != 3 {
+		t.Fatalf("cover({0,1}) = %d", got)
+	}
+	if got := b.CoverSet(nil, nil); got != 0 {
+		t.Fatalf("cover(∅) = %d", got)
+	}
+}
+
+func TestUniqueCoverScratchReuse(t *testing.T) {
+	b := smallBip(t)
+	scratch := make([]int8, b.NN())
+	a := b.UniqueCoverSet([]int{0, 1}, scratch)
+	bv := b.UniqueCoverSet([]int{0, 1}, scratch)
+	if a != bv {
+		t.Fatalf("scratch reuse changed result: %d vs %d", a, bv)
+	}
+}
+
+func TestInducedBipartite(t *testing.T) {
+	// Path 0-1-2-3; S = {1,2} → N = {0,3}, plus internal edge 1-2 dropped.
+	g := pathGraph(4)
+	b, nVerts := InducedBipartite(g, []int{1, 2})
+	if b.NS() != 2 || b.NN() != 2 {
+		t.Fatalf("dims s=%d n=%d", b.NS(), b.NN())
+	}
+	if b.M() != 2 {
+		t.Fatalf("m = %d, want 2 (internal edge dropped)", b.M())
+	}
+	// nVerts must be exactly {0, 3}.
+	seen := map[int]bool{}
+	for _, v := range nVerts {
+		seen[v] = true
+	}
+	if !seen[0] || !seen[3] || len(nVerts) != 2 {
+		t.Fatalf("nVerts = %v", nVerts)
+	}
+}
+
+func TestInducedBipartiteNoExternal(t *testing.T) {
+	// Whole triangle as S: no external neighbors.
+	b3 := NewBuilder(3)
+	b3.MustAddEdge(0, 1)
+	b3.MustAddEdge(1, 2)
+	b3.MustAddEdge(2, 0)
+	g := b3.Build()
+	b, nVerts := InducedBipartite(g, []int{0, 1, 2})
+	if b.NN() != 0 || len(nVerts) != 0 || b.M() != 0 {
+		t.Fatal("expected empty N side")
+	}
+}
+
+// Property: |Γ¹_S(S')| ≤ |Γ_S(S')| ≤ Σ deg(u) for any subset.
+func TestQuickCoverInequalities(t *testing.T) {
+	f := func(edges []uint16, pick []bool) bool {
+		const s, n = 8, 12
+		bb := NewBipartiteBuilder(s, n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			bb.MustAddEdge(int(edges[i])%s, int(edges[i+1])%n)
+		}
+		b := bb.Build()
+		var sub []int
+		for u := 0; u < s && u < len(pick); u++ {
+			if pick[u] {
+				sub = append(sub, u)
+			}
+		}
+		uniq := b.UniqueCoverSet(sub, nil)
+		cov := b.CoverSet(sub, nil)
+		degSum := 0
+		for _, u := range sub {
+			degSum += b.DegS(u)
+		}
+		return uniq <= cov && cov <= degSum && uniq >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the two CSR directions agree — edge (u,v) seen from S iff seen
+// from N.
+func TestQuickCSRSymmetry(t *testing.T) {
+	f := func(edges []uint16) bool {
+		const s, n = 9, 7
+		bb := NewBipartiteBuilder(s, n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			bb.MustAddEdge(int(edges[i])%s, int(edges[i+1])%n)
+		}
+		b := bb.Build()
+		fromS := map[[2]int]bool{}
+		for u := 0; u < s; u++ {
+			for _, v := range b.NeighborsOfS(u) {
+				fromS[[2]int{u, int(v)}] = true
+			}
+		}
+		cnt := 0
+		for v := 0; v < n; v++ {
+			for _, u := range b.NeighborsOfN(v) {
+				if !fromS[[2]int{int(u), v}] {
+					return false
+				}
+				cnt++
+			}
+		}
+		return cnt == len(fromS) && cnt == b.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks that the parser never panics and that every
+// successfully parsed graph round-trips through the writer.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("n 3\n0 1\n1 2\n")
+	f.Add("# comment\nn 5\n0 4\n")
+	f.Add("n 0\n")
+	f.Add("garbage")
+	f.Add("n 2\n0 1\n0 1\n1 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read failed: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip re-read failed: %v", err)
+		}
+		if !Equal(g, g2) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadBipartiteEdgeList mirrors FuzzReadEdgeList for the bipartite
+// format.
+func FuzzReadBipartiteEdgeList(f *testing.F) {
+	f.Add("bipartite 2 3\n0 0\n1 2\n")
+	f.Add("bipartite 0 0\n")
+	f.Add("bipartite 1 1\n0 0\n0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		b, err := ReadBipartiteEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBipartiteEdgeList(&buf, b); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		b2, err := ReadBipartiteEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if b.NS() != b2.NS() || b.NN() != b2.NN() || b.M() != b2.M() {
+			t.Fatal("round trip changed dimensions")
+		}
+	})
+}
+
+// FuzzBuilder checks the builder's CSR construction on arbitrary edge
+// dumps: degrees must sum to 2m, adjacency must be sorted and mutual.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 3, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n = 16
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := int(raw[i])%n, int(raw[i+1])%n
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		degSum := 0
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(v)
+			degSum += len(nbrs)
+			for i := range nbrs {
+				if i > 0 && nbrs[i-1] >= nbrs[i] {
+					t.Fatal("adjacency not strictly sorted")
+				}
+				if !g.HasEdge(int(nbrs[i]), v) {
+					t.Fatal("adjacency not mutual")
+				}
+			}
+		}
+		if degSum != 2*g.M() {
+			t.Fatalf("handshake violated: %d != %d", degSum, 2*g.M())
+		}
+	})
+}

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 0)
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := triangle(t)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("triangle: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("deg(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative edge accepted")
+	}
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 0)
+	b.MustAddEdge(0, 1)
+	g := b.Build()
+	if g.M() != 1 {
+		t.Fatalf("m = %d, want 1 after dedup", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatal("degrees wrong after dedup")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder(6)
+	for _, w := range []int{5, 1, 3, 2, 4} {
+		b.MustAddEdge(0, w)
+	}
+	g := b.Build()
+	nbrs := g.Neighbors(0)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("neighbors not sorted: %v", nbrs)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.N() != 0 || g.M() != 0 || g.MaxDegree() != 0 || g.MinDegree() != 0 {
+		t.Fatal("empty graph stats wrong")
+	}
+	if g.AvgDegree() != 0 {
+		t.Fatal("empty graph avg degree")
+	}
+	reg, d := g.IsRegular()
+	if !reg || d != 0 {
+		t.Fatal("empty graph regularity")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	b := NewBuilder(4) // star K_{1,3}
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(0, 2)
+	b.MustAddEdge(0, 3)
+	g := b.Build()
+	if g.MaxDegree() != 3 || g.MinDegree() != 1 {
+		t.Fatalf("max=%d min=%d", g.MaxDegree(), g.MinDegree())
+	}
+	if g.AvgDegree() != 1.5 {
+		t.Fatalf("avg = %g, want 1.5", g.AvgDegree())
+	}
+	if reg, _ := g.IsRegular(); reg {
+		t.Fatal("star reported regular")
+	}
+	if reg, d := triangle(t).IsRegular(); !reg || d != 2 {
+		t.Fatal("triangle not 2-regular")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	want := [][2]int{{0, 1}, {0, 4}, {1, 2}, {2, 3}, {3, 4}}
+	for _, e := range want {
+		b.MustAddEdge(e[1], e[0]) // insert reversed to test normalization
+	}
+	g := b.Build()
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHasEdgeBinarySearch(t *testing.T) {
+	// High-degree vertex to exercise the search path.
+	const n = 200
+	b := NewBuilder(n)
+	for v := 1; v < n; v += 2 {
+		b.MustAddEdge(0, v)
+	}
+	g := b.Build()
+	for v := 1; v < n; v++ {
+		want := v%2 == 1
+		if g.HasEdge(0, v) != want {
+			t.Fatalf("HasEdge(0,%d) = %v, want %v", v, !want, want)
+		}
+		if g.HasEdge(v, 0) != want {
+			t.Fatalf("HasEdge(%d,0) = %v, want %v", v, !want, want)
+		}
+	}
+}
+
+// Property: a graph rebuilt from its own edge list is identical.
+func TestQuickRebuildRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 40
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := int(raw[i])%n, int(raw[i+1])%n
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		b2 := NewBuilder(n)
+		for _, e := range g.Edges() {
+			b2.MustAddEdge(e[0], e[1])
+		}
+		g2 := b2.Build()
+		if g.M() != g2.M() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a, bb := g.Neighbors(v), g2.Neighbors(v)
+			if len(a) != len(bb) {
+				return false
+			}
+			for i := range a {
+				if a[i] != bb[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: handshake lemma — sum of degrees equals 2m.
+func TestQuickHandshake(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 30
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := int(raw[i])%n, int(raw[i+1])%n
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortInt32LargeList(t *testing.T) {
+	// Exercise the merge-sort path (len > 32).
+	const n = 100
+	b := NewBuilder(n)
+	for v := n - 1; v >= 1; v-- {
+		b.MustAddEdge(0, v)
+	}
+	g := b.Build()
+	nbrs := g.Neighbors(0)
+	if len(nbrs) != n-1 {
+		t.Fatalf("degree = %d", len(nbrs))
+	}
+	for i := range nbrs {
+		if int(nbrs[i]) != i+1 {
+			t.Fatalf("sorted order broken at %d: %v", i, nbrs[:i+2])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in a plain text format:
+//
+//	# comment lines start with '#'
+//	n <vertex-count>
+//	<u> <v>          (one undirected edge per line, u < v)
+//
+// The format round-trips through ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format. Blank lines and '#'
+// comments are ignored; the "n" header must precede any edge.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "n":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: malformed header %q", line, text)
+			}
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[1])
+			}
+			b = NewBuilder(n)
+		default:
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge %q", line, text)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			if err := b.AddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	return b.Build(), nil
+}
+
+// WriteBipartiteEdgeList writes a bipartite graph as:
+//
+//	bipartite <|S|> <|N|>
+//	<u> <v>          (u ∈ S, v ∈ N)
+func WriteBipartiteEdgeList(w io.Writer, b *Bipartite) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "bipartite %d %d\n", b.NS(), b.NN()); err != nil {
+		return err
+	}
+	for u := 0; u < b.NS(); u++ {
+		for _, v := range b.NeighborsOfS(u) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBipartiteEdgeList parses the WriteBipartiteEdgeList format.
+func ReadBipartiteEdgeList(r io.Reader) (*Bipartite, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var bb *BipartiteBuilder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "bipartite":
+			if bb != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed header %q", line, text)
+			}
+			var s, n int
+			if _, err := fmt.Sscanf(text, "bipartite %d %d", &s, &n); err != nil || s < 0 || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad header %q", line, text)
+			}
+			bb = NewBipartiteBuilder(s, n)
+		default:
+			if bb == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			if err := bb.AddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if bb == nil {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	return bb.Build(), nil
+}

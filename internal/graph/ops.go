@@ -1,0 +1,100 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph returns the subgraph induced by the given vertices
+// (dense relabeling in input order) and the mapping from new ids to old.
+// Duplicate vertices in the input are rejected.
+func InducedSubgraph(g *Graph, verts []int) (*Graph, []int, error) {
+	idx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: vertex %d out of range", v)
+		}
+		if _, dup := idx[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d", v)
+		}
+		idx[v] = i
+	}
+	b := NewBuilder(len(verts))
+	for i, v := range verts {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := idx[int(w)]; ok && j > i {
+				b.MustAddEdge(i, j)
+			}
+		}
+	}
+	mapping := append([]int(nil), verts...)
+	return b.Build(), mapping, nil
+}
+
+// DisjointUnion returns the disjoint union of g and h: h's vertices are
+// renumbered to start at g.N().
+func DisjointUnion(g, h *Graph) *Graph {
+	b := NewBuilder(g.N() + h.N())
+	for _, e := range g.Edges() {
+		b.MustAddEdge(e[0], e[1])
+	}
+	off := g.N()
+	for _, e := range h.Edges() {
+		b.MustAddEdge(e[0]+off, e[1]+off)
+	}
+	return b.Build()
+}
+
+// Complement returns the complement graph: {u,v} is an edge iff it is not
+// an edge of g (no self-loops). Quadratic; intended for small graphs.
+func Complement(g *Graph) *Graph {
+	n := g.N()
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		nbrs := g.Neighbors(u)
+		k := 0
+		for v := u + 1; v < n; v++ {
+			for k < len(nbrs) && int(nbrs[k]) < v {
+				k++
+			}
+			if k < len(nbrs) && int(nbrs[k]) == v {
+				continue
+			}
+			b.MustAddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// AddVertexConnected returns a copy of g with one extra vertex (id g.N())
+// adjacent to the given attachment points — the "plug a source onto the
+// graph" primitive used by C⁺-style constructions.
+func AddVertexConnected(g *Graph, attach []int) (*Graph, error) {
+	b := NewBuilder(g.N() + 1)
+	for _, e := range g.Edges() {
+		b.MustAddEdge(e[0], e[1])
+	}
+	for _, v := range attach {
+		if err := b.AddEdge(g.N(), v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Equal reports whether two graphs have identical vertex counts and edge
+// sets (labels included).
+func Equal(g, h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for v := 0; v < g.N(); v++ {
+		a, b := g.Neighbors(v), h.Neighbors(v)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := pathGraph(5) // 0-1-2-3-4
+	sub, mapping, err := InducedSubgraph(g, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("induced path: n=%d m=%d", sub.N(), sub.M())
+	}
+	if mapping[0] != 1 || mapping[2] != 3 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	// Non-adjacent selection.
+	sub, _, err = InducedSubgraph(g, []int{0, 2, 4})
+	if err != nil || sub.M() != 0 {
+		t.Fatal("independent set should induce empty graph")
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := pathGraph(3)
+	if _, _, err := InducedSubgraph(g, []int{0, 0}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, _, err := InducedSubgraph(g, []int{5}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	g := pathGraph(3)
+	h := completeGraph(3)
+	u := DisjointUnion(g, h)
+	if u.N() != 6 || u.M() != g.M()+h.M() {
+		t.Fatalf("union dims n=%d m=%d", u.N(), u.M())
+	}
+	if u.Connected() {
+		t.Fatal("disjoint union should be disconnected")
+	}
+	if _, k := u.Components(); k != 2 {
+		t.Fatal("should have 2 components")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := completeGraph(5)
+	c := Complement(g)
+	if c.M() != 0 {
+		t.Fatalf("complement of K5 has %d edges", c.M())
+	}
+	empty := NewBuilder(4).Build()
+	if got := Complement(empty); got.M() != 6 {
+		t.Fatalf("complement of empty-4 has %d edges, want 6", got.M())
+	}
+	// Path complement check by hand: P3 = 0-1-2; complement has only 0-2.
+	p := pathGraph(3)
+	pc := Complement(p)
+	if pc.M() != 1 || !pc.HasEdge(0, 2) {
+		t.Fatalf("complement of P3 wrong: %v", pc.Edges())
+	}
+}
+
+func TestComplementInvolution(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 12
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := int(raw[i])%n, int(raw[i+1])%n
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		return Equal(g, Complement(Complement(g)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplementEdgeCount(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 10
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := int(raw[i])%n, int(raw[i+1])%n
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		return g.M()+Complement(g).M() == n*(n-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddVertexConnected(t *testing.T) {
+	g := completeGraph(4)
+	g2, err := AddVertexConnected(g, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 5 || g2.Degree(4) != 2 {
+		t.Fatalf("added vertex: n=%d deg=%d", g2.N(), g2.Degree(4))
+	}
+	if !g2.HasEdge(4, 0) || !g2.HasEdge(4, 2) || g2.HasEdge(4, 1) {
+		t.Fatal("attachments wrong")
+	}
+	if _, err := AddVertexConnected(g, []int{9}); err == nil {
+		t.Fatal("bad attachment accepted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := pathGraph(4)
+	b := pathGraph(4)
+	if !Equal(a, b) {
+		t.Fatal("identical graphs unequal")
+	}
+	if Equal(a, pathGraph(5)) {
+		t.Fatal("different sizes equal")
+	}
+	c := NewBuilder(4)
+	c.MustAddEdge(0, 1)
+	c.MustAddEdge(1, 2)
+	c.MustAddEdge(0, 3) // different edge set, same m
+	if Equal(a, c.Build()) {
+		t.Fatal("different graphs equal")
+	}
+}

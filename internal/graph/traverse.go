@@ -1,0 +1,137 @@
+package graph
+
+// BFS runs a breadth-first search from src and returns the distance slice,
+// with -1 for unreachable vertices.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(src))
+	dist[src] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, w := range g.Neighbors(int(u)) {
+			if dist[w] == -1 {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum finite BFS distance from src, and whether
+// every vertex was reachable.
+func (g *Graph) Eccentricity(src int) (int, bool) {
+	dist := g.BFS(src)
+	ecc, all := 0, true
+	for _, d := range dist {
+		if d == -1 {
+			all = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, all
+}
+
+// Diameter returns the exact diameter of the graph by running a BFS from
+// every vertex, and whether the graph is connected. For a disconnected
+// graph it returns the maximum eccentricity within components and false.
+// O(n·m); intended for the modest graph sizes of the experiment harness.
+func (g *Graph) Diameter() (int, bool) {
+	diam, connected := 0, true
+	for v := 0; v < g.n; v++ {
+		ecc, all := g.Eccentricity(v)
+		if !all {
+			connected = false
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, connected
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := 0
+	for _, d := range g.BFS(0) {
+		if d >= 0 {
+			seen++
+		}
+	}
+	return seen == g.n
+}
+
+// Components returns the component id of every vertex (ids are dense,
+// assigned in order of discovery) and the number of components.
+func (g *Graph) Components() ([]int, int) {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	queue := make([]int32, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, w := range g.Neighbors(int(u)) {
+				if comp[w] == -1 {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// IsBipartition checks two-colorability and returns a valid 0/1 coloring if
+// the graph is bipartite (nil otherwise).
+func (g *Graph) IsBipartition() ([]int8, bool) {
+	color := make([]int8, g.n)
+	for i := range color {
+		color[i] = -1
+	}
+	queue := make([]int32, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if color[s] != -1 {
+			continue
+		}
+		color[s] = 0
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			cu := color[u]
+			for _, w := range g.Neighbors(int(u)) {
+				switch color[w] {
+				case -1:
+					color[w] = 1 - cu
+					queue = append(queue, w)
+				case cu:
+					return nil, false
+				}
+			}
+		}
+	}
+	return color, true
+}

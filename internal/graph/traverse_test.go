@@ -1,0 +1,137 @@
+package graph
+
+import "testing"
+
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.MustAddEdge(v, v+1)
+	}
+	return b.Build()
+}
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(5)
+	dist := g.BFS(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	dist = g.BFS(2)
+	for v, want := range []int{2, 1, 0, 1, 2} {
+		if dist[v] != want {
+			t.Fatalf("from 2: dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	g := b.Build()
+	dist := g.BFS(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatal("unreachable vertices should have dist -1")
+	}
+	if _, all := g.Eccentricity(0); all {
+		t.Fatal("Eccentricity should report unreachable")
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestBFSInvalidSource(t *testing.T) {
+	g := pathGraph(3)
+	dist := g.BFS(-1)
+	for _, d := range dist {
+		if d != -1 {
+			t.Fatal("invalid source should yield all -1")
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+		conn bool
+	}{
+		{pathGraph(5), 4, true},
+		{pathGraph(1), 0, true},
+	}
+	// Cycle of 6: diameter 3.
+	b := NewBuilder(6)
+	for v := 0; v < 6; v++ {
+		b.MustAddEdge(v, (v+1)%6)
+	}
+	cases = append(cases, struct {
+		g    *Graph
+		want int
+		conn bool
+	}{b.Build(), 3, true})
+
+	for i, tc := range cases {
+		d, conn := tc.g.Diameter()
+		if d != tc.want || conn != tc.conn {
+			t.Fatalf("case %d: diameter=%d conn=%v, want %d %v", i, d, conn, tc.want, tc.conn)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(3, 4)
+	g := b.Build()
+	comp, k := g.Components()
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Fatal("3,4 component wrong")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("5 should be its own component")
+	}
+}
+
+func TestConnectedTrivial(t *testing.T) {
+	if !NewBuilder(0).Build().Connected() {
+		t.Fatal("empty graph should be connected")
+	}
+	if !NewBuilder(1).Build().Connected() {
+		t.Fatal("single vertex should be connected")
+	}
+}
+
+func TestIsBipartition(t *testing.T) {
+	// Even cycle: bipartite.
+	b := NewBuilder(6)
+	for v := 0; v < 6; v++ {
+		b.MustAddEdge(v, (v+1)%6)
+	}
+	color, ok := b.Build().IsBipartition()
+	if !ok {
+		t.Fatal("even cycle should be bipartite")
+	}
+	for v := 0; v < 6; v++ {
+		if color[v] == color[(v+1)%6] {
+			t.Fatal("coloring invalid")
+		}
+	}
+	// Odd cycle: not bipartite.
+	b = NewBuilder(5)
+	for v := 0; v < 5; v++ {
+		b.MustAddEdge(v, (v+1)%5)
+	}
+	if _, ok := b.Build().IsBipartition(); ok {
+		t.Fatal("odd cycle should not be bipartite")
+	}
+}

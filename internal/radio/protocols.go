@@ -1,0 +1,136 @@
+package radio
+
+import (
+	"math"
+
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+	"wexp/internal/spokesman"
+)
+
+// Flood is the naive protocol: every informed vertex transmits every round.
+// On the Introduction's C⁺ graph it informs x and y in round one and then
+// deadlocks forever — every clique vertex has ≥ 2 transmitting neighbors.
+type Flood struct{}
+
+// Name implements Protocol.
+func (Flood) Name() string { return "flood" }
+
+// Transmitters implements Protocol.
+func (Flood) Transmitters(n *Network, transmit []bool) {
+	for v, inf := range n.Informed {
+		transmit[v] = inf
+	}
+}
+
+// RoundRobin is the trivial collision-free protocol: vertex (round mod n)
+// transmits alone. Always completes on connected graphs, in O(n·D) rounds.
+type RoundRobin struct{}
+
+// Name implements Protocol.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Transmitters implements Protocol.
+func (RoundRobin) Transmitters(n *Network, transmit []bool) {
+	v := n.Round % n.G.N()
+	transmit[v] = n.Informed[v]
+}
+
+// Decay is the randomized protocol of Bar-Yehuda, Goldreich and Itai [5]:
+// time is divided into phases of ⌈log₂ n⌉+1 rounds, and in round i of each
+// phase every informed vertex transmits independently with probability
+// 2^{-i}. Each vertex with an informed neighbor is informed within O(log n)
+// phases in expectation.
+type Decay struct {
+	R *rng.RNG
+}
+
+// Name implements Protocol.
+func (*Decay) Name() string { return "decay-bgi" }
+
+// Transmitters implements Protocol.
+func (d *Decay) Transmitters(n *Network, transmit []bool) {
+	phaseLen := int(math.Ceil(math.Log2(float64(n.G.N())))) + 1
+	i := n.Round%phaseLen + 1
+	p := math.Pow(2, -float64(i-1))
+	for v, inf := range n.Informed {
+		if inf {
+			transmit[v] = d.R.Bernoulli(p)
+		}
+	}
+}
+
+// Spokesman is the offline/centralized schedule that realizes wireless
+// expansion operationally: each round it takes the frontier S (informed
+// vertices with at least one uninformed neighbor), builds the induced
+// bipartite graph GS = (S, Γ⁻(S) ∩ uninformed), elects a spokesman subset
+// S' ⊆ S with a large S-excluding unique neighborhood, and transmits
+// exactly S'. On an (αw, βw)-wireless expander the frontier's uninformed
+// neighborhood shrinks geometrically.
+//
+// This is a *centralized* benchmark protocol (it reads global state), used
+// to demonstrate achievable schedules, not a distributed algorithm.
+type Spokesman struct {
+	R      *rng.RNG
+	Trials int // decay-sampler trials per round (0 = deterministic only)
+}
+
+// Name implements Protocol.
+func (*Spokesman) Name() string { return "spokesman" }
+
+// Transmitters implements Protocol.
+func (sp *Spokesman) Transmitters(n *Network, transmit []bool) {
+	// Frontier: informed vertices with an uninformed neighbor.
+	var frontier []int
+	for v, inf := range n.Informed {
+		if !inf {
+			continue
+		}
+		for _, w := range n.G.Neighbors(v) {
+			if !n.Informed[w] {
+				frontier = append(frontier, v)
+				break
+			}
+		}
+	}
+	if len(frontier) == 0 {
+		return
+	}
+	b, _ := uninformedBipartite(n, frontier)
+	var sel spokesman.Selection
+	if sp.Trials > 0 && sp.R != nil {
+		sel = spokesman.Best(b, sp.Trials, sp.R)
+	} else {
+		sel = spokesman.BestDeterministic(b)
+	}
+	for _, i := range sel.Subset {
+		transmit[frontier[i]] = true
+	}
+}
+
+// uninformedBipartite builds the bipartite graph from the frontier to its
+// uninformed neighbors.
+func uninformedBipartite(n *Network, frontier []int) (*graph.Bipartite, []int) {
+	nIndex := make(map[int32]int)
+	var nVerts []int
+	var edges [][2]int
+	for i, u := range frontier {
+		for _, w := range n.G.Neighbors(u) {
+			if n.Informed[w] {
+				continue
+			}
+			idx, ok := nIndex[w]
+			if !ok {
+				idx = len(nVerts)
+				nIndex[w] = idx
+				nVerts = append(nVerts, int(w))
+			}
+			edges = append(edges, [2]int{i, idx})
+		}
+	}
+	bb := graph.NewBipartiteBuilder(len(frontier), len(nVerts))
+	for _, e := range edges {
+		bb.MustAddEdge(e[0], e[1])
+	}
+	return bb.Build(), nVerts
+}

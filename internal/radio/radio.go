@@ -1,0 +1,175 @@
+// Package radio simulates multihop radio networks under the model of
+// Chlamtac–Kutten [8] used throughout the paper: processors communicate in
+// synchronous rounds; in each round a processor either transmits or stays
+// silent; a silent processor receives a message if and only if exactly one
+// of its neighbors transmits; a collision (two or more transmitting
+// neighbors) is indistinguishable from silence.
+//
+// The package provides the primitive round engine plus the broadcast
+// protocols the paper discusses: naive flooding (which deadlocks on C⁺),
+// the Decay protocol of Bar-Yehuda–Goldreich–Itai [5], round-robin, and an
+// offline spokesman-scheduled protocol that transmits only a chosen subset
+// of informed vertices each round — the algorithmic counterpart of wireless
+// expansion.
+package radio
+
+import (
+	"fmt"
+
+	"wexp/internal/graph"
+)
+
+// Network is the simulation state for one broadcast execution.
+type Network struct {
+	G        *graph.Graph
+	Informed []bool // has the vertex received (or originated) the message
+	Round    int    // rounds elapsed
+
+	// Stats
+	Collisions    int // vertex-rounds in which ≥2 neighbors transmitted
+	Transmissions int // total transmit actions
+	InformedCount int
+	receivedHits  []int32 // scratch: transmitting-neighbor count per vertex
+	informedAtRnd []int   // round at which each vertex became informed (-1 if never)
+}
+
+// NewNetwork creates a network with the single source informed at round 0.
+func NewNetwork(g *graph.Graph, source int) (*Network, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("radio: source %d out of range [0,%d)", source, g.N())
+	}
+	n := &Network{
+		G:            g,
+		Informed:     make([]bool, g.N()),
+		receivedHits: make([]int32, g.N()),
+	}
+	n.informedAtRnd = make([]int, g.N())
+	for i := range n.informedAtRnd {
+		n.informedAtRnd[i] = -1
+	}
+	n.Informed[source] = true
+	n.informedAtRnd[source] = 0
+	n.InformedCount = 1
+	return n, nil
+}
+
+// Step executes one synchronous round in which exactly the vertices marked
+// by transmit send. Vertices that are not informed cannot transmit (their
+// flag is ignored): a processor cannot send a message it does not hold.
+// Returns the number of newly informed vertices.
+func (n *Network) Step(transmit []bool) int {
+	hits := n.receivedHits
+	for i := range hits {
+		hits[i] = 0
+	}
+	for v := 0; v < n.G.N(); v++ {
+		if !transmit[v] || !n.Informed[v] {
+			continue
+		}
+		n.Transmissions++
+		for _, w := range n.G.Neighbors(v) {
+			hits[w]++
+		}
+	}
+	n.Round++
+	newly := 0
+	for v := 0; v < n.G.N(); v++ {
+		switch {
+		case transmit[v] && n.Informed[v]:
+			// A transmitting processor receives nothing this round (it is
+			// not silent), but it is already informed so nothing changes.
+		case hits[v] == 1:
+			if !n.Informed[v] {
+				n.Informed[v] = true
+				n.informedAtRnd[v] = n.Round
+				newly++
+				n.InformedCount++
+			}
+		case hits[v] >= 2:
+			n.Collisions++
+		}
+	}
+	return newly
+}
+
+// Done reports whether every vertex is informed.
+func (n *Network) Done() bool { return n.InformedCount == n.G.N() }
+
+// InformedAt returns the round at which v became informed, or -1.
+func (n *Network) InformedAt(v int) int { return n.informedAtRnd[v] }
+
+// CountInformedIn returns how many of the given vertices are informed.
+func (n *Network) CountInformedIn(verts []int) int {
+	c := 0
+	for _, v := range verts {
+		if n.Informed[v] {
+			c++
+		}
+	}
+	return c
+}
+
+// Protocol decides, each round, which vertices transmit. Implementations
+// may only use information a distributed protocol could know (informed
+// status, round number, per-vertex randomness) unless explicitly documented
+// as an offline/centralized schedule.
+type Protocol interface {
+	// Name identifies the protocol in experiment tables.
+	Name() string
+	// Transmitters fills transmit[v] = true for each vertex that transmits
+	// this round. The engine ignores transmit flags on uninformed vertices.
+	Transmitters(n *Network, transmit []bool)
+}
+
+// RunResult summarizes one broadcast execution.
+type RunResult struct {
+	Protocol      string
+	Rounds        int
+	Completed     bool
+	InformedCount int
+	Collisions    int
+	Transmissions int
+}
+
+// Run executes the protocol until broadcast completes or maxRounds elapse.
+func Run(g *graph.Graph, source int, p Protocol, maxRounds int) (RunResult, error) {
+	n, err := NewNetwork(g, source)
+	if err != nil {
+		return RunResult{}, err
+	}
+	transmit := make([]bool, g.N())
+	for n.Round < maxRounds && !n.Done() {
+		for i := range transmit {
+			transmit[i] = false
+		}
+		p.Transmitters(n, transmit)
+		n.Step(transmit)
+	}
+	return RunResult{
+		Protocol:      p.Name(),
+		Rounds:        n.Round,
+		Completed:     n.Done(),
+		InformedCount: n.InformedCount,
+		Collisions:    n.Collisions,
+		Transmissions: n.Transmissions,
+	}, nil
+}
+
+// RunNetwork executes the protocol like Run but returns the final Network,
+// exposing per-vertex informed-at rounds for post-hoc analyses (e.g. the
+// Section 5 per-hop decomposition R = R₁ + ... + R_{D/2}).
+func RunNetwork(g *graph.Graph, source int, p Protocol, maxRounds int) (*Network, error) {
+	n, err := NewNetwork(g, source)
+	if err != nil {
+		return nil, err
+	}
+	transmit := make([]bool, g.N())
+	for n.Round < maxRounds && !n.Done() {
+		for i := range transmit {
+			transmit[i] = false
+		}
+		p.Transmitters(n, transmit)
+		n.Step(transmit)
+	}
+	return n, nil
+}

@@ -1,0 +1,96 @@
+package radio
+
+import (
+	"fmt"
+
+	"wexp/internal/rng"
+)
+
+// FixedSchedule is an oblivious protocol: which vertices transmit in round
+// r depends only on (r, vertex id), fixed before execution — the protocol
+// class against which Section 5's lower bound is cleanest (the relay rtᵢ is
+// a uniformly random N-vertex, so no oblivious schedule can favor it).
+// The schedule cycles with period len(Slots).
+type FixedSchedule struct {
+	Label string
+	Slots [][]int // Slots[r % period] = vertex ids allowed to transmit
+}
+
+// Name implements Protocol.
+func (f *FixedSchedule) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "fixed-schedule"
+}
+
+// Transmitters implements Protocol.
+func (f *FixedSchedule) Transmitters(n *Network, transmit []bool) {
+	if len(f.Slots) == 0 {
+		return
+	}
+	for _, v := range f.Slots[n.Round%len(f.Slots)] {
+		if v >= 0 && v < len(transmit) {
+			transmit[v] = n.Informed[v]
+		}
+	}
+}
+
+// NewRoundRobinSchedule returns the oblivious schedule equivalent of
+// RoundRobin: period n, one vertex per slot.
+func NewRoundRobinSchedule(n int) *FixedSchedule {
+	slots := make([][]int, n)
+	for v := 0; v < n; v++ {
+		slots[v] = []int{v}
+	}
+	return &FixedSchedule{Label: "rr-schedule", Slots: slots}
+}
+
+// NewRandomSchedule returns an oblivious schedule with the given period in
+// which each vertex appears in each slot independently with probability p.
+// Varying p trades collision risk against progress rate — every choice
+// still obeys the Ω(D·log(n/D)) broadcast lower bound on the chain.
+func NewRandomSchedule(n, period int, p float64, r *rng.RNG) (*FixedSchedule, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("radio: schedule period must be positive, got %d", period)
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("radio: schedule density must be in (0,1], got %g", p)
+	}
+	slots := make([][]int, period)
+	for t := range slots {
+		for v := 0; v < n; v++ {
+			if r.Bernoulli(p) {
+				slots[t] = append(slots[t], v)
+			}
+		}
+	}
+	return &FixedSchedule{
+		Label: fmt.Sprintf("random-schedule-p%.3g", p),
+		Slots: slots,
+	}, nil
+}
+
+// NewDecaySchedule returns an oblivious decay-style schedule: slot i of
+// each period has each vertex present with probability 2^{-(i mod L)},
+// where L = period. This is the derandomization-resistant pattern behind
+// the Decay protocol, frozen into a fixed schedule.
+func NewDecaySchedule(n, period int, r *rng.RNG) (*FixedSchedule, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("radio: schedule period must be positive, got %d", period)
+	}
+	slots := make([][]int, period)
+	p := 1.0
+	for t := range slots {
+		for v := 0; v < n; v++ {
+			if r.Bernoulli(p) {
+				slots[t] = append(slots[t], v)
+			}
+		}
+		p /= 2
+		if p < 1.0/float64(2*n) {
+			p = 1.0
+		}
+	}
+	return &FixedSchedule{Label: "decay-schedule", Slots: slots}, nil
+}

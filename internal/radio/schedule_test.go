@@ -1,0 +1,89 @@
+package radio
+
+import (
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/rng"
+)
+
+func TestRoundRobinScheduleMatchesProtocol(t *testing.T) {
+	g := gen.CPlus(8)
+	a, err := Run(g, 0, RoundRobin{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, 0, NewRoundRobinSchedule(g.N()), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Completed != b.Completed {
+		t.Fatalf("schedule diverges from protocol: %+v vs %+v", a, b)
+	}
+}
+
+func TestRandomScheduleCompletes(t *testing.T) {
+	g := gen.Torus(6, 6)
+	r := rng.New(1)
+	sched, err := NewRandomSchedule(g.N(), 64, 0.1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, 0, sched, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("random schedule incomplete: %d/%d", res.InformedCount, g.N())
+	}
+}
+
+func TestDecayScheduleCompletes(t *testing.T) {
+	g := gen.CPlus(16)
+	r := rng.New(2)
+	sched, err := NewDecaySchedule(g.N(), 32, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, 0, sched, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("decay schedule incomplete: %d/%d", res.InformedCount, g.N())
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	r := rng.New(3)
+	if _, err := NewRandomSchedule(10, 0, 0.5, r); err == nil {
+		t.Fatal("period 0 accepted")
+	}
+	if _, err := NewRandomSchedule(10, 4, 0, r); err == nil {
+		t.Fatal("density 0 accepted")
+	}
+	if _, err := NewRandomSchedule(10, 4, 1.5, r); err == nil {
+		t.Fatal("density > 1 accepted")
+	}
+	if _, err := NewDecaySchedule(10, 0, r); err == nil {
+		t.Fatal("decay period 0 accepted")
+	}
+}
+
+func TestEmptyScheduleIsSilent(t *testing.T) {
+	g := gen.Path(4)
+	sched := &FixedSchedule{Label: "empty"}
+	res, err := Run(g, 0, sched, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || res.InformedCount != 1 {
+		t.Fatal("empty schedule should make no progress")
+	}
+	if sched.Name() != "empty" {
+		t.Fatal("label not used")
+	}
+	if (&FixedSchedule{}).Name() != "fixed-schedule" {
+		t.Fatal("default name wrong")
+	}
+}

@@ -1,0 +1,112 @@
+package radio
+
+import (
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/rng"
+)
+
+func TestRunTracedMatchesRun(t *testing.T) {
+	g := gen.Path(12)
+	res, tr, err := RunTraced(g, 0, Flood{}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Rounds != 11 {
+		t.Fatalf("traced flood on path: %+v", res)
+	}
+	if len(tr.Informed) != res.Rounds+1 {
+		t.Fatalf("trace length %d, want %d", len(tr.Informed), res.Rounds+1)
+	}
+	if tr.Informed[0] != 1 {
+		t.Fatal("initial informed count should be 1")
+	}
+	if tr.Informed[res.Rounds] != g.N() {
+		t.Fatal("final informed count wrong")
+	}
+	// Monotone non-decreasing; Newly consistent with differences.
+	for i := 1; i < len(tr.Informed); i++ {
+		if tr.Informed[i] < tr.Informed[i-1] {
+			t.Fatal("informed count decreased")
+		}
+		if tr.Informed[i]-tr.Informed[i-1] != tr.Newly[i] {
+			t.Fatalf("round %d: newly %d != diff %d", i, tr.Newly[i], tr.Informed[i]-tr.Informed[i-1])
+		}
+	}
+}
+
+func TestRoundsToReach(t *testing.T) {
+	g := gen.Path(6)
+	_, tr, err := RunTraced(g, 0, Flood{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.RoundsToReach(1); got != 0 {
+		t.Fatalf("reach 1 at %d, want 0", got)
+	}
+	if got := tr.RoundsToReach(3); got != 2 {
+		t.Fatalf("reach 3 at %d, want 2", got)
+	}
+	if got := tr.RoundsToReach(100); got != -1 {
+		t.Fatalf("unreachable target returned %d", got)
+	}
+}
+
+func TestTraceCollisionAccounting(t *testing.T) {
+	g := gen.CPlus(8)
+	res, tr, err := RunTraced(g, 0, Flood{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, c := range tr.Collisions {
+		sum += c
+	}
+	if sum != res.Collisions {
+		t.Fatalf("per-round collisions sum %d != total %d", sum, res.Collisions)
+	}
+	sumTx := 0
+	for _, c := range tr.Transmissions {
+		sumTx += c
+	}
+	if sumTx != res.Transmissions {
+		t.Fatalf("per-round transmissions sum %d != total %d", sumTx, res.Transmissions)
+	}
+}
+
+func TestProbFloodOnPath(t *testing.T) {
+	g := gen.Path(10)
+	r := rng.New(1)
+	res, err := Run(g, 0, &ProbFlood{P: 0.7, R: r}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("prob-flood incomplete on path")
+	}
+}
+
+func TestProbFloodP1DeadlocksOnCPlus(t *testing.T) {
+	g := gen.CPlus(8)
+	r := rng.New(2)
+	res, err := Run(g, 0, &ProbFlood{P: 1, R: r}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("p=1 prob-flood should behave like flooding on C⁺")
+	}
+}
+
+func TestProbFloodHalfCompletesOnCPlus(t *testing.T) {
+	g := gen.CPlus(8)
+	r := rng.New(3)
+	res, err := Run(g, 0, &ProbFlood{P: 0.5, R: r}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("p=0.5 prob-flood should eventually break the symmetry")
+	}
+}

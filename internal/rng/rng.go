@@ -1,0 +1,176 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used by every randomized component of the library.
+//
+// Reproducibility is a first-class requirement for the experiment harness:
+// each experiment seeds its own RNG, and parallel trial workers receive
+// independent streams via Split, so results are bit-identical across runs
+// regardless of goroutine scheduling. The generator is xoshiro256**, which
+// has a 256-bit state, passes BigCrush, and is far faster than the stdlib's
+// global locked source.
+package rng
+
+import "math/bits"
+
+// RNG is a xoshiro256** generator. It is not safe for concurrent use; use
+// Split to derive independent generators for concurrent workers.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed using splitmix64 state
+// initialization, which guarantees a well-mixed nonzero state for any seed
+// (including zero).
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split returns a new generator with a state derived from, but statistically
+// independent of, the receiver's stream. The receiver advances.
+func (r *RNG) Split() *RNG {
+	// Feeding a fresh splitmix64 chain from the parent's output decorrelates
+	// the child stream from subsequent parent output.
+	return New(r.Uint64() ^ 0xD1B54A32D192ED03)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniform random boolean.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles the slice in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Binomial returns a sample from Binomial(n, p) by direct simulation.
+// It is O(n); the library only draws binomials with small n, so a fancier
+// sampler is not warranted.
+func (r *RNG) Binomial(n int, p float64) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			c++
+		}
+	}
+	return c
+}
+
+// SampleSubset returns each of the n indices independently with probability
+// p, appended to dst (which may be nil). This is the primitive used by the
+// decay sampler of Lemma 4.2.
+func (r *RNG) SampleSubset(n int, p float64, dst []int) []int {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Choose returns k distinct uniform indices from [0, n) in increasing order.
+// It panics if k > n or k < 0.
+func (r *RNG) Choose(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Choose with k out of range")
+	}
+	// Floyd's algorithm: O(k) expected time, no O(n) allocation.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Insertion sort: k is small in all callers and the output contract is
+	// "increasing order".
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	allZero := true
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream should not equal the parent's continued stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream matches parent %d/100 times", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a, b := New(9), New(9)
+	ca, cb := a.Split(), b.Split()
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatalf("split streams diverge at %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 30} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(5)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("value %d count %d deviates from %g", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %g, want ≈ 0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(17)
+	const p, trials = 0.3, 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bernoulli rate = %g, want ≈ %g", rate, p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestChoose(t *testing.T) {
+	r := New(23)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 1}, {10, 5}, {10, 10}, {1000, 3}} {
+		out := r.Choose(tc.n, tc.k)
+		if len(out) != tc.k {
+			t.Fatalf("Choose(%d,%d) returned %d elems", tc.n, tc.k, len(out))
+		}
+		for i := range out {
+			if out[i] < 0 || out[i] >= tc.n {
+				t.Fatalf("Choose element %d out of range", out[i])
+			}
+			if i > 0 && out[i] <= out[i-1] {
+				t.Fatalf("Choose not strictly increasing: %v", out)
+			}
+		}
+	}
+}
+
+func TestChoosePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Choose(3, 4)
+}
+
+func TestChooseCoverage(t *testing.T) {
+	// Every element should be chosen sometimes.
+	r := New(29)
+	const n = 8
+	seen := make([]bool, n)
+	for i := 0; i < 200; i++ {
+		for _, v := range r.Choose(n, 2) {
+			seen[v] = true
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d never chosen", v)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	r := New(31)
+	const n, p, trials = 20, 0.5, 20000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		b := r.Binomial(n, p)
+		if b < 0 || b > n {
+			t.Fatalf("Binomial out of range: %d", b)
+		}
+		sum += b
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-n*p) > 0.1 {
+		t.Fatalf("Binomial mean = %g, want ≈ %g", mean, n*p)
+	}
+}
+
+func TestSampleSubset(t *testing.T) {
+	r := New(37)
+	out := r.SampleSubset(100, 1, nil)
+	if len(out) != 100 {
+		t.Fatalf("SampleSubset p=1 returned %d", len(out))
+	}
+	out = r.SampleSubset(100, 0, out)
+	if len(out) != 0 {
+		t.Fatalf("SampleSubset p=0 returned %d", len(out))
+	}
+	// Reuse should not retain old elements.
+	out = r.SampleSubset(10, 0.5, out)
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatalf("SampleSubset not increasing: %v", out)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(41)
+	a := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, v := range a {
+		sum += v
+	}
+	r.ShuffleInts(a)
+	sum2 := 0
+	for _, v := range a {
+		sum2 += v
+	}
+	if sum != sum2 || len(a) != 7 {
+		t.Fatalf("shuffle changed multiset: %v", a)
+	}
+}

@@ -1,0 +1,161 @@
+package spokesman
+
+import (
+	"math"
+
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+// DecaySample implements the probabilistic-method argument of Lemma 4.2,
+// turned into an algorithm: for each decay level j, sample each vertex of S
+// independently with probability 2^{-j} and keep the sample with the
+// largest certified unique cover.
+//
+// The analysis: let N' be the N-vertices of degree ≤ 2δN (at least half of
+// N), bucket N' into k = ⌊log 4δN⌋+1 classes by degree ∈ [2^j, 2^{j+1}), and
+// let Nj be the largest class, |Nj| ≥ |N|/(2k). A 2^{-j} sample uniquely
+// covers each vertex of Nj with probability ≥ e^{-3}, so the expected
+// unique cover at level j is Ω(|N| / log 2δN). Running `trials` independent
+// samples per level and keeping the maximum exceeds the expectation with
+// probability approaching 1; the returned selection's Unique field is exact
+// regardless.
+func DecaySample(b *graph.Bipartite, trials int, r *rng.RNG) Selection {
+	if trials <= 0 {
+		trials = 8
+	}
+	s := b.NS()
+	best := Selection{Method: "decay"}
+	if s == 0 {
+		return best
+	}
+	maxLevel := levelCount(b)
+	scratch := make([]int8, b.NN())
+	var sample []int
+	var bestSubset []int
+	for j := 0; j <= maxLevel; j++ {
+		p := math.Pow(2, -float64(j))
+		for t := 0; t < trials; t++ {
+			sample = r.SampleSubset(s, p, sample)
+			uniq := b.UniqueCoverSet(sample, scratch)
+			if uniq > best.Unique {
+				best.Unique = uniq
+				bestSubset = append(bestSubset[:0], sample...)
+			}
+		}
+	}
+	if bestSubset == nil {
+		// Degenerate (e.g. all samples empty): fall back to the best single
+		// vertex, which uniquely covers deg(u) ≥ 1 under the no-isolated
+		// assumption.
+		sb := SingleBest(b)
+		sb.Method = "decay"
+		return sb
+	}
+	return Evaluate(b, bestSubset, "decay")
+}
+
+// levelCount returns the largest decay level worth sampling: enough levels
+// to cover the maximum S-side coverage degree of any N vertex, i.e.
+// ⌈log2(∆N)⌉, capped at log2 |S| (a sample probability below 1/|S| is
+// almost surely empty).
+func levelCount(b *graph.Bipartite) int {
+	maxD := b.MaxDegN()
+	if maxD < 1 {
+		maxD = 1
+	}
+	lv := int(math.Ceil(math.Log2(float64(maxD)))) + 1
+	if cap := int(math.Ceil(math.Log2(float64(b.NS()+1)))) + 1; lv > cap {
+		lv = cap
+	}
+	return lv
+}
+
+// DecayLowBeta implements the Lemma 4.3 reduction for the β < 1 regime
+// (|N| < |S|): restrict S to its low-degree half S' = {u : deg(u) ≤ 2δS},
+// greedily extract S” ⊆ S' that covers Γ(S') with |S”| ≤ |Γ(S')| (each
+// added vertex must cover a new N-vertex), and run the decay sampler on the
+// induced subgraph, whose N-side average degree is at most 2δS. The
+// returned subset is re-certified against the original graph.
+func DecayLowBeta(b *graph.Bipartite, trials int, r *rng.RNG) Selection {
+	s := b.NS()
+	if s == 0 {
+		return Selection{Method: "decay-lowbeta"}
+	}
+	twoDeltaS := 2 * b.AvgDegS()
+	var sPrime []int
+	for u := 0; u < s; u++ {
+		if float64(b.DegS(u)) <= twoDeltaS {
+			sPrime = append(sPrime, u)
+		}
+	}
+	// Greedy cover: iterate S' and keep u only if it covers an uncovered
+	// N-vertex (the "iterate and add if it covers a new vertex" step of the
+	// proof). |S''| ≤ |N'| follows because each kept vertex claims at least
+	// one new N-vertex.
+	covered := make([]bool, b.NN())
+	var sDouble []int
+	for _, u := range sPrime {
+		isNew := false
+		for _, v := range b.NeighborsOfS(u) {
+			if !covered[v] {
+				isNew = true
+				break
+			}
+		}
+		if !isNew {
+			continue
+		}
+		sDouble = append(sDouble, u)
+		for _, v := range b.NeighborsOfS(u) {
+			covered[v] = true
+		}
+	}
+	if len(sDouble) == 0 {
+		sb := SingleBest(b)
+		sb.Method = "decay-lowbeta"
+		return sb
+	}
+	// Induced subgraph on (S'', Γ(S'')): relabel and sample there.
+	sub, origIdx := induceOnS(b, sDouble)
+	inner := DecaySample(sub, trials, r)
+	subset := make([]int, len(inner.Subset))
+	for i, u := range inner.Subset {
+		subset[i] = origIdx[u]
+	}
+	return Evaluate(b, subset, "decay-lowbeta")
+}
+
+// induceOnS builds the bipartite subgraph induced by keeping only the given
+// S-vertices (and the N-vertices they touch). Returns the subgraph and the
+// map from new S-index to original S-index.
+func induceOnS(b *graph.Bipartite, keep []int) (*graph.Bipartite, []int) {
+	nMap := make(map[int32]int)
+	var edges [][2]int
+	for newU, u := range keep {
+		for _, v := range b.NeighborsOfS(u) {
+			nv, ok := nMap[v]
+			if !ok {
+				nv = len(nMap)
+				nMap[v] = nv
+			}
+			edges = append(edges, [2]int{newU, nv})
+		}
+	}
+	bb := graph.NewBipartiteBuilder(len(keep), len(nMap))
+	for _, e := range edges {
+		bb.MustAddEdge(e[0], e[1])
+	}
+	origIdx := append([]int(nil), keep...)
+	return bb.Build(), origIdx
+}
+
+// Decay dispatches on the regime: the plain sampler when |N| ≥ |S| (β ≥ 1)
+// and the Lemma 4.3 reduction otherwise, mirroring how Theorem 1.1 is
+// assembled from Lemmas 4.2 and 4.3.
+func Decay(b *graph.Bipartite, trials int, r *rng.RNG) Selection {
+	if b.NN() >= b.NS() {
+		return DecaySample(b, trials, r)
+	}
+	return better(DecaySample(b, trials, r), DecayLowBeta(b, trials, r))
+}

@@ -1,0 +1,127 @@
+package spokesman
+
+import (
+	"math"
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+func TestDecayLowBetaUnbalanced(t *testing.T) {
+	// |S| ≫ |N|: the Lemma 4.3 regime. The reduction must produce a
+	// certified positive selection meeting the conservative floor.
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		b := gen.RandomBipartite(80, 20, 0.06, r)
+		sel := DecayLowBeta(b, 12, r)
+		if sel.Unique <= 0 {
+			t.Fatalf("trial %d: empty selection", trial)
+		}
+		if got := b.UniqueCoverSet(sel.Subset, nil); got != sel.Unique {
+			t.Fatal("certificate mismatch")
+		}
+		floor := float64(b.NN()) / (9 * math.Max(bounds2Log(4*b.AvgDegS()), 1))
+		if float64(sel.Unique) < floor-1e-9 {
+			t.Fatalf("trial %d: %d below conservative floor %g", trial, sel.Unique, floor)
+		}
+	}
+}
+
+// bounds2Log avoids importing the bounds package here (keeping the
+// dependency direction spokesman ← bounds-free).
+func bounds2Log(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+func TestDecayDispatchesOnRegime(t *testing.T) {
+	r := rng.New(2)
+	// Balanced: plain sampler path.
+	bal := gen.RandomBipartite(12, 20, 0.2, r)
+	if sel := Decay(bal, 8, r); sel.Unique <= 0 {
+		t.Fatal("balanced decay empty")
+	}
+	// Unbalanced: both paths raced, best wins.
+	unb := gen.RandomBipartite(40, 10, 0.08, r)
+	if sel := Decay(unb, 8, r); sel.Unique <= 0 {
+		t.Fatal("unbalanced decay empty")
+	}
+}
+
+func TestDecayLowBetaDegenerateCases(t *testing.T) {
+	empty := graph.NewBipartiteBuilder(0, 0).Build()
+	if sel := DecayLowBeta(empty, 4, rng.New(3)); sel.Unique != 0 {
+		t.Fatal("empty graph")
+	}
+	// All S-vertices share the one N-vertex: S'' is a single vertex.
+	bb := graph.NewBipartiteBuilder(5, 1)
+	for u := 0; u < 5; u++ {
+		bb.MustAddEdge(u, 0)
+	}
+	sel := DecayLowBeta(bb.Build(), 4, rng.New(4))
+	if sel.Unique != 1 {
+		t.Fatalf("hub instance: unique = %d, want 1", sel.Unique)
+	}
+}
+
+func TestInduceOnSPreservesAdjacency(t *testing.T) {
+	r := rng.New(5)
+	b := gen.RandomBipartite(10, 12, 0.3, r)
+	keep := []int{1, 3, 7}
+	sub, orig := induceOnS(b, keep)
+	if sub.NS() != 3 {
+		t.Fatalf("sub |S| = %d", sub.NS())
+	}
+	for i, u := range orig {
+		if u != keep[i] {
+			t.Fatalf("orig mapping %v", orig)
+		}
+	}
+	// Degrees preserved.
+	for newU, u := range keep {
+		if sub.DegS(newU) != b.DegS(u) {
+			t.Fatalf("degree changed for %d: %d vs %d", u, sub.DegS(newU), b.DegS(u))
+		}
+	}
+}
+
+func TestBestDeterministicIsDeterministic(t *testing.T) {
+	r := rng.New(6)
+	b := gen.RandomBipartite(15, 20, 0.2, r)
+	a1 := BestDeterministic(b)
+	a2 := BestDeterministic(b)
+	if a1.Unique != a2.Unique || a1.Method != a2.Method {
+		t.Fatal("BestDeterministic not deterministic")
+	}
+	if len(a1.Subset) != len(a2.Subset) {
+		t.Fatal("subsets differ")
+	}
+	for i := range a1.Subset {
+		if a1.Subset[i] != a2.Subset[i] {
+			t.Fatal("subsets differ")
+		}
+	}
+}
+
+func TestLevelCountBounds(t *testing.T) {
+	// levelCount never exceeds log2(|S|)+2 and is at least 1.
+	r := rng.New(7)
+	for trial := 0; trial < 10; trial++ {
+		b := gen.RandomBipartite(16, 24, 0.2, r)
+		lv := levelCount(b)
+		if lv < 1 || lv > 7 {
+			t.Fatalf("levelCount = %d out of expected range", lv)
+		}
+	}
+	// Degenerate: a graph whose N side has max degree 0 after filtering.
+	bb := graph.NewBipartiteBuilder(4, 2)
+	bb.MustAddEdge(0, 0)
+	bb.MustAddEdge(0, 1)
+	if lv := levelCount(bb.Build()); lv < 1 {
+		t.Fatalf("levelCount = %d", lv)
+	}
+}

@@ -1,0 +1,91 @@
+package spokesman
+
+import (
+	"math"
+
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+// OptimalC is the base that maximizes f(c) = log₂c / (2(1+c)), the constant
+// in Corollary A.7: c ≈ 3.59112 achieving f(c) ≈ 0.20087.
+const OptimalC = 3.59112
+
+// DegreeClass implements the "convenient degree constraints" argument of
+// Lemmas A.5–A.7: bucket the N-vertices into geometric degree classes
+// N^(i) = {v : deg(v, S) ∈ [c^{i-1}, c^i)}, run Procedure Partition
+// restricted to each class (within a class all degrees agree up to a factor
+// c, the regime where Partition's edge-counting is tight), and return the
+// best resulting Suni. With c = OptimalC the guarantee of Corollary A.6 is
+// |Γ¹_S(S')| ≥ γ·log₂c / (2(1+c)·log₂ ∆) ≈ 0.20087·γ/log₂ ∆.
+func DegreeClass(b *graph.Bipartite, c float64) Selection {
+	if c <= 1 {
+		c = OptimalC
+	}
+	n := b.NN()
+	best := Selection{Method: "degree-class"}
+	if n == 0 || b.NS() == 0 {
+		return best
+	}
+	maxDeg := b.MaxDegN()
+	if maxDeg == 0 {
+		return best
+	}
+	numClasses := int(math.Ceil(math.Log(float64(maxDeg))/math.Log(c))) + 1
+	consider := make([]bool, n)
+	for i := 1; i <= numClasses; i++ {
+		lo := math.Pow(c, float64(i-1))
+		hi := math.Pow(c, float64(i))
+		nonEmpty := false
+		for v := 0; v < n; v++ {
+			d := float64(b.DegN(v))
+			in := d >= lo && (d < hi || i == numClasses && d <= hi)
+			consider[v] = in && d > 0
+			if consider[v] {
+				nonEmpty = true
+			}
+		}
+		if !nonEmpty {
+			continue
+		}
+		p := Partition(b, consider)
+		if len(p.Suni) == 0 {
+			continue
+		}
+		sel := Evaluate(b, p.Suni, "degree-class")
+		best = better(best, sel)
+	}
+	if len(best.Subset) == 0 {
+		sb := SingleBest(b)
+		sb.Method = "degree-class"
+		return sb
+	}
+	return best
+}
+
+// Best runs every algorithm in the package (except Exhaustive) and returns
+// the selection with the largest certified unique cover. This is the
+// library's default spokesman solver and the certificate generator for
+// wireless-expansion lower bounds on large graphs.
+func Best(b *graph.Bipartite, trials int, r *rng.RNG) Selection {
+	best := SingleBest(b)
+	best = better(best, AllOfS(b))
+	best = better(best, GreedyUnique(b))
+	best = better(best, PartitionSelect(b))
+	best = better(best, PartitionRecursive(b))
+	best = better(best, DegreeClass(b, OptimalC))
+	best = better(best, Decay(b, trials, r))
+	return best
+}
+
+// BestDeterministic is Best without the randomized decay sampler; its
+// output depends only on the input graph.
+func BestDeterministic(b *graph.Bipartite) Selection {
+	best := SingleBest(b)
+	best = better(best, AllOfS(b))
+	best = better(best, GreedyUnique(b))
+	best = better(best, PartitionSelect(b))
+	best = better(best, PartitionRecursive(b))
+	best = better(best, DegreeClass(b, OptimalC))
+	return best
+}

@@ -1,0 +1,141 @@
+package spokesman
+
+import (
+	"fmt"
+
+	"wexp/internal/graph"
+)
+
+// GreedyUnique implements the deterministic procedure of Lemma A.1
+// (illustrated by the paper's Figure 3). It maintains Suni/Stmp ⊆ S and
+// Nuni/Ntmp ⊆ N under invariants (I1)–(I4) and guarantees
+// |Γ¹_S(Suni)| ≥ |Nuni| ≥ γ/∆S, where ∆S is the maximum S-side degree.
+//
+// Each step picks v ∈ Ntmp with the fewest Stmp-neighbors, promotes one of
+// those neighbors w into Suni, deletes the rest of Γ(v, Stmp) from Stmp,
+// moves the vertices whose Stmp-neighborhood equaled Γ(v, Stmp) into Nuni
+// (they now have w as their unique Suni-neighbor, forever), and evicts the
+// other Ntmp-neighbors of w.
+func GreedyUnique(b *graph.Bipartite) Selection {
+	suni, _ := greedyRun(b, nil)
+	return Evaluate(b, suni, "greedy-unique")
+}
+
+// GreedyState is a snapshot of the procedure's four sets, passed to the
+// invariant checker after every step.
+type GreedyState struct {
+	InStmp []bool // alive in Stmp
+	InSuni []bool
+	InNtmp []bool // alive in Ntmp
+	InNuni []bool
+}
+
+// GreedyUniqueChecked runs the procedure invoking check after every step;
+// check returning an error aborts with that error. Used by the test suite
+// to property-test invariants (I1)–(I4).
+func GreedyUniqueChecked(b *graph.Bipartite, check func(GreedyState) error) (Selection, error) {
+	suni, err := greedyRun(b, check)
+	if err != nil {
+		return Selection{}, err
+	}
+	return Evaluate(b, suni, "greedy-unique"), nil
+}
+
+func greedyRun(b *graph.Bipartite, check func(GreedyState) error) ([]int, error) {
+	s, n := b.NS(), b.NN()
+	inStmp := make([]bool, s)
+	inSuni := make([]bool, s)
+	inNtmp := make([]bool, n)
+	inNuni := make([]bool, n)
+	degStmp := make([]int, n) // |Γ(v, Stmp)| for v ∈ Ntmp
+	for u := 0; u < s; u++ {
+		inStmp[u] = true
+	}
+	aliveN := 0
+	for v := 0; v < n; v++ {
+		d := b.DegN(v)
+		degStmp[v] = d
+		if d > 0 {
+			inNtmp[v] = true
+			aliveN++
+		}
+		// Isolated N-vertices (excluded by the paper's assumption, but
+		// tolerated here) simply never enter Ntmp.
+	}
+	var suni []int
+	gvMark := make([]bool, s)
+	for aliveN > 0 {
+		// Pick v ∈ Ntmp minimizing |Γ(v, Stmp)|.
+		v, minDeg := -1, 0
+		for x := 0; x < n; x++ {
+			if inNtmp[x] && (v == -1 || degStmp[x] < minDeg) {
+				v, minDeg = x, degStmp[x]
+			}
+		}
+		if minDeg == 0 {
+			return nil, fmt.Errorf("spokesman: invariant I4 violated — Ntmp vertex %d has no Stmp neighbor", v)
+		}
+		// G_v = Γ(v, Stmp).
+		var gv []int
+		for _, u := range b.NeighborsOfN(v) {
+			if inStmp[u] {
+				gv = append(gv, int(u))
+				gvMark[u] = true
+			}
+		}
+		w := gv[0]
+		// Q'_v: Ntmp-vertices whose Stmp-neighborhood is contained in (hence,
+		// by minimality of v, equal to) G_v; they must also touch G_v. Scan
+		// the Ntmp-neighbors of G_v's members.
+		qPrime := map[int]bool{}
+		qSeen := map[int]bool{}
+		for _, u := range gv {
+			for _, x := range b.NeighborsOfS(u) {
+				if !inNtmp[x] || qSeen[int(x)] {
+					continue
+				}
+				qSeen[int(x)] = true
+				subset := true
+				for _, y := range b.NeighborsOfN(int(x)) {
+					if inStmp[y] && !gvMark[y] {
+						subset = false
+						break
+					}
+				}
+				if subset {
+					qPrime[int(x)] = true
+				}
+			}
+		}
+		// Move w to Suni; delete the rest of G_v from Stmp. Update degStmp.
+		for _, u := range gv {
+			inStmp[u] = false
+			for _, x := range b.NeighborsOfS(u) {
+				degStmp[x]--
+			}
+		}
+		inSuni[w] = true
+		suni = append(suni, w)
+		// Move Q'_v to Nuni; evict w's other Ntmp-neighbors.
+		for x := range qPrime {
+			inNtmp[x] = false
+			inNuni[x] = true
+			aliveN--
+		}
+		for _, x := range b.NeighborsOfS(w) {
+			if inNtmp[x] {
+				inNtmp[x] = false
+				aliveN--
+			}
+		}
+		for _, u := range gv {
+			gvMark[u] = false
+		}
+		if check != nil {
+			if err := check(GreedyState{InStmp: inStmp, InSuni: inSuni, InNtmp: inNtmp, InNuni: inNuni}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return suni, nil
+}

@@ -1,0 +1,139 @@
+package spokesman
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+func TestImproveNeverWorsens(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		b := gen.RandomBipartite(12, 16, 0.2, r)
+		start := GreedyUnique(b)
+		out := Improve(b, start, 5)
+		if out.Unique < start.Unique {
+			t.Fatalf("trial %d: improve worsened %d -> %d", trial, start.Unique, out.Unique)
+		}
+		// Certified: recompute matches.
+		if got := b.UniqueCoverSet(out.Subset, nil); got != out.Unique {
+			t.Fatalf("trial %d: certificate mismatch", trial)
+		}
+	}
+}
+
+func TestImproveReachesLocalOptimum(t *testing.T) {
+	// After Improve, no single flip can increase the cover.
+	r := rng.New(2)
+	b := gen.RandomBipartite(10, 14, 0.25, r)
+	out := Improve(b, SingleBest(b), 50)
+	inSet := make([]bool, b.NS())
+	for _, u := range out.Subset {
+		inSet[u] = true
+	}
+	for u := 0; u < b.NS(); u++ {
+		var flipped []int
+		for v := 0; v < b.NS(); v++ {
+			if (v == u) != inSet[v] { // toggle u
+				flipped = append(flipped, v)
+			}
+		}
+		if got := b.UniqueCoverSet(flipped, nil); got > out.Unique {
+			t.Fatalf("flip of %d improves %d -> %d: not a local optimum", u, out.Unique, got)
+		}
+	}
+}
+
+func TestImproveFindsOptimumOnCollisionGraph(t *testing.T) {
+	// Starting from the full set (unique cover 0), one flip reaches the
+	// optimum singleton.
+	b := collisionBip()
+	start := AllOfS(b)
+	out := Improve(b, start, 5)
+	if out.Unique != 4 {
+		t.Fatalf("improve reached %d, want 4", out.Unique)
+	}
+}
+
+func TestImproveRespectsExhaustiveOptimum(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 15; trial++ {
+		b := gen.RandomBipartite(9, 12, 0.3, r)
+		opt, err := Exhaustive(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := BestImproved(b, 6, r)
+		if out.Unique > opt.Unique {
+			t.Fatalf("trial %d: improved %d beats optimum %d", trial, out.Unique, opt.Unique)
+		}
+	}
+}
+
+func TestImproveEmptyAndDegenerate(t *testing.T) {
+	empty := graph.NewBipartiteBuilder(0, 0).Build()
+	out := Improve(empty, Selection{Method: "x"}, 3)
+	if out.Unique != 0 {
+		t.Fatal("empty graph")
+	}
+	b := starBip()
+	out = Improve(b, Selection{Method: "empty-start"}, 3)
+	if out.Unique != 5 {
+		t.Fatalf("from empty start on star: %d, want 5", out.Unique)
+	}
+}
+
+// Property: Improve's incremental bookkeeping matches a from-scratch
+// evaluation for arbitrary graphs and arbitrary starting subsets.
+func TestQuickImproveCertified(t *testing.T) {
+	f := func(edges []uint16, startPick []bool) bool {
+		const s, n = 8, 10
+		bb := graph.NewBipartiteBuilder(s, n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			bb.MustAddEdge(int(edges[i])%s, int(edges[i+1])%n)
+		}
+		b := bb.Build()
+		var start []int
+		for u := 0; u < s && u < len(startPick); u++ {
+			if startPick[u] {
+				start = append(start, u)
+			}
+		}
+		sel := Evaluate(b, start, "seed")
+		out := Improve(b, sel, 4)
+		return out.Unique >= sel.Unique &&
+			b.UniqueCoverSet(out.Subset, nil) == out.Unique
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeClassT(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 10; trial++ {
+		b := gen.RandomBipartite(12, 18, 0.25, r)
+		sel := DegreeClassT(b, OptimalC, 2)
+		if sel.Unique <= 0 {
+			t.Fatalf("trial %d: empty selection", trial)
+		}
+		if got := b.UniqueCoverSet(sel.Subset, nil); got != sel.Unique {
+			t.Fatal("certificate mismatch")
+		}
+	}
+	// Degenerate parameters fall back to defaults.
+	b := starBip()
+	if sel := DegreeClassT(b, 0.5, 0.5); sel.Unique <= 0 {
+		t.Fatal("degenerate params")
+	}
+}
+
+func TestDegreeClassTEmpty(t *testing.T) {
+	empty := graph.NewBipartiteBuilder(0, 0).Build()
+	if sel := DegreeClassT(empty, 2, 2); sel.Unique != 0 {
+		t.Fatal("empty graph")
+	}
+}

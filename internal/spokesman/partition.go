@@ -1,0 +1,315 @@
+package spokesman
+
+import (
+	"fmt"
+
+	"wexp/internal/graph"
+)
+
+// PartitionResult is the output of Procedure Partition (Appendix A.1.2,
+// illustrated by the paper's Figure 4): a partition of the considered
+// N-vertices into Nuni, Nmany, Ntmp and of S into Suni, Stmp satisfying the
+// partition conditions (P1)–(P4).
+type PartitionResult struct {
+	B *graph.Bipartite
+
+	Considered []bool // which N-vertices participated (the procedure may be run on a subset of N)
+	InSuni     []bool
+	InStmp     []bool
+	InNuni     []bool
+	InNmany    []bool
+	InNtmp     []bool
+
+	Suni  []int // promotion order
+	Steps int
+}
+
+// Partition runs Procedure Partition on the N-subset given by consider
+// (nil means all of N). At each step it promotes the Stmp-vertex v
+// maximizing gain(v) = |Ntmp(v)| − 2|Nuni(v)|, stopping when Stmp is empty
+// or every gain is non-positive.
+func Partition(b *graph.Bipartite, consider []bool) *PartitionResult {
+	s, n := b.NS(), b.NN()
+	if consider == nil {
+		consider = make([]bool, n)
+		for i := range consider {
+			consider[i] = true
+		}
+	}
+	res := &PartitionResult{
+		B:          b,
+		Considered: consider,
+		InSuni:     make([]bool, s),
+		InStmp:     make([]bool, s),
+		InNuni:     make([]bool, n),
+		InNmany:    make([]bool, n),
+		InNtmp:     make([]bool, n),
+	}
+	// ntmpDeg[u], nuniDeg[u]: |Ntmp(u)| and |Nuni(u)| for u ∈ Stmp.
+	ntmpDeg := make([]int, s)
+	nuniDeg := make([]int, s)
+	for u := 0; u < s; u++ {
+		res.InStmp[u] = true
+		for _, v := range b.NeighborsOfS(u) {
+			if consider[v] {
+				ntmpDeg[u]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		res.InNtmp[v] = consider[v]
+	}
+	for {
+		// Pick v ∈ Stmp maximizing gain.
+		best, bestGain := -1, 0
+		for u := 0; u < s; u++ {
+			if !res.InStmp[u] {
+				continue
+			}
+			if g := ntmpDeg[u] - 2*nuniDeg[u]; best == -1 || g > bestGain {
+				best, bestGain = u, g
+			}
+		}
+		if best == -1 || bestGain <= 0 {
+			break
+		}
+		v := best
+		res.InStmp[v] = false
+		res.InSuni[v] = true
+		res.Suni = append(res.Suni, v)
+		res.Steps++
+		// Nuni(v) → Nmany; Ntmp(v) → Nuni. Update neighbor counters of the
+		// affected N-vertices' other S-neighbors.
+		for _, x := range b.NeighborsOfS(v) {
+			switch {
+			case res.InNuni[x]:
+				res.InNuni[x] = false
+				res.InNmany[x] = true
+				for _, u := range b.NeighborsOfN(int(x)) {
+					nuniDeg[u]--
+				}
+			case res.InNtmp[x]:
+				res.InNtmp[x] = false
+				res.InNuni[x] = true
+				for _, u := range b.NeighborsOfN(int(x)) {
+					ntmpDeg[u]--
+					nuniDeg[u]++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Counts returns (|Nuni|, |Nmany|, |Ntmp|).
+func (p *PartitionResult) Counts() (nuni, nmany, ntmp int) {
+	for v := range p.InNuni {
+		switch {
+		case p.InNuni[v]:
+			nuni++
+		case p.InNmany[v]:
+			nmany++
+		case p.InNtmp[v]:
+			ntmp++
+		}
+	}
+	return
+}
+
+// EdgeCounts returns (|Euni|, |Etmp|): edges from Stmp to Nuni and to Ntmp
+// respectively (partition condition P4's quantities).
+func (p *PartitionResult) EdgeCounts() (euni, etmp int) {
+	for u := 0; u < p.B.NS(); u++ {
+		if !p.InStmp[u] {
+			continue
+		}
+		for _, v := range p.B.NeighborsOfS(u) {
+			switch {
+			case p.InNuni[v]:
+				euni++
+			case p.InNtmp[v]:
+				etmp++
+			}
+		}
+	}
+	return
+}
+
+// CheckInvariants verifies partition conditions (P1)–(P4) and the
+// disjointness of the partition, returning the first violation found.
+func (p *PartitionResult) CheckInvariants() error {
+	b := p.B
+	for u := 0; u < b.NS(); u++ {
+		if p.InSuni[u] && p.InStmp[u] {
+			return fmt.Errorf("partition: S-vertex %d in both Suni and Stmp", u)
+		}
+	}
+	for v := 0; v < b.NN(); v++ {
+		cnt := 0
+		for _, in := range []bool{p.InNuni[v], p.InNmany[v], p.InNtmp[v]} {
+			if in {
+				cnt++
+			}
+		}
+		if cnt > 1 {
+			return fmt.Errorf("partition: N-vertex %d in multiple N-parts", v)
+		}
+		if p.Considered[v] && cnt != 1 {
+			return fmt.Errorf("partition: considered N-vertex %d unassigned", v)
+		}
+		if !p.Considered[v] && cnt != 0 {
+			return fmt.Errorf("partition: unconsidered N-vertex %d assigned", v)
+		}
+	}
+	// (P1) every Nuni vertex has a unique neighbor in Suni.
+	for v := 0; v < b.NN(); v++ {
+		if !p.InNuni[v] {
+			continue
+		}
+		c := 0
+		for _, u := range b.NeighborsOfN(v) {
+			if p.InSuni[u] {
+				c++
+			}
+		}
+		if c != 1 {
+			return fmt.Errorf("partition: P1 violated at N-vertex %d (deg into Suni = %d)", v, c)
+		}
+	}
+	// (P2) every Ntmp vertex has ≥1 Stmp-neighbor and no Suni-neighbor.
+	for v := 0; v < b.NN(); v++ {
+		if !p.InNtmp[v] {
+			continue
+		}
+		stmpDeg, suniDeg := 0, 0
+		for _, u := range b.NeighborsOfN(v) {
+			if p.InStmp[u] {
+				stmpDeg++
+			}
+			if p.InSuni[u] {
+				suniDeg++
+			}
+		}
+		if suniDeg != 0 {
+			return fmt.Errorf("partition: P2 violated at N-vertex %d (has Suni neighbor)", v)
+		}
+		if stmpDeg == 0 {
+			return fmt.Errorf("partition: P2 violated at N-vertex %d (no Stmp neighbor)", v)
+		}
+	}
+	// (P3) |Nuni| ≥ |Nmany|.
+	nuni, nmany, ntmp := p.Counts()
+	if nuni < nmany {
+		return fmt.Errorf("partition: P3 violated (|Nuni|=%d < |Nmany|=%d)", nuni, nmany)
+	}
+	// (P4) Ntmp empty or |Etmp| ≤ 2|Euni|.
+	if ntmp > 0 {
+		euni, etmp := p.EdgeCounts()
+		if etmp > 2*euni {
+			return fmt.Errorf("partition: P4 violated (|Etmp|=%d > 2|Euni|=%d)", etmp, 2*euni)
+		}
+	}
+	return nil
+}
+
+// PartitionSelect implements Lemma A.3's selection: run Procedure Partition
+// on N^{2δ} (the N-vertices of degree at most twice the average) and return
+// Suni, which uniquely covers |Nuni| ≥ γ/(8δ) vertices.
+func PartitionSelect(b *graph.Bipartite) Selection {
+	twoDelta := 2 * b.AvgDegN()
+	consider := make([]bool, b.NN())
+	for v := 0; v < b.NN(); v++ {
+		consider[v] = float64(b.DegN(v)) <= twoDelta && b.DegN(v) > 0
+	}
+	p := Partition(b, consider)
+	if len(p.Suni) == 0 {
+		sb := SingleBest(b)
+		sb.Method = "partition"
+		return sb
+	}
+	return Evaluate(b, p.Suni, "partition")
+}
+
+// PartitionRecursive implements the near-optimal deterministic argument of
+// Lemma A.13 (and its refinement A.15): run Procedure Partition; if Ntmp is
+// nonempty, recurse on the residual bipartite graph (Stmp, Ntmp) and return
+// whichever of {this level's Suni, the recursive selection} certifies a
+// larger unique cover. The guarantee is |Γ¹_S(S')| ≥ γ/(9·log 2δ).
+func PartitionRecursive(b *graph.Bipartite) Selection {
+	subset := partitionRecurse(b, 0)
+	if len(subset) == 0 {
+		sb := SingleBest(b)
+		sb.Method = "partition-recursive"
+		return sb
+	}
+	return Evaluate(b, subset, "partition-recursive")
+}
+
+// maxPartitionDepth caps the recursion defensively; the residual N shrinks
+// by ≥1 vertex per level (Lemma A.13 shows |Nuni| ≥ 1 whenever Ntmp ≠ ∅),
+// so depth is at most |N|, but a cap keeps adversarial inputs cheap.
+const maxPartitionDepth = 64
+
+// partitionRecurse returns a spokesman subset of b's S side in b's local
+// index space. Candidates at each level are compared by their unique cover
+// measured in that level's graph; by partition condition (P2) the residual
+// Ntmp vertices have all their S-neighbors inside Stmp, so the residual
+// graph's unique covers agree with the parent's on Ntmp and the comparison
+// is conservative.
+func partitionRecurse(b *graph.Bipartite, depth int) []int {
+	if b.NS() == 0 || b.NN() == 0 {
+		return nil
+	}
+	p := Partition(b, nil)
+	cur := p.Suni
+	_, _, ntmp := p.Counts()
+	if ntmp == 0 || depth >= maxPartitionDepth {
+		return cur
+	}
+	var keepS []int
+	for u := 0; u < b.NS(); u++ {
+		if p.InStmp[u] {
+			keepS = append(keepS, u)
+		}
+	}
+	sub, _ := induceOnSN(b, keepS, p.InNtmp)
+	if sub.NS() == 0 || sub.NN() == 0 || sub.NN() >= b.NN() {
+		return cur
+	}
+	recLocal := partitionRecurse(sub, depth+1)
+	rec := make([]int, 0, len(recLocal))
+	for _, u := range recLocal {
+		rec = append(rec, keepS[u])
+	}
+	if b.UniqueCoverSet(rec, nil) > b.UniqueCoverSet(cur, nil) {
+		return rec
+	}
+	return cur
+}
+
+// induceOnSN builds the bipartite subgraph keeping the given S-vertices and
+// the N-vertices marked keepN, relabeling both sides densely.
+func induceOnSN(b *graph.Bipartite, keepS []int, keepN []bool) (*graph.Bipartite, []int) {
+	nMap := make(map[int32]int)
+	var nOrig []int
+	var edges [][2]int
+	for newU, u := range keepS {
+		for _, v := range b.NeighborsOfS(u) {
+			if !keepN[v] {
+				continue
+			}
+			nv, ok := nMap[v]
+			if !ok {
+				nv = len(nMap)
+				nMap[v] = nv
+				nOrig = append(nOrig, int(v))
+			}
+			edges = append(edges, [2]int{newU, nv})
+		}
+	}
+	bb := graph.NewBipartiteBuilder(len(keepS), len(nMap))
+	for _, e := range edges {
+		bb.MustAddEdge(e[0], e[1])
+	}
+	return bb.Build(), nOrig
+}

@@ -1,0 +1,155 @@
+// Package spokesman implements the paper's algorithms for the Spokesman
+// Election problem (Section 4.2.1): given a bipartite graph G = (S, N, E),
+// find a subset S' ⊆ S maximizing the number of unique neighbors
+// |Γ¹_S(S')| in N. The problem is NP-hard [Chlamtac–Kutten 1985], so the
+// package provides:
+//
+//   - Exhaustive: exact optimum by Gray-code subset enumeration (|S| ≤ 24);
+//   - DecaySample: the probabilistic-method sampler of Lemma 4.2, which
+//     guarantees Ω(|N| / log 2δN) when β ≥ 1;
+//   - DecayLowBeta: the Lemma 4.3 reduction for the β < 1 regime;
+//   - GreedyUnique: the deterministic procedure of Lemma A.1 (≥ γ/∆S);
+//   - PartitionSelect / PartitionRecursive: the Procedure-Partition family
+//     of Appendix A (Lemmas A.3 and A.13, ≥ γ/(8δ) and ≥ γ/(9·log 2δ));
+//   - DegreeClass: the degree-bucketing argument of Lemmas A.5–A.7;
+//   - Best: the maximum over all of the above.
+//
+// Every algorithm returns a Selection whose Unique field is recomputed from
+// scratch by Evaluate, so reported values are certified regardless of any
+// bug in an algorithm's internal bookkeeping.
+package spokesman
+
+import (
+	"fmt"
+	"math/bits"
+
+	"wexp/internal/graph"
+)
+
+// Selection is a candidate spokesman set with its certified objective.
+type Selection struct {
+	Subset []int  // chosen S' ⊆ S, in increasing order
+	Unique int    // |Γ¹_S(S')|, recomputed at construction
+	Method string // which algorithm produced it
+}
+
+// Evaluate certifies a subset: it recomputes |Γ¹_S(S')| directly from the
+// graph.
+func Evaluate(b *graph.Bipartite, subset []int, method string) Selection {
+	sorted := append([]int(nil), subset...)
+	insertionSort(sorted)
+	return Selection{
+		Subset: sorted,
+		Unique: b.UniqueCoverSet(sorted, nil),
+		Method: method,
+	}
+}
+
+// MaxExhaustiveS is the largest |S| accepted by Exhaustive.
+const MaxExhaustiveS = 24
+
+// Exhaustive computes the exact optimum by enumerating all 2^|S| subsets
+// with a Gray-code walk: each step flips a single S-vertex and updates the
+// per-N-vertex coverage counts along its adjacency list, so the total cost
+// is O(2^|S| · avg-deg) rather than O(2^|S| · |E|).
+func Exhaustive(b *graph.Bipartite) (Selection, error) {
+	s := b.NS()
+	if s > MaxExhaustiveS {
+		return Selection{}, fmt.Errorf("spokesman: |S|=%d exceeds exhaustive limit %d", s, MaxExhaustiveS)
+	}
+	if s == 0 {
+		return Selection{Method: "exhaustive"}, nil
+	}
+	counts := make([]int8, b.NN())
+	inSet := make([]bool, s)
+	unique := 0
+	bestUnique, bestMask := 0, uint64(0)
+	cur := uint64(0)
+	total := uint64(1) << uint(s)
+	for i := uint64(1); i < total; i++ {
+		flip := bits.TrailingZeros64(i)
+		adding := !inSet[flip]
+		inSet[flip] = adding
+		if adding {
+			cur |= 1 << uint(flip)
+			for _, v := range b.NeighborsOfS(flip) {
+				counts[v]++
+				switch counts[v] {
+				case 1:
+					unique++
+				case 2:
+					unique--
+				}
+			}
+		} else {
+			cur &^= 1 << uint(flip)
+			for _, v := range b.NeighborsOfS(flip) {
+				counts[v]--
+				switch counts[v] {
+				case 1:
+					unique++
+				case 0:
+					unique--
+				}
+			}
+		}
+		if unique > bestUnique {
+			bestUnique = unique
+			bestMask = cur
+		}
+	}
+	subset := make([]int, 0, bits.OnesCount64(bestMask))
+	for u := 0; u < s; u++ {
+		if bestMask&(1<<uint(u)) != 0 {
+			subset = append(subset, u)
+		}
+	}
+	return Evaluate(b, subset, "exhaustive"), nil
+}
+
+// AllOfS returns the trivial selection S' = S, whose unique cover is the
+// plain unique neighborhood Γ¹(S) — the quantity a unique-neighbor
+// expander guarantees. Used as the βu baseline in comparisons.
+func AllOfS(b *graph.Bipartite) Selection {
+	all := make([]int, b.NS())
+	for i := range all {
+		all[i] = i
+	}
+	return Evaluate(b, all, "all-of-S")
+}
+
+// SingleBest returns the best single-vertex selection {u}: a useful floor,
+// since |Γ¹_S({u})| = deg(u) for any u (every neighbor of a singleton is
+// unique).
+func SingleBest(b *graph.Bipartite) Selection {
+	bestU, bestD := -1, -1
+	for u := 0; u < b.NS(); u++ {
+		if d := b.DegS(u); d > bestD {
+			bestD = d
+			bestU = u
+		}
+	}
+	if bestU < 0 {
+		return Selection{Method: "single-best"}
+	}
+	return Evaluate(b, []int{bestU}, "single-best")
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+func better(a, b Selection) Selection {
+	if b.Unique > a.Unique {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,253 @@
+package spokesman
+
+import (
+	"math"
+	"testing"
+
+	"wexp/internal/bounds"
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+// starBip: S = {0}, N = {0..4}, center covers all uniquely.
+func starBip() *graph.Bipartite {
+	bb := graph.NewBipartiteBuilder(1, 5)
+	for v := 0; v < 5; v++ {
+		bb.MustAddEdge(0, v)
+	}
+	return bb.Build()
+}
+
+// collisionBip: two S-vertices with identical neighborhoods — S'={one of
+// them} is optimal.
+func collisionBip() *graph.Bipartite {
+	bb := graph.NewBipartiteBuilder(2, 4)
+	for v := 0; v < 4; v++ {
+		bb.MustAddEdge(0, v)
+		bb.MustAddEdge(1, v)
+	}
+	return bb.Build()
+}
+
+func TestEvaluateCertifies(t *testing.T) {
+	b := collisionBip()
+	sel := Evaluate(b, []int{0, 1}, "test")
+	if sel.Unique != 0 {
+		t.Fatalf("both vertices: unique = %d, want 0", sel.Unique)
+	}
+	sel = Evaluate(b, []int{1}, "test")
+	if sel.Unique != 4 {
+		t.Fatalf("single vertex: unique = %d, want 4", sel.Unique)
+	}
+}
+
+func TestEvaluateSortsSubset(t *testing.T) {
+	bb := graph.NewBipartiteBuilder(3, 3)
+	bb.MustAddEdge(0, 0)
+	bb.MustAddEdge(1, 1)
+	bb.MustAddEdge(2, 2)
+	sel := Evaluate(bb.Build(), []int{2, 0, 1}, "t")
+	for i := 1; i < len(sel.Subset); i++ {
+		if sel.Subset[i-1] >= sel.Subset[i] {
+			t.Fatalf("subset not sorted: %v", sel.Subset)
+		}
+	}
+	if sel.Unique != 3 {
+		t.Fatalf("unique = %d", sel.Unique)
+	}
+}
+
+func TestExhaustiveStarAndCollision(t *testing.T) {
+	sel, err := Exhaustive(starBip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Unique != 5 {
+		t.Fatalf("star optimum = %d, want 5", sel.Unique)
+	}
+	sel, err = Exhaustive(collisionBip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Unique != 4 || len(sel.Subset) != 1 {
+		t.Fatalf("collision optimum = %d via %v, want 4 via singleton", sel.Unique, sel.Subset)
+	}
+}
+
+func TestExhaustiveMatchesNaive(t *testing.T) {
+	// Gray-code incremental counts vs naive recount on random graphs.
+	r := rng.New(1)
+	for trial := 0; trial < 25; trial++ {
+		b := gen.RandomBipartite(8, 10, 0.3, r)
+		sel, err := Exhaustive(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveOptimum(b)
+		if sel.Unique != want {
+			t.Fatalf("trial %d: exhaustive=%d naive=%d", trial, sel.Unique, want)
+		}
+	}
+}
+
+// naiveOptimum enumerates subsets recomputing from scratch.
+func naiveOptimum(b *graph.Bipartite) int {
+	s := b.NS()
+	best := 0
+	var sub []int
+	for mask := 1; mask < 1<<uint(s); mask++ {
+		sub = sub[:0]
+		for u := 0; u < s; u++ {
+			if mask&(1<<uint(u)) != 0 {
+				sub = append(sub, u)
+			}
+		}
+		if u := b.UniqueCoverSet(sub, nil); u > best {
+			best = u
+		}
+	}
+	return best
+}
+
+func TestExhaustiveLimits(t *testing.T) {
+	big := gen.RandomBipartite(MaxExhaustiveS+1, 5, 0.5, rng.New(2))
+	if _, err := Exhaustive(big); err == nil {
+		t.Fatal("oversize S accepted")
+	}
+	empty := graph.NewBipartiteBuilder(0, 0).Build()
+	sel, err := Exhaustive(empty)
+	if err != nil || sel.Unique != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+}
+
+func TestSingleBest(t *testing.T) {
+	b := starBip()
+	sel := SingleBest(b)
+	if sel.Unique != 5 || len(sel.Subset) != 1 || sel.Subset[0] != 0 {
+		t.Fatalf("single best = %+v", sel)
+	}
+}
+
+func TestAllOfS(t *testing.T) {
+	b := collisionBip()
+	if sel := AllOfS(b); sel.Unique != 0 {
+		t.Fatalf("AllOfS on collision graph = %d, want 0", sel.Unique)
+	}
+}
+
+// --- Guarantee assertions -------------------------------------------------
+
+// Every algorithm must be within the exhaustive optimum and ≥ its claimed
+// floor, on a corpus of random instances.
+func TestAlgorithmsAgainstExhaustive(t *testing.T) {
+	r := rng.New(3)
+	algos := []struct {
+		name string
+		run  func(b *graph.Bipartite) Selection
+	}{
+		{"greedy", GreedyUnique},
+		{"partition", PartitionSelect},
+		{"partition-recursive", PartitionRecursive},
+		{"degree-class", func(b *graph.Bipartite) Selection { return DegreeClass(b, OptimalC) }},
+		{"decay", func(b *graph.Bipartite) Selection { return Decay(b, 6, r) }},
+		{"best", func(b *graph.Bipartite) Selection { return Best(b, 6, r) }},
+	}
+	for trial := 0; trial < 15; trial++ {
+		b := gen.RandomBipartite(9, 12, 0.25, r)
+		opt, err := Exhaustive(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range algos {
+			sel := a.run(b)
+			if sel.Unique > opt.Unique {
+				t.Fatalf("trial %d: %s exceeded optimum: %d > %d", trial, a.name, sel.Unique, opt.Unique)
+			}
+			// Certification: re-evaluating the subset reproduces Unique.
+			if got := b.UniqueCoverSet(sel.Subset, nil); got != sel.Unique {
+				t.Fatalf("trial %d: %s reported %d but certifies %d", trial, a.name, sel.Unique, got)
+			}
+		}
+	}
+}
+
+func TestGreedyGuaranteeLemmaA1(t *testing.T) {
+	// |Γ¹_S(Suni)| ≥ γ/∆S (Lemma A.1, with the S-side max degree).
+	r := rng.New(4)
+	for trial := 0; trial < 25; trial++ {
+		b := gen.RandomBipartite(10, 15, 0.2, r)
+		sel := GreedyUnique(b)
+		floor := float64(b.NN()) / float64(max(1, b.MaxDegS()))
+		if float64(sel.Unique) < floor-1e-9 {
+			t.Fatalf("trial %d: greedy %d below γ/∆S = %g", trial, sel.Unique, floor)
+		}
+	}
+}
+
+func TestPartitionRecursiveGuaranteeLemmaA13(t *testing.T) {
+	// |Γ¹_S(S')| ≥ γ/(9·log 4δ) — we assert against log(4δ) rather than the
+	// paper's log(2δ) to absorb integer-rounding slack on tiny instances;
+	// the experiment harness tracks the sharper constant.
+	r := rng.New(5)
+	for trial := 0; trial < 25; trial++ {
+		b := gen.RandomBipartite(12, 18, 0.25, r)
+		sel := PartitionRecursive(b)
+		delta := b.AvgDegN()
+		floor := float64(b.NN()) / (9 * math.Log2(4*math.Max(delta, 1)))
+		if float64(sel.Unique) < floor-1e-9 {
+			t.Fatalf("trial %d: recursive %d below floor %g (δ=%g γ=%d)",
+				trial, sel.Unique, floor, delta, b.NN())
+		}
+	}
+}
+
+func TestPartitionSelectGuaranteeLemmaA3(t *testing.T) {
+	// |Nuni| ≥ γ/(8δ) (Lemma A.3).
+	r := rng.New(6)
+	for trial := 0; trial < 25; trial++ {
+		b := gen.RandomBipartite(12, 16, 0.3, r)
+		sel := PartitionSelect(b)
+		floor := float64(b.NN()) / (8 * math.Max(b.AvgDegN(), 1))
+		if float64(sel.Unique) < floor-1e-9 {
+			t.Fatalf("trial %d: partition %d below γ/(8δ) = %g", trial, sel.Unique, floor)
+		}
+	}
+}
+
+func TestDecayGuaranteeOnCoreLikeInstances(t *testing.T) {
+	// The decay sampler should achieve Ω(γ / log 2δN); assert with a
+	// conservative constant (1/9, matching Lemma A.13's scale) across
+	// random instances.
+	r := rng.New(7)
+	for trial := 0; trial < 10; trial++ {
+		b := gen.RandomBipartite(16, 24, 0.25, r)
+		sel := Decay(b, 16, r)
+		floor := float64(b.NN()) / (9 * math.Log2(4*math.Max(b.AvgDegN(), 1)))
+		if float64(sel.Unique) < floor-1e-9 {
+			t.Fatalf("trial %d: decay %d below conservative floor %g", trial, sel.Unique, floor)
+		}
+	}
+}
+
+func TestChlamtacWeinsteinComparison(t *testing.T) {
+	// Section 4.2.1: the paper's guarantee |N|/log(2 min{δN, δS}) at scale
+	// should dominate CW's |N|/log|S| whenever min{δN,δS} ≪ |S|. Verify the
+	// *measured* best selection meets the CW bound too (sanity).
+	r := rng.New(8)
+	b := gen.RandomBipartite(40, 60, 0.08, r)
+	sel := Best(b, 12, r)
+	cw := bounds.ChlamtacWeinstein(b.NN(), b.NS())
+	// Our solver should do at least ~as well as the CW guarantee scale.
+	if float64(sel.Unique) < 0.5*cw {
+		t.Fatalf("best %d ≪ CW scale %g", sel.Unique, cw)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %g", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %g", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max wrong")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty min/max")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extremes")
+	}
+	if Median(xs) != 3 {
+		t.Fatalf("median = %g", Median(xs))
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %g", q)
+	}
+	if q := Quantile([]float64{1, 2}, 0.5); q != 1.5 {
+		t.Fatalf("interp median = %g", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile")
+	}
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	Median(ys)
+	if ys[0] != 3 || ys[1] != 1 {
+		t.Fatal("quantile mutated input")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	f := LinearFit(x, y)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Fatalf("R² = %g", f.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	f := LinearFit([]float64{2, 2, 2}, []float64{1, 5, 9})
+	if f.Slope != 0 || f.Intercept != 5 {
+		t.Fatalf("constant-x fit = %+v", f)
+	}
+	f = LinearFit([]float64{1}, []float64{1})
+	if f.Slope != 0 {
+		t.Fatal("single point")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	LinearFit([]float64{1, 2}, []float64{1})
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if p := Pearson(x, x); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("self correlation = %g", p)
+	}
+	y := []float64{4, 3, 2, 1}
+	if p := Pearson(x, y); math.Abs(p+1) > 1e-12 {
+		t.Fatalf("anti correlation = %g", p)
+	}
+	if !math.IsNaN(Pearson(x, []float64{1, 1, 1, 1})) {
+		t.Fatal("constant series should give NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+// Property: mean is within [min, max]; variance is non-negative.
+func TestQuickMoments(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9 && Variance(xs) >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the OLS fit minimizes SSE at least as well as the flat line.
+func TestQuickFitBeatsFlat(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = float64(raw[i])
+			y[i] = float64(raw[n+i])
+		}
+		fit := LinearFit(x, y)
+		sseFit, sseFlat := 0.0, 0.0
+		my := Mean(y)
+		for i := range x {
+			d1 := y[i] - (fit.Slope*x[i] + fit.Intercept)
+			d2 := y[i] - my
+			sseFit += d1 * d1
+			sseFlat += d2 * d2
+		}
+		return sseFit <= sseFlat+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.5, 0.9, 1.0, -1, 2}
+	h := NewHistogram(xs, 0, 1, 2)
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 3 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Mode() != 1 {
+		t.Fatalf("mode = %d", h.Mode())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(nil, 1, 0, 3)
+}

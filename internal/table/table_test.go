@@ -1,0 +1,95 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta", 2.5)
+	tb.Note = "note line"
+	return tb
+}
+
+func TestText(t *testing.T) {
+	out := sample().Text()
+	for _, want := range []string{"== Demo ==", "name", "value", "alpha", "2.5", "note line", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Text missing %q in:\n%s", want, out)
+		}
+	}
+	// Alignment: every data line should be at least as wide as the header
+	// fields joined.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	for _, want := range []string{"### Demo", "| name | value |", "| --- | --- |", "| alpha | 1 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Markdown missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.AddRow("x,y", `quote"inside`)
+	out := tb.CSV()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"quote""inside"`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("header wrong: %s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("t", "v")
+	tb.AddRow(1.0 / 3.0)
+	if !strings.Contains(tb.Text(), "0.3333") {
+		t.Fatalf("float not formatted to 4 significant digits: %s", tb.Text())
+	}
+	tb2 := New("t", "v")
+	tb2.AddRow(float32(2.5))
+	if !strings.Contains(tb2.Text(), "2.5") {
+		t.Fatal("float32 formatting")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("", "h1")
+	out := tb.Text()
+	if strings.Contains(out, "==") {
+		t.Fatal("untitled table should not print title banner")
+	}
+	if !strings.Contains(out, "h1") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := New("t", "col")
+	tb.AddRow("βw=Ω(β/log∆)")
+	out := tb.Text()
+	if !strings.Contains(out, "βw=Ω(β/log∆)") {
+		t.Fatal("unicode cell mangled")
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tb := New("t", "|N|")
+	tb.AddRow("a|b")
+	out := tb.Markdown()
+	if !strings.Contains(out, `\|N\|`) || !strings.Contains(out, `a\|b`) {
+		t.Fatalf("pipes not escaped: %s", out)
+	}
+}
