@@ -1,0 +1,40 @@
+# Mirrors .github/workflows/ci.yml so `make check` locally is the same bar
+# as CI.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test race check bench bench-full clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet fmt-check race
+
+# One iteration of every benchmark: keeps the bench harness from rotting
+# and rewrites BENCH_expansion.json (the expansion-engine perf record).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Full benchmark sweep with real timings.
+bench-full:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+clean:
+	$(GO) clean ./...

@@ -130,19 +130,22 @@ func RandomBipartiteRegular(s, n, d int, r *RNG) (*Bipartite, error) {
 
 // --- Expansion measurement --------------------------------------------------
 
-// OrdinaryExpansion computes β(G) exactly (n ≤ 20): the minimum of
-// |Γ⁻(S)|/|S| over nonempty sets with |S| ≤ α·n.
+// OrdinaryExpansion computes β(G) exactly: the minimum of |Γ⁻(S)|/|S| over
+// nonempty sets with |S| ≤ α·n, enumerated by cardinality under the
+// default work budget (any n is accepted as long as Σ C(n,k) fits; use
+// OrdinaryExpansionOpts to set the budget explicitly).
 func OrdinaryExpansion(g *Graph, alpha float64) (ExpansionResult, error) {
 	return expansion.ExactOrdinary(g, alpha)
 }
 
-// UniqueExpansion computes βu(G) exactly (n ≤ 20).
+// UniqueExpansion computes βu(G) exactly under the default work budget.
 func UniqueExpansion(g *Graph, alpha float64) (ExpansionResult, error) {
 	return expansion.ExactUnique(g, alpha)
 }
 
-// WirelessExpansion computes βw(G) exactly (n ≤ 16): for every S the inner
-// maximum over S' ⊆ S of |Γ¹_S(S')|/|S| is taken, then minimized over S.
+// WirelessExpansion computes βw(G) exactly under the default work budget:
+// for every S the inner maximum over S' ⊆ S of |Γ¹_S(S')|/|S| is taken,
+// then minimized over S (cost Σ C(n,k)·2^k work units).
 func WirelessExpansion(g *Graph, alpha float64) (ExpansionResult, error) {
 	return expansion.ExactWireless(g, alpha)
 }

@@ -36,9 +36,47 @@ func SpokesmanBestImproved(b *Bipartite, trials int, r *RNG) Selection {
 	return spokesman.BestImproved(b, trials, r)
 }
 
+// ExpansionOptions configures the exact expansion engine: the α (or MaxK)
+// size cap, the enumeration work budget, and the worker-pool width. See
+// the expansion package's Options for field semantics; results are
+// bit-identical at every pool width.
+type ExpansionOptions = expansion.Options
+
+// ExpansionBudget is the default work budget (in enumeration units) used
+// by the exact solvers when ExpansionOptions.Budget is zero.
+const ExpansionBudget = expansion.DefaultBudget
+
+// OrdinaryExpansionOpts computes β(G) exactly with an explicit work budget
+// and pool width; any n is accepted as long as the by-cardinality
+// enumeration Σ C(n,k) fits opts.Budget.
+func OrdinaryExpansionOpts(g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
+	return expansion.Exact(g, expansion.ObjOrdinary, opt)
+}
+
+// UniqueExpansionOpts computes βu(G) exactly with an explicit work budget
+// and pool width.
+func UniqueExpansionOpts(g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
+	return expansion.Exact(g, expansion.ObjUnique, opt)
+}
+
+// WirelessExpansionOpts computes βw(G) exactly with an explicit work
+// budget and pool width (work is Σ C(n,k)·2^k units).
+func WirelessExpansionOpts(g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
+	return expansion.Exact(g, expansion.ObjWireless, opt)
+}
+
+// ExpansionFeasible reports whether the exact engine would accept an
+// enumeration of sets up to size ⌊α·n⌋ on an n-vertex graph under the
+// given budget (0 means the default) — the check cmd/wexp uses to pick
+// between exact solvers and estimators. The wireless objective is the most
+// expensive; feasibility for it implies feasibility for β and βu.
+func ExpansionFeasible(n int, alpha float64, budget uint64) bool {
+	return expansion.Feasible(n, expansion.MaxSetSize(n, alpha), expansion.ObjWireless, budget)
+}
+
 // MinBipartiteExpansion computes the exact bipartite vertex expansion
-// min over nonempty S' ⊆ S of |Γ(S')|/|S'| (|S| ≤ 24), the quantity
-// Lemma 4.4(4) lower-bounds for the core graph.
+// min over nonempty S' ⊆ S of |Γ(S')|/|S'| under the default work budget,
+// the quantity Lemma 4.4(4) lower-bounds for the core graph.
 func MinBipartiteExpansion(b *Bipartite) (float64, error) {
 	res, err := expansion.MinBipartiteExpansion(b)
 	if err != nil {
@@ -47,9 +85,20 @@ func MinBipartiteExpansion(b *Bipartite) (float64, error) {
 	return res.Value, nil
 }
 
+// MinBipartiteExpansionOpts is MinBipartiteExpansion with an explicit work
+// budget and an optional subset-size cap (opt.MaxK), which makes large S
+// sides affordable.
+func MinBipartiteExpansionOpts(b *Bipartite, opt ExpansionOptions) (float64, error) {
+	res, err := expansion.MinBipartiteExpansionOpts(b, opt)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}
+
 // ExpansionProfile returns the per-size minimum expansion
-// profile[k] = min{|Γ⁻(S)|/|S| : |S| = k} for k = 1..maxK (n ≤ 20);
-// index 0 is unused.
+// profile[k] = min{|Γ⁻(S)|/|S| : |S| = k} for k = 1..maxK under the
+// default work budget; index 0 is unused.
 func ExpansionProfile(g *Graph, maxK int) ([]float64, error) {
 	p, err := expansion.OrdinaryProfile(g, maxK)
 	if err != nil {
@@ -59,7 +108,7 @@ func ExpansionProfile(g *Graph, maxK int) ([]float64, error) {
 }
 
 // EdgeExpansion computes the exact Cheeger constant
-// h(G) = min{|e(S,S̄)|/|S| : 0 < |S| ≤ n/2} for n ≤ 20.
+// h(G) = min{|e(S,S̄)|/|S| : 0 < |S| ≤ n/2} under the default work budget.
 func EdgeExpansion(g *Graph) (float64, error) {
 	res, err := expansion.EdgeExpansion(g)
 	if err != nil {
@@ -99,7 +148,8 @@ func ReadBipartite(r io.Reader) (*Bipartite, error) {
 type TripleProfile = expansion.TripleProfile
 
 // Profiles computes, for every set size k = 1..maxK, the exact minima of
-// ordinary, wireless, and unique expansion over sets of that size (n ≤ 16).
+// ordinary, wireless, and unique expansion over sets of that size, under
+// the default work budget (the wireless pass dominates: Σ C(n,k)·2^k).
 // Observation 2.1's chain β ≥ βw ≥ βu holds pointwise in every row.
 func Profiles(g *Graph, maxK int) (*TripleProfile, error) {
 	return expansion.Profiles(g, maxK)
@@ -122,8 +172,8 @@ func RandomScheduleProtocol(n, period int, p float64, r *RNG) (Protocol, error) 
 // AlphaPoint is one row of AlphaSweep.
 type AlphaPoint = expansion.AlphaPoint
 
-// AlphaSweep evaluates β, βw, βu exactly at a grid of α values (n ≤ 16).
-// All three are non-increasing in α.
+// AlphaSweep evaluates β, βw, βu exactly at a grid of α values under the
+// default work budget. All three are non-increasing in α.
 func AlphaSweep(g *Graph, alphas []float64) ([]AlphaPoint, error) {
 	return expansion.AlphaSweep(g, alphas)
 }

@@ -5,10 +5,14 @@
 //
 //	wexp -family hypercube -size 4 -alpha 0.5
 //	wexp -family cplus -size 8 -alpha 0.5
-//	wexp -family margulis -size 16 -alpha 0.25 -seed 7   (estimates)
+//	wexp -family cycle -size 72 -alpha 0.04 -budget 4194304   (exact, n > 64)
+//	wexp -family margulis -size 16 -alpha 0.25 -seed 7        (estimates)
 //
-// For graphs small enough the values are exact; beyond the exact-solver
-// limits the tool prints certified one-sided bounds and labels them.
+// The exact engine enumerates candidate sets by cardinality under a work
+// budget (one unit per set for β/βu, 2^|S| units for βw) fanned over a
+// deterministic worker pool, so any n is exact as long as the enumeration
+// fits the budget — beyond it the tool prints certified one-sided bounds
+// and labels them.
 package main
 
 import (
@@ -33,16 +37,18 @@ func main() {
 		alpha   = flag.Float64("alpha", 0.5, "expansion parameter α: sets up to α·n are considered")
 		seed    = flag.Uint64("seed", 1, "RNG seed for estimators")
 		trials  = flag.Int("trials", 40, "sampled sets for the estimators")
-		profile = flag.Bool("profile", false, "also print the exact per-size expansion profile (n ≤ 16)")
+		profile = flag.Bool("profile", false, "also print the exact per-size expansion profile (budget permitting)")
+		budget  = flag.Uint64("budget", 0, "exact-engine work budget in enumeration units (0 = default, 2^26)")
+		workers = flag.Int("workers", 0, "exact-engine worker pool width (0 = GOMAXPROCS; results identical at any width)")
 	)
 	flag.Parse()
-	if err := run(*family, *size, *load, *alpha, *seed, *trials, *profile); err != nil {
+	if err := run(*family, *size, *load, *alpha, *seed, *trials, *profile, *budget, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "wexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(family string, size int, load string, alpha float64, seed uint64, trials int, profile bool) error {
+func run(family string, size int, load string, alpha float64, seed uint64, trials int, profile bool, budget uint64, workers int) error {
 	var g *graph.Graph
 	if load != "" {
 		f, err := os.Open(load)
@@ -69,38 +75,74 @@ func run(family string, size int, load string, alpha float64, seed uint64, trial
 	}
 	fmt.Println()
 
+	opt := expansion.Options{Alpha: alpha, Budget: budget, Workers: workers}
+	maxK := expansion.MaxSetSize(g.N(), alpha)
+	if maxK < 1 {
+		return fmt.Errorf("α=%g admits no nonempty set on n=%d", alpha, g.N())
+	}
+	// The wireless pass is the most expensive; if it fits the budget, run
+	// everything exactly. The engine re-validates, so a race between this
+	// check and the solve is impossible.
+	exactAll := expansion.Feasible(g.N(), maxK, expansion.ObjWireless, budget)
+
 	tb := table.New("Expansion measurements", "quantity", "value", "mode", "notes")
-	if g.N() <= 16 {
-		beta, betaW, betaU, err := expansion.Ordering(g, alpha)
+	if exactAll {
+		rb, err := expansion.Exact(g, expansion.ObjOrdinary, opt)
 		if err != nil {
 			return err
 		}
-		tb.AddRow("β (ordinary)", beta, "exact", "")
-		tb.AddRow("βw (wireless)", betaW, "exact", "")
-		tb.AddRow("βu (unique)", betaU, "exact", "Obs 2.1: β ≥ βw ≥ βu")
-		tb.AddRow("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), beta), "formula",
+		rw, err := expansion.Exact(g, expansion.ObjWireless, opt)
+		if err != nil {
+			return err
+		}
+		ru, err := expansion.Exact(g, expansion.ObjUnique, opt)
+		if err != nil {
+			return err
+		}
+		tb.AddRow("β (ordinary)", rb.Value, "exact", fmt.Sprintf("%d sets, %d pruned", rb.Sets, rb.Pruned))
+		tb.AddRow("βw (wireless)", rw.Value, "exact", fmt.Sprintf("%d sets, %d pruned", rw.Sets, rw.Pruned))
+		tb.AddRow("βu (unique)", ru.Value, "exact", "Obs 2.1: β ≥ βw ≥ βu")
+		tb.AddRow("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), rb.Value), "formula",
 			"βw = Ω(β/log 2·min{∆/β, ∆β})")
+	} else if expansion.Feasible(g.N(), maxK, expansion.ObjOrdinary, budget) {
+		// β and βu are 2^|S| cheaper per set than βw: run them exactly and
+		// bracket the wireless value.
+		rb, err := expansion.Exact(g, expansion.ObjOrdinary, opt)
+		if err != nil {
+			return err
+		}
+		ru, err := expansion.Exact(g, expansion.ObjUnique, opt)
+		if err != nil {
+			return err
+		}
+		tb.AddRow("β (ordinary)", rb.Value, "exact", fmt.Sprintf("%d sets, %d pruned", rb.Sets, rb.Pruned))
+		tb.AddRow("βu (unique)", ru.Value, "exact", "Obs 2.1: β ≥ βw ≥ βu")
+		lower, upper := wirelessBracket(g, alpha, trials, r)
+		// Obs 2.1 certifies βw ≤ β, so the exact β tightens the sampled
+		// upper bound; the lower bound holds only over the sampled family.
+		if rb.Value < upper {
+			upper = rb.Value
+		}
+		if lower > upper {
+			lower = upper
+		}
+		tb.AddRow("βw (wireless)", fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket",
+			"family lower / certified upper (βw enumeration over budget)")
+		tb.AddRow("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), rb.Value), "formula", "")
 	} else {
 		est := expansion.EstimateOrdinary(g, alpha, trials, r)
 		tb.AddRow("β (ordinary)", est.Bound, "upper bound", fmt.Sprintf("%d sets sampled", est.Sampled))
 		estU := expansion.EstimateUnique(g, alpha, trials, r)
 		tb.AddRow("βu (unique)", estU.Bound, "upper bound", "")
-		sets := expansion.SampleSets(g, alpha, trials, r)
-		lower, upper, _ := expansion.WirelessBounds(g, sets, func(b *graph.Bipartite) int {
-			return spokesman.Best(b, 12, r).Unique
-		})
+		lower, upper := wirelessBracket(g, alpha, trials, r)
 		tb.AddRow("βw (wireless)", fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket",
-			"certified lower / sampled upper")
+			"family lower / sampled upper")
 		tb.AddRow("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), est.Bound), "formula", "")
 	}
 	fmt.Print(tb.Text())
 
 	if profile {
-		maxK := int(alpha * float64(g.N()))
-		if maxK < 1 {
-			maxK = 1
-		}
-		tp, err := expansion.Profiles(g, maxK)
+		tp, err := expansion.ProfilesOpts(g, maxK, opt)
 		if err != nil {
 			return fmt.Errorf("profile unavailable: %w", err)
 		}
@@ -113,4 +155,14 @@ func run(family string, size int, load string, alpha float64, seed uint64, trial
 		fmt.Print(pt.Text())
 	}
 	return nil
+}
+
+// wirelessBracket samples an adversarial set family and brackets βw over
+// it with a certified spokesman lower bound per set.
+func wirelessBracket(g *graph.Graph, alpha float64, trials int, r *rng.RNG) (lower, upper float64) {
+	sets := expansion.SampleSets(g, alpha, trials, r)
+	lower, upper, _ = expansion.WirelessBounds(g, sets, func(b *graph.Bipartite) int {
+		return spokesman.Best(b, 12, r).Unique
+	})
+	return lower, upper
 }

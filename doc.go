@@ -15,7 +15,13 @@
 //   - the graph and bipartite substrates (package internal/graph) with the
 //     neighborhood operators Γ, Γ⁻, Γ¹, Γ¹_S of the paper's Section 2;
 //   - exact and sampled measurement of β, βu, βw (internal/expansion),
-//     including the spectral machinery of Lemma 3.1;
+//     including the spectral machinery of Lemma 3.1. The exact engine is
+//     size-agnostic: candidate sets are enumerated by cardinality (Gosper /
+//     combinatorial ranking, so the |S| ≤ α·n cutoff prunes the search
+//     space instead of filtering it), bounded by a caller-supplied work
+//     budget rather than a hard vertex limit, fanned over a chunked worker
+//     pool whose deterministic merge makes results bit-identical at every
+//     pool width, and accelerated by a degree-based branch-and-bound skip;
 //   - the paper's spokesman-election algorithms (internal/spokesman): the
 //     Lemma 4.2 decay sampler, the Lemma 4.3 low-β reduction, and the
 //     deterministic appendix procedures (greedy, Procedure Partition, the

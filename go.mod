@@ -1,0 +1,3 @@
+module wexp
+
+go 1.24

@@ -9,6 +9,7 @@ package bitset
 
 import (
 	"fmt"
+	"iter"
 	"math/bits"
 	"strings"
 )
@@ -202,6 +203,23 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// All returns an iterator over the elements of the set in increasing order,
+// for use with range-over-func. The set must not be mutated during
+// iteration.
+func (s *Set) All() iter.Seq[int] {
+	return func(yield func(int) bool) {
+		for wi, w := range s.words {
+			base := wi * wordBits
+			for w != 0 {
+				if !yield(base + bits.TrailingZeros64(w)) {
+					return
+				}
+				w &= w - 1
+			}
+		}
+	}
+}
+
 // Indices returns the elements of the set in increasing order.
 func (s *Set) Indices() []int {
 	out := make([]int, 0, s.Count())
@@ -228,6 +246,150 @@ func (s *Set) Next(i int) int {
 		}
 	}
 	return -1
+}
+
+// NextZero returns the smallest index ≥ i that is NOT in the set, or -1 if
+// every element of [i, n) is present.
+func (s *Set) NextZero(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	if w := ^s.words[wi] >> uint(i%wordBits); w != 0 {
+		if r := i + bits.TrailingZeros64(w); r < s.n {
+			return r
+		}
+		return -1
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if w := ^s.words[wi]; w != 0 {
+			if r := wi*wordBits + bits.TrailingZeros64(w); r < s.n {
+				return r
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// CountRange returns the number of elements in [lo, hi). Bounds are clamped
+// to the universe.
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << uint(lo%wordBits)
+	hiMask := ^uint64(0) >> uint(wordBits-1-(hi-1)%wordBits)
+	if loW == hiW {
+		return bits.OnesCount64(s.words[loW] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(s.words[loW] & loMask)
+	for wi := loW + 1; wi < hiW; wi++ {
+		c += bits.OnesCount64(s.words[wi])
+	}
+	return c + bits.OnesCount64(s.words[hiW]&hiMask)
+}
+
+// Compare orders two sets by their value as |words|·64-bit unsigned
+// integers (bit i has weight 2^i): -1 if s < t, 0 if equal, +1 if s > t.
+// This is the tie-break order used by the expansion engine's deterministic
+// merge. Capacities must match.
+func (s *Set) Compare(t *Set) int {
+	s.compat(t)
+	for i := len(s.words) - 1; i >= 0; i-- {
+		switch {
+		case s.words[i] < t.words[i]:
+			return -1
+		case s.words[i] > t.words[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// FirstCombination resets the set to {0, 1, ..., k-1}, the numerically
+// smallest k-element subset of the universe. It panics if k is out of
+// range.
+func (s *Set) FirstCombination(k int) {
+	if k < 0 || k > s.n {
+		panic(fmt.Sprintf("bitset: combination size %d out of range [0,%d]", k, s.n))
+	}
+	s.Clear()
+	s.setRange(0, k)
+}
+
+// NextCombination advances the set to the next k-element subset of the
+// universe in increasing numeric order (Gosper's hack generalized to the
+// multiword representation, where k = Count()). It returns false — leaving
+// the set unchanged — when the current set is the numerically largest
+// k-combination. The empty set has no successor.
+func (s *Set) NextCombination() bool {
+	lo := s.Next(0)
+	if lo < 0 {
+		return false
+	}
+	// The lowest run of ones spans [lo, p); the successor clears the run,
+	// sets bit p, and packs the remaining run at the bottom:
+	//   ...0111100 -> ...1000011  (runLen-1 low bits survive).
+	p := s.NextZero(lo)
+	if p < 0 {
+		return false // run reaches the top: numerically largest combination
+	}
+	runLen := p - lo
+	s.clearRange(lo, p)
+	s.Add(p)
+	s.setRange(0, runLen-1)
+	return true
+}
+
+// setRange adds every element of [lo, hi) to the set. Callers guarantee
+// bounds are within the universe.
+func (s *Set) setRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << uint(lo%wordBits)
+	hiMask := ^uint64(0) >> uint(wordBits-1-(hi-1)%wordBits)
+	if loW == hiW {
+		s.words[loW] |= loMask & hiMask
+		return
+	}
+	s.words[loW] |= loMask
+	for wi := loW + 1; wi < hiW; wi++ {
+		s.words[wi] = ^uint64(0)
+	}
+	s.words[hiW] |= hiMask
+}
+
+// clearRange removes every element of [lo, hi) from the set. Callers
+// guarantee bounds are within the universe.
+func (s *Set) clearRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << uint(lo%wordBits)
+	hiMask := ^uint64(0) >> uint(wordBits-1-(hi-1)%wordBits)
+	if loW == hiW {
+		s.words[loW] &^= loMask & hiMask
+		return
+	}
+	s.words[loW] &^= loMask
+	for wi := loW + 1; wi < hiW; wi++ {
+		s.words[wi] = 0
+	}
+	s.words[hiW] &^= hiMask
 }
 
 // String renders the set as "{a, b, c}".

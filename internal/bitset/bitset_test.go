@@ -184,6 +184,168 @@ func TestCopy(t *testing.T) {
 	}
 }
 
+func TestAllIterator(t *testing.T) {
+	s := FromIndices(130, []int{0, 5, 63, 64, 100, 129})
+	var got []int
+	for i := range s.All() {
+		got = append(got, i)
+	}
+	want := []int{0, 5, 63, 64, 100, 129}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Early break must not panic or over-yield.
+	count := 0
+	for range s.All() {
+		count++
+		if count == 2 {
+			break
+		}
+	}
+	if count != 2 {
+		t.Fatalf("break ignored, count=%d", count)
+	}
+}
+
+func TestNextZero(t *testing.T) {
+	s := New(130)
+	s.Fill()
+	if got := s.NextZero(0); got != -1 {
+		t.Fatalf("full set NextZero = %d", got)
+	}
+	s.Remove(64)
+	s.Remove(129)
+	if got := s.NextZero(0); got != 64 {
+		t.Fatalf("NextZero(0) = %d, want 64", got)
+	}
+	if got := s.NextZero(65); got != 129 {
+		t.Fatalf("NextZero(65) = %d, want 129", got)
+	}
+	if got := s.NextZero(130); got != -1 {
+		t.Fatalf("NextZero past capacity = %d", got)
+	}
+	empty := New(70)
+	if got := empty.NextZero(3); got != 3 {
+		t.Fatalf("empty NextZero(3) = %d", got)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	s := FromIndices(200, []int{0, 1, 63, 64, 65, 128, 199})
+	cases := []struct{ lo, hi, want int }{
+		{0, 200, 7},
+		{0, 2, 2},
+		{1, 64, 2},
+		{63, 66, 3},
+		{64, 64, 0},
+		{66, 128, 0},
+		{128, 200, 2},
+		{-5, 1000, 7},
+	}
+	for _, c := range cases {
+		if got := s.CountRange(c.lo, c.hi); got != c.want {
+			t.Fatalf("CountRange(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := FromIndices(130, []int{0, 1})
+	b := FromIndices(130, []int{2})
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Fatal("numeric order violated in low word")
+	}
+	c := FromIndices(130, []int{0, 129})
+	if b.Compare(c) != -1 || c.Compare(c.Clone()) != 0 {
+		t.Fatal("numeric order violated across words")
+	}
+}
+
+func TestFirstCombination(t *testing.T) {
+	s := New(100)
+	s.FirstCombination(70)
+	if s.Count() != 70 || !s.Contains(69) || s.Contains(70) {
+		t.Fatalf("FirstCombination(70) = %v", s)
+	}
+	s.FirstCombination(0)
+	if !s.Empty() {
+		t.Fatal("FirstCombination(0) not empty")
+	}
+}
+
+// TestNextCombinationMatchesGosper cross-checks the multiword successor
+// against the classic uint64 Gosper hack for every k on a 12-universe.
+func TestNextCombinationMatchesGosper(t *testing.T) {
+	const n = 12
+	gosper := func(x uint64) uint64 {
+		u := x & (^x + 1)
+		v := x + u
+		return v | ((x ^ v) / u >> 2)
+	}
+	for k := 1; k <= n; k++ {
+		s := New(n)
+		s.FirstCombination(k)
+		mask := uint64(1)<<uint(k) - 1
+		for {
+			var got uint64
+			s.ForEach(func(i int) { got |= 1 << uint(i) })
+			if got != mask {
+				t.Fatalf("k=%d: set %b, Gosper %b", k, got, mask)
+			}
+			next := gosper(mask)
+			if next >= 1<<n {
+				if s.NextCombination() {
+					t.Fatalf("k=%d: advanced past the last combination %b", k, mask)
+				}
+				break
+			}
+			if !s.NextCombination() {
+				t.Fatalf("k=%d: refused to advance from %b", k, mask)
+			}
+			mask = next
+		}
+	}
+}
+
+// TestNextCombinationMultiword exercises combinations straddling word
+// boundaries.
+func TestNextCombinationMultiword(t *testing.T) {
+	s := FromIndices(130, []int{62, 63, 64}) // a run across the boundary
+	if !s.NextCombination() {
+		t.Fatal("refused to advance")
+	}
+	want := FromIndices(130, []int{0, 1, 65})
+	if !s.Equal(want) {
+		t.Fatalf("got %v, want %v", s, want)
+	}
+	// The numerically largest 2-combination of 130 has no successor.
+	last := FromIndices(130, []int{128, 129})
+	if last.NextCombination() {
+		t.Fatal("advanced past the end of the sequence")
+	}
+	if !last.Equal(FromIndices(130, []int{128, 129})) {
+		t.Fatal("failed NextCombination mutated the set")
+	}
+	// Count the full C(66,2) sequence on a >64 universe.
+	s2 := New(66)
+	s2.FirstCombination(2)
+	count := 1
+	for s2.NextCombination() {
+		count++
+		if c := s2.Count(); c != 2 {
+			t.Fatalf("cardinality drifted to %d", c)
+		}
+	}
+	if count != 66*65/2 {
+		t.Fatalf("enumerated %d combinations, want %d", count, 66*65/2)
+	}
+}
+
 func TestString(t *testing.T) {
 	s := FromIndices(10, []int{1, 3})
 	if got := s.String(); got != "{1, 3}" {

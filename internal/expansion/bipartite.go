@@ -5,32 +5,60 @@ import (
 	"math"
 	"math/bits"
 
+	"wexp/internal/bitset"
 	"wexp/internal/graph"
 )
 
 // BipartiteResult reports an exact bipartite measurement with its witness
-// subset (as a bitmask over the S side).
+// subset. ArgSet is a bitmask over the S side, populated when |S| ≤ 64;
+// Witness is populated for every |S|.
 type BipartiteResult struct {
-	Value  float64
-	ArgSet uint64
+	Value   float64
+	ArgSet  uint64
+	Witness *bitset.Set
+	Sets    int
 }
-
-// MaxExactBipartiteS bounds the exhaustive bipartite solvers.
-const MaxExactBipartiteS = 24
 
 // MinBipartiteExpansion computes min over nonempty S' ⊆ S of
 // |Γ(S')| / |S'| — the bipartite vertex expansion of Section 2.1, the
-// quantity lower-bounded by Lemma 4.4(4) for the core graph. It walks all
-// subsets in Gray-code order, maintaining the per-N-vertex coverage count
-// incrementally, so the cost is O(2^|S| · avg-deg).
+// quantity lower-bounded by Lemma 4.4(4) for the core graph — under the
+// default work budget.
 func MinBipartiteExpansion(b *graph.Bipartite) (BipartiteResult, error) {
+	return MinBipartiteExpansionOpts(b, Options{})
+}
+
+// MinBipartiteExpansionOpts is MinBipartiteExpansion with an explicit work
+// budget, pool width, and optional subset-size cap (Options.MaxK; 0 means
+// all sizes). Two regimes:
+//
+//   - |S| ≤ 64 and the 2^|S| Gray-code walk fits the budget: all subsets
+//     are visited in Gray order, maintaining per-N-vertex coverage counts
+//     incrementally — O(2^|S| · avg-deg) total, one unit of work per set.
+//   - otherwise: by-cardinality enumeration over the chunked worker pool,
+//     which makes a MaxK cutoff prune the space instead of filtering, at
+//     O(|S'| · avg-deg) per set.
+func MinBipartiteExpansionOpts(b *graph.Bipartite, opt Options) (BipartiteResult, error) {
 	s := b.NS()
-	if s > MaxExactBipartiteS {
-		return BipartiteResult{}, fmt.Errorf("expansion: |S|=%d exceeds bipartite exact limit %d", s, MaxExactBipartiteS)
-	}
 	if s == 0 {
 		return BipartiteResult{}, fmt.Errorf("expansion: empty S side")
 	}
+	budget := opt.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	maxK := opt.MaxK
+	if maxK <= 0 || maxK > s {
+		maxK = s
+	}
+	if s <= 62 && maxK == s && uint64(1)<<uint(s) <= budget {
+		return grayBipartite(b), nil
+	}
+	return bigBipartite(b, maxK, budget, opt.Workers)
+}
+
+// grayBipartite is the legacy incremental Gray-code walk (|S| ≤ 62).
+func grayBipartite(b *graph.Bipartite) BipartiteResult {
+	s := b.NS()
 	counts := make([]int32, b.NN())
 	inSet := make([]bool, s)
 	covered := 0
@@ -64,59 +92,101 @@ func MinBipartiteExpansion(b *graph.Bipartite) (BipartiteResult, error) {
 		if size == 0 {
 			continue
 		}
+		best.Sets++
 		if ratio := float64(covered) / float64(size); ratio < best.Value {
 			best.Value = ratio
 			best.ArgSet = cur
 		}
 	}
-	return best, nil
+	best.Witness = fromMask(s, best.ArgSet)
+	return best
+}
+
+// bigBipartite enumerates subsets of the S side by cardinality over the
+// chunked pool, with the same deterministic smallest-witness merge as the
+// graph engine.
+func bigBipartite(b *graph.Bipartite, maxK int, budget uint64, workers int) (BipartiteResult, error) {
+	s := b.NS()
+	work := enumWork(s, maxK, ObjOrdinary) // one unit per set
+	if work > budget {
+		return BipartiteResult{}, fmt.Errorf("expansion: bipartite enumeration on |S|=%d (|S'| ≤ %d) needs %d work units, budget is %d; raise Options.Budget or set Options.MaxK",
+			s, maxK, work, budget)
+	}
+	if workers <= 0 {
+		workers = poolWidth()
+	}
+	chunks := makeChunks(s, maxK, ObjOrdinary, work, workers)
+	run := func(c chunk) chunkBest {
+		S := bitset.New(s)
+		combinationInto(S, s, c.k, c.start)
+		members := make([]int, 0, c.k)
+		scratch := make([]int8, b.NN())
+		best := chunkBest{}
+		for i := uint64(0); ; {
+			best.sets++
+			members = members[:0]
+			for u := range S.All() {
+				members = append(members, u)
+			}
+			if num := b.CoverSet(members, scratch); !best.found || num < best.num {
+				best.found = true
+				best.num = num
+				best.setBig = S.Clone()
+			}
+			if i++; i >= c.count {
+				return best
+			}
+			if !S.NextCombination() {
+				return best
+			}
+		}
+	}
+	results := runPool(chunks, workers, run)
+	res := BipartiteResult{Value: math.Inf(1)}
+	var best *chunkBest
+	bestK := 0
+	for i := range results {
+		r := &results[i]
+		res.Sets += r.sets
+		if !r.found {
+			continue
+		}
+		k := chunks[i].k
+		if best == nil ||
+			int64(r.num)*int64(bestK) < int64(best.num)*int64(k) ||
+			(int64(r.num)*int64(bestK) == int64(best.num)*int64(k) && r.setBig.Compare(best.setBig) < 0) {
+			best = r
+			bestK = k
+		}
+	}
+	if best == nil {
+		return res, fmt.Errorf("expansion: no nonempty subset enumerated")
+	}
+	res.Value = float64(best.num) / float64(bestK)
+	res.Witness = best.setBig
+	if s <= 64 {
+		res.ArgSet = toMask(best.setBig)
+	}
+	return res, nil
 }
 
 // SizeProfile is the per-size expansion profile of a graph: Profile[k]
-// (1-indexed by set size) is the minimum |Γ⁻(S)|/|S| over sets of size
-// exactly k.
+// (1-indexed by set size) is the minimum objective ratio over sets of size
+// exactly k. ArgSets holds uint64 witnesses (n ≤ 64 only); Witnesses holds
+// them for every n.
 type SizeProfile struct {
 	MinExpansion []float64 // index 0 unused
 	ArgSets      []uint64
+	Witnesses    []*bitset.Set
 }
 
 // OrdinaryProfile computes the exact per-size expansion profile up to sets
-// of size maxK (graph must have n ≤ 20). The overall β for α = maxK/n is
-// the minimum over the profile — the profile additionally shows *where*
-// the bottleneck sits, which the paper's α-parameterized definition
-// quantifies over.
+// of size maxK under the default work budget. The overall β for
+// α = maxK/n is the minimum over the profile — the profile additionally
+// shows *where* the bottleneck sits, which the paper's α-parameterized
+// definition quantifies over.
 func OrdinaryProfile(g *graph.Graph, maxK int) (*SizeProfile, error) {
-	n := g.N()
-	if n > maxExactN {
-		return nil, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
-	}
-	if maxK < 1 || maxK > n {
-		return nil, fmt.Errorf("expansion: bad maxK %d", maxK)
-	}
-	masks := adjMasks(g)
-	p := &SizeProfile{
-		MinExpansion: make([]float64, maxK+1),
-		ArgSets:      make([]uint64, maxK+1),
-	}
-	for k := 1; k <= maxK; k++ {
-		p.MinExpansion[k] = math.Inf(1)
-	}
-	for S := uint64(1); S < 1<<uint(n); S++ {
-		k := bits.OnesCount64(S)
-		if k > maxK {
-			continue
-		}
-		var nbr uint64
-		for rest := S; rest != 0; rest &= rest - 1 {
-			nbr |= masks[bits.TrailingZeros64(rest)]
-		}
-		ratio := float64(bits.OnesCount64(nbr&^S)) / float64(k)
-		if ratio < p.MinExpansion[k] {
-			p.MinExpansion[k] = ratio
-			p.ArgSets[k] = S
-		}
-	}
-	return p, nil
+	return Profile(g, ObjOrdinary, maxK, Options{})
 }
 
 // Beta returns the aggregate β over the profile: the minimum across sizes.
@@ -131,36 +201,28 @@ func (p *SizeProfile) Beta() float64 {
 }
 
 // EdgeExpansion computes the exact edge expansion (Cheeger constant)
-// h(G) = min over 0 < |S| ≤ n/2 of |e(S, S̄)| / |S|, for n ≤ 20. Used to
-// sanity-check the spectral machinery: for d-regular graphs the discrete
-// Cheeger inequality gives (d−λ2)/2 ≤ h(G) ≤ sqrt(2d(d−λ2)).
+// h(G) = min over 0 < |S| ≤ n/2 of |e(S, S̄)| / |S|, under the default
+// work budget, via the engine's by-cardinality enumeration (ObjEdge). Used
+// to sanity-check the spectral machinery: for d-regular graphs the
+// discrete Cheeger inequality gives (d−λ2)/2 ≤ h(G) ≤ sqrt(2d(d−λ2)).
 func EdgeExpansion(g *graph.Graph) (BipartiteResult, error) {
+	return EdgeExpansionOpts(g, Options{})
+}
+
+// EdgeExpansionOpts is EdgeExpansion with an explicit work budget and pool
+// width.
+func EdgeExpansionOpts(g *graph.Graph, opt Options) (BipartiteResult, error) {
 	n := g.N()
-	if n > maxExactN {
-		return BipartiteResult{}, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
-	}
 	if n < 2 {
 		return BipartiteResult{}, fmt.Errorf("expansion: need n >= 2")
 	}
-	masks := adjMasks(g)
-	best := BipartiteResult{Value: math.Inf(1)}
-	half := n / 2
-	for S := uint64(1); S < 1<<uint(n); S++ {
-		k := bits.OnesCount64(S)
-		if k > half {
-			continue
-		}
-		cut := 0
-		for rest := S; rest != 0; rest &= rest - 1 {
-			v := bits.TrailingZeros64(rest)
-			cut += bits.OnesCount64(masks[v] &^ S)
-		}
-		if ratio := float64(cut) / float64(k); ratio < best.Value {
-			best.Value = ratio
-			best.ArgSet = S
-		}
+	opt.MaxK = n / 2
+	opt.Alpha = 0
+	res, err := Exact(g, ObjEdge, opt)
+	if err != nil {
+		return BipartiteResult{}, err
 	}
-	return best, nil
+	return BipartiteResult{Value: res.Value, ArgSet: res.ArgSet, Witness: res.Witness, Sets: res.Sets}, nil
 }
 
 // CheegerBounds returns the discrete Cheeger bracket

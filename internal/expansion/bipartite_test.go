@@ -62,9 +62,46 @@ func TestMinBipartiteExpansionValidation(t *testing.T) {
 	if _, err := MinBipartiteExpansion(graph.NewBipartiteBuilder(0, 3).Build()); err == nil {
 		t.Fatal("empty S accepted")
 	}
-	big := gen.RandomBipartite(MaxExactBipartiteS+1, 4, 0.5, rng.New(2))
+	// A 2^70 enumeration can never fit the default budget.
+	big := gen.RandomBipartite(70, 4, 0.1, rng.New(2))
 	if _, err := MinBipartiteExpansion(big); err == nil {
-		t.Fatal("oversize accepted")
+		t.Fatal("|S|=70 full enumeration accepted under default budget")
+	}
+	// An explicit tiny budget rejects even small instances...
+	small := gen.RandomBipartite(8, 12, 0.3, rng.New(3))
+	if _, err := MinBipartiteExpansionOpts(small, Options{Budget: 16}); err == nil {
+		t.Fatal("budget 16 accepted a 2^8 enumeration")
+	}
+	// ...while a MaxK cutoff makes the large instance affordable.
+	res, err := MinBipartiteExpansionOpts(big, Options{MaxK: 2})
+	if err != nil {
+		t.Fatalf("|S|=70 with MaxK=2 rejected: %v", err)
+	}
+	if res.Value <= 0 || math.IsInf(res.Value, 1) {
+		t.Fatalf("suspicious min expansion %g", res.Value)
+	}
+}
+
+func TestMinBipartiteExpansionBigPathMatchesGray(t *testing.T) {
+	// Forcing the by-cardinality path (via a budget below 2^|S| but above
+	// the Σ C(|S|,k) cost... easiest: MaxK = |S| with the gray path
+	// disqualified by a tight budget) must reproduce the Gray-code result.
+	r := rng.New(5)
+	for trial := 0; trial < 10; trial++ {
+		b := gen.RandomBipartite(8, 12, 0.3, r)
+		gray, err := MinBipartiteExpansion(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2^8 = 256 > 255 ≥ Σ C(8,k) − 1... the subset count is 255, so a
+		// budget of 255 forces the big path while still covering the work.
+		big, err := MinBipartiteExpansionOpts(b, Options{Budget: 255})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gray.Value-big.Value) > 1e-12 {
+			t.Fatalf("trial %d: gray=%g big=%g", trial, gray.Value, big.Value)
+		}
 	}
 }
 
@@ -110,8 +147,13 @@ func TestOrdinaryProfileValidation(t *testing.T) {
 	if _, err := OrdinaryProfile(g, 11); err == nil {
 		t.Fatal("maxK>n accepted")
 	}
-	if _, err := OrdinaryProfile(gen.Cycle(24), 3); err == nil {
-		t.Fatal("n>20 accepted")
+	// C(40,20) ≈ 1.4e11 work units cannot fit the default budget.
+	if _, err := OrdinaryProfile(gen.Cycle(40), 20); err == nil {
+		t.Fatal("budget-exceeding profile accepted")
+	}
+	// The same profile fits when the cutoff prunes the space.
+	if _, err := OrdinaryProfile(gen.Cycle(40), 3); err != nil {
+		t.Fatal("n=40 maxK=3 should fit the default budget")
 	}
 }
 
@@ -164,8 +206,17 @@ func TestEdgeExpansionValidation(t *testing.T) {
 	if _, err := EdgeExpansion(gen.Complete(1)); err == nil {
 		t.Fatal("n=1 accepted")
 	}
-	if _, err := EdgeExpansion(gen.Cycle(24)); err == nil {
-		t.Fatal("n=24 accepted")
+	// n=24 fits the default budget now (Σ C(24,k≤12) ≈ 2^23); n=80 with
+	// k ≤ 40 does not.
+	res, err := EdgeExpansion(gen.Cycle(24))
+	if err != nil {
+		t.Fatalf("n=24 rejected: %v", err)
+	}
+	if math.Abs(res.Value-2.0/12) > 1e-12 {
+		t.Fatalf("h(C24) = %g, want %g", res.Value, 2.0/12)
+	}
+	if _, err := EdgeExpansion(gen.Cycle(80)); err == nil {
+		t.Fatal("budget-exceeding n=80 accepted")
 	}
 }
 

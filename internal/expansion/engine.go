@@ -1,0 +1,639 @@
+package expansion
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wexp/internal/bitset"
+	"wexp/internal/graph"
+)
+
+// Objective selects which quantity the exact engine minimizes over vertex
+// sets S.
+type Objective int
+
+const (
+	// ObjOrdinary is β: |Γ⁻(S)| / |S|.
+	ObjOrdinary Objective = iota
+	// ObjUnique is βu: |Γ¹(S)| / |S|.
+	ObjUnique
+	// ObjWireless is βw: max over S' ⊆ S of |Γ¹_S(S')| / |S|.
+	ObjWireless
+	// ObjEdge is the Cheeger constant numerator: |e(S, S̄)| / |S|.
+	ObjEdge
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjOrdinary:
+		return "ordinary"
+	case ObjUnique:
+		return "unique"
+	case ObjWireless:
+		return "wireless"
+	case ObjEdge:
+		return "edge"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// DefaultBudget is the work-unit budget used when Options.Budget is zero.
+// One unit is one candidate set for β/βu/edge and 2^|S| submask evaluations
+// for βw, so the default covers the legacy hard limits (n ≤ 20 for β/βu,
+// n ≤ 16 for βw) with headroom.
+const DefaultBudget = 1 << 26
+
+// Options configures an exact expansion computation. The zero value of
+// every field selects a sensible default, except that exactly one of Alpha
+// and MaxK must be positive.
+type Options struct {
+	// Alpha is the paper's size parameter: sets with 0 < |S| ≤ α·n are
+	// enumerated. Ignored when MaxK > 0.
+	Alpha float64
+	// MaxK, when positive, caps |S| directly instead of via Alpha.
+	MaxK int
+	// Budget bounds the total work in enumeration units (see
+	// DefaultBudget). The engine refuses up front — with the required
+	// amount in the error — rather than run past it.
+	Budget uint64
+	// Workers is the worker-pool width; 0 means GOMAXPROCS. The result is
+	// bit-identical for every width: chunks are merged in a deterministic
+	// order with a smallest-witness tie-break.
+	Workers int
+	// NoPrune disables the degree-based branch-and-bound skip. The result
+	// never depends on pruning (only Result.Pruned does); the switch exists
+	// for cross-checks and measurement.
+	NoPrune bool
+
+	// forceBig routes graphs with n ≤ 64 through the large-n bitset kernel;
+	// a test hook for cross-validating the two paths.
+	forceBig bool
+}
+
+// chunk is one contiguous slice of the by-cardinality enumeration: `count`
+// k-combinations starting at colex rank `start`.
+type chunk struct {
+	k     int
+	start uint64
+	count uint64
+}
+
+// chunkBest is a worker's private best over one chunk. Exactly one of
+// set/setBig (and inner/innerBig) is meaningful, depending on the kernel.
+type chunkBest struct {
+	found    bool
+	num      int // objective numerator; the value is num / k
+	set      uint64
+	setBig   *bitset.Set
+	inner    uint64
+	innerBig *bitset.Set
+	sets     int
+	pruned   int64
+}
+
+// engineOut is the raw per-cardinality outcome of a solve: perK[k] holds
+// the best set of size exactly k (chunks already merged deterministically).
+type engineOut struct {
+	n    int
+	maxK int
+	perK []chunkBest
+	sets int
+	prun int64
+}
+
+// binom returns C(n, k), saturating at MaxUint64 on overflow.
+func binom(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := uint64(1)
+	for i := 1; i <= k; i++ {
+		hi, lo := bits.Mul64(r, uint64(n-k+i))
+		if hi >= uint64(i) {
+			return math.MaxUint64
+		}
+		r, _ = bits.Div64(hi, lo, uint64(i))
+	}
+	return r
+}
+
+// setCost is the work-unit price of evaluating one set of size k.
+func setCost(obj Objective, k int) uint64 {
+	if obj == ObjWireless {
+		if k >= 62 {
+			return math.MaxUint64
+		}
+		return 1 << uint(k)
+	}
+	return 1
+}
+
+// enumWork returns the total work units of the full enumeration, saturating.
+func enumWork(n, maxK int, obj Objective) uint64 {
+	var total uint64
+	for k := 1; k <= maxK; k++ {
+		hi, lo := bits.Mul64(binom(n, k), setCost(obj, k))
+		if hi != 0 || total+lo < total {
+			return math.MaxUint64
+		}
+		total += lo
+	}
+	return total
+}
+
+// Feasible reports whether the exact engine would accept an enumeration of
+// sets up to size maxK on n vertices under the given budget (0 means
+// DefaultBudget). Callers use it to decide between the exact solvers and
+// the sampling estimators.
+func Feasible(n, maxK int, obj Objective, budget uint64) bool {
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	if maxK < 1 || maxK > n {
+		return false
+	}
+	return enumWork(n, maxK, obj) <= budget
+}
+
+// combinationMask returns the k-combination of {0..n-1} with colex rank r
+// as a uint64 mask (n ≤ 64). Colex rank order coincides with numeric mask
+// order, the order Gosper's hack enumerates.
+func combinationMask(n, k int, r uint64) uint64 {
+	var mask uint64
+	p := n - 1
+	for i := k; i >= 1; i-- {
+		for binom(p, i) > r {
+			p--
+		}
+		mask |= 1 << uint(p)
+		r -= binom(p, i)
+		p--
+	}
+	return mask
+}
+
+// combinationInto writes the colex-rank-r k-combination of {0..n-1} into s.
+func combinationInto(s *bitset.Set, n, k int, r uint64) {
+	s.Clear()
+	p := n - 1
+	for i := k; i >= 1; i-- {
+		for binom(p, i) > r {
+			p--
+		}
+		s.Add(p)
+		r -= binom(p, i)
+		p--
+	}
+}
+
+// gosperNext returns the next mask with the same popcount in increasing
+// numeric order (Gosper's hack). The caller guarantees a successor exists.
+func gosperNext(x uint64) uint64 {
+	u := x & (^x + 1)
+	v := x + u
+	return v | ((x ^ v) / u >> 2)
+}
+
+// makeChunks splits the by-cardinality enumeration into work-balanced
+// contiguous chunks. The chunk list depends only on (n, maxK, obj,
+// workers), never on scheduling, so the deterministic merge sees a fixed
+// partition.
+func makeChunks(n, maxK int, obj Objective, totalWork uint64, workers int) []chunk {
+	target := totalWork/uint64(workers*8) + 1
+	var chunks []chunk
+	for k := 1; k <= maxK; k++ {
+		ck := binom(n, k)
+		per := target / setCost(obj, k)
+		if per < 1 {
+			per = 1
+		}
+		for start := uint64(0); start < ck; start += per {
+			cnt := per
+			if cnt > ck-start {
+				cnt = ck - start
+			}
+			chunks = append(chunks, chunk{k: k, start: start, count: cnt})
+		}
+	}
+	return chunks
+}
+
+// poolWidth is the default worker-pool width.
+func poolWidth() int {
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// runPool fans the chunks over `workers` goroutines pulling from an atomic
+// cursor. Output is indexed by chunk, so scheduling order is invisible to
+// the merge.
+func runPool(chunks []chunk, workers int, run func(chunk) chunkBest) []chunkBest {
+	out := make([]chunkBest, len(chunks))
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		for i, c := range chunks {
+			out[i] = run(c)
+		}
+		return out
+	}
+	var cursor atomic.Int64
+	cursor.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= len(chunks) {
+					return
+				}
+				out[i] = run(chunks[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// witnessLess orders two found chunkBests by their witness set's numeric
+// value — the tie-break that reproduces the legacy serial scan (which kept
+// the numerically smallest mask among all minimizers).
+func witnessLess(a, b *chunkBest) bool {
+	if a.setBig != nil {
+		return a.setBig.Compare(b.setBig) < 0
+	}
+	return a.set < b.set
+}
+
+// solve runs the engine: validates the budget, builds the chunk list, fans
+// it over the pool, and merges per cardinality.
+func solve(g *graph.Graph, obj Objective, maxK int, opt Options) (*engineOut, error) {
+	n := g.N()
+	if maxK < 1 || maxK > n {
+		return nil, fmt.Errorf("expansion: size cap %d out of range [1,%d]", maxK, n)
+	}
+	budget := opt.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	work := enumWork(n, maxK, obj)
+	if work > budget {
+		return nil, fmt.Errorf("expansion: exact %v enumeration on n=%d (|S| ≤ %d) needs %d work units, budget is %d; raise Options.Budget or lower α",
+			obj, n, maxK, work, budget)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = poolWidth()
+	}
+	chunks := makeChunks(n, maxK, obj, work, workers)
+	var run func(chunk) chunkBest
+	if n <= 64 && !opt.forceBig {
+		kn := newSmallKernel(g, obj, !opt.NoPrune)
+		run = kn.run
+	} else {
+		kn := newBigKernel(g, obj, !opt.NoPrune)
+		run = kn.run
+	}
+	results := runPool(chunks, workers, run)
+	out := &engineOut{n: n, maxK: maxK, perK: make([]chunkBest, maxK+1)}
+	for i, r := range results {
+		out.sets += r.sets
+		out.prun += r.pruned
+		if !r.found {
+			continue
+		}
+		k := chunks[i].k
+		best := &out.perK[k]
+		if !best.found || r.num < best.num ||
+			(r.num == best.num && witnessLess(&r, best)) {
+			out.perK[k] = r
+			// Per-chunk counters were already folded into the totals.
+			out.perK[k].sets, out.perK[k].pruned = 0, 0
+		}
+	}
+	return out, nil
+}
+
+// aggregate reduces the per-cardinality bests to a single Result, comparing
+// the rationals num/k exactly by cross-multiplication and breaking ties by
+// numerically smallest witness — reproducing the legacy serial scan
+// bit-for-bit.
+func (e *engineOut) aggregate() Result {
+	res := Result{Value: math.Inf(1), Sets: e.sets, Pruned: e.prun}
+	var best *chunkBest
+	bestK := 0
+	for k := 1; k <= e.maxK; k++ {
+		c := &e.perK[k]
+		if !c.found {
+			continue
+		}
+		if best == nil ||
+			int64(c.num)*int64(bestK) < int64(best.num)*int64(k) ||
+			(int64(c.num)*int64(bestK) == int64(best.num)*int64(k) && witnessLess(c, best)) {
+			best = c
+			bestK = k
+		}
+	}
+	if best == nil {
+		return res
+	}
+	res.Value = float64(best.num) / float64(bestK)
+	fillWitness(&res, best, e.n)
+	return res
+}
+
+// fillWitness populates both witness representations of a Result from a
+// chunkBest: the legacy uint64 masks whenever n ≤ 64, and the bitsets
+// always.
+func fillWitness(res *Result, c *chunkBest, n int) {
+	if c.setBig != nil {
+		res.Witness = c.setBig
+		res.InnerWitness = c.innerBig
+		if n <= 64 {
+			res.ArgSet = toMask(c.setBig)
+			if c.innerBig != nil {
+				res.ArgInner = toMask(c.innerBig)
+			}
+		}
+		return
+	}
+	res.ArgSet = c.set
+	res.ArgInner = c.inner
+	res.Witness = fromMask(n, c.set)
+	if c.inner != 0 {
+		res.InnerWitness = fromMask(n, c.inner)
+	}
+}
+
+func toMask(s *bitset.Set) uint64 {
+	var m uint64
+	s.ForEach(func(i int) { m |= 1 << uint(i) })
+	return m
+}
+
+func fromMask(n int, m uint64) *bitset.Set {
+	s := bitset.New(n)
+	for rest := m; rest != 0; rest &= rest - 1 {
+		s.Add(bits.TrailingZeros64(rest))
+	}
+	return s
+}
+
+// --- Small kernel: n ≤ 64, uint64 adjacency masks ---------------------------
+
+type smallKernel struct {
+	masks []uint64
+	deg   []int
+	obj   Objective
+	n     int
+	prune bool
+}
+
+func newSmallKernel(g *graph.Graph, obj Objective, prune bool) *smallKernel {
+	n := g.N()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	// βu admits no degree-based lower bound (unique coverage can vanish for
+	// any degrees), so pruning is ordinary/wireless/edge only.
+	return &smallKernel{masks: adjMasks(g), deg: deg, obj: obj, n: n, prune: prune && obj != ObjUnique}
+}
+
+// lowerBoundSmall is the branch-and-bound floor: any v ∈ S has at least
+// deg(v) − (|S|−1) neighbors outside S, each contributing ≥ 1 to |Γ⁻(S)|,
+// to the wireless inner max (take S' = {v}), and to the edge cut.
+func (kn *smallKernel) lowerBoundSmall(S uint64, k int) int {
+	maxDeg := 0
+	for rest := S; rest != 0; rest &= rest - 1 {
+		if d := kn.deg[bits.TrailingZeros64(rest)]; d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg - (k - 1)
+}
+
+func (kn *smallKernel) run(c chunk) chunkBest {
+	best := chunkBest{}
+	S := combinationMask(kn.n, c.k, c.start)
+	for i := uint64(0); ; {
+		best.sets++
+		if kn.prune && best.found && kn.lowerBoundSmall(S, c.k) > best.num {
+			best.pruned++
+		} else {
+			num, inner := kn.eval(S)
+			// Strict improvement keeps the first — numerically smallest —
+			// witness within the chunk, matching the legacy serial scan.
+			if !best.found || num < best.num {
+				best.found = true
+				best.num = num
+				best.set = S
+				best.inner = inner
+			}
+		}
+		if i++; i >= c.count {
+			return best
+		}
+		S = gosperNext(S)
+	}
+}
+
+func (kn *smallKernel) eval(S uint64) (num int, inner uint64) {
+	switch kn.obj {
+	case ObjOrdinary:
+		var nbr uint64
+		for rest := S; rest != 0; rest &= rest - 1 {
+			nbr |= kn.masks[bits.TrailingZeros64(rest)]
+		}
+		return bits.OnesCount64(nbr &^ S), 0
+	case ObjUnique:
+		return bits.OnesCount64(uniqueMask(kn.masks, S)), 0
+	case ObjWireless:
+		return WirelessOfSet(kn.masks, S)
+	case ObjEdge:
+		cut := 0
+		for rest := S; rest != 0; rest &= rest - 1 {
+			cut += bits.OnesCount64(kn.masks[bits.TrailingZeros64(rest)] &^ S)
+		}
+		return cut, 0
+	}
+	panic("expansion: unknown objective")
+}
+
+// --- Big kernel: any n, bitset adjacency -------------------------------------
+
+type bigKernel struct {
+	adj   []*bitset.Set
+	deg   []int
+	obj   Objective
+	n     int
+	prune bool
+}
+
+func newBigKernel(g *graph.Graph, obj Objective, prune bool) *bigKernel {
+	n := g.N()
+	adj := make([]*bitset.Set, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		adj[v] = bitset.New(n)
+		for _, w := range g.Neighbors(v) {
+			adj[v].Add(int(w))
+		}
+		deg[v] = g.Degree(v)
+	}
+	return &bigKernel{adj: adj, deg: deg, obj: obj, n: n, prune: prune && obj != ObjUnique}
+}
+
+// run enumerates the chunk with per-chunk scratch (kernels are shared
+// across workers; scratch is not).
+func (kn *bigKernel) run(c chunk) chunkBest {
+	S := bitset.New(kn.n)
+	combinationInto(S, kn.n, c.k, c.start)
+	sc := &bigScratch{
+		members: make([]int, 0, c.k),
+		once:    bitset.New(kn.n),
+		twice:   bitset.New(kn.n),
+		tmp:     bitset.New(kn.n),
+	}
+	best := chunkBest{}
+	for i := uint64(0); ; {
+		best.sets++
+		sc.members = sc.members[:0]
+		for v := range S.All() {
+			sc.members = append(sc.members, v)
+		}
+		if kn.prune && best.found && kn.lowerBoundBig(sc.members, c.k) > best.num {
+			best.pruned++
+		} else {
+			num, innerSub := kn.eval(S, sc)
+			if !best.found || num < best.num {
+				best.found = true
+				best.num = num
+				best.setBig = S.Clone()
+				best.innerBig = expandSub(kn.n, innerSub, sc.members)
+			}
+		}
+		if i++; i >= c.count {
+			return best
+		}
+		if !S.NextCombination() {
+			return best
+		}
+	}
+}
+
+type bigScratch struct {
+	members []int
+	once    *bitset.Set
+	twice   *bitset.Set
+	tmp     *bitset.Set
+}
+
+func (kn *bigKernel) lowerBoundBig(members []int, k int) int {
+	maxDeg := 0
+	for _, v := range members {
+		if kn.deg[v] > maxDeg {
+			maxDeg = kn.deg[v]
+		}
+	}
+	return maxDeg - (k - 1)
+}
+
+// eval returns the objective numerator for S and, for βw, the maximizing
+// subset as a compressed mask over sc.members.
+func (kn *bigKernel) eval(S *bitset.Set, sc *bigScratch) (num int, innerSub uint64) {
+	switch kn.obj {
+	case ObjOrdinary:
+		sc.once.Clear()
+		for _, v := range sc.members {
+			sc.once.Union(kn.adj[v])
+		}
+		return sc.once.SubtractCount(S), 0
+	case ObjUnique:
+		// Iterate members directly: |S| may exceed 64, unlike the wireless
+		// submask scan whose 2^|S| cost already bounds |S| via the budget.
+		sc.once.Clear()
+		sc.twice.Clear()
+		for _, v := range sc.members {
+			sc.tmp.Copy(sc.once)
+			sc.tmp.Intersect(kn.adj[v])
+			sc.twice.Union(sc.tmp)
+			sc.once.Union(kn.adj[v])
+		}
+		sc.once.Subtract(sc.twice)
+		return sc.once.SubtractCount(S), 0
+	case ObjWireless:
+		full := full64(len(sc.members))
+		bestInner, bestSub := 0, uint64(0)
+		// Same submask order as WirelessOfSet (descending), so the first
+		// strict max — and hence the inner witness — matches the small
+		// kernel bit-for-bit on graphs both paths accept.
+		for sub := full; ; sub = (sub - 1) & full {
+			if sub != 0 {
+				kn.uniqueInto(sc, sub)
+				sc.once.Subtract(sc.twice)
+				if c := sc.once.SubtractCount(S); c > bestInner {
+					bestInner = c
+					bestSub = sub
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+		return bestInner, bestSub
+	case ObjEdge:
+		cut := 0
+		for _, v := range sc.members {
+			cut += kn.adj[v].SubtractCount(S)
+		}
+		return cut, 0
+	}
+	panic("expansion: unknown objective")
+}
+
+// uniqueInto computes once/twice coverage over the members selected by the
+// compressed mask sub.
+func (kn *bigKernel) uniqueInto(sc *bigScratch, sub uint64) {
+	sc.once.Clear()
+	sc.twice.Clear()
+	for rest := sub; rest != 0; rest &= rest - 1 {
+		v := sc.members[bits.TrailingZeros64(rest)]
+		sc.tmp.Copy(sc.once)
+		sc.tmp.Intersect(kn.adj[v])
+		sc.twice.Union(sc.tmp)
+		sc.once.Union(kn.adj[v])
+	}
+}
+
+// expandSub turns a compressed member mask into a vertex bitset; nil for
+// the empty mask.
+func expandSub(n int, sub uint64, members []int) *bitset.Set {
+	if sub == 0 {
+		return nil
+	}
+	s := bitset.New(n)
+	for rest := sub; rest != 0; rest &= rest - 1 {
+		s.Add(members[bits.TrailingZeros64(rest)])
+	}
+	return s
+}
+
+func full64(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(k) - 1
+}

@@ -24,7 +24,7 @@ type Estimate struct {
 // vertex expansion), and lowest-degree prefix sets. Each set is nonempty.
 func SampleSets(g *graph.Graph, alpha float64, trials int, r *rng.RNG) [][]int {
 	n := g.N()
-	maxSize := maxSetSize(n, alpha)
+	maxSize := MaxSetSize(n, alpha)
 	if maxSize == 0 || n == 0 {
 		return nil
 	}

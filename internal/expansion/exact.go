@@ -2,120 +2,67 @@ package expansion
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
 
+	"wexp/internal/bitset"
 	"wexp/internal/graph"
 )
 
 // Result reports a measured expansion value together with the set that
-// realizes the minimum (as a vertex mask) and, for wireless expansion, the
-// inner subset realizing the max.
+// realizes the minimum and, for wireless expansion, the inner subset
+// realizing the max. ArgSet/ArgInner are uint64 masks and are populated
+// only when n ≤ 64; Witness/InnerWitness are populated for every n.
 type Result struct {
 	Value    float64 // the expansion parameter (β, βu, or βw)
-	ArgSet   uint64  // minimizing set S (bitmask over vertices)
+	ArgSet   uint64  // minimizing set S (bitmask over vertices; n ≤ 64 only)
 	ArgInner uint64  // for βw: the maximizing S' ⊆ S; zero otherwise
-	Sets     int     // number of sets examined
+	Sets     int     // number of candidate sets enumerated
+
+	Witness      *bitset.Set // minimizing set S, any n
+	InnerWitness *bitset.Set // for βw: the maximizing S' ⊆ S; nil otherwise
+	Pruned       int64       // sets skipped by the branch-and-bound floor
 }
 
-// maxExactN is the largest vertex count the exhaustive β/βu solvers accept.
-// 2^20 masks with O(|S|) work per mask stays under a second.
-const maxExactN = 20
+// Exact computes the chosen expansion objective exactly, enumerating
+// candidate sets by cardinality under opt's work budget, fanned over the
+// deterministic worker pool. Any n is accepted as long as the enumeration
+// fits the budget.
+func Exact(g *graph.Graph, obj Objective, opt Options) (Result, error) {
+	n := g.N()
+	maxK := opt.MaxK
+	if maxK == 0 {
+		maxK = MaxSetSize(n, opt.Alpha)
+	}
+	if maxK <= 0 {
+		return Result{}, fmt.Errorf("expansion: α=%g admits no nonempty set on n=%d", opt.Alpha, n)
+	}
+	if maxK > n {
+		maxK = n
+	}
+	out, err := solve(g, obj, maxK, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return out.aggregate(), nil
+}
 
-// maxExactWirelessN bounds the exhaustive βw solver, whose cost is Σ 3^n.
-const maxExactWirelessN = 16
-
-// ExactOrdinary computes β(G) = min{|Γ⁻(S)|/|S| : 0 < |S| ≤ α·n} by
-// exhaustive enumeration. It returns an error if n exceeds the exact-solver
-// limit or no set satisfies the size bound.
+// ExactOrdinary computes β(G) = min{|Γ⁻(S)|/|S| : 0 < |S| ≤ α·n} exactly
+// under the default work budget.
 func ExactOrdinary(g *graph.Graph, alpha float64) (Result, error) {
-	n := g.N()
-	if n > maxExactN {
-		return Result{}, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
-	}
-	maxSize := maxSetSize(n, alpha)
-	if maxSize == 0 {
-		return Result{}, fmt.Errorf("expansion: α=%g admits no nonempty set on n=%d", alpha, n)
-	}
-	masks := adjMasks(g)
-	best := Result{Value: math.Inf(1)}
-	for S := uint64(1); S < 1<<uint(n); S++ {
-		size := bits.OnesCount64(S)
-		if size > maxSize {
-			continue
-		}
-		var nbr uint64
-		for rest := S; rest != 0; rest &= rest - 1 {
-			nbr |= masks[bits.TrailingZeros64(rest)]
-		}
-		ext := bits.OnesCount64(nbr &^ S)
-		ratio := float64(ext) / float64(size)
-		best.Sets++
-		if ratio < best.Value {
-			best.Value = ratio
-			best.ArgSet = S
-		}
-	}
-	return best, nil
+	return Exact(g, ObjOrdinary, Options{Alpha: alpha})
 }
 
-// ExactUnique computes βu(G) = min{|Γ¹(S)|/|S| : 0 < |S| ≤ α·n} by
-// exhaustive enumeration.
+// ExactUnique computes βu(G) = min{|Γ¹(S)|/|S| : 0 < |S| ≤ α·n} exactly
+// under the default work budget.
 func ExactUnique(g *graph.Graph, alpha float64) (Result, error) {
-	n := g.N()
-	if n > maxExactN {
-		return Result{}, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
-	}
-	maxSize := maxSetSize(n, alpha)
-	if maxSize == 0 {
-		return Result{}, fmt.Errorf("expansion: α=%g admits no nonempty set on n=%d", alpha, n)
-	}
-	masks := adjMasks(g)
-	best := Result{Value: math.Inf(1)}
-	for S := uint64(1); S < 1<<uint(n); S++ {
-		size := bits.OnesCount64(S)
-		if size > maxSize {
-			continue
-		}
-		uniq := uniqueMask(masks, S)
-		ratio := float64(bits.OnesCount64(uniq)) / float64(size)
-		best.Sets++
-		if ratio < best.Value {
-			best.Value = ratio
-			best.ArgSet = S
-		}
-	}
-	return best, nil
+	return Exact(g, ObjUnique, Options{Alpha: alpha})
 }
 
 // ExactWireless computes βw(G) = min over S (|S| ≤ α·n) of
-// max over S' ⊆ S of |Γ¹_S(S')| / |S|, by full double enumeration.
+// max over S' ⊆ S of |Γ¹_S(S')| / |S|, exactly, under the default work
+// budget (which covers n ≤ 16 at α = 1 with headroom).
 func ExactWireless(g *graph.Graph, alpha float64) (Result, error) {
-	n := g.N()
-	if n > maxExactWirelessN {
-		return Result{}, fmt.Errorf("expansion: n=%d exceeds exact wireless limit %d", n, maxExactWirelessN)
-	}
-	maxSize := maxSetSize(n, alpha)
-	if maxSize == 0 {
-		return Result{}, fmt.Errorf("expansion: α=%g admits no nonempty set on n=%d", alpha, n)
-	}
-	masks := adjMasks(g)
-	best := Result{Value: math.Inf(1)}
-	for S := uint64(1); S < 1<<uint(n); S++ {
-		size := bits.OnesCount64(S)
-		if size > maxSize {
-			continue
-		}
-		inner, innerSet := WirelessOfSet(masks, S)
-		ratio := float64(inner) / float64(size)
-		best.Sets++
-		if ratio < best.Value {
-			best.Value = ratio
-			best.ArgSet = S
-			best.ArgInner = innerSet
-		}
-	}
-	return best, nil
+	return Exact(g, ObjWireless, Options{Alpha: alpha})
 }
 
 // WirelessOfSet returns max over S' ⊆ S of |Γ¹_S(S')| and the maximizing
@@ -152,12 +99,13 @@ func uniqueMask(masks []uint64, Sprime uint64) uint64 {
 	return once &^ twice &^ Sprime
 }
 
-// maxSetSize converts α into the paper's |S| ≤ α·n cap.
-func maxSetSize(n int, alpha float64) int {
+// MaxSetSize converts α into the paper's |S| ≤ α·n cap — the single
+// definition the engine, the feasibility check, and the CLI all share.
+func MaxSetSize(n int, alpha float64) int {
 	if alpha <= 0 {
 		return 0
 	}
-	maxSize := int(math.Floor(alpha * float64(n)))
+	maxSize := int(alpha * float64(n))
 	if maxSize > n {
 		maxSize = n
 	}
@@ -165,7 +113,7 @@ func maxSetSize(n int, alpha float64) int {
 }
 
 // Ordering verifies Observation 2.1 — β(G) ≥ βw(G) ≥ βu(G) for a common α
-// — exactly, returning the three values. Intended for test-sized graphs.
+// — exactly, returning the three values. Intended for budget-sized graphs.
 func Ordering(g *graph.Graph, alpha float64) (beta, betaW, betaU float64, err error) {
 	rb, err := ExactOrdinary(g, alpha)
 	if err != nil {

@@ -178,13 +178,27 @@ func TestExactUniqueMatchesBitsetGamma1(t *testing.T) {
 	}
 }
 
-func TestExactSizeLimits(t *testing.T) {
-	big := gen.Cycle(30)
-	if _, err := ExactOrdinary(big, 0.5); err == nil {
-		t.Fatal("n=30 accepted by exact ordinary solver")
+func TestExactBudgetLimits(t *testing.T) {
+	// Default budget: Σ C(30,k≤15) ≈ 5.4e8 work units is too much...
+	if _, err := ExactOrdinary(gen.Cycle(30), 0.5); err == nil {
+		t.Fatal("n=30 α=0.5 accepted under default budget")
 	}
-	if _, err := ExactWireless(gen.Cycle(18), 0.5); err == nil {
-		t.Fatal("n=18 accepted by exact wireless solver")
+	// ...but the same graph fits at a smaller α (the cutoff prunes the
+	// space instead of filtering).
+	res, err := ExactOrdinary(gen.Cycle(30), 0.1)
+	if err != nil {
+		t.Fatalf("n=30 α=0.1 rejected: %v", err)
+	}
+	if math.Abs(res.Value-2.0/3) > 1e-12 {
+		t.Fatalf("β(C30, k ≤ 3) = %g, want 2/3", res.Value)
+	}
+	// Wireless work is Σ C(n,k)·2^k: n=26 at α=0.5 blows the budget.
+	if _, err := ExactWireless(gen.Cycle(26), 0.5); err == nil {
+		t.Fatal("n=26 accepted by exact wireless solver under default budget")
+	}
+	// An explicit budget widens the envelope deterministically.
+	if _, err := Exact(gen.Cycle(22), ObjOrdinary, Options{Alpha: 0.5, Budget: 1 << 10}); err == nil {
+		t.Fatal("tiny explicit budget accepted")
 	}
 	if _, err := ExactOrdinary(gen.Cycle(10), 0.0); err == nil {
 		t.Fatal("alpha=0 accepted")

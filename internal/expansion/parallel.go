@@ -1,81 +1,19 @@
 package expansion
 
-import (
-	"fmt"
-	"math"
-	"math/bits"
-	"runtime"
-	"sync"
+import "wexp/internal/graph"
 
-	"wexp/internal/graph"
-)
-
-// ExactWirelessParallel computes the same value as ExactWireless, fanning
-// the outer enumeration over S across GOMAXPROCS workers. Each worker scans
-// a contiguous mask range with a private best; merging orders candidates by
-// (value, witness mask), which reproduces the serial solver's result
-// exactly (the serial scan keeps the smallest mask among minimizers).
+// ExactWirelessParallel computes the same value as ExactWireless. Both now
+// fan the by-cardinality enumeration over the shared chunked worker pool
+// with a deterministic merge (smallest-witness tie-break), so the two are
+// bit-identical by construction at every worker count; this entry point
+// survives for callers and benchmarks that want to name the parallel path
+// explicitly.
+//
+// The legacy implementation partitioned the raw 2^n mask range by hand and
+// had a degenerate-range bug class (bumping lo==0 to 1 could cross hi for
+// small n and large GOMAXPROCS). The chunk builder emits only non-empty
+// chunks and clamps the pool width to the chunk count, so that class is
+// gone structurally.
 func ExactWirelessParallel(g *graph.Graph, alpha float64) (Result, error) {
-	n := g.N()
-	if n > maxExactWirelessN {
-		return Result{}, fmt.Errorf("expansion: n=%d exceeds exact wireless limit %d", n, maxExactWirelessN)
-	}
-	maxSize := maxSetSize(n, alpha)
-	if maxSize == 0 {
-		return Result{}, fmt.Errorf("expansion: α=%g admits no nonempty set on n=%d", alpha, n)
-	}
-	masks := adjMasks(g)
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 1 {
-		workers = 1
-	}
-	total := uint64(1) << uint(n)
-	if uint64(workers) > total {
-		workers = int(total)
-	}
-	results := make([]Result, workers)
-	var wg sync.WaitGroup
-	chunk := total / uint64(workers)
-	for w := 0; w < workers; w++ {
-		lo := uint64(w) * chunk
-		hi := lo + chunk
-		if w == workers-1 {
-			hi = total
-		}
-		if lo == 0 {
-			lo = 1
-		}
-		wg.Add(1)
-		go func(w int, lo, hi uint64) {
-			defer wg.Done()
-			best := Result{Value: math.Inf(1)}
-			for S := lo; S < hi; S++ {
-				size := bits.OnesCount64(S)
-				if size == 0 || size > maxSize {
-					continue
-				}
-				inner, innerSet := WirelessOfSet(masks, S)
-				ratio := float64(inner) / float64(size)
-				best.Sets++
-				if ratio < best.Value {
-					best.Value = ratio
-					best.ArgSet = S
-					best.ArgInner = innerSet
-				}
-			}
-			results[w] = best
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	merged := Result{Value: math.Inf(1)}
-	for _, r := range results {
-		merged.Sets += r.Sets
-		if r.Value < merged.Value ||
-			(r.Value == merged.Value && r.ArgSet < merged.ArgSet) {
-			sets := merged.Sets
-			merged = r
-			merged.Sets = sets
-		}
-	}
-	return merged, nil
+	return Exact(g, ObjWireless, Options{Alpha: alpha})
 }

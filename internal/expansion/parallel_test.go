@@ -48,8 +48,8 @@ func TestExactWirelessParallelKnownValues(t *testing.T) {
 }
 
 func TestExactWirelessParallelValidation(t *testing.T) {
-	if _, err := ExactWirelessParallel(gen.Cycle(18), 0.5); err == nil {
-		t.Fatal("oversize accepted")
+	if _, err := ExactWirelessParallel(gen.Cycle(26), 0.5); err == nil {
+		t.Fatal("budget-exceeding graph accepted")
 	}
 	if _, err := ExactWirelessParallel(gen.Cycle(8), 0); err == nil {
 		t.Fatal("alpha=0 accepted")

@@ -3,76 +3,57 @@ package expansion
 import (
 	"fmt"
 	"math"
-	"math/bits"
 
+	"wexp/internal/bitset"
 	"wexp/internal/graph"
 )
 
-// UniqueProfile computes the exact per-size unique-expansion profile:
-// profile[k] = min{|Γ¹(S)|/|S| : |S| = k} for k = 1..maxK (n ≤ 20).
-func UniqueProfile(g *graph.Graph, maxK int) (*SizeProfile, error) {
+// Profile computes the exact per-size expansion profile of the chosen
+// objective through the engine: profile[k] = min over |S| = k of the
+// objective ratio, for k = 1..maxK, enumerated by cardinality under opt's
+// work budget. Because the engine tracks per-cardinality bests natively,
+// a profile costs exactly one enumeration pass.
+func Profile(g *graph.Graph, obj Objective, maxK int, opt Options) (*SizeProfile, error) {
 	n := g.N()
-	if n > maxExactN {
-		return nil, fmt.Errorf("expansion: n=%d exceeds exact limit %d", n, maxExactN)
-	}
 	if maxK < 1 || maxK > n {
 		return nil, fmt.Errorf("expansion: bad maxK %d", maxK)
 	}
-	masks := adjMasks(g)
+	out, err := solve(g, obj, maxK, opt)
+	if err != nil {
+		return nil, err
+	}
 	p := &SizeProfile{
 		MinExpansion: make([]float64, maxK+1),
 		ArgSets:      make([]uint64, maxK+1),
+		Witnesses:    make([]*bitset.Set, maxK+1),
 	}
 	for k := 1; k <= maxK; k++ {
-		p.MinExpansion[k] = math.Inf(1)
-	}
-	for S := uint64(1); S < 1<<uint(n); S++ {
-		k := bits.OnesCount64(S)
-		if k > maxK {
+		c := &out.perK[k]
+		if !c.found {
+			p.MinExpansion[k] = math.Inf(1)
 			continue
 		}
-		uniq := uniqueMask(masks, S)
-		ratio := float64(bits.OnesCount64(uniq)) / float64(k)
-		if ratio < p.MinExpansion[k] {
-			p.MinExpansion[k] = ratio
-			p.ArgSets[k] = S
-		}
+		p.MinExpansion[k] = float64(c.num) / float64(k)
+		var res Result
+		fillWitness(&res, c, n)
+		p.ArgSets[k] = res.ArgSet
+		p.Witnesses[k] = res.Witness
 	}
 	return p, nil
 }
 
+// UniqueProfile computes the exact per-size unique-expansion profile:
+// profile[k] = min{|Γ¹(S)|/|S| : |S| = k} for k = 1..maxK, under the
+// default work budget.
+func UniqueProfile(g *graph.Graph, maxK int) (*SizeProfile, error) {
+	return Profile(g, ObjUnique, maxK, Options{})
+}
+
 // WirelessProfile computes the exact per-size wireless-expansion profile:
-// profile[k] = min over |S| = k of max over S' ⊆ S of |Γ¹_S(S')|/|S|
-// (n ≤ 16; cost Σ 3^n).
+// profile[k] = min over |S| = k of max over S' ⊆ S of |Γ¹_S(S')|/|S|,
+// under the default work budget (cost Σ C(n,k)·2^k).
 func WirelessProfile(g *graph.Graph, maxK int) (*SizeProfile, error) {
-	n := g.N()
-	if n > maxExactWirelessN {
-		return nil, fmt.Errorf("expansion: n=%d exceeds exact wireless limit %d", n, maxExactWirelessN)
-	}
-	if maxK < 1 || maxK > n {
-		return nil, fmt.Errorf("expansion: bad maxK %d", maxK)
-	}
-	masks := adjMasks(g)
-	p := &SizeProfile{
-		MinExpansion: make([]float64, maxK+1),
-		ArgSets:      make([]uint64, maxK+1),
-	}
-	for k := 1; k <= maxK; k++ {
-		p.MinExpansion[k] = math.Inf(1)
-	}
-	for S := uint64(1); S < 1<<uint(n); S++ {
-		k := bits.OnesCount64(S)
-		if k > maxK {
-			continue
-		}
-		inner, _ := WirelessOfSet(masks, S)
-		ratio := float64(inner) / float64(k)
-		if ratio < p.MinExpansion[k] {
-			p.MinExpansion[k] = ratio
-			p.ArgSets[k] = S
-		}
-	}
-	return p, nil
+	return Profile(g, ObjWireless, maxK, Options{})
 }
 
 // TripleProfile bundles the three per-size profiles for presentation: for
@@ -85,17 +66,23 @@ type TripleProfile struct {
 	Unique   []float64
 }
 
-// Profiles computes the TripleProfile (n ≤ 16, the wireless limit).
+// Profiles computes the TripleProfile under the default work budget (the
+// βw pass dominates the cost).
 func Profiles(g *graph.Graph, maxK int) (*TripleProfile, error) {
-	po, err := OrdinaryProfile(g, maxK)
+	return ProfilesOpts(g, maxK, Options{})
+}
+
+// ProfilesOpts is Profiles with an explicit work budget and pool width.
+func ProfilesOpts(g *graph.Graph, maxK int, opt Options) (*TripleProfile, error) {
+	po, err := Profile(g, ObjOrdinary, maxK, opt)
 	if err != nil {
 		return nil, err
 	}
-	pw, err := WirelessProfile(g, maxK)
+	pw, err := Profile(g, ObjWireless, maxK, opt)
 	if err != nil {
 		return nil, err
 	}
-	pu, err := UniqueProfile(g, maxK)
+	pu, err := Profile(g, ObjUnique, maxK, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -118,13 +105,14 @@ type AlphaPoint struct {
 }
 
 // AlphaSweep evaluates the paper's α-parameterized definitions on a grid of
-// α values, exactly (n ≤ 16). Each β(α) is non-increasing in α by
-// definition — the minimum runs over a growing family of sets.
+// α values, exactly, under the default work budget. Each β(α) is
+// non-increasing in α by definition — the minimum runs over a growing
+// family of sets.
 func AlphaSweep(g *graph.Graph, alphas []float64) ([]AlphaPoint, error) {
 	n := g.N()
 	maxK := 0
 	for _, a := range alphas {
-		if k := maxSetSize(n, a); k > maxK {
+		if k := MaxSetSize(n, a); k > maxK {
 			maxK = k
 		}
 	}
@@ -146,7 +134,7 @@ func AlphaSweep(g *graph.Graph, alphas []float64) ([]AlphaPoint, error) {
 	}
 	out := make([]AlphaPoint, 0, len(alphas))
 	for _, a := range alphas {
-		k := maxSetSize(n, a)
+		k := MaxSetSize(n, a)
 		if k == 0 {
 			continue
 		}

@@ -89,17 +89,28 @@ func TestProfilesAgreeWithAggregates(t *testing.T) {
 }
 
 func TestProfileValidation(t *testing.T) {
-	if _, err := UniqueProfile(gen.Cycle(24), 3); err == nil {
-		t.Fatal("oversize accepted")
+	// C(40,20) ≈ 1.4e11 sets exceed the default budget.
+	if _, err := UniqueProfile(gen.Cycle(40), 20); err == nil {
+		t.Fatal("budget-exceeding unique profile accepted")
 	}
-	if _, err := WirelessProfile(gen.Cycle(18), 3); err == nil {
-		t.Fatal("oversize accepted")
+	// Wireless cost Σ C(30,k≤15)·2^k is far over budget.
+	if _, err := WirelessProfile(gen.Cycle(30), 15); err == nil {
+		t.Fatal("budget-exceeding wireless profile accepted")
 	}
 	if _, err := WirelessProfile(gen.Cycle(8), 0); err == nil {
 		t.Fatal("maxK=0 accepted")
 	}
 	if _, err := UniqueProfile(gen.Cycle(8), 9); err == nil {
 		t.Fatal("maxK>n accepted")
+	}
+	// Profiles that the old uint64 path rejected outright now run: n=24
+	// with a small cutoff fits the default budget.
+	p, err := UniqueProfile(gen.Cycle(24), 3)
+	if err != nil {
+		t.Fatalf("n=24 maxK=3 rejected: %v", err)
+	}
+	if p.MinExpansion[1] != 2 {
+		t.Fatalf("cycle singleton unique expansion = %g, want 2", p.MinExpansion[1])
 	}
 }
 

@@ -2,13 +2,17 @@
 // concrete graphs: ordinary expansion β (Section 2.1), unique-neighbor
 // expansion βu, and wireless expansion βw (Section 2.2).
 //
-// Two regimes are supported. Exact solvers enumerate all vertex subsets —
-// feasible up to n ≈ 20 for β and βu and n ≈ 16 for βw (whose inner
-// optimization over S' ⊆ S is itself NP-hard, being the spokesman election
-// problem) — and are used to validate the constructions and the faster
-// algorithms. Estimators sample adversarial set families (BFS balls, random
-// k-sets, low-degree sets) on larger graphs and report certified one-sided
-// bounds, labeled as such.
+// Two regimes are supported. Exact solvers enumerate candidate sets by
+// cardinality under a caller-supplied work budget (see Options and
+// DefaultBudget) — any vertex count is accepted as long as Σ C(n,k) work
+// units fit, with βw priced at 2^|S| per set because its inner
+// optimization over S' ⊆ S is itself NP-hard, being the spokesman
+// election problem. All of them fan over a chunked worker pool whose
+// deterministic merge makes results bit-identical at every pool width.
+// Beyond the budget, estimators sample adversarial set families (BFS
+// balls, random k-sets, low-degree sets) and report certified one-sided
+// bounds, labeled as such. See README.md in this directory for the engine
+// design.
 package expansion
 
 import (
