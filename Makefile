@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check bench bench-full clean
+.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full clean
+
+# Seed-baseline total coverage; CI fails below this (see ci.yml).
+COVER_FLOOR ?= 85.0
 
 all: build
 
@@ -26,6 +29,20 @@ race:
 	$(GO) test -race ./...
 
 check: build vet fmt-check race
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total%"; \
+	if [ "$$(awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { print (t+0 >= f+0) ? "ok" : "low" }')" != ok ]; then \
+		echo "coverage $$total% fell below the floor $(COVER_FLOOR)%" >&2; exit 1; \
+	fi
+
+# Short fuzz runs of every fuzz target; same set as CI's fuzz-smoke job.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzRadioStep -fuzztime=30s ./internal/radio
+	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=15s ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzBuilder -fuzztime=15s ./internal/graph
 
 # One iteration of every benchmark: keeps the bench harness from rotting
 # and rewrites BENCH_expansion.json (the expansion-engine perf record).

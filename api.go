@@ -265,6 +265,28 @@ func Broadcast(g *Graph, source int, p Protocol, maxRounds int) (BroadcastResult
 	return radio.Run(g, source, p, maxRounds)
 }
 
+// ProtocolFactory creates a fresh protocol instance for one Monte-Carlo
+// trial from the trial's private random stream.
+type ProtocolFactory = radio.Factory
+
+// MonteCarloOptions configures BroadcastMonteCarlo (worker-pool width,
+// seed, round budget, per-round trace depth). Results are bit-identical
+// at every worker count.
+type MonteCarloOptions = radio.Options
+
+// MonteCarloResult aggregates a Monte-Carlo broadcast run: per-trial
+// records, round-count summary and completion histogram, collision and
+// transmission totals, and per-round informed-count quantiles.
+type MonteCarloResult = radio.Result
+
+// BroadcastMonteCarlo fans independent seeded broadcast trials of the
+// protocol over a deterministic worker pool and aggregates per-round and
+// per-trial statistics. The adjacency bitset rows are built once and
+// shared by all trials.
+func BroadcastMonteCarlo(g *Graph, source int, factory ProtocolFactory, trials int, opt MonteCarloOptions) (*MonteCarloResult, error) {
+	return radio.MonteCarlo(g, source, factory, trials, opt)
+}
+
 // FloodProtocol returns the naive everyone-transmits protocol (deadlocks on
 // C⁺).
 func FloodProtocol() Protocol { return radio.Flood{} }

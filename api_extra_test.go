@@ -196,3 +196,28 @@ func TestUnknownExperimentErrorMessage(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestBroadcastMonteCarlo(t *testing.T) {
+	g := CPlus(16)
+	factory := func(r *RNG) Protocol { return DecayProtocol(r) }
+	res, err := BroadcastMonteCarlo(g, 0, factory, 16,
+		MonteCarloOptions{Seed: 5, MaxRounds: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 16 || res.Completed == 0 {
+		t.Fatalf("montecarlo: %d/%d completed", res.Completed, res.Trials)
+	}
+	if res.Protocol != "decay-bgi" {
+		t.Fatalf("protocol = %q", res.Protocol)
+	}
+	// Determinism across calls and worker widths.
+	again, err := BroadcastMonteCarlo(g, 0, factory, 16,
+		MonteCarloOptions{Seed: 5, MaxRounds: 4000, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Rounds != res.Rounds || again.TotalCollisions != res.TotalCollisions {
+		t.Fatal("MonteCarlo not reproducible across worker widths")
+	}
+}

@@ -1,104 +1,38 @@
 // Command radiosim broadcasts a message through a radio network under the
-// paper's collision model and compares protocols.
+// paper's collision model and compares protocols over Monte-Carlo trials.
 //
 // Usage:
 //
 //	radiosim -family cplus -size 32                  all protocols on C⁺
-//	radiosim -family torus -size 16 -protocol decay
+//	radiosim -family torus -size 16 -protocol decay -trials 100 -workers 8
 //	radiosim -chain 8 -s 32 -trials 5                Section 5 chain
+//	radiosim -family hypercube -size 6 -format json
+//
+// Trials fan over a deterministic worker pool (results are bit-identical
+// at any -workers value); deterministic protocols run a single trial.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-
-	"wexp/internal/badgraph"
-	"wexp/internal/bounds"
-	"wexp/internal/gen"
-	"wexp/internal/graph"
-	"wexp/internal/radio"
-	"wexp/internal/rng"
-	"wexp/internal/stats"
-	"wexp/internal/table"
 )
 
 func main() {
-	var (
-		family    = flag.String("family", "cplus", "graph family (see cmd/wexp)")
-		size      = flag.Int("size", 16, "family size parameter")
-		protocol  = flag.String("protocol", "all", "flood|decay|round-robin|spokesman|all")
-		seed      = flag.Uint64("seed", 1, "RNG seed")
-		maxRounds = flag.Int("max-rounds", 1_000_000, "round budget")
-		chain     = flag.Int("chain", 0, "instead of -family: Section 5 chain with this many hops")
-		s         = flag.Int("s", 16, "core parameter for -chain (power of two)")
-		trials    = flag.Int("trials", 3, "trials for randomized protocols")
-	)
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.Family, "family", cfg.Family, "graph family (see cmd/wexp)")
+	flag.IntVar(&cfg.Size, "size", cfg.Size, "family size parameter")
+	flag.StringVar(&cfg.Protocol, "protocol", cfg.Protocol, "flood|prob-flood|decay|round-robin|spokesman|all")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "RNG seed")
+	flag.IntVar(&cfg.MaxRounds, "max-rounds", cfg.MaxRounds, "round budget per trial")
+	flag.IntVar(&cfg.Chain, "chain", cfg.Chain, "instead of -family: Section 5 chain with this many hops")
+	flag.IntVar(&cfg.S, "s", cfg.S, "core parameter for -chain (power of two)")
+	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "Monte-Carlo trials for randomized protocols")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "trial worker-pool width (0 = GOMAXPROCS; results identical at any width)")
+	flag.StringVar(&cfg.Format, "format", cfg.Format, "output format: text|json")
 	flag.Parse()
-	if err := run(*family, *size, *protocol, *seed, *maxRounds, *chain, *s, *trials); err != nil {
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "radiosim:", err)
 		os.Exit(1)
 	}
-}
-
-func run(family string, size int, protocol string, seed uint64, maxRounds, chainHops, s, trials int) error {
-	r := rng.New(seed)
-	var g *graph.Graph
-	source := 0
-	name := fmt.Sprintf("%s(%d)", family, size)
-	if chainHops > 0 {
-		ch, err := badgraph.NewChain(chainHops, s, r)
-		if err != nil {
-			return err
-		}
-		g = ch.G
-		source = ch.Root
-		name = fmt.Sprintf("chain(hops=%d, s=%d)", chainHops, s)
-		diam, _ := g.Diameter()
-		fmt.Printf("%s: n=%d diameter=%d — paper lower bound scale D·log2(n/D) = %.1f\n",
-			name, g.N(), diam, bounds.BroadcastLower(diam, g.N()))
-	} else {
-		var err error
-		g, err = gen.FromFamily(gen.Family(family), size)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%s: n=%d m=%d ∆=%d\n", name, g.N(), g.M(), g.MaxDegree())
-	}
-
-	protos := map[string]func() radio.Protocol{
-		"flood":       func() radio.Protocol { return radio.Flood{} },
-		"round-robin": func() radio.Protocol { return radio.RoundRobin{} },
-		"decay":       func() radio.Protocol { return &radio.Decay{R: r.Split()} },
-		"spokesman":   func() radio.Protocol { return &radio.Spokesman{R: r.Split(), Trials: 4} },
-	}
-	order := []string{"flood", "round-robin", "decay", "spokesman"}
-	tb := table.New("Broadcast results", "protocol", "rounds (mean)", "completed", "informed", "collisions", "transmissions")
-	for _, pname := range order {
-		if protocol != "all" && protocol != pname {
-			continue
-		}
-		mk, ok := protos[pname]
-		if !ok {
-			return fmt.Errorf("unknown protocol %q", protocol)
-		}
-		reps := 1
-		if pname == "decay" || pname == "spokesman" {
-			reps = trials
-		}
-		var rounds []float64
-		var last radio.RunResult
-		for t := 0; t < reps; t++ {
-			res, err := radio.Run(g, source, mk(), maxRounds)
-			if err != nil {
-				return err
-			}
-			rounds = append(rounds, float64(res.Rounds))
-			last = res
-		}
-		tb.AddRow(pname, stats.Mean(rounds), last.Completed, last.InformedCount,
-			last.Collisions, last.Transmissions)
-	}
-	fmt.Print(tb.Text())
-	return nil
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+// golden runs radiosim with the given config and compares the output to
+// the named testdata file (regenerate with UPDATE_GOLDEN=1 go test).
+func golden(t *testing.T, cfg Config, name string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestRunJSONGoldenCPlus(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Size, cfg.Format = 8, "json"
+	golden(t, cfg, "cplus8.json")
+}
+
+func TestRunJSONGoldenChain(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Chain, cfg.S, cfg.Trials, cfg.Seed, cfg.Format = 2, 8, 2, 4, "json"
+	golden(t, cfg, "chain2x8.json")
+}
+
+func TestRunJSONShape(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Size, cfg.Format, cfg.Protocol, cfg.Trials = 8, "json", "decay", 4
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Graph.N != 9 || rep.Graph.M != 30 {
+		t.Fatalf("graph header wrong: %+v", rep.Graph)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Protocol != "decay" {
+		t.Fatalf("results: %+v", rep.Results)
+	}
+	if rep.Results[0].Trials != 4 || rep.Results[0].Completed != 4 {
+		t.Fatalf("decay on C⁺ should complete all 4 trials: %+v", rep.Results[0])
+	}
+}
+
+func TestRunWorkerInvariance(t *testing.T) {
+	base := defaultConfig()
+	base.Size, base.Format, base.Trials = 12, "json", 8
+	var out1, out8 bytes.Buffer
+	cfg1, cfg8 := base, base
+	cfg1.Workers, cfg8.Workers = 1, 8
+	if err := run(cfg1, &out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfg8, &out8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out8.Bytes()) {
+		t.Fatal("radiosim output depends on -workers")
+	}
+}
+
+func TestRunTextFormat(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Size = 8
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cplus(8): n=9 m=30", "flood", "decay", "spokesman", "rounds (mean)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Protocol = "nope"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	cfg = defaultConfig()
+	cfg.Format = "yaml"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	cfg = defaultConfig()
+	cfg.Family = "nope"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	cfg = defaultConfig()
+	cfg.Trials = 0
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wexp/internal/badgraph"
+	"wexp/internal/bounds"
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/radio"
+	"wexp/internal/rng"
+	"wexp/internal/table"
+)
+
+// Config is the full parameter set of one radiosim invocation; main fills
+// it from flags, tests construct it directly.
+type Config struct {
+	Family    string
+	Size      int
+	Protocol  string
+	Seed      uint64
+	MaxRounds int
+	Chain     int
+	S         int
+	Trials    int
+	Workers   int
+	Format    string
+}
+
+func defaultConfig() Config {
+	return Config{
+		Family:    "cplus",
+		Size:      16,
+		Protocol:  "all",
+		Seed:      1,
+		MaxRounds: 1_000_000,
+		S:         16,
+		Trials:    3,
+		Format:    "text",
+	}
+}
+
+// graphInfo describes the simulated instance in both output formats.
+type graphInfo struct {
+	Name       string  `json:"name"`
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	MaxDegree  int     `json:"max_degree"`
+	Diameter   int     `json:"diameter,omitempty"`
+	LowerBound float64 `json:"broadcast_lower_bound,omitempty"`
+	g          *graph.Graph
+	source     int
+}
+
+// protoReport is the per-protocol summary row.
+type protoReport struct {
+	Protocol          string  `json:"protocol"`
+	Trials            int     `json:"trials"`
+	Completed         int     `json:"completed"`
+	RoundsMean        float64 `json:"rounds_mean"`
+	RoundsMedian      float64 `json:"rounds_median"`
+	RoundsMin         float64 `json:"rounds_min"`
+	RoundsMax         float64 `json:"rounds_max"`
+	CollisionsMean    float64 `json:"collisions_mean"`
+	TransmissionsMean float64 `json:"transmissions_mean"`
+}
+
+// report is the full JSON document.
+type report struct {
+	Graph   graphInfo     `json:"graph"`
+	Seed    uint64        `json:"seed"`
+	Results []protoReport `json:"results"`
+}
+
+func buildInstance(cfg Config) (graphInfo, error) {
+	if cfg.Chain > 0 {
+		ch, err := badgraph.NewChain(cfg.Chain, cfg.S, rng.New(cfg.Seed))
+		if err != nil {
+			return graphInfo{}, err
+		}
+		diam, _ := ch.G.Diameter()
+		return graphInfo{
+			Name:       fmt.Sprintf("chain(hops=%d, s=%d)", cfg.Chain, cfg.S),
+			N:          ch.G.N(),
+			M:          ch.G.M(),
+			MaxDegree:  ch.G.MaxDegree(),
+			Diameter:   diam,
+			LowerBound: bounds.BroadcastLower(diam, ch.G.N()),
+			g:          ch.G,
+			source:     ch.Root,
+		}, nil
+	}
+	g, err := gen.FromFamily(gen.Family(cfg.Family), cfg.Size)
+	if err != nil {
+		return graphInfo{}, err
+	}
+	return graphInfo{
+		Name:      fmt.Sprintf("%s(%d)", cfg.Family, cfg.Size),
+		N:         g.N(),
+		M:         g.M(),
+		MaxDegree: g.MaxDegree(),
+		g:         g,
+	}, nil
+}
+
+// protocolOrder lists the protocols radiosim knows, in output order; the
+// bool marks randomized protocols, which run cfg.Trials trials instead of
+// one.
+var protocolOrder = []struct {
+	name       string
+	randomized bool
+	factory    func(r *rng.RNG) radio.Protocol
+}{
+	{"flood", false, func(*rng.RNG) radio.Protocol { return radio.Flood{} }},
+	{"prob-flood", true, func(r *rng.RNG) radio.Protocol { return &radio.ProbFlood{P: 0.5, R: r} }},
+	{"round-robin", false, func(*rng.RNG) radio.Protocol { return radio.RoundRobin{} }},
+	{"decay", true, func(r *rng.RNG) radio.Protocol { return &radio.Decay{R: r} }},
+	{"spokesman", true, func(r *rng.RNG) radio.Protocol { return &radio.Spokesman{R: r, Trials: 4} }},
+}
+
+func run(cfg Config, w io.Writer) error {
+	if cfg.Format != "text" && cfg.Format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", cfg.Format)
+	}
+	if cfg.Trials < 1 {
+		return fmt.Errorf("trials must be positive, got %d", cfg.Trials)
+	}
+	info, err := buildInstance(cfg)
+	if err != nil {
+		return err
+	}
+	rep := report{Graph: info, Seed: cfg.Seed}
+	matched := false
+	for _, p := range protocolOrder {
+		if cfg.Protocol != "all" && cfg.Protocol != p.name {
+			continue
+		}
+		matched = true
+		trials := 1
+		if p.randomized {
+			trials = cfg.Trials
+		}
+		// Flooding either completes quickly or deadlocks; cap its budget so
+		// "DNF" does not cost the full round budget.
+		maxRounds := cfg.MaxRounds
+		if p.name == "flood" && maxRounds > 2*info.N+100 {
+			maxRounds = 2*info.N + 100
+		}
+		mc, err := radio.MonteCarlo(info.g, info.source, p.factory, trials, radio.Options{
+			Workers:     cfg.Workers,
+			Seed:        cfg.Seed,
+			MaxRounds:   maxRounds,
+			TraceRounds: -1, // summary output only; no per-round quantiles
+		})
+		if err != nil {
+			return err
+		}
+		collMean := float64(mc.TotalCollisions) / float64(trials)
+		txMean := float64(mc.TotalTransmissions) / float64(trials)
+		rep.Results = append(rep.Results, protoReport{
+			Protocol:          p.name,
+			Trials:            trials,
+			Completed:         mc.Completed,
+			RoundsMean:        mc.Rounds.Mean,
+			RoundsMedian:      mc.Rounds.Median,
+			RoundsMin:         mc.Rounds.Min,
+			RoundsMax:         mc.Rounds.Max,
+			CollisionsMean:    collMean,
+			TransmissionsMean: txMean,
+		})
+	}
+	if !matched {
+		return fmt.Errorf("unknown protocol %q", cfg.Protocol)
+	}
+	if cfg.Format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(w, "%s: n=%d m=%d ∆=%d\n", info.Name, info.N, info.M, info.MaxDegree)
+	if info.Diameter > 0 {
+		fmt.Fprintf(w, "diameter=%d — paper lower bound scale D·log2(n/D) = %.1f\n",
+			info.Diameter, info.LowerBound)
+	}
+	tb := table.New("Broadcast results (Monte-Carlo over trials)",
+		"protocol", "trials", "completed", "rounds (mean)", "rounds (median)",
+		"collisions/trial", "transmissions/trial")
+	for _, r := range rep.Results {
+		tb.AddRow(r.Protocol, r.Trials, fmt.Sprintf("%d/%d", r.Completed, r.Trials),
+			r.RoundsMean, r.RoundsMedian, r.CollisionsMean, r.TransmissionsMean)
+	}
+	_, err = io.WriteString(w, tb.Text())
+	return err
+}

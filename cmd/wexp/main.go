@@ -4,7 +4,7 @@
 // Usage:
 //
 //	wexp -family hypercube -size 4 -alpha 0.5
-//	wexp -family cplus -size 8 -alpha 0.5
+//	wexp -family cplus -size 8 -alpha 0.5 -format json
 //	wexp -family cycle -size 72 -alpha 0.04 -budget 4194304   (exact, n > 64)
 //	wexp -family margulis -size 16 -alpha 0.25 -seed 7        (estimates)
 //
@@ -19,150 +19,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
-
-	"wexp/internal/bounds"
-	"wexp/internal/expansion"
-	"wexp/internal/gen"
-	"wexp/internal/graph"
-	"wexp/internal/rng"
-	"wexp/internal/spokesman"
-	"wexp/internal/table"
 )
 
 func main() {
-	var (
-		family  = flag.String("family", "hypercube", "graph family: complete|cycle|hypercube|grid|torus|tree|margulis|cplus|barbell")
-		size    = flag.Int("size", 4, "family size parameter (n, dimension, side, ...)")
-		load    = flag.String("load", "", "instead of -family: read an edge-list file (see graph.WriteEdgeList format)")
-		alpha   = flag.Float64("alpha", 0.5, "expansion parameter α: sets up to α·n are considered")
-		seed    = flag.Uint64("seed", 1, "RNG seed for estimators")
-		trials  = flag.Int("trials", 40, "sampled sets for the estimators")
-		profile = flag.Bool("profile", false, "also print the exact per-size expansion profile (budget permitting)")
-		budget  = flag.Uint64("budget", 0, "exact-engine work budget in enumeration units (0 = default, 2^26)")
-		workers = flag.Int("workers", 0, "exact-engine worker pool width (0 = GOMAXPROCS; results identical at any width)")
-	)
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.Family, "family", cfg.Family, "graph family: complete|cycle|hypercube|grid|torus|tree|margulis|cplus|barbell")
+	flag.IntVar(&cfg.Size, "size", cfg.Size, "family size parameter (n, dimension, side, ...)")
+	flag.StringVar(&cfg.Load, "load", cfg.Load, "instead of -family: read an edge-list file (see graph.WriteEdgeList format)")
+	flag.Float64Var(&cfg.Alpha, "alpha", cfg.Alpha, "expansion parameter α: sets up to α·n are considered")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "RNG seed for estimators")
+	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "sampled sets for the estimators")
+	flag.BoolVar(&cfg.Profile, "profile", cfg.Profile, "also print the exact per-size expansion profile (budget permitting)")
+	flag.Uint64Var(&cfg.Budget, "budget", cfg.Budget, "exact-engine work budget in enumeration units (0 = default, 2^26)")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "exact-engine worker pool width (0 = GOMAXPROCS; results identical at any width)")
+	flag.StringVar(&cfg.Format, "format", cfg.Format, "output format: text|json")
 	flag.Parse()
-	if err := run(*family, *size, *load, *alpha, *seed, *trials, *profile, *budget, *workers); err != nil {
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wexp:", err)
 		os.Exit(1)
 	}
-}
-
-func run(family string, size int, load string, alpha float64, seed uint64, trials int, profile bool, budget uint64, workers int) error {
-	var g *graph.Graph
-	if load != "" {
-		f, err := os.Open(load)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		g, err = graph.ReadEdgeList(f)
-		if err != nil {
-			return err
-		}
-		family, size = load, g.N()
-	} else {
-		var err error
-		g, err = gen.FromFamily(gen.Family(family), size)
-		if err != nil {
-			return err
-		}
-	}
-	r := rng.New(seed)
-	fmt.Printf("%s(%d): n=%d m=%d ∆=%d avg=%.2f", family, size, g.N(), g.M(), g.MaxDegree(), g.AvgDegree())
-	if lo, hi := g.ArboricityEstimate(); true {
-		fmt.Printf(" arboricity∈[%d,%d]", lo, hi)
-	}
-	fmt.Println()
-
-	opt := expansion.Options{Alpha: alpha, Budget: budget, Workers: workers}
-	maxK := expansion.MaxSetSize(g.N(), alpha)
-	if maxK < 1 {
-		return fmt.Errorf("α=%g admits no nonempty set on n=%d", alpha, g.N())
-	}
-	// The wireless pass is the most expensive; if it fits the budget, run
-	// everything exactly. The engine re-validates, so a race between this
-	// check and the solve is impossible.
-	exactAll := expansion.Feasible(g.N(), maxK, expansion.ObjWireless, budget)
-
-	tb := table.New("Expansion measurements", "quantity", "value", "mode", "notes")
-	if exactAll {
-		rb, err := expansion.Exact(g, expansion.ObjOrdinary, opt)
-		if err != nil {
-			return err
-		}
-		rw, err := expansion.Exact(g, expansion.ObjWireless, opt)
-		if err != nil {
-			return err
-		}
-		ru, err := expansion.Exact(g, expansion.ObjUnique, opt)
-		if err != nil {
-			return err
-		}
-		tb.AddRow("β (ordinary)", rb.Value, "exact", fmt.Sprintf("%d sets, %d pruned", rb.Sets, rb.Pruned))
-		tb.AddRow("βw (wireless)", rw.Value, "exact", fmt.Sprintf("%d sets, %d pruned", rw.Sets, rw.Pruned))
-		tb.AddRow("βu (unique)", ru.Value, "exact", "Obs 2.1: β ≥ βw ≥ βu")
-		tb.AddRow("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), rb.Value), "formula",
-			"βw = Ω(β/log 2·min{∆/β, ∆β})")
-	} else if expansion.Feasible(g.N(), maxK, expansion.ObjOrdinary, budget) {
-		// β and βu are 2^|S| cheaper per set than βw: run them exactly and
-		// bracket the wireless value.
-		rb, err := expansion.Exact(g, expansion.ObjOrdinary, opt)
-		if err != nil {
-			return err
-		}
-		ru, err := expansion.Exact(g, expansion.ObjUnique, opt)
-		if err != nil {
-			return err
-		}
-		tb.AddRow("β (ordinary)", rb.Value, "exact", fmt.Sprintf("%d sets, %d pruned", rb.Sets, rb.Pruned))
-		tb.AddRow("βu (unique)", ru.Value, "exact", "Obs 2.1: β ≥ βw ≥ βu")
-		lower, upper := wirelessBracket(g, alpha, trials, r)
-		// Obs 2.1 certifies βw ≤ β, so the exact β tightens the sampled
-		// upper bound; the lower bound holds only over the sampled family.
-		if rb.Value < upper {
-			upper = rb.Value
-		}
-		if lower > upper {
-			lower = upper
-		}
-		tb.AddRow("βw (wireless)", fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket",
-			"family lower / certified upper (βw enumeration over budget)")
-		tb.AddRow("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), rb.Value), "formula", "")
-	} else {
-		est := expansion.EstimateOrdinary(g, alpha, trials, r)
-		tb.AddRow("β (ordinary)", est.Bound, "upper bound", fmt.Sprintf("%d sets sampled", est.Sampled))
-		estU := expansion.EstimateUnique(g, alpha, trials, r)
-		tb.AddRow("βu (unique)", estU.Bound, "upper bound", "")
-		lower, upper := wirelessBracket(g, alpha, trials, r)
-		tb.AddRow("βw (wireless)", fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket",
-			"family lower / sampled upper")
-		tb.AddRow("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), est.Bound), "formula", "")
-	}
-	fmt.Print(tb.Text())
-
-	if profile {
-		tp, err := expansion.ProfilesOpts(g, maxK, opt)
-		if err != nil {
-			return fmt.Errorf("profile unavailable: %w", err)
-		}
-		pt := table.New("Exact per-size profile (min over sets of each size)",
-			"|S|", "β", "βw", "βu")
-		for k := 1; k <= tp.MaxK; k++ {
-			pt.AddRow(k, tp.Ordinary[k], tp.Wireless[k], tp.Unique[k])
-		}
-		pt.Note = "Observation 2.1 holds pointwise: β ≥ βw ≥ βu in every row."
-		fmt.Print(pt.Text())
-	}
-	return nil
-}
-
-// wirelessBracket samples an adversarial set family and brackets βw over
-// it with a certified spokesman lower bound per set.
-func wirelessBracket(g *graph.Graph, alpha float64, trials int, r *rng.RNG) (lower, upper float64) {
-	sets := expansion.SampleSets(g, alpha, trials, r)
-	lower, upper, _ = expansion.WirelessBounds(g, sets, func(b *graph.Bipartite) int {
-		return spokesman.Best(b, 12, r).Unique
-	})
-	return lower, upper
 }

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+)
+
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func golden(t *testing.T, cfg Config, name string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestRunJSONGoldenHypercube(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Size, cfg.Format = 3, "json"
+	golden(t, cfg, "hypercube3.json")
+}
+
+func TestRunJSONGoldenProfile(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Family, cfg.Size, cfg.Alpha, cfg.Profile, cfg.Format = "cplus", 6, 0.4, true, "json"
+	golden(t, cfg, "cplus6_profile.json")
+}
+
+func TestRunJSONObservation21(t *testing.T) {
+	// The exact path must report the Observation 2.1 chain β ≥ βw ≥ βu.
+	cfg := defaultConfig()
+	cfg.Family, cfg.Size, cfg.Format = "cycle", 10, "json"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep wexpReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	vals := map[string]float64{}
+	for _, m := range rep.Measurements {
+		if m.Mode == "exact" {
+			vals[m.Quantity] = m.Numeric
+		}
+	}
+	b, bw, bu := vals["β (ordinary)"], vals["βw (wireless)"], vals["βu (unique)"]
+	if !(b >= bw && bw >= bu) {
+		t.Fatalf("Observation 2.1 violated in output: β=%g βw=%g βu=%g", b, bw, bu)
+	}
+	if rep.N != 10 || rep.Alpha != 0.5 {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+}
+
+func TestRunEstimatePathDeterministic(t *testing.T) {
+	// Above the exact budget the tool falls back to seeded estimators; the
+	// same seed must reproduce the same JSON bytes.
+	cfg := defaultConfig()
+	cfg.Family, cfg.Size, cfg.Alpha, cfg.Seed, cfg.Format = "margulis", 6, 0.25, 7, "json"
+	var a, b bytes.Buffer
+	if err := run(cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("estimate path not deterministic for a fixed seed")
+	}
+	var rep wexpReport
+	if err := json.Unmarshal(a.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Measurements {
+		if m.Mode == "exact" {
+			t.Fatalf("margulis(6) at α=0.25 should be over budget, got exact row %+v", m)
+		}
+	}
+}
+
+func TestRunLoadEdgeList(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.edges")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, gen.Cycle(8)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	cfg := defaultConfig()
+	cfg.Load, cfg.Format = path, "json"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep wexpReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 8 || rep.M != 8 || rep.Family != path {
+		t.Fatalf("loaded graph header wrong: %+v", rep)
+	}
+}
+
+func TestRunTextFormat(t *testing.T) {
+	cfg := defaultConfig()
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hypercube(4): n=16 m=32", "β (ordinary)", "βw (wireless)", "exact"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Format = "yaml"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	cfg = defaultConfig()
+	cfg.Family = "nope"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	cfg = defaultConfig()
+	cfg.Alpha = 0.0001
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("degenerate alpha accepted")
+	}
+	cfg = defaultConfig()
+	cfg.Load = filepath.Join(t.TempDir(), "missing.edges")
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing load file accepted")
+	}
+}

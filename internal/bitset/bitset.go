@@ -128,6 +128,53 @@ func (s *Set) Subtract(t *Set) {
 	}
 }
 
+// AccumulateCover ORs row into s while recording in multi every element of
+// row that was already present in s. With s as the "hit at least once"
+// accumulator and multi as the "hit at least twice" accumulator, repeated
+// calls compute single- and multiple-coverage of a family of rows in one
+// pass per word — the radio engine's word-parallel collision step, which
+// never needs a per-element counter. Capacities must match.
+func (s *Set) AccumulateCover(multi, row *Set) {
+	s.compat(multi)
+	s.compat(row)
+	rw := row.words
+	// Four-wide unroll: this is the radio engine's innermost loop, and the
+	// compiler does not unroll it on its own.
+	sw, mw := s.words[:len(rw)], multi.words[:len(rw)]
+	i := 0
+	for ; i+4 <= len(rw); i += 4 {
+		w0, w1, w2, w3 := rw[i], rw[i+1], rw[i+2], rw[i+3]
+		mw[i] |= sw[i] & w0
+		sw[i] |= w0
+		mw[i+1] |= sw[i+1] & w1
+		sw[i+1] |= w1
+		mw[i+2] |= sw[i+2] & w2
+		sw[i+2] |= w2
+		mw[i+3] |= sw[i+3] & w3
+		sw[i+3] |= w3
+	}
+	for ; i < len(rw); i++ {
+		w := rw[i]
+		mw[i] |= sw[i] & w
+		sw[i] |= w
+	}
+}
+
+// ScatterCover is the element-wise form of AccumulateCover for sparse
+// rows: each element of elems is added to s, with elements already in s
+// recorded in multi. Branchless per element, so rows far sparser than the
+// word width never pay a full-word sweep. Elements must be in range;
+// capacities must match.
+func (s *Set) ScatterCover(multi *Set, elems []int32) {
+	s.compat(multi)
+	sw, mw := s.words, multi.words
+	for _, e := range elems {
+		wi, bit := int(e)>>6, uint64(1)<<(uint(e)&63)
+		mw[wi] |= sw[wi] & bit
+		sw[wi] |= bit
+	}
+}
+
 // IntersectionCount returns |s ∩ t| without allocating.
 func (s *Set) IntersectionCount(t *Set) int {
 	s.compat(t)

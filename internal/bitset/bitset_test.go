@@ -414,3 +414,83 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+func TestAccumulateCover(t *testing.T) {
+	// Rows {0,1}, {1,2}, {1,3}: element 1 is covered three times, 0/2/3
+	// once. hit must end as {0,1,2,3} and multi exactly {1}.
+	hit, multi := New(130), New(130)
+	rows := [][]int{{0, 1}, {1, 2}, {1, 3}, {127, 128}, {128, 129}}
+	for _, row := range rows {
+		hit.AccumulateCover(multi, FromIndices(130, row))
+	}
+	if got := hit.Indices(); !equalInts(got, []int{0, 1, 2, 3, 127, 128, 129}) {
+		t.Fatalf("hit = %v", got)
+	}
+	if got := multi.Indices(); !equalInts(got, []int{1, 128}) {
+		t.Fatalf("multi = %v", got)
+	}
+	// Idempotent on repeats: re-accumulating a row moves its elements to
+	// multi but never beyond.
+	hit.AccumulateCover(multi, FromIndices(130, []int{0, 1}))
+	if got := multi.Indices(); !equalInts(got, []int{0, 1, 128}) {
+		t.Fatalf("multi after repeat = %v", got)
+	}
+	if hit.Count() != 7 {
+		t.Fatalf("hit grew: %v", hit.Indices())
+	}
+}
+
+func TestAccumulateCoverMatchesCounting(t *testing.T) {
+	// Randomized cross-check against explicit per-element counters.
+	const n, rounds = 97, 40
+	rnd := uint64(12345)
+	next := func(m uint64) uint64 { rnd = rnd*6364136223846793005 + 1442695040888963407; return rnd % m }
+	hit, multi := New(n), New(n)
+	counts := make([]int, n)
+	for i := 0; i < rounds; i++ {
+		row := New(n)
+		for j := 0; j < 12; j++ {
+			row.Add(int(next(n)))
+		}
+		row.ForEach(func(e int) { counts[e]++ })
+		hit.AccumulateCover(multi, row)
+	}
+	for e := 0; e < n; e++ {
+		if hit.Contains(e) != (counts[e] >= 1) || multi.Contains(e) != (counts[e] >= 2) {
+			t.Fatalf("element %d: count=%d hit=%v multi=%v", e, counts[e], hit.Contains(e), multi.Contains(e))
+		}
+	}
+}
+
+func TestScatterCoverMatchesAccumulateCover(t *testing.T) {
+	// The element-wise scatter and the word sweep must build identical
+	// hit/multi sets from the same rows.
+	const n = 90
+	rows := [][]int32{{0, 5, 63, 64, 89}, {5, 64}, {1, 63}, {5}}
+	hitA, multiA := New(n), New(n)
+	hitS, multiS := New(n), New(n)
+	for _, row := range rows {
+		asSet := New(n)
+		for _, e := range row {
+			asSet.Add(int(e))
+		}
+		hitA.AccumulateCover(multiA, asSet)
+		hitS.ScatterCover(multiS, row)
+	}
+	if !hitA.Equal(hitS) || !multiA.Equal(multiS) {
+		t.Fatalf("scatter diverged: hit %v vs %v, multi %v vs %v",
+			hitA.Indices(), hitS.Indices(), multiA.Indices(), multiS.Indices())
+	}
+	if got := multiS.Indices(); !equalInts(got, []int{5, 63, 64}) {
+		t.Fatalf("multi = %v", got)
+	}
+}
+
+func TestAccumulateCoverPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected capacity-mismatch panic")
+		}
+	}()
+	New(10).AccumulateCover(New(10), New(11))
+}

@@ -218,20 +218,22 @@ func E14Broadcast(cfg Config) (*Result, error) {
 		g := gen.Torus(sz, sz)
 		diam, _ := g.Diameter()
 		scale := float64(diam) * bounds.Log2(float64(g.N()))
-		rounds := make([]float64, trials)
-		parallelFor(trials, r, func(i int, tr *rng.RNG) {
-			run, err := radio.Run(g, 0, &radio.Decay{R: tr}, 2_000_000)
-			if err != nil || !run.Completed {
-				rounds[i] = 0
-				return
-			}
-			rounds[i] = float64(run.Rounds)
-		})
+		// The Monte-Carlo engine replaces the hand-rolled trial loop: one
+		// shared adjacency-row build, deterministic at any worker count.
+		mc, err := radio.MonteCarlo(g, 0,
+			func(tr *rng.RNG) radio.Protocol { return &radio.Decay{R: tr} },
+			trials, radio.Options{Seed: r.Uint64(), MaxRounds: 2_000_000, TraceRounds: -1})
+		if err != nil {
+			return nil, err
+		}
+		if mc.Completed < trials {
+			res.failf("torus %dx%d: %d/%d decay trials did not complete", sz, sz, trials-mc.Completed, trials)
+		}
 		spk, err := radio.Run(g, 0, &radio.Spokesman{}, 2_000_000)
 		if err != nil {
 			return nil, err
 		}
-		mean := stats.Mean(rounds)
+		mean := mc.Rounds.Mean
 		tb2.AddRow(sprintfName("%dx%d", sz, sz), g.N(), diam, scale, mean, spk.Rounds)
 		xs2 = append(xs2, scale)
 		ys2 = append(ys2, mean)

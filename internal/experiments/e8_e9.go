@@ -117,30 +117,28 @@ func E9BroadcastChain(cfg Config) (*Result, error) {
 		"hops", "s", "n", "D·log2(n/D)", "mean rounds", "min rounds", "floor hops·log(2s)/4", "ok")
 	var xs, ys []float64
 	for _, p := range grid {
-		rounds := make([]float64, trials)
-		ns := make([]int, trials)
-		parallelFor(trials, r, func(i int, tr *rng.RNG) {
-			ch, err := badgraph.NewChain(p.hops, p.s, tr)
-			if err != nil {
-				rounds[i] = math.NaN()
-				return
-			}
-			resRun, err := radio.Run(ch.G, ch.Root, &radio.Decay{R: tr}, 5_000_000)
-			if err != nil || !resRun.Completed {
-				rounds[i] = math.NaN()
-				return
-			}
-			rounds[i] = float64(resRun.Rounds)
-			ns[i] = ch.N()
-		})
+		// One chain instance per grid point; the Monte-Carlo engine fans
+		// the decay trials over its deterministic worker pool (adjacency
+		// rows built once, results independent of GOMAXPROCS).
+		ch, err := badgraph.NewChain(p.hops, p.s, r)
+		if err != nil {
+			res.failf("hops=%d s=%d: %v", p.hops, p.s, err)
+			continue
+		}
+		mc, err := radio.MonteCarlo(ch.G, ch.Root,
+			func(tr *rng.RNG) radio.Protocol { return &radio.Decay{R: tr} },
+			trials, radio.Options{Seed: r.Uint64(), MaxRounds: 5_000_000, TraceRounds: -1})
+		if err != nil {
+			res.failf("hops=%d s=%d: %v", p.hops, p.s, err)
+			continue
+		}
 		var valid []float64
-		n := 0
-		for i, v := range rounds {
-			if !math.IsNaN(v) {
-				valid = append(valid, v)
-				n = ns[i]
+		for _, t := range mc.PerTrial {
+			if t.Completed {
+				valid = append(valid, float64(t.Rounds))
 			}
 		}
+		n := ch.N()
 		if len(valid) == 0 {
 			res.failf("hops=%d s=%d: no completed runs", p.hops, p.s)
 			continue

@@ -1,0 +1,132 @@
+package radio
+
+import (
+	"wexp/internal/bitset"
+	"wexp/internal/graph"
+)
+
+// AdjRows caches a graph's adjacency as one bitset row per vertex — the
+// representation the word-parallel receive step operates on. Rows are
+// immutable after construction and safe to share across networks and
+// goroutines; MonteCarlo builds them once per graph and hands them to
+// every trial.
+type AdjRows struct {
+	n    int
+	rows []*bitset.Set
+	// words is the row width in 64-bit words; rows with fewer than `words`
+	// neighbors are cheaper to scatter per neighbor than to OR word by
+	// word, so Step picks per row.
+	words int
+	// vector selects the word-parallel receive step. The per-arc cost of
+	// the scalar counting loop is lower than the bitset scatter, so when
+	// most of the graph's arc mass sits in rows too sparse for the dense
+	// word sweep, the whole round falls back to the counting loop — both
+	// paths produce bit-identical results (enforced by the differential
+	// corpus), so this is purely a performance decision, made once per
+	// graph: vector iff at least half the arcs lie in rows with ≥ `words`
+	// neighbors.
+	vector bool
+}
+
+// BuildAdjRows constructs the adjacency row cache for g.
+func BuildAdjRows(g *graph.Graph) *AdjRows {
+	n := g.N()
+	a := &AdjRows{n: n, rows: make([]*bitset.Set, n), words: (n + 63) / 64}
+	denseArcs := 0
+	for v := 0; v < n; v++ {
+		row := bitset.New(n)
+		for _, w := range g.Neighbors(v) {
+			row.Add(int(w))
+		}
+		a.rows[v] = row
+		if d := g.Degree(v); d >= a.words {
+			denseArcs += d
+		}
+	}
+	a.vector = denseArcs >= g.M() // denseArcs ≥ half of the 2m arcs
+	return a
+}
+
+// stepScratch holds the per-network bitset accumulators of the vectorized
+// step. Networks are not safe for concurrent use, so one set per network
+// suffices.
+type stepScratch struct {
+	active *bitset.Set // transmit ∧ informed: the vertices that actually send
+	hit    *bitset.Set // vertices with ≥1 transmitting neighbor
+	multi  *bitset.Set // vertices with ≥2 transmitting neighbors
+	newly  *bitset.Set // receive candidates: exactly one transmitting neighbor
+}
+
+func newStepScratch(n int) *stepScratch {
+	return &stepScratch{
+		active: bitset.New(n),
+		hit:    bitset.New(n),
+		multi:  bitset.New(n),
+		newly:  bitset.New(n),
+	}
+}
+
+// Step executes one synchronous round in which exactly the vertices marked
+// by transmit send. Vertices that are not informed cannot transmit (their
+// flag is ignored): a processor cannot send a message it does not hold.
+// Returns the number of newly informed vertices.
+//
+// This is the word-parallel engine: the transmit set is a bitset, and the
+// receive rule — a silent vertex receives iff exactly one neighbor
+// transmits — is evaluated 64 vertices at a time with two accumulators,
+// hit (≥1 transmitting neighbor) and multi (≥2), so collisions never need
+// a per-neighbor counter:
+//
+//	multi |= hit & row(v);  hit |= row(v)        for each sender v
+//	newly  = hit \ multi \ active \ informed
+//
+// Rows sparser than the row width in words scatter per neighbor instead
+// (same sets, order-independent), and graphs whose arc mass is mostly in
+// sparse rows skip the bitset machinery entirely in favor of the counting
+// loop (see AdjRows.vector). Results are bit-identical to StepScalar on
+// every input, whichever path runs.
+func (n *Network) Step(transmit []bool) int {
+	if !n.rows.vector {
+		return n.StepScalar(transmit)
+	}
+	if n.scratch == nil {
+		n.scratch = newStepScratch(n.G.N())
+	}
+	sc := n.scratch
+	sc.active.Clear()
+	sc.hit.Clear()
+	sc.multi.Clear()
+	dense := n.rows.words
+	for v, inf := range n.Informed {
+		if !inf || !transmit[v] {
+			continue
+		}
+		sc.active.Add(v)
+		if n.G.Degree(v) < dense {
+			sc.hit.ScatterCover(sc.multi, n.G.Neighbors(v))
+		} else {
+			sc.hit.AccumulateCover(sc.multi, n.rows.rows[v])
+		}
+	}
+	n.Round++
+	n.Transmissions += sc.active.Count()
+	n.Collisions += sc.multi.SubtractCount(sc.active)
+	// Receive candidates: exactly one transmitting neighbor and not
+	// transmitting. Candidates already informed (silent with one hit) are
+	// filtered against the bool slice — typically a handful, so no
+	// informed bitset is ever materialized.
+	sc.newly.Copy(sc.hit)
+	sc.newly.Subtract(sc.multi)
+	sc.newly.Subtract(sc.active)
+	newly := 0
+	for v := range sc.newly.All() {
+		if n.Informed[v] {
+			continue
+		}
+		n.Informed[v] = true
+		n.informedAtRnd[v] = n.Round
+		newly++
+	}
+	n.InformedCount += newly
+	return newly
+}

@@ -1,0 +1,74 @@
+package radio
+
+import (
+	"testing"
+
+	"wexp/internal/graph"
+)
+
+// FuzzRadioStep feeds arbitrary (graph, informed set, transmit masks)
+// triples to both engines and requires bit-for-bit agreement on every
+// observable — the same contract the differential corpus checks, but over
+// adversarial inputs: the fuzzer owns the edge list, the pre-informed
+// set, and three consecutive rounds of transmit flags (including flags on
+// uninformed vertices, which both engines must ignore).
+func FuzzRadioStep(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2}, []byte{0}, []byte{0, 2})
+	f.Add([]byte{0, 1, 0, 2, 1, 2}, []byte{0, 1}, []byte{0, 1, 2})
+	f.Add([]byte{}, []byte{}, []byte{})
+	f.Add([]byte{3, 7, 7, 11, 11, 3, 1, 2}, []byte{3, 9}, []byte{7, 3, 9, 1})
+	f.Fuzz(func(t *testing.T, edges, informed, transmitters []byte) {
+		const n = 24
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			u, v := int(edges[i])%n, int(edges[i+1])%n
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		rows := BuildAdjRows(g)
+		rows.vector = true // always exercise the word-parallel kernel
+		vec, err := NewNetworkRows(g, 0, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sca, _ := NewNetwork(g, 0)
+		for _, raw := range informed {
+			v := int(raw) % n
+			if !vec.Informed[v] {
+				vec.Informed[v] = true
+				vec.InformedCount++
+				sca.Informed[v] = true
+				sca.InformedCount++
+			}
+		}
+		// Three rounds from the fuzzed transmit bytes: round r uses every
+		// third byte, so multi-round interactions (newly informed vertices
+		// transmitting next round) are exercised too.
+		for round := 0; round < 3; round++ {
+			transmit := make([]bool, n)
+			for i := round; i < len(transmitters); i += 3 {
+				transmit[int(transmitters[i])%n] = true
+			}
+			nv := vec.Step(transmit)
+			ns := sca.StepScalar(transmit)
+			if nv != ns {
+				t.Fatalf("round %d: newly informed %d (vectorized) != %d (scalar)", round, nv, ns)
+			}
+			if vec.InformedCount != sca.InformedCount ||
+				vec.Collisions != sca.Collisions ||
+				vec.Transmissions != sca.Transmissions {
+				t.Fatalf("round %d: stats diverged: vec{%d,%d,%d} sca{%d,%d,%d}", round,
+					vec.InformedCount, vec.Collisions, vec.Transmissions,
+					sca.InformedCount, sca.Collisions, sca.Transmissions)
+			}
+			for v := 0; v < n; v++ {
+				if vec.Informed[v] != sca.Informed[v] || vec.InformedAt(v) != sca.InformedAt(v) {
+					t.Fatalf("round %d vertex %d: informed %v/%v at %d/%d", round, v,
+						vec.Informed[v], sca.Informed[v], vec.InformedAt(v), sca.InformedAt(v))
+				}
+			}
+		}
+	})
+}

@@ -29,19 +29,39 @@ type Network struct {
 	Collisions    int // vertex-rounds in which ≥2 neighbors transmitted
 	Transmissions int // total transmit actions
 	InformedCount int
-	receivedHits  []int32 // scratch: transmitting-neighbor count per vertex
+	receivedHits  []int32 // scalar-engine scratch, allocated on first StepScalar
 	informedAtRnd []int   // round at which each vertex became informed (-1 if never)
+
+	rows    *AdjRows     // per-vertex adjacency bitset rows, shared across trials
+	scratch *stepScratch // vector-engine scratch, allocated on first vectorized Step
 }
 
 // NewNetwork creates a network with the single source informed at round 0.
 func NewNetwork(g *graph.Graph, source int) (*Network, error) {
+	return NewNetworkRows(g, source, nil)
+}
+
+// NewNetworkRows is NewNetwork with a pre-built adjacency row cache, so
+// harnesses running many trials on one graph (MonteCarlo) pay the row
+// construction once. rows == nil builds a private cache; a non-nil rows
+// must have been built from g.
+func NewNetworkRows(g *graph.Graph, source int, rows *AdjRows) (*Network, error) {
 	if source < 0 || source >= g.N() {
 		return nil, fmt.Errorf("radio: source %d out of range [0,%d)", source, g.N())
 	}
+	if rows == nil {
+		rows = BuildAdjRows(g)
+	} else if rows.n != g.N() {
+		return nil, fmt.Errorf("radio: adjacency rows built for n=%d, graph has n=%d", rows.n, g.N())
+	}
+	// Engine scratch (receivedHits for the scalar path, scratch bitsets
+	// for the vectorized one) is allocated lazily by the step that needs
+	// it: MonteCarlo creates one Network per trial and only ever runs one
+	// of the two engines.
 	n := &Network{
-		G:            g,
-		Informed:     make([]bool, g.N()),
-		receivedHits: make([]int32, g.N()),
+		G:        g,
+		Informed: make([]bool, g.N()),
+		rows:     rows,
 	}
 	n.informedAtRnd = make([]int, g.N())
 	for i := range n.informedAtRnd {
@@ -53,11 +73,17 @@ func NewNetwork(g *graph.Graph, source int) (*Network, error) {
 	return n, nil
 }
 
-// Step executes one synchronous round in which exactly the vertices marked
-// by transmit send. Vertices that are not informed cannot transmit (their
-// flag is ignored): a processor cannot send a message it does not hold.
-// Returns the number of newly informed vertices.
-func (n *Network) Step(transmit []bool) int {
+// StepScalar executes one synchronous round with the original per-vertex
+// counting loop. It is the correctness oracle for the word-parallel Step:
+// both compute identical Informed, Collisions, Transmissions, and
+// informed-at rounds on every input (enforced by the differential corpus
+// and FuzzRadioStep). Vertices that are not informed cannot transmit
+// (their flag is ignored): a processor cannot send a message it does not
+// hold. Returns the number of newly informed vertices.
+func (n *Network) StepScalar(transmit []bool) int {
+	if n.receivedHits == nil {
+		n.receivedHits = make([]int32, n.G.N())
+	}
 	hits := n.receivedHits
 	for i := range hits {
 		hits[i] = 0

@@ -67,6 +67,12 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is the clamp-and-interpolate core shared by Quantile and
+// Quantiles; sorted must be non-empty and ascending.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -84,6 +90,26 @@ func Quantile(xs []float64, q float64) float64 {
 
 // Median returns the 0.5-quantile.
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantiles returns the q-quantiles for each q in qs, sorting the sample
+// once. Each entry matches Quantile(xs, q); the result is all-NaN for
+// empty input. Harnesses that stream per-round quantile summaries use
+// this instead of one Quantile call (and one sort) per probe.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
 
 // Fit is an ordinary-least-squares line y ≈ Slope·x + Intercept.
 type Fit struct {

@@ -179,3 +179,22 @@ func TestHistogramPanics(t *testing.T) {
 	}()
 	NewHistogram(nil, 1, 0, 3)
 }
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 4, 4, 7, 2, 8, 3}
+	qs := []float64{-0.1, 0, 0.1, 0.25, 0.5, 0.75, 0.9, 1, 1.5}
+	got := Quantiles(xs, qs...)
+	for i, q := range qs {
+		if want := Quantile(xs, q); got[i] != want {
+			t.Fatalf("Quantiles[%g] = %g, want %g", q, got[i], want)
+		}
+	}
+	for _, v := range Quantiles(nil, 0.5, 0.9) {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty input: got %g, want NaN", v)
+		}
+	}
+	if out := Quantiles([]float64{5}); len(out) != 0 {
+		t.Fatalf("no probes: got %v", out)
+	}
+}
