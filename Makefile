@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full clean
+.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full bench-gate bench-baseline experiments clean
 
 # Seed-baseline total coverage; CI fails below this (see ci.yml).
 COVER_FLOOR ?= 85.0
@@ -53,5 +53,41 @@ bench:
 bench-full:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
+# Benchmark-regression gate: stash the committed BENCH_*.json baselines,
+# re-run the benchmarks (which rewrite them), and compare with
+# cmd/benchgate. Fails on any ns/op regression beyond BENCH_GATE_TOL; a
+# shell trap restores the baselines afterwards — also when the bench or
+# gate step fails or is interrupted — so the tree never keeps silently
+# rewritten baselines.
+# CI passes a wider tolerance (runner-to-runner variance); to refresh the
+# baselines intentionally, run `make bench-baseline` and commit.
+BENCH_GATE_TOL ?= 0.25
+BENCH_GATE_TIME ?= 100ms
+BENCH_BASELINE_TIME ?= 300ms
+BENCH_BASELINE_DIR := artifacts/bench-baseline
+
+bench-gate:
+	@mkdir -p $(BENCH_BASELINE_DIR)
+	@cp BENCH_expansion.json BENCH_radio.json $(BENCH_BASELINE_DIR)/
+	@trap 'cp $(BENCH_BASELINE_DIR)/BENCH_expansion.json $(BENCH_BASELINE_DIR)/BENCH_radio.json .' EXIT INT TERM; \
+	$(GO) test -bench=. -benchtime=$(BENCH_GATE_TIME) -run='^$$' ./... && \
+	$(GO) run ./cmd/benchgate -tol $(BENCH_GATE_TOL) \
+		$(BENCH_BASELINE_DIR)/BENCH_expansion.json BENCH_expansion.json \
+		$(BENCH_BASELINE_DIR)/BENCH_radio.json BENCH_radio.json
+
+# Refresh the committed perf baselines with steady-state timings (the
+# regime bench-gate measures in; `make bench`'s single iteration is too
+# noisy to serve as a baseline). Commit the rewritten BENCH_*.json.
+bench-baseline:
+	$(GO) test -bench=. -benchtime=$(BENCH_BASELINE_TIME) -run='^$$' ./...
+
+# Full E1–E14 reproduction run through the sharded engine: JSON artifacts,
+# shard checkpoints and MANIFEST.json land in artifacts/experiments. A
+# killed run resumes with:
+#   go run ./cmd/experiments -resume artifacts/experiments
+experiments:
+	$(GO) run ./cmd/experiments -out artifacts/experiments
+
 clean:
 	$(GO) clean ./...
+	rm -rf artifacts

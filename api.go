@@ -36,6 +36,15 @@ type (
 	ExperimentConfig = experiments.Config
 	// ExperimentResult is the outcome of a reproduction experiment.
 	ExperimentResult = experiments.Result
+	// ExperimentOptions configures the sharded experiment engine: worker
+	// count, artifact output directory, checkpoint/resume behavior.
+	ExperimentOptions = experiments.Options
+	// ExperimentArtifact is the versioned JSON record of one experiment
+	// run (inputs, per-shard results, summary tables, verdict).
+	ExperimentArtifact = experiments.Artifact
+	// ExperimentRunReport aggregates a multi-experiment engine run:
+	// results, artifacts, and the checksummed manifest.
+	ExperimentRunReport = experiments.RunReport
 )
 
 // NewRNG returns a deterministic generator for the given seed.
@@ -318,7 +327,7 @@ func BroadcastLowerBound(diameter, n int) float64 { return bounds.BroadcastLower
 
 // --- Experiments -------------------------------------------------------------
 
-// RunExperiment executes one reproduction experiment (E1–E12).
+// RunExperiment executes one reproduction experiment (E1–E14).
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	e, ok := experiments.ByID(id)
 	if !ok {
@@ -327,9 +336,29 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	return e.Run(cfg)
 }
 
-// RunAllExperiments executes the full E1–E12 suite.
+// RunAllExperiments executes the full E1–E14 suite.
 func RunAllExperiments(cfg ExperimentConfig) ([]*ExperimentResult, error) {
 	return experiments.RunAll(cfg)
+}
+
+// RunExperiments executes the selected experiments (all of them when ids is
+// empty) through the sharded job engine: each experiment's parameter grid
+// is decomposed into deterministic shards, fanned over opt.Workers workers
+// with pre-split RNG streams, and merged in index order — the report's
+// artifacts are bit-identical at every worker count. When opt.OutDir is
+// set, one JSON artifact per experiment plus a checksummed MANIFEST.json
+// are written there; with opt.CheckpointDir and opt.Resume, an interrupted
+// run continues from its completed shards.
+func RunExperiments(ids []string, cfg ExperimentConfig, opt ExperimentOptions) (*ExperimentRunReport, error) {
+	specs := experiments.All
+	if len(ids) > 0 {
+		var err error
+		specs, err = experiments.Select(ids)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return experiments.Run(specs, cfg, opt)
 }
 
 // ExperimentIDs lists the available experiment ids in index order.

@@ -2,6 +2,8 @@ package wexp
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -191,6 +193,30 @@ func TestPublicExperiments(t *testing.T) {
 	}
 	if _, err := RunExperiment("E99", ExperimentConfig{}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestPublicRunExperimentsEngine(t *testing.T) {
+	out := t.TempDir()
+	rep, err := RunExperiments([]string{"E2", "E5"},
+		ExperimentConfig{Seed: 1, Quick: true},
+		ExperimentOptions{Workers: 2, OutDir: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 || len(rep.Artifacts) != 2 {
+		t.Fatalf("report: failures=%d artifacts=%d", rep.Failures, len(rep.Artifacts))
+	}
+	if len(rep.Manifest.Experiments) != 2 || rep.Manifest.Experiments[0].SHA256 == "" {
+		t.Fatalf("manifest incomplete: %+v", rep.Manifest)
+	}
+	for _, name := range []string{"E2.json", "E5.json", "MANIFEST.json"} {
+		if _, err := os.Stat(filepath.Join(out, name)); err != nil {
+			t.Fatalf("artifact %s not written: %v", name, err)
+		}
+	}
+	if _, err := RunExperiments([]string{"E99"}, ExperimentConfig{}, ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted by RunExperiments")
 	}
 }
 

@@ -1,0 +1,41 @@
+// Command benchgate compares freshly emitted perf records (BENCH_*.json,
+// written by the benchmarks) against committed baselines and fails when
+// any record's ns/op regressed beyond the tolerance — so perf regressions
+// fail PRs instead of silently rewriting the JSON.
+//
+// Usage:
+//
+//	benchgate [-tol 0.25] [-strict] baseline fresh [baseline fresh ...]
+//
+// Records are matched by their identity fields (everything except the
+// timing outputs ns_per_op / sets_per_sec / speedup), so the tool works
+// for every BENCH_*.json schema. Improvements beyond the tolerance only
+// warn ("baseline looks stale"); refresh baselines by running
+// `make bench-baseline` (steady-state timings) and committing the
+// rewritten files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	cfg := defaultConfig()
+	flag.Float64Var(&cfg.Tol, "tol", cfg.Tol, "allowed fractional ns/op regression (0.25 = +25%)")
+	flag.BoolVar(&cfg.Strict, "strict", cfg.Strict, "also fail when a baseline record has no fresh counterpart")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 || len(args)%2 != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-tol f] [-strict] baseline fresh [baseline fresh ...]")
+		os.Exit(2)
+	}
+	for i := 0; i < len(args); i += 2 {
+		cfg.Pairs = append(cfg.Pairs, Pair{Baseline: args[i], Fresh: args[i+1]})
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Config is the full parameter set of one benchgate invocation; main fills
+// it from flags and positional args, tests construct it directly.
+type Config struct {
+	// Tol is the allowed fractional ns/op regression: a fresh record fails
+	// when fresh > baseline·(1+Tol). Improvements never fail (they warn
+	// when they exceed the same tolerance, signalling a stale baseline).
+	Tol float64
+	// Strict also fails the gate when a baseline record has no fresh
+	// counterpart (a benchmark point silently disappeared).
+	Strict bool
+	// Pairs lists the (baseline, fresh) file pairs to compare.
+	Pairs []Pair
+}
+
+// Pair is one baseline/fresh comparison.
+type Pair struct {
+	Baseline string
+	Fresh    string
+}
+
+func defaultConfig() Config {
+	return Config{Tol: 0.25}
+}
+
+// benchFile is the shared shape of the BENCH_*.json perf records: a schema
+// string plus a list of flat records, each carrying an ns_per_op timing
+// and arbitrary identity fields.
+type benchFile struct {
+	Schema  string                       `json:"schema"`
+	Records []map[string]json.RawMessage `json:"records"`
+}
+
+// timingFields are measurement outputs, excluded from a record's identity
+// key so the key is stable run to run.
+var timingFields = map[string]bool{
+	"ns_per_op":    true,
+	"sets_per_sec": true,
+	"speedup":      true,
+}
+
+// recordKey returns the canonical identity of a record: its non-timing
+// fields marshalled with sorted keys.
+func recordKey(rec map[string]json.RawMessage) (string, error) {
+	keys := make([]string, 0, len(rec))
+	for k := range rec {
+		if !timingFields[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := map[string]json.RawMessage{}
+	for _, k := range keys {
+		out[k] = rec[k]
+	}
+	data, err := json.Marshal(out) // map marshal sorts keys
+	return string(data), err
+}
+
+// loadBench reads one perf-record file into key → ns_per_op.
+func loadBench(path string) (schema string, byKey map[string]float64, order []string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return "", nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byKey = map[string]float64{}
+	for _, rec := range f.Records {
+		raw, ok := rec["ns_per_op"]
+		if !ok {
+			continue
+		}
+		var ns float64
+		if err := json.Unmarshal(raw, &ns); err != nil {
+			return "", nil, nil, fmt.Errorf("%s: bad ns_per_op: %w", path, err)
+		}
+		key, err := recordKey(rec)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		if _, dup := byKey[key]; dup {
+			return "", nil, nil, fmt.Errorf("%s: duplicate record %s", path, key)
+		}
+		byKey[key] = ns
+		order = append(order, key)
+	}
+	return f.Schema, byKey, order, nil
+}
+
+// run compares every (baseline, fresh) pair and reports per-record
+// verdicts to w. It returns an error when any record regresses beyond
+// cfg.Tol (or, with cfg.Strict, when a baseline record disappeared).
+func run(cfg Config, w io.Writer) error {
+	if cfg.Tol <= 0 {
+		return fmt.Errorf("tolerance must be positive, got %g", cfg.Tol)
+	}
+	if len(cfg.Pairs) == 0 {
+		return fmt.Errorf("no baseline/fresh pairs given")
+	}
+	regressions, missing := 0, 0
+	for _, pair := range cfg.Pairs {
+		baseSchema, base, baseOrder, err := loadBench(pair.Baseline)
+		if err != nil {
+			return err
+		}
+		freshSchema, fresh, freshOrder, err := loadBench(pair.Fresh)
+		if err != nil {
+			return err
+		}
+		if baseSchema != freshSchema {
+			return fmt.Errorf("schema mismatch: %s has %q, %s has %q",
+				pair.Baseline, baseSchema, pair.Fresh, freshSchema)
+		}
+		fmt.Fprintf(w, "== %s vs %s (%s, tol ±%.0f%%) ==\n",
+			pair.Fresh, pair.Baseline, baseSchema, cfg.Tol*100)
+		for _, key := range baseOrder {
+			baseNs := base[key]
+			freshNs, ok := fresh[key]
+			if !ok {
+				missing++
+				fmt.Fprintf(w, "MISSING  %s (no fresh record)\n", key)
+				continue
+			}
+			ratio := freshNs / baseNs
+			switch {
+			case freshNs > baseNs*(1+cfg.Tol):
+				regressions++
+				fmt.Fprintf(w, "FAIL     %s: %.4g → %.4g ns/op (%.2fx, beyond +%.0f%%)\n",
+					key, baseNs, freshNs, ratio, cfg.Tol*100)
+			case freshNs < baseNs/(1+cfg.Tol):
+				fmt.Fprintf(w, "IMPROVED %s: %.4g → %.4g ns/op (%.2fx) — baseline looks stale\n",
+					key, baseNs, freshNs, ratio)
+			default:
+				fmt.Fprintf(w, "ok       %s: %.4g → %.4g ns/op (%.2fx)\n",
+					key, baseNs, freshNs, ratio)
+			}
+		}
+		for _, key := range freshOrder {
+			if _, ok := base[key]; !ok {
+				fmt.Fprintf(w, "NEW      %s (no baseline; add it by committing the fresh file)\n", key)
+			}
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d record(s) regressed beyond ±%.0f%%", regressions, cfg.Tol*100)
+	}
+	if missing > 0 && cfg.Strict {
+		return fmt.Errorf("%d baseline record(s) have no fresh counterpart", missing)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseJSON = `{
+  "schema": "wexp-bench/expansion-v1",
+  "records": [
+    {"solver": "ordinary", "n": 16, "alpha": 0.5, "workers": 0, "ns_per_op": 1000, "sets_per_sec": 1},
+    {"solver": "unique", "n": 20, "alpha": 0.5, "workers": 0, "ns_per_op": 2000}
+  ]
+}`
+
+func gate(t *testing.T, tol float64, strict bool, base, fresh string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(Config{Tol: tol, Strict: strict, Pairs: []Pair{{base, fresh}}}, &buf)
+	return buf.String(), err
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary", "n": 16, "alpha": 0.5, "workers": 0, "ns_per_op": 1200, "sets_per_sec": 2},
+	    {"solver": "unique", "n": 20, "alpha": 0.5, "workers": 0, "ns_per_op": 1900}
+	  ]
+	}`)
+	out, err := gate(t, 0.25, true, base, fresh)
+	if err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out)
+	}
+	if strings.Count(out, "ok ") != 2 {
+		t.Fatalf("expected 2 ok records:\n%s", out)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary", "n": 16, "alpha": 0.5, "workers": 0, "ns_per_op": 1300},
+	    {"solver": "unique", "n": 20, "alpha": 0.5, "workers": 0, "ns_per_op": 2000}
+	  ]
+	}`)
+	out, err := gate(t, 0.25, false, base, fresh)
+	if err == nil || !strings.Contains(out, "FAIL") {
+		t.Fatalf("regression not caught: err=%v\n%s", err, out)
+	}
+}
+
+func TestGateImprovementOnlyWarns(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary", "n": 16, "alpha": 0.5, "workers": 0, "ns_per_op": 100},
+	    {"solver": "unique", "n": 20, "alpha": 0.5, "workers": 0, "ns_per_op": 2000}
+	  ]
+	}`)
+	out, err := gate(t, 0.25, true, base, fresh)
+	if err != nil {
+		t.Fatalf("improvement failed the gate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "IMPROVED") || !strings.Contains(out, "stale") {
+		t.Fatalf("stale-baseline warning missing:\n%s", out)
+	}
+}
+
+func TestGateMissingRecord(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary", "n": 16, "alpha": 0.5, "workers": 0, "ns_per_op": 1000}
+	  ]
+	}`)
+	if out, err := gate(t, 0.25, false, base, fresh); err != nil {
+		t.Fatalf("lenient mode failed on missing record: %v\n%s", err, out)
+	}
+	out, err := gate(t, 0.25, true, base, fresh)
+	if err == nil || !strings.Contains(out, "MISSING") {
+		t.Fatalf("strict mode did not flag missing record: err=%v\n%s", err, out)
+	}
+}
+
+func TestGateNewRecordReported(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary", "n": 16, "alpha": 0.5, "workers": 0, "ns_per_op": 1000},
+	    {"solver": "unique", "n": 20, "alpha": 0.5, "workers": 0, "ns_per_op": 2000},
+	    {"solver": "wireless", "n": 16, "alpha": 0.25, "workers": 0, "ns_per_op": 500}
+	  ]
+	}`)
+	out, err := gate(t, 0.25, true, base, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NEW") {
+		t.Fatalf("new record not reported:\n%s", out)
+	}
+}
+
+func TestGateSchemaMismatchAndBadInput(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	other := writeBench(t, dir, "other.json", `{"schema": "wexp-bench/radio-v1", "records": []}`)
+	if _, err := gate(t, 0.25, false, base, other); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	if _, err := gate(t, 0.25, false, base, filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := gate(t, -1, false, base, base); err == nil {
+		t.Fatal("non-positive tolerance accepted")
+	}
+	if err := run(Config{Tol: 0.25}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty pair list accepted")
+	}
+}
+
+// TestGateAgainstCommittedBaselines compares the repo's committed perf
+// records against themselves — the self-comparison every CI run starts
+// from must be green.
+func TestGateAgainstCommittedBaselines(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(Config{Tol: 0.25, Strict: true, Pairs: []Pair{
+		{"../../BENCH_expansion.json", "../../BENCH_expansion.json"},
+		{"../../BENCH_radio.json", "../../BENCH_radio.json"},
+	}}, &buf)
+	if err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, buf.String())
+	}
+}

@@ -1,72 +1,53 @@
-// Command experiments runs the reproduction harness (experiments E1–E12 of
-// DESIGN.md) and prints each experiment's tables with its PASS/FAIL verdict.
+// Command experiments runs the reproduction harness (experiments E1–E14 of
+// DESIGN.md) through the sharded job engine and prints each experiment's
+// tables with its PASS/FAIL verdict.
 //
 // Usage:
 //
-//	experiments                      run everything, full parameter grids
-//	experiments -quick               reduced grids (seconds)
-//	experiments -only E5,E9          a subset
-//	experiments -markdown > out.md   Markdown (EXPERIMENTS.md is built this way)
+//	experiments                       run everything, full parameter grids
+//	experiments -quick                reduced grids (seconds)
+//	experiments -only E5,E9           a subset
+//	experiments -workers 8            shard worker-pool width (output identical)
+//	experiments -out artifacts/       also emit JSON artifacts + MANIFEST.json
+//	experiments -resume artifacts/    resume an interrupted -out run (skips
+//	                                  shards whose checkpoints match)
+//	experiments -format json          print the run manifest as JSON
+//	experiments -format markdown      Markdown (EXPERIMENTS.md is built this way)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
-
-	"wexp/internal/experiments"
 )
 
 func main() {
-	var (
-		quick    = flag.Bool("quick", false, "reduced parameter grids")
-		seed     = flag.Uint64("seed", 20180220, "experiment RNG seed")
-		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		markdown = flag.Bool("markdown", false, "emit Markdown instead of text")
-		csv      = flag.Bool("csv", false, "emit raw CSV tables instead of text")
-		trials   = flag.Int("trials", 0, "override per-point trial count (0 = default)")
-	)
+	cfg := defaultConfig()
+	flag.BoolVar(&cfg.Quick, "quick", cfg.Quick, "reduced parameter grids")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "experiment RNG seed")
+	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "override per-point trial count (0 = default)")
+	flag.StringVar(&cfg.Only, "only", cfg.Only, "comma-separated experiment ids (default: all)")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "shard worker-pool width (0 = GOMAXPROCS; results identical at any width)")
+	flag.StringVar(&cfg.Out, "out", cfg.Out, "directory for JSON artifacts, checkpoints and MANIFEST.json")
+	flag.StringVar(&cfg.Resume, "resume", cfg.Resume, "resume an interrupted run from this output directory")
+	flag.StringVar(&cfg.Format, "format", cfg.Format, "output format: table, markdown, csv or json")
 	flag.Parse()
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Trials: *trials}
 
-	entries := experiments.All
-	if *only != "" {
-		var sel []experiments.Entry
-		for _, id := range strings.Split(*only, ",") {
-			e, ok := experiments.ByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
-				os.Exit(2)
-			}
-			sel = append(sel, e)
+	rep, err := run(cfg, os.Stdout)
+	if err != nil {
+		// Registry errors already carry the package prefix.
+		fmt.Fprintf(os.Stderr, "experiments: %s\n",
+			strings.TrimPrefix(err.Error(), "experiments: "))
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2) // bad invocation
 		}
-		entries = sel
+		os.Exit(1) // runtime failure
 	}
-
-	failures := 0
-	for _, e := range entries {
-		res, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		switch {
-		case *markdown:
-			fmt.Println(res.Markdown())
-		case *csv:
-			for _, tbl := range res.Tables {
-				fmt.Printf("# %s / %s\n%s\n", res.ID, tbl.Title, tbl.CSV())
-			}
-		default:
-			fmt.Println(res.Text())
-		}
-		if !res.Pass {
-			failures++
-		}
-	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failures)
+	if rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", rep.Failures)
 		os.Exit(1)
 	}
 }

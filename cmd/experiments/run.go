@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"wexp/internal/experiments"
+)
+
+// usageError marks a bad invocation (unknown id/format, conflicting
+// flags); main exits 2 for it and 1 for runtime failures.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// Config is the full parameter set of one experiments invocation; main
+// fills it from flags, tests construct it directly.
+type Config struct {
+	Quick   bool
+	Seed    uint64
+	Trials  int
+	Only    string // comma-separated experiment ids ("" = all)
+	Workers int
+	Out     string // artifact output directory ("" = stdout only)
+	Resume  string // resume directory (implies -out <dir>, reuses checkpoints)
+	Format  string // table | markdown | csv | json
+}
+
+func defaultConfig() Config {
+	return Config{Seed: 20180220, Format: "table"}
+}
+
+// run executes the selected experiments through the sharded job engine and
+// renders them to w. It returns the engine report so callers can
+// distinguish experiment failures (report.Failures > 0) from hard errors.
+func run(cfg Config, w io.Writer) (*experiments.RunReport, error) {
+	switch cfg.Format {
+	case "table", "markdown", "csv", "json":
+	default:
+		return nil, usageError{fmt.Errorf("unknown format %q (want table, markdown, csv or json)", cfg.Format)}
+	}
+
+	specs := experiments.All
+	if cfg.Only != "" {
+		var ids []string
+		for _, id := range strings.Split(cfg.Only, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+		var err error
+		specs, err = experiments.Select(ids)
+		if err != nil {
+			return nil, usageError{err}
+		}
+	}
+
+	outDir := cfg.Out
+	resume := false
+	if cfg.Resume != "" {
+		if cfg.Out != "" && cfg.Out != cfg.Resume {
+			return nil, usageError{fmt.Errorf("-out %q conflicts with -resume %q (a resumed run writes into the resume directory)", cfg.Out, cfg.Resume)}
+		}
+		outDir = cfg.Resume
+		resume = true
+	}
+	opt := experiments.Options{
+		Workers: cfg.Workers,
+		OutDir:  outDir,
+		Resume:  resume,
+	}
+	if outDir != "" {
+		// Checkpoints ride inside the output directory, so `-out dir`
+		// followed by `-resume dir` picks up exactly where a kill left off.
+		opt.CheckpointDir = filepath.Join(outDir, "checkpoints")
+	}
+
+	ecfg := experiments.Config{Seed: cfg.Seed, Quick: cfg.Quick, Trials: cfg.Trials}
+	rep, err := experiments.Run(specs, ecfg, opt)
+	if err != nil {
+		return rep, err
+	}
+
+	switch cfg.Format {
+	case "json":
+		// The manifest is the machine-readable run summary; the artifacts
+		// themselves live under -out (or inline via the facade).
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep.Manifest); err != nil {
+			return rep, err
+		}
+	case "markdown":
+		for _, res := range rep.Results {
+			fmt.Fprintln(w, res.Markdown())
+		}
+	case "csv":
+		for _, res := range rep.Results {
+			for _, tbl := range res.Tables {
+				fmt.Fprintf(w, "# %s / %s\n%s\n", res.ID, tbl.Title, tbl.CSV())
+			}
+		}
+	default: // table
+		for _, res := range rep.Results {
+			fmt.Fprintln(w, res.Text())
+		}
+	}
+	return rep, nil
+}

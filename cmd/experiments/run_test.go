@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden artifacts under testdata/")
+
+func TestRunTableOutput(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Quick = true
+	cfg.Only = "E2"
+	var buf bytes.Buffer
+	rep, err := run(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("failures: %d", rep.Failures)
+	}
+	out := buf.String()
+	for _, want := range []string{"E2", "Gbad measurements", "RESULT: PASS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownIDAndFormat(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Only = "E99"
+	if _, err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	cfg = defaultConfig()
+	cfg.Format = "yaml"
+	if _, err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestGoldenArtifacts pins the byte-exact artifacts of the CI smoke subset
+// (E1, E5, E9 at quick grids): any unintentional change to experiment
+// numerics, the artifact schema, or engine determinism shows up as a diff.
+// Regenerate intentionally with: go test ./cmd/experiments -update
+func TestGoldenArtifacts(t *testing.T) {
+	out := t.TempDir()
+	cfg := defaultConfig()
+	cfg.Quick = true
+	cfg.Only = "E1,E5,E9"
+	cfg.Workers = 4
+	cfg.Out = out
+	cfg.Format = "json"
+	var buf bytes.Buffer
+	rep, err := run(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("failures: %d", rep.Failures)
+	}
+	if !strings.Contains(buf.String(), "wexp-experiments/manifest-v1") {
+		t.Fatalf("json output is not the manifest:\n%s", buf.String())
+	}
+
+	files := []string{"E1.json", "E5.json", "E9.json", "MANIFEST.json"}
+	goldenDir := filepath.Join("testdata", "golden")
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range files {
+		got, err := os.ReadFile(filepath.Join(out, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := filepath.Join(goldenDir, name)
+		if *update {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (run `go test ./cmd/experiments -update`): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs from golden; inspect with a JSON diff or regenerate via -update", name)
+		}
+	}
+}
+
+// TestRunResumeCLISemantics checks the CLI contract that -resume reuses a
+// previous -out directory's checkpoints and reproduces its artifacts.
+func TestRunResumeCLISemantics(t *testing.T) {
+	dir := t.TempDir()
+	cfg := defaultConfig()
+	cfg.Quick = true
+	cfg.Only = "E2"
+	cfg.Out = dir
+	if _, err := run(cfg, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, "E2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoints", "E2")); err != nil {
+		t.Fatalf("checkpoints not written under -out: %v", err)
+	}
+
+	cfg.Out = t.TempDir() // a *different* -out alongside -resume must be rejected
+	cfg.Resume = dir
+	if _, err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("conflicting -out and -resume accepted")
+	}
+	cfg.Out = ""
+	if _, err := run(cfg, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(filepath.Join(dir, "E2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("-resume produced different artifact bytes than the original -out run")
+	}
+}

@@ -33,8 +33,8 @@
 //   - a radio-network simulator with the paper's collision rule and the
 //     broadcast protocols it discusses (internal/radio);
 //   - the closed-form bounds of every lemma (internal/bounds) and the
-//     experiment harness E1–E12 that regenerates each claim
-//     (internal/experiments).
+//     sharded, resumable experiment engine E1–E14 that regenerates each
+//     claim with deterministic JSON artifacts (internal/experiments).
 //
 // This package is the public facade: it re-exports the types and wraps the
 // operations a downstream user needs, so examples and external code import

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wexp/internal/table"
+)
+
+// ArtifactSchema versions the per-experiment artifact document. Bump it
+// whenever the JSON layout changes incompatibly.
+const ArtifactSchema = "wexp-experiments/artifact-v1"
+
+// ManifestSchema versions the run manifest document.
+const ManifestSchema = "wexp-experiments/manifest-v1"
+
+// ArtifactTable is the artifact form of a rendered result table. Cells are
+// the already-formatted strings of table.Table, so the document is
+// byte-stable across encoders.
+type ArtifactTable struct {
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// Artifact is the versioned JSON record of one experiment run: the exact
+// inputs, every shard's raw result, the rendered summary tables, and the
+// verdict. It contains no timestamps, host names, or toolchain versions —
+// it is a pure function of (Spec, Config), so byte-level comparison is a
+// valid regression check.
+type Artifact struct {
+	Schema   string          `json:"schema"`
+	ID       string          `json:"id"`
+	Title    string          `json:"title"`
+	PaperRef string          `json:"paper_ref"`
+	Config   Config          `json:"config"`
+	Shards   []ShardResult   `json:"shards"`
+	Tables   []ArtifactTable `json:"tables"`
+	Notes    []string        `json:"notes,omitempty"`
+	Pass     bool            `json:"pass"`
+
+	// encoded memoizes Encode: the document is immutable once built, and
+	// both Write and the manifest checksum need the same bytes.
+	encoded []byte
+}
+
+func artifactTables(tables []*table.Table) []ArtifactTable {
+	out := make([]ArtifactTable, len(tables))
+	for i, t := range tables {
+		out[i] = ArtifactTable{Title: t.Title, Note: t.Note, Header: t.Header, Rows: t.Rows}
+	}
+	return out
+}
+
+func newArtifact(spec *Spec, cfg Config, shards []ShardResult, res *Result) *Artifact {
+	return &Artifact{
+		Schema:   ArtifactSchema,
+		ID:       spec.ID,
+		Title:    spec.Title,
+		PaperRef: spec.PaperRef,
+		Config:   cfg,
+		Shards:   shards,
+		Tables:   artifactTables(res.Tables),
+		Notes:    res.Notes,
+		Pass:     res.Pass,
+	}
+}
+
+// Filename returns the artifact's file name inside an output directory.
+func (a *Artifact) Filename() string { return a.ID + ".json" }
+
+// Encode returns the canonical indented JSON encoding of the artifact.
+// The encoding is computed once and cached; callers must not mutate the
+// returned slice.
+func (a *Artifact) Encode() ([]byte, error) {
+	if a.encoded != nil {
+		return a.encoded, nil
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	a.encoded = append(data, '\n')
+	return a.encoded, nil
+}
+
+// Write stores the artifact under dir (atomically: temp + rename).
+func (a *Artifact) Write(dir string) error {
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, a.Filename()), data)
+}
+
+// ManifestEntry summarizes one artifact inside the manifest.
+type ManifestEntry struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Artifact string `json:"artifact"`
+	SHA256   string `json:"sha256"`
+	Shards   int    `json:"shards"`
+	Pass     bool   `json:"pass"`
+}
+
+// Manifest indexes every artifact of a run with its checksum, so a
+// directory of artifacts is self-describing and tamper-evident.
+type Manifest struct {
+	Schema      string          `json:"schema"`
+	Config      Config          `json:"config"`
+	Experiments []ManifestEntry `json:"experiments"`
+}
+
+func newManifest(cfg Config) *Manifest {
+	return &Manifest{Schema: ManifestSchema, Config: cfg}
+}
+
+func (m *Manifest) add(a *Artifact) error {
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(data)
+	m.Experiments = append(m.Experiments, ManifestEntry{
+		ID:       a.ID,
+		Title:    a.Title,
+		Artifact: a.Filename(),
+		SHA256:   hex.EncodeToString(sum[:]),
+		Shards:   len(a.Shards),
+		Pass:     a.Pass,
+	})
+	return nil
+}
+
+// Encode returns the canonical indented JSON encoding of the manifest.
+func (m *Manifest) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Write stores MANIFEST.json under dir.
+func (m *Manifest) Write(dir string) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, "MANIFEST.json"), data)
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}

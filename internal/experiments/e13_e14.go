@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+	"strings"
+
 	"wexp/internal/badgraph"
 	"wexp/internal/bounds"
 	"wexp/internal/gen"
@@ -12,48 +15,141 @@ import (
 	"wexp/internal/table"
 )
 
-// E13Ablation quantifies the library's design choices on a fixed corpus:
+// SpecE13 quantifies the library's design choices on a fixed corpus:
 // (a) the decay sampler's trial budget (Lemma 4.2 only guarantees the
 // expectation; best-of-T sharpens it), (b) which portfolio member wins how
 // often, and (c) what the hill-climbing refinement adds on top of the best
-// certified selection.
-func E13Ablation(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:       "E13",
-		Title:    "Ablations: decay trials, portfolio composition, local refinement",
-		PaperRef: "Lemma 4.2 (sampler); library design choices",
-		Pass:     true,
-	}
-	r := rng.New(cfg.Seed ^ 0x13)
-	var corpus []*graph.Bipartite
-	core32, _ := badgraph.NewCore(32)
-	corpus = append(corpus, core32.B)
-	gb, _ := badgraph.NewGBad(16, 8, 5)
-	corpus = append(corpus, gb.B)
-	count := cfg.trials(10, 4)
-	for i := 0; i < count; i++ {
-		corpus = append(corpus, gen.RandomBipartite(24, 36, 0.12, r))
-	}
+// certified selection. One shard per corpus instance measures all three;
+// Reduce aggregates across the corpus.
+var SpecE13 = &Spec{
+	ID:       "E13",
+	Title:    "Ablations: decay trials, portfolio composition, local refinement",
+	PaperRef: "Lemma 4.2 (sampler); library design choices",
+	Shards:   e13Shards,
+	Reduce:   e13Reduce,
+}
 
-	// (a) Decay trial budget.
+// e13Decay is one decay-budget measurement on one instance.
+type e13Decay struct {
+	Budget  int     `json:"budget"`
+	Unique  int     `json:"unique"`
+	Frac    float64 `json:"frac"` // fraction of the portfolio best (0 when best is 0)
+	HasBest bool    `json:"has_best"`
+}
+
+// e13Point is the per-instance shard result.
+type e13Point struct {
+	Name    string     `json:"name"`
+	DecayAt []e13Decay `json:"decay_at"`
+	Scores  []int      `json:"scores"` // e13Algos order
+	Base    int        `json:"base"`
+	Improve int        `json:"improve"`
+}
+
+// e13Algos lists the portfolio members in table order.
+var e13Algos = []string{"greedy", "partition", "recursive", "degree-class", "decay-16"}
+
+func e13Budgets(cfg Config) []int {
 	budgets := []int{1, 4, 16, 64}
 	if cfg.Quick {
 		budgets = budgets[:3]
 	}
+	return budgets
+}
+
+func e13Names(cfg Config) []string {
+	names := []string{"core-32", "gbad-16-8-5"}
+	for i := 0; i < cfg.trials(10, 4); i++ {
+		names = append(names, sprintfName("rand-24x36-#%d", i))
+	}
+	return names
+}
+
+func e13Build(name string, r *rng.RNG) (*graph.Bipartite, error) {
+	switch name {
+	case "core-32":
+		c, err := badgraph.NewCore(32)
+		if err != nil {
+			return nil, err
+		}
+		return c.B, nil
+	case "gbad-16-8-5":
+		g, err := badgraph.NewGBad(16, 8, 5)
+		if err != nil {
+			return nil, err
+		}
+		return g.B, nil
+	default:
+		if !strings.HasPrefix(name, "rand-24x36-#") {
+			return nil, fmt.Errorf("e13: unknown instance %q", name)
+		}
+		return gen.RandomBipartite(24, 36, 0.12, r), nil
+	}
+}
+
+func e13Shards(cfg Config) ([]Shard, error) {
+	var shards []Shard
+	for _, name := range e13Names(cfg) {
+		name := name
+		shards = append(shards, Shard{
+			Key: name,
+			Run: func(cfg Config, r *rng.RNG) (any, error) {
+				b, err := e13Build(name, r)
+				if err != nil {
+					return nil, err
+				}
+				pt := e13Point{Name: name}
+				// (a) Decay trial budget vs the deterministic portfolio.
+				for _, T := range e13Budgets(cfg) {
+					d := spokesman.Decay(b, T, r)
+					best := spokesman.BestDeterministic(b)
+					if d.Unique > best.Unique {
+						best = d
+					}
+					m := e13Decay{Budget: T, Unique: d.Unique}
+					if best.Unique > 0 {
+						m.Frac = float64(d.Unique) / float64(best.Unique)
+						m.HasBest = true
+					}
+					pt.DecayAt = append(pt.DecayAt, m)
+				}
+				// (b) Portfolio member scores (e13Algos order).
+				pt.Scores = []int{
+					spokesman.GreedyUnique(b).Unique,
+					spokesman.PartitionSelect(b).Unique,
+					spokesman.PartitionRecursive(b).Unique,
+					spokesman.DegreeClass(b, spokesman.OptimalC).Unique,
+					spokesman.Decay(b, 16, r).Unique,
+				}
+				// (c) Local refinement delta.
+				base := spokesman.Best(b, 8, r)
+				imp := spokesman.Improve(b, base, 6)
+				pt.Base, pt.Improve = base.Unique, imp.Unique
+				return pt, nil
+			},
+		})
+	}
+	return shards, nil
+}
+
+func e13Reduce(cfg Config, shards []ShardResult, res *Result) error {
+	points, err := decodeAll[e13Point](shards)
+	if err != nil {
+		return err
+	}
+	budgets := e13Budgets(cfg)
+
+	// (a) Decay trial budget.
 	tb := table.New("Decay sampler: mean unique cover vs trial budget",
 		"trials", "mean |Γ¹|", "min |Γ¹|", "mean fraction of portfolio best")
 	meanAt := map[int]float64{}
-	for _, T := range budgets {
+	for bi, T := range budgets {
 		var vals, fracs []float64
-		for _, b := range corpus {
-			d := spokesman.Decay(b, T, r)
-			best := spokesman.BestDeterministic(b)
-			if d2 := d.Unique; d2 > best.Unique {
-				best = d
-			}
-			vals = append(vals, float64(d.Unique))
-			if best.Unique > 0 {
-				fracs = append(fracs, float64(d.Unique)/float64(best.Unique))
+		for _, p := range points {
+			m := p.DecayAt[bi]
+			vals = append(vals, float64(m.Unique))
+			if m.HasBest {
+				fracs = append(fracs, m.Frac)
 			}
 		}
 		meanAt[T] = stats.Mean(vals)
@@ -67,31 +163,15 @@ func E13Ablation(cfg Config) (*Result, error) {
 
 	// (b) Portfolio composition: per algorithm, how often it attains the
 	// portfolio maximum.
-	algos := []struct {
-		name string
-		run  func(b *graph.Bipartite) spokesman.Selection
-	}{
-		{"greedy", spokesman.GreedyUnique},
-		{"partition", spokesman.PartitionSelect},
-		{"recursive", spokesman.PartitionRecursive},
-		{"degree-class", func(b *graph.Bipartite) spokesman.Selection {
-			return spokesman.DegreeClass(b, spokesman.OptimalC)
-		}},
-		{"decay-16", func(b *graph.Bipartite) spokesman.Selection {
-			return spokesman.Decay(b, 16, r)
-		}},
-	}
-	wins := make([]int, len(algos))
-	for _, b := range corpus {
+	wins := make([]int, len(e13Algos))
+	for _, p := range points {
 		best := 0
-		scores := make([]int, len(algos))
-		for i, a := range algos {
-			scores[i] = a.run(b).Unique
-			if scores[i] > best {
-				best = scores[i]
+		for _, sc := range p.Scores {
+			if sc > best {
+				best = sc
 			}
 		}
-		for i, sc := range scores {
+		for i, sc := range p.Scores {
 			if sc == best {
 				wins[i]++
 			}
@@ -99,106 +179,222 @@ func E13Ablation(cfg Config) (*Result, error) {
 	}
 	tb2 := table.New("Portfolio composition: times attaining the maximum",
 		"algorithm", "wins", "corpus size")
-	for i, a := range algos {
-		tb2.AddRow(a.name, wins[i], len(corpus))
+	for i, name := range e13Algos {
+		tb2.AddRow(name, wins[i], len(points))
 	}
 	res.Tables = append(res.Tables, tb2)
 
 	// (c) Local refinement delta.
 	var gains []float64
-	for _, b := range corpus {
-		base := spokesman.Best(b, 8, r)
-		imp := spokesman.Improve(b, base, 6)
-		if imp.Unique < base.Unique {
-			res.failf("Improve worsened a selection: %d -> %d", base.Unique, imp.Unique)
+	for _, p := range points {
+		if p.Improve < p.Base {
+			res.failf("Improve worsened a selection: %d -> %d", p.Base, p.Improve)
 		}
-		gains = append(gains, float64(imp.Unique-base.Unique))
+		gains = append(gains, float64(p.Improve-p.Base))
 	}
 	tb3 := table.New("Hill-climbing refinement over portfolio best",
 		"mean gain", "max gain", "corpus size")
-	tb3.AddRow(stats.Mean(gains), stats.Max(gains), len(corpus))
+	tb3.AddRow(stats.Mean(gains), stats.Max(gains), len(points))
 	res.Tables = append(res.Tables, tb3)
 	res.note("Best-of-T sampling dominates single-shot sampling (the Lemma 4.2 expectation argument converts to a high-probability statement); the portfolio is genuinely heterogeneous — no single algorithm wins everywhere; hill climbing never loses and occasionally sharpens the certificate.")
-	return res, nil
+	return nil
 }
 
-// E14Broadcast compares broadcast protocols across topologies — the
-// paper's application: wireless-expansion-based schedules make radio
-// broadcast effective where flooding deadlocks, and the decay protocol of
-// [5] pays the log factor that Theorem 1.1 says is necessary in general.
-func E14Broadcast(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:       "E14",
-		Title:    "Radio broadcast protocols across topologies",
-		PaperRef: "Introduction; Section 5; [5], [7]",
-		Pass:     true,
-	}
-	r := rng.New(cfg.Seed ^ 0x14)
-	type inst struct {
-		name   string
-		g      *graph.Graph
-		source int
-	}
-	var instances []inst
+// SpecE14 compares broadcast protocols across topologies — the paper's
+// application: wireless-expansion-based schedules make radio broadcast
+// effective where flooding deadlocks, and the decay protocol of [5] pays
+// the log factor that Theorem 1.1 says is necessary in general. One shard
+// per topology plus one per torus size for the scaling study.
+var SpecE14 = &Spec{
+	ID:       "E14",
+	Title:    "Radio broadcast protocols across topologies",
+	PaperRef: "Introduction; Section 5; [5], [7]",
+	Shards:   e14Shards,
+	Reduce:   e14Reduce,
+}
+
+// e14Proto is one protocol run on one topology.
+type e14Proto struct {
+	Rounds    int  `json:"rounds"`
+	Completed bool `json:"completed"`
+}
+
+// e14Point is the per-topology shard result.
+type e14Point struct {
+	Name  string   `json:"name"`
+	Skip  bool     `json:"skip,omitempty"`
+	N     int      `json:"n"`
+	Flood e14Proto `json:"flood"`
+	PF    e14Proto `json:"prob_flood"`
+	Dec   e14Proto `json:"decay"`
+	RR    e14Proto `json:"round_robin"`
+	Spk   e14Proto `json:"spokesman"`
+}
+
+// e14Torus is the per-torus-size shard result for the scaling study.
+type e14Torus struct {
+	Size      int     `json:"size"`
+	N         int     `json:"n"`
+	Diam      int     `json:"diam"`
+	Scale     float64 `json:"scale"`
+	Mean      float64 `json:"mean_rounds"`
+	Trials    int     `json:"trials"`
+	Completed int     `json:"completed"`
+	SpkRounds int     `json:"spk_rounds"`
+}
+
+func e14Names(cfg Config) []string {
+	return []string{"cplus", "torus", "hypercube", "margulis", "chain-4x16"}
+}
+
+func e14Build(name string, cfg Config, r *rng.RNG) (*graph.Graph, int, error) {
 	cpSize, torusSize, hyperDim := 32, 12, 7
 	if cfg.Quick {
 		cpSize, torusSize, hyperDim = 16, 8, 5
 	}
-	instances = append(instances,
-		inst{"cplus", gen.CPlus(cpSize), 0},
-		inst{"torus", gen.Torus(torusSize, torusSize), 0},
-		inst{"hypercube", gen.Hypercube(hyperDim), 0},
-		inst{"margulis", gen.Margulis(8), 0},
-	)
-	if ch, err := badgraph.NewChain(4, 16, r); err == nil {
-		instances = append(instances, inst{"chain-4x16", ch.G, ch.Root})
+	switch name {
+	case "cplus":
+		return gen.CPlus(cpSize), 0, nil
+	case "torus":
+		return gen.Torus(torusSize, torusSize), 0, nil
+	case "hypercube":
+		return gen.Hypercube(hyperDim), 0, nil
+	case "margulis":
+		return gen.Margulis(8), 0, nil
+	case "chain-4x16":
+		ch, err := badgraph.NewChain(4, 16, r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ch.G, ch.Root, nil
+	default:
+		return nil, 0, fmt.Errorf("e14: unknown instance %q", name)
 	}
+}
 
+func e14TorusSizes(cfg Config) []int {
+	sizes := []int{6, 9, 12, 16}
+	if cfg.Quick {
+		sizes = sizes[:3]
+	}
+	return sizes
+}
+
+func e14Shards(cfg Config) ([]Shard, error) {
+	var shards []Shard
+	for _, name := range e14Names(cfg) {
+		name := name
+		shards = append(shards, Shard{
+			Key: "proto/" + name,
+			Run: func(cfg Config, r *rng.RNG) (any, error) {
+				g, source, err := e14Build(name, cfg, r)
+				if err != nil {
+					if name != "chain-4x16" {
+						return nil, err
+					}
+					// Chain construction can fail on degenerate parameters;
+					// drop the instance rather than failing the experiment.
+					return e14Point{Name: name, Skip: true}, nil
+				}
+				const budget = 2_000_000
+				pt := e14Point{Name: name, N: g.N()}
+				flood, err := radio.Run(g, source, radio.Flood{}, 2000)
+				if err != nil {
+					return nil, err
+				}
+				pf, err := radio.Run(g, source, &radio.ProbFlood{P: 0.5, R: r.Split()}, budget)
+				if err != nil {
+					return nil, err
+				}
+				dec, err := radio.Run(g, source, &radio.Decay{R: r.Split()}, budget)
+				if err != nil {
+					return nil, err
+				}
+				rr, err := radio.Run(g, source, radio.RoundRobin{}, g.N()*g.N()+g.N())
+				if err != nil {
+					return nil, err
+				}
+				spk, err := radio.Run(g, source, &radio.Spokesman{R: r.Split(), Trials: 4}, budget)
+				if err != nil {
+					return nil, err
+				}
+				pt.Flood = e14Proto{flood.Rounds, flood.Completed}
+				pt.PF = e14Proto{pf.Rounds, pf.Completed}
+				pt.Dec = e14Proto{dec.Rounds, dec.Completed}
+				pt.RR = e14Proto{rr.Rounds, rr.Completed}
+				pt.Spk = e14Proto{spk.Rounds, spk.Completed}
+				return pt, nil
+			},
+		})
+	}
+	for _, sz := range e14TorusSizes(cfg) {
+		sz := sz
+		shards = append(shards, Shard{
+			Key: sprintfName("scaling/torus-%d", sz),
+			Run: func(cfg Config, r *rng.RNG) (any, error) {
+				g := gen.Torus(sz, sz)
+				diam, _ := g.Diameter()
+				trials := cfg.trials(5, 2)
+				// The Monte-Carlo engine replaces the hand-rolled trial
+				// loop: one shared adjacency-row build, deterministic at any
+				// worker count.
+				mc, err := radio.MonteCarlo(g, 0,
+					func(tr *rng.RNG) radio.Protocol { return &radio.Decay{R: tr} },
+					trials, radio.Options{Seed: r.Uint64(), MaxRounds: 2_000_000, TraceRounds: -1})
+				if err != nil {
+					return nil, err
+				}
+				spk, err := radio.Run(g, 0, &radio.Spokesman{}, 2_000_000)
+				if err != nil {
+					return nil, err
+				}
+				return e14Torus{
+					Size: sz, N: g.N(), Diam: diam,
+					Scale:     float64(diam) * bounds.Log2(float64(g.N())),
+					Mean:      mc.Rounds.Mean,
+					Trials:    trials,
+					Completed: mc.Completed,
+					SpkRounds: spk.Rounds,
+				}, nil
+			},
+		})
+	}
+	return shards, nil
+}
+
+func e14Reduce(cfg Config, shards []ShardResult, res *Result) error {
+	nProto := len(e14Names(cfg))
 	tb := table.New("Rounds to complete (DNF = did not finish in budget)",
 		"graph", "n", "flood", "prob-flood-0.5", "decay", "round-robin", "spokesman")
-	budget := 2_000_000
-	fmtRounds := func(r radio.RunResult) interface{} {
-		if !r.Completed {
+	fmtRounds := func(p e14Proto) interface{} {
+		if !p.Completed {
 			return "DNF"
 		}
-		return r.Rounds
+		return p.Rounds
 	}
-	for _, in := range instances {
-		flood, err := radio.Run(in.g, in.source, radio.Flood{}, 2000)
-		if err != nil {
-			return nil, err
+	points, err := decodeAll[e14Point](shards[:nProto])
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		if p.Skip {
+			continue
 		}
-		pf, err := radio.Run(in.g, in.source, &radio.ProbFlood{P: 0.5, R: r.Split()}, budget)
-		if err != nil {
-			return nil, err
-		}
-		dec, err := radio.Run(in.g, in.source, &radio.Decay{R: r.Split()}, budget)
-		if err != nil {
-			return nil, err
-		}
-		rr, err := radio.Run(in.g, in.source, radio.RoundRobin{}, in.g.N()*in.g.N()+in.g.N())
-		if err != nil {
-			return nil, err
-		}
-		spk, err := radio.Run(in.g, in.source, &radio.Spokesman{R: r.Split(), Trials: 4}, budget)
-		if err != nil {
-			return nil, err
-		}
-		if !dec.Completed || !spk.Completed || !rr.Completed {
+		if !p.Dec.Completed || !p.Spk.Completed || !p.RR.Completed {
 			res.failf("%s: decay/spokesman/round-robin must complete (got %v/%v/%v)",
-				in.name, dec.Completed, spk.Completed, rr.Completed)
+				p.Name, p.Dec.Completed, p.Spk.Completed, p.RR.Completed)
 		}
-		if in.name == "cplus" && flood.Completed {
+		if p.Name == "cplus" && p.Flood.Completed {
 			res.failf("flooding completed on C⁺ — collision model broken")
 		}
-		if spk.Completed && dec.Completed && spk.Rounds > dec.Rounds*4+16 {
+		if p.Spk.Completed && p.Dec.Completed && p.Spk.Rounds > p.Dec.Rounds*4+16 {
 			// The centralized spokesman schedule should never be far worse
 			// than decay.
 			res.failf("%s: spokesman (%d) much slower than decay (%d)",
-				in.name, spk.Rounds, dec.Rounds)
+				p.Name, p.Spk.Rounds, p.Dec.Rounds)
 		}
-		tb.AddRow(in.name, in.g.N(), fmtRounds(flood), fmtRounds(pf),
-			fmtRounds(dec), fmtRounds(rr), fmtRounds(spk))
+		tb.AddRow(p.Name, p.N, fmtRounds(p.Flood), fmtRounds(p.PF),
+			fmtRounds(p.Dec), fmtRounds(p.RR), fmtRounds(p.Spk))
 	}
 	res.Tables = append(res.Tables, tb)
 
@@ -206,40 +402,24 @@ func E14Broadcast(cfg Config) (*Result, error) {
 	// decay protocol's completion time grows near-linearly with D·log n —
 	// the generic overhead that the low-arboricity corollary says a
 	// topology-aware spokesman schedule avoids.
-	sizes := []int{6, 9, 12, 16}
-	if cfg.Quick {
-		sizes = sizes[:3]
-	}
 	tb2 := table.New("Decay vs spokesman scaling on tori",
 		"torus", "n", "D", "D·log2 n", "decay rounds (mean)", "spokesman rounds")
-	var xs2, ys2 []float64
-	trials := cfg.trials(5, 2)
-	for _, sz := range sizes {
-		g := gen.Torus(sz, sz)
-		diam, _ := g.Diameter()
-		scale := float64(diam) * bounds.Log2(float64(g.N()))
-		// The Monte-Carlo engine replaces the hand-rolled trial loop: one
-		// shared adjacency-row build, deterministic at any worker count.
-		mc, err := radio.MonteCarlo(g, 0,
-			func(tr *rng.RNG) radio.Protocol { return &radio.Decay{R: tr} },
-			trials, radio.Options{Seed: r.Uint64(), MaxRounds: 2_000_000, TraceRounds: -1})
-		if err != nil {
-			return nil, err
-		}
-		if mc.Completed < trials {
-			res.failf("torus %dx%d: %d/%d decay trials did not complete", sz, sz, trials-mc.Completed, trials)
-		}
-		spk, err := radio.Run(g, 0, &radio.Spokesman{}, 2_000_000)
-		if err != nil {
-			return nil, err
-		}
-		mean := mc.Rounds.Mean
-		tb2.AddRow(sprintfName("%dx%d", sz, sz), g.N(), diam, scale, mean, spk.Rounds)
-		xs2 = append(xs2, scale)
-		ys2 = append(ys2, mean)
+	tori, err := decodeAll[e14Torus](shards[nProto:])
+	if err != nil {
+		return err
 	}
-	if len(xs2) >= 3 {
-		corr := stats.Pearson(xs2, ys2)
+	var xs, ys []float64
+	for _, t := range tori {
+		if t.Completed < t.Trials {
+			res.failf("torus %dx%d: %d/%d decay trials did not complete",
+				t.Size, t.Size, t.Trials-t.Completed, t.Trials)
+		}
+		tb2.AddRow(sprintfName("%dx%d", t.Size, t.Size), t.N, t.Diam, t.Scale, t.Mean, t.SpkRounds)
+		xs = append(xs, t.Scale)
+		ys = append(ys, t.Mean)
+	}
+	if len(xs) >= 3 {
+		corr := stats.Pearson(xs, ys)
 		res.note("Decay completion time vs D·log2(n): Pearson correlation %.3f (positive scaling as the BGI analysis predicts).", corr)
 		if corr < 0.5 {
 			res.failf("decay scaling correlation too weak: %g", corr)
@@ -247,5 +427,5 @@ func E14Broadcast(cfg Config) (*Result, error) {
 	}
 	res.Tables = append(res.Tables, tb2)
 	res.note("Flooding deadlocks exactly where unique-neighbor expansion vanishes (C⁺); the spokesman schedule — transmit a subset with a large S-excluding unique neighborhood — completes everywhere, operationalizing wireless expansion; Decay [5] pays its log-factor overhead but needs no topology knowledge.")
-	return res, nil
+	return nil
 }

@@ -14,88 +14,153 @@ import (
 	"wexp/internal/table"
 )
 
-// E1Spectral verifies the per-set form of Lemma 3.1 on d-regular graphs:
+// SpecE1 verifies the per-set form of Lemma 3.1 on d-regular graphs:
 // for every vertex set S,
 //
 //	|Γ⁻(S)| ≥ (1 − 1/d)·|Γ¹(S)| + (d − λ2)·(1 − |S|/n)·|S|/d,
 //
 // which is exactly the inequality chain of the lemma's proof with
 // αu = |S|/n. Sets are enumerated exhaustively on small graphs and sampled
-// adversarially on larger ones; the table reports the minimum slack
-// (measured LHS − RHS) per instance, which must be non-negative.
-func E1Spectral(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:       "E1",
-		Title:    "Spectral relation between unique and ordinary expansion",
-		PaperRef: "Lemma 3.1",
-		Pass:     true,
+// adversarially on larger ones; one shard per instance measures the minimum
+// slack (LHS − RHS), which must be non-negative.
+var SpecE1 = &Spec{
+	ID:       "E1",
+	Title:    "Spectral relation between unique and ordinary expansion",
+	PaperRef: "Lemma 3.1",
+	Shards:   e1Shards,
+	Reduce:   e1Reduce,
+}
+
+// e1Point is the per-instance shard result.
+type e1Point struct {
+	Name     string  `json:"name"`
+	N        int     `json:"n"`
+	D        int     `json:"d"`
+	Lambda   float64 `json:"lambda2"`
+	Sets     int     `json:"sets"`
+	MinSlack float64 `json:"min_slack"`
+}
+
+// e1Instance names one graph of E1's corpus; the graph itself is built
+// inside the shard so random instances draw from the shard's own stream.
+type e1Instance struct {
+	name string
+	n, d int // for random-regular instances; 0 otherwise
+}
+
+func e1Instances(cfg Config) []e1Instance {
+	out := []e1Instance{
+		{name: "complete-10"},
+		{name: "cycle-12"},
+		{name: "hypercube-3"},
+		{name: "hypercube-4"},
 	}
-	r := rng.New(cfg.Seed ^ 0xE1)
-	type inst struct {
-		name string
-		g    *graph.Graph
-	}
-	var instances []inst
-	instances = append(instances,
-		inst{"complete-10", gen.Complete(10)},
-		inst{"cycle-12", gen.Cycle(12)},
-		inst{"hypercube-3", gen.Hypercube(3)},
-		inst{"hypercube-4", gen.Hypercube(4)},
-	)
 	regSizes := []struct{ n, d int }{{24, 4}, {64, 6}, {128, 8}}
 	if cfg.Quick {
 		regSizes = regSizes[:2]
 	}
 	for _, sz := range regSizes {
-		g, err := gen.RandomRegular(sz.n, sz.d, r)
-		if err != nil {
-			return nil, err
-		}
-		instances = append(instances, inst{sprintfName("regular-%d-%d", sz.n, sz.d), g})
+		out = append(out, e1Instance{sprintfName("regular-%d-%d", sz.n, sz.d), sz.n, sz.d})
 	}
+	return out
+}
 
+func (in e1Instance) build(r *rng.RNG) (*graph.Graph, error) {
+	switch in.name {
+	case "complete-10":
+		return gen.Complete(10), nil
+	case "cycle-12":
+		return gen.Cycle(12), nil
+	case "hypercube-3":
+		return gen.Hypercube(3), nil
+	case "hypercube-4":
+		return gen.Hypercube(4), nil
+	default:
+		return gen.RandomRegular(in.n, in.d, r)
+	}
+}
+
+func e1Shards(cfg Config) ([]Shard, error) {
+	var shards []Shard
+	for _, in := range e1Instances(cfg) {
+		in := in
+		shards = append(shards, Shard{
+			Key: in.name,
+			Run: func(cfg Config, r *rng.RNG) (any, error) {
+				g, err := in.build(r)
+				if err != nil {
+					return nil, err
+				}
+				_, d := g.IsRegular()
+				spec, err := expansion.Lambda2Regular(g, r)
+				if err != nil {
+					return nil, err
+				}
+				sets := enumerateOrSample(g, 0.5, cfg.trials(60, 15), r)
+				minSlack := math.Inf(1)
+				n := g.N()
+				for _, S := range sets {
+					bs := bitset.FromIndices(n, S)
+					lhs := float64(expansion.GammaMinus(g, bs).Count())
+					uniq := float64(expansion.Gamma1(g, bs).Count())
+					sz := float64(len(S))
+					rhs := (1-1/float64(d))*uniq + (float64(d)-spec.Lambda)*(1-sz/float64(n))*sz/float64(d)
+					if slack := lhs - rhs; slack < minSlack {
+						minSlack = slack
+					}
+				}
+				return e1Point{Name: in.name, N: n, D: d, Lambda: spec.Lambda,
+					Sets: len(sets), MinSlack: minSlack}, nil
+			},
+		})
+	}
+	return shards, nil
+}
+
+func e1Reduce(cfg Config, shards []ShardResult, res *Result) error {
+	points, err := decodeAll[e1Point](shards)
+	if err != nil {
+		return err
+	}
 	tb := table.New("Lemma 3.1 per-set inequality", "graph", "n", "d", "λ2", "sets", "min slack", "ok")
-	for _, in := range instances {
-		_, d := in.g.IsRegular()
-		spec, err := expansion.Lambda2Regular(in.g, r)
-		if err != nil {
-			return nil, err
-		}
-		sets := enumerateOrSample(in.g, 0.5, cfg.trials(60, 15), r)
-		minSlack := math.Inf(1)
-		n := in.g.N()
-		for _, S := range sets {
-			bs := bitset.FromIndices(n, S)
-			lhs := float64(expansion.GammaMinus(in.g, bs).Count())
-			uniq := float64(expansion.Gamma1(in.g, bs).Count())
-			sz := float64(len(S))
-			rhs := (1-1/float64(d))*uniq + (float64(d)-spec.Lambda)*(1-sz/float64(n))*sz/float64(d)
-			if slack := lhs - rhs; slack < minSlack {
-				minSlack = slack
-			}
-		}
-		ok := minSlack >= -1e-6
+	for _, p := range points {
+		ok := p.MinSlack >= -1e-6
 		if !ok {
-			res.failf("%s: inequality violated by %g", in.name, -minSlack)
+			res.failf("%s: inequality violated by %g", p.Name, -p.MinSlack)
 		}
-		tb.AddRow(in.name, n, d, spec.Lambda, len(sets), minSlack, ok)
+		tb.AddRow(p.Name, p.N, p.D, p.Lambda, p.Sets, p.MinSlack, ok)
 	}
 	res.Tables = append(res.Tables, tb)
 	res.note("Claim: |Γ⁻(S)| ≥ (1−1/d)|Γ¹(S)| + (d−λ2)(1−|S|/n)|S|/d for all S (per-set Lemma 3.1).")
-	return res, nil
+	return nil
 }
 
-// E2GBad verifies Lemma 3.3 and its remark: the cyclic-overlap construction
+// SpecE2 verifies Lemma 3.3 and its remark: the cyclic-overlap construction
 // Gbad has unique expansion exactly 2β − ∆ (so Lemma 3.2's bound is tight),
 // while its wireless expansion is at least max{2β − ∆, ∆/2} — a strict
-// separation whenever β < 3∆/4.
-func E2GBad(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:       "E2",
-		Title:    "Gbad: tight unique expansion, separated wireless expansion",
-		PaperRef: "Lemmas 3.2, 3.3 and remark; Figure 1",
-		Pass:     true,
-	}
+// separation whenever β < 3∆/4. One shard per (s, ∆, β) grid point.
+var SpecE2 = &Spec{
+	ID:       "E2",
+	Title:    "Gbad: tight unique expansion, separated wireless expansion",
+	PaperRef: "Lemmas 3.2, 3.3 and remark; Figure 1",
+	Shards:   e2Shards,
+	Reduce:   e2Reduce,
+}
+
+// e2Point is the per-grid-point shard result. Exact is nil when s is past
+// exhaustive reach (NaN does not survive JSON).
+type e2Point struct {
+	S          int      `json:"s"`
+	Delta      int      `json:"delta"`
+	Beta       int      `json:"beta"`
+	MeasuredBu float64  `json:"measured_bu"`
+	ClaimBu    float64  `json:"claim_bu"`
+	Lower      float64  `json:"wireless_lower"`
+	Floor      float64  `json:"wireless_floor"`
+	Exact      *float64 `json:"wireless_exact,omitempty"`
+}
+
+func e2Grid(cfg Config) []struct{ s, delta, beta int } {
 	params := []struct{ s, delta, beta int }{
 		{8, 4, 2}, {8, 4, 3}, {8, 6, 3}, {8, 6, 4}, {8, 6, 5},
 		{16, 8, 4}, {16, 8, 6}, {16, 10, 5}, {16, 10, 7},
@@ -104,46 +169,75 @@ func E2GBad(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		params = params[:7]
 	}
+	return params
+}
+
+func e2Shards(cfg Config) ([]Shard, error) {
+	var shards []Shard
+	for _, p := range e2Grid(cfg) {
+		p := p
+		shards = append(shards, Shard{
+			Key: sprintfName("s=%d,delta=%d,beta=%d", p.s, p.delta, p.beta),
+			Run: func(cfg Config, r *rng.RNG) (any, error) {
+				g, err := badgraph.NewGBad(p.s, p.delta, p.beta)
+				if err != nil {
+					return nil, err
+				}
+				// Unique expansion of the full set S (per Lemma 3.3 the worst set).
+				uniq := spokesman.AllOfS(g.B)
+				pt := e2Point{
+					S: p.s, Delta: p.delta, Beta: p.beta,
+					MeasuredBu: float64(uniq.Unique) / float64(p.s),
+					ClaimBu:    float64(g.UniqueExpansionClaim()),
+					Floor:      g.WirelessFloorClaim(),
+				}
+				// Certified wireless lower bound via the alternating subset and
+				// the solver portfolio.
+				alt := g.B.UniqueCoverSet(g.EveryOther(), nil)
+				det := spokesman.BestDeterministic(g.B)
+				pt.Lower = float64(maxInt(alt, det.Unique)) / float64(p.s)
+				if p.s <= spokesman.MaxExhaustiveS {
+					opt, err := spokesman.Exhaustive(g.B)
+					if err != nil {
+						return nil, err
+					}
+					exact := float64(opt.Unique) / float64(p.s)
+					pt.Exact = &exact
+				}
+				return pt, nil
+			},
+		})
+	}
+	return shards, nil
+}
+
+func e2Reduce(cfg Config, shards []ShardResult, res *Result) error {
+	points, err := decodeAll[e2Point](shards)
+	if err != nil {
+		return err
+	}
 	tb := table.New("Gbad measurements",
 		"s", "∆", "β", "βu measured", "βu claim", "βw lower", "βw floor", "βw exact", "ok")
-	for _, p := range params {
-		g, err := badgraph.NewGBad(p.s, p.delta, p.beta)
-		if err != nil {
-			return nil, err
-		}
-		// Unique expansion of the full set S (per Lemma 3.3 the worst set).
-		uniq := spokesman.AllOfS(g.B)
-		measuredBu := float64(uniq.Unique) / float64(p.s)
-		claimBu := float64(g.UniqueExpansionClaim())
-		// Certified wireless lower bound via the alternating subset and the
-		// solver portfolio.
-		alt := g.B.UniqueCoverSet(g.EveryOther(), nil)
-		det := spokesman.BestDeterministic(g.B)
-		lower := float64(maxInt(alt, det.Unique)) / float64(p.s)
-		floor := g.WirelessFloorClaim()
+	for _, p := range points {
+		ok := p.MeasuredBu == p.ClaimBu && p.Lower >= p.Floor-1e-9
 		exact := math.NaN()
-		if p.s <= spokesman.MaxExhaustiveS {
-			opt, err := spokesman.Exhaustive(g.B)
-			if err != nil {
-				return nil, err
+		if p.Exact != nil {
+			exact = *p.Exact
+			if exact < p.Floor-1e-9 {
+				ok = false
 			}
-			exact = float64(opt.Unique) / float64(p.s)
-		}
-		ok := measuredBu == claimBu && lower >= floor-1e-9
-		if !math.IsNaN(exact) && exact < floor-1e-9 {
-			ok = false
 		}
 		if !ok {
 			res.failf("s=%d ∆=%d β=%d: βu=%g (claim %g), βw lower=%g floor=%g",
-				p.s, p.delta, p.beta, measuredBu, claimBu, lower, floor)
+				p.S, p.Delta, p.Beta, p.MeasuredBu, p.ClaimBu, p.Lower, p.Floor)
 		}
-		tb.AddRow(p.s, p.delta, p.beta, measuredBu, claimBu, lower, floor, exact, ok)
+		tb.AddRow(p.S, p.Delta, p.Beta, p.MeasuredBu, p.ClaimBu, p.Lower, p.Floor, exact, ok)
 	}
 	res.Tables = append(res.Tables, tb)
 	res.note("Claim 1 (Lemma 3.3): Γ¹(S)/|S| = 2β−∆ exactly.")
 	res.note("Claim 2 (remark): wireless expansion ≥ max{2β−∆, ∆/2}; at β=∆/2 unique expansion is 0 yet wireless is ≥ ∆/2.")
 	res.note("Consequence (Lemma 3.2 tightness): no bound better than βu ≥ 2β−∆ is possible in general.")
-	return res, nil
+	return nil
 }
 
 // enumerateOrSample returns all nonempty subsets of size ≤ α·n for n ≤ 12,

@@ -12,136 +12,216 @@ import (
 	"wexp/internal/table"
 )
 
-// E3PositiveHighBeta measures the β ≥ 1 regime of Theorem 1.1 (Lemma 4.2):
-// for framework graphs GS = (S, Γ⁻(S)) extracted from expander families,
-// the certified spokesman cover satisfies
+// SpecE3 measures the β ≥ 1 regime of Theorem 1.1 (Lemma 4.2): for
+// framework graphs GS = (S, Γ⁻(S)) extracted from expander families, the
+// certified spokesman cover satisfies
 //
 //	|Γ¹_S(S')| ≥ c · |N| / log(2·δN)
 //
-// with a constant c bounded away from zero across growing sizes. The table
-// reports the minimum observed c per instance; the experiment passes when
+// with a constant c bounded away from zero across growing sizes. One shard
+// per instance reports the minimum observed c; the experiment passes when
 // every c exceeds a conservative floor (1/9, Lemma A.13's constant).
-func E3PositiveHighBeta(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:       "E3",
-		Title:    "Positive result, β ≥ 1 regime",
-		PaperRef: "Theorem 1.1, Lemma 4.2",
-		Pass:     true,
-	}
-	r := rng.New(cfg.Seed ^ 0xE3)
-	type inst struct {
-		name string
-		g    *graph.Graph
-	}
-	var instances []inst
+var SpecE3 = &Spec{
+	ID:       "E3",
+	Title:    "Positive result, β ≥ 1 regime",
+	PaperRef: "Theorem 1.1, Lemma 4.2",
+	Shards:   e3Shards,
+	Reduce:   e3Reduce,
+}
+
+// e3Point is the per-instance shard result; Count is the number of sampled
+// sets that landed in the β ≥ 1 regime (rows with Count == 0 are dropped).
+type e3Point struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	MaxDeg  int     `json:"max_deg"`
+	Count   int     `json:"sets"`
+	MinC    float64 `json:"min_c"`
+	MedianC float64 `json:"median_c"`
+}
+
+// e3Instance names one instance; random-regular graphs are built from the
+// shard's stream.
+type e3Instance struct {
+	name string
+	kind string
+	a, b int
+}
+
+func e3Instances(cfg Config) []e3Instance {
 	hyper := []int{5, 7, 9}
 	marg := []int{8, 16, 24}
 	regs := []struct{ n, d int }{{128, 6}, {512, 8}, {2048, 10}}
 	if cfg.Quick {
 		hyper, marg, regs = hyper[:2], marg[:2], regs[:2]
 	}
+	var out []e3Instance
 	for _, d := range hyper {
-		instances = append(instances, inst{sprintfName("hypercube-%d", d), gen.Hypercube(d)})
+		out = append(out, e3Instance{sprintfName("hypercube-%d", d), "hypercube", d, 0})
 	}
 	for _, m := range marg {
-		instances = append(instances, inst{sprintfName("margulis-%d", m), gen.Margulis(m)})
+		out = append(out, e3Instance{sprintfName("margulis-%d", m), "margulis", m, 0})
 	}
 	for _, sz := range regs {
-		g, err := gen.RandomRegular(sz.n, sz.d, r)
-		if err != nil {
-			return nil, err
-		}
-		instances = append(instances, inst{sprintfName("regular-%d-%d", sz.n, sz.d), g})
+		out = append(out, e3Instance{sprintfName("regular-%d-%d", sz.n, sz.d), "regular", sz.n, sz.d})
 	}
+	return out
+}
 
+func (in e3Instance) build(r *rng.RNG) (*graph.Graph, error) {
+	switch in.kind {
+	case "hypercube":
+		return gen.Hypercube(in.a), nil
+	case "margulis":
+		return gen.Margulis(in.a), nil
+	default:
+		return gen.RandomRegular(in.a, in.b, r)
+	}
+}
+
+func e3Shards(cfg Config) ([]Shard, error) {
+	var shards []Shard
+	for _, in := range e3Instances(cfg) {
+		in := in
+		shards = append(shards, Shard{
+			Key: in.name,
+			Run: func(cfg Config, r *rng.RNG) (any, error) {
+				g, err := in.build(r)
+				if err != nil {
+					return nil, err
+				}
+				sets := expansion.SampleSets(g, 0.25, cfg.trials(24, 8), r)
+				var cs []float64
+				for _, S := range sets {
+					b, _ := graph.InducedBipartite(g, S)
+					if b.NN() < b.NS() || b.NN() == 0 {
+						continue // not the β ≥ 1 regime
+					}
+					sel := spokesman.Best(b, cfg.trials(12, 4), r)
+					scale := bounds.PaperSpokesman(b.NN(), b.AvgDegN(), math.Inf(1))
+					if scale <= 0 {
+						continue
+					}
+					cs = append(cs, float64(sel.Unique)/scale)
+				}
+				pt := e3Point{Name: in.name, N: g.N(), MaxDeg: g.MaxDegree(), Count: len(cs)}
+				if len(cs) > 0 {
+					pt.MinC, pt.MedianC = minOf(cs), medianOf(cs)
+				}
+				return pt, nil
+			},
+		})
+	}
+	return shards, nil
+}
+
+func e3Reduce(cfg Config, shards []ShardResult, res *Result) error {
+	points, err := decodeAll[e3Point](shards)
+	if err != nil {
+		return err
+	}
 	tb := table.New("β ≥ 1: certified wireless cover vs |N|/log(2δN)",
 		"graph", "n", "∆", "sets", "min c", "median c", "thm1.1 scale ok")
 	const floor = 1.0 / 9
-	for _, in := range instances {
-		sets := expansion.SampleSets(in.g, 0.25, cfg.trials(24, 8), r)
-		var cs []float64
-		for _, S := range sets {
-			b, _ := graph.InducedBipartite(in.g, S)
-			if b.NN() < b.NS() || b.NN() == 0 {
-				continue // not the β ≥ 1 regime
-			}
-			sel := spokesman.Best(b, cfg.trials(12, 4), r)
-			scale := bounds.PaperSpokesman(b.NN(), b.AvgDegN(), math.Inf(1))
-			if scale <= 0 {
-				continue
-			}
-			cs = append(cs, float64(sel.Unique)/scale)
-		}
-		if len(cs) == 0 {
+	for _, p := range points {
+		if p.Count == 0 {
 			continue
 		}
-		minC, medC := minOf(cs), medianOf(cs)
-		ok := minC >= floor
+		ok := p.MinC >= floor
 		if !ok {
-			res.failf("%s: min c = %g below floor %g", in.name, minC, floor)
+			res.failf("%s: min c = %g below floor %g", p.Name, p.MinC, floor)
 		}
-		tb.AddRow(in.name, in.g.N(), in.g.MaxDegree(), len(cs), minC, medC, ok)
+		tb.AddRow(p.Name, p.N, p.MaxDeg, p.Count, p.MinC, p.MedianC, ok)
 	}
 	res.Tables = append(res.Tables, tb)
 	res.note("Claim (Lemma 4.2): there exists S' ⊆ S with |Γ¹_S(S')| = Ω(|N|/log 2δN); measured constants stay ≥ 1/9 across scales, i.e. the ratio does not decay with n — the finite-size analogue of Ω(·).")
-	return res, nil
+	return nil
 }
 
-// E4PositiveLowBeta measures the β < 1 regime of Theorem 1.1 (Lemma 4.3) on
-// unbalanced bipartite frameworks with |S| > |N|: the certified cover must
-// satisfy |Γ¹_S(S')| ≥ c·β/log(2·δS)·|S| = c·|N|/log(2δS).
-func E4PositiveLowBeta(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:       "E4",
-		Title:    "Positive result, β < 1 regime",
-		PaperRef: "Theorem 1.1, Lemma 4.3",
-		Pass:     true,
-	}
-	r := rng.New(cfg.Seed ^ 0xE4)
-	params := []struct {
-		s, n, d int
-	}{
+// SpecE4 measures the β < 1 regime of Theorem 1.1 (Lemma 4.3) on unbalanced
+// bipartite frameworks with |S| > |N|: the certified cover must satisfy
+// |Γ¹_S(S')| ≥ c·β/log(2·δS)·|S| = c·|N|/log(2δS). One shard per (|S|, |N|,
+// d) grid point runs its trials sequentially on the shard's stream.
+var SpecE4 = &Spec{
+	ID:       "E4",
+	Title:    "Positive result, β < 1 regime",
+	PaperRef: "Theorem 1.1, Lemma 4.3",
+	Shards:   e4Shards,
+	Reduce:   e4Reduce,
+}
+
+// e4Point is the per-grid-point shard result; Valid counts the trials whose
+// instance generation succeeded.
+type e4Point struct {
+	S     int     `json:"s"`
+	N     int     `json:"n"`
+	D     int     `json:"d"`
+	Valid int     `json:"valid"`
+	MinC  float64 `json:"min_c"`
+}
+
+func e4Grid(cfg Config) []struct{ s, n, d int } {
+	params := []struct{ s, n, d int }{
 		{64, 16, 3}, {128, 32, 4}, {256, 64, 4}, {512, 128, 6}, {1024, 128, 6},
 	}
 	if cfg.Quick {
 		params = params[:3]
 	}
+	return params
+}
+
+func e4Shards(cfg Config) ([]Shard, error) {
+	var shards []Shard
+	for _, p := range e4Grid(cfg) {
+		p := p
+		shards = append(shards, Shard{
+			Key: sprintfName("s=%d,n=%d,d=%d", p.s, p.n, p.d),
+			Run: func(cfg Config, r *rng.RNG) (any, error) {
+				trialCount := cfg.trials(5, 2)
+				var valid []float64
+				for i := 0; i < trialCount; i++ {
+					tr := r.Split()
+					b, err := gen.RandomBipartiteRegular(p.s, p.n, p.d, tr)
+					if err != nil {
+						continue
+					}
+					sel := spokesman.Best(b, 12, tr)
+					scale := float64(b.NN()) / math.Max(bounds.Log2(2*b.AvgDegS()), 1)
+					valid = append(valid, float64(sel.Unique)/scale)
+				}
+				pt := e4Point{S: p.s, N: p.n, D: p.d, Valid: len(valid)}
+				if len(valid) > 0 {
+					pt.MinC = minOf(valid)
+				}
+				return pt, nil
+			},
+		})
+	}
+	return shards, nil
+}
+
+func e4Reduce(cfg Config, shards []ShardResult, res *Result) error {
+	points, err := decodeAll[e4Point](shards)
+	if err != nil {
+		return err
+	}
 	tb := table.New("β < 1: certified cover vs |N|/log(2δS)",
 		"|S|", "|N|", "β", "δS", "c = cover·log(2δS)/|N|", "ok")
 	const floor = 1.0 / 9
-	for _, p := range params {
-		trialCount := cfg.trials(5, 2)
-		cs := make([]float64, trialCount)
-		parallelFor(trialCount, r, func(i int, tr *rng.RNG) {
-			b, err := gen.RandomBipartiteRegular(p.s, p.n, p.d, tr)
-			if err != nil {
-				cs[i] = math.NaN()
-				return
-			}
-			sel := spokesman.Best(b, 12, tr)
-			scale := float64(b.NN()) / math.Max(bounds.Log2(2*b.AvgDegS()), 1)
-			cs[i] = float64(sel.Unique) / scale
-		})
-		valid := cs[:0]
-		for _, c := range cs {
-			if !math.IsNaN(c) {
-				valid = append(valid, c)
-			}
-		}
-		if len(valid) == 0 {
+	for _, p := range points {
+		if p.Valid == 0 {
 			continue
 		}
-		minC := minOf(valid)
-		beta := float64(p.n) / float64(p.s)
-		ok := minC >= floor
+		beta := float64(p.N) / float64(p.S)
+		ok := p.MinC >= floor
 		if !ok {
-			res.failf("|S|=%d |N|=%d: min c = %g below floor %g", p.s, p.n, minC, floor)
+			res.failf("|S|=%d |N|=%d: min c = %g below floor %g", p.S, p.N, p.MinC, floor)
 		}
-		tb.AddRow(p.s, p.n, beta, float64(p.d), minC, ok)
+		tb.AddRow(p.S, p.N, beta, float64(p.D), p.MinC, ok)
 	}
 	res.Tables = append(res.Tables, tb)
 	res.note("Claim (Lemma 4.3): for β ∈ [1/∆, 1), |Γ¹_S(S')| = Ω(β/log δS)·|S|; the reduction to the β ≥ 1 regime via the greedy sub-cover S'' preserves the guarantee.")
-	return res, nil
+	return nil
 }
 
 func minOf(xs []float64) float64 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"wexp/internal/badgraph"
@@ -14,147 +15,413 @@ import (
 	"wexp/internal/table"
 )
 
-// E8Spokesman compares every spokesman-election algorithm on a corpus of
+// SpecE8 compares every spokesman-election algorithm on a corpus of
 // bipartite instances against the Chlamtac–Weinstein guarantee |N|/log|S|
 // and the paper's sharper |N|/log(2·min{δN, δS}) scale (Section 4.2.1),
-// plus the exact optimum where |S| permits.
-func E8Spokesman(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:       "E8",
-		Title:    "Spokesman election: algorithms vs bounds",
-		PaperRef: "Section 4.2.1; [7]",
-		Pass:     true,
-	}
-	r := rng.New(cfg.Seed ^ 0xE8)
-	type inst struct {
-		name string
-		b    *graph.Bipartite
-	}
-	var instances []inst
-	mk := func(name string, b *graph.Bipartite) {
-		instances = append(instances, inst{name, b})
-	}
-	core16, _ := badgraph.NewCore(16)
-	core64, _ := badgraph.NewCore(64)
-	mk("core-16", core16.B)
-	if !cfg.Quick {
-		mk("core-64", core64.B)
-	}
-	gb, _ := badgraph.NewGBad(16, 8, 4)
-	mk("gbad-16-8-4", gb.B)
-	mk("rand-bip-20x30", gen.RandomBipartite(20, 30, 0.15, r))
-	mk("rand-bip-unbal", gen.RandomBipartite(60, 20, 0.1, r))
-	if rb, err := gen.RandomBipartiteRegular(24, 48, 5, r); err == nil {
-		mk("rand-reg-24x48-d5", rb)
-	}
-	if ec, err := badgraph.NewCoreExpandN(8, 3); err == nil {
-		mk("core-expandN-8x3", ec.B)
-	}
+// plus the exact optimum where |S| permits. One shard per instance.
+var SpecE8 = &Spec{
+	ID:       "E8",
+	Title:    "Spokesman election: algorithms vs bounds",
+	PaperRef: "Section 4.2.1; [7]",
+	Shards:   e8Shards,
+	Reduce:   e8Reduce,
+}
 
+// e8Point is the per-instance shard result; Skip marks instances whose
+// generation failed (dropped from the table, as the legacy driver did).
+type e8Point struct {
+	Name   string   `json:"name"`
+	Skip   bool     `json:"skip,omitempty"`
+	S      int      `json:"s"`
+	N      int      `json:"n"`
+	CW     float64  `json:"cw_bound"`
+	Paper  float64  `json:"paper_scale"`
+	Greedy int      `json:"greedy"`
+	Part   int      `json:"partition"`
+	Rec    int      `json:"recursive"`
+	DC     int      `json:"deg_class"`
+	Dec    int      `json:"decay"`
+	Exact  *float64 `json:"exact,omitempty"`
+}
+
+func e8Names(cfg Config) []string {
+	names := []string{"core-16"}
+	if !cfg.Quick {
+		names = append(names, "core-64")
+	}
+	return append(names,
+		"gbad-16-8-4", "rand-bip-20x30", "rand-bip-unbal",
+		"rand-reg-24x48-d5", "core-expandN-8x3")
+}
+
+func e8Build(name string, r *rng.RNG) (*graph.Bipartite, error) {
+	switch name {
+	case "core-16":
+		c, err := badgraph.NewCore(16)
+		if err != nil {
+			return nil, err
+		}
+		return c.B, nil
+	case "core-64":
+		c, err := badgraph.NewCore(64)
+		if err != nil {
+			return nil, err
+		}
+		return c.B, nil
+	case "gbad-16-8-4":
+		g, err := badgraph.NewGBad(16, 8, 4)
+		if err != nil {
+			return nil, err
+		}
+		return g.B, nil
+	case "rand-bip-20x30":
+		return gen.RandomBipartite(20, 30, 0.15, r), nil
+	case "rand-bip-unbal":
+		return gen.RandomBipartite(60, 20, 0.1, r), nil
+	case "rand-reg-24x48-d5":
+		return gen.RandomBipartiteRegular(24, 48, 5, r)
+	case "core-expandN-8x3":
+		ec, err := badgraph.NewCoreExpandN(8, 3)
+		if err != nil {
+			return nil, err
+		}
+		return ec.B, nil
+	default:
+		return nil, fmt.Errorf("e8: unknown instance %q", name)
+	}
+}
+
+func e8Shards(cfg Config) ([]Shard, error) {
+	var shards []Shard
+	for _, name := range e8Names(cfg) {
+		name := name
+		shards = append(shards, Shard{
+			Key: name,
+			Run: func(cfg Config, r *rng.RNG) (any, error) {
+				b, err := e8Build(name, r)
+				if err != nil {
+					if name != "rand-reg-24x48-d5" {
+						return nil, err
+					}
+					// Random regular-bipartite generation can fail (retries
+					// exhausted); drop the instance like the legacy driver
+					// did rather than failing the experiment.
+					return e8Point{Name: name, Skip: true}, nil
+				}
+				pt := e8Point{
+					Name:   name,
+					S:      b.NS(),
+					N:      b.NN(),
+					CW:     bounds.ChlamtacWeinstein(b.NN(), b.NS()),
+					Paper:  bounds.PaperSpokesman(b.NN(), b.AvgDegN(), b.AvgDegS()),
+					Greedy: spokesman.GreedyUnique(b).Unique,
+					Part:   spokesman.PartitionSelect(b).Unique,
+					Rec:    spokesman.PartitionRecursive(b).Unique,
+					DC:     spokesman.DegreeClass(b, spokesman.OptimalC).Unique,
+					Dec:    spokesman.Decay(b, cfg.trials(16, 6), r).Unique,
+				}
+				if b.NS() <= spokesman.MaxExhaustiveS {
+					if sel, err := spokesman.Exhaustive(b); err == nil {
+						exact := float64(sel.Unique)
+						pt.Exact = &exact
+					}
+				}
+				return pt, nil
+			},
+		})
+	}
+	return shards, nil
+}
+
+func e8Reduce(cfg Config, shards []ShardResult, res *Result) error {
+	points, err := decodeAll[e8Point](shards)
+	if err != nil {
+		return err
+	}
 	tb := table.New("Algorithm comparison (|Γ¹_S(S')| per instance)",
 		"instance", "|S|", "|N|", "CW bound", "paper scale",
 		"greedy", "partition", "recursive", "deg-class", "decay", "best", "exact", "ok")
-	for _, in := range instances {
-		b := in.b
-		cw := bounds.ChlamtacWeinstein(b.NN(), b.NS())
-		paper := bounds.PaperSpokesman(b.NN(), b.AvgDegN(), b.AvgDegS())
-		greedy := spokesman.GreedyUnique(b).Unique
-		part := spokesman.PartitionSelect(b).Unique
-		rec := spokesman.PartitionRecursive(b).Unique
-		dc := spokesman.DegreeClass(b, spokesman.OptimalC).Unique
-		dec := spokesman.Decay(b, cfg.trials(16, 6), r).Unique
-		best := maxInt(greedy, maxInt(part, maxInt(rec, maxInt(dc, dec))))
+	for _, p := range points {
+		if p.Skip {
+			continue
+		}
+		best := maxInt(p.Greedy, maxInt(p.Part, maxInt(p.Rec, maxInt(p.DC, p.Dec))))
 		exact := math.NaN()
-		if b.NS() <= spokesman.MaxExhaustiveS {
-			if sel, err := spokesman.Exhaustive(b); err == nil {
-				exact = float64(sel.Unique)
-				if best > sel.Unique {
-					res.failf("%s: algorithm beat the exact optimum!?", in.name)
-				}
+		if p.Exact != nil {
+			exact = *p.Exact
+			if float64(best) > exact {
+				res.failf("%s: algorithm beat the exact optimum!?", p.Name)
 			}
 		}
-		// Pass criteria: best must reach the CW guarantee (our algorithms
-		// subsume the CW-style argument) and a 1/9 fraction of the paper
-		// scale (the deterministic Lemma A.13 constant).
-		ok := float64(best) >= cw-1e-9 || float64(best) >= paper/9-1e-9
-		if float64(best) < paper/9-1e-9 {
-			ok = false
-		}
+		// Pass criterion: best must reach a 1/9 fraction of the paper scale
+		// (the deterministic Lemma A.13 constant); the CW bound is reported
+		// for comparison only — on dense instances it can exceed what any
+		// certified selection attains.
+		ok := float64(best) >= p.Paper/9-1e-9
 		if !ok {
-			res.failf("%s: best=%d below both CW=%g and paper/9=%g", in.name, best, cw, paper/9)
+			res.failf("%s: best=%d below paper/9=%g (CW=%g)", p.Name, best, p.Paper/9, p.CW)
 		}
-		tb.AddRow(in.name, b.NS(), b.NN(), cw, paper,
-			greedy, part, rec, dc, dec, best, exact, ok)
+		tb.AddRow(p.Name, p.S, p.N, p.CW, p.Paper,
+			p.Greedy, p.Part, p.Rec, p.DC, p.Dec, best, exact, ok)
 	}
 	res.Tables = append(res.Tables, tb)
 	res.note("The paper's scale |N|/log(2·min{δN,δS}) refines CW's |N|/log|S|: on sparse instances (min degree ≪ |S|) the paper guarantee is visibly larger, and the measured best selection always reaches the Lemma A.13 fraction of it.")
 	res.note("The decay sampler (Lemma 4.2) is the paper's 'extremely simple' randomized solution; the table shows it is competitive with the deterministic portfolio.")
-	return res, nil
+	return nil
 }
 
-// E9BroadcastChain regenerates Section 5: on the chained core graph,
-// broadcast time grows as Ω(D·log(n/D)). For each (hops, s) the Decay
-// protocol of [5] is run to completion over several trials; the measured
-// mean round count is then fitted against D·log2(n/D). The experiment
-// passes when (i) the correlation is strong and (ii) every instance needs
-// at least hops·(log 2s)/4 rounds — Corollary 5.1's per-hop floor — and
-// (iii) on a single hop, reaching half of N takes ≥ log(2s)/4 + 1 rounds.
-func E9BroadcastChain(cfg Config) (*Result, error) {
-	res := &Result{
-		ID:       "E9",
-		Title:    "Broadcast lower bound Ω(D·log(n/D))",
-		PaperRef: "Section 5, Corollaries 5.1–5.2",
-		Pass:     true,
+// SpecE9 regenerates Section 5: on the chained core graph, broadcast time
+// grows as Ω(D·log(n/D)). The grid shards run the Decay protocol of [5] to
+// completion via the Monte-Carlo engine; three extra shards measure the
+// Corollary 5.1 single-copy floor, protocol universality, and the per-hop
+// decomposition of Observation 5.2. Reduce fits mean rounds against
+// D·log2(n/D) across the grid shards.
+var SpecE9 = &Spec{
+	ID:       "E9",
+	Title:    "Broadcast lower bound Ω(D·log(n/D))",
+	PaperRef: "Section 5, Corollaries 5.1–5.2",
+	Shards:   e9Shards,
+	Reduce:   e9Reduce,
+}
+
+// e9GridPoint is the per-(hops, s) shard result.
+type e9GridPoint struct {
+	Hops      int     `json:"hops"`
+	S         int     `json:"s"`
+	Err       string  `json:"err,omitempty"`
+	N         int     `json:"n,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`
+	Mean      float64 `json:"mean_rounds,omitempty"`
+	MinRounds float64 `json:"min_rounds,omitempty"`
+	Floor     float64 `json:"floor,omitempty"`
+	Valid     int     `json:"valid,omitempty"`
+}
+
+// e9HalfN is the Corollary 5.1 shard result.
+type e9HalfN struct {
+	S         int     `json:"s"`
+	MinRounds float64 `json:"min_rounds"`
+	Floor     float64 `json:"floor"`
+}
+
+// e9ProtoRow is one protocol of the universality shard.
+type e9ProtoRow struct {
+	Name      string `json:"name"`
+	Rounds    int    `json:"rounds"`
+	Completed bool   `json:"completed"`
+}
+
+// e9Universality is the every-protocol-obeys-the-floor shard result.
+type e9Universality struct {
+	Hops   int          `json:"hops"`
+	S      int          `json:"s"`
+	Floor  float64      `json:"floor"`
+	Protos []e9ProtoRow `json:"protos"`
+}
+
+// e9HopRow is one hop of the per-hop decomposition shard.
+type e9HopRow struct {
+	Hop        int  `json:"hop"`
+	InformedAt int  `json:"informed_at"`
+	Ri         int  `json:"ri"`
+	Mono       bool `json:"mono"`
+}
+
+// e9PerHop is the Observation 5.2 shard result.
+type e9PerHop struct {
+	S       int        `json:"s"`
+	Hops    int        `json:"hops"`
+	Rows    []e9HopRow `json:"rows"`
+	Missing []int      `json:"missing,omitempty"` // relays never informed
+}
+
+func e9Grid(cfg Config) []struct{ hops, s int } {
+	grid := []struct{ hops, s int }{
+		{2, 16}, {4, 16}, {8, 16}, {4, 32}, {8, 32}, {16, 32}, {8, 64},
 	}
-	r := rng.New(cfg.Seed ^ 0xE9)
-	type pt struct{ hops, s int }
-	grid := []pt{{2, 16}, {4, 16}, {8, 16}, {4, 32}, {8, 32}, {16, 32}, {8, 64}}
 	if cfg.Quick {
-		grid = []pt{{2, 8}, {4, 8}, {4, 16}}
+		grid = []struct{ hops, s int }{{2, 8}, {4, 8}, {4, 16}}
 	}
-	trials := cfg.trials(5, 2)
+	return grid
+}
+
+func e9Shards(cfg Config) ([]Shard, error) {
+	var shards []Shard
+	for _, p := range e9Grid(cfg) {
+		p := p
+		shards = append(shards, Shard{
+			Key: sprintfName("chain/h%d-s%d", p.hops, p.s),
+			Run: func(cfg Config, r *rng.RNG) (any, error) {
+				pt := e9GridPoint{Hops: p.hops, S: p.s}
+				// One chain instance per grid point; the Monte-Carlo engine
+				// fans the decay trials over its own deterministic worker
+				// pool (adjacency rows built once, results independent of
+				// GOMAXPROCS).
+				ch, err := badgraph.NewChain(p.hops, p.s, r)
+				if err != nil {
+					pt.Err = err.Error()
+					return pt, nil
+				}
+				trials := cfg.trials(5, 2)
+				mc, err := radio.MonteCarlo(ch.G, ch.Root,
+					func(tr *rng.RNG) radio.Protocol { return &radio.Decay{R: tr} },
+					trials, radio.Options{Seed: r.Uint64(), MaxRounds: 5_000_000, TraceRounds: -1})
+				if err != nil {
+					pt.Err = err.Error()
+					return pt, nil
+				}
+				var valid []float64
+				for _, t := range mc.PerTrial {
+					if t.Completed {
+						valid = append(valid, float64(t.Rounds))
+					}
+				}
+				pt.Valid = len(valid)
+				if len(valid) == 0 {
+					return pt, nil
+				}
+				n := ch.N()
+				d := 2 * p.hops // diameter scale: the paper sets D/2 copies
+				pt.N = n
+				pt.Scale = bounds.BroadcastLower(d, n)
+				pt.Mean = stats.Mean(valid)
+				pt.MinRounds = stats.Min(valid)
+				pt.Floor = float64(p.hops) * bounds.Log2(2*float64(p.s)) / 4
+				return pt, nil
+			},
+		})
+	}
+
+	shards = append(shards, Shard{
+		Key: "halfn",
+		Run: func(cfg Config, r *rng.RNG) (any, error) {
+			// Corollary 5.1 on a single copy: rounds to inform half of N
+			// from a fully-informed S ∪ {root}.
+			s := 32
+			if cfg.Quick {
+				s = 16
+			}
+			halfRounds, err := roundsToHalfN(s, cfg.trials(5, 2), r)
+			if err != nil {
+				return nil, err
+			}
+			return e9HalfN{
+				S:         s,
+				MinRounds: stats.Min(halfRounds),
+				Floor:     bounds.Log2(2*float64(s))/4 + 1,
+			}, nil
+		},
+	})
+
+	shards = append(shards, Shard{
+		Key: "universality",
+		Run: func(cfg Config, r *rng.RNG) (any, error) {
+			// The lower bound holds for *every* protocol. Check a spread of
+			// protocol families — adaptive randomized (decay, prob-flood)
+			// and oblivious fixed schedules — on one chain instance.
+			hops, s := 4, 16
+			ch, err := badgraph.NewChain(hops, s, r)
+			if err != nil {
+				return nil, err
+			}
+			out := e9Universality{
+				Hops:  hops,
+				S:     s,
+				Floor: float64(hops) * bounds.Log2(2*float64(s)) / 4,
+			}
+			protos := []radio.Protocol{
+				&radio.Decay{R: r.Split()},
+				&radio.ProbFlood{P: 0.25, R: r.Split()},
+			}
+			if sched, err := radio.NewRandomSchedule(ch.N(), 64, 1.0/8, r.Split()); err == nil {
+				protos = append(protos, sched)
+			}
+			if sched, err := radio.NewRandomSchedule(ch.N(), 64, 1.0/32, r.Split()); err == nil {
+				protos = append(protos, sched)
+			}
+			if sched, err := radio.NewDecaySchedule(ch.N(), 32, r.Split()); err == nil {
+				protos = append(protos, sched)
+			}
+			for _, p := range protos {
+				run, err := radio.Run(ch.G, ch.Root, p, 400000)
+				if err != nil {
+					return nil, err
+				}
+				out.Protos = append(out.Protos, e9ProtoRow{
+					Name: p.Name(), Rounds: run.Rounds, Completed: run.Completed,
+				})
+			}
+			return out, nil
+		},
+	})
+
+	shards = append(shards, Shard{
+		Key: "perhop",
+		Run: func(cfg Config, r *rng.RNG) (any, error) {
+			// Per-hop decomposition (Observation 5.2): the message reaches
+			// rt_{i−1} before rt_i, and R = ΣᵢRᵢ with each Rᵢ = Ω(log(n/D))
+			// in expectation.
+			s := 32
+			if cfg.Quick {
+				s = 16
+			}
+			const hops = 6
+			ch, err := badgraph.NewChain(hops, s, r)
+			if err != nil {
+				return nil, err
+			}
+			net, err := radio.RunNetwork(ch.G, ch.Root, &radio.Decay{R: r.Split()}, 5_000_000)
+			if err != nil {
+				return nil, err
+			}
+			out := e9PerHop{S: s, Hops: hops}
+			prev := 0
+			for i, rt := range ch.RT {
+				at := net.InformedAt(rt)
+				if at < 0 {
+					out.Missing = append(out.Missing, i)
+					continue
+				}
+				out.Rows = append(out.Rows, e9HopRow{
+					Hop: i + 1, InformedAt: at, Ri: at - prev,
+					Mono: at > prev || i == 0,
+				})
+				prev = at
+			}
+			return out, nil
+		},
+	})
+	return shards, nil
+}
+
+func e9Reduce(cfg Config, shards []ShardResult, res *Result) error {
+	byKey := map[string]ShardResult{}
+	for _, s := range shards {
+		byKey[s.Key] = s
+	}
 	tb := table.New("Decay-protocol broadcast time on the chain",
 		"hops", "s", "n", "D·log2(n/D)", "mean rounds", "min rounds", "floor hops·log(2s)/4", "ok")
 	var xs, ys []float64
-	for _, p := range grid {
-		// One chain instance per grid point; the Monte-Carlo engine fans
-		// the decay trials over its deterministic worker pool (adjacency
-		// rows built once, results independent of GOMAXPROCS).
-		ch, err := badgraph.NewChain(p.hops, p.s, r)
-		if err != nil {
-			res.failf("hops=%d s=%d: %v", p.hops, p.s, err)
+	for _, s := range shards[:len(e9Grid(cfg))] {
+		var p e9GridPoint
+		if err := decodeShard(s, &p); err != nil {
+			return err
+		}
+		if p.Err != "" {
+			res.failf("hops=%d s=%d: %s", p.Hops, p.S, p.Err)
 			continue
 		}
-		mc, err := radio.MonteCarlo(ch.G, ch.Root,
-			func(tr *rng.RNG) radio.Protocol { return &radio.Decay{R: tr} },
-			trials, radio.Options{Seed: r.Uint64(), MaxRounds: 5_000_000, TraceRounds: -1})
-		if err != nil {
-			res.failf("hops=%d s=%d: %v", p.hops, p.s, err)
+		if p.Valid == 0 {
+			res.failf("hops=%d s=%d: no completed runs", p.Hops, p.S)
 			continue
 		}
-		var valid []float64
-		for _, t := range mc.PerTrial {
-			if t.Completed {
-				valid = append(valid, float64(t.Rounds))
-			}
-		}
-		n := ch.N()
-		if len(valid) == 0 {
-			res.failf("hops=%d s=%d: no completed runs", p.hops, p.s)
-			continue
-		}
-		d := 2 * p.hops // diameter scale: the paper sets D/2 copies
-		scale := bounds.BroadcastLower(d, n)
-		mean := stats.Mean(valid)
-		minR := stats.Min(valid)
-		floor := float64(p.hops) * bounds.Log2(2*float64(p.s)) / 4
-		ok := minR >= floor
+		ok := p.MinRounds >= p.Floor
 		if !ok {
-			res.failf("hops=%d s=%d: min rounds %g below floor %g", p.hops, p.s, minR, floor)
+			res.failf("hops=%d s=%d: min rounds %g below floor %g", p.Hops, p.S, p.MinRounds, p.Floor)
 		}
-		tb.AddRow(p.hops, p.s, n, scale, mean, minR, floor, ok)
-		xs = append(xs, scale)
-		ys = append(ys, mean)
+		tb.AddRow(p.Hops, p.S, p.N, p.Scale, p.Mean, p.MinRounds, p.Floor, ok)
+		xs = append(xs, p.Scale)
+		ys = append(ys, p.Mean)
 	}
 	res.Tables = append(res.Tables, tb)
 	if len(xs) >= 3 {
@@ -167,99 +434,53 @@ func E9BroadcastChain(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Corollary 5.1 on a single copy: rounds to inform half of N from a
-	// fully-informed S ∪ {root}.
-	sSingle := 32
-	if cfg.Quick {
-		sSingle = 16
+	var half e9HalfN
+	if err := decodeShard(byKey["halfn"], &half); err != nil {
+		return err
 	}
-	halfRounds, err := roundsToHalfN(sSingle, cfg.trials(5, 2), r)
-	if err != nil {
-		return nil, err
-	}
-	floor51 := bounds.Log2(2*float64(sSingle))/4 + 1
 	tb2 := table.New("Corollary 5.1: rounds to reach half of N on one core copy",
 		"s", "trials min rounds", "floor (log 2s)/4 + 1", "ok")
-	ok51 := stats.Min(halfRounds) >= floor51
-	tb2.AddRow(sSingle, stats.Min(halfRounds), floor51, ok51)
+	ok51 := half.MinRounds >= half.Floor
+	tb2.AddRow(half.S, half.MinRounds, half.Floor, ok51)
 	if !ok51 {
-		res.failf("Corollary 5.1 floor violated: %g < %g", stats.Min(halfRounds), floor51)
+		res.failf("Corollary 5.1 floor violated: %g < %g", half.MinRounds, half.Floor)
 	}
 	res.Tables = append(res.Tables, tb2)
 	res.note("Each round uniquely informs at most 2s vertices of N (Lemma 4.4(5), verified in E5), so reaching a 2i/log(2s) fraction needs ≥ 1+i rounds.")
 
-	// Universality: the lower bound holds for *every* protocol. Check a
-	// spread of protocol families — adaptive randomized (decay,
-	// prob-flood) and oblivious fixed schedules — on one chain instance.
-	hops, s := 4, 16
-	ch, err := badgraph.NewChain(hops, s, r)
-	if err != nil {
-		return nil, err
+	var uni e9Universality
+	if err := decodeShard(byKey["universality"], &uni); err != nil {
+		return err
 	}
-	floorU := float64(hops) * bounds.Log2(2*float64(s)) / 4
-	protos := []radio.Protocol{
-		&radio.Decay{R: r.Split()},
-		&radio.ProbFlood{P: 0.25, R: r.Split()},
-	}
-	if sched, err := radio.NewRandomSchedule(ch.N(), 64, 1.0/8, r.Split()); err == nil {
-		protos = append(protos, sched)
-	}
-	if sched, err := radio.NewRandomSchedule(ch.N(), 64, 1.0/32, r.Split()); err == nil {
-		protos = append(protos, sched)
-	}
-	if sched, err := radio.NewDecaySchedule(ch.N(), 32, r.Split()); err == nil {
-		protos = append(protos, sched)
-	}
-	tb3 := table.New("Universality: every protocol family obeys the floor (chain 4×16)",
-		"protocol", "rounds", "completed", "≥ floor "+sprintfName("%.3g", floorU), "ok")
-	for _, p := range protos {
-		run, err := radio.Run(ch.G, ch.Root, p, 400000)
-		if err != nil {
-			return nil, err
-		}
-		ok := float64(run.Rounds) >= floorU
+	tb3 := table.New(sprintfName("Universality: every protocol family obeys the floor (chain %d×%d)", uni.Hops, uni.S),
+		"protocol", "rounds", "completed", "≥ floor "+sprintfName("%.3g", uni.Floor), "ok")
+	for _, p := range uni.Protos {
+		ok := float64(p.Rounds) >= uni.Floor
 		if !ok {
 			res.failf("protocol %s finished in %d rounds, below floor %g",
-				p.Name(), run.Rounds, floorU)
+				p.Name, p.Rounds, uni.Floor)
 		}
-		tb3.AddRow(p.Name(), run.Rounds, run.Completed, float64(run.Rounds) >= floorU, ok)
+		tb3.AddRow(p.Name, p.Rounds, p.Completed, ok, ok)
 	}
 	res.Tables = append(res.Tables, tb3)
 
-	// Per-hop decomposition (Observation 5.2): the message reaches rt_{i−1}
-	// before rt_i, and R = ΣᵢRᵢ with each Rᵢ = Ω(log(n/D)) in expectation.
-	hopS := 32
-	if cfg.Quick {
-		hopS = 16
+	var ph e9PerHop
+	if err := decodeShard(byKey["perhop"], &ph); err != nil {
+		return err
 	}
-	hopHops := 6
-	chHop, err := badgraph.NewChain(hopHops, hopS, r)
-	if err != nil {
-		return nil, err
-	}
-	net, err := radio.RunNetwork(chHop.G, chHop.Root, &radio.Decay{R: r.Split()}, 5_000_000)
-	if err != nil {
-		return nil, err
-	}
-	tb4 := table.New("Per-hop times Rᵢ (Observation 5.2; chain 6 hops, decay protocol)",
+	tb4 := table.New(sprintfName("Per-hop times Rᵢ (Observation 5.2; chain %d hops, decay protocol)", ph.Hops),
 		"hop i", "rt_i informed at", "Rᵢ", "monotone ok")
-	prev := 0
 	allMono := true
 	var his []float64
-	for i, rt := range chHop.RT {
-		at := net.InformedAt(rt)
-		if at < 0 {
-			res.failf("relay %d never informed", i)
-			continue
-		}
-		ri := at - prev
-		mono := at > prev || i == 0
-		if !mono {
+	for _, row := range ph.Rows {
+		if !row.Mono {
 			allMono = false
 		}
-		tb4.AddRow(i+1, at, ri, mono)
-		his = append(his, float64(ri))
-		prev = at
+		tb4.AddRow(row.Hop, row.InformedAt, row.Ri, row.Mono)
+		his = append(his, float64(row.Ri))
+	}
+	for _, i := range ph.Missing {
+		res.failf("relay %d never informed", i)
 	}
 	if !allMono {
 		res.failf("Observation 5.2 violated: relay times not strictly increasing")
@@ -267,7 +488,7 @@ func E9BroadcastChain(cfg Config) (*Result, error) {
 	if len(his) > 1 {
 		// Expectation floor: E[Rᵢ] > log(2s)/4 (Corollary 5.1). The sample
 		// mean over hops should clear half of it comfortably.
-		floorR := bounds.Log2(2*float64(hopS)) / 4
+		floorR := bounds.Log2(2*float64(ph.S)) / 4
 		mean := stats.Mean(his[1:]) // hop 1 includes the root's head start
 		if mean < floorR/2 {
 			res.failf("mean per-hop time %g implausibly below E[Rᵢ] floor %g", mean, floorR)
@@ -276,7 +497,7 @@ func E9BroadcastChain(cfg Config) (*Result, error) {
 			mean, floorR)
 	}
 	res.Tables = append(res.Tables, tb4)
-	return res, nil
+	return nil
 }
 
 // roundsToHalfN builds root + one core copy, informs the root, runs Decay,
@@ -287,7 +508,8 @@ func roundsToHalfN(s, trials int, r *rng.RNG) ([]float64, error) {
 		return nil, err
 	}
 	out := make([]float64, trials)
-	parallelFor(trials, r, func(i int, tr *rng.RNG) {
+	for i := 0; i < trials; i++ {
+		tr := r.Split()
 		// Graph: vertex 0 = root; 1..s = S side; s+1.. = N side.
 		b := graph.NewBuilder(1 + s + core.B.NN())
 		for u := 0; u < s; u++ {
@@ -299,8 +521,7 @@ func roundsToHalfN(s, trials int, r *rng.RNG) ([]float64, error) {
 		g := b.Build()
 		net, err := radio.NewNetwork(g, 0)
 		if err != nil {
-			out[i] = math.NaN()
-			return
+			return nil, err
 		}
 		proto := &radio.Decay{R: tr}
 		transmit := make([]bool, g.N())
@@ -319,6 +540,6 @@ func roundsToHalfN(s, trials int, r *rng.RNG) ([]float64, error) {
 			net.Step(transmit)
 		}
 		out[i] = float64(net.Round)
-	})
+	}
 	return out, nil
 }

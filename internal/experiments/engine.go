@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wexp/internal/rng"
+)
+
+// Spec declares one registered experiment: its identity, the deterministic
+// decomposition of its parameter grid into shards, and the reduction of
+// shard outputs into tables and a verdict.
+//
+// Determinism contract: Shards must be a pure function of Config (no RNG,
+// no I/O); every shard's Run must draw all randomness from the supplied
+// generator, which the engine pre-splits per shard index from
+// Config.Seed ⊕ salt(ID); Reduce must depend only on Config and the shard
+// outputs, which arrive in shard-index order. Under this contract the
+// produced Result and Artifact are bit-identical at every worker count and
+// across checkpoint/resume boundaries.
+type Spec struct {
+	ID       string
+	Title    string
+	PaperRef string
+	// Shards returns the shard list for the config. Order and keys must be
+	// a pure function of cfg; keys must be unique within the experiment.
+	Shards func(cfg Config) ([]Shard, error)
+	// Reduce merges the shard outputs (index order) into res, appending
+	// tables and notes and calling res.failf on violated claims.
+	Reduce func(cfg Config, shards []ShardResult, res *Result) error
+}
+
+// Run executes the spec with default engine options (in-memory, all cores).
+func (s *Spec) Run(cfg Config) (*Result, error) {
+	res, _, err := RunSpec(s, cfg, Options{})
+	return res, err
+}
+
+// Shard is one unit of experiment work: a deterministic key plus the
+// computation for that grid point. Run's return value must marshal to JSON
+// (it is the checkpoint and artifact payload) and must not depend on
+// anything but cfg and r.
+type Shard struct {
+	Key string
+	Run func(cfg Config, r *rng.RNG) (any, error)
+}
+
+// ShardResult is a completed shard's output: the key and the result encoded
+// as canonical (compact) JSON. Reduce functions decode it with decodeAll.
+type ShardResult struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Options configures the experiment engine.
+type Options struct {
+	// Workers is the shard worker-pool width; 0 means GOMAXPROCS. Artifacts
+	// are bit-identical at every width.
+	Workers int
+	// OutDir, when non-empty, receives one artifact JSON per experiment
+	// plus MANIFEST.json.
+	OutDir string
+	// CheckpointDir, when non-empty, receives one JSON file per completed
+	// shard (written atomically as each shard finishes).
+	CheckpointDir string
+	// Resume consults existing checkpoint files in CheckpointDir and skips
+	// shards whose checkpoints match the current config, loading their
+	// stored results instead of recomputing.
+	Resume bool
+	// ShardLimit, when positive, stops the run after that many shard
+	// executions (resumed shards do not count); RunSpec then returns
+	// ErrInterrupted. Used to bound partial runs and by the kill/resume
+	// tests.
+	ShardLimit int
+	// Progress, when non-nil, is called after every shard completes with
+	// the experiment ID and completion counts. Calls may arrive from
+	// worker goroutines in any order.
+	Progress func(id string, done, total int)
+}
+
+// ErrInterrupted reports that Options.ShardLimit stopped a run before all
+// shards completed; checkpoints for the finished shards are on disk when
+// CheckpointDir is set.
+var ErrInterrupted = errors.New("experiments: interrupted by shard limit")
+
+// expSalt derives the per-experiment seed salt from the ID (FNV-1a), so
+// every experiment consumes an independent stream of Config.Seed.
+func expSalt(id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// checkpointFile is the on-disk schema of one completed shard.
+type checkpointFile struct {
+	Schema string          `json:"schema"`
+	ID     string          `json:"id"`
+	Index  int             `json:"index"`
+	Key    string          `json:"key"`
+	Config Config          `json:"config"`
+	Result json.RawMessage `json:"result"`
+}
+
+const checkpointSchema = "wexp-experiments/checkpoint-v1"
+
+func checkpointPath(dir, id string, index int) string {
+	return filepath.Join(dir, id, fmt.Sprintf("shard-%04d.json", index))
+}
+
+// loadCheckpoint returns the stored shard result if a valid checkpoint for
+// exactly this (experiment, index, key, config) exists.
+func loadCheckpoint(dir, id string, index int, key string, cfg Config) (json.RawMessage, bool) {
+	data, err := os.ReadFile(checkpointPath(dir, id, index))
+	if err != nil {
+		return nil, false
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, false
+	}
+	if cp.Schema != checkpointSchema || cp.ID != id || cp.Index != index ||
+		cp.Key != key || cp.Config != cfg {
+		return nil, false
+	}
+	return cp.Result, true
+}
+
+// writeCheckpoint persists one completed shard atomically (temp + rename),
+// so a kill mid-write never leaves a truncated checkpoint behind.
+func writeCheckpoint(dir, id string, index int, key string, cfg Config, result json.RawMessage) error {
+	data, err := json.Marshal(checkpointFile{
+		Schema: checkpointSchema,
+		ID:     id,
+		Index:  index,
+		Key:    key,
+		Config: cfg,
+		Result: result,
+	})
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(checkpointPath(dir, id, index), append(data, '\n'))
+}
+
+// RunSpec executes one experiment through the job engine: the shard list is
+// fanned over a worker pool (each shard with its own pre-split RNG stream),
+// outputs are merged in shard-index order, Reduce builds the Result, and an
+// Artifact is assembled (and written, when Options.OutDir is set).
+func RunSpec(spec *Spec, cfg Config, opt Options) (*Result, *Artifact, error) {
+	shards, err := spec.Shards(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: shards: %w", spec.ID, err)
+	}
+	keys := make(map[string]bool, len(shards))
+	for _, sh := range shards {
+		if keys[sh.Key] {
+			return nil, nil, fmt.Errorf("%s: duplicate shard key %q", spec.ID, sh.Key)
+		}
+		keys[sh.Key] = true
+	}
+
+	// Pre-split one stream per shard in index order — the only RNG
+	// consumption outside the shards themselves, so a shard's stream
+	// depends only on (Config.Seed, experiment ID, shard index), never on
+	// which shards run, resume, or on how work is scheduled.
+	parent := rng.New(cfg.Seed ^ expSalt(spec.ID))
+	rngs := make([]*rng.RNG, len(shards))
+	for i := range rngs {
+		rngs[i] = parent.Split()
+	}
+
+	outs := make([]ShardResult, len(shards))
+	done := make([]bool, len(shards))
+	var pending []int
+	for i, sh := range shards {
+		if opt.Resume && opt.CheckpointDir != "" {
+			if raw, ok := loadCheckpoint(opt.CheckpointDir, spec.ID, i, sh.Key, cfg); ok {
+				outs[i] = ShardResult{Key: sh.Key, Result: raw}
+				done[i] = true
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	var (
+		completed atomic.Int64
+		executed  atomic.Int64
+		firstErr  atomic.Value
+	)
+	completed.Store(int64(len(shards) - len(pending)))
+	runShard := func(i int) {
+		sh := shards[i]
+		val, err := sh.Run(cfg, rngs[i])
+		if err != nil {
+			firstErr.CompareAndSwap(nil, fmt.Errorf("%s shard %q: %w", spec.ID, sh.Key, err))
+			return
+		}
+		raw, err := json.Marshal(val)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, fmt.Errorf("%s shard %q: marshal: %w", spec.ID, sh.Key, err))
+			return
+		}
+		if opt.CheckpointDir != "" {
+			if err := writeCheckpoint(opt.CheckpointDir, spec.ID, i, sh.Key, cfg, raw); err != nil {
+				firstErr.CompareAndSwap(nil, fmt.Errorf("%s shard %q: checkpoint: %w", spec.ID, sh.Key, err))
+				return
+			}
+		}
+		outs[i] = ShardResult{Key: sh.Key, Result: raw}
+		done[i] = true
+		if opt.Progress != nil {
+			opt.Progress(spec.ID, int(completed.Add(1)), len(shards))
+		} else {
+			completed.Add(1)
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	limit := int64(opt.ShardLimit)
+	// Hand out pending indices through an atomic cursor (the same pattern
+	// as radio.MonteCarlo): no channels, no ordering dependence.
+	var cursor atomic.Int64
+	cursor.Store(-1)
+	next := func() int {
+		if firstErr.Load() != nil {
+			return -1
+		}
+		if limit > 0 && executed.Add(1) > limit {
+			return -1
+		}
+		i := int(cursor.Add(1))
+		if i >= len(pending) {
+			return -1
+		}
+		return pending[i]
+	}
+	if workers <= 1 {
+		for i := next(); i >= 0; i = next() {
+			runShard(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := next(); i >= 0; i = next() {
+					runShard(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := firstErr.Load(); err != nil {
+		return nil, nil, err.(error)
+	}
+	for _, d := range done {
+		if !d {
+			return nil, nil, fmt.Errorf("%s: %d/%d shards complete: %w",
+				spec.ID, int(completed.Load()), len(shards), ErrInterrupted)
+		}
+	}
+
+	res := &Result{ID: spec.ID, Title: spec.Title, PaperRef: spec.PaperRef, Pass: true}
+	if err := spec.Reduce(cfg, outs, res); err != nil {
+		return nil, nil, fmt.Errorf("%s: reduce: %w", spec.ID, err)
+	}
+	art := newArtifact(spec, cfg, outs, res)
+	if opt.OutDir != "" {
+		if err := art.Write(opt.OutDir); err != nil {
+			return res, art, err
+		}
+	}
+	return res, art, nil
+}
+
+// RunReport is the outcome of a multi-experiment engine run.
+type RunReport struct {
+	Results   []*Result
+	Artifacts []*Artifact
+	Manifest  *Manifest
+	Failures  int // experiments whose Result.Pass is false
+}
+
+// Run executes the given specs in order through the job engine and
+// assembles the manifest. When Options.OutDir is set, every artifact plus
+// MANIFEST.json is written there.
+func Run(specs []*Spec, cfg Config, opt Options) (*RunReport, error) {
+	rep := &RunReport{Manifest: newManifest(cfg)}
+	for _, s := range specs {
+		res, art, err := RunSpec(s, cfg, opt)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, res)
+		rep.Artifacts = append(rep.Artifacts, art)
+		if !res.Pass {
+			rep.Failures++
+		}
+		if err := rep.Manifest.add(art); err != nil {
+			return rep, err
+		}
+	}
+	if opt.OutDir != "" {
+		if err := rep.Manifest.Write(opt.OutDir); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// decodeShard unmarshals one shard output into out.
+func decodeShard[T any](s ShardResult, out *T) error {
+	if err := json.Unmarshal(s.Result, out); err != nil {
+		return fmt.Errorf("shard %q: %w", s.Key, err)
+	}
+	return nil
+}
+
+// decodeAll unmarshals every shard output into T, preserving shard order.
+func decodeAll[T any](shards []ShardResult) ([]T, error) {
+	out := make([]T, len(shards))
+	for i, s := range shards {
+		if err := json.Unmarshal(s.Result, &out[i]); err != nil {
+			return nil, fmt.Errorf("shard %q: %w", s.Key, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"wexp/internal/rng"
+)
+
+// encodeArtifact fails the test on error.
+func encodeArtifact(t *testing.T, a *Artifact) []byte {
+	t.Helper()
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestWorkerCountInvariance is the engine's central determinism guarantee:
+// the artifact bytes of a run are identical at every worker-pool width.
+func TestWorkerCountInvariance(t *testing.T) {
+	cfg := Config{Seed: testSeed, Quick: true}
+	// E9 exercises nested Monte-Carlo parallelism, E13 random corpora, E5
+	// mixed exhaustive/adversarial shards.
+	for _, spec := range []*Spec{SpecE5, SpecE9, SpecE13} {
+		t.Run(spec.ID, func(t *testing.T) {
+			var ref []byte
+			for _, workers := range []int{1, 2, 8} {
+				_, art, err := RunSpec(spec, cfg, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				data := encodeArtifact(t, art)
+				if ref == nil {
+					ref = data
+					continue
+				}
+				if !bytes.Equal(ref, data) {
+					t.Fatalf("workers=%d produced different artifact bytes", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestKillResume interrupts a checkpointed run partway (the engine's
+// ShardLimit stands in for a kill) and proves that resuming reproduces the
+// uninterrupted run's artifact byte-for-byte.
+func TestKillResume(t *testing.T) {
+	cfg := Config{Seed: testSeed, Quick: true}
+	spec := SpecE2 // 7 quick shards, all cheap
+
+	_, want, err := RunSpec(spec, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := encodeArtifact(t, want)
+
+	ckpt := t.TempDir()
+	_, _, err = RunSpec(spec, cfg, Options{
+		Workers: 2, CheckpointDir: ckpt, ShardLimit: 3,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run: got err %v, want ErrInterrupted", err)
+	}
+	files, err := filepath.Glob(filepath.Join(ckpt, spec.ID, "shard-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("expected 3 checkpoints after interruption, found %d", len(files))
+	}
+
+	// Resume: the three checkpointed shards must be reused, the remainder
+	// recomputed, and the artifact identical to the uninterrupted run.
+	// Progress arrives from worker goroutines, so the counter is atomic.
+	var executed atomic.Int64
+	_, art, err := RunSpec(spec, cfg, Options{
+		Workers: 2, CheckpointDir: ckpt, Resume: true,
+		Progress: func(id string, done, total int) { executed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBytes, encodeArtifact(t, art)) {
+		t.Fatal("resumed artifact differs from uninterrupted run")
+	}
+	shards, err := spec.Shards(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(shards) - 3); executed.Load() != want {
+		t.Fatalf("resume recomputed %d shards, want %d", executed.Load(), want)
+	}
+
+	// A second resume is a full cache hit and still byte-identical.
+	executed.Store(0)
+	_, art, err = RunSpec(spec, cfg, Options{
+		CheckpointDir: ckpt, Resume: true,
+		Progress: func(id string, done, total int) { executed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 0 {
+		t.Fatalf("second resume recomputed %d shards, want 0", executed.Load())
+	}
+	if !bytes.Equal(wantBytes, encodeArtifact(t, art)) {
+		t.Fatal("fully-resumed artifact differs from uninterrupted run")
+	}
+}
+
+// TestResumeIgnoresStaleCheckpoints proves a checkpoint written under a
+// different config is not reused.
+func TestResumeIgnoresStaleCheckpoints(t *testing.T) {
+	spec := SpecE2
+	ckpt := t.TempDir()
+	cfgA := Config{Seed: 1, Quick: true}
+	if _, _, err := RunSpec(spec, cfgA, Options{CheckpointDir: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	cfgB := Config{Seed: 2, Quick: true}
+	var executed atomic.Int64
+	_, _, err := RunSpec(spec, cfgB, Options{
+		CheckpointDir: ckpt, Resume: true,
+		Progress: func(id string, done, total int) { executed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, _ := spec.Shards(cfgB)
+	if executed.Load() != int64(len(shards)) {
+		t.Fatalf("stale checkpoints were reused: recomputed %d of %d shards",
+			executed.Load(), len(shards))
+	}
+}
+
+// TestRunWritesArtifactsAndManifest checks the on-disk layout of a multi-
+// experiment run: one JSON per experiment plus MANIFEST.json, with the
+// manifest checksums matching the artifact bytes.
+func TestRunWritesArtifactsAndManifest(t *testing.T) {
+	out := t.TempDir()
+	cfg := Config{Seed: testSeed, Quick: true}
+	specs := []*Spec{SpecE2, SpecE5}
+	rep, err := Run(specs, cfg, Options{OutDir: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("unexpected failures: %d", rep.Failures)
+	}
+	if len(rep.Manifest.Experiments) != len(specs) {
+		t.Fatalf("manifest has %d entries, want %d", len(rep.Manifest.Experiments), len(specs))
+	}
+	for i, e := range rep.Manifest.Experiments {
+		data, err := os.ReadFile(filepath.Join(out, e.Artifact))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, encodeArtifact(t, rep.Artifacts[i])) {
+			t.Fatalf("%s: on-disk artifact differs from in-memory encoding", e.ID)
+		}
+		if e.SHA256 == "" || !e.Pass {
+			t.Fatalf("manifest entry %+v incomplete", e)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(out, "MANIFEST.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicateShardKeyRejected guards the registry invariant Reduce
+// relies on.
+func TestDuplicateShardKeyRejected(t *testing.T) {
+	spec := &Spec{
+		ID: "EDUP", Title: "dup", PaperRef: "-",
+		Shards: func(cfg Config) ([]Shard, error) {
+			sh := Shard{Key: "same", Run: func(Config, *rng.RNG) (any, error) { return 1, nil }}
+			return []Shard{sh, sh}, nil
+		},
+		Reduce: func(Config, []ShardResult, *Result) error { return nil },
+	}
+	if _, _, err := RunSpec(spec, Config{}, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate shard key") {
+		t.Fatalf("duplicate keys not rejected: %v", err)
+	}
+}
+
+// TestShardErrorPropagates checks that a failing shard aborts the run with
+// the experiment and shard key in the error.
+func TestShardErrorPropagates(t *testing.T) {
+	spec := &Spec{
+		ID: "EERR", Title: "err", PaperRef: "-",
+		Shards: func(cfg Config) ([]Shard, error) {
+			return []Shard{{Key: "boom", Run: func(Config, *rng.RNG) (any, error) {
+				return nil, errors.New("kaput")
+			}}}, nil
+		},
+		Reduce: func(Config, []ShardResult, *Result) error { return nil },
+	}
+	_, _, err := RunSpec(spec, Config{}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "kaput") {
+		t.Fatalf("shard error not propagated: %v", err)
+	}
+}
+
+// TestExpSaltDistinct: experiments must consume distinct streams of the
+// same user seed.
+func TestExpSaltDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, s := range All {
+		salt := expSalt(s.ID)
+		if prev, dup := seen[salt]; dup {
+			t.Fatalf("salt collision between %s and %s", prev, s.ID)
+		}
+		seen[salt] = s.ID
+	}
+}

@@ -1,26 +1,27 @@
-// Package experiments implements the reproduction harness: one runner per
-// experiment in DESIGN.md's per-experiment index (E1–E12), each regenerating
-// the measured counterpart of a claim from the paper and checking it.
+// Package experiments implements the reproduction harness: one registered
+// Spec per experiment in DESIGN.md's per-experiment index (E1–E14), each
+// regenerating the measured counterpart of a claim from the paper and
+// checking it.
 //
-// Every runner is deterministic given Config.Seed: parallel trial fan-out
-// uses pre-split RNG streams merged by index, so results are identical
-// regardless of scheduling.
+// Experiments run through a sharded job engine (see engine.go): every Spec
+// declares its parameter grid as deterministic shards, the engine fans them
+// over a worker pool with pre-split RNG streams and merges outputs in shard
+// index order, so results — including the emitted JSON artifacts — are
+// bit-identical at every worker count and across checkpoint/resume
+// boundaries.
 package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
-	"wexp/internal/rng"
 	"wexp/internal/table"
 )
 
 // Config controls an experiment run.
 type Config struct {
-	Seed   uint64
-	Quick  bool // reduced parameter grids (used by `go test`)
-	Trials int  // per-point repetitions for randomized measurements (0 = default)
+	Seed   uint64 `json:"seed"`
+	Quick  bool   `json:"quick"`  // reduced parameter grids (used by `go test`)
+	Trials int    `json:"trials"` // per-point repetitions for randomized measurements (0 = default)
 }
 
 func (c Config) trials(def, quickDef int) int {
@@ -86,90 +87,42 @@ func (r *Result) Markdown() string {
 	return out
 }
 
-// Runner executes one experiment.
-type Runner func(cfg Config) (*Result, error)
-
-// Entry pairs an experiment ID with its runner.
-type Entry struct {
-	ID    string
-	Title string
-	Run   Runner
+// All lists every experiment Spec in index order — the registry.
+var All = []*Spec{
+	SpecE1, SpecE2, SpecE3, SpecE4, SpecE5, SpecE6, SpecE7,
+	SpecE8, SpecE9, SpecE10, SpecE11, SpecE12, SpecE13, SpecE14,
 }
 
-// All lists every experiment in index order.
-var All = []Entry{
-	{"E1", "Spectral relation between unique and ordinary expansion (Lemma 3.1)", E1Spectral},
-	{"E2", "Gbad: tightness of βu = 2β−∆ and its wireless floor (Lemmas 3.2–3.3, Fig. 1)", E2GBad},
-	{"E3", "Positive result, β ≥ 1 regime (Theorem 1.1 / Lemma 4.2)", E3PositiveHighBeta},
-	{"E4", "Positive result, β < 1 regime (Theorem 1.1 / Lemma 4.3)", E4PositiveLowBeta},
-	{"E5", "Core graph properties (Lemma 4.4, Fig. 2)", E5CoreGraph},
-	{"E6", "Generalized core graph (Lemmas 4.6–4.8)", E6GeneralizedCore},
-	{"E7", "Worst-case plugged expander (Section 4.3.3, Corollary 4.11, Theorem 1.2)", E7WorstCase},
-	{"E8", "Spokesman election: algorithms vs bounds (Section 4.2.1)", E8Spokesman},
-	{"E9", "Broadcast lower bound Ω(D·log(n/D)) (Section 5)", E9BroadcastChain},
-	{"E10", "C⁺ flooding deadlock and expansion ordering (Introduction, Obs. 2.1)", E10CPlus},
-	{"E11", "Low-arboricity graphs: βw ≈ β (Theorem 1.1 corollary)", E11LowArboricity},
-	{"E12", "Deterministic appendix algorithms and their floors (Appendix A, Figs. 3–4)", E12Deterministic},
-	{"E13", "Ablations: decay trials, portfolio composition, local refinement", E13Ablation},
-	{"E14", "Radio broadcast protocols across topologies (applications)", E14Broadcast},
-}
-
-// ByID returns the entry with the given ID.
-func ByID(id string) (Entry, bool) {
-	for _, e := range All {
-		if e.ID == id {
-			return e, true
+// ByID returns the registered spec with the given ID.
+func ByID(id string) (*Spec, bool) {
+	for _, s := range All {
+		if s.ID == id {
+			return s, true
 		}
 	}
-	return Entry{}, false
+	return nil, false
 }
 
-// RunAll executes every experiment with the given config.
-func RunAll(cfg Config) ([]*Result, error) {
-	var out []*Result
-	for _, e := range All {
-		res, err := e.Run(cfg)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", e.ID, err)
+// Select resolves a list of experiment IDs against the registry, in the
+// order given.
+func Select(ids []string) ([]*Spec, error) {
+	var out []*Spec
+	for _, id := range ids {
+		s, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 		}
-		out = append(out, res)
+		out = append(out, s)
 	}
 	return out, nil
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers.
-// Each invocation receives its own pre-split RNG so results are
-// deterministic regardless of scheduling; outputs must be written to
-// index-distinct locations by the caller.
-func parallelFor(n int, parent *rng.RNG, fn func(i int, r *rng.RNG)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// RunAll executes every experiment with the given config through the
+// engine at default options.
+func RunAll(cfg Config) ([]*Result, error) {
+	rep, err := Run(All, cfg, Options{})
+	if err != nil {
+		return rep.Results, err
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i, parent.Split())
-		}
-		return
-	}
-	rngs := make([]*rng.RNG, n)
-	for i := range rngs {
-		rngs[i] = parent.Split()
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i, rngs[i])
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	return rep.Results, nil
 }

@@ -3,8 +3,6 @@ package experiments
 import (
 	"strings"
 	"testing"
-
-	"wexp/internal/rng"
 )
 
 const testSeed = 20180220 // arXiv submission date of the paper
@@ -53,8 +51,21 @@ func TestByID(t *testing.T) {
 	}
 }
 
+func TestSelect(t *testing.T) {
+	specs, err := Select([]string{"E5", "E1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].ID != "E5" || specs[1].ID != "E1" {
+		t.Fatalf("Select order wrong: %v", specs)
+	}
+	if _, err := Select([]string{"E5", "bogus"}); err == nil {
+		t.Fatal("Select should reject unknown ids")
+	}
+}
+
 func TestResultRendering(t *testing.T) {
-	res, err := E2GBad(Config{Seed: testSeed, Quick: true})
+	res, err := SpecE2.Run(Config{Seed: testSeed, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,9 +80,9 @@ func TestResultRendering(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	// Same seed → identical tables, even with parallel trial fan-out.
+	// Same seed → identical tables, even with parallel shard fan-out.
 	run := func() string {
-		res, err := E9BroadcastChain(Config{Seed: 7, Quick: true})
+		res, err := SpecE9.Run(Config{Seed: 7, Quick: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,17 +91,5 @@ func TestDeterminism(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Fatalf("nondeterministic experiment output:\n--- a ---\n%s\n--- b ---\n%s", a, b)
-	}
-}
-
-func TestParallelForCoversAllIndices(t *testing.T) {
-	seen := make([]int, 100)
-	parallelFor(100, rng.New(1), func(i int, r *rng.RNG) {
-		seen[i]++
-	})
-	for i, c := range seen {
-		if c != 1 {
-			t.Fatalf("index %d visited %d times", i, c)
-		}
 	}
 }
