@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full bench-gate bench-baseline experiments clean
+.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full bench-gate bench-baseline experiments serve clean
 
 # Seed-baseline total coverage; CI fails below this (see ci.yml).
 COVER_FLOOR ?= 85.0
@@ -68,12 +68,13 @@ BENCH_BASELINE_DIR := artifacts/bench-baseline
 
 bench-gate:
 	@mkdir -p $(BENCH_BASELINE_DIR)
-	@cp BENCH_expansion.json BENCH_radio.json $(BENCH_BASELINE_DIR)/
-	@trap 'cp $(BENCH_BASELINE_DIR)/BENCH_expansion.json $(BENCH_BASELINE_DIR)/BENCH_radio.json .' EXIT INT TERM; \
+	@cp BENCH_expansion.json BENCH_radio.json BENCH_service.json $(BENCH_BASELINE_DIR)/
+	@trap 'cp $(BENCH_BASELINE_DIR)/BENCH_expansion.json $(BENCH_BASELINE_DIR)/BENCH_radio.json $(BENCH_BASELINE_DIR)/BENCH_service.json .' EXIT INT TERM; \
 	$(GO) test -bench=. -benchtime=$(BENCH_GATE_TIME) -run='^$$' ./... && \
 	$(GO) run ./cmd/benchgate -tol $(BENCH_GATE_TOL) \
 		$(BENCH_BASELINE_DIR)/BENCH_expansion.json BENCH_expansion.json \
-		$(BENCH_BASELINE_DIR)/BENCH_radio.json BENCH_radio.json
+		$(BENCH_BASELINE_DIR)/BENCH_radio.json BENCH_radio.json \
+		$(BENCH_BASELINE_DIR)/BENCH_service.json BENCH_service.json
 
 # Refresh the committed perf baselines with steady-state timings (the
 # regime bench-gate measures in; `make bench`'s single iteration is too
@@ -87,6 +88,11 @@ bench-baseline:
 #   go run ./cmd/experiments -resume artifacts/experiments
 experiments:
 	$(GO) run ./cmd/experiments -out artifacts/experiments
+
+# The wexpd graph-analysis service on :8080 (see internal/service/README.md
+# for the API and the caching/determinism contract).
+serve:
+	$(GO) run ./cmd/wexpd -addr :8080
 
 clean:
 	$(GO) clean ./...

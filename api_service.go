@@ -1,0 +1,63 @@
+package wexp
+
+import (
+	"context"
+	"io"
+	"net/http"
+
+	"wexp/internal/graph"
+	"wexp/internal/service"
+)
+
+// --- Graph serialization and identity ----------------------------------------
+
+// WriteEdgeList serializes a graph in the plain-text edge-list format
+// (header "n <count>", one "u v" line per edge); it round-trips through
+// ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadEdgeList parses the WriteEdgeList format.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// GraphDigest returns the canonical SHA-256 digest of the graph as
+// lowercase hex. The digest is a pure function of the labeled structure
+// (edge insertion order and duplicates never affect it) and is stable
+// across WriteEdgeList/ReadEdgeList round trips — the key of the service's
+// content-addressed graph store.
+func GraphDigest(g *Graph) string { return graph.DigestString(g) }
+
+// --- The wexpd service -------------------------------------------------------
+
+// ServiceConfig tunes the wexpd graph-analysis service: result-cache
+// budget, graph-store and job-table bounds, engine worker width, and
+// per-request computation caps. The zero value selects production
+// defaults.
+type ServiceConfig = service.Config
+
+// ServiceMetrics is a snapshot of the service counters (cache hits and
+// misses, underlying computations, coalesced requests, jobs).
+type ServiceMetrics = service.Metrics
+
+// NewService returns the wexpd HTTP handler: a content-addressed graph
+// store, a byte-level memoized result cache with singleflight coalescing,
+// and a cancellable job engine over the /v1 API. See
+// internal/service/README.md for the API reference and the
+// caching/determinism contract.
+func NewService(cfg ServiceConfig) *service.Server { return service.New(cfg) }
+
+// Serve runs the wexpd service on addr until ctx is cancelled, then shuts
+// down gracefully. A nil ctx means serve forever.
+func Serve(ctx context.Context, addr string, cfg ServiceConfig) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	srv := &http.Server{Addr: addr, Handler: service.New(cfg)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return srv.Shutdown(context.Background())
+	}
+}

@@ -1,0 +1,94 @@
+package wexp
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get2 performs a GET and returns (status, body, X-Cache header).
+func get2(t *testing.T, url string) (int, []byte, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("X-Cache")
+}
+
+// TestEdgeListRoundTripAndDigest is the facade-level serialization
+// contract: WriteEdgeList → ReadEdgeList reproduces the graph, and
+// GraphDigest is stable across the round trip.
+func TestEdgeListRoundTripAndDigest(t *testing.T) {
+	r := NewRNG(11)
+	graphs := map[string]*Graph{
+		"hypercube4": Hypercube(4),
+		"torus5":     Torus(5, 5),
+		"er":         ErdosRenyi(40, 0.15, r),
+		"single":     Path(1),
+	}
+	for name, g := range graphs {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("%s: round trip changed shape: %v vs %v", name, g2, g)
+		}
+		if GraphDigest(g) != GraphDigest(g2) {
+			t.Fatalf("%s: digest changed across round trip", name)
+		}
+	}
+}
+
+// TestGraphDigestStability pins digest semantics at the facade: identical
+// structure ⇒ identical digest, regardless of how the graph was built.
+func TestGraphDigestStability(t *testing.T) {
+	b1 := NewGraphBuilder(5)
+	b2 := NewGraphBuilder(5)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	for _, e := range edges {
+		b1.MustAddEdge(e[0], e[1])
+	}
+	for i := len(edges) - 1; i >= 0; i-- {
+		b2.MustAddEdge(edges[i][1], edges[i][0])
+	}
+	if GraphDigest(b1.Build()) != GraphDigest(b2.Build()) {
+		t.Fatal("same graph, different digests")
+	}
+	if GraphDigest(Cycle(5)) == GraphDigest(Path(5)) {
+		t.Fatal("different graphs collided")
+	}
+}
+
+// TestNewServiceSmoke drives the facade-constructed handler end to end:
+// family registration, a computed request, and the memoized repeat.
+func TestNewServiceSmoke(t *testing.T) {
+	ts := httptest.NewServer(NewService(ServiceConfig{Workers: 2}))
+	defer ts.Close()
+
+	_, body1, cache1 := get2(t, ts.URL+"/v1/expansion?family=hypercube&size=3&alpha=0.5")
+	_, body2, cache2 := get2(t, ts.URL+"/v1/expansion?family=hypercube&size=3&alpha=0.5")
+	if cache1 != "miss" || cache2 != "hit" {
+		t.Fatalf("X-Cache sequence = %q, %q; want miss, hit", cache1, cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("identical requests returned different bodies")
+	}
+	_, metrics, _ := get2(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "wexpd_cache_hits 1") {
+		t.Fatalf("metrics missing the cache hit:\n%s", metrics)
+	}
+}

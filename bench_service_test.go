@@ -1,0 +1,141 @@
+package wexp
+
+// Service-layer benchmarks: the request cost of wexpd's three serving
+// regimes — cold (full compute path), cached (byte-level memoization
+// replay), and coalesced (N concurrent identical requests sharing one
+// computation). Emitted as BENCH_service.json and gated by cmd/benchgate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"wexp/internal/service"
+)
+
+// serviceBenchRecord is one serving-regime data point of the perf record.
+type serviceBenchRecord struct {
+	Mode           string  `json:"mode"` // "cold" | "cached" | "coalesced"
+	Op             string  `json:"op"`
+	Clients        int     `json:"clients"` // concurrent requests per op (coalesced mode)
+	NsPerOp        float64 `json:"ns_per_op"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+}
+
+// benchRequest drives one request through the handler stack (no TCP: the
+// handler path is what the modes differ in) and fails on a non-200.
+func benchRequest(b *testing.B, h http.Handler, target string) {
+	b.Helper()
+	req := httptest.NewRequest("GET", target, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s: status %d: %s", target, rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkService measures the three serving regimes and writes the
+// aggregate record to BENCH_service.json. The record is rewritten only
+// when every mode ran, so a filtered run cannot truncate it.
+func BenchmarkService(b *testing.B) {
+	const expansionOp = "/v1/expansion?family=hypercube&size=3&obj=wireless&alpha=0.5"
+	const clients = 8
+
+	records := make([]serviceBenchRecord, 3)
+	ran := make([]bool, 3)
+
+	b.Run("cold", func(b *testing.B) {
+		// A fresh server per iteration: every request walks the full path —
+		// family resolution, digest, enumeration, canonical encoding.
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			benchRequest(b, service.New(service.Config{}), expansionOp)
+		}
+		elapsed := time.Since(start)
+		records[0] = serviceBenchRecord{
+			Mode: "cold", Op: "expansion",
+			NsPerOp:        float64(elapsed.Nanoseconds()) / float64(b.N),
+			RequestsPerSec: float64(b.N) / elapsed.Seconds(),
+		}
+		ran[0] = true
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		s := service.New(service.Config{})
+		benchRequest(b, s, expansionOp) // prime the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			benchRequest(b, s, expansionOp)
+		}
+		elapsed := time.Since(start)
+		records[1] = serviceBenchRecord{
+			Mode: "cached", Op: "expansion",
+			NsPerOp:        float64(elapsed.Nanoseconds()) / float64(b.N),
+			RequestsPerSec: float64(b.N) / elapsed.Seconds(),
+		}
+		ran[1] = true
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		// Each iteration aims `clients` concurrent requests at a key never
+		// seen before (the seed varies), so they race into one singleflight
+		// execution rather than hitting the cache.
+		s := service.New(service.Config{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			target := fmt.Sprintf("/v1/broadcast?family=cplus&size=12&protocol=decay&trials=4&maxrounds=2048&seed=%d", i+1)
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					benchRequest(b, s, target)
+				}()
+			}
+			wg.Wait()
+		}
+		elapsed := time.Since(start)
+		records[2] = serviceBenchRecord{
+			Mode: "coalesced", Op: "broadcast", Clients: clients,
+			NsPerOp:        float64(elapsed.Nanoseconds()) / float64(b.N),
+			RequestsPerSec: float64(b.N*clients) / elapsed.Seconds(),
+		}
+		ran[2] = true
+	})
+
+	for _, ok := range ran {
+		if !ok {
+			return // filtered run: keep the existing record
+		}
+	}
+	payload := struct {
+		Schema     string               `json:"schema"`
+		Go         string               `json:"go"`
+		GOMAXPROCS int                  `json:"gomaxprocs"`
+		Records    []serviceBenchRecord `json:"records"`
+	}{
+		Schema:     "wexp-bench/service-v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Records:    records,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal service perf record: %v", err)
+	}
+	if err := os.WriteFile("BENCH_service.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_service.json: %v", err)
+	}
+}

@@ -43,9 +43,10 @@ type benchFile struct {
 // timingFields are measurement outputs, excluded from a record's identity
 // key so the key is stable run to run.
 var timingFields = map[string]bool{
-	"ns_per_op":    true,
-	"sets_per_sec": true,
-	"speedup":      true,
+	"ns_per_op":        true,
+	"sets_per_sec":     true,
+	"speedup":          true,
+	"requests_per_sec": true,
 }
 
 // recordKey returns the canonical identity of a record: its non-timing

@@ -8,116 +8,28 @@
 //	spokesman -random 30x40 -p 0.1 -seed 7
 //	spokesman -core 32                      (the Lemma 4.4 core graph)
 //	spokesman -gbad 16,8,5                  (the Lemma 3.3 construction)
+//	spokesman -core 32 -format json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-
-	"wexp/internal/badgraph"
-	"wexp/internal/bounds"
-	"wexp/internal/gen"
-	"wexp/internal/graph"
-	"wexp/internal/rng"
-	"wexp/internal/spokesman"
-	"wexp/internal/table"
 )
 
 func main() {
-	var (
-		load   = flag.String("load", "", "bipartite edge-list file")
-		random = flag.String("random", "", "random instance SxN, e.g. 30x40")
-		p      = flag.Float64("p", 0.1, "edge probability for -random")
-		core   = flag.Int("core", 0, "core graph parameter s (power of two)")
-		gbad   = flag.String("gbad", "", "Gbad parameters s,∆,β e.g. 16,8,5")
-		seed   = flag.Uint64("seed", 1, "RNG seed")
-		trials = flag.Int("trials", 16, "decay sampler trials")
-	)
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.Load, "load", cfg.Load, "bipartite edge-list file")
+	flag.StringVar(&cfg.Random, "random", cfg.Random, "random instance SxN, e.g. 30x40")
+	flag.Float64Var(&cfg.P, "p", cfg.P, "edge probability for -random")
+	flag.IntVar(&cfg.Core, "core", cfg.Core, "core graph parameter s (power of two)")
+	flag.StringVar(&cfg.GBad, "gbad", cfg.GBad, "Gbad parameters s,∆,β e.g. 16,8,5")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "RNG seed")
+	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "decay sampler trials")
+	flag.StringVar(&cfg.Format, "format", cfg.Format, "output format: text|json")
 	flag.Parse()
-	if err := run(*load, *random, *p, *core, *gbad, *seed, *trials); err != nil {
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spokesman:", err)
 		os.Exit(1)
 	}
-}
-
-func run(load, random string, p float64, core int, gbad string, seed uint64, trials int) error {
-	r := rng.New(seed)
-	b, name, err := buildInstance(load, random, p, core, gbad, r)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s: |S|=%d |N|=%d |E|=%d δS=%.2f δN=%.2f\n",
-		name, b.NS(), b.NN(), b.M(), b.AvgDegS(), b.AvgDegN())
-	fmt.Printf("bounds: Chlamtac–Weinstein |N|/log|S| = %.2f, paper scale |N|/log(2·min δ) = %.2f\n\n",
-		bounds.ChlamtacWeinstein(b.NN(), b.NS()),
-		bounds.PaperSpokesman(b.NN(), b.AvgDegN(), b.AvgDegS()))
-
-	tb := table.New("Spokesman election results",
-		"algorithm", "|Γ¹_S(S')|", "|S'|", "fraction of |N|")
-	add := func(sel spokesman.Selection) {
-		tb.AddRow(sel.Method, sel.Unique, len(sel.Subset),
-			float64(sel.Unique)/float64(maxInt(b.NN(), 1)))
-	}
-	add(spokesman.Decay(b, trials, r))
-	add(spokesman.GreedyUnique(b))
-	add(spokesman.PartitionSelect(b))
-	add(spokesman.PartitionRecursive(b))
-	add(spokesman.DegreeClass(b, spokesman.OptimalC))
-	add(spokesman.BestImproved(b, trials, r))
-	if b.NS() <= spokesman.MaxExhaustiveS {
-		opt, err := spokesman.Exhaustive(b)
-		if err == nil {
-			add(opt)
-		}
-	} else {
-		tb.Note = fmt.Sprintf("(exact optimum omitted: |S| = %d exceeds the exhaustive limit %d)",
-			b.NS(), spokesman.MaxExhaustiveS)
-	}
-	fmt.Print(tb.Text())
-	return nil
-}
-
-func buildInstance(load, random string, p float64, core int, gbad string, r *rng.RNG) (*graph.Bipartite, string, error) {
-	switch {
-	case load != "":
-		f, err := os.Open(load)
-		if err != nil {
-			return nil, "", err
-		}
-		defer f.Close()
-		b, err := graph.ReadBipartiteEdgeList(f)
-		return b, load, err
-	case core > 0:
-		c, err := badgraph.NewCore(core)
-		if err != nil {
-			return nil, "", err
-		}
-		return c.B, fmt.Sprintf("core-%d", core), nil
-	case gbad != "":
-		var s, delta, beta int
-		if _, err := fmt.Sscanf(gbad, "%d,%d,%d", &s, &delta, &beta); err != nil {
-			return nil, "", fmt.Errorf("bad -gbad %q: want s,∆,β", gbad)
-		}
-		g, err := badgraph.NewGBad(s, delta, beta)
-		if err != nil {
-			return nil, "", err
-		}
-		return g.B, fmt.Sprintf("gbad-%s", gbad), nil
-	case random != "":
-		var s, n int
-		if _, err := fmt.Sscanf(random, "%dx%d", &s, &n); err != nil {
-			return nil, "", fmt.Errorf("bad -random %q: want SxN", random)
-		}
-		return gen.RandomBipartite(s, n, p, r), fmt.Sprintf("random-%s", random), nil
-	default:
-		return gen.RandomBipartite(20, 30, p, r), "random-20x30 (default)", nil
-	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

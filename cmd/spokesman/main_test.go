@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func golden(t *testing.T, cfg Config, name string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestRunJSONGoldenCore(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Core, cfg.Format = 16, "json"
+	golden(t, cfg, "core16.json")
+}
+
+func TestRunJSONGoldenGBad(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.GBad, cfg.Format = "16,8,5", "json"
+	golden(t, cfg, "gbad16_8_5.json")
+}
+
+func TestRunTextGoldenRandom(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Random, cfg.Seed = "12x18", 7
+	golden(t, cfg, "random12x18.txt")
+}
+
+func TestRunJSONShape(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Core, cfg.Format = 16, "json"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep spokesmanReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.NS != 16 || len(rep.Results) == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	// The exhaustive optimum runs at |S| = 16 and must dominate every
+	// heuristic row.
+	best := 0
+	hasExact := false
+	for _, row := range rep.Results {
+		if row.Unique > best {
+			best = row.Unique
+		}
+		if strings.Contains(row.Algorithm, "exhaustive") {
+			hasExact = true
+			if row.Unique < best {
+				t.Fatalf("exhaustive (%d) beaten by a heuristic (%d)", row.Unique, best)
+			}
+		}
+	}
+	if !hasExact {
+		t.Fatal("exhaustive row missing at |S| = 16")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Random, cfg.Seed, cfg.Format = "15x25", 42, "json"
+	var a, b bytes.Buffer
+	if err := run(cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Format = "yaml"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for bad format")
+	}
+}
+
+func TestRunRejectsBadInstanceSpecs(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.GBad = "bogus" },
+		func(c *Config) { c.Random = "bogus" },
+		func(c *Config) { c.Load = filepath.Join(t.TempDir(), "missing.txt") },
+	} {
+		cfg := defaultConfig()
+		mutate(&cfg)
+		if err := run(cfg, &bytes.Buffer{}); err == nil {
+			t.Fatalf("expected error for config %+v", cfg)
+		}
+	}
+}

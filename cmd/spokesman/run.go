@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"wexp/internal/badgraph"
+	"wexp/internal/bounds"
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+	"wexp/internal/spokesman"
+	"wexp/internal/table"
+)
+
+// Config is the full parameter set of one spokesman invocation; main fills
+// it from flags, tests construct it directly.
+type Config struct {
+	Load   string
+	Random string
+	P      float64
+	Core   int
+	GBad   string
+	Seed   uint64
+	Trials int
+	Format string
+}
+
+func defaultConfig() Config {
+	return Config{
+		P:      0.1,
+		Seed:   1,
+		Trials: 16,
+		Format: "text",
+	}
+}
+
+// selectionRow is one algorithm's outcome, feeding both output formats.
+type selectionRow struct {
+	Algorithm  string  `json:"algorithm"`
+	Unique     int     `json:"unique"`
+	SubsetSize int     `json:"subset_size"`
+	Fraction   float64 `json:"fraction_of_n"`
+}
+
+// spokesmanReport is the full JSON document.
+type spokesmanReport struct {
+	Instance   string         `json:"instance"`
+	NS         int            `json:"ns"`
+	NN         int            `json:"nn"`
+	M          int            `json:"m"`
+	AvgDegS    float64        `json:"avg_deg_s"`
+	AvgDegN    float64        `json:"avg_deg_n"`
+	BoundCW    float64        `json:"bound_chlamtac_weinstein"`
+	BoundPaper float64        `json:"bound_paper_scale"`
+	Results    []selectionRow `json:"results"`
+	Note       string         `json:"note,omitempty"`
+}
+
+func run(cfg Config, w io.Writer) error {
+	if cfg.Format != "text" && cfg.Format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", cfg.Format)
+	}
+	r := rng.New(cfg.Seed)
+	b, name, err := buildInstance(cfg, r)
+	if err != nil {
+		return err
+	}
+	rep := spokesmanReport{
+		Instance: name,
+		NS:       b.NS(), NN: b.NN(), M: b.M(),
+		AvgDegS: b.AvgDegS(), AvgDegN: b.AvgDegN(),
+		BoundCW:    bounds.ChlamtacWeinstein(b.NN(), b.NS()),
+		BoundPaper: bounds.PaperSpokesman(b.NN(), b.AvgDegN(), b.AvgDegS()),
+	}
+
+	add := func(sel spokesman.Selection) {
+		rep.Results = append(rep.Results, selectionRow{
+			Algorithm:  sel.Method,
+			Unique:     sel.Unique,
+			SubsetSize: len(sel.Subset),
+			Fraction:   float64(sel.Unique) / float64(max(b.NN(), 1)),
+		})
+	}
+	add(spokesman.Decay(b, cfg.Trials, r))
+	add(spokesman.GreedyUnique(b))
+	add(spokesman.PartitionSelect(b))
+	add(spokesman.PartitionRecursive(b))
+	add(spokesman.DegreeClass(b, spokesman.OptimalC))
+	add(spokesman.BestImproved(b, cfg.Trials, r))
+	if b.NS() <= spokesman.MaxExhaustiveS {
+		if opt, err := spokesman.Exhaustive(b); err == nil {
+			add(opt)
+		}
+	} else {
+		rep.Note = fmt.Sprintf("(exact optimum omitted: |S| = %d exceeds the exhaustive limit %d)",
+			b.NS(), spokesman.MaxExhaustiveS)
+	}
+
+	if cfg.Format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(w, "%s: |S|=%d |N|=%d |E|=%d δS=%.2f δN=%.2f\n",
+		rep.Instance, rep.NS, rep.NN, rep.M, rep.AvgDegS, rep.AvgDegN)
+	fmt.Fprintf(w, "bounds: Chlamtac–Weinstein |N|/log|S| = %.2f, paper scale |N|/log(2·min δ) = %.2f\n\n",
+		rep.BoundCW, rep.BoundPaper)
+	tb := table.New("Spokesman election results",
+		"algorithm", "|Γ¹_S(S')|", "|S'|", "fraction of |N|")
+	for _, row := range rep.Results {
+		tb.AddRow(row.Algorithm, row.Unique, row.SubsetSize, row.Fraction)
+	}
+	tb.Note = rep.Note
+	_, err = io.WriteString(w, tb.Text())
+	return err
+}
+
+func buildInstance(cfg Config, r *rng.RNG) (*graph.Bipartite, string, error) {
+	switch {
+	case cfg.Load != "":
+		f, err := os.Open(cfg.Load)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		b, err := graph.ReadBipartiteEdgeList(f)
+		return b, cfg.Load, err
+	case cfg.Core > 0:
+		c, err := badgraph.NewCore(cfg.Core)
+		if err != nil {
+			return nil, "", err
+		}
+		return c.B, fmt.Sprintf("core-%d", cfg.Core), nil
+	case cfg.GBad != "":
+		var s, delta, beta int
+		if _, err := fmt.Sscanf(cfg.GBad, "%d,%d,%d", &s, &delta, &beta); err != nil {
+			return nil, "", fmt.Errorf("bad -gbad %q: want s,∆,β", cfg.GBad)
+		}
+		g, err := badgraph.NewGBad(s, delta, beta)
+		if err != nil {
+			return nil, "", err
+		}
+		return g.B, fmt.Sprintf("gbad-%s", cfg.GBad), nil
+	case cfg.Random != "":
+		var s, n int
+		if _, err := fmt.Sscanf(cfg.Random, "%dx%d", &s, &n); err != nil {
+			return nil, "", fmt.Errorf("bad -random %q: want SxN", cfg.Random)
+		}
+		return gen.RandomBipartite(s, n, cfg.P, r), fmt.Sprintf("random-%s", cfg.Random), nil
+	default:
+		return gen.RandomBipartite(20, 30, cfg.P, r), "random-20x30 (default)", nil
+	}
+}

@@ -34,7 +34,13 @@
 //     broadcast protocols it discusses (internal/radio);
 //   - the closed-form bounds of every lemma (internal/bounds) and the
 //     sharded, resumable experiment engine E1–E14 that regenerates each
-//     claim with deterministic JSON artifacts (internal/experiments).
+//     claim with deterministic JSON artifacts (internal/experiments);
+//   - the wexpd graph-analysis service (internal/service, cmd/wexpd): a
+//     content-addressed graph store keyed by the canonical digest
+//     (GraphDigest), a memoized byte-level result cache with singleflight
+//     request coalescing, and a cancellable job engine — the engines'
+//     bit-reproducibility is what makes responses cacheable and replicas
+//     interchangeable. Start it with Serve or NewService.
 //
 // This package is the public facade: it re-exports the types and wraps the
 // operations a downstream user needs, so examples and external code import

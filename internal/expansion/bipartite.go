@@ -1,6 +1,7 @@
 package expansion
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -53,7 +54,7 @@ func MinBipartiteExpansionOpts(b *graph.Bipartite, opt Options) (BipartiteResult
 	if s <= 62 && maxK == s && uint64(1)<<uint(s) <= budget {
 		return grayBipartite(b), nil
 	}
-	return bigBipartite(b, maxK, budget, opt.Workers)
+	return bigBipartite(b, maxK, budget, opt.Workers, opt.Ctx)
 }
 
 // grayBipartite is the legacy incremental Gray-code walk (|S| ≤ 62).
@@ -105,7 +106,7 @@ func grayBipartite(b *graph.Bipartite) BipartiteResult {
 // bigBipartite enumerates subsets of the S side by cardinality over the
 // chunked pool, with the same deterministic smallest-witness merge as the
 // graph engine.
-func bigBipartite(b *graph.Bipartite, maxK int, budget uint64, workers int) (BipartiteResult, error) {
+func bigBipartite(b *graph.Bipartite, maxK int, budget uint64, workers int, ctx context.Context) (BipartiteResult, error) {
 	s := b.NS()
 	work := enumWork(s, maxK, ObjOrdinary) // one unit per set
 	if work > budget {
@@ -141,7 +142,10 @@ func bigBipartite(b *graph.Bipartite, maxK int, budget uint64, workers int) (Bip
 			}
 		}
 	}
-	results := runPool(chunks, workers, run)
+	results, err := runPool(ctx, chunks, workers, run)
+	if err != nil {
+		return BipartiteResult{}, err
+	}
 	res := BipartiteResult{Value: math.Inf(1)}
 	var best *chunkBest
 	bestK := 0

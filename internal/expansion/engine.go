@@ -1,6 +1,7 @@
 package expansion
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -68,6 +69,10 @@ type Options struct {
 	// never depends on pruning (only Result.Pruned does); the switch exists
 	// for cross-checks and measurement.
 	NoPrune bool
+	// Ctx, when non-nil, cancels the enumeration: workers observe it at
+	// chunk boundaries and the solve returns Ctx.Err(). A nil Ctx means
+	// run to completion.
+	Ctx context.Context
 
 	// forceBig routes graphs with n ≤ 64 through the large-n bitset kernel;
 	// a test hook for cross-validating the two paths.
@@ -235,17 +240,23 @@ func poolWidth() int {
 
 // runPool fans the chunks over `workers` goroutines pulling from an atomic
 // cursor. Output is indexed by chunk, so scheduling order is invisible to
-// the merge.
-func runPool(chunks []chunk, workers int, run func(chunk) chunkBest) []chunkBest {
+// the merge. Cancellation is observed between chunks: a cancelled pool
+// stops promptly and returns ctx.Err() (partial output is discarded by the
+// caller).
+func runPool(ctx context.Context, chunks []chunk, workers int, run func(chunk) chunkBest) ([]chunkBest, error) {
 	out := make([]chunkBest, len(chunks))
+	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
 	if workers <= 1 {
 		for i, c := range chunks {
+			if cancelled() {
+				return nil, ctx.Err()
+			}
 			out[i] = run(c)
 		}
-		return out
+		return out, nil
 	}
 	var cursor atomic.Int64
 	cursor.Store(-1)
@@ -254,7 +265,7 @@ func runPool(chunks []chunk, workers int, run func(chunk) chunkBest) []chunkBest
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !cancelled() {
 				i := int(cursor.Add(1))
 				if i >= len(chunks) {
 					return
@@ -264,7 +275,10 @@ func runPool(chunks []chunk, workers int, run func(chunk) chunkBest) []chunkBest
 		}()
 	}
 	wg.Wait()
-	return out
+	if cancelled() {
+		return nil, ctx.Err()
+	}
+	return out, nil
 }
 
 // witnessLess orders two found chunkBests by their witness set's numeric
@@ -306,7 +320,10 @@ func solve(g *graph.Graph, obj Objective, maxK int, opt Options) (*engineOut, er
 		kn := newBigKernel(g, obj, !opt.NoPrune)
 		run = kn.run
 	}
-	results := runPool(chunks, workers, run)
+	results, err := runPool(opt.Ctx, chunks, workers, run)
+	if err != nil {
+		return nil, err
+	}
 	out := &engineOut{n: n, maxK: maxK, perK: make([]chunkBest, maxK+1)}
 	for i, r := range results {
 		out.sets += r.sets

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -82,6 +83,11 @@ type Options struct {
 	// the experiment ID and completion counts. Calls may arrive from
 	// worker goroutines in any order.
 	Progress func(id string, done, total int)
+	// Ctx, when non-nil, cancels the run: workers observe it at shard
+	// boundaries and RunSpec returns Ctx.Err(). Checkpoints written before
+	// the cancellation remain valid, so a later Resume continues from
+	// them. A nil Ctx means run to completion.
+	Ctx context.Context
 }
 
 // ErrInterrupted reports that Options.ShardLimit stopped a run before all
@@ -241,6 +247,9 @@ func RunSpec(spec *Spec, cfg Config, opt Options) (*Result, *Artifact, error) {
 		if firstErr.Load() != nil {
 			return -1
 		}
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return -1
+		}
 		if limit > 0 && executed.Add(1) > limit {
 			return -1
 		}
@@ -269,6 +278,9 @@ func RunSpec(spec *Spec, cfg Config, opt Options) (*Result, *Artifact, error) {
 	}
 	if err := firstErr.Load(); err != nil {
 		return nil, nil, err.(error)
+	}
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return nil, nil, opt.Ctx.Err()
 	}
 	for _, d := range done {
 		if !d {

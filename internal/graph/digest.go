@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// digestSchema versions the canonical byte encoding Digest hashes. Bump it
+// whenever the encoding changes, so digests from different schema
+// generations can never collide silently.
+const digestSchema = "wexp-graph-digest/v1"
+
+// Digest returns the canonical SHA-256 digest of the graph: a hash over
+// the schema tag, the vertex count, and the CSR adjacency arrays in
+// little-endian binary. Because Build canonicalizes every graph (sorted
+// neighbor lists, duplicates merged), two graphs built from any edge
+// orderings of the same simple graph digest identically — the property the
+// content-addressed graph store relies on. The digest covers labeled
+// structure only; it is not an isomorphism invariant.
+func Digest(g *Graph) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(digestSchema))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.n))
+	h.Write(buf[:])
+	// offsets is redundant given adj lengths, but hashing it pins the exact
+	// CSR layout: a future encoding change cannot collide with v1.
+	for _, o := range g.offsets {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(o))
+		h.Write(buf[:4])
+	}
+	for _, w := range g.adj {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(w))
+		h.Write(buf[:4])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// DigestString returns Digest as lowercase hex — the form used in service
+// URLs and JSON responses.
+func DigestString(g *Graph) string {
+	d := Digest(g)
+	return hex.EncodeToString(d[:])
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func buildFromEdges(t *testing.T, n int, edges [][2]int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestDigestInsensitiveToEdgeOrder(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}}
+	g1 := buildFromEdges(t, 4, edges)
+	// Reversed insertion order, flipped endpoints, and a duplicate edge all
+	// canonicalize away at Build time.
+	rev := [][2]int{{3, 1}, {3, 0}, {3, 2}, {2, 1}, {1, 0}, {0, 1}}
+	g2 := buildFromEdges(t, 4, rev)
+	if Digest(g1) != Digest(g2) {
+		t.Fatal("digest differs across edge insertion orders of the same graph")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	base := buildFromEdges(t, 4, [][2]int{{0, 1}, {1, 2}})
+	cases := map[string]*Graph{
+		"extra edge":      buildFromEdges(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		"different edge":  buildFromEdges(t, 4, [][2]int{{0, 1}, {1, 3}}),
+		"extra vertex":    buildFromEdges(t, 5, [][2]int{{0, 1}, {1, 2}}),
+		"relabeled":       buildFromEdges(t, 4, [][2]int{{0, 2}, {2, 1}}),
+		"empty same size": buildFromEdges(t, 4, nil),
+	}
+	bd := Digest(base)
+	for name, g := range cases {
+		if Digest(g) == bd {
+			t.Errorf("%s: digest collided with base graph", name)
+		}
+	}
+}
+
+func TestDigestStableAcrossSerialization(t *testing.T) {
+	// Round-tripping through the edge-list format must preserve the digest:
+	// this is the contract that lets the service dedupe uploads of graphs it
+	// has previously served.
+	g := buildFromEdges(t, 6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Digest(g) != Digest(g2) {
+		t.Fatal("digest changed across WriteEdgeList/ReadEdgeList round trip")
+	}
+}
+
+func TestDigestStringGolden(t *testing.T) {
+	// Pin the v1 encoding: if this digest ever changes, the on-the-wire
+	// schema changed and digestSchema must be bumped.
+	g := buildFromEdges(t, 3, [][2]int{{0, 1}, {1, 2}})
+	const want = "32698a540025812f19cf4b6f642da4f3bfd4db69a7fe48142fcef58ad4d5fdbc"
+	if got := DigestString(g); got != want {
+		t.Fatalf("DigestString = %s, want %s (v1 encoding changed?)", got, want)
+	}
+}

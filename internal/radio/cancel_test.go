@@ -1,0 +1,83 @@
+package radio
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/rng"
+)
+
+// countdownCtx flips Err() to Canceled after a fixed number of
+// observations, making mid-run cancellation deterministic in tests.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func decayFactory(r *rng.RNG) Protocol { return &Decay{R: r} }
+
+func TestMonteCarloCancelledBeforeStart(t *testing.T) {
+	g := gen.CPlus(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := MonteCarlo(g, 0, decayFactory, 32, Options{Workers: workers, Seed: 1, Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got err %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestMonteCarloCancelledMidRun(t *testing.T) {
+	g := gen.CPlus(16)
+	for _, workers := range []int{1, 4} {
+		ctx := newCountdownCtx(3)
+		_, err := MonteCarlo(g, 0, decayFactory, 64, Options{Workers: workers, Seed: 1, Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got err %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestMonteCarloRerunAfterCancelIsIdentical(t *testing.T) {
+	// A cancelled run must leave no trace: a fresh run with the same seed
+	// produces the same bytes as one that was never preceded by a
+	// cancellation (trial RNG streams are pre-split per run).
+	g := gen.CPlus(16)
+	opt := Options{Workers: 2, Seed: 9, TraceRounds: -1}
+	want, err := MonteCarlo(g, 0, decayFactory, 16, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelledOpt := opt
+	cancelledOpt.Ctx = newCountdownCtx(2)
+	if _, err := MonteCarlo(g, 0, decayFactory, 16, cancelledOpt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	got, err := MonteCarlo(g, 0, decayFactory, 16, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatal("result after a cancelled run differs from a fresh run")
+	}
+}

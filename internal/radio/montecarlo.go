@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -43,6 +44,10 @@ type Options struct {
 	// DefaultTraceRounds, negative = none). Totals and per-trial records
 	// always cover the full run regardless of this cap.
 	TraceRounds int
+	// Ctx, when non-nil, cancels the run: workers observe it at trial
+	// boundaries and MonteCarlo returns Ctx.Err(). A nil Ctx means run to
+	// completion.
+	Ctx context.Context
 }
 
 // TrialResult is the per-trial record of a Monte-Carlo run.
@@ -177,8 +182,12 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 	if workers > trials {
 		workers = trials
 	}
+	cancelled := func() bool { return opt.Ctx != nil && opt.Ctx.Err() != nil }
 	if workers <= 1 {
 		for i := 0; i < trials; i++ {
+			if cancelled() {
+				return nil, opt.Ctx.Err()
+			}
 			runTrial(i)
 		}
 	} else {
@@ -189,7 +198,7 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for !cancelled() {
 					i := int(cursor.Add(1))
 					if i >= trials {
 						return
@@ -199,6 +208,9 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 			}()
 		}
 		wg.Wait()
+		if cancelled() {
+			return nil, opt.Ctx.Err()
+		}
 	}
 
 	// Deterministic merge: everything below iterates in trial index order.

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheBytes bounds the result cache when Config.CacheBytes is
+// zero: 64 MiB of response bodies.
+const DefaultCacheBytes = 64 << 20
+
+// Cache is the memoized result cache: canonical request key → the exact
+// response body served for it. Eviction is LRU by total byte size. Storing
+// bodies (rather than decoded results) is what makes the caching contract
+// byte-level: a hit replays the previous response verbatim.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache bounded to maxBytes of stored values (0 means
+// DefaultCacheBytes).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key, marking it most recently used and
+// counting a hit or a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	return c.lookup(key, true)
+}
+
+// peek is Get without the miss accounting: used for the double-check
+// inside a singleflight execution, whose request already recorded its miss
+// before entering the flight. A find still counts as a hit (bytes are
+// served from cache) and refreshes recency.
+func (c *Cache) peek(key string) ([]byte, bool) {
+	return c.lookup(key, false)
+}
+
+func (c *Cache) lookup(key string, countMiss bool) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		if countMiss {
+			c.misses++
+		}
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores the body for key and evicts least-recently-used entries until
+// the byte budget holds. A value larger than the whole budget is not
+// cached at all (it would only evict everything else for one entry).
+func (c *Cache) Put(key string, val []byte) {
+	if int64(len(val)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.curBytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.items[key] = el
+		c.curBytes += int64(len(val))
+	}
+	for c.curBytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.curBytes -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.curBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(100)
+	val := bytes.Repeat([]byte("x"), 40)
+	c.Put("a", val)
+	c.Put("b", val)
+	// Touch "a" so "b" is the LRU victim when "c" overflows the budget.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", val)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats wrong after eviction: %+v", st)
+	}
+}
+
+func TestCacheOversizedValueNotCached(t *testing.T) {
+	c := NewCache(10)
+	c.Put("huge", bytes.Repeat([]byte("x"), 11))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("value larger than the budget must not be cached")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := NewCache(100)
+	c.Put("k", []byte("short"))
+	c.Put("k", []byte("a-longer-value"))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "a-longer-value" {
+		t.Fatalf("got %q %v", got, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != int64(len("a-longer-value")) {
+		t.Fatalf("stats wrong after update: %+v", st)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%17)
+				c.Put(key, []byte(key))
+				if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("corrupt value for %s: %q", key, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	const n = 16
+	gate := make(chan struct{})
+	arrived := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrived <- struct{}{}
+			val, err, _ := g.Do(nil, "key", func(context.Context) ([]byte, error) {
+				<-gate // hold the first execution until everyone arrived
+				return []byte("value"), nil
+			})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+			results[i] = val
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-arrived
+	}
+	close(gate)
+	wg.Wait()
+	for i, r := range results {
+		if string(r) != "value" {
+			t.Fatalf("call %d got %q", i, r)
+		}
+	}
+	st := g.stats()
+	if st.Executed+st.Coalesced != n {
+		t.Fatalf("executed %d + coalesced %d != %d calls", st.Executed, st.Coalesced, n)
+	}
+	// The gate guarantees the first call is still executing while the rest
+	// arrive — but a goroutine may be preempted between `arrived` and
+	// `Do`, landing after the flight closed and starting a new execution.
+	// What must never happen is n executions (no coalescing at all).
+	if st.Executed >= n {
+		t.Fatalf("no coalescing happened: %d executions for %d calls", st.Executed, n)
+	}
+}
+
+func TestFlightGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	g := newFlightGroup()
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		val, err, shared := g.Do(nil, key, func(context.Context) ([]byte, error) { return []byte(key), nil })
+		if err != nil || shared || string(val) != key {
+			t.Fatalf("key %s: val=%q err=%v shared=%v", key, val, err, shared)
+		}
+	}
+	if st := g.stats(); st.Executed != 3 || st.Coalesced != 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+// TestFlightGroupWaiterCancelDoesNotAbortExecution: a waiter abandoning
+// the flight returns its own ctx.Err() while the execution — still wanted
+// by the owner — runs to completion.
+func TestFlightGroupWaiterCancelDoesNotAbortExecution(t *testing.T) {
+	g := newFlightGroup()
+	inFlight := make(chan struct{})
+	gate := make(chan struct{})
+	var ownerVal []byte
+	var ownerErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ownerVal, ownerErr, _ = g.Do(nil, "key", func(runCtx context.Context) ([]byte, error) {
+			close(inFlight)
+			<-gate
+			if runCtx.Err() != nil {
+				return nil, runCtx.Err()
+			}
+			return []byte("value"), nil
+		})
+	}()
+	<-inFlight
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, shared := g.Do(ctx, "key", func(context.Context) ([]byte, error) {
+		t.Error("waiter must not execute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) || !shared {
+		t.Fatalf("cancelled waiter: err=%v shared=%v", err, shared)
+	}
+	close(gate)
+	<-done
+	if ownerErr != nil || string(ownerVal) != "value" {
+		t.Fatalf("owner was disturbed by the waiter's cancellation: val=%q err=%v", ownerVal, ownerErr)
+	}
+}
+
+// TestFlightGroupLastCancelAbortsExecution: when every caller has
+// cancelled, the execution context fires so the engines can stop at the
+// next boundary.
+func TestFlightGroupLastCancelAbortsExecution(t *testing.T) {
+	g := newFlightGroup()
+	inFlight := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, runErr, _ = g.Do(ctx, "key", func(runCtx context.Context) ([]byte, error) {
+			close(inFlight)
+			<-runCtx.Done() // the refcount dropping to zero must fire this
+			return nil, runCtx.Err()
+		})
+	}()
+	<-inFlight
+	cancel() // the sole caller cancels → execution ctx must be cancelled
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("execution context never fired after the last caller cancelled")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", runErr)
+	}
+}
+
+func TestStoreDedupAndLabels(t *testing.T) {
+	s := NewStore(8)
+	e1, existed, err := s.PutFamily("hypercube", 3)
+	if err != nil || existed {
+		t.Fatalf("first put: %v existed=%v", err, existed)
+	}
+	e2, existed, err := s.PutFamily("hypercube", 3)
+	if err != nil || !existed || e2.Digest != e1.Digest {
+		t.Fatalf("second put did not dedupe: %v existed=%v", err, existed)
+	}
+	if _, _, err := s.Put(e1.Graph(), "alias"); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots are copies: e1 (taken before the alias) is frozen, a fresh
+	// Get sees both labels.
+	if len(e1.Labels) != 1 {
+		t.Fatalf("old snapshot mutated: %v", e1.Labels)
+	}
+	cur, ok := s.Get(e1.Digest)
+	if !ok || len(cur.Labels) != 2 {
+		t.Fatalf("labels = %v, want family label + alias", cur.Labels)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store len = %d, want 1", s.Len())
+	}
+}

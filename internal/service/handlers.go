@@ -1,0 +1,761 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wexp/internal/bitset"
+	"wexp/internal/expansion"
+	"wexp/internal/experiments"
+	"wexp/internal/graph"
+	"wexp/internal/radio"
+	"wexp/internal/rng"
+	"wexp/internal/spokesman"
+	"wexp/internal/stats"
+)
+
+// maxUploadBytes bounds graph uploads.
+const maxUploadBytes = 32 << 20
+
+// httpError carries a status code through the parse/compute helpers.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeErr emits the canonical JSON error body.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable
+	default:
+		// Engine refusals (budget exceeded, infeasible parameters) are
+		// client-fixable: report them as unprocessable rather than 500.
+		code = http.StatusUnprocessableEntity
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON marshals v compactly — the same encoding execute caches. A
+// marshal failure is a server bug and reports as 500, never as a client
+// error.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeErr(w, errf(http.StatusInternalServerError, "encode response: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+// serveComputed runs spec synchronously (or as a job when async is set)
+// and writes the response. The X-Cache header reports hit, miss, or
+// coalesced so clients and the smoke test can observe the memoization
+// without /metrics.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, spec computeSpec, async bool) {
+	if async {
+		writeJSON(w, http.StatusAccepted, s.startJob(spec))
+		return
+	}
+	body, src, err := s.execute(r.Context(), spec, nil)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", string(src))
+	w.Write(body)
+}
+
+// --- parameter helpers -------------------------------------------------------
+
+func qInt(q url.Values, key string, def int) (int, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, errf(http.StatusBadRequest, "bad %s=%q: want integer", key, v)
+	}
+	return n, nil
+}
+
+func qUint64(q url.Values, key string, def uint64) (uint64, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, errf(http.StatusBadRequest, "bad %s=%q: want unsigned integer", key, v)
+	}
+	return n, nil
+}
+
+func qFloat(q url.Values, key string, def float64) (float64, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, errf(http.StatusBadRequest, "bad %s=%q: want number", key, v)
+	}
+	return f, nil
+}
+
+func qBool(q url.Values, key string) bool {
+	switch strings.ToLower(q.Get(key)) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// resolveGraph resolves the graph a request addresses: either an existing
+// store entry via ?graph=<digest>, or a named family via ?family=&size=
+// (registered on first use, deduped by digest thereafter).
+func (s *Server) resolveGraph(q url.Values) (StoredGraph, error) {
+	if d := q.Get("graph"); d != "" {
+		e, ok := s.store.Get(d)
+		if !ok {
+			return StoredGraph{}, errf(http.StatusNotFound, "unknown graph %s (upload it via POST /v1/graphs)", d)
+		}
+		return e, nil
+	}
+	if family := q.Get("family"); family != "" {
+		size, err := qInt(q, "size", 0)
+		if err != nil {
+			return StoredGraph{}, err
+		}
+		if size <= 0 {
+			return StoredGraph{}, errf(http.StatusBadRequest, "family=%s requires size>0", family)
+		}
+		e, _, err := s.store.PutFamily(family, size)
+		if err != nil {
+			if errors.Is(err, ErrStoreFull) {
+				return StoredGraph{}, errf(http.StatusInsufficientStorage, "%v", err)
+			}
+			return StoredGraph{}, errf(http.StatusBadRequest, "%v", err)
+		}
+		return e, nil
+	}
+	return StoredGraph{}, errf(http.StatusBadRequest, "missing graph=<digest> or family=<name>&size=<n>")
+}
+
+// fmtFloat is the canonical float encoding used in cache keys.
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// bitsetToInts converts a witness bitset to a sorted vertex list (nil-safe).
+func bitsetToInts(set *bitset.Set) []int {
+	out := []int{}
+	if set != nil {
+		set.ForEach(func(i int) { out = append(out, i) })
+	}
+	sort.Ints(out)
+	return out
+}
+
+// --- graphs ------------------------------------------------------------------
+
+// graphPutResponse is the body of POST /v1/graphs.
+type graphPutResponse struct {
+	Digest string   `json:"digest"`
+	N      int      `json:"n"`
+	M      int      `json:"m"`
+	Labels []string `json:"labels,omitempty"`
+	// Existed reports dedup: the graph was already stored under this
+	// digest (perhaps via another family or upload).
+	Existed bool `json:"existed"`
+}
+
+func (s *Server) handleGraphPut(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var (
+		e       StoredGraph
+		existed bool
+		err     error
+	)
+	if family := q.Get("family"); family != "" {
+		var size int
+		if size, err = qInt(q, "size", 0); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if size <= 0 {
+			writeErr(w, errf(http.StatusBadRequest, "family=%s requires size>0", family))
+			return
+		}
+		e, existed, err = s.store.PutFamily(family, size)
+		if err != nil && !errors.Is(err, ErrStoreFull) {
+			err = errf(http.StatusBadRequest, "%v", err)
+		}
+	} else {
+		g, rerr := graph.ReadEdgeList(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if rerr != nil {
+			writeErr(w, errf(http.StatusBadRequest, "parse edge list: %v", rerr))
+			return
+		}
+		e, existed, err = s.store.Put(g, "upload")
+	}
+	if err != nil {
+		if errors.Is(err, ErrStoreFull) {
+			err = errf(http.StatusInsufficientStorage, "%v", err)
+		}
+		writeErr(w, err)
+		return
+	}
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, graphPutResponse{
+		Digest: e.Digest, N: e.N, M: e.M, Labels: e.Labels, Existed: existed,
+	})
+}
+
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	list := s.store.List()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(list), "graphs": list})
+}
+
+func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.Get(r.PathValue("digest"))
+	if !ok {
+		writeErr(w, errf(http.StatusNotFound, "unknown graph %s", r.PathValue("digest")))
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+func (s *Server) handleGraphEdges(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.Get(r.PathValue("digest"))
+	if !ok {
+		writeErr(w, errf(http.StatusNotFound, "unknown graph %s", r.PathValue("digest")))
+		return
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, e.Graph()); err != nil {
+		writeErr(w, errf(http.StatusInternalServerError, "serialize graph: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// --- expansion ---------------------------------------------------------------
+
+// expansionResponse is the memoized document of one exact expansion
+// computation. Every field is a deterministic function of the key —
+// notably, the engine's Pruned counter is excluded: it depends on the
+// chunk partition (and hence the worker count), which must never leak
+// into a cached body.
+type expansionResponse struct {
+	Graph        string  `json:"graph"`
+	Objective    string  `json:"objective"`
+	MaxK         int     `json:"max_k"`
+	Budget       uint64  `json:"budget"`
+	Value        float64 `json:"value"`
+	Witness      []int   `json:"witness"`
+	InnerWitness []int   `json:"inner_witness,omitempty"`
+	Sets         int     `json:"sets"`
+}
+
+var objectives = map[string]expansion.Objective{
+	"ordinary": expansion.ObjOrdinary,
+	"unique":   expansion.ObjUnique,
+	"wireless": expansion.ObjWireless,
+	"edge":     expansion.ObjEdge,
+}
+
+func (s *Server) handleExpansion(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	e, err := s.resolveGraph(q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	objName := q.Get("obj")
+	if objName == "" {
+		objName = "ordinary"
+	}
+	obj, ok := objectives[objName]
+	if !ok {
+		writeErr(w, errf(http.StatusBadRequest, "unknown obj=%q (want ordinary|unique|wireless|edge)", objName))
+		return
+	}
+	alpha, err := qFloat(q, "alpha", 0.5)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	maxK, err := qInt(q, "maxk", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	budget, err := qUint64(q, "budget", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if budget == 0 {
+		budget = min(expansion.DefaultBudget, s.cfg.maxBudget())
+	}
+	if budget > s.cfg.maxBudget() {
+		writeErr(w, errf(http.StatusUnprocessableEntity,
+			"budget %d exceeds the server cap %d", budget, s.cfg.maxBudget()))
+		return
+	}
+	// Canonicalize the size cap: alpha resolves to the same MaxK the
+	// engine would use, so alpha=0.5 and the equivalent maxk share one
+	// cache entry and one response body.
+	if maxK <= 0 {
+		maxK = expansion.MaxSetSize(e.N, alpha)
+	}
+	if maxK < 1 || maxK > e.N {
+		writeErr(w, errf(http.StatusBadRequest,
+			"size cap %d out of range [1,%d] (alpha=%s)", maxK, e.N, fmtFloat(alpha)))
+		return
+	}
+
+	g := e.Graph()
+	digest := e.Digest
+	spec := computeSpec{
+		op:  "expansion",
+		key: fmt.Sprintf("expansion|g=%s|obj=%s|maxk=%d|budget=%d", digest, objName, maxK, budget),
+		run: func(ctx context.Context, _ func(int, int)) (any, error) {
+			res, err := expansion.Exact(g, obj, expansion.Options{
+				MaxK: maxK, Budget: budget, Workers: s.cfg.Workers, Ctx: ctx,
+			})
+			if err != nil {
+				return nil, err
+			}
+			resp := expansionResponse{
+				Graph: digest, Objective: objName, MaxK: maxK, Budget: budget,
+				Value:   res.Value,
+				Witness: bitsetToInts(res.Witness),
+				Sets:    res.Sets,
+			}
+			if res.InnerWitness != nil {
+				resp.InnerWitness = bitsetToInts(res.InnerWitness)
+			}
+			return resp, nil
+		},
+	}
+	s.serveComputed(w, r, spec, qBool(q, "async"))
+}
+
+// --- spokesman ---------------------------------------------------------------
+
+// spokesmanResponse reports a certified spokesman selection over the
+// framework graph induced by a concrete vertex set S.
+type spokesmanResponse struct {
+	Graph  string `json:"graph"`
+	S      []int  `json:"s"`
+	Trials int    `json:"trials"`
+	Seed   uint64 `json:"seed"`
+	Method string `json:"method"`
+	// Unique is the certified count of uniquely covered external
+	// neighbors; Unique/|S| lower-bounds the wireless expansion of S.
+	Unique int   `json:"unique"`
+	Subset []int `json:"subset"`
+}
+
+func (s *Server) handleSpokesman(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	e, err := s.resolveGraph(q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	set, err := parseVertexSet(q.Get("s"), e.N)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	trials, err := qInt(q, "trials", 16)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if trials < 1 || trials > 100_000 {
+		writeErr(w, errf(http.StatusBadRequest, "trials=%d out of range [1,100000]", trials))
+		return
+	}
+	seed, err := qUint64(q, "seed", 1)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	g := e.Graph()
+	digest := e.Digest
+	setStr := intsToCSV(set)
+	spec := computeSpec{
+		op:  "spokesman",
+		key: fmt.Sprintf("spokesman|g=%s|s=%s|trials=%d|seed=%d", digest, setStr, trials, seed),
+		run: func(ctx context.Context, _ func(int, int)) (any, error) {
+			// The portfolio is cheap relative to a request round trip; it
+			// runs to completion (no chunk boundaries to observe).
+			b, _ := graph.InducedBipartite(g, set)
+			sel := spokesman.Best(b, trials, rng.New(seed))
+			verts := make([]int, len(sel.Subset))
+			for i, u := range sel.Subset {
+				verts[i] = set[u]
+			}
+			sort.Ints(verts)
+			return spokesmanResponse{
+				Graph: digest, S: set, Trials: trials, Seed: seed,
+				Method: sel.Method, Unique: sel.Unique, Subset: verts,
+			}, nil
+		},
+	}
+	s.serveComputed(w, r, spec, qBool(q, "async"))
+}
+
+// parseVertexSet parses "0,3,7" into a sorted duplicate-free vertex list —
+// the canonical form used in cache keys, so permutations of the same set
+// share one entry.
+func parseVertexSet(val string, n int) ([]int, error) {
+	if val == "" {
+		return nil, errf(http.StatusBadRequest, "missing s=<comma-separated vertex list>")
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, part := range strings.Split(val, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad vertex %q in s", part)
+		}
+		if v < 0 || v >= n {
+			return nil, errf(http.StatusBadRequest, "vertex %d out of range [0,%d)", v, n)
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func intsToCSV(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// --- broadcast ---------------------------------------------------------------
+
+// broadcastResponse summarizes a Monte-Carlo broadcast run. Per-trial
+// records are deliberately omitted to keep bodies bounded at large trial
+// counts; the aggregates are deterministic functions of the key.
+type broadcastResponse struct {
+	Graph              string               `json:"graph"`
+	Protocol           string               `json:"protocol"`
+	Source             int                  `json:"source"`
+	Trials             int                  `json:"trials"`
+	Seed               uint64               `json:"seed"`
+	MaxRounds          int                  `json:"max_rounds"`
+	Completed          int                  `json:"completed"`
+	Rounds             stats.Summary        `json:"rounds"`
+	TotalCollisions    int64                `json:"total_collisions"`
+	TotalTransmissions int64                `json:"total_transmissions"`
+	CompletionHist     *stats.Histogram     `json:"completion_hist,omitempty"`
+	InformedByRound    []radio.RoundSummary `json:"informed_by_round,omitempty"`
+}
+
+var protocols = map[string]func(r *rng.RNG) radio.Protocol{
+	"flood":       func(*rng.RNG) radio.Protocol { return radio.Flood{} },
+	"prob-flood":  func(r *rng.RNG) radio.Protocol { return &radio.ProbFlood{P: 0.5, R: r} },
+	"round-robin": func(*rng.RNG) radio.Protocol { return radio.RoundRobin{} },
+	"decay":       func(r *rng.RNG) radio.Protocol { return &radio.Decay{R: r} },
+	"spokesman":   func(r *rng.RNG) radio.Protocol { return &radio.Spokesman{R: r, Trials: 4} },
+}
+
+func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	e, err := s.resolveGraph(q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	protoName := q.Get("protocol")
+	if protoName == "" {
+		protoName = "decay"
+	}
+	factory, ok := protocols[protoName]
+	if !ok {
+		writeErr(w, errf(http.StatusBadRequest,
+			"unknown protocol=%q (want flood|prob-flood|round-robin|decay|spokesman)", protoName))
+		return
+	}
+	source, err := qInt(q, "source", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	trials, err := qInt(q, "trials", 32)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if trials < 1 || trials > s.cfg.maxTrials() {
+		writeErr(w, errf(http.StatusBadRequest, "trials=%d out of range [1,%d]", trials, s.cfg.maxTrials()))
+		return
+	}
+	seed, err := qUint64(q, "seed", 1)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	maxRounds, err := qInt(q, "maxrounds", 10_000)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if maxRounds < 1 || maxRounds > radio.DefaultMaxRounds {
+		writeErr(w, errf(http.StatusBadRequest, "maxrounds=%d out of range [1,%d]", maxRounds, radio.DefaultMaxRounds))
+		return
+	}
+	trace, err := qInt(q, "trace", -1)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if trace > 4096 {
+		writeErr(w, errf(http.StatusBadRequest, "trace=%d exceeds the cap 4096", trace))
+		return
+	}
+	if trace <= 0 {
+		trace = -1 // canonical "no per-round summaries"
+	}
+
+	g := e.Graph()
+	digest := e.Digest
+	if source < 0 || source >= e.N {
+		writeErr(w, errf(http.StatusBadRequest, "source %d out of range [0,%d)", source, e.N))
+		return
+	}
+	spec := computeSpec{
+		op: "broadcast",
+		key: fmt.Sprintf("broadcast|g=%s|proto=%s|source=%d|trials=%d|seed=%d|maxrounds=%d|trace=%d",
+			digest, protoName, source, trials, seed, maxRounds, trace),
+		run: func(ctx context.Context, _ func(int, int)) (any, error) {
+			mc, err := radio.MonteCarlo(g, source, factory, trials, radio.Options{
+				Workers:     s.cfg.Workers,
+				Seed:        seed,
+				MaxRounds:   maxRounds,
+				TraceRounds: trace,
+				Ctx:         ctx,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return broadcastResponse{
+				Graph: digest, Protocol: protoName, Source: source,
+				Trials: trials, Seed: seed, MaxRounds: maxRounds,
+				Completed:          mc.Completed,
+				Rounds:             mc.Rounds,
+				TotalCollisions:    mc.TotalCollisions,
+				TotalTransmissions: mc.TotalTransmissions,
+				CompletionHist:     mc.CompletionHist,
+				InformedByRound:    mc.InformedByRound,
+			}, nil
+		},
+	}
+	s.serveComputed(w, r, spec, qBool(q, "async"))
+}
+
+// --- experiments -------------------------------------------------------------
+
+// experimentsResponse reports a reproduction-suite run: one row per
+// experiment with its verdict and notes.
+type experimentsResponse struct {
+	IDs      []string            `json:"ids"`
+	Seed     uint64              `json:"seed"`
+	Quick    bool                `json:"quick"`
+	Trials   int                 `json:"trials,omitempty"`
+	Failures int                 `json:"failures"`
+	Results  []experimentSummary `json:"results"`
+}
+
+type experimentSummary struct {
+	ID       string   `json:"id"`
+	Title    string   `json:"title"`
+	PaperRef string   `json:"paper_ref,omitempty"`
+	Pass     bool     `json:"pass"`
+	Notes    []string `json:"notes,omitempty"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ids, err := canonicalExperimentIDs(q.Get("ids"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	seed, err := qUint64(q, "seed", 20180220)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	trials, err := qInt(q, "trials", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if trials < 0 {
+		writeErr(w, errf(http.StatusBadRequest, "trials must be non-negative"))
+		return
+	}
+	quick := qBool(q, "quick")
+	// Experiments are the service's heaviest operation: they default to
+	// the job engine. async=0 forces a synchronous run (quick grids only
+	// in practice).
+	async := true
+	if v := q.Get("async"); v != "" {
+		async = qBool(q, "async")
+	}
+
+	cfg := experiments.Config{Seed: seed, Quick: quick, Trials: trials}
+	spec := computeSpec{
+		op: "experiments",
+		key: fmt.Sprintf("experiments|ids=%s|seed=%d|quick=%t|trials=%d",
+			strings.Join(ids, ","), seed, quick, trials),
+		run: func(ctx context.Context, progress func(int, int)) (any, error) {
+			specs, err := experiments.Select(ids)
+			if err != nil {
+				return nil, err
+			}
+			var hook func(string, int, int)
+			if progress != nil {
+				hook = func(_ string, done, total int) { progress(done, total) }
+			}
+			rep, err := experiments.Run(specs, cfg, experiments.Options{
+				Workers:  s.cfg.Workers,
+				Ctx:      ctx,
+				Progress: hook,
+			})
+			if err != nil {
+				return nil, err
+			}
+			resp := experimentsResponse{
+				IDs: ids, Seed: seed, Quick: quick, Trials: trials,
+				Failures: rep.Failures,
+			}
+			for _, res := range rep.Results {
+				resp.Results = append(resp.Results, experimentSummary{
+					ID: res.ID, Title: res.Title, PaperRef: res.PaperRef,
+					Pass: res.Pass, Notes: res.Notes,
+				})
+			}
+			return resp, nil
+		},
+	}
+	s.serveComputed(w, r, spec, async)
+}
+
+// canonicalExperimentIDs validates a comma-separated ID list against the
+// registry and returns it in registry order (the canonical form shared by
+// cache keys); empty means the full suite.
+func canonicalExperimentIDs(val string) ([]string, error) {
+	want := map[string]bool{}
+	if val != "" {
+		for _, id := range strings.Split(val, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			found := false
+			for _, e := range experiments.All {
+				if e.ID == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, errf(http.StatusBadRequest, "unknown experiment %q", id)
+			}
+			want[id] = true
+		}
+		if len(want) == 0 {
+			return nil, errf(http.StatusBadRequest, "empty ids list")
+		}
+	}
+	var ids []string
+	for _, e := range experiments.All {
+		if len(want) == 0 || want[e.ID] {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids, nil
+}
+
+// --- jobs --------------------------------------------------------------------
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	list := s.jobs.list()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(list), "jobs": list})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, errf(http.StatusNotFound, "unknown job %s", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, errf(http.StatusNotFound, "unknown job %s", r.PathValue("id")))
+		return
+	}
+	view := j.snapshot()
+	if view.State != JobDone {
+		writeErr(w, errf(http.StatusConflict, "job %s is %s, not done", view.ID, view.State))
+		return
+	}
+	// Serve through the normal memoized path: usually a pure cache hit; if
+	// the entry was evicted, the deterministic engines reproduce the same
+	// bytes.
+	s.serveComputed(w, r, j.spec, false)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, errf(http.StatusNotFound, "unknown job %s", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}

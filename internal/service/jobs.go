@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// JobState is the lifecycle state of a job. Transitions:
+// running → done | failed | cancelled. (Jobs start running immediately;
+// there is no queue — the engine bounds concurrency with a semaphore.)
+type JobState string
+
+const (
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// JobView is the JSON representation of a job, a consistent snapshot.
+type JobView struct {
+	ID    string   `json:"id"`
+	Op    string   `json:"op"`
+	State JobState `json:"state"`
+	// Done/Total report shard-level progress for operations that expose it
+	// (experiments); both zero otherwise.
+	Done  int    `json:"progress_done,omitempty"`
+	Total int    `json:"progress_total,omitempty"`
+	Error string `json:"error,omitempty"`
+	// ResultURL is where the result body is served once State is done. The
+	// result is a normal cached computation: fetching it replays the
+	// byte-identical memoized response.
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// job is the engine's internal record. spec is retained so the result
+// endpoint can replay the computation through the cache (normally a pure
+// cache hit; a recomputation after eviction reproduces the same bytes).
+type job struct {
+	mu              sync.Mutex
+	view            JobView
+	spec            computeSpec
+	cancel          context.CancelFunc
+	cancelRequested bool
+}
+
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view
+}
+
+func (j *job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.view.Done, j.view.Total = done, total
+	j.mu.Unlock()
+}
+
+// finish records the terminal state. Success wins: a DELETE that lands
+// after the computation completed (but before this bookkeeping ran) must
+// not hide a result that is already cached. Among failures, a cancelled
+// context wins over the error it caused.
+func (j *job) finish(err error, ctx context.Context, resultURL string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.view.State = JobDone
+		j.view.ResultURL = resultURL
+	case ctx.Err() != nil:
+		j.view.State = JobCancelled
+		j.view.Error = ctx.Err().Error()
+	default:
+		j.view.State = JobFailed
+		j.view.Error = err.Error()
+	}
+}
+
+// jobEngine owns every job the server has started. Completed jobs are kept
+// (bounded by maxJobs) so clients can poll terminal states; the oldest
+// terminal jobs are dropped once the bound is hit.
+type jobEngine struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // creation order, for eviction and listing
+	nextID  int
+	maxJobs int
+
+	created   int64
+	cancelled int64
+}
+
+// defaultMaxJobs bounds the job table when Config.MaxJobs is zero.
+const defaultMaxJobs = 1024
+
+func newJobEngine(maxJobs int) *jobEngine {
+	if maxJobs <= 0 {
+		maxJobs = defaultMaxJobs
+	}
+	return &jobEngine{jobs: make(map[string]*job), maxJobs: maxJobs}
+}
+
+// create registers a new running job and returns it with its cancellable
+// context. IDs are sequential per server instance.
+func (e *jobEngine) create(spec computeSpec) (*job, context.Context) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e.mu.Lock()
+	e.nextID++
+	id := fmt.Sprintf("job-%06d", e.nextID)
+	j := &job{view: JobView{ID: id, Op: spec.op, State: JobRunning}, spec: spec, cancel: cancel}
+	e.jobs[id] = j
+	e.order = append(e.order, id)
+	e.created++
+	e.evictLocked()
+	e.mu.Unlock()
+	return j, ctx
+}
+
+// evictLocked drops the oldest terminal jobs beyond maxJobs. Running jobs
+// are never evicted.
+func (e *jobEngine) evictLocked() {
+	if len(e.jobs) <= e.maxJobs {
+		return
+	}
+	kept := e.order[:0]
+	for _, id := range e.order {
+		j := e.jobs[id]
+		if len(e.jobs) > e.maxJobs && j != nil && j.snapshot().State != JobRunning {
+			delete(e.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+}
+
+func (e *jobEngine) get(id string) (*job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// cancelJob cancels a job's context. Cancelling a terminal job is a no-op
+// that still reports success (idempotent DELETE); the cancelled counter
+// only ticks the first time a running job is cancelled, so it counts jobs,
+// not DELETE requests.
+func (e *jobEngine) cancelJob(id string) (JobView, bool) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	j.mu.Lock()
+	first := j.view.State == JobRunning && !j.cancelRequested
+	j.cancelRequested = true
+	j.mu.Unlock()
+	if first {
+		e.mu.Lock()
+		e.cancelled++
+		e.mu.Unlock()
+	}
+	j.cancel()
+	return j.snapshot(), true
+}
+
+// list returns snapshots of every retained job in ID order.
+func (e *jobEngine) list() []JobView {
+	e.mu.Lock()
+	ids := append([]string(nil), e.order...)
+	e.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]JobView, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := e.get(id); ok {
+			out = append(out, j.snapshot())
+		}
+	}
+	return out
+}
+
+// counts returns (created, cancelled, running) for /metrics.
+func (e *jobEngine) counts() (created, cancelled, running int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, j := range e.jobs {
+		if j.snapshot().State == JobRunning {
+			running++
+		}
+	}
+	return e.created, e.cancelled, running
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Metrics is a point-in-time snapshot of the server counters, exposed for
+// tests and the benchmark harness; /metrics renders it in the Prometheus
+// text format.
+type Metrics struct {
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEntries   int64
+	CacheBytes     int64
+	CacheEvictions int64
+	// Computations counts underlying engine executions — the number that
+	// stays at 1 when N identical requests race (singleflight) or repeat
+	// (memoization).
+	Computations int64
+	// Coalesced counts requests that waited on another request's in-flight
+	// execution of the same key.
+	Coalesced     int64
+	Inflight      int64
+	Graphs        int64
+	JobsCreated   int64
+	JobsCancelled int64
+	JobsRunning   int64
+}
+
+// Snapshot collects the current metrics.
+func (s *Server) Snapshot() Metrics {
+	cs := s.cache.Stats()
+	fs := s.flight.stats()
+	created, cancelled, running := s.jobs.counts()
+	return Metrics{
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheEntries:   int64(cs.Entries),
+		CacheBytes:     cs.Bytes,
+		CacheEvictions: cs.Evictions,
+		Computations:   s.computations.Load(),
+		Coalesced:      fs.Coalesced,
+		Inflight:       s.inflight.Load(),
+		Graphs:         int64(s.store.Len()),
+		JobsCreated:    created,
+		JobsCancelled:  cancelled,
+		JobsRunning:    running,
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Snapshot()
+	gauges := map[string]int64{
+		"wexpd_cache_hits":         m.CacheHits,
+		"wexpd_cache_misses":       m.CacheMisses,
+		"wexpd_cache_entries":      m.CacheEntries,
+		"wexpd_cache_bytes":        m.CacheBytes,
+		"wexpd_cache_evictions":    m.CacheEvictions,
+		"wexpd_computations":       m.Computations,
+		"wexpd_coalesced_requests": m.Coalesced,
+		"wexpd_inflight":           m.Inflight,
+		"wexpd_graphs_stored":      m.Graphs,
+		"wexpd_jobs_created":       m.JobsCreated,
+		"wexpd_jobs_cancelled":     m.JobsCancelled,
+		"wexpd_jobs_running":       m.JobsRunning,
+	}
+	names := make([]string, 0, len(gauges))
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %d\n", n, gauges[n])
+	}
+}

@@ -1,0 +1,592 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+)
+
+// newTestServer returns a Server plus an httptest frontend.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// get performs a GET and returns (status, body, X-Cache header).
+func get(t *testing.T, url string) (int, []byte, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("X-Cache")
+}
+
+func doReq(t *testing.T, method, url string, body io.Reader) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// --- graph store -------------------------------------------------------------
+
+func TestGraphUploadDedupes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var edges bytes.Buffer
+	if err := graph.WriteEdgeList(&edges, gen.Hypercube(3)); err != nil {
+		t.Fatal(err)
+	}
+	payload := edges.Bytes()
+
+	code, body := doReq(t, "POST", ts.URL+"/v1/graphs", bytes.NewReader(payload))
+	if code != http.StatusCreated {
+		t.Fatalf("first upload: status %d, body %s", code, body)
+	}
+	var first graphPutResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Existed || first.N != 8 || first.M != 12 {
+		t.Fatalf("first upload response wrong: %+v", first)
+	}
+
+	code, body = doReq(t, "POST", ts.URL+"/v1/graphs", bytes.NewReader(payload))
+	if code != http.StatusOK {
+		t.Fatalf("second upload: status %d", code)
+	}
+	var second graphPutResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Existed || second.Digest != first.Digest {
+		t.Fatalf("upload did not dedupe: %+v vs %+v", first, second)
+	}
+
+	// The same graph requested as a named family resolves to the same
+	// content-addressed entry.
+	code, body = doReq(t, "POST", ts.URL+"/v1/graphs?family=hypercube&size=3", nil)
+	if code != http.StatusOK {
+		t.Fatalf("family request: status %d body %s", code, body)
+	}
+	var fam graphPutResponse
+	if err := json.Unmarshal(body, &fam); err != nil {
+		t.Fatal(err)
+	}
+	if !fam.Existed || fam.Digest != first.Digest {
+		t.Fatalf("family did not dedupe onto upload: %+v", fam)
+	}
+}
+
+func TestGraphEdgeListRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := doReq(t, "POST", ts.URL+"/v1/graphs?family=torus&size=4", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var put graphPutResponse
+	if err := json.Unmarshal(body, &put); err != nil {
+		t.Fatal(err)
+	}
+	code, edges, _ := get(t, ts.URL+"/v1/graphs/"+put.Digest+"/edges")
+	if code != http.StatusOK {
+		t.Fatalf("edges: status %d", code)
+	}
+	g, err := graph.ReadEdgeList(bytes.NewReader(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.DigestString(g) != put.Digest {
+		t.Fatal("served edge list does not round-trip to the stored digest")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code, _, _ := get(t, ts.URL+"/v1/graphs/deadbeef"); code != http.StatusNotFound {
+		t.Fatalf("unknown digest: status %d, want 404", code)
+	}
+	// cycle(1) panics inside the generator; the service must turn that
+	// into a 400, not crash.
+	code, body := doReq(t, "POST", ts.URL+"/v1/graphs?family=cycle&size=1", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("cycle(1): status %d body %s, want 400", code, body)
+	}
+	code, body = doReq(t, "POST", ts.URL+"/v1/graphs?family=klein-bottle&size=3", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown family: status %d body %s, want 400", code, body)
+	}
+	code, _ = doReq(t, "POST", ts.URL+"/v1/graphs", strings.NewReader("not an edge list"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("garbage upload: status %d, want 400", code)
+	}
+}
+
+// --- memoization contract ----------------------------------------------------
+
+// TestExpansionMemoization is the byte-level caching contract: two
+// identical requests return byte-identical bodies, the second served from
+// cache without recomputation.
+func TestExpansionMemoization(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	url := ts.URL + "/v1/expansion?family=hypercube&size=3&obj=wireless&alpha=0.5"
+
+	code, body1, cache1 := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("first request: status %d body %s", code, body1)
+	}
+	if cache1 != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", cache1)
+	}
+	code, body2, cache2 := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("second request: status %d", code)
+	}
+	if cache2 != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("bodies differ:\n%s\n%s", body1, body2)
+	}
+	m := s.Snapshot()
+	if m.Computations != 1 {
+		t.Fatalf("computations = %d, want 1", m.Computations)
+	}
+	if m.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", m.CacheHits)
+	}
+
+	var resp expansionResponse
+	if err := json.Unmarshal(body1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	// βw(Q3) at α=0.5: sanity-check the value is present and positive.
+	if resp.Value <= 0 || len(resp.Witness) == 0 {
+		t.Fatalf("implausible expansion response: %+v", resp)
+	}
+}
+
+// TestAlphaAndMaxKShareCacheEntry: the size cap is canonicalized, so
+// alpha=0.5 on n=8 and maxk=4 are the same request.
+func TestAlphaAndMaxKShareCacheEntry(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, body1, _ := get(t, ts.URL+"/v1/expansion?family=hypercube&size=3&alpha=0.5")
+	_, body2, cache2 := get(t, ts.URL+"/v1/expansion?family=hypercube&size=3&maxk=4")
+	if cache2 != "hit" {
+		t.Fatalf("maxk-form request X-Cache = %q, want hit", cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("alpha form and maxk form returned different bodies")
+	}
+}
+
+// TestCrossServerDeterminism: the cached body is not an accident of one
+// process — a fresh server computing the same request produces the same
+// bytes (the engines are deterministic), which is what makes byte-level
+// memoization sound across restarts and replicas.
+func TestCrossServerDeterminism(t *testing.T) {
+	paths := []string{
+		"/v1/expansion?family=cplus&size=8&obj=wireless&alpha=0.4",
+		"/v1/broadcast?family=cplus&size=12&protocol=decay&trials=16&seed=7&maxrounds=4096",
+		"/v1/spokesman?family=torus&size=4&s=0,1,2,5&trials=8&seed=3",
+	}
+	_, ts1 := newTestServer(t, Config{Workers: 1})
+	_, ts2 := newTestServer(t, Config{Workers: 4})
+	for _, p := range paths {
+		code1, body1, _ := get(t, ts1.URL+p)
+		code2, body2, _ := get(t, ts2.URL+p)
+		if code1 != http.StatusOK || code2 != http.StatusOK {
+			t.Fatalf("%s: status %d vs %d (%s)", p, code1, code2, body1)
+		}
+		if !bytes.Equal(body1, body2) {
+			t.Fatalf("%s: bodies differ across servers/worker counts:\n%s\n%s", p, body1, body2)
+		}
+	}
+}
+
+// TestSingleflightCoalescing is the exactly-once contract: N concurrent
+// identical requests trigger exactly one underlying computation. The
+// compute hook holds the first execution open until the other requests
+// have either coalesced onto it or (scheduling permitting) queued behind
+// the cache, so the assertion is deterministic either way.
+func TestSingleflightCoalescing(t *testing.T) {
+	const clients = 8
+	s, ts := newTestServer(t, Config{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	s.computeHook = func(key string) {
+		hookOnce.Do(func() {
+			// Hold the computation open until the waiters have piled up —
+			// or a generous deadline passes (late arrivals then hit the
+			// cache instead; the computation count stays 1 regardless).
+			deadline := time.After(2 * time.Second)
+			for {
+				if s.flight.stats().Coalesced >= clients-1 {
+					return
+				}
+				select {
+				case <-deadline:
+					return
+				case <-release:
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+		})
+	}
+	defer close(release)
+
+	url := ts.URL + "/v1/expansion?family=torus&size=5&obj=ordinary&alpha=0.3"
+	var wg sync.WaitGroup
+	bodies := make([][]byte, clients)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(url)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("client %d received different bytes", i)
+		}
+	}
+	m := s.Snapshot()
+	if m.Computations != 1 {
+		t.Fatalf("computations = %d, want exactly 1 for %d concurrent identical requests", m.Computations, clients)
+	}
+	if m.Coalesced+m.CacheHits != clients-1 {
+		t.Fatalf("coalesced (%d) + hits (%d) = %d, want %d", m.Coalesced, m.CacheHits, m.Coalesced+m.CacheHits, clients-1)
+	}
+}
+
+// --- jobs --------------------------------------------------------------------
+
+func pollJob(t *testing.T, url string, want JobState, timeout time.Duration) JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, body, _ := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("job poll: status %d body %s", code, body)
+		}
+		var v JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == want {
+			return v
+		}
+		if v.State != JobRunning {
+			t.Fatalf("job reached %s, want %s", v.State, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after %v, want %s", v.State, timeout, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobLifecycle runs an async broadcast job to completion and fetches
+// its result — which must be byte-identical to the synchronous form of the
+// same request.
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	q := "/v1/broadcast?family=cplus&size=10&protocol=decay&trials=8&seed=5&maxrounds=2048"
+	code, body, _ := get(t, ts.URL+q+"&async=1")
+	if code != http.StatusAccepted {
+		t.Fatalf("job create: status %d body %s", code, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != JobRunning || v.ID == "" {
+		t.Fatalf("fresh job view wrong: %+v", v)
+	}
+	done := pollJob(t, ts.URL+"/v1/jobs/"+v.ID, JobDone, 10*time.Second)
+	if done.ResultURL == "" {
+		t.Fatalf("done job has no result URL: %+v", done)
+	}
+	code, jobBody, _ := get(t, ts.URL+done.ResultURL)
+	if code != http.StatusOK {
+		t.Fatalf("job result: status %d", code)
+	}
+	code, syncBody, cache := get(t, ts.URL+q)
+	if code != http.StatusOK {
+		t.Fatalf("sync request: status %d", code)
+	}
+	if cache != "hit" {
+		t.Fatalf("sync request after job X-Cache = %q, want hit (job result memoized)", cache)
+	}
+	if !bytes.Equal(jobBody, syncBody) {
+		t.Fatal("job result and synchronous response differ")
+	}
+}
+
+// TestJobCancellation is the cancellation contract: DELETE stops a running
+// job promptly (the engine observes the context at a chunk boundary), the
+// job reports cancelled, and a subsequent identical request still computes
+// the correct, cache-consistent result.
+func TestJobCancellation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	s.computeHook = func(key string) {
+		hookOnce.Do(func() {
+			close(started)
+			<-release
+		})
+	}
+
+	q := "/v1/expansion?family=torus&size=5&obj=unique&alpha=0.25"
+	code, body, _ := get(t, ts.URL+q+"&async=1")
+	if code != http.StatusAccepted {
+		t.Fatalf("job create: status %d body %s", code, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the computation is in flight
+
+	code, body = doReq(t, "DELETE", ts.URL+"/v1/jobs/"+v.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: status %d body %s", code, body)
+	}
+	close(release) // let the (now cancelled) computation proceed to the boundary check
+	cancelled := pollJob(t, ts.URL+"/v1/jobs/"+v.ID, JobCancelled, 5*time.Second)
+	if cancelled.Error == "" {
+		t.Fatalf("cancelled job should carry the context error: %+v", cancelled)
+	}
+	if m := s.Snapshot(); m.JobsCancelled != 1 {
+		t.Fatalf("jobs_cancelled = %d, want 1", m.JobsCancelled)
+	}
+
+	// Nothing was cached for the cancelled run; the same request now
+	// computes cleanly and matches a fresh server bit-for-bit.
+	code, gotBody, cache := get(t, ts.URL+q)
+	if code != http.StatusOK {
+		t.Fatalf("post-cancel request: status %d body %s", code, gotBody)
+	}
+	if cache != "miss" {
+		t.Fatalf("post-cancel request X-Cache = %q, want miss (cancelled run must not cache)", cache)
+	}
+	_, ts2 := newTestServer(t, Config{})
+	code, wantBody, _ := get(t, ts2.URL+q)
+	if code != http.StatusOK {
+		t.Fatalf("fresh server: status %d", code)
+	}
+	if !bytes.Equal(gotBody, wantBody) {
+		t.Fatal("post-cancel result differs from a never-cancelled server")
+	}
+}
+
+func TestJobErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code, _, _ := get(t, ts.URL+"/v1/jobs/job-999999"); code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", code)
+	}
+	if code, _ := doReq(t, "DELETE", ts.URL+"/v1/jobs/job-999999", nil); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: status %d, want 404", code)
+	}
+}
+
+// --- experiments -------------------------------------------------------------
+
+// TestExperimentsJob runs E2 (cheap quick grids) through the job engine
+// and checks progress reporting plus the result document.
+func TestExperimentsJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := doReq(t, "POST", ts.URL+"/v1/experiments?ids=E2&quick=1", nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d body %s", code, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	done := pollJob(t, ts.URL+"/v1/jobs/"+v.ID, JobDone, 60*time.Second)
+	if done.Total == 0 || done.Done != done.Total {
+		t.Fatalf("experiments job should report full shard progress, got %d/%d", done.Done, done.Total)
+	}
+	code, res, _ := get(t, ts.URL+done.ResultURL)
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	var rep experimentsResponse
+	if err := json.Unmarshal(res, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].ID != "E2" || !rep.Results[0].Pass {
+		t.Fatalf("unexpected experiments response: %s", res)
+	}
+}
+
+func TestExperimentsValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, _ := doReq(t, "POST", ts.URL+"/v1/experiments?ids=E99", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown experiment: status %d, want 400", code)
+	}
+}
+
+// --- parameter validation ----------------------------------------------------
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBudget: 1 << 20, MaxTrials: 64})
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/v1/expansion", http.StatusBadRequest},                                                           // no graph
+		{"/v1/expansion?graph=0000", http.StatusNotFound},                                                  // unknown digest
+		{"/v1/expansion?family=hypercube&size=3&obj=quantum", http.StatusBadRequest},                       // bad objective
+		{"/v1/expansion?family=hypercube&size=3&alpha=0", http.StatusBadRequest},                           // empty size cap
+		{"/v1/expansion?family=hypercube&size=3&budget=2097152", http.StatusUnprocessableEntity},           // over server budget cap
+		{"/v1/expansion?family=hypercube&size=8&alpha=0.5&budget=1048576", http.StatusUnprocessableEntity}, // over engine budget
+		{"/v1/broadcast?family=cplus&size=8&protocol=nope", http.StatusBadRequest},
+		{"/v1/broadcast?family=cplus&size=8&trials=65", http.StatusBadRequest}, // over MaxTrials
+		{"/v1/broadcast?family=cplus&size=8&source=99", http.StatusBadRequest},
+		{"/v1/spokesman?family=cplus&size=8", http.StatusBadRequest},        // missing s
+		{"/v1/spokesman?family=cplus&size=8&s=0,99", http.StatusBadRequest}, // vertex out of range
+	}
+	for _, c := range cases {
+		code, body, _ := get(t, ts.URL+c.path)
+		if code != c.want {
+			t.Errorf("%s: status %d (%s), want %d", c.path, code, body, c.want)
+		}
+	}
+}
+
+// TestSpokesmanCanonicalSetKey: permutations and duplicates of the same
+// vertex set share one cache entry.
+func TestSpokesmanCanonicalSetKey(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, body1, _ := get(t, ts.URL+"/v1/spokesman?family=torus&size=4&s=5,1,0,2")
+	_, body2, cache := get(t, ts.URL+"/v1/spokesman?family=torus&size=4&s=0,1,2,5,1")
+	if cache != "hit" {
+		t.Fatalf("permuted set X-Cache = %q, want hit", cache)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("permuted vertex sets returned different bodies")
+	}
+}
+
+// --- health and metrics ------------------------------------------------------
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body, _ := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+
+	// One computed request, repeated: the metrics must show the hit.
+	url := ts.URL + "/v1/expansion?family=hypercube&size=3&alpha=0.5"
+	get(t, url)
+	get(t, url)
+	code, body, _ = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"wexpd_cache_hits 1\n",
+		"wexpd_computations 1\n",
+		"wexpd_graphs_stored 1\n",
+		"wexpd_inflight 0\n",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestGraphListDeterministic: the listing is sorted by digest, so its body
+// is a pure function of store content.
+func TestGraphListDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, q := range []string{"family=hypercube&size=3", "family=torus&size=4", "family=cplus&size=8"} {
+		if code, body := doReq(t, "POST", ts.URL+"/v1/graphs?"+q, nil); code != http.StatusCreated {
+			t.Fatalf("%s: status %d body %s", q, code, body)
+		}
+	}
+	_, body1, _ := get(t, ts.URL+"/v1/graphs")
+	_, body2, _ := get(t, ts.URL+"/v1/graphs")
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("graph listing is not deterministic")
+	}
+	var list struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body1, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 3 {
+		t.Fatalf("count = %d, want 3", list.Count)
+	}
+}
+
+// --- store capacity ----------------------------------------------------------
+
+func TestStoreCapacity(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxGraphs: 2})
+	for i, q := range []string{"family=hypercube&size=2", "family=hypercube&size=3"} {
+		if code, body := doReq(t, "POST", ts.URL+"/v1/graphs?"+q, nil); code != http.StatusCreated {
+			t.Fatalf("graph %d: status %d body %s", i, code, body)
+		}
+	}
+	code, _ := doReq(t, "POST", ts.URL+"/v1/graphs?family=hypercube&size=4", nil)
+	if code != http.StatusInsufficientStorage {
+		t.Fatalf("store overflow: status %d, want 507", code)
+	}
+	// Dedup still works at capacity: an existing graph is re-acceptable.
+	code, _ = doReq(t, "POST", ts.URL+"/v1/graphs?family=hypercube&size=3", nil)
+	if code != http.StatusOK {
+		t.Fatalf("dedupe at capacity: status %d, want 200", code)
+	}
+}

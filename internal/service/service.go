@@ -1,0 +1,211 @@
+// Package service implements wexpd, the long-running graph-analysis
+// daemon: a stdlib-only HTTP/JSON layer over the deterministic engines of
+// this repository.
+//
+// Four components cooperate:
+//
+//   - a content-addressed graph Store — graphs are keyed by their
+//     canonical SHA-256 digest (graph.Digest), so uploading the same graph
+//     twice, or requesting the same named family twice, dedupes to one
+//     entry;
+//   - a memoized result Cache — responses are cached at the byte level
+//     under a canonical (graph digest, operation, options) key with LRU
+//     eviction, so identical requests return byte-identical bodies and
+//     the second one never recomputes;
+//   - a singleflight group — N concurrent identical requests trigger
+//     exactly one underlying computation; the other N−1 wait and receive
+//     the same bytes;
+//   - a cancellable job engine — long computations run asynchronously
+//     under a per-job context.Context that the expansion, radio, and
+//     experiment engines observe at chunk/trial/shard boundaries, so
+//     DELETE stops a job promptly without corrupting anything.
+//
+// Every cached computation is deterministic (the engines are bit-identical
+// at any worker count), which is what makes byte-level memoization sound:
+// a recomputation after eviction reproduces the evicted bytes.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"wexp/internal/expansion"
+)
+
+// Config tunes the server. The zero value of every field selects a
+// production-sensible default.
+type Config struct {
+	// CacheBytes bounds the result cache (0 = DefaultCacheBytes).
+	CacheBytes int64
+	// MaxGraphs bounds the graph store (0 = DefaultMaxGraphs).
+	MaxGraphs int
+	// MaxJobs bounds retained job records (0 = 1024). Running jobs are
+	// never evicted.
+	MaxJobs int
+	// Workers is the worker-pool width handed to the engines (0 =
+	// GOMAXPROCS). Results never depend on it.
+	Workers int
+	// MaxBudget caps the per-request exact-enumeration budget a client may
+	// ask for (0 = expansion.DefaultBudget). Requests beyond it are
+	// rejected up front with 422, mirroring the engine's refusal.
+	MaxBudget uint64
+	// MaxTrials caps Monte-Carlo trials per request (0 = 1_000_000).
+	MaxTrials int
+}
+
+func (c Config) maxBudget() uint64 {
+	if c.MaxBudget == 0 {
+		return expansion.DefaultBudget
+	}
+	return c.MaxBudget
+}
+
+func (c Config) maxTrials() int {
+	if c.MaxTrials <= 0 {
+		return 1_000_000
+	}
+	return c.MaxTrials
+}
+
+// Server is the wexpd HTTP server: an http.Handler wiring the store, the
+// cache, the singleflight group, and the job engine to the /v1 API.
+type Server struct {
+	cfg    Config
+	store  *Store
+	cache  *Cache
+	flight *flightGroup
+	jobs   *jobEngine
+	mux    *http.ServeMux
+
+	inflight     atomic.Int64 // computations currently executing
+	computations atomic.Int64 // computations actually run (≠ requests served)
+
+	// computeHook, when non-nil, runs inside the singleflight execution
+	// just before the computation. Tests use it to hold a computation open
+	// while concurrent identical requests pile up.
+	computeHook func(key string)
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:    cfg,
+		store:  NewStore(cfg.MaxGraphs),
+		cache:  NewCache(cfg.CacheBytes),
+		flight: newFlightGroup(),
+		jobs:   newJobEngine(cfg.MaxJobs),
+		mux:    http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphPut)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	s.mux.HandleFunc("GET /v1/graphs/{digest}", s.handleGraphGet)
+	s.mux.HandleFunc("GET /v1/graphs/{digest}/edges", s.handleGraphEdges)
+
+	s.mux.HandleFunc("GET /v1/expansion", s.handleExpansion)
+	s.mux.HandleFunc("GET /v1/spokesman", s.handleSpokesman)
+	s.mux.HandleFunc("GET /v1/broadcast", s.handleBroadcast)
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiments)
+
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+}
+
+// computeSpec is one memoizable computation: a canonical cache key and the
+// function producing the JSON-marshalable response document. run must be a
+// pure function of the key (plus the immutable store content it reads) —
+// the memoization contract.
+type computeSpec struct {
+	op  string
+	key string
+	run func(ctx context.Context, progress func(done, total int)) (any, error)
+}
+
+// servedFrom reports how execute satisfied a request: a cache replay, a
+// fresh computation, or a wait on another request's in-flight execution.
+type servedFrom string
+
+const (
+	servedHit       servedFrom = "hit"
+	servedMiss      servedFrom = "miss"
+	servedCoalesced servedFrom = "coalesced"
+)
+
+// execute serves a computation through the cache and singleflight layers:
+// cache hit → replay bytes; miss → at most one concurrent execution per
+// key computes, encodes canonically (compact json.Marshal), stores, and
+// every coalesced waiter receives the same bytes.
+//
+// Cancellation is reference-counted: the computation runs under the
+// flight's own context, cancelled only when every caller that wants the
+// result has cancelled — one client disconnecting never fails another's
+// identical request, and each caller's own ctx still bounds its wait.
+// Nothing is cached on error, so the next identical request recomputes
+// cleanly.
+func (s *Server) execute(ctx context.Context, spec computeSpec, progress func(done, total int)) ([]byte, servedFrom, error) {
+	if body, ok := s.cache.Get(spec.key); ok {
+		return body, servedHit, nil
+	}
+	innerHit := false
+	body, err, shared := s.flight.Do(ctx, spec.key, func(runCtx context.Context) ([]byte, error) {
+		// Double-check under the flight: a previous execution may have
+		// filled the cache between the miss above and acquiring the
+		// flight. The lookup is uncounted — this request's miss is already
+		// recorded — but a find is reported as a hit to the caller.
+		if body, ok := s.cache.peek(spec.key); ok {
+			innerHit = true
+			return body, nil
+		}
+		if s.computeHook != nil {
+			s.computeHook(spec.key)
+		}
+		s.inflight.Add(1)
+		s.computations.Add(1)
+		defer s.inflight.Add(-1)
+		val, err := spec.run(runCtx, progress)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(val)
+		if err != nil {
+			return nil, errf(http.StatusInternalServerError, "service: encode %s: %v", spec.op, err)
+		}
+		s.cache.Put(spec.key, body)
+		return body, nil
+	})
+	switch {
+	case innerHit:
+		return body, servedHit, err
+	case shared:
+		return body, servedCoalesced, err
+	default:
+		return body, servedMiss, err
+	}
+}
+
+// startJob launches spec as a cancellable background job and returns its
+// initial view. The job's result lands in the result cache under the same
+// key a synchronous request would use, so a later identical request — or
+// the job's result URL — is a cache hit.
+func (s *Server) startJob(spec computeSpec) JobView {
+	j, ctx := s.jobs.create(spec)
+	go func() {
+		_, _, err := s.execute(ctx, spec, j.setProgress)
+		j.finish(err, ctx, "/v1/jobs/"+j.snapshot().ID+"/result")
+	}()
+	return j.snapshot()
+}

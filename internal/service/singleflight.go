@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution whose result every caller receives — the stdlib-only
+// equivalent of golang.org/x/sync/singleflight, extended with
+// reference-counted cancellation: the execution runs under its own
+// context, which is cancelled only when every interested caller has
+// cancelled. One client disconnecting (or one job being deleted) never
+// aborts a computation another caller is still waiting for.
+type flightGroup struct {
+	mu        sync.Mutex
+	calls     map[string]*flightCall
+	executed  int64 // calls that ran the function
+	coalesced int64 // calls that waited on another call's execution
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are final
+	val  []byte
+	err  error
+
+	mu      sync.Mutex
+	waiters int                // callers still interested in the result
+	cancel  context.CancelFunc // cancels the execution context
+}
+
+// drop records that one caller lost interest; the last one out cancels
+// the execution.
+func (c *flightCall) drop() {
+	c.mu.Lock()
+	c.waiters--
+	last := c.waiters == 0
+	c.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do executes fn once per key at a time: the first caller runs it (under
+// a private execution context), every concurrent caller with the same key
+// blocks and receives the same value and error. A caller whose ctx is
+// cancelled stops waiting and gets ctx.Err(); the execution itself is
+// cancelled only when no caller remains. The returned bool reports
+// whether this caller was coalesced onto another caller's execution.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, error, bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.mu.Lock()
+		c.waiters++
+		c.mu.Unlock()
+		g.coalesced++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			c.drop()
+			return nil, ctx.Err(), true
+		}
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.calls[key] = c
+	g.executed++
+	g.mu.Unlock()
+
+	// The owner executes fn synchronously, so it cannot abandon the flight
+	// early — but its cancellation must still count: a watcher drops the
+	// owner's reference the moment its ctx fires, letting the engines stop
+	// at the next boundary (unless other waiters keep the flight alive).
+	watcherDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.drop()
+		case <-watcherDone:
+		}
+	}()
+
+	c.val, c.err = fn(runCtx)
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(watcherDone)
+	close(c.done)
+	cancel() // release the context regardless of how fn returned
+	// The owner's result respects its own cancellation even if a waiter
+	// kept the execution running to completion.
+	if ctx.Err() != nil && c.err == nil {
+		return nil, ctx.Err(), false
+	}
+	return c.val, c.err, false
+}
+
+// flightStats snapshots the execution/coalescing counters.
+type flightStats struct {
+	Executed  int64
+	Coalesced int64
+}
+
+func (g *flightGroup) stats() flightStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return flightStats{Executed: g.executed, Coalesced: g.coalesced}
+}

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+)
+
+// StoredGraph is a snapshot of one entry of the content-addressed graph
+// store. Snapshots are values with private label copies, so handlers may
+// read and serialize them without holding the store lock.
+type StoredGraph struct {
+	// Digest is the canonical SHA-256 of the graph (graph.DigestString) —
+	// the entry's identity and its URL path segment.
+	Digest string `json:"digest"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	// Labels are the human names under which this graph has been stored
+	// ("upload", "hypercube(10)", ...), sorted; purely informational.
+	Labels []string `json:"labels,omitempty"`
+
+	g *graph.Graph
+}
+
+// Graph returns the stored immutable graph.
+func (s StoredGraph) Graph() *graph.Graph { return s.g }
+
+// storeEntry is the store's internal mutable record; labels is only
+// touched under Store.mu.
+type storeEntry struct {
+	digest string
+	g      *graph.Graph
+	labels []string
+}
+
+// snapshot copies the entry into a lock-free view. Caller holds Store.mu.
+func (e *storeEntry) snapshot() StoredGraph {
+	return StoredGraph{
+		Digest: e.digest,
+		N:      e.g.N(),
+		M:      e.g.M(),
+		Labels: append([]string(nil), e.labels...),
+		g:      e.g,
+	}
+}
+
+func (e *storeEntry) addLabel(label string) {
+	if label == "" {
+		return
+	}
+	for _, l := range e.labels {
+		if l == label {
+			return
+		}
+	}
+	e.labels = append(e.labels, label)
+	sort.Strings(e.labels)
+}
+
+// Store is the content-addressed graph store: graphs are keyed by their
+// canonical digest, so storing the same graph twice — whether uploaded
+// as an edge list or requested as a named family — dedupes to one entry.
+// Graphs are immutable and never evicted (only computed results live in
+// the LRU cache); MaxGraphs bounds the store.
+type Store struct {
+	mu       sync.Mutex
+	max      int
+	graphs   map[string]*storeEntry
+	families map[string]string // "family/size" → digest, to skip rebuilding
+}
+
+// NewStore returns a store holding at most max graphs (0 means
+// DefaultMaxGraphs).
+func NewStore(max int) *Store {
+	if max <= 0 {
+		max = DefaultMaxGraphs
+	}
+	return &Store{
+		max:      max,
+		graphs:   make(map[string]*storeEntry),
+		families: make(map[string]string),
+	}
+}
+
+// DefaultMaxGraphs bounds the graph store when Config.MaxGraphs is zero.
+const DefaultMaxGraphs = 4096
+
+// ErrStoreFull reports that the graph store reached its capacity.
+var ErrStoreFull = fmt.Errorf("service: graph store full")
+
+// Put stores g under its canonical digest and returns a snapshot of the
+// entry. The second return value reports whether the graph was already
+// present (the dedup case); labels accumulate across duplicate stores.
+func (s *Store) Put(g *graph.Graph, label string) (StoredGraph, bool, error) {
+	d := graph.DigestString(g)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.graphs[d]; ok {
+		e.addLabel(label)
+		return e.snapshot(), true, nil
+	}
+	if len(s.graphs) >= s.max {
+		return StoredGraph{}, false, ErrStoreFull
+	}
+	e := &storeEntry{digest: d, g: g}
+	e.addLabel(label)
+	s.graphs[d] = e
+	return e.snapshot(), false, nil
+}
+
+// Get returns a snapshot of the entry for a digest.
+func (s *Store) Get(digest string) (StoredGraph, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.graphs[digest]
+	if !ok {
+		return StoredGraph{}, false
+	}
+	return e.snapshot(), true
+}
+
+// PutFamily resolves a named family instance (building it at most once per
+// (family, size)) and stores it content-addressed: two different family
+// requests that generate the same labeled graph share one entry.
+func (s *Store) PutFamily(family string, size int) (StoredGraph, bool, error) {
+	fkey := fmt.Sprintf("%s/%d", family, size)
+	s.mu.Lock()
+	if d, ok := s.families[fkey]; ok {
+		e := s.graphs[d].snapshot()
+		s.mu.Unlock()
+		return e, true, nil
+	}
+	s.mu.Unlock()
+	// Build outside the lock: generators can be expensive. A racing
+	// duplicate build dedupes through Put.
+	g, err := buildFamily(family, size)
+	if err != nil {
+		return StoredGraph{}, false, err
+	}
+	e, existed, err := s.Put(g, fmt.Sprintf("%s(%d)", family, size))
+	if err != nil {
+		return StoredGraph{}, false, err
+	}
+	s.mu.Lock()
+	s.families[fkey] = e.Digest
+	s.mu.Unlock()
+	return e, existed, nil
+}
+
+// buildFamily wraps gen.FromFamily, converting generator panics on absurd
+// size parameters (negative cycle lengths, oversized hypercube dimensions)
+// into errors — a long-running service must survive any input.
+func buildFamily(family string, size int) (g *graph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: family %s(%d): %v", family, size, r)
+		}
+	}()
+	return gen.FromFamily(gen.Family(family), size)
+}
+
+// Len returns the number of stored graphs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.graphs)
+}
+
+// List returns snapshots sorted by digest — a canonical order, so the
+// listing endpoint's body is deterministic for a given store content.
+func (s *Store) List() []StoredGraph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoredGraph, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		out = append(out, e.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out
+}
