@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full bench-gate bench-baseline experiments serve clean
+.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full bench-gate bench-baseline experiments profile serve clean
 
 # Seed-baseline total coverage; CI fails below this (see ci.yml).
 COVER_FLOOR ?= 85.0
@@ -43,6 +43,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRadioStep -fuzztime=30s ./internal/radio
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=15s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzBuilder -fuzztime=15s ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzExpansionKernels -fuzztime=20s ./internal/expansion
 
 # One iteration of every benchmark: keeps the bench harness from rotting
 # and rewrites BENCH_expansion.json (the expansion-engine perf record).
@@ -88,6 +89,17 @@ bench-baseline:
 #   go run ./cmd/experiments -resume artifacts/experiments
 experiments:
 	$(GO) run ./cmd/experiments -out artifacts/experiments
+
+# Capture CPU + heap profiles of an expansion-heavy wexp run (hypercube
+# n = 16 with the full exact sweep), so perf PRs start from a measured
+# profile instead of a guess. Inspect with:
+#   go tool pprof artifacts/wexp-cpu.pprof
+#   go tool pprof artifacts/wexp-mem.pprof
+profile:
+	@mkdir -p artifacts
+	$(GO) run ./cmd/wexp -family hypercube -size 4 -alpha 0.5 -workers 1 \
+		-cpuprofile artifacts/wexp-cpu.pprof -memprofile artifacts/wexp-mem.pprof >/dev/null
+	@echo "profiles written to artifacts/wexp-{cpu,mem}.pprof"
 
 # The wexpd graph-analysis service on :8080 (see internal/service/README.md
 # for the API and the caching/determinism contract).

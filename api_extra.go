@@ -37,9 +37,11 @@ func SpokesmanBestImproved(b *Bipartite, trials int, r *RNG) Selection {
 }
 
 // ExpansionOptions configures the exact expansion engine: the α (or MaxK)
-// size cap, the enumeration work budget, and the worker-pool width. See
-// the expansion package's Options for field semantics; results are
-// bit-identical at every pool width.
+// size cap, the enumeration work budget, the worker-pool width, and the
+// kernel choice (Recompute selects the legacy full-recomputation kernels,
+// the correctness oracle for the default revolving-door incremental
+// ones). See the expansion package's Options for field semantics; results
+// are bit-identical at every pool width and for every kernel.
 type ExpansionOptions = expansion.Options
 
 // ExpansionBudget is the default work budget (in enumeration units) used

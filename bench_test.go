@@ -316,38 +316,62 @@ func BenchmarkRadioMonteCarlo(b *testing.B) {
 
 // expansionBenchRecord is one (solver, n) data point of the perf record
 // emitted as BENCH_expansion.json, giving future PRs a trajectory to beat.
+// AllocsPerOp rides along so cmd/benchgate catches allocation regressions,
+// not just timing; Speedup on incremental rows is recompute-ns ÷
+// incremental-ns for the matching -recompute row.
 type expansionBenchRecord struct {
-	Solver     string  `json:"solver"`
-	N          int     `json:"n"`
-	Alpha      float64 `json:"alpha"`
-	Workers    int     `json:"workers"` // 0 = GOMAXPROCS pool
-	NsPerOp    float64 `json:"ns_per_op"`
-	SetsPerOp  int     `json:"sets_per_op"`
-	SetsPerSec float64 `json:"sets_per_sec"`
+	Solver      string  `json:"solver"`
+	N           int     `json:"n"`
+	P           float64 `json:"p"` // Erdős–Rényi edge density of the instance
+	Alpha       float64 `json:"alpha"`
+	Workers     int     `json:"workers"` // 0 = GOMAXPROCS pool
+	NsPerOp     float64 `json:"ns_per_op"`
+	SetsPerOp   int     `json:"sets_per_op"`
+	SetsPerSec  float64 `json:"sets_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Speedup     float64 `json:"speedup,omitempty"`
 }
 
-// BenchmarkExpansionEngine measures the by-cardinality exact engine at
-// n = 16, 20, 24, 32 on seeded random graphs and writes the aggregate
-// record to BENCH_expansion.json. The record is rewritten only when every
-// configuration ran (e.g. `go test -bench=ExpansionEngine`), so a filtered
-// run cannot truncate it.
+// BenchmarkExpansionEngine measures the by-cardinality exact engine on
+// seeded random graphs and writes the aggregate record to
+// BENCH_expansion.json: the historical n = 16..32 multi-worker rows, plus
+// single-worker incremental-vs-recompute pairs on both kernels (n = 24
+// uint64, n = 72 bitset) that pin the revolving-door speedup. The record
+// is rewritten only when every configuration ran (e.g. `go test
+// -bench=ExpansionEngine`), so a filtered run cannot truncate it.
 func BenchmarkExpansionEngine(b *testing.B) {
 	type cfg struct {
-		solver  string
-		obj     expansion.Objective
-		n       int
-		alpha   float64
-		workers int
+		solver    string
+		obj       expansion.Objective
+		n         int
+		p         float64
+		alpha     float64
+		workers   int
+		recompute bool
 	}
+	// The -serial/-recompute pairs pin the revolving-door kernel speedup at
+	// a fixed single-worker workload: n = 24 (α = 0.5, the α of the other
+	// small rows) for the uint64 kernel, and n = 72 at p = 0.08 — the
+	// paper's sparse bounded-degree regime, where O(deg(out)+deg(in))
+	// per-set maintenance is the design point — for the bitset kernel.
 	cfgs := []cfg{
-		{"ordinary", expansion.ObjOrdinary, 16, 0.5, 0},
-		{"ordinary", expansion.ObjOrdinary, 20, 0.5, 0},
-		{"ordinary", expansion.ObjOrdinary, 24, 0.25, 0},
-		{"ordinary", expansion.ObjOrdinary, 32, 0.125, 0},
-		{"unique", expansion.ObjUnique, 20, 0.5, 0},
-		{"wireless", expansion.ObjWireless, 16, 0.25, 0},
-		{"wireless-serial", expansion.ObjWireless, 16, 0.25, 1},
+		{"ordinary", expansion.ObjOrdinary, 16, 0.3, 0.5, 0, false},
+		{"ordinary", expansion.ObjOrdinary, 20, 0.3, 0.5, 0, false},
+		{"ordinary", expansion.ObjOrdinary, 24, 0.3, 0.25, 0, false},
+		{"ordinary", expansion.ObjOrdinary, 32, 0.3, 0.125, 0, false},
+		{"unique", expansion.ObjUnique, 20, 0.3, 0.5, 0, false},
+		{"wireless", expansion.ObjWireless, 16, 0.3, 0.25, 0, false},
+		{"wireless-serial", expansion.ObjWireless, 16, 0.3, 0.25, 1, false},
+		{"ordinary-serial", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, false},
+		{"ordinary-serial-recompute", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, true},
+		{"unique-serial", expansion.ObjUnique, 20, 0.3, 0.5, 1, false},
+		{"unique-serial-recompute", expansion.ObjUnique, 20, 0.3, 0.5, 1, true},
+		{"ordinary-big", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, false},
+		{"ordinary-big-recompute", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, true},
 	}
+	// Each incremental row is paired with the row of its recompute oracle
+	// for the speedup column.
+	speedupPairs := map[int]int{7: 8, 9: 10, 11: 12}
 	// Indexed by config, overwritten on every invocation: the harness
 	// re-runs each sub-benchmark while calibrating b.N, and the final
 	// (largest-b.N) invocation is the one worth recording.
@@ -355,10 +379,17 @@ func BenchmarkExpansionEngine(b *testing.B) {
 	ran := make([]bool, len(cfgs))
 	for ci, c := range cfgs {
 		b.Run(fmt.Sprintf("%s/n=%d", c.solver, c.n), func(b *testing.B) {
-			g := gen.ErdosRenyi(c.n, 0.3, rng.New(uint64(c.n)*1000+7))
-			opt := expansion.Options{Alpha: c.alpha, Workers: c.workers}
+			g := gen.ErdosRenyi(c.n, c.p, rng.New(uint64(c.n)*1000+7))
+			opt := expansion.Options{Alpha: c.alpha, Workers: c.workers, Recompute: c.recompute}
 			var sets int
+			b.ReportAllocs()
+			// Level the heap before timing: earlier benchmarks in this
+			// process leave garbage whose collection would otherwise land
+			// inside — and jitter — the measured region.
+			runtime.GC()
 			b.ResetTimer()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
 				res, err := expansion.Exact(g, c.obj, opt)
@@ -368,22 +399,30 @@ func BenchmarkExpansionEngine(b *testing.B) {
 				sets = res.Sets
 			}
 			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms1)
 			if elapsed <= 0 {
 				elapsed = time.Nanosecond
 			}
 			setsPerSec := float64(sets) * float64(b.N) / elapsed.Seconds()
 			b.ReportMetric(setsPerSec, "sets/s")
 			records[ci] = expansionBenchRecord{
-				Solver:     c.solver,
-				N:          c.n,
-				Alpha:      c.alpha,
-				Workers:    c.workers,
-				NsPerOp:    float64(elapsed.Nanoseconds()) / float64(b.N),
-				SetsPerOp:  sets,
-				SetsPerSec: setsPerSec,
+				Solver:      c.solver,
+				N:           c.n,
+				P:           c.p,
+				Alpha:       c.alpha,
+				Workers:     c.workers,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(b.N),
+				SetsPerOp:   sets,
+				SetsPerSec:  setsPerSec,
+				AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N),
 			}
 			ran[ci] = true
 		})
+	}
+	for inc, rec := range speedupPairs {
+		if ran[inc] && ran[rec] && records[inc].NsPerOp > 0 {
+			records[inc].Speedup = records[rec].NsPerOp / records[inc].NsPerOp
+		}
 	}
 	// Rewrite the record only when every configuration ran (a filtered
 	// `-bench` run must not truncate it).

@@ -41,12 +41,27 @@ type benchFile struct {
 }
 
 // timingFields are measurement outputs, excluded from a record's identity
-// key so the key is stable run to run.
+// key so the key is stable run to run. allocs_per_op is among them: it is
+// gated like ns_per_op (with an absolute slack for pool jitter), not used
+// to match records.
 var timingFields = map[string]bool{
 	"ns_per_op":        true,
 	"sets_per_sec":     true,
 	"speedup":          true,
 	"requests_per_sec": true,
+	"allocs_per_op":    true,
+}
+
+// allocSlack is the absolute allocs/op headroom granted on top of the
+// relative tolerance: sync.Pool arenas are emptied by GC at arbitrary
+// points, so identical code can differ by a few pool refills per op.
+const allocSlack = 16.0
+
+// measurement is one record's gated outputs.
+type measurement struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
 }
 
 // recordKey returns the canonical identity of a record: its non-timing
@@ -67,8 +82,8 @@ func recordKey(rec map[string]json.RawMessage) (string, error) {
 	return string(data), err
 }
 
-// loadBench reads one perf-record file into key → ns_per_op.
-func loadBench(path string) (schema string, byKey map[string]float64, order []string, err error) {
+// loadBench reads one perf-record file into key → measurements.
+func loadBench(path string) (schema string, byKey map[string]measurement, order []string, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return "", nil, nil, err
@@ -77,15 +92,21 @@ func loadBench(path string) (schema string, byKey map[string]float64, order []st
 	if err := json.Unmarshal(data, &f); err != nil {
 		return "", nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	byKey = map[string]float64{}
+	byKey = map[string]measurement{}
 	for _, rec := range f.Records {
 		raw, ok := rec["ns_per_op"]
 		if !ok {
 			continue
 		}
-		var ns float64
-		if err := json.Unmarshal(raw, &ns); err != nil {
+		var m measurement
+		if err := json.Unmarshal(raw, &m.ns); err != nil {
 			return "", nil, nil, fmt.Errorf("%s: bad ns_per_op: %w", path, err)
+		}
+		if raw, ok := rec["allocs_per_op"]; ok {
+			if err := json.Unmarshal(raw, &m.allocs); err != nil {
+				return "", nil, nil, fmt.Errorf("%s: bad allocs_per_op: %w", path, err)
+			}
+			m.hasAllocs = true
 		}
 		key, err := recordKey(rec)
 		if err != nil {
@@ -94,7 +115,7 @@ func loadBench(path string) (schema string, byKey map[string]float64, order []st
 		if _, dup := byKey[key]; dup {
 			return "", nil, nil, fmt.Errorf("%s: duplicate record %s", path, key)
 		}
-		byKey[key] = ns
+		byKey[key] = m
 		order = append(order, key)
 	}
 	return f.Schema, byKey, order, nil
@@ -127,13 +148,14 @@ func run(cfg Config, w io.Writer) error {
 		fmt.Fprintf(w, "== %s vs %s (%s, tol ±%.0f%%) ==\n",
 			pair.Fresh, pair.Baseline, baseSchema, cfg.Tol*100)
 		for _, key := range baseOrder {
-			baseNs := base[key]
-			freshNs, ok := fresh[key]
+			baseM := base[key]
+			freshM, ok := fresh[key]
 			if !ok {
 				missing++
 				fmt.Fprintf(w, "MISSING  %s (no fresh record)\n", key)
 				continue
 			}
+			baseNs, freshNs := baseM.ns, freshM.ns
 			ratio := freshNs / baseNs
 			switch {
 			case freshNs > baseNs*(1+cfg.Tol):
@@ -146,6 +168,15 @@ func run(cfg Config, w io.Writer) error {
 			default:
 				fmt.Fprintf(w, "ok       %s: %.4g → %.4g ns/op (%.2fx)\n",
 					key, baseNs, freshNs, ratio)
+			}
+			// Allocation gate: relative tolerance plus absolute pool slack,
+			// so a near-zero baseline doesn't fail on GC jitter but a real
+			// per-op allocation regression does.
+			if baseM.hasAllocs && freshM.hasAllocs &&
+				freshM.allocs > baseM.allocs*(1+cfg.Tol)+allocSlack {
+				regressions++
+				fmt.Fprintf(w, "FAIL     %s: %.4g → %.4g allocs/op (beyond +%.0f%% + %g)\n",
+					key, baseM.allocs, freshM.allocs, cfg.Tol*100, allocSlack)
 			}
 		}
 		for _, key := range freshOrder {

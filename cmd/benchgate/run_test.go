@@ -124,6 +124,39 @@ func TestGateNewRecordReported(t *testing.T) {
 	}
 }
 
+// TestGateAllocations: allocs_per_op is a gated measurement, not part of
+// the identity key — records with changed alloc counts still match, pass
+// within tolerance + slack, and fail beyond it.
+func TestGateAllocations(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary", "n": 16, "alpha": 0.5, "workers": 0, "ns_per_op": 1000, "allocs_per_op": 20}
+	  ]
+	}`)
+	within := writeBench(t, dir, "within.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary", "n": 16, "alpha": 0.5, "workers": 0, "ns_per_op": 1000, "allocs_per_op": 36}
+	  ]
+	}`)
+	out, err := gate(t, 0.25, true, base, within)
+	if err != nil {
+		t.Fatalf("alloc jitter within tolerance+slack failed: %v\n%s", err, out)
+	}
+	beyond := writeBench(t, dir, "beyond.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary", "n": 16, "alpha": 0.5, "workers": 0, "ns_per_op": 1000, "allocs_per_op": 500}
+	  ]
+	}`)
+	out, err = gate(t, 0.25, true, base, beyond)
+	if err == nil || !strings.Contains(out, "allocs/op") {
+		t.Fatalf("alloc regression not caught: err=%v\n%s", err, out)
+	}
+}
+
 func TestGateSchemaMismatchAndBadInput(t *testing.T) {
 	dir := t.TempDir()
 	base := writeBench(t, dir, "base.json", baseJSON)

@@ -19,10 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
 func main() {
 	cfg := defaultConfig()
+	var cpuProfile, memProfile string
 	flag.StringVar(&cfg.Family, "family", cfg.Family, "graph family: complete|cycle|hypercube|grid|torus|tree|margulis|cplus|barbell")
 	flag.IntVar(&cfg.Size, "size", cfg.Size, "family size parameter (n, dimension, side, ...)")
 	flag.StringVar(&cfg.Load, "load", cfg.Load, "instead of -family: read an edge-list file (see graph.WriteEdgeList format)")
@@ -33,9 +36,43 @@ func main() {
 	flag.Uint64Var(&cfg.Budget, "budget", cfg.Budget, "exact-engine work budget in enumeration units (0 = default, 2^26)")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "exact-engine worker pool width (0 = GOMAXPROCS; results identical at any width)")
 	flag.StringVar(&cfg.Format, "format", cfg.Format, "output format: text|json")
+	flag.StringVar(&cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+	flag.StringVar(&memProfile, "memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
-	if err := run(cfg, os.Stdout); err != nil {
+	// mainErr owns the deferred profile teardown: os.Exit here in main
+	// would skip StopCPUProfile and leave a truncated, unparseable
+	// cpuprofile behind on a failed run.
+	if err := mainErr(cfg, cpuProfile, memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "wexp:", err)
 		os.Exit(1)
 	}
+}
+
+func mainErr(cfg Config, cpuProfile, memProfile string) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		return err
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady-state live set before sampling
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

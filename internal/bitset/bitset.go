@@ -274,6 +274,20 @@ func (s *Set) Indices() []int {
 	return out
 }
 
+// AppendIndices appends the elements of the set in increasing order to dst
+// and returns the extended slice — the allocation-free form of Indices for
+// hot loops that reuse a member buffer.
+func (s *Set) AppendIndices(dst []int) []int {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // Next returns the smallest element ≥ i, or -1 if none exists.
 func (s *Set) Next(i int) int {
 	if i < 0 {

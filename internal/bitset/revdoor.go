@@ -1,0 +1,249 @@
+package bitset
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Binomial returns C(n, k), saturating at MaxUint64 on overflow.
+func Binomial(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := uint64(1)
+	for i := 1; i <= k; i++ {
+		hi, lo := bits.Mul64(r, uint64(n-k+i))
+		if hi >= uint64(i) {
+			return math.MaxUint64
+		}
+		r, _ = bits.Div64(hi, lo, uint64(i))
+	}
+	return r
+}
+
+// RevolvingDoor enumerates the k-element subsets of {0..n-1} in the
+// revolving-door Gray-code order (Knuth 7.2.1.3, Algorithm R): every
+// successor differs from its predecessor by exactly one element swapped
+// out and one swapped in — the strong minimal-change property that lets a
+// caller maintain per-set state with O(deg(out)+deg(in)) work instead of
+// recomputing it from all k members.
+//
+// The order has a standard rank bijection (Reset unranks, Rank ranks), so
+// a rank interval [start, start+count) denotes a fixed family of sets no
+// matter how it is walked — the property the expansion engine's
+// deterministic chunk merge relies on.
+type RevolvingDoor struct {
+	n, k int
+	// c[1..k] is the current combination in increasing order; c[k+1] = n is
+	// Algorithm R's sentinel; c[0] is unused padding so the algorithm's
+	// 1-based indices map directly.
+	c []int
+}
+
+// NewRevolvingDoor returns an enumerator positioned at the combination of
+// the given rank. It panics if k is out of [0, n] or rank ≥ C(n, k).
+func NewRevolvingDoor(n, k int, rank uint64) *RevolvingDoor {
+	rd := &RevolvingDoor{}
+	rd.Reset(n, k, rank)
+	return rd
+}
+
+// Reset repositions the enumerator at the rank-th combination of the
+// revolving-door order, reusing internal storage. It panics if k is out of
+// [0, n] or rank ≥ C(n, k).
+func (rd *RevolvingDoor) Reset(n, k int, rank uint64) {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("bitset: combination size %d out of range [0,%d]", k, n))
+	}
+	if total := Binomial(n, k); rank >= total {
+		panic(fmt.Sprintf("bitset: rank %d out of range [0,%d)", rank, total))
+	}
+	rd.n, rd.k = n, k
+	if cap(rd.c) < k+2 {
+		rd.c = make([]int, k+2)
+	} else {
+		rd.c = rd.c[:k+2]
+	}
+	c := rd.c
+	c[k+1] = n
+	// Unrank: combinations with max element m occupy the rank block
+	// [C(m,i), C(m+1,i)); within the block the remaining (i−1)-subset is
+	// ranked in *reverse* — the recursive definition of the order.
+	r := rank
+	bound := n
+	for i := k; i >= 1; i-- {
+		p := bound - 1
+		for Binomial(p, i) > r {
+			p--
+		}
+		c[i] = p
+		r = Binomial(p+1, i) - 1 - r
+		bound = p
+	}
+}
+
+// Rank returns the rank of the current combination in the revolving-door
+// order — the inverse of Reset's unranking.
+func (rd *RevolvingDoor) Rank() uint64 {
+	var r uint64
+	for i := 1; i <= rd.k; i++ {
+		r = Binomial(rd.c[i]+1, i) - 1 - r
+	}
+	return r
+}
+
+// Members returns the current combination in increasing order. The slice
+// aliases internal storage: it is valid only until the next Next/NextBatch/
+// Reset call and must not be modified.
+func (rd *RevolvingDoor) Members() []int {
+	return rd.c[1 : rd.k+1]
+}
+
+// Mask returns the current combination as a uint64 bit mask. It panics
+// when n > 64.
+func (rd *RevolvingDoor) Mask() uint64 {
+	if rd.n > 64 {
+		panic(fmt.Sprintf("bitset: Mask needs n <= 64, have %d", rd.n))
+	}
+	var m uint64
+	for _, v := range rd.Members() {
+		m |= 1 << uint(v)
+	}
+	return m
+}
+
+// FillSet overwrites s with the current combination. s must have capacity n.
+func (rd *RevolvingDoor) FillSet(s *Set) {
+	s.Clear()
+	for _, v := range rd.Members() {
+		s.Add(v)
+	}
+}
+
+// Next advances to the successor combination, reporting the element
+// swapped out and the element swapped in. ok is false — and the
+// combination unchanged — when the current combination is the last one
+// (rank C(n,k)−1).
+func (rd *RevolvingDoor) Next() (out, in int, ok bool) {
+	c, t, n := rd.c, rd.k, rd.n
+	if t == 0 || t == n {
+		return 0, 0, false
+	}
+	// R3, the easy case: only the smallest element moves.
+	if t&1 == 1 {
+		if c[1]+1 < c[2] {
+			out = c[1]
+			c[1]++
+			return out, c[1], true
+		}
+	} else if c[1] > 0 {
+		out = c[1]
+		c[1]--
+		return out, c[1], true
+	}
+	return rd.nextHard(t&1 == 1)
+}
+
+// nextHard is Algorithm R's R4/R5 chain, entered at j = 2 after the easy
+// case failed: odd k starts by trying to decrease c_2 (R4), even k by
+// trying to increase c_2 (R5). R5 at j = k reads the c[k+1] = n sentinel;
+// the parity of the alternation guarantees R4 is never reached at j = k+1.
+func (rd *RevolvingDoor) nextHard(tryDecrease bool) (out, in int, ok bool) {
+	c, t := rd.c, rd.k
+	for j := 2; j <= t; j++ {
+		if tryDecrease {
+			// R4 (here c[j] == c[j-1]+1): move c_j down to c_{j-1}, pack
+			// c_{j-1} at the bottom.
+			if c[j] >= j {
+				out, in = c[j], j-2
+				c[j] = c[j-1]
+				c[j-1] = j - 2
+				return out, in, true
+			}
+		} else {
+			// R5 (here c[j-1] == j-2): move c_j up, pulling its old value
+			// down to position j-1.
+			if c[j]+1 < c[j+1] {
+				out, in = j-2, c[j]+1
+				c[j-1] = c[j]
+				c[j]++
+				return out, in, true
+			}
+		}
+		tryDecrease = !tryDecrease
+	}
+	return 0, 0, false
+}
+
+// NextBatch fills outs/ins with up to len(outs) successor swaps, advancing
+// the enumerator past all of them, and returns how many were produced — a
+// short count means the enumeration is exhausted. The batch form keeps the
+// dominant "easy case" runs (only the smallest element sliding up or down)
+// in registers, which matters to the expansion engine's per-set budget.
+// ins must be at least as long as outs.
+func (rd *RevolvingDoor) NextBatch(outs, ins []int) int {
+	c, t, n := rd.c, rd.k, rd.n
+	if t == 0 || t == n || len(outs) == 0 {
+		return 0
+	}
+	if len(ins) < len(outs) {
+		panic("bitset: NextBatch ins shorter than outs")
+	}
+	limit := len(outs)
+	outs, ins = outs[:limit], ins[:limit]
+	m := 0
+	odd := t&1 == 1
+	for {
+		// The easy-case run: only the smallest element slides.
+		if odd {
+			c1, c2 := c[1], c[2]
+			for m < limit && c1+1 < c2 {
+				outs[m] = c1
+				c1++
+				ins[m] = c1
+				m++
+			}
+			c[1] = c1
+		} else {
+			c1 := c[1]
+			for m < limit && c1 > 0 {
+				outs[m] = c1
+				c1--
+				ins[m] = c1
+				m++
+			}
+			c[1] = c1
+		}
+		if m >= limit {
+			return m
+		}
+		// The R4/R5 chain, inlined: a hard step ends every easy run, so a
+		// call here would be paid every few swaps.
+		tryDecrease := odd
+		for j := 2; ; j++ {
+			if j > t {
+				return m
+			}
+			if tryDecrease {
+				if c[j] >= j {
+					outs[m], ins[m] = c[j], j-2
+					c[j] = c[j-1]
+					c[j-1] = j - 2
+					m++
+					break
+				}
+			} else if c[j]+1 < c[j+1] {
+				outs[m], ins[m] = j-2, c[j]+1
+				c[j-1] = c[j]
+				c[j]++
+				m++
+				break
+			}
+			tryDecrease = !tryDecrease
+		}
+	}
+}

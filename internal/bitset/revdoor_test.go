@@ -1,0 +1,176 @@
+package bitset
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want uint64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {30, 15, 155117520},
+		{72, 3, 59640}, {5, 6, 0}, {5, -1, 0}, {200, 100, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// TestRevolvingDoorWalk exhaustively checks, for every (n, k) with
+// n ≤ 10, that the successor walk from rank 0:
+//   - visits exactly C(n,k) distinct combinations,
+//   - performs exactly one out/one in swap per step (reported correctly),
+//   - agrees with Reset's unranking at every rank (walk ↔ bijection), and
+//   - has Rank as its inverse.
+func TestRevolvingDoorWalk(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			total := Binomial(n, k)
+			rd := NewRevolvingDoor(n, k, 0)
+			seen := map[uint64]bool{}
+			cur := rd.Mask()
+			for r := uint64(0); ; r++ {
+				if bits.OnesCount64(cur) != k {
+					t.Fatalf("n=%d k=%d rank %d: popcount %b", n, k, r, cur)
+				}
+				if seen[cur] {
+					t.Fatalf("n=%d k=%d rank %d: revisited %b", n, k, r, cur)
+				}
+				seen[cur] = true
+				if got := rd.Mask(); got != cur {
+					t.Fatalf("n=%d k=%d rank %d: internal state %b, walk %b", n, k, r, got, cur)
+				}
+				want := NewRevolvingDoor(n, k, r).Mask()
+				if cur != want {
+					t.Fatalf("n=%d k=%d rank %d: walk %b, unrank %b", n, k, r, cur, want)
+				}
+				if got := rd.Rank(); got != r {
+					t.Fatalf("n=%d k=%d: Rank(%b) = %d, want %d", n, k, cur, got, r)
+				}
+				out, in, ok := rd.Next()
+				if !ok {
+					if r != total-1 {
+						t.Fatalf("n=%d k=%d: exhausted at rank %d of %d", n, k, r, total)
+					}
+					break
+				}
+				if out == in || cur&(1<<uint(out)) == 0 || cur&(1<<uint(in)) != 0 {
+					t.Fatalf("n=%d k=%d rank %d: bad swap out=%d in=%d of %b", n, k, r, out, in, cur)
+				}
+				cur = cur ^ (1 << uint(out)) | (1 << uint(in))
+			}
+			if uint64(len(seen)) != total {
+				t.Fatalf("n=%d k=%d: visited %d of %d combinations", n, k, len(seen), total)
+			}
+		}
+	}
+}
+
+// TestRevolvingDoorNextBatch: the batch walk must produce exactly the
+// swaps of repeated Next calls, across batch sizes that do and do not
+// divide the sequence length, from every starting rank.
+func TestRevolvingDoorNextBatch(t *testing.T) {
+	const n, k = 9, 4
+	total := Binomial(n, k)
+	for _, batch := range []int{1, 2, 3, 7, 64, 1024} {
+		for start := uint64(0); start < total; start += 17 {
+			a := NewRevolvingDoor(n, k, start)
+			b := NewRevolvingDoor(n, k, start)
+			outs, ins := make([]int, batch), make([]int, batch)
+			for {
+				m := a.NextBatch(outs, ins)
+				for i := 0; i < m; i++ {
+					out, in, ok := b.Next()
+					if !ok {
+						t.Fatalf("batch %d start %d: batch overran Next", batch, start)
+					}
+					if outs[i] != out || ins[i] != in {
+						t.Fatalf("batch %d start %d: swap (%d,%d) != Next (%d,%d)",
+							batch, start, outs[i], ins[i], out, in)
+					}
+				}
+				if m < batch {
+					if _, _, ok := b.Next(); ok {
+						t.Fatalf("batch %d start %d: batch ended early", batch, start)
+					}
+					break
+				}
+			}
+			if a.Mask() != b.Mask() {
+				t.Fatalf("batch %d start %d: final states differ", batch, start)
+			}
+		}
+	}
+}
+
+func TestRevolvingDoorFillSetAndMembers(t *testing.T) {
+	rd := NewRevolvingDoor(70, 3, 41)
+	s := New(70)
+	rd.FillSet(s)
+	mem := rd.Members()
+	if s.Count() != 3 || len(mem) != 3 {
+		t.Fatalf("count %d, members %v", s.Count(), mem)
+	}
+	for i, v := range mem {
+		if !s.Contains(v) {
+			t.Fatalf("member %d missing from set", v)
+		}
+		if i > 0 && mem[i-1] >= v {
+			t.Fatalf("members not increasing: %v", mem)
+		}
+	}
+	// Swaps keep large-n state consistent with FillSet.
+	for i := 0; i < 100; i++ {
+		out, in, ok := rd.Next()
+		if !ok {
+			break
+		}
+		s.Remove(out)
+		s.Add(in)
+		s2 := New(70)
+		rd.FillSet(s2)
+		if !s.Equal(s2) {
+			t.Fatalf("step %d: swap state diverged", i)
+		}
+	}
+}
+
+func TestRevolvingDoorEdgeCases(t *testing.T) {
+	// k = 0 and k = n have a single combination and no successor.
+	for _, k := range []int{0, 6} {
+		rd := NewRevolvingDoor(6, k, 0)
+		if _, _, ok := rd.Next(); ok {
+			t.Fatalf("k=%d: single combination should have no successor", k)
+		}
+		if m := rd.NextBatch(make([]int, 4), make([]int, 4)); m != 0 {
+			t.Fatalf("k=%d: NextBatch produced %d swaps", k, m)
+		}
+	}
+	// k = 1 enumerates singletons in increasing order.
+	rd := NewRevolvingDoor(5, 1, 0)
+	for want := 0; want < 5; want++ {
+		if got := rd.Members()[0]; got != want {
+			t.Fatalf("singleton rank %d = %d", want, got)
+		}
+		_, _, ok := rd.Next()
+		if ok != (want < 4) {
+			t.Fatalf("singleton successor at %d: ok=%v", want, ok)
+		}
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("bad k", func() { NewRevolvingDoor(4, 5, 0) })
+	mustPanic("bad rank", func() { NewRevolvingDoor(4, 2, 6) })
+	mustPanic("Mask n>64", func() { NewRevolvingDoor(65, 2, 0).Mask() })
+}

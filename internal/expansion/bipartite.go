@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"wexp/internal/bitset"
 	"wexp/internal/graph"
@@ -54,7 +55,121 @@ func MinBipartiteExpansionOpts(b *graph.Bipartite, opt Options) (BipartiteResult
 	if s <= 62 && maxK == s && uint64(1)<<uint(s) <= budget {
 		return grayBipartite(b), nil
 	}
-	return bigBipartite(b, maxK, budget, opt.Workers, opt.Ctx)
+	return bigBipartite(b, maxK, budget, opt.Workers, opt.Recompute, opt.Ctx)
+}
+
+// bipRecomputeRun is the legacy colex chunk walk: a full CoverSet
+// recomputation per set, kept as the oracle for bipIncRun.
+func bipRecomputeRun(b *graph.Bipartite) func(chunk) chunkBest {
+	s := b.NS()
+	return func(c chunk) chunkBest {
+		S := bitset.New(s)
+		combinationInto(S, s, c.k, c.start)
+		members := make([]int, 0, c.k)
+		scratch := make([]int8, b.NN())
+		var setBuf *bitset.Set
+		best := chunkBest{}
+		for i := uint64(0); ; {
+			best.sets++
+			members = S.AppendIndices(members[:0])
+			if num := b.CoverSet(members, scratch); !best.found || num < best.num {
+				best.found = true
+				best.num = num
+				if setBuf == nil {
+					setBuf = bitset.New(s)
+				}
+				setBuf.Copy(S)
+				best.setBig = setBuf
+			}
+			if i++; i >= c.count {
+				return best
+			}
+			if !S.NextCombination() {
+				return best
+			}
+		}
+	}
+}
+
+// bipIncRun is the revolving-door incremental kernel: counts[v] is the
+// number of chosen S-side vertices adjacent to N-side vertex v, and the
+// covered total |Γ(S')| moves only along the two swapped vertices' rows.
+func bipIncRun(b *graph.Bipartite) func(chunk) chunkBest {
+	s := b.NS()
+	var pool sync.Pool
+	pool.New = func() any {
+		return &incArena{
+			rd:   &bitset.RevolvingDoor{},
+			outs: make([]int, swapBatch),
+			ins:  make([]int, swapBatch),
+			cnt:  make([]int32, b.NN()),
+			S:    bitset.New(s),
+		}
+	}
+	return func(c chunk) chunkBest {
+		ar := pool.Get().(*incArena)
+		defer pool.Put(ar)
+		rd, cnt, S := ar.rd, ar.cnt, ar.S
+		rd.Reset(s, c.k, c.start)
+		rd.FillSet(S)
+		clear(cnt)
+		covered := 0
+		for _, u := range rd.Members() {
+			for _, v := range b.NeighborsOfS(u) {
+				if cnt[v] == 0 {
+					covered++
+				}
+				cnt[v]++
+			}
+		}
+		improve := func(best *chunkBest, num int) {
+			best.found = true
+			best.num = num
+			if ar.setBuf == nil {
+				ar.setBuf = bitset.New(s)
+			}
+			ar.setBuf.Copy(S)
+			best.setBig = ar.setBuf
+		}
+		best := chunkBest{sets: 1}
+		improve(&best, covered)
+		for done := uint64(1); done < c.count; {
+			want := c.count - done
+			if want > swapBatch {
+				want = swapBatch
+			}
+			m := rd.NextBatch(ar.outs[:want], ar.ins[:want])
+			if m == 0 {
+				break
+			}
+			for i := 0; i < m; i++ {
+				out, in := ar.outs[i], ar.ins[i]
+				for _, v := range b.NeighborsOfS(out) {
+					cnt[v]--
+					if cnt[v] == 0 {
+						covered--
+					}
+				}
+				for _, v := range b.NeighborsOfS(in) {
+					if cnt[v] == 0 {
+						covered++
+					}
+					cnt[v]++
+				}
+				S.Remove(out)
+				S.Add(in)
+				if covered < best.num || (covered == best.num && S.Compare(best.setBig) < 0) {
+					improve(&best, covered)
+				}
+			}
+			done += uint64(m)
+			best.sets += m
+		}
+		if best.setBig != nil {
+			ar.setBuf = nil
+		}
+		return best
+	}
 }
 
 // grayBipartite is the legacy incremental Gray-code walk (|S| ≤ 62).
@@ -105,8 +220,12 @@ func grayBipartite(b *graph.Bipartite) BipartiteResult {
 
 // bigBipartite enumerates subsets of the S side by cardinality over the
 // chunked pool, with the same deterministic smallest-witness merge as the
-// graph engine.
-func bigBipartite(b *graph.Bipartite, maxK int, budget uint64, workers int, ctx context.Context) (BipartiteResult, error) {
+// graph engine. The default kernel walks each chunk in revolving-door
+// order with an incrementally maintained N-side coverage-count array —
+// O(deg(out)+deg(in)) per set; the colex recompute walk survives behind
+// recompute as the correctness oracle. Both produce identical chunk
+// winners: (min covered count, numerically smallest witness).
+func bigBipartite(b *graph.Bipartite, maxK int, budget uint64, workers int, recompute bool, ctx context.Context) (BipartiteResult, error) {
 	s := b.NS()
 	work := enumWork(s, maxK, ObjOrdinary) // one unit per set
 	if work > budget {
@@ -117,30 +236,9 @@ func bigBipartite(b *graph.Bipartite, maxK int, budget uint64, workers int, ctx 
 		workers = poolWidth()
 	}
 	chunks := makeChunks(s, maxK, ObjOrdinary, work, workers)
-	run := func(c chunk) chunkBest {
-		S := bitset.New(s)
-		combinationInto(S, s, c.k, c.start)
-		members := make([]int, 0, c.k)
-		scratch := make([]int8, b.NN())
-		best := chunkBest{}
-		for i := uint64(0); ; {
-			best.sets++
-			members = members[:0]
-			for u := range S.All() {
-				members = append(members, u)
-			}
-			if num := b.CoverSet(members, scratch); !best.found || num < best.num {
-				best.found = true
-				best.num = num
-				best.setBig = S.Clone()
-			}
-			if i++; i >= c.count {
-				return best
-			}
-			if !S.NextCombination() {
-				return best
-			}
-		}
+	run := bipIncRun(b)
+	if recompute {
+		run = bipRecomputeRun(b)
 	}
 	results, err := runPool(ctx, chunks, workers, run)
 	if err != nil {

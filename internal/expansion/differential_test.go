@@ -1,0 +1,242 @@
+package expansion
+
+import (
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+)
+
+// assertSameResult demands bit-for-bit agreement on everything except the
+// scheduling-shaped Pruned counter (and the Kernel label): Value, both
+// witness representations, the inner witness, and the Sets count.
+func assertSameResult(t *testing.T, ctx string, want, got Result) {
+	t.Helper()
+	if want.Value != got.Value {
+		t.Fatalf("%s: value %g != %g", ctx, want.Value, got.Value)
+	}
+	if want.ArgSet != got.ArgSet || want.ArgInner != got.ArgInner {
+		t.Fatalf("%s: witness masks (%b,%b) != (%b,%b)",
+			ctx, want.ArgSet, want.ArgInner, got.ArgSet, got.ArgInner)
+	}
+	if want.Sets != got.Sets {
+		t.Fatalf("%s: sets %d != %d", ctx, want.Sets, got.Sets)
+	}
+	if (want.Witness == nil) != (got.Witness == nil) ||
+		(want.Witness != nil && !want.Witness.Equal(got.Witness)) {
+		t.Fatalf("%s: bitset witness %v != %v", ctx, want.Witness, got.Witness)
+	}
+	if (want.InnerWitness == nil) != (got.InnerWitness == nil) ||
+		(want.InnerWitness != nil && !want.InnerWitness.Equal(got.InnerWitness)) {
+		t.Fatalf("%s: inner witness %v != %v", ctx, want.InnerWitness, got.InnerWitness)
+	}
+}
+
+var allObjectives = []Objective{ObjOrdinary, ObjUnique, ObjWireless, ObjEdge}
+
+// TestIncrementalMatchesRecompute is the differential acceptance test of
+// the revolving-door kernels: on random graphs, for all four objectives,
+// several α and pool widths (each width is a different chunk partition,
+// exercising chunk-boundary unranking), the incremental kernels must
+// reproduce the recompute oracle bit for bit — on the uint64 path, the
+// bitset path (forceBig), and across the two.
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	r := rng.New(20260728)
+	for trial := 0; trial < 4; trial++ {
+		n := 7 + trial*2
+		g := gen.ErdosRenyi(n, 0.35, r)
+		for _, obj := range allObjectives {
+			for _, alpha := range []float64{0.3, 0.6, 1.0} {
+				if obj == ObjWireless && n >= 13 && alpha > 0.6 {
+					alpha = 0.5 // cap the 2^k inner scan at test size
+				}
+				for _, w := range []int{1, 3, 8} {
+					opt := Options{Alpha: alpha, Workers: w}
+					ctx := func(kind string) string {
+						return obj.String() + kind
+					}
+					oracle, err := Exact(g, obj, Options{Alpha: alpha, Workers: w, Recompute: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					inc, err := Exact(g, obj, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameResult(t, ctx(" small"), oracle, inc)
+					if inc.Kernel != "small-incremental" || oracle.Kernel != "small-recompute" {
+						t.Fatalf("kernel labels %q / %q", inc.Kernel, oracle.Kernel)
+					}
+					opt.forceBig = true
+					incBig, err := Exact(g, obj, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameResult(t, ctx(" big"), oracle, incBig)
+					if incBig.Kernel != "big-incremental" {
+						t.Fatalf("kernel label %q", incBig.Kernel)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesRecomputeLargeN runs the differential check on the
+// genuine n > 64 path, where only the bitset kernels apply.
+func TestIncrementalMatchesRecomputeLargeN(t *testing.T) {
+	r := rng.New(68)
+	graphs := map[string]*graph.Graph{
+		"cycle68": gen.Cycle(68),
+		"er68":    gen.ErdosRenyi(68, 0.08, r),
+	}
+	for name, g := range graphs {
+		for _, obj := range allObjectives {
+			maxK := 3
+			if obj == ObjWireless {
+				maxK = 2
+			}
+			for _, w := range []int{1, 4} {
+				opt := Options{MaxK: maxK, Budget: 1 << 22, Workers: w}
+				inc, err1 := Exact(g, obj, opt)
+				opt.Recompute = true
+				oracle, err2 := Exact(g, obj, opt)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s %v: %v / %v", name, obj, err1, err2)
+				}
+				assertSameResult(t, name+" "+obj.String(), oracle, inc)
+			}
+		}
+	}
+}
+
+// TestIncrementalChunkBoundaries sweeps pool widths far beyond the chunk
+// count: every width induces a different chunk partition of the same rank
+// space, and all of them — incremental and recompute — must agree with the
+// serial recompute scan.
+func TestIncrementalChunkBoundaries(t *testing.T) {
+	g := gen.ErdosRenyi(12, 0.3, rng.New(5))
+	for _, obj := range allObjectives {
+		serial, err := Exact(g, obj, Options{Alpha: 0.75, Workers: 1, Recompute: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 3, 5, 8, 13, 64, 512} {
+			inc, err := Exact(g, obj, Options{Alpha: 0.75, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, obj.String(), serial, inc)
+		}
+	}
+}
+
+// TestBipartiteIncrementalMatchesRecompute checks the bipartite
+// by-cardinality kernel pair: identical values, witnesses and set counts,
+// and agreement with the Gray-code walk on the value (the Gray path's
+// tie-break differs by design, so witnesses are not compared against it).
+func TestBipartiteIncrementalMatchesRecompute(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 5; trial++ {
+		s := 8 + trial*3
+		bg := gen.RandomBipartite(s, s+s/2, 0.25, r)
+		// A budget of exactly 2^s − 1 covers the full enumeration but fails
+		// the Gray-code gate (which needs 2^s), forcing the big path.
+		budget := uint64(1)<<uint(s) - 1
+		for _, w := range []int{1, 3, 16} {
+			inc, err1 := MinBipartiteExpansionOpts(bg, Options{Budget: budget, Workers: w})
+			oracle, err2 := MinBipartiteExpansionOpts(bg, Options{Budget: budget, Workers: w, Recompute: true})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("s=%d: %v / %v", s, err1, err2)
+			}
+			if inc.Value != oracle.Value || inc.ArgSet != oracle.ArgSet || inc.Sets != oracle.Sets {
+				t.Fatalf("s=%d w=%d: (%g,%b,%d) != (%g,%b,%d)", s, w,
+					inc.Value, inc.ArgSet, inc.Sets, oracle.Value, oracle.ArgSet, oracle.Sets)
+			}
+			if !inc.Witness.Equal(oracle.Witness) {
+				t.Fatalf("s=%d w=%d: witness %v != %v", s, w, inc.Witness, oracle.Witness)
+			}
+		}
+		gray, err := MinBipartiteExpansion(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := MinBipartiteExpansionOpts(bg, Options{Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gray.Value != inc.Value || gray.Sets != inc.Sets {
+			t.Fatalf("s=%d: big path (%g,%d) != gray walk (%g,%d)",
+				s, inc.Value, inc.Sets, gray.Value, gray.Sets)
+		}
+	}
+}
+
+// TestIncrementalHotLoopAllocs pins the arena design: once the worker pool
+// is warm, enumerating thousands of sets allocates (amortized) nothing per
+// set — the small kernel's chunk is fully allocation-free, the big
+// kernel's only escapes are its per-chunk witness hand-offs.
+func TestIncrementalHotLoopAllocs(t *testing.T) {
+	gSmall := gen.ErdosRenyi(24, 0.3, rng.New(7))
+	knSmall := newSmallIncKernel(gSmall, ObjOrdinary, true)
+	cSmall := chunk{k: 5, start: 0, count: 20000}
+	knSmall.run(cSmall) // warm the arena pool
+	const sets = 20000.0
+	if allocs := testing.AllocsPerRun(10, func() { knSmall.run(cSmall) }); allocs/sets > 0.001 {
+		t.Fatalf("small incremental kernel: %.1f allocs per %d-set chunk", allocs, int(sets))
+	}
+
+	gBig := gen.ErdosRenyi(72, 0.3, rng.New(8))
+	knBig := newBigIncKernel(gBig, ObjOrdinary, true)
+	cBig := chunk{k: 3, start: 0, count: 20000}
+	knBig.run(cBig)
+	// Steady state re-allocates only the escaping witness buffer (plus pool
+	// slack when a GC empties it mid-measurement).
+	if allocs := testing.AllocsPerRun(10, func() { knBig.run(cBig) }); allocs/sets > 0.001 {
+		t.Fatalf("big incremental kernel: %.1f allocs per %d-set chunk", allocs, int(sets))
+	}
+}
+
+// FuzzExpansionKernels drives randomized graphs, objectives, size caps and
+// pool widths through both kernel families and requires bit-for-bit
+// agreement with the recompute oracle.
+func FuzzExpansionKernels(f *testing.F) {
+	f.Add(uint64(1), uint8(9), uint8(3), uint8(0), uint8(5), uint8(1))
+	f.Add(uint64(42), uint8(12), uint8(6), uint8(2), uint8(4), uint8(3))
+	f.Add(uint64(7), uint8(5), uint8(1), uint8(3), uint8(9), uint8(8))
+	f.Add(uint64(1234), uint8(14), uint8(2), uint8(1), uint8(7), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, pRaw, objRaw, alphaRaw, wRaw uint8) {
+		n := 4 + int(nRaw)%11 // 4..14
+		p := 0.1 + float64(pRaw%8)*0.1
+		obj := allObjectives[objRaw%4]
+		alpha := 0.2 + float64(alphaRaw%9)*0.1 // 0.2..1.0
+		if obj == ObjWireless && alpha > 0.6 {
+			alpha = 0.6 // bound the 2^k inner scan
+		}
+		workers := 1 + int(wRaw)%8
+		g := gen.ErdosRenyi(n, p, rng.New(seed))
+		opt := Options{Alpha: alpha, Workers: workers}
+		oracle, err := Exact(g, obj, Options{Alpha: alpha, Workers: workers, Recompute: true})
+		if err != nil {
+			return // α too small for a nonempty set — same error on all paths
+		}
+		inc, err := Exact(g, obj, opt)
+		if err != nil {
+			t.Fatalf("incremental errored where oracle ran: %v", err)
+		}
+		assertSameResult(t, "small "+obj.String(), oracle, inc)
+		opt.forceBig = true
+		incBig, err := Exact(g, obj, opt)
+		if err != nil {
+			t.Fatalf("big incremental errored: %v", err)
+		}
+		assertSameResult(t, "big "+obj.String(), oracle, incBig)
+		opt.Recompute = true
+		oracleBig, err := Exact(g, obj, opt)
+		if err != nil {
+			t.Fatalf("big recompute errored: %v", err)
+		}
+		assertSameResult(t, "big-recompute "+obj.String(), oracle, oracleBig)
+	})
+}

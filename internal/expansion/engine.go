@@ -69,6 +69,12 @@ type Options struct {
 	// never depends on pruning (only Result.Pruned does); the switch exists
 	// for cross-checks and measurement.
 	NoPrune bool
+	// Recompute forces the legacy full-recomputation kernels — the
+	// correctness oracle for the default revolving-door incremental kernels,
+	// exactly as radio's StepScalar is for its word-parallel step. Results
+	// are bit-identical either way; only speed and the scheduling-shaped
+	// Pruned counter differ.
+	Recompute bool
 	// Ctx, when non-nil, cancels the enumeration: workers observe it at
 	// chunk boundaries and the solve returns Ctx.Err(). A nil Ctx means
 	// run to completion.
@@ -103,30 +109,19 @@ type chunkBest struct {
 // engineOut is the raw per-cardinality outcome of a solve: perK[k] holds
 // the best set of size exactly k (chunks already merged deterministically).
 type engineOut struct {
-	n    int
-	maxK int
-	perK []chunkBest
-	sets int
-	prun int64
+	n      int
+	maxK   int
+	kernel string
+	perK   []chunkBest
+	sets   int
+	prun   int64
 }
 
-// binom returns C(n, k), saturating at MaxUint64 on overflow.
+// binom returns C(n, k), saturating at MaxUint64 on overflow — the shared
+// implementation lives next to the revolving-door enumerator whose rank
+// bijection depends on it.
 func binom(n, k int) uint64 {
-	if k < 0 || k > n {
-		return 0
-	}
-	if k > n-k {
-		k = n - k
-	}
-	r := uint64(1)
-	for i := 1; i <= k; i++ {
-		hi, lo := bits.Mul64(r, uint64(n-k+i))
-		if hi >= uint64(i) {
-			return math.MaxUint64
-		}
-		r, _ = bits.Div64(hi, lo, uint64(i))
-	}
-	return r
+	return bitset.Binomial(n, k)
 }
 
 // setCost is the work-unit price of evaluating one set of size k.
@@ -313,18 +308,26 @@ func solve(g *graph.Graph, obj Objective, maxK int, opt Options) (*engineOut, er
 	}
 	chunks := makeChunks(n, maxK, obj, work, workers)
 	var run func(chunk) chunkBest
-	if n <= 64 && !opt.forceBig {
+	var kernel string
+	switch small := n <= 64 && !opt.forceBig; {
+	case small && opt.Recompute:
 		kn := newSmallKernel(g, obj, !opt.NoPrune)
-		run = kn.run
-	} else {
+		run, kernel = kn.run, "small-recompute"
+	case small:
+		kn := newSmallIncKernel(g, obj, !opt.NoPrune)
+		run, kernel = kn.run, "small-incremental"
+	case opt.Recompute:
 		kn := newBigKernel(g, obj, !opt.NoPrune)
-		run = kn.run
+		run, kernel = kn.run, "big-recompute"
+	default:
+		kn := newBigIncKernel(g, obj, !opt.NoPrune)
+		run, kernel = kn.run, "big-incremental"
 	}
 	results, err := runPool(opt.Ctx, chunks, workers, run)
 	if err != nil {
 		return nil, err
 	}
-	out := &engineOut{n: n, maxK: maxK, perK: make([]chunkBest, maxK+1)}
+	out := &engineOut{n: n, maxK: maxK, kernel: kernel, perK: make([]chunkBest, maxK+1)}
 	for i, r := range results {
 		out.sets += r.sets
 		out.prun += r.pruned
@@ -348,7 +351,7 @@ func solve(g *graph.Graph, obj Objective, maxK int, opt Options) (*engineOut, er
 // numerically smallest witness — reproducing the legacy serial scan
 // bit-for-bit.
 func (e *engineOut) aggregate() Result {
-	res := Result{Value: math.Inf(1), Sets: e.sets, Pruned: e.prun}
+	res := Result{Value: math.Inf(1), Sets: e.sets, Pruned: e.prun, Kernel: e.kernel}
 	var best *chunkBest
 	bestK := 0
 	for k := 1; k <= e.maxK; k++ {
@@ -514,7 +517,9 @@ func newBigKernel(g *graph.Graph, obj Objective, prune bool) *bigKernel {
 }
 
 // run enumerates the chunk with per-chunk scratch (kernels are shared
-// across workers; scratch is not).
+// across workers; scratch is not). Witnesses land in chunk-lifetime arena
+// buffers via Copy — one allocation per chunk that found a best, not one
+// per improvement.
 func (kn *bigKernel) run(c chunk) chunkBest {
 	S := bitset.New(kn.n)
 	combinationInto(S, kn.n, c.k, c.start)
@@ -524,13 +529,11 @@ func (kn *bigKernel) run(c chunk) chunkBest {
 		twice:   bitset.New(kn.n),
 		tmp:     bitset.New(kn.n),
 	}
+	var setBuf, innerBuf *bitset.Set
 	best := chunkBest{}
 	for i := uint64(0); ; {
 		best.sets++
-		sc.members = sc.members[:0]
-		for v := range S.All() {
-			sc.members = append(sc.members, v)
-		}
+		sc.members = S.AppendIndices(sc.members[:0])
 		if kn.prune && best.found && kn.lowerBoundBig(sc.members, c.k) > best.num {
 			best.pruned++
 		} else {
@@ -538,8 +541,20 @@ func (kn *bigKernel) run(c chunk) chunkBest {
 			if !best.found || num < best.num {
 				best.found = true
 				best.num = num
-				best.setBig = S.Clone()
-				best.innerBig = expandSub(kn.n, innerSub, sc.members)
+				if setBuf == nil {
+					setBuf = bitset.New(kn.n)
+				}
+				setBuf.Copy(S)
+				best.setBig = setBuf
+				if innerSub == 0 {
+					best.innerBig = nil
+				} else {
+					if innerBuf == nil {
+						innerBuf = bitset.New(kn.n)
+					}
+					expandSubInto(innerBuf, innerSub, sc.members)
+					best.innerBig = innerBuf
+				}
 			}
 		}
 		if i++; i >= c.count {
@@ -592,25 +607,7 @@ func (kn *bigKernel) eval(S *bitset.Set, sc *bigScratch) (num int, innerSub uint
 		sc.once.Subtract(sc.twice)
 		return sc.once.SubtractCount(S), 0
 	case ObjWireless:
-		full := full64(len(sc.members))
-		bestInner, bestSub := 0, uint64(0)
-		// Same submask order as WirelessOfSet (descending), so the first
-		// strict max — and hence the inner witness — matches the small
-		// kernel bit-for-bit on graphs both paths accept.
-		for sub := full; ; sub = (sub - 1) & full {
-			if sub != 0 {
-				kn.uniqueInto(sc, sub)
-				sc.once.Subtract(sc.twice)
-				if c := sc.once.SubtractCount(S); c > bestInner {
-					bestInner = c
-					bestSub = sub
-				}
-			}
-			if sub == 0 {
-				break
-			}
-		}
-		return bestInner, bestSub
+		return wirelessScanBig(kn.adj, S, sc)
 	case ObjEdge:
 		cut := 0
 		for _, v := range sc.members {
@@ -621,31 +618,43 @@ func (kn *bigKernel) eval(S *bitset.Set, sc *bigScratch) (num int, innerSub uint
 	panic("expansion: unknown objective")
 }
 
+// wirelessScanBig is the βw inner optimization shared by the recompute and
+// incremental big kernels: max over S' ⊆ S of |Γ¹_S(S')| plus the
+// maximizing subset as a compressed mask over sc.members. The submask
+// order (descending) matches WirelessOfSet, so the first strict max — and
+// hence the inner witness — matches the small kernel bit-for-bit on graphs
+// both paths accept.
+func wirelessScanBig(adj []*bitset.Set, S *bitset.Set, sc *bigScratch) (int, uint64) {
+	full := full64(len(sc.members))
+	bestInner, bestSub := 0, uint64(0)
+	for sub := full; ; sub = (sub - 1) & full {
+		if sub != 0 {
+			uniqueInto(adj, sc, sub)
+			sc.once.Subtract(sc.twice)
+			if c := sc.once.SubtractCount(S); c > bestInner {
+				bestInner = c
+				bestSub = sub
+			}
+		}
+		if sub == 0 {
+			break
+		}
+	}
+	return bestInner, bestSub
+}
+
 // uniqueInto computes once/twice coverage over the members selected by the
 // compressed mask sub.
-func (kn *bigKernel) uniqueInto(sc *bigScratch, sub uint64) {
+func uniqueInto(adj []*bitset.Set, sc *bigScratch, sub uint64) {
 	sc.once.Clear()
 	sc.twice.Clear()
 	for rest := sub; rest != 0; rest &= rest - 1 {
 		v := sc.members[bits.TrailingZeros64(rest)]
 		sc.tmp.Copy(sc.once)
-		sc.tmp.Intersect(kn.adj[v])
+		sc.tmp.Intersect(adj[v])
 		sc.twice.Union(sc.tmp)
-		sc.once.Union(kn.adj[v])
+		sc.once.Union(adj[v])
 	}
-}
-
-// expandSub turns a compressed member mask into a vertex bitset; nil for
-// the empty mask.
-func expandSub(n int, sub uint64, members []int) *bitset.Set {
-	if sub == 0 {
-		return nil
-	}
-	s := bitset.New(n)
-	for rest := sub; rest != 0; rest &= rest - 1 {
-		s.Add(members[bits.TrailingZeros64(rest)])
-	}
-	return s
 }
 
 func full64(k int) uint64 {

@@ -21,6 +21,11 @@ type Result struct {
 	Witness      *bitset.Set // minimizing set S, any n
 	InnerWitness *bitset.Set // for βw: the maximizing S' ⊆ S; nil otherwise
 	Pruned       int64       // sets skipped by the branch-and-bound floor
+
+	// Kernel names the enumeration kernel that produced the result
+	// (small|big × incremental|recompute) — observability only (it feeds
+	// wexpd's /metrics); every kernel returns bit-identical results.
+	Kernel string
 }
 
 // Exact computes the chosen expansion objective exactly, enumerating

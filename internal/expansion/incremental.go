@@ -1,0 +1,744 @@
+package expansion
+
+import (
+	"math/bits"
+	"sync"
+
+	"wexp/internal/bitset"
+	"wexp/internal/graph"
+)
+
+// Revolving-door incremental kernels.
+//
+// Both enumeration kernels walk each chunk in revolving-door Gray-code
+// order (bitset.RevolvingDoor): successive sets differ by one vertex out,
+// one vertex in, so coverage state is maintained along the two swapped
+// vertices' adjacency rows instead of being recomputed from all k members
+// — O(deg(out)+deg(in)) per set (O(1) word operations for n ≤ 64) instead
+// of O(k·⌈n/64⌉) plus a member-list rebuild.
+//
+// Determinism contract: a chunk covers the same rank interval as before
+// (makeChunks is untouched; the revolving-door rank bijection replaces the
+// colex one), and the per-chunk best is the (min numerator, numerically
+// smallest witness) pair. The legacy kernels got that tie-break for free
+// from colex order ("first strict improvement"); the incremental kernels
+// compare witnesses explicitly on equal numerators, so the chunk winners —
+// and hence the merged Result — are bit-identical to the recompute path at
+// every worker count. Only Result.Pruned (and speed) may differ; the
+// recompute kernels survive behind Options.Recompute as the correctness
+// oracle, exactly as radio's StepScalar does for the word-parallel step.
+//
+// Per-worker scratch lives in a sync.Pool arena: the steady-state hot loop
+// allocates nothing, and the only per-chunk allocations are the witness
+// buffers that escape into the returned chunkBest (the big kernel hands
+// them off and lazily replaces them, killing the per-improvement Clone).
+
+// swapBatch is how many revolving-door swaps are pulled per NextBatch
+// call; one call amortizes the enumerator's call overhead over a cache-
+// friendly run of sets.
+const swapBatch = 256
+
+// incArena is the pooled per-worker scratch shared by both incremental
+// kernels; each field is sized (or left nil) according to the kernel and
+// objective that owns the pool.
+type incArena struct {
+	rd   *bitset.RevolvingDoor
+	outs []int
+	ins  []int
+
+	// Small-kernel fused-walk state: the chunk-local c array of the uint64
+	// fast lane (see smallIncKernel.run), and the wireless prune's
+	// multiset of member degrees.
+	crev     []int
+	degCount []int32
+
+	// Big-kernel state.
+	cnt     []int32 // per-vertex coverage multiplicity |N(v) ∩ S|
+	S       *bitset.Set
+	members []int // wireless: sorted member list for the submask scan
+
+	// Witness buffers. They escape into the returned chunkBest when the
+	// chunk found a best, so run hands them off and niles them; the next
+	// chunk on this arena re-allocates lazily (per chunk, not per
+	// improvement).
+	setBuf   *bitset.Set
+	innerBuf *bitset.Set
+}
+
+// --- small incremental kernel: n ≤ 64 ---------------------------------------
+
+// smallIncKernel evaluates objectives from six bit-sliced multiplicity
+// planes: plane p holds bit p of every vertex's coverage count
+// |N(v) ∩ S|, so a swap is two word-parallel ripple add/subtracts of the
+// swapped vertices' adjacency masks, and each numerator is a handful of
+// word operations — independent of both k and vertex degrees.
+type smallIncKernel struct {
+	masks []uint64
+	deg   []int
+	obj   Objective
+	n     int
+	prune bool
+	pool  sync.Pool
+}
+
+func newSmallIncKernel(g *graph.Graph, obj Objective, prune bool) *smallIncKernel {
+	n := g.N()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	kn := &smallIncKernel{masks: adjMasks(g), deg: deg, obj: obj, n: n,
+		// Pruning can only skip the O(2^k) wireless inner scan; for the
+		// other objectives the incremental numerator is a few word ops, so
+		// the bound check would cost more than it saves.
+		prune: prune && obj == ObjWireless}
+	kn.pool.New = func() any {
+		return &incArena{
+			rd:       &bitset.RevolvingDoor{},
+			crev:     make([]int, 66),
+			degCount: make([]int32, 65),
+		}
+	}
+	return kn
+}
+
+// planes is the bit-sliced counter bank: plane p holds bit p of every
+// vertex's coverage count, and counts never exceed the maximum degree
+// (≤ 63), so six planes always suffice and unused high planes stay zero —
+// the evaluators OR all six unconditionally to stay branch-free. The
+// ripple add/subtract is spelled out inline in the hot loops (the if-chain
+// is past the inliner's budget as a function, and a call would force the
+// planes out of registers).
+type planes struct{ p0, p1, p2, p3, p4, p5 uint64 }
+
+// incRow ripple-adds one to the counter of every vertex in row m — the
+// reference form of the inlined hot-loop code, used on the cold init path.
+func (pl *planes) incRow(m uint64) {
+	old := pl.p0
+	pl.p0 = old ^ m
+	if m &= old; m == 0 {
+		return
+	}
+	old = pl.p1
+	pl.p1 = old ^ m
+	if m &= old; m == 0 {
+		return
+	}
+	old = pl.p2
+	pl.p2 = old ^ m
+	if m &= old; m == 0 {
+		return
+	}
+	old = pl.p3
+	pl.p3 = old ^ m
+	if m &= old; m == 0 {
+		return
+	}
+	old = pl.p4
+	pl.p4 = old ^ m
+	if m &= old; m == 0 {
+		return
+	}
+	pl.p5 ^= m
+}
+
+// covered is the Γ⁻ numerator: vertices outside S with count ≥ 1.
+func (pl *planes) covered(S uint64) int {
+	return bits.OnesCount64((pl.p0 | pl.p1 | pl.p2 | pl.p3 | pl.p4 | pl.p5) &^ S)
+}
+
+// uniqueOut is the Γ¹ numerator: vertices outside S with count exactly 1.
+func (pl *planes) uniqueOut(S uint64) int {
+	return bits.OnesCount64(pl.p0 &^ (pl.p1 | pl.p2 | pl.p3 | pl.p4 | pl.p5) &^ S)
+}
+
+// cut is the edge-boundary numerator: Σ_{v∉S} count(v), the number of
+// edges with exactly one endpoint in S, as a popcount-weighted plane sum.
+func (pl *planes) cut(S uint64) int {
+	return bits.OnesCount64(pl.p0&^S) +
+		bits.OnesCount64(pl.p1&^S)<<1 +
+		bits.OnesCount64(pl.p2&^S)<<2 +
+		bits.OnesCount64(pl.p3&^S)<<3 +
+		bits.OnesCount64(pl.p4&^S)<<4 +
+		bits.OnesCount64(pl.p5&^S)<<5
+}
+
+func (kn *smallIncKernel) run(c chunk) chunkBest {
+	ar := kn.pool.Get().(*incArena)
+	defer kn.pool.Put(ar)
+	rd := ar.rd
+	rd.Reset(kn.n, c.k, c.start)
+	if kn.obj == ObjWireless {
+		return kn.runWireless(c, ar)
+	}
+	var pl planes
+	S := rd.Mask()
+	for _, v := range rd.Members() {
+		pl.incRow(kn.masks[v])
+	}
+	var num int
+	switch kn.obj {
+	case ObjOrdinary:
+		num = pl.covered(S)
+	case ObjUnique:
+		num = pl.uniqueOut(S)
+	default: // ObjEdge
+		num = pl.cut(S)
+	}
+	best := chunkBest{found: true, num: num, set: S, sets: 1}
+	// The hot loop. Locals keep the six planes, the incumbent, and the
+	// revolving door's fast lane in registers; the ripple add/subtract is
+	// spelled out (see planes). The tie-break on the numerically smaller
+	// witness is what the recompute kernel gets for free from its colex
+	// walk; here it is what keeps chunk winners — and the merged Result —
+	// bit-identical.
+	//
+	// The enumeration itself is fused into the loop — this is the uint64
+	// fast lane of the revolving-door walk. bitset.RevolvingDoor stays the
+	// reference implementation (the fuzz and differential tests pin the
+	// two against each other via the recompute oracle): Algorithm R's easy
+	// case R3 — only the smallest element slides, the overwhelmingly
+	// common step — runs on a register copy of c[1], and the rare R4/R5
+	// chain drops to revDoorHardStep on the chunk-local c array.
+	cs := ar.crev[:c.k+2]
+	copy(cs[1:], rd.Members())
+	cs[c.k+1] = kn.n
+	odd := c.k&1 == 1
+	c1 := cs[1]
+	p0, p1, p2, p3, p4, p5 := pl.p0, pl.p1, pl.p2, pl.p3, pl.p4, pl.p5
+	bestNum, bestSet := best.num, best.set
+	obj := kn.obj
+	masks := kn.masks
+	// c[1] lives in the register c1 throughout: the inlined j = 2 steps are
+	// the only hard steps that touch it, and the j ≥ 3 chain reads and
+	// writes positions 2..k only.
+	for done := uint64(1); done < c.count; done++ {
+		var u, v int
+		if odd {
+			if c1+1 < cs[2] {
+				u = c1
+				c1++
+				v = c1
+				S ^= 3 << uint(u) // adjacent swap: u out, u+1 in
+			} else if c.k > 1 && cs[2] >= 2 {
+				// R4 at j = 2 (invariant c[2] = c[1]+1 — the failed easy
+				// test): move c[2] down onto c[1], pack c[1] to 0.
+				u, v = cs[2], 0
+				cs[2] = c1
+				c1 = 0
+				S ^= 1<<uint(u) | 1
+			} else {
+				var ok bool
+				u, v, ok = revDoorHardStep(cs, c.k, 3, false)
+				if !ok {
+					break
+				}
+				S ^= 1<<uint(u) | 1<<uint(v)
+			}
+		} else {
+			if c1 > 0 {
+				u = c1
+				c1--
+				v = c1
+				S ^= 3 << uint(v) // adjacent swap: v+1 out, v in
+			} else if cs[2]+1 < cs[3] {
+				// R5 at j = 2 (invariant c[1] = 0): move c[2] up, pulling
+				// its old value down to position 1.
+				u = 0
+				c1 = cs[2]
+				v = c1 + 1
+				cs[2] = v
+				S ^= 1 | 1<<uint(v)
+			} else {
+				var ok bool
+				u, v, ok = revDoorHardStep(cs, c.k, 3, true)
+				if !ok {
+					break
+				}
+				S ^= 1<<uint(u) | 1<<uint(v)
+			}
+		}
+		{
+			// Ripple-subtract the outgoing row, ripple-add the incoming one.
+			// The first four planes are updated unconditionally: a carry
+			// check there is a data-dependent branch that mispredicts
+			// constantly, while planes 4–5 fire only when some count crosses
+			// 16 — a cheap, predictable guard. (A fused signed-digit walk
+			// was measured slower: the two staggered chains pipeline better.)
+			bw := masks[u]
+			old := p0
+			p0 = old ^ bw
+			bw &^= old
+			old = p1
+			p1 = old ^ bw
+			bw &^= old
+			old = p2
+			p2 = old ^ bw
+			bw &^= old
+			old = p3
+			p3 = old ^ bw
+			bw &^= old
+			if bw != 0 {
+				old = p4
+				p4 = old ^ bw
+				p5 ^= bw &^ old
+			}
+			cy := masks[v]
+			old = p0
+			p0 = old ^ cy
+			cy &= old
+			old = p1
+			p1 = old ^ cy
+			cy &= old
+			old = p2
+			p2 = old ^ cy
+			cy &= old
+			old = p3
+			p3 = old ^ cy
+			cy &= old
+			if cy != 0 {
+				old = p4
+				p4 = old ^ cy
+				p5 ^= cy & old
+			}
+		}
+		var num int
+		switch obj {
+		case ObjOrdinary:
+			num = bits.OnesCount64((p0 | p1 | p2 | p3 | p4 | p5) &^ S)
+		case ObjUnique:
+			num = bits.OnesCount64(p0 &^ (p1 | p2 | p3 | p4 | p5) &^ S)
+		default: // ObjEdge
+			num = bits.OnesCount64(p0&^S) +
+				bits.OnesCount64(p1&^S)<<1 +
+				bits.OnesCount64(p2&^S)<<2 +
+				bits.OnesCount64(p3&^S)<<3 +
+				bits.OnesCount64(p4&^S)<<4 +
+				bits.OnesCount64(p5&^S)<<5
+		}
+		// The outer test is almost always false and predicts well; the
+		// precise improve-or-smaller-witness split happens off the fast
+		// path.
+		if num <= bestNum {
+			if num < bestNum || S < bestSet {
+				bestNum, bestSet = num, S
+			}
+		}
+		best.sets++
+	}
+	best.num, best.set = bestNum, bestSet
+	return best
+}
+
+// revDoorHardStep is Algorithm R's R4/R5 chain on a raw chunk-local c
+// array (c[1..k] increasing, c[k+1] = n sentinel) from position j on —
+// the slow path of the small kernel's fused revolving-door walk (which
+// inlines the j = 2 step), mirroring bitset.(*RevolvingDoor).nextHard.
+// For j ≥ 3 the chain never touches c[1], which is why the caller can
+// keep it in a register.
+func revDoorHardStep(c []int, k, j int, tryDecrease bool) (out, in int, ok bool) {
+	for ; j <= k; j++ {
+		if tryDecrease {
+			if c[j] >= j {
+				out, in = c[j], j-2
+				c[j] = c[j-1]
+				c[j-1] = j - 2
+				return out, in, true
+			}
+		} else if c[j]+1 < c[j+1] {
+			out, in = j-2, c[j]+1
+			c[j-1] = c[j]
+			c[j]++
+			return out, in, true
+		}
+		tryDecrease = !tryDecrease
+	}
+	return 0, 0, false
+}
+
+// runWireless keeps the 2^k inner submask scan (the objective itself is
+// exponential in k) but rides the revolving-door walk for the set state
+// and an incrementally maintained degree multiset for the branch-and-bound
+// floor.
+func (kn *smallIncKernel) runWireless(c chunk, ar *incArena) chunkBest {
+	rd := ar.rd
+	S := rd.Mask()
+	degCount := ar.degCount
+	clear(degCount)
+	maxDeg := 0
+	for _, v := range rd.Members() {
+		degCount[kn.deg[v]]++
+		if kn.deg[v] > maxDeg {
+			maxDeg = kn.deg[v]
+		}
+	}
+	best := chunkBest{}
+	for done := uint64(0); ; {
+		best.sets++
+		if kn.prune && best.found && maxDeg-(c.k-1) > best.num {
+			best.pruned++
+		} else {
+			num, inner := WirelessOfSet(kn.masks, S)
+			if !best.found || num < best.num || (num == best.num && S < best.set) {
+				best.found = true
+				best.num = num
+				best.set = S
+				best.inner = inner
+			}
+		}
+		if done++; done >= c.count {
+			return best
+		}
+		out, in, ok := rd.Next()
+		if !ok {
+			return best
+		}
+		S ^= 1<<uint(out) | 1<<uint(in)
+		dOut, dIn := kn.deg[out], kn.deg[in]
+		degCount[dOut]--
+		degCount[dIn]++
+		if dIn > maxDeg {
+			maxDeg = dIn
+		} else if dOut == maxDeg && degCount[dOut] == 0 {
+			for maxDeg > 0 && degCount[maxDeg] == 0 {
+				maxDeg--
+			}
+		}
+	}
+}
+
+// --- big incremental kernel: any n -------------------------------------------
+
+// bigIncKernel maintains the per-vertex multiplicity array cover[] (how
+// many members of S dominate each vertex) plus a running numerator,
+// updated only along the swapped vertices' adjacency rows.
+type bigIncKernel struct {
+	rows  [][]int32     // CSR adjacency rows (shared, read-only)
+	adj   []*bitset.Set // wireless only: bitset rows for the submask scan
+	deg   []int
+	obj   Objective
+	n     int
+	prune bool
+	pool  sync.Pool
+}
+
+func newBigIncKernel(g *graph.Graph, obj Objective, prune bool) *bigIncKernel {
+	n := g.N()
+	kn := &bigIncKernel{rows: make([][]int32, n), deg: make([]int, n), obj: obj,
+		n: n, prune: prune && obj == ObjWireless}
+	for v := 0; v < n; v++ {
+		kn.rows[v] = g.Neighbors(v)
+		kn.deg[v] = g.Degree(v)
+	}
+	if obj == ObjWireless {
+		kn.adj = make([]*bitset.Set, n)
+		for v := 0; v < n; v++ {
+			kn.adj[v] = bitset.New(n)
+			for _, w := range g.Neighbors(v) {
+				kn.adj[v].Add(int(w))
+			}
+		}
+	}
+	kn.pool.New = func() any {
+		return &incArena{
+			rd:       &bitset.RevolvingDoor{},
+			outs:     make([]int, swapBatch),
+			ins:      make([]int, swapBatch),
+			cnt:      make([]int32, n),
+			S:        bitset.New(n),
+			degCount: make([]int32, n+1),
+		}
+	}
+	return kn
+}
+
+func (kn *bigIncKernel) run(c chunk) chunkBest {
+	ar := kn.pool.Get().(*incArena)
+	defer kn.pool.Put(ar)
+	ar.rd.Reset(kn.n, c.k, c.start)
+	if kn.obj == ObjWireless {
+		ar.S.Clear()
+		best := kn.runWireless(c, ar)
+		// Hand the witness buffers off: chunkBest escapes this run, so the
+		// arena must not recycle them into the next chunk.
+		if best.setBig != nil {
+			ar.setBuf = nil
+		}
+		if best.innerBig != nil {
+			ar.innerBuf = nil
+		}
+		return best
+	}
+	return kn.runCounting(c, ar)
+}
+
+// improve copies the current set (and wireless inner witness) into the
+// chunk's lazily allocated witness buffers.
+func (kn *bigIncKernel) improve(best *chunkBest, ar *incArena, num int, innerSub uint64) {
+	best.found = true
+	best.num = num
+	if ar.setBuf == nil {
+		ar.setBuf = bitset.New(kn.n)
+	}
+	ar.setBuf.Copy(ar.S)
+	best.setBig = ar.setBuf
+	if kn.obj != ObjWireless {
+		return
+	}
+	if innerSub == 0 {
+		best.innerBig = nil
+		return
+	}
+	if ar.innerBuf == nil {
+		ar.innerBuf = bitset.New(kn.n)
+	}
+	expandSubInto(ar.innerBuf, innerSub, ar.members)
+	best.innerBig = ar.innerBuf
+}
+
+// b2i is the branchless bool→int the counting loops hinge on: the
+// compiler lowers it to SETcc, so coverage transitions never mispredict.
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runCounting is the ordinary/unique/edge loop. It maintains cover[] and a
+// membership-blind running total (|{w : cnt[w] ≥ 1}| for Γ⁻,
+// |{w : cnt[w] = 1}| for Γ¹, the exact cut for edges) with branchless
+// per-neighbor updates; the "\ S" part of the numerator is an O(k)
+// correction over the member list, so the per-set cost stays
+// O(deg(out) + deg(in) + k) with no data-dependent branches.
+func (kn *bigIncKernel) runCounting(c chunk, ar *incArena) chunkBest {
+	rd, cnt := ar.rd, ar.cnt
+	obj := kn.obj
+	clear(cnt)
+	members := append(ar.members[:0], rd.Members()...)
+	// total is membership-blind: coverage ≥1 (ordinary), coverage =1
+	// (unique), or the exact edge cut.
+	var total int32
+	for _, v := range members {
+		switch obj {
+		case ObjOrdinary:
+			for _, w := range kn.rows[v] {
+				old := cnt[w]
+				cnt[w] = old + 1
+				total += b2i(old == 0)
+			}
+		case ObjUnique:
+			for _, w := range kn.rows[v] {
+				old := cnt[w]
+				cnt[w] = old + 1
+				total += b2i(old == 0) - b2i(old == 1)
+			}
+		default: // ObjEdge
+			total += int32(kn.deg[v]) - 2*cnt[v]
+			for _, w := range kn.rows[v] {
+				cnt[w]++
+			}
+		}
+	}
+	// Two witness buffers alternate: one is built only on a strict
+	// improvement or an exact tie (the rare paths), so the steady-state
+	// loop never touches a bitset.
+	if ar.setBuf == nil {
+		ar.setBuf = bitset.New(kn.n)
+	}
+	if ar.innerBuf == nil {
+		ar.innerBuf = bitset.New(kn.n)
+	}
+	bestSet, cand := ar.setBuf, ar.innerBuf
+	buildSet := func(dst *bitset.Set) {
+		dst.Clear()
+		for _, v := range members {
+			dst.Add(v)
+		}
+	}
+	corr := int32(0)
+	switch obj {
+	case ObjOrdinary:
+		for _, v := range members {
+			corr += b2i(cnt[v] > 0)
+		}
+	case ObjUnique:
+		for _, v := range members {
+			corr += b2i(cnt[v] == 1)
+		}
+	}
+	bestNum := int(total - corr)
+	buildSet(bestSet)
+	best := chunkBest{found: true, sets: 1}
+	rows, outs, ins := kn.rows, ar.outs, ar.ins
+	for done := uint64(1); done < c.count; {
+		want := c.count - done
+		if want > swapBatch {
+			want = swapBatch
+		}
+		m := rd.NextBatch(outs[:want], ins[:want])
+		if m == 0 {
+			break
+		}
+		for i := 0; i < m; i++ {
+			u, v := outs[i], ins[i]
+			for j, x := range members {
+				if x == u {
+					members[j] = v
+					break
+				}
+			}
+			// Branchless row walks, then the O(k) membership correction.
+			corr := int32(0)
+			switch obj {
+			case ObjOrdinary:
+				for _, w := range rows[u] {
+					nw := cnt[w] - 1
+					cnt[w] = nw
+					total -= b2i(nw == 0)
+				}
+				for _, w := range rows[v] {
+					old := cnt[w]
+					cnt[w] = old + 1
+					total += b2i(old == 0)
+				}
+				for _, x := range members {
+					corr += b2i(cnt[x] > 0)
+				}
+			case ObjUnique:
+				for _, w := range rows[u] {
+					old := cnt[w]
+					cnt[w] = old - 1
+					total += b2i(old == 2) - b2i(old == 1)
+				}
+				for _, w := range rows[v] {
+					old := cnt[w]
+					cnt[w] = old + 1
+					total += b2i(old == 0) - b2i(old == 1)
+				}
+				for _, x := range members {
+					corr += b2i(cnt[x] == 1)
+				}
+			default: // ObjEdge
+				total -= int32(kn.deg[u]) - 2*cnt[u]
+				for _, w := range rows[u] {
+					cnt[w]--
+				}
+				total += int32(kn.deg[v]) - 2*cnt[v]
+				for _, w := range rows[v] {
+					cnt[w]++
+				}
+			}
+			if n := int(total - corr); n < bestNum {
+				bestNum = n
+				buildSet(bestSet)
+			} else if n == bestNum {
+				buildSet(cand)
+				if cand.Compare(bestSet) < 0 {
+					bestSet, cand = cand, bestSet
+				}
+			}
+		}
+		done += uint64(m)
+		best.sets += m
+	}
+	ar.members = members
+	best.num = bestNum
+	best.setBig = bestSet
+	// Hand off only the winning buffer; the loser stays in the arena.
+	if bestSet == ar.setBuf {
+		ar.setBuf = nil
+	} else {
+		ar.innerBuf = nil
+	}
+	return best
+}
+
+// runWireless walks the chunk maintaining the sorted member list (the
+// submask scan's compressed-mask order must match the recompute kernel's)
+// and the degree multiset for the branch-and-bound floor; the 2^k inner
+// scan itself is shared with the recompute kernel.
+func (kn *bigIncKernel) runWireless(c chunk, ar *incArena) chunkBest {
+	rd, S := ar.rd, ar.S
+	rd.FillSet(S)
+	ar.members = append(ar.members[:0], rd.Members()...)
+	degCount := ar.degCount
+	clear(degCount)
+	maxDeg := 0
+	for _, v := range ar.members {
+		degCount[kn.deg[v]]++
+		if kn.deg[v] > maxDeg {
+			maxDeg = kn.deg[v]
+		}
+	}
+	sc := &bigScratch{
+		once:  bitset.New(kn.n),
+		twice: bitset.New(kn.n),
+		tmp:   bitset.New(kn.n),
+	}
+	best := chunkBest{}
+	for done := uint64(0); ; {
+		best.sets++
+		if kn.prune && best.found && maxDeg-(c.k-1) > best.num {
+			best.pruned++
+		} else {
+			sc.members = ar.members
+			num, innerSub := wirelessScanBig(kn.adj, S, sc)
+			if !best.found || num < best.num || (num == best.num && S.Compare(best.setBig) < 0) {
+				kn.improve(&best, ar, num, innerSub)
+			}
+		}
+		if done++; done >= c.count {
+			return best
+		}
+		out, in, ok := rd.Next()
+		if !ok {
+			return best
+		}
+		S.Remove(out)
+		S.Add(in)
+		removeMember(&ar.members, out)
+		insertMember(&ar.members, in)
+		dOut, dIn := kn.deg[out], kn.deg[in]
+		degCount[dOut]--
+		degCount[dIn]++
+		if dIn > maxDeg {
+			maxDeg = dIn
+		} else if dOut == maxDeg && degCount[dOut] == 0 {
+			for maxDeg > 0 && degCount[maxDeg] == 0 {
+				maxDeg--
+			}
+		}
+	}
+}
+
+// removeMember deletes v from a sorted member list, preserving order.
+func removeMember(members *[]int, v int) {
+	m := *members
+	for i, x := range m {
+		if x == v {
+			*members = append(m[:i], m[i+1:]...)
+			return
+		}
+	}
+}
+
+// insertMember inserts v into a sorted member list, preserving order.
+func insertMember(members *[]int, v int) {
+	m := append(*members, v)
+	i := len(m) - 1
+	for i > 0 && m[i-1] > v {
+		m[i] = m[i-1]
+		i--
+	}
+	m[i] = v
+	*members = m
+}
+
+// expandSubInto is expandSub into a reused buffer.
+func expandSubInto(dst *bitset.Set, sub uint64, members []int) {
+	dst.Clear()
+	for rest := sub; rest != 0; rest &= rest - 1 {
+		dst.Add(members[bits.TrailingZeros64(rest)])
+	}
+}

@@ -354,6 +354,7 @@ func (s *Server) handleExpansion(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
+			s.recordEngine(res)
 			resp := expansionResponse{
 				Graph: digest, Objective: objName, MaxK: maxK, Budget: budget,
 				Value:   res.Value,

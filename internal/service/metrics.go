@@ -31,6 +31,15 @@ type Metrics struct {
 	JobsCreated   int64
 	JobsCancelled int64
 	JobsRunning   int64
+
+	// Expansion-engine counters: candidate sets enumerated and sets
+	// pruned by the branch-and-bound floor across all actual computations
+	// (scheduling-shaped, hence excluded from cached bodies — /metrics is
+	// their home), plus computation counts per kernel variant
+	// (small|big × incremental|recompute).
+	EngineSets    int64
+	EnginePruned  int64
+	EngineKernels map[string]int64
 }
 
 // Snapshot collects the current metrics.
@@ -38,6 +47,12 @@ func (s *Server) Snapshot() Metrics {
 	cs := s.cache.Stats()
 	fs := s.flight.stats()
 	created, cancelled, running := s.jobs.counts()
+	s.engineMu.Lock()
+	kernels := make(map[string]int64, len(s.engineKernel))
+	for k, v := range s.engineKernel {
+		kernels[k] = v
+	}
+	s.engineMu.Unlock()
 	return Metrics{
 		CacheHits:      cs.Hits,
 		CacheMisses:    cs.Misses,
@@ -51,24 +66,29 @@ func (s *Server) Snapshot() Metrics {
 		JobsCreated:    created,
 		JobsCancelled:  cancelled,
 		JobsRunning:    running,
+		EngineSets:     s.engineSets.Load(),
+		EnginePruned:   s.enginePruned.Load(),
+		EngineKernels:  kernels,
 	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.Snapshot()
 	gauges := map[string]int64{
-		"wexpd_cache_hits":         m.CacheHits,
-		"wexpd_cache_misses":       m.CacheMisses,
-		"wexpd_cache_entries":      m.CacheEntries,
-		"wexpd_cache_bytes":        m.CacheBytes,
-		"wexpd_cache_evictions":    m.CacheEvictions,
-		"wexpd_computations":       m.Computations,
-		"wexpd_coalesced_requests": m.Coalesced,
-		"wexpd_inflight":           m.Inflight,
-		"wexpd_graphs_stored":      m.Graphs,
-		"wexpd_jobs_created":       m.JobsCreated,
-		"wexpd_jobs_cancelled":     m.JobsCancelled,
-		"wexpd_jobs_running":       m.JobsRunning,
+		"wexpd_cache_hits":          m.CacheHits,
+		"wexpd_cache_misses":        m.CacheMisses,
+		"wexpd_cache_entries":       m.CacheEntries,
+		"wexpd_cache_bytes":         m.CacheBytes,
+		"wexpd_cache_evictions":     m.CacheEvictions,
+		"wexpd_computations":        m.Computations,
+		"wexpd_coalesced_requests":  m.Coalesced,
+		"wexpd_inflight":            m.Inflight,
+		"wexpd_graphs_stored":       m.Graphs,
+		"wexpd_jobs_created":        m.JobsCreated,
+		"wexpd_jobs_cancelled":      m.JobsCancelled,
+		"wexpd_jobs_running":        m.JobsRunning,
+		"wexpd_engine_sets_total":   m.EngineSets,
+		"wexpd_engine_pruned_total": m.EnginePruned,
 	}
 	names := make([]string, 0, len(gauges))
 	for n := range gauges {
@@ -78,5 +98,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	for _, n := range names {
 		fmt.Fprintf(w, "%s %d\n", n, gauges[n])
+	}
+	kernels := make([]string, 0, len(m.EngineKernels))
+	for k := range m.EngineKernels {
+		kernels = append(kernels, k)
+	}
+	sort.Strings(kernels)
+	for _, k := range kernels {
+		fmt.Fprintf(w, "wexpd_engine_kernel_runs{kernel=%q} %d\n", k, m.EngineKernels[k])
 	}
 }

@@ -197,6 +197,45 @@ func TestExpansionMemoization(t *testing.T) {
 	}
 }
 
+// TestEngineMetrics: the expansion-engine counters (sets enumerated,
+// pruned, kernel variant) accumulate per actual computation — a cache hit
+// must not move them — and surface through /metrics, the one place the
+// scheduling-shaped counters are allowed to live.
+func TestEngineMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	url := ts.URL + "/v1/expansion?family=hypercube&size=3&alpha=0.5"
+	if code, body, _ := get(t, url); code != http.StatusOK {
+		t.Fatalf("status %d body %s", code, body)
+	}
+	m := s.Snapshot()
+	if m.EngineSets <= 0 {
+		t.Fatalf("engine sets = %d, want > 0", m.EngineSets)
+	}
+	if got := m.EngineKernels["small-incremental"]; got != 1 {
+		t.Fatalf("kernel runs = %v, want one small-incremental", m.EngineKernels)
+	}
+	setsBefore := m.EngineSets
+	if code, _, cache := get(t, url); code != http.StatusOK || cache != "hit" {
+		t.Fatalf("second request: status %d cache %q", code, cache)
+	}
+	if m = s.Snapshot(); m.EngineSets != setsBefore {
+		t.Fatalf("cache hit moved engine sets: %d → %d", setsBefore, m.EngineSets)
+	}
+	code, body, _ := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"wexpd_engine_sets_total ",
+		"wexpd_engine_pruned_total ",
+		`wexpd_engine_kernel_runs{kernel="small-incremental"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
 // TestAlphaAndMaxKShareCacheEntry: the size cap is canonicalized, so
 // alpha=0.5 on n=8 and maxk=4 are the same request.
 func TestAlphaAndMaxKShareCacheEntry(t *testing.T) {

@@ -29,6 +29,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"wexp/internal/expansion"
@@ -82,21 +83,43 @@ type Server struct {
 	inflight     atomic.Int64 // computations currently executing
 	computations atomic.Int64 // computations actually run (≠ requests served)
 
+	// Expansion-engine counters, accumulated per actual computation (cache
+	// hits and coalesced waiters don't touch the engine). Sets and Pruned
+	// are scheduling-shaped and excluded from cached response bodies, so
+	// /metrics is their only live surface; the per-kernel run counts make
+	// the active kernel variant (revolving-door vs recompute oracle)
+	// observable in production.
+	engineSets   atomic.Int64
+	enginePruned atomic.Int64
+	engineMu     sync.Mutex
+	engineKernel map[string]int64
+
 	// computeHook, when non-nil, runs inside the singleflight execution
 	// just before the computation. Tests use it to hold a computation open
 	// while concurrent identical requests pile up.
 	computeHook func(key string)
 }
 
+// recordEngine folds one expansion Result's engine counters into the
+// /metrics gauges.
+func (s *Server) recordEngine(res expansion.Result) {
+	s.engineSets.Add(int64(res.Sets))
+	s.enginePruned.Add(res.Pruned)
+	s.engineMu.Lock()
+	s.engineKernel[res.Kernel]++
+	s.engineMu.Unlock()
+}
+
 // New returns a ready-to-serve Server.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:    cfg,
-		store:  NewStore(cfg.MaxGraphs),
-		cache:  NewCache(cfg.CacheBytes),
-		flight: newFlightGroup(),
-		jobs:   newJobEngine(cfg.MaxJobs),
-		mux:    http.NewServeMux(),
+		cfg:          cfg,
+		store:        NewStore(cfg.MaxGraphs),
+		cache:        NewCache(cfg.CacheBytes),
+		flight:       newFlightGroup(),
+		jobs:         newJobEngine(cfg.MaxJobs),
+		mux:          http.NewServeMux(),
+		engineKernel: map[string]int64{},
 	}
 	s.routes()
 	return s
