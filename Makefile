@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full bench-gate bench-baseline experiments profile serve clean
+.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full bench-gate bench-baseline experiments profile serve api clean
 
 # Seed-baseline total coverage; CI fails below this (see ci.yml).
 COVER_FLOOR ?= 85.0
@@ -29,6 +29,11 @@ race:
 	$(GO) test -race ./...
 
 check: build vet fmt-check race
+
+# Regenerate the exported-API golden (testdata/api/wexp.txt) after an
+# intentional surface change; TestAPISurfaceGolden diffs against it.
+api:
+	UPDATE_API=1 $(GO) test -run TestAPISurfaceGolden .
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

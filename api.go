@@ -292,6 +292,9 @@ type MonteCarloResult = radio.Result
 // protocol over a deterministic worker pool and aggregates per-round and
 // per-trial statistics. The adjacency bitset rows are built once and
 // shared by all trials.
+//
+// Deprecated: use BroadcastMonteCarloWith, which takes the cancellation
+// context as an explicit first parameter instead of the opt.Ctx field.
 func BroadcastMonteCarlo(g *Graph, source int, factory ProtocolFactory, trials int, opt MonteCarloOptions) (*MonteCarloResult, error) {
 	return radio.MonteCarlo(g, source, factory, trials, opt)
 }
@@ -349,16 +352,11 @@ func RunAllExperiments(cfg ExperimentConfig) ([]*ExperimentResult, error) {
 // set, one JSON artifact per experiment plus a checksummed MANIFEST.json
 // are written there; with opt.CheckpointDir and opt.Resume, an interrupted
 // run continues from its completed shards.
+//
+// Deprecated: use RunExperimentsWith, which takes the cancellation
+// context as an explicit first parameter instead of the opt.Ctx field.
 func RunExperiments(ids []string, cfg ExperimentConfig, opt ExperimentOptions) (*ExperimentRunReport, error) {
-	specs := experiments.All
-	if len(ids) > 0 {
-		var err error
-		specs, err = experiments.Select(ids)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return experiments.Run(specs, cfg, opt)
+	return runExperiments(ids, cfg, opt)
 }
 
 // ExperimentIDs lists the available experiment ids in index order.

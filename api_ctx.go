@@ -1,0 +1,137 @@
+package wexp
+
+import (
+	"context"
+
+	"wexp/internal/expansion"
+	"wexp/internal/experiments"
+	"wexp/internal/radio"
+	"wexp/internal/runopts"
+)
+
+// This file is the context-first facade: every function takes a
+// context.Context as its first parameter and threads it into the engine it
+// drives, superseding any Ctx field carried inside the options value. The
+// pre-context entry points remain available as thin deprecated wrappers
+// (see api.go and api_extra.go) so existing callers keep compiling; new
+// code should use the *With forms or the unified Expansion dispatcher.
+
+// RunOpts bundles the run-control knobs shared by every engine in the
+// module — expansion.Options, radio.Options, and experiments.Options all
+// embed it, so the worker-pool width, work budget, and seed are spelled
+// identically everywhere. Each engine documents which of the three knobs
+// it consumes; results are bit-identical at every Workers value by
+// construction throughout.
+type RunOpts = runopts.RunOpts
+
+// Objective selects which expansion quantity the exact engine computes.
+type Objective = expansion.Objective
+
+// The expansion objectives of the paper (plus the classical edge variant):
+// β (ordinary vertex expansion), βw (wireless), βu (unique-neighbor), and
+// the Cheeger edge expansion h.
+const (
+	ObjOrdinary = expansion.ObjOrdinary
+	ObjWireless = expansion.ObjWireless
+	ObjUnique   = expansion.ObjUnique
+	ObjEdge     = expansion.ObjEdge
+)
+
+// BipartiteExpansionResult reports an exact bipartite (or edge) expansion
+// value with its witness subset and the search-effort counters of the
+// branch-and-bound engine.
+type BipartiteExpansionResult = expansion.BipartiteResult
+
+// ErrBudget is the sentinel wrapped by every budget-exceeded error from
+// the exact engines; test with errors.Is to distinguish "raise the budget
+// or shrink the instance" from hard input errors.
+var ErrBudget = expansion.ErrBudget
+
+// Expansion is the unified exact solver: it computes the objective obj on
+// g under opt, honouring ctx for cancellation (ctx supersedes opt.Ctx).
+// The default path is the deterministic branch-and-bound search —
+// bit-identical results, witnesses, and search counters at every
+// opt.Workers — while opt.NoPrune and opt.Recompute select the flat
+// enumeration kernels that serve as its oracles.
+func Expansion(ctx context.Context, g *Graph, obj Objective, opt ExpansionOptions) (ExpansionResult, error) {
+	opt.Ctx = ctx
+	return expansion.Exact(g, obj, opt)
+}
+
+// OrdinaryExpansionWith computes β(G) exactly under opt, honouring ctx.
+func OrdinaryExpansionWith(ctx context.Context, g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
+	return Expansion(ctx, g, ObjOrdinary, opt)
+}
+
+// UniqueExpansionWith computes βu(G) exactly under opt, honouring ctx.
+func UniqueExpansionWith(ctx context.Context, g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
+	return Expansion(ctx, g, ObjUnique, opt)
+}
+
+// WirelessExpansionWith computes βw(G) exactly under opt, honouring ctx.
+func WirelessExpansionWith(ctx context.Context, g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
+	return Expansion(ctx, g, ObjWireless, opt)
+}
+
+// EdgeExpansionWith computes the Cheeger constant h(G) exactly under opt,
+// honouring ctx, and returns the full witness record (EdgeExpansion keeps
+// the plain-value convenience form).
+func EdgeExpansionWith(ctx context.Context, g *Graph, opt ExpansionOptions) (BipartiteExpansionResult, error) {
+	opt.Ctx = ctx
+	return expansion.EdgeExpansionOpts(g, opt)
+}
+
+// MinBipartiteExpansionWith computes the exact bipartite vertex expansion
+// min over nonempty S' ⊆ S of |Γ(S')|/|S'| under opt, honouring ctx, and
+// returns the full witness record. opt.MaxK caps the subset size, which
+// makes large S sides affordable through the branch-and-bound search.
+func MinBipartiteExpansionWith(ctx context.Context, b *Bipartite, opt ExpansionOptions) (BipartiteExpansionResult, error) {
+	opt.Ctx = ctx
+	return expansion.MinBipartiteExpansionOpts(b, opt)
+}
+
+// ProfilesWith computes the per-size minima of β, βw, βu for every set
+// size 1..maxK under opt, honouring ctx.
+func ProfilesWith(ctx context.Context, g *Graph, maxK int, opt ExpansionOptions) (*TripleProfile, error) {
+	opt.Ctx = ctx
+	return expansion.ProfilesOpts(g, maxK, opt)
+}
+
+// AlphaSweepWith evaluates β, βw, βu exactly at a grid of α values under
+// opt, honouring ctx.
+func AlphaSweepWith(ctx context.Context, g *Graph, alphas []float64, opt ExpansionOptions) ([]AlphaPoint, error) {
+	opt.Ctx = ctx
+	return expansion.AlphaSweepOpts(g, alphas, opt)
+}
+
+// BroadcastMonteCarloWith fans independent seeded broadcast trials of the
+// protocol over a deterministic worker pool and aggregates per-round and
+// per-trial statistics, honouring ctx (which supersedes opt.Ctx). The
+// adjacency bitset rows are built once and shared by all trials; results
+// are bit-identical at every opt.Workers.
+func BroadcastMonteCarloWith(ctx context.Context, g *Graph, source int, factory ProtocolFactory, trials int, opt MonteCarloOptions) (*MonteCarloResult, error) {
+	opt.Ctx = ctx
+	return radio.MonteCarlo(g, source, factory, trials, opt)
+}
+
+// RunExperimentsWith executes the selected experiments (all of them when
+// ids is empty) through the sharded job engine, honouring ctx (which
+// supersedes opt.Ctx). See RunExperiments for the artifact and
+// checkpoint/resume contract; the report is bit-identical at every
+// opt.Workers.
+func RunExperimentsWith(ctx context.Context, ids []string, cfg ExperimentConfig, opt ExperimentOptions) (*ExperimentRunReport, error) {
+	opt.Ctx = ctx
+	return runExperiments(ids, cfg, opt)
+}
+
+func runExperiments(ids []string, cfg ExperimentConfig, opt ExperimentOptions) (*ExperimentRunReport, error) {
+	specs := experiments.All
+	if len(ids) > 0 {
+		var err error
+		specs, err = experiments.Select(ids)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return experiments.Run(specs, cfg, opt)
+}

@@ -49,20 +49,28 @@ type ExpansionOptions = expansion.Options
 const ExpansionBudget = expansion.DefaultBudget
 
 // OrdinaryExpansionOpts computes β(G) exactly with an explicit work budget
-// and pool width; any n is accepted as long as the by-cardinality
-// enumeration Σ C(n,k) fits opts.Budget.
+// and pool width.
+//
+// Deprecated: use OrdinaryExpansionWith, which takes the cancellation
+// context as an explicit first parameter instead of the opt.Ctx field.
 func OrdinaryExpansionOpts(g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
 	return expansion.Exact(g, expansion.ObjOrdinary, opt)
 }
 
 // UniqueExpansionOpts computes βu(G) exactly with an explicit work budget
 // and pool width.
+//
+// Deprecated: use UniqueExpansionWith, which takes the cancellation
+// context as an explicit first parameter instead of the opt.Ctx field.
 func UniqueExpansionOpts(g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
 	return expansion.Exact(g, expansion.ObjUnique, opt)
 }
 
 // WirelessExpansionOpts computes βw(G) exactly with an explicit work
 // budget and pool width (work is Σ C(n,k)·2^k units).
+//
+// Deprecated: use WirelessExpansionWith, which takes the cancellation
+// context as an explicit first parameter instead of the opt.Ctx field.
 func WirelessExpansionOpts(g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
 	return expansion.Exact(g, expansion.ObjWireless, opt)
 }
@@ -90,6 +98,10 @@ func MinBipartiteExpansion(b *Bipartite) (float64, error) {
 // MinBipartiteExpansionOpts is MinBipartiteExpansion with an explicit work
 // budget and an optional subset-size cap (opt.MaxK), which makes large S
 // sides affordable.
+//
+// Deprecated: use MinBipartiteExpansionWith, which takes the cancellation
+// context as an explicit first parameter and returns the full witness
+// record rather than the bare value.
 func MinBipartiteExpansionOpts(b *Bipartite, opt ExpansionOptions) (float64, error) {
 	res, err := expansion.MinBipartiteExpansionOpts(b, opt)
 	if err != nil {

@@ -2,6 +2,7 @@ package wexp
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
@@ -200,8 +201,8 @@ func TestUnknownExperimentErrorMessage(t *testing.T) {
 func TestBroadcastMonteCarlo(t *testing.T) {
 	g := CPlus(16)
 	factory := func(r *RNG) Protocol { return DecayProtocol(r) }
-	res, err := BroadcastMonteCarlo(g, 0, factory, 16,
-		MonteCarloOptions{Seed: 5, MaxRounds: 4000})
+	res, err := BroadcastMonteCarloWith(context.Background(), g, 0, factory, 16,
+		MonteCarloOptions{RunOpts: RunOpts{Seed: 5}, MaxRounds: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestBroadcastMonteCarlo(t *testing.T) {
 	}
 	// Determinism across calls and worker widths.
 	again, err := BroadcastMonteCarlo(g, 0, factory, 16,
-		MonteCarloOptions{Seed: 5, MaxRounds: 4000, Workers: 3})
+		MonteCarloOptions{RunOpts: RunOpts{Seed: 5, Workers: 3}, MaxRounds: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}

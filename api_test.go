@@ -1,6 +1,7 @@
 package wexp
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -198,9 +199,9 @@ func TestPublicExperiments(t *testing.T) {
 
 func TestPublicRunExperimentsEngine(t *testing.T) {
 	out := t.TempDir()
-	rep, err := RunExperiments([]string{"E2", "E5"},
+	rep, err := RunExperimentsWith(context.Background(), []string{"E2", "E5"},
 		ExperimentConfig{Seed: 1, Quick: true},
-		ExperimentOptions{Workers: 2, OutDir: out})
+		ExperimentOptions{RunOpts: RunOpts{Workers: 2}, OutDir: out})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"wexp/internal/graph"
 	"wexp/internal/radio"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 	"wexp/internal/spokesman"
 )
 
@@ -305,7 +306,7 @@ func BenchmarkRadioMonteCarlo(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := radio.MonteCarlo(g, 0, factory, 16,
-			radio.Options{Seed: uint64(i), MaxRounds: 1 << 20, TraceRounds: -1})
+			radio.Options{RunOpts: runopts.RunOpts{Seed: uint64(i)}, MaxRounds: 1 << 20, TraceRounds: -1})
 		if err != nil || res.Completed != 16 {
 			b.Fatalf("montecarlo: %v (completed %d)", err, res.Completed)
 		}
@@ -330,6 +331,15 @@ type expansionBenchRecord struct {
 	SetsPerSec  float64 `json:"sets_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Speedup     float64 `json:"speedup,omitempty"`
+
+	// PruneRate is pruned/(sets+pruned) and VisitedFraction is
+	// visited/(sets+pruned), both computed in float64 (Pruned saturates
+	// int64 on deep subtree cuts). Deterministic functions of the instance
+	// — bit-identical at every worker count — so benchgate treats them as
+	// identity fields: a drift in the search shape breaks record matching
+	// instead of hiding inside a timing tolerance.
+	PruneRate       float64 `json:"prune_rate"`
+	VisitedFraction float64 `json:"visited_fraction"`
 }
 
 // BenchmarkExpansionEngine measures the by-cardinality exact engine on
@@ -348,6 +358,7 @@ func BenchmarkExpansionEngine(b *testing.B) {
 		alpha     float64
 		workers   int
 		recompute bool
+		noprune   bool // pin the flat incremental kernel (else default = branch-and-bound)
 	}
 	// The -serial/-recompute pairs pin the revolving-door kernel speedup at
 	// a fixed single-worker workload: n = 24 (α = 0.5, the α of the other
@@ -355,19 +366,23 @@ func BenchmarkExpansionEngine(b *testing.B) {
 	// paper's sparse bounded-degree regime, where O(deg(out)+deg(in))
 	// per-set maintenance is the design point — for the bitset kernel.
 	cfgs := []cfg{
-		{"ordinary", expansion.ObjOrdinary, 16, 0.3, 0.5, 0, false},
-		{"ordinary", expansion.ObjOrdinary, 20, 0.3, 0.5, 0, false},
-		{"ordinary", expansion.ObjOrdinary, 24, 0.3, 0.25, 0, false},
-		{"ordinary", expansion.ObjOrdinary, 32, 0.3, 0.125, 0, false},
-		{"unique", expansion.ObjUnique, 20, 0.3, 0.5, 0, false},
-		{"wireless", expansion.ObjWireless, 16, 0.3, 0.25, 0, false},
-		{"wireless-serial", expansion.ObjWireless, 16, 0.3, 0.25, 1, false},
-		{"ordinary-serial", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, false},
-		{"ordinary-serial-recompute", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, true},
-		{"unique-serial", expansion.ObjUnique, 20, 0.3, 0.5, 1, false},
-		{"unique-serial-recompute", expansion.ObjUnique, 20, 0.3, 0.5, 1, true},
-		{"ordinary-big", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, false},
-		{"ordinary-big-recompute", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, true},
+		{"ordinary", expansion.ObjOrdinary, 16, 0.3, 0.5, 0, false, false},
+		{"ordinary", expansion.ObjOrdinary, 20, 0.3, 0.5, 0, false, false},
+		{"ordinary", expansion.ObjOrdinary, 24, 0.3, 0.25, 0, false, false},
+		{"ordinary", expansion.ObjOrdinary, 32, 0.3, 0.125, 0, false, false},
+		{"unique", expansion.ObjUnique, 20, 0.3, 0.5, 0, false, false},
+		{"wireless", expansion.ObjWireless, 16, 0.3, 0.25, 0, false, false},
+		{"wireless-serial", expansion.ObjWireless, 16, 0.3, 0.25, 1, false, true},
+		{"ordinary-serial", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, false, true},
+		{"ordinary-serial-recompute", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, true, false},
+		{"unique-serial", expansion.ObjUnique, 20, 0.3, 0.5, 1, false, true},
+		{"unique-serial-recompute", expansion.ObjUnique, 20, 0.3, 0.5, 1, true, false},
+		{"ordinary-big", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, false, true},
+		{"ordinary-big-recompute", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, true, false},
+		// The branch-and-bound frontier row: n = 120 with k ≤ 6 spans a
+		// C(120,6) ≈ 5.4e9-set space that no flat enumeration fits; only
+		// subtree pruning makes it a benchmarkable op.
+		{"ordinary-bnb-frontier", expansion.ObjOrdinary, 120, 0.08, 6.0 / 120.0, 0, false, false},
 	}
 	// Each incremental row is paired with the row of its recompute oracle
 	// for the speedup column.
@@ -380,8 +395,9 @@ func BenchmarkExpansionEngine(b *testing.B) {
 	for ci, c := range cfgs {
 		b.Run(fmt.Sprintf("%s/n=%d", c.solver, c.n), func(b *testing.B) {
 			g := gen.ErdosRenyi(c.n, c.p, rng.New(uint64(c.n)*1000+7))
-			opt := expansion.Options{Alpha: c.alpha, Workers: c.workers, Recompute: c.recompute}
+			opt := expansion.Options{RunOpts: runopts.RunOpts{Workers: c.workers}, Alpha: c.alpha, Recompute: c.recompute, NoPrune: c.noprune}
 			var sets int
+			var pruned, visited int64
 			b.ReportAllocs()
 			// Level the heap before timing: earlier benchmarks in this
 			// process leave garbage whose collection would otherwise land
@@ -397,6 +413,7 @@ func BenchmarkExpansionEngine(b *testing.B) {
 					b.Fatal(err)
 				}
 				sets = res.Sets
+				pruned, visited = res.Pruned, res.Visited
 			}
 			elapsed := time.Since(start)
 			runtime.ReadMemStats(&ms1)
@@ -405,6 +422,7 @@ func BenchmarkExpansionEngine(b *testing.B) {
 			}
 			setsPerSec := float64(sets) * float64(b.N) / elapsed.Seconds()
 			b.ReportMetric(setsPerSec, "sets/s")
+			space := float64(sets) + float64(pruned)
 			records[ci] = expansionBenchRecord{
 				Solver:      c.solver,
 				N:           c.n,
@@ -415,6 +433,9 @@ func BenchmarkExpansionEngine(b *testing.B) {
 				SetsPerOp:   sets,
 				SetsPerSec:  setsPerSec,
 				AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N),
+
+				PruneRate:       float64(pruned) / space,
+				VisitedFraction: float64(visited) / space,
 			}
 			ran[ci] = true
 		})

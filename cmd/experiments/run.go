@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"wexp/internal/experiments"
+	"wexp/internal/runopts"
 )
 
 // usageError marks a bad invocation (unknown id/format, conflicting
@@ -67,7 +68,7 @@ func run(cfg Config, w io.Writer) (*experiments.RunReport, error) {
 		resume = true
 	}
 	opt := experiments.Options{
-		Workers: cfg.Workers,
+		RunOpts: runopts.RunOpts{Workers: cfg.Workers},
 		OutDir:  outDir,
 		Resume:  resume,
 	}

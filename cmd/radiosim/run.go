@@ -11,6 +11,7 @@ import (
 	"wexp/internal/graph"
 	"wexp/internal/radio"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 	"wexp/internal/table"
 )
 
@@ -149,8 +150,7 @@ func run(cfg Config, w io.Writer) error {
 			maxRounds = 2*info.N + 100
 		}
 		mc, err := radio.MonteCarlo(info.g, info.source, p.factory, trials, radio.Options{
-			Workers:     cfg.Workers,
-			Seed:        cfg.Seed,
+			RunOpts:     runopts.RunOpts{Workers: cfg.Workers, Seed: cfg.Seed},
 			MaxRounds:   maxRounds,
 			TraceRounds: -1, // summary output only; no per-round quantiles
 		})

@@ -38,17 +38,15 @@ func golden(t *testing.T, cfg Config, name string) {
 func TestRunJSONGoldenHypercube(t *testing.T) {
 	cfg := defaultConfig()
 	cfg.Size, cfg.Format = 3, "json"
-	// Workers=1 pins the chunk partition: the pruned counts in the notes
-	// are chunk-shaped, so a floating GOMAXPROCS would make golden bytes
-	// machine-dependent.
-	cfg.Workers = 1
+	// No Workers pin: the branch-and-bound engine's sets/pruned/visited
+	// counters are bit-identical at every pool width, so the golden bytes
+	// are machine-independent even with a floating GOMAXPROCS.
 	golden(t, cfg, "hypercube3.json")
 }
 
 func TestRunJSONGoldenProfile(t *testing.T) {
 	cfg := defaultConfig()
 	cfg.Family, cfg.Size, cfg.Alpha, cfg.Profile, cfg.Format = "cplus", 6, 0.4, true, "json"
-	cfg.Workers = 1
 	golden(t, cfg, "cplus6_profile.json")
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"wexp/internal/gen"
 	"wexp/internal/graph"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 	"wexp/internal/spokesman"
 	"wexp/internal/table"
 )
@@ -115,69 +117,84 @@ func run(cfg Config, w io.Writer) error {
 		})
 	}
 
-	opt := expansion.Options{Alpha: cfg.Alpha, Budget: cfg.Budget, Workers: cfg.Workers}
+	opt := expansion.Options{RunOpts: runopts.RunOpts{Budget: cfg.Budget, Workers: cfg.Workers}, Alpha: cfg.Alpha}
 	maxK := expansion.MaxSetSize(g.N(), cfg.Alpha)
 	if maxK < 1 {
 		return fmt.Errorf("α=%g admits no nonempty set on n=%d", cfg.Alpha, g.N())
 	}
-	// The wireless pass is the most expensive; if it fits the budget, run
-	// everything exactly. The engine re-validates, so a race between this
-	// check and the solve is impossible.
-	exactAll := expansion.Feasible(g.N(), maxK, expansion.ObjWireless, cfg.Budget)
+	// Attempt each quantity exactly through the branch-and-bound engine,
+	// which charges the budget as it searches instead of refusing up front:
+	// instances far beyond the flat-enumeration frontier still complete
+	// when their search trees prune well. A budget blow-up (ErrBudget) on
+	// one quantity degrades only that quantity — to a sampled bracket for
+	// βw, to seeded upper bounds for β and βu.
+	tryExact := func(obj expansion.Objective) (expansion.Result, bool, error) {
+		res, err := expansion.Exact(g, obj, opt)
+		if err == nil {
+			return res, true, nil
+		}
+		if errors.Is(err, expansion.ErrBudget) {
+			return expansion.Result{}, false, nil
+		}
+		return expansion.Result{}, false, err
+	}
+	searchNotes := func(res expansion.Result) string {
+		return fmt.Sprintf("%d sets, %d pruned, %d visited", res.Sets, res.Pruned, res.Visited)
+	}
 
-	if exactAll {
-		rb, err := expansion.Exact(g, expansion.ObjOrdinary, opt)
-		if err != nil {
-			return err
-		}
-		rw, err := expansion.Exact(g, expansion.ObjWireless, opt)
-		if err != nil {
-			return err
-		}
-		ru, err := expansion.Exact(g, expansion.ObjUnique, opt)
-		if err != nil {
-			return err
-		}
-		add("β (ordinary)", rb.Value, "", "exact", fmt.Sprintf("%d sets, %d pruned", rb.Sets, rb.Pruned))
-		add("βw (wireless)", rw.Value, "", "exact", fmt.Sprintf("%d sets, %d pruned", rw.Sets, rw.Pruned))
-		add("βu (unique)", ru.Value, "", "exact", "Obs 2.1: β ≥ βw ≥ βu")
-		add("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), rb.Value), "", "formula",
-			"βw = Ω(β/log 2·min{∆/β, ∆β})")
-	} else if expansion.Feasible(g.N(), maxK, expansion.ObjOrdinary, cfg.Budget) {
-		// β and βu are 2^|S| cheaper per set than βw: run them exactly and
-		// bracket the wireless value.
-		rb, err := expansion.Exact(g, expansion.ObjOrdinary, opt)
-		if err != nil {
-			return err
-		}
-		ru, err := expansion.Exact(g, expansion.ObjUnique, opt)
-		if err != nil {
-			return err
-		}
-		add("β (ordinary)", rb.Value, "", "exact", fmt.Sprintf("%d sets, %d pruned", rb.Sets, rb.Pruned))
-		add("βu (unique)", ru.Value, "", "exact", "Obs 2.1: β ≥ βw ≥ βu")
-		lower, upper := wirelessBracket(g, cfg.Alpha, cfg.Trials, r)
-		// Obs 2.1 certifies βw ≤ β, so the exact β tightens the sampled
-		// upper bound; the lower bound holds only over the sampled family.
-		if rb.Value < upper {
-			upper = rb.Value
-		}
-		if lower > upper {
-			lower = upper
-		}
-		add("βw (wireless)", 0, fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket",
-			"family lower / certified upper (βw enumeration over budget)")
-		add("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), rb.Value), "", "formula", "")
+	rb, okB, err := tryExact(expansion.ObjOrdinary)
+	if err != nil {
+		return err
+	}
+	betaScale := 0.0
+	if okB {
+		add("β (ordinary)", rb.Value, "", "exact", searchNotes(rb))
+		betaScale = rb.Value
 	} else {
 		est := expansion.EstimateOrdinary(g, cfg.Alpha, cfg.Trials, r)
 		add("β (ordinary)", est.Bound, "", "upper bound", fmt.Sprintf("%d sets sampled", est.Sampled))
+		betaScale = est.Bound
+	}
+
+	rw, okW, err := tryExact(expansion.ObjWireless)
+	if err != nil {
+		return err
+	}
+	if okW {
+		add("βw (wireless)", rw.Value, "", "exact", searchNotes(rw))
+	} else {
+		lower, upper := wirelessBracket(g, cfg.Alpha, cfg.Trials, r)
+		notes := "family lower / sampled upper"
+		if okB {
+			// Obs 2.1 certifies βw ≤ β, so the exact β tightens the sampled
+			// upper bound; the lower bound holds only over the sampled family.
+			if rb.Value < upper {
+				upper = rb.Value
+			}
+			if lower > upper {
+				lower = upper
+			}
+			notes = "family lower / certified upper (βw search over budget)"
+		}
+		add("βw (wireless)", 0, fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket", notes)
+	}
+
+	ru, okU, err := tryExact(expansion.ObjUnique)
+	if err != nil {
+		return err
+	}
+	if okU {
+		add("βu (unique)", ru.Value, "", "exact", "Obs 2.1: β ≥ βw ≥ βu")
+	} else {
 		estU := expansion.EstimateUnique(g, cfg.Alpha, cfg.Trials, r)
 		add("βu (unique)", estU.Bound, "", "upper bound", "")
-		lower, upper := wirelessBracket(g, cfg.Alpha, cfg.Trials, r)
-		add("βw (wireless)", 0, fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket",
-			"family lower / sampled upper")
-		add("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), est.Bound), "", "formula", "")
 	}
+
+	scaleNotes := ""
+	if okB && okW {
+		scaleNotes = "βw = Ω(β/log 2·min{∆/β, ∆β})"
+	}
+	add("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), betaScale), "", "formula", scaleNotes)
 
 	if cfg.Profile {
 		tp, err := expansion.ProfilesOpts(g, maxK, opt)

@@ -15,13 +15,16 @@
 //   - the graph and bipartite substrates (package internal/graph) with the
 //     neighborhood operators Γ, Γ⁻, Γ¹, Γ¹_S of the paper's Section 2;
 //   - exact and sampled measurement of β, βu, βw (internal/expansion),
-//     including the spectral machinery of Lemma 3.1. The exact engine is
-//     size-agnostic: candidate sets are enumerated by cardinality (Gosper /
-//     combinatorial ranking, so the |S| ≤ α·n cutoff prunes the search
-//     space instead of filtering it), bounded by a caller-supplied work
-//     budget rather than a hard vertex limit, fanned over a chunked worker
-//     pool whose deterministic merge makes results bit-identical at every
-//     pool width, and accelerated by a degree-based branch-and-bound skip;
+//     including the spectral machinery of Lemma 3.1. The exact engine is a
+//     branch-and-bound search over the prefix-decision tree: subtrees whose
+//     objective lower bound exceeds a deterministic incumbent are cut
+//     without being generated, which moves the exact frontier far past the
+//     full-enumeration wall (n = 120 in about a second at a ≈ 99.8% prune
+//     rate). The tree is partitioned into fixed-shape subproblems — a
+//     function of the instance, never the worker count — so the value, the
+//     witnesses, and every search counter are bit-identical at any pool
+//     width; work is bounded by a caller-supplied budget (the typed
+//     ErrBudget reports exhaustion) rather than a hard vertex limit;
 //   - the paper's spokesman-election algorithms (internal/spokesman): the
 //     Lemma 4.2 decay sampler, the Lemma 4.3 low-β reduction, and the
 //     deterministic appendix procedures (greedy, Procedure Partition, the
@@ -45,4 +48,25 @@
 // This package is the public facade: it re-exports the types and wraps the
 // operations a downstream user needs, so examples and external code import
 // only "wexp".
+//
+// # Context-first API
+//
+// Every operation takes a context.Context as its explicit first parameter
+// and shares the embedded RunOpts run-control block (Workers, Budget,
+// Seed). The unified entry point is
+//
+//	res, err := wexp.Expansion(ctx, g, wexp.ObjWireless, wexp.ExpansionOptions{
+//	    RunOpts: wexp.RunOpts{Workers: 4},
+//	    Alpha:   0.5,
+//	})
+//
+// with per-objective shorthands OrdinaryExpansionWith, UniqueExpansionWith,
+// WirelessExpansionWith, EdgeExpansionWith, MinBipartiteExpansionWith,
+// ProfilesWith, AlphaSweepWith, BroadcastMonteCarloWith, and
+// RunExperimentsWith. The pre-redesign names (OrdinaryExpansionOpts,
+// UniqueExpansionOpts, WirelessExpansionOpts, MinBipartiteExpansionOpts,
+// BroadcastMonteCarlo, RunExperiments) remain as deprecated thin wrappers.
+// The exported surface is pinned to testdata/api/wexp.txt by
+// TestAPISurfaceGolden; regenerate after an intentional change with
+// `make api`.
 package wexp

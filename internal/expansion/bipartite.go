@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"wexp/internal/bitset"
 	"wexp/internal/graph"
@@ -13,12 +15,17 @@ import (
 
 // BipartiteResult reports an exact bipartite measurement with its witness
 // subset. ArgSet is a bitmask over the S side, populated when |S| ≤ 64;
-// Witness is populated for every |S|.
+// Witness is populated for every |S|. Pruned/Visited/SubtreesPruned mirror
+// the graph engine's search statistics (zero on the flat and Gray-code
+// paths) and are deterministic at every worker count.
 type BipartiteResult struct {
-	Value   float64
-	ArgSet  uint64
-	Witness *bitset.Set
-	Sets    int
+	Value          float64
+	ArgSet         uint64
+	Witness        *bitset.Set
+	Sets           int
+	Pruned         int64
+	Visited        int64
+	SubtreesPruned int64
 }
 
 // MinBipartiteExpansion computes min over nonempty S' ⊆ S of
@@ -31,14 +38,20 @@ func MinBipartiteExpansion(b *graph.Bipartite) (BipartiteResult, error) {
 
 // MinBipartiteExpansionOpts is MinBipartiteExpansion with an explicit work
 // budget, pool width, and optional subset-size cap (Options.MaxK; 0 means
-// all sizes). Two regimes:
+// all sizes). Three regimes:
 //
-//   - |S| ≤ 64 and the 2^|S| Gray-code walk fits the budget: all subsets
+//   - |S| ≤ 62 and the 2^|S| Gray-code walk fits the budget: all subsets
 //     are visited in Gray order, maintaining per-N-vertex coverage counts
 //     incrementally — O(2^|S| · avg-deg) total, one unit of work per set.
-//   - otherwise: by-cardinality enumeration over the chunked worker pool,
-//     which makes a MaxK cutoff prune the space instead of filtering, at
-//     O(|S'| · avg-deg) per set.
+//   - otherwise, by default: the branch-and-bound prefix search, pruning
+//     subtrees whose coverage |Γ(P)| — monotone under adding S-side
+//     vertices — already exceeds the incumbent ratio; aborts with an
+//     ErrBudget-wrapped error only when the search itself exhausts the
+//     budget.
+//   - with Options.Recompute or Options.NoPrune: the flat by-cardinality
+//     enumeration over the chunked worker pool (full-recompute oracle or
+//     revolving-door incremental respectively), refused up front when
+//     Σ C(|S|,k) exceeds the budget.
 func MinBipartiteExpansionOpts(b *graph.Bipartite, opt Options) (BipartiteResult, error) {
 	s := b.NS()
 	if s == 0 {
@@ -54,6 +67,9 @@ func MinBipartiteExpansionOpts(b *graph.Bipartite, opt Options) (BipartiteResult
 	}
 	if s <= 62 && maxK == s && uint64(1)<<uint(s) <= budget {
 		return grayBipartite(b), nil
+	}
+	if !opt.Recompute && !opt.NoPrune {
+		return bipBnb(b, maxK, budget, opt.Workers, opt.Ctx)
 	}
 	return bigBipartite(b, maxK, budget, opt.Workers, opt.Recompute, opt.Ctx)
 }
@@ -267,6 +283,343 @@ func bigBipartite(b *graph.Bipartite, maxK int, budget uint64, workers int, reco
 	res.Value = float64(best.num) / float64(bestK)
 	res.Witness = best.setBig
 	if s <= 64 {
+		res.ArgSet = toMask(best.setBig)
+	}
+	return res, nil
+}
+
+// bipArena is the pooled per-worker scratch of the bipartite search.
+type bipArena struct {
+	rd    *bitset.RevolvingDoor
+	heap  nodeHeap
+	outs  []int
+	ins   []int
+	cnt   []int32
+	cover *bitset.Set
+	S     *bitset.Set
+}
+
+// bipEngine is the bipartite instantiation of the branch-and-bound search:
+// same deterministic subproblem partition and best-first node order as the
+// graph engine, with the coverage count |Γ(P)| — monotone under adding
+// S-side vertices — as the (exact-on-prefixes) lower bound.
+type bipEngine struct {
+	b      *graph.Bipartite
+	s      int
+	maxK   int
+	budget uint64
+	ctx    context.Context
+	meter  workMeter
+
+	// Deterministic global-ratio seed incumbent (seedK = 0 = none).
+	seedNum  int
+	seedK    int
+	seedSets int
+
+	pool sync.Pool // *bipArena
+}
+
+func (e *bipEngine) budgetErr() error {
+	return fmt.Errorf("expansion: bipartite branch-and-bound on |S|=%d (|S'| ≤ %d): %w (budget %d); raise Options.Budget or set Options.MaxK",
+		e.s, e.maxK, ErrBudget, e.budget)
+}
+
+func (e *bipEngine) prunable(bound, k int, localFound bool, localNum int) bool {
+	if localFound && bound > localNum {
+		return true
+	}
+	return e.seedK != 0 && int64(bound)*int64(e.seedK) > int64(e.seedNum)*int64(k)
+}
+
+// seedPass evaluates the prefixes of the degree-ascending S-side order —
+// the cheapest deterministic guess at low-coverage subsets — to give every
+// subproblem an incumbent before the search starts.
+func (e *bipEngine) seedPass() error {
+	order := make([]int, e.s)
+	for u := range order {
+		order[u] = u
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := len(e.b.NeighborsOfS(order[i])), len(e.b.NeighborsOfS(order[j]))
+		return di < dj || (di == dj && order[i] < order[j])
+	})
+	cnt := make([]int32, e.b.NN())
+	covered := 0
+	for k := 1; k <= e.maxK; k++ {
+		if !e.meter.charge(1) {
+			return e.budgetErr()
+		}
+		for _, v := range e.b.NeighborsOfS(order[k-1]) {
+			if cnt[v] == 0 {
+				covered++
+			}
+			cnt[v]++
+		}
+		e.seedSets++
+		if e.seedK == 0 || int64(covered)*int64(e.seedK) < int64(e.seedNum)*int64(k) {
+			e.seedNum, e.seedK = covered, k
+		}
+	}
+	return nil
+}
+
+// bound returns |Γ(P)| — every completion of the prefix covers at least
+// what the prefix already covers.
+func (e *bipEngine) bound(ar *bipArena, members []int32) int {
+	cover := ar.cover
+	cover.Clear()
+	for _, u := range members {
+		for _, v := range e.b.NeighborsOfS(int(u)) {
+			cover.Add(int(v))
+		}
+	}
+	return cover.Count()
+}
+
+func (e *bipEngine) runSub(sp subproblem, ar *bipArena) (chunkBest, error) {
+	best := chunkBest{}
+	k := sp.k
+	h := ar.heap[:0]
+	defer func() { ar.heap = h[:0] }()
+	seq := int32(0)
+	push := func(members []int32, t, r, bound int) {
+		if e.prunable(bound, k, best.found, best.num) {
+			best.pruned = addSat64(best.pruned, satInt64(binom(e.s-t, r)))
+			best.subtrees++
+			return
+		}
+		h.push(bnbNode{bound: int32(bound), seq: seq, t: int32(t), r: int32(r), members: members})
+		seq++
+	}
+	root := make([]int32, 0, bits.OnesCount64(sp.prefix))
+	for rest := sp.prefix; rest != 0; rest &= rest - 1 {
+		root = append(root, int32(bits.TrailingZeros64(rest)))
+	}
+	push(root, sp.depth, k-len(root), e.bound(ar, root))
+	for len(h) > 0 {
+		if e.ctx != nil && e.ctx.Err() != nil {
+			return best, e.ctx.Err()
+		}
+		if e.meter.blown.Load() {
+			return best, e.budgetErr()
+		}
+		nd := h.pop()
+		if e.prunable(int(nd.bound), k, best.found, best.num) {
+			best.pruned = addSat64(best.pruned, satInt64(binom(e.s-int(nd.t), int(nd.r))))
+			best.subtrees++
+			for i := range h {
+				best.pruned = addSat64(best.pruned, satInt64(binom(e.s-int(h[i].t), int(h[i].r))))
+				best.subtrees++
+			}
+			h = h[:0]
+			break
+		}
+		if !e.meter.charge(1) {
+			return best, e.budgetErr()
+		}
+		best.visited++
+		t, r := int(nd.t), int(nd.r)
+		if r == 0 || binom(e.s-t, r) <= leafCap {
+			if err := e.leaf(&best, ar, nd.members, t, r); err != nil {
+				return best, err
+			}
+			continue
+		}
+		// Excluding t leaves the prefix — and its bound — unchanged.
+		push(nd.members, t+1, r, int(nd.bound))
+		inc := make([]int32, len(nd.members)+1)
+		copy(inc, nd.members)
+		inc[len(nd.members)] = int32(t)
+		push(inc, t+1, r-1, e.bound(ar, inc))
+	}
+	return best, nil
+}
+
+// leaf enumerates every completion in revolving-door order over the tail,
+// with the prefix coverage preloaded into the count array.
+func (e *bipEngine) leaf(best *chunkBest, ar *bipArena, members []int32, t, r int) error {
+	m := e.s - t
+	count := binom(m, r)
+	if !e.meter.charge(count) {
+		return e.budgetErr()
+	}
+	cnt := ar.cnt
+	clear(cnt)
+	S := ar.S
+	S.Clear()
+	covered := 0
+	addVertex := func(u int) {
+		S.Add(u)
+		for _, v := range e.b.NeighborsOfS(u) {
+			if cnt[v] == 0 {
+				covered++
+			}
+			cnt[v]++
+		}
+	}
+	for _, u := range members {
+		addVertex(int(u))
+	}
+	rd := ar.rd
+	rd.Reset(m, r, 0)
+	for _, u := range rd.Members() {
+		addVertex(u + t)
+	}
+	consider := func() {
+		if !best.found || covered < best.num ||
+			(covered == best.num && S.Compare(best.setBig) < 0) {
+			best.found = true
+			best.num = covered
+			if best.setBig == nil {
+				best.setBig = bitset.New(e.s)
+			}
+			best.setBig.Copy(S)
+		}
+	}
+	best.sets++
+	consider()
+	for done := uint64(1); done < count; {
+		want := count - done
+		if want > swapBatch {
+			want = swapBatch
+		}
+		bm := rd.NextBatch(ar.outs[:want], ar.ins[:want])
+		if bm == 0 {
+			break
+		}
+		for i := 0; i < bm; i++ {
+			out, in := ar.outs[i]+t, ar.ins[i]+t
+			for _, v := range e.b.NeighborsOfS(out) {
+				cnt[v]--
+				if cnt[v] == 0 {
+					covered--
+				}
+			}
+			for _, v := range e.b.NeighborsOfS(in) {
+				if cnt[v] == 0 {
+					covered++
+				}
+				cnt[v]++
+			}
+			S.Remove(out)
+			S.Add(in)
+			best.sets++
+			consider()
+		}
+		done += uint64(bm)
+	}
+	return nil
+}
+
+// bipBnb is the bipartite branch-and-bound driver: seed pass, the same
+// deterministic subproblem partition as the graph engine, worker pool,
+// index-order ratio merge.
+func bipBnb(b *graph.Bipartite, maxK int, budget uint64, workers int, ctx context.Context) (BipartiteResult, error) {
+	e := &bipEngine{b: b, s: b.NS(), maxK: maxK, budget: budget, ctx: ctx}
+	e.meter.budget = budget
+	e.pool.New = func() any {
+		return &bipArena{
+			rd:    &bitset.RevolvingDoor{},
+			outs:  make([]int, swapBatch),
+			ins:   make([]int, swapBatch),
+			cnt:   make([]int32, b.NN()),
+			cover: bitset.New(b.NN()),
+			S:     bitset.New(e.s),
+		}
+	}
+	if err := e.seedPass(); err != nil {
+		return BipartiteResult{}, err
+	}
+	subs := bnbSubproblems(e.s, maxK)
+	if workers <= 0 {
+		workers = poolWidth()
+	}
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	results := make([]chunkBest, len(subs))
+	var (
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
+	runOne := func(i int) {
+		ar := e.pool.Get().(*bipArena)
+		best, err := e.runSub(subs[i], ar)
+		e.pool.Put(ar)
+		if err != nil {
+			fail(err)
+			return
+		}
+		results[i] = best
+	}
+	if workers <= 1 {
+		for i := range subs {
+			if cancelled() || failed.Load() {
+				break
+			}
+			runOne(i)
+		}
+	} else {
+		var cursor atomic.Int64
+		cursor.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !failed.Load() && !cancelled() {
+					i := int(cursor.Add(1))
+					if i >= len(subs) {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if cancelled() {
+		return BipartiteResult{}, ctx.Err()
+	}
+	if failed.Load() {
+		return BipartiteResult{}, firstErr
+	}
+	res := BipartiteResult{Value: math.Inf(1), Sets: e.seedSets}
+	var best *chunkBest
+	bestK := 0
+	for i := range results {
+		r := &results[i]
+		res.Sets += r.sets
+		res.Pruned = addSat64(res.Pruned, r.pruned)
+		res.Visited += r.visited
+		res.SubtreesPruned += r.subtrees
+		if !r.found {
+			continue
+		}
+		k := subs[i].k
+		if best == nil ||
+			int64(r.num)*int64(bestK) < int64(best.num)*int64(k) ||
+			(int64(r.num)*int64(bestK) == int64(best.num)*int64(k) && r.setBig.Compare(best.setBig) < 0) {
+			best = r
+			bestK = k
+		}
+	}
+	if best == nil {
+		return res, fmt.Errorf("expansion: no nonempty subset enumerated")
+	}
+	res.Value = float64(best.num) / float64(bestK)
+	res.Witness = best.setBig
+	if e.s <= 64 {
 		res.ArgSet = toMask(best.setBig)
 	}
 	return res, nil

@@ -8,6 +8,7 @@ import (
 	"wexp/internal/gen"
 	"wexp/internal/graph"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 )
 
 func TestMinBipartiteExpansionSimple(t *testing.T) {
@@ -69,7 +70,7 @@ func TestMinBipartiteExpansionValidation(t *testing.T) {
 	}
 	// An explicit tiny budget rejects even small instances...
 	small := gen.RandomBipartite(8, 12, 0.3, rng.New(3))
-	if _, err := MinBipartiteExpansionOpts(small, Options{Budget: 16}); err == nil {
+	if _, err := MinBipartiteExpansionOpts(small, Options{RunOpts: runopts.RunOpts{Budget: 16}}); err == nil {
 		t.Fatal("budget 16 accepted a 2^8 enumeration")
 	}
 	// ...while a MaxK cutoff makes the large instance affordable.
@@ -94,13 +95,29 @@ func TestMinBipartiteExpansionBigPathMatchesGray(t *testing.T) {
 			t.Fatal(err)
 		}
 		// 2^8 = 256 > 255 ≥ Σ C(8,k) − 1... the subset count is 255, so a
-		// budget of 255 forces the big path while still covering the work.
-		big, err := MinBipartiteExpansionOpts(b, Options{Budget: 255})
+		// budget of 255 forces the big path while still covering the flat
+		// work (NoPrune keeps the full enumeration).
+		big, err := MinBipartiteExpansionOpts(b, Options{RunOpts: runopts.RunOpts{Budget: 255}, NoPrune: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if math.Abs(gray.Value-big.Value) > 1e-12 {
 			t.Fatalf("trial %d: gray=%g big=%g", trial, gray.Value, big.Value)
+		}
+		// A MaxK cutoff disqualifies the Gray walk and routes the default to
+		// the branch-and-bound search; the flat path at the same cutoff is
+		// its oracle.
+		flat7, err := MinBipartiteExpansionOpts(b, Options{MaxK: 7, NoPrune: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnb7, err := MinBipartiteExpansionOpts(b, Options{MaxK: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flat7.Value != bnb7.Value || flat7.ArgSet != bnb7.ArgSet {
+			t.Fatalf("trial %d: flat (%g,%b) != bnb (%g,%b)",
+				trial, flat7.Value, flat7.ArgSet, bnb7.Value, bnb7.ArgSet)
 		}
 	}
 }
@@ -147,11 +164,20 @@ func TestOrdinaryProfileValidation(t *testing.T) {
 	if _, err := OrdinaryProfile(g, 11); err == nil {
 		t.Fatal("maxK>n accepted")
 	}
-	// C(40,20) ≈ 1.4e11 work units cannot fit the default budget.
-	if _, err := OrdinaryProfile(gen.Cycle(40), 20); err == nil {
-		t.Fatal("budget-exceeding profile accepted")
+	// C(40,20) ≈ 1.4e11 work units cannot fit the default budget on the
+	// flat paths — but the branch-and-bound default prunes its way through:
+	// every per-size minimum of a cycle is a union of arcs, found early.
+	if _, err := Profile(gen.Cycle(40), ObjOrdinary, 20, Options{Recompute: true}); err == nil {
+		t.Fatal("budget-exceeding flat profile accepted")
 	}
-	// The same profile fits when the cutoff prunes the space.
+	p, err := OrdinaryProfile(gen.Cycle(40), 20)
+	if err != nil {
+		t.Fatalf("branch-and-bound profile rejected: %v", err)
+	}
+	if got := p.MinExpansion[20]; math.Abs(got-2.0/20) > 1e-12 {
+		t.Fatalf("β-profile(C40)[20] = %g, want 2/20", got)
+	}
+	// A small maxK fits even the flat paths.
 	if _, err := OrdinaryProfile(gen.Cycle(40), 3); err != nil {
 		t.Fatal("n=40 maxK=3 should fit the default budget")
 	}
@@ -215,8 +241,17 @@ func TestEdgeExpansionValidation(t *testing.T) {
 	if math.Abs(res.Value-2.0/12) > 1e-12 {
 		t.Fatalf("h(C24) = %g, want %g", res.Value, 2.0/12)
 	}
-	if _, err := EdgeExpansion(gen.Cycle(80)); err == nil {
-		t.Fatal("budget-exceeding n=80 accepted")
+	// n=80 with k ≤ 40 overwhelms the flat enumeration but not the
+	// branch-and-bound search: h(C80) = 2/40.
+	if _, err := Exact(gen.Cycle(80), ObjEdge, Options{MaxK: 40, Recompute: true}); err == nil {
+		t.Fatal("budget-exceeding flat n=80 accepted")
+	}
+	res, err = EdgeExpansion(gen.Cycle(80))
+	if err != nil {
+		t.Fatalf("branch-and-bound n=80 rejected: %v", err)
+	}
+	if math.Abs(res.Value-2.0/40) > 1e-12 {
+		t.Fatalf("h(C80) = %g, want %g", res.Value, 2.0/40)
 	}
 }
 

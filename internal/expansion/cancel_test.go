@@ -8,6 +8,7 @@ import (
 
 	"wexp/internal/gen"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 )
 
 // countdownCtx is a context whose Err() flips to Canceled after a fixed
@@ -36,7 +37,7 @@ func TestExactCancelledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, workers := range []int{1, 4} {
-		_, err := Exact(g, ObjOrdinary, Options{Alpha: 0.5, Workers: workers, Ctx: ctx})
+		_, err := Exact(g, ObjOrdinary, Options{RunOpts: runopts.RunOpts{Workers: workers}, Alpha: 0.5, Ctx: ctx})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: got err %v, want context.Canceled", workers, err)
 		}
@@ -47,7 +48,7 @@ func TestExactCancelledMidRun(t *testing.T) {
 	g := gen.ErdosRenyi(20, 0.3, rng.New(7))
 	for _, workers := range []int{1, 4} {
 		ctx := newCountdownCtx(2)
-		_, err := Exact(g, ObjOrdinary, Options{Alpha: 0.5, Workers: workers, Ctx: ctx})
+		_, err := Exact(g, ObjOrdinary, Options{RunOpts: runopts.RunOpts{Workers: workers}, Alpha: 0.5, Ctx: ctx})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: got err %v, want context.Canceled", workers, err)
 		}

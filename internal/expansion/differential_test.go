@@ -6,12 +6,14 @@ import (
 	"wexp/internal/gen"
 	"wexp/internal/graph"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 )
 
-// assertSameResult demands bit-for-bit agreement on everything except the
-// scheduling-shaped Pruned counter (and the Kernel label): Value, both
-// witness representations, the inner witness, and the Sets count.
-func assertSameResult(t *testing.T, ctx string, want, got Result) {
+// assertSameAnswer demands bit-for-bit agreement on the answer — Value,
+// both witness representations, the inner witness — across paths whose
+// enumeration shapes (and hence Sets/Pruned counters) legitimately differ,
+// such as branch-and-bound vs the flat kernels.
+func assertSameAnswer(t *testing.T, ctx string, want, got Result) {
 	t.Helper()
 	if want.Value != got.Value {
 		t.Fatalf("%s: value %g != %g", ctx, want.Value, got.Value)
@@ -19,9 +21,6 @@ func assertSameResult(t *testing.T, ctx string, want, got Result) {
 	if want.ArgSet != got.ArgSet || want.ArgInner != got.ArgInner {
 		t.Fatalf("%s: witness masks (%b,%b) != (%b,%b)",
 			ctx, want.ArgSet, want.ArgInner, got.ArgSet, got.ArgInner)
-	}
-	if want.Sets != got.Sets {
-		t.Fatalf("%s: sets %d != %d", ctx, want.Sets, got.Sets)
 	}
 	if (want.Witness == nil) != (got.Witness == nil) ||
 		(want.Witness != nil && !want.Witness.Equal(got.Witness)) {
@@ -33,14 +32,26 @@ func assertSameResult(t *testing.T, ctx string, want, got Result) {
 	}
 }
 
+// assertSameResult additionally demands the same Sets count — the full
+// contract between the flat kernels (incremental vs recompute), which walk
+// the identical rank space.
+func assertSameResult(t *testing.T, ctx string, want, got Result) {
+	t.Helper()
+	assertSameAnswer(t, ctx, want, got)
+	if want.Sets != got.Sets {
+		t.Fatalf("%s: sets %d != %d", ctx, want.Sets, got.Sets)
+	}
+}
+
 var allObjectives = []Objective{ObjOrdinary, ObjUnique, ObjWireless, ObjEdge}
 
 // TestIncrementalMatchesRecompute is the differential acceptance test of
-// the revolving-door kernels: on random graphs, for all four objectives,
-// several α and pool widths (each width is a different chunk partition,
-// exercising chunk-boundary unranking), the incremental kernels must
-// reproduce the recompute oracle bit for bit — on the uint64 path, the
-// bitset path (forceBig), and across the two.
+// the enumeration paths: on random graphs, for all four objectives,
+// several α and pool widths, the flat incremental kernels (NoPrune) must
+// reproduce the recompute oracle bit for bit — including the Sets count —
+// and the default branch-and-bound search must reproduce the same answer
+// (its Sets/Pruned counters are search-shaped by design). All of the
+// uint64 path, the bitset path (forceBig), and cross-path agreement.
 func TestIncrementalMatchesRecompute(t *testing.T) {
 	r := rng.New(20260728)
 	for trial := 0; trial < 4; trial++ {
@@ -52,15 +63,14 @@ func TestIncrementalMatchesRecompute(t *testing.T) {
 					alpha = 0.5 // cap the 2^k inner scan at test size
 				}
 				for _, w := range []int{1, 3, 8} {
-					opt := Options{Alpha: alpha, Workers: w}
 					ctx := func(kind string) string {
 						return obj.String() + kind
 					}
-					oracle, err := Exact(g, obj, Options{Alpha: alpha, Workers: w, Recompute: true})
+					oracle, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: w}, Alpha: alpha, Recompute: true})
 					if err != nil {
 						t.Fatal(err)
 					}
-					inc, err := Exact(g, obj, opt)
+					inc, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: w}, Alpha: alpha, NoPrune: true})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -68,14 +78,29 @@ func TestIncrementalMatchesRecompute(t *testing.T) {
 					if inc.Kernel != "small-incremental" || oracle.Kernel != "small-recompute" {
 						t.Fatalf("kernel labels %q / %q", inc.Kernel, oracle.Kernel)
 					}
-					opt.forceBig = true
-					incBig, err := Exact(g, obj, opt)
+					bnb, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: w}, Alpha: alpha})
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameAnswer(t, ctx(" bnb"), oracle, bnb)
+					if bnb.Kernel != "small-bnb" {
+						t.Fatalf("kernel label %q", bnb.Kernel)
+					}
+					incBig, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: w}, Alpha: alpha, NoPrune: true, forceBig: true})
 					if err != nil {
 						t.Fatal(err)
 					}
 					assertSameResult(t, ctx(" big"), oracle, incBig)
 					if incBig.Kernel != "big-incremental" {
 						t.Fatalf("kernel label %q", incBig.Kernel)
+					}
+					bnbBig, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: w}, Alpha: alpha, forceBig: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameAnswer(t, ctx(" big-bnb"), oracle, bnbBig)
+					if bnbBig.Kernel != "big-bnb" {
+						t.Fatalf("kernel label %q", bnbBig.Kernel)
 					}
 				}
 			}
@@ -98,14 +123,17 @@ func TestIncrementalMatchesRecomputeLargeN(t *testing.T) {
 				maxK = 2
 			}
 			for _, w := range []int{1, 4} {
-				opt := Options{MaxK: maxK, Budget: 1 << 22, Workers: w}
+				opt := Options{RunOpts: runopts.RunOpts{Budget: 1 << 22, Workers: w}, MaxK: maxK, NoPrune: true}
 				inc, err1 := Exact(g, obj, opt)
-				opt.Recompute = true
+				opt.NoPrune, opt.Recompute = false, true
 				oracle, err2 := Exact(g, obj, opt)
-				if err1 != nil || err2 != nil {
-					t.Fatalf("%s %v: %v / %v", name, obj, err1, err2)
+				opt.Recompute = false
+				bnb, err3 := Exact(g, obj, opt)
+				if err1 != nil || err2 != nil || err3 != nil {
+					t.Fatalf("%s %v: %v / %v / %v", name, obj, err1, err2, err3)
 				}
 				assertSameResult(t, name+" "+obj.String(), oracle, inc)
+				assertSameAnswer(t, name+" "+obj.String()+" bnb", oracle, bnb)
 			}
 		}
 	}
@@ -118,16 +146,21 @@ func TestIncrementalMatchesRecomputeLargeN(t *testing.T) {
 func TestIncrementalChunkBoundaries(t *testing.T) {
 	g := gen.ErdosRenyi(12, 0.3, rng.New(5))
 	for _, obj := range allObjectives {
-		serial, err := Exact(g, obj, Options{Alpha: 0.75, Workers: 1, Recompute: true})
+		serial, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: 1}, Alpha: 0.75, Recompute: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, w := range []int{1, 2, 3, 5, 8, 13, 64, 512} {
-			inc, err := Exact(g, obj, Options{Alpha: 0.75, Workers: w})
+			inc, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: w}, Alpha: 0.75, NoPrune: true})
 			if err != nil {
 				t.Fatal(err)
 			}
 			assertSameResult(t, obj.String(), serial, inc)
+			bnb, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: w}, Alpha: 0.75})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameAnswer(t, obj.String()+" bnb", serial, bnb)
 		}
 	}
 }
@@ -145,8 +178,8 @@ func TestBipartiteIncrementalMatchesRecompute(t *testing.T) {
 		// the Gray-code gate (which needs 2^s), forcing the big path.
 		budget := uint64(1)<<uint(s) - 1
 		for _, w := range []int{1, 3, 16} {
-			inc, err1 := MinBipartiteExpansionOpts(bg, Options{Budget: budget, Workers: w})
-			oracle, err2 := MinBipartiteExpansionOpts(bg, Options{Budget: budget, Workers: w, Recompute: true})
+			inc, err1 := MinBipartiteExpansionOpts(bg, Options{RunOpts: runopts.RunOpts{Budget: budget, Workers: w}, NoPrune: true})
+			oracle, err2 := MinBipartiteExpansionOpts(bg, Options{RunOpts: runopts.RunOpts{Budget: budget, Workers: w}, Recompute: true})
 			if err1 != nil || err2 != nil {
 				t.Fatalf("s=%d: %v / %v", s, err1, err2)
 			}
@@ -157,12 +190,34 @@ func TestBipartiteIncrementalMatchesRecompute(t *testing.T) {
 			if !inc.Witness.Equal(oracle.Witness) {
 				t.Fatalf("s=%d w=%d: witness %v != %v", s, w, inc.Witness, oracle.Witness)
 			}
+			// The bipartite branch-and-bound (default under a MaxK cutoff)
+			// must agree with the flat path at the same cutoff — and its
+			// counters must be worker-invariant.
+			flat, err1 := MinBipartiteExpansionOpts(bg, Options{MaxK: s - 1, NoPrune: true})
+			bnb, err2 := MinBipartiteExpansionOpts(bg, Options{RunOpts: runopts.RunOpts{Workers: w}, MaxK: s - 1})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("s=%d bnb: %v / %v", s, err1, err2)
+			}
+			if flat.Value != bnb.Value || flat.ArgSet != bnb.ArgSet || !flat.Witness.Equal(bnb.Witness) {
+				t.Fatalf("s=%d w=%d: flat (%g,%b) != bnb (%g,%b)", s, w,
+					flat.Value, flat.ArgSet, bnb.Value, bnb.ArgSet)
+			}
+			serial, err := MinBipartiteExpansionOpts(bg, Options{RunOpts: runopts.RunOpts{Workers: 1}, MaxK: s - 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Sets != bnb.Sets || serial.Pruned != bnb.Pruned ||
+				serial.Visited != bnb.Visited || serial.SubtreesPruned != bnb.SubtreesPruned {
+				t.Fatalf("s=%d w=%d: bnb counters (%d,%d,%d,%d) != serial (%d,%d,%d,%d)", s, w,
+					bnb.Sets, bnb.Pruned, bnb.Visited, bnb.SubtreesPruned,
+					serial.Sets, serial.Pruned, serial.Visited, serial.SubtreesPruned)
+			}
 		}
 		gray, err := MinBipartiteExpansion(bg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		inc, err := MinBipartiteExpansionOpts(bg, Options{Budget: budget})
+		inc, err := MinBipartiteExpansionOpts(bg, Options{RunOpts: runopts.RunOpts{Budget: budget}, NoPrune: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,24 +271,39 @@ func FuzzExpansionKernels(f *testing.F) {
 		}
 		workers := 1 + int(wRaw)%8
 		g := gen.ErdosRenyi(n, p, rng.New(seed))
-		opt := Options{Alpha: alpha, Workers: workers}
-		oracle, err := Exact(g, obj, Options{Alpha: alpha, Workers: workers, Recompute: true})
+		oracle, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: workers}, Alpha: alpha, Recompute: true})
 		if err != nil {
 			return // α too small for a nonempty set — same error on all paths
 		}
-		inc, err := Exact(g, obj, opt)
+		inc, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: workers}, Alpha: alpha, NoPrune: true})
 		if err != nil {
 			t.Fatalf("incremental errored where oracle ran: %v", err)
 		}
 		assertSameResult(t, "small "+obj.String(), oracle, inc)
-		opt.forceBig = true
-		incBig, err := Exact(g, obj, opt)
+		bnb, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: workers}, Alpha: alpha})
+		if err != nil {
+			t.Fatalf("branch-and-bound errored where oracle ran: %v", err)
+		}
+		assertSameAnswer(t, "small-bnb "+obj.String(), oracle, bnb)
+		incBig, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: workers}, Alpha: alpha, NoPrune: true, forceBig: true})
 		if err != nil {
 			t.Fatalf("big incremental errored: %v", err)
 		}
 		assertSameResult(t, "big "+obj.String(), oracle, incBig)
-		opt.Recompute = true
-		oracleBig, err := Exact(g, obj, opt)
+		bnbBig, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: workers}, Alpha: alpha, forceBig: true})
+		if err != nil {
+			t.Fatalf("big branch-and-bound errored: %v", err)
+		}
+		assertSameAnswer(t, "big-bnb "+obj.String(), oracle, bnbBig)
+		// The two search representations must also agree on every counter —
+		// they walk the same tree.
+		if bnb.Sets != bnbBig.Sets || bnb.Pruned != bnbBig.Pruned ||
+			bnb.Visited != bnbBig.Visited || bnb.SubtreesPruned != bnbBig.SubtreesPruned {
+			t.Fatalf("bnb counters small(%d,%d,%d,%d) != big(%d,%d,%d,%d)",
+				bnb.Sets, bnb.Pruned, bnb.Visited, bnb.SubtreesPruned,
+				bnbBig.Sets, bnbBig.Pruned, bnbBig.Visited, bnbBig.SubtreesPruned)
+		}
+		oracleBig, err := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: workers}, Alpha: alpha, Recompute: true, forceBig: true})
 		if err != nil {
 			t.Fatalf("big recompute errored: %v", err)
 		}

@@ -11,6 +11,7 @@ import (
 
 	"wexp/internal/bitset"
 	"wexp/internal/graph"
+	"wexp/internal/runopts"
 )
 
 // Objective selects which quantity the exact engine minimizes over vertex
@@ -51,23 +52,27 @@ const DefaultBudget = 1 << 26
 // Options configures an exact expansion computation. The zero value of
 // every field selects a sensible default, except that exactly one of Alpha
 // and MaxK must be positive.
+//
+// The common run-control knobs are the embedded runopts.RunOpts: Workers
+// is the pool width (results are bit-identical for every width — chunks
+// and subproblems are merged in a deterministic order with a
+// smallest-witness tie-break); Budget bounds the total work in enumeration
+// units (see DefaultBudget) — the flat paths refuse up front with the
+// required amount in the error, the branch-and-bound default charges as it
+// goes and aborts with an ErrBudget-wrapped error; Seed is ignored (the
+// engine is fully deterministic).
 type Options struct {
+	runopts.RunOpts
+
 	// Alpha is the paper's size parameter: sets with 0 < |S| ≤ α·n are
 	// enumerated. Ignored when MaxK > 0.
 	Alpha float64
 	// MaxK, when positive, caps |S| directly instead of via Alpha.
 	MaxK int
-	// Budget bounds the total work in enumeration units (see
-	// DefaultBudget). The engine refuses up front — with the required
-	// amount in the error — rather than run past it.
-	Budget uint64
-	// Workers is the worker-pool width; 0 means GOMAXPROCS. The result is
-	// bit-identical for every width: chunks are merged in a deterministic
-	// order with a smallest-witness tie-break.
-	Workers int
-	// NoPrune disables the degree-based branch-and-bound skip. The result
-	// never depends on pruning (only Result.Pruned does); the switch exists
-	// for cross-checks and measurement.
+	// NoPrune disables pruning entirely, selecting the flat incremental
+	// full enumeration. The answer never depends on pruning (only the
+	// Sets/Pruned/Visited counters do); the switch exists for cross-checks
+	// and measurement.
 	NoPrune bool
 	// Recompute forces the legacy full-recomputation kernels — the
 	// correctness oracle for the default revolving-door incremental kernels,
@@ -104,17 +109,21 @@ type chunkBest struct {
 	innerBig *bitset.Set
 	sets     int
 	pruned   int64
+	visited  int64 // search-tree nodes expanded (branch-and-bound only)
+	subtrees int64 // whole subtrees cut without a visit (branch-and-bound only)
 }
 
 // engineOut is the raw per-cardinality outcome of a solve: perK[k] holds
 // the best set of size exactly k (chunks already merged deterministically).
 type engineOut struct {
-	n      int
-	maxK   int
-	kernel string
-	perK   []chunkBest
-	sets   int
-	prun   int64
+	n        int
+	maxK     int
+	kernel   string
+	perK     []chunkBest
+	sets     int
+	prun     int64
+	visited  int64
+	subtrees int64
 }
 
 // binom returns C(n, k), saturating at MaxUint64 on overflow — the shared
@@ -286,9 +295,14 @@ func witnessLess(a, b *chunkBest) bool {
 	return a.set < b.set
 }
 
-// solve runs the engine: validates the budget, builds the chunk list, fans
-// it over the pool, and merges per cardinality.
-func solve(g *graph.Graph, obj Objective, maxK int, opt Options) (*engineOut, error) {
+// solve runs the engine. The default path is the branch-and-bound search
+// tree (bnb.go); Options.Recompute selects the flat recompute oracle and
+// Options.NoPrune the flat incremental full enumeration, both of which
+// keep the legacy rank-interval chunking and its up-front budget refusal.
+// perKBests selects per-cardinality incumbents for the search (Profile
+// needs the exact best at every k) over the stronger global-ratio
+// incumbent (Exact only needs the overall minimum).
+func solve(g *graph.Graph, obj Objective, maxK int, opt Options, perKBests bool) (*engineOut, error) {
 	n := g.N()
 	if maxK < 1 || maxK > n {
 		return nil, fmt.Errorf("expansion: size cap %d out of range [1,%d]", maxK, n)
@@ -296,6 +310,9 @@ func solve(g *graph.Graph, obj Objective, maxK int, opt Options) (*engineOut, er
 	budget := opt.Budget
 	if budget == 0 {
 		budget = DefaultBudget
+	}
+	if !opt.Recompute && !opt.NoPrune {
+		return bnbSolve(g, obj, maxK, opt, budget, perKBests)
 	}
 	work := enumWork(n, maxK, obj)
 	if work > budget {
@@ -351,7 +368,8 @@ func solve(g *graph.Graph, obj Objective, maxK int, opt Options) (*engineOut, er
 // numerically smallest witness — reproducing the legacy serial scan
 // bit-for-bit.
 func (e *engineOut) aggregate() Result {
-	res := Result{Value: math.Inf(1), Sets: e.sets, Pruned: e.prun, Kernel: e.kernel}
+	res := Result{Value: math.Inf(1), Sets: e.sets, Pruned: e.prun,
+		Visited: e.visited, SubtreesPruned: e.subtrees, Kernel: e.kernel}
 	var best *chunkBest
 	bestK := 0
 	for k := 1; k <= e.maxK; k++ {

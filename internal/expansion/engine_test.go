@@ -7,6 +7,7 @@ import (
 
 	"wexp/internal/gen"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 )
 
 // TestExactLargeN72 is the acceptance check for the size-agnostic engine:
@@ -15,7 +16,7 @@ import (
 // minimizers: β = βw = 2/3, βu = 2/3 at the 3-arc).
 func TestExactLargeN72(t *testing.T) {
 	g := gen.Cycle(72)
-	opt := Options{Alpha: 3.0 / 72.0, Budget: 1 << 22}
+	opt := Options{RunOpts: runopts.RunOpts{Budget: 1 << 22}, Alpha: 3.0 / 72.0}
 
 	res, err := Exact(g, ObjOrdinary, opt)
 	if err != nil {
@@ -57,7 +58,7 @@ func TestExactLargeN72(t *testing.T) {
 
 	// The same run without the explicit budget headroom must be refused:
 	// the work (62,196 sets for β) exceeds a 1<<10 budget.
-	if _, err := Exact(g, ObjOrdinary, Options{Alpha: 3.0 / 72.0, Budget: 1 << 10}); err == nil {
+	if _, err := Exact(g, ObjOrdinary, Options{RunOpts: runopts.RunOpts{Budget: 1 << 10}, Alpha: 3.0 / 72.0}); err == nil {
 		t.Fatal("n=72 accepted under a 1<<10 budget")
 	}
 }
@@ -114,12 +115,12 @@ func TestWorkerCountInvariance(t *testing.T) {
 		g := gen.ErdosRenyi(11, 0.3, r)
 		for _, obj := range []Objective{ObjOrdinary, ObjUnique, ObjWireless} {
 			for _, alpha := range []float64{0.25, 0.5, 1.0} {
-				serial, err1 := Exact(g, obj, Options{Alpha: alpha, Workers: 1})
+				serial, err1 := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: 1}, Alpha: alpha})
 				if err1 != nil {
 					t.Fatal(err1)
 				}
 				for _, w := range []int{2, 3, 8, 64} {
-					par, err2 := Exact(g, obj, Options{Alpha: alpha, Workers: w})
+					par, err2 := Exact(g, obj, Options{RunOpts: runopts.RunOpts{Workers: w}, Alpha: alpha})
 					if err2 != nil {
 						t.Fatal(err2)
 					}
@@ -143,7 +144,9 @@ func TestDegeneratePoolRanges(t *testing.T) {
 	for n := 3; n <= 6; n++ {
 		g := gen.Cycle(n)
 		for _, w := range []int{1, 7, 16, 1024} {
-			res, err := Exact(g, ObjWireless, Options{Alpha: 1, Workers: w})
+			// NoPrune selects the flat full enumeration, whose Sets count is
+			// the whole space — the property the pool partition must preserve.
+			res, err := Exact(g, ObjWireless, Options{RunOpts: runopts.RunOpts{Workers: w}, Alpha: 1, NoPrune: true})
 			if err != nil {
 				t.Fatalf("n=%d workers=%d: %v", n, w, err)
 			}
@@ -155,8 +158,8 @@ func TestDegeneratePoolRanges(t *testing.T) {
 	}
 }
 
-// TestPruningIsInvisible: branch-and-bound must change only the Pruned
-// counter, never the result.
+// TestPruningIsInvisible: the branch-and-bound search must change only the
+// counters (Sets/Pruned/Visited are search-shaped), never the answer.
 func TestPruningIsInvisible(t *testing.T) {
 	r := rng.New(7)
 	pruned := false
@@ -169,13 +172,17 @@ func TestPruningIsInvisible(t *testing.T) {
 				t.Fatalf("%v / %v", err1, err2)
 			}
 			if on.Value != off.Value || on.ArgSet != off.ArgSet ||
-				on.ArgInner != off.ArgInner || on.Sets != off.Sets {
+				on.ArgInner != off.ArgInner {
 				t.Fatalf("trial %d %v: pruning changed the result", trial, obj)
 			}
 			if off.Pruned != 0 {
 				t.Fatalf("NoPrune still pruned %d sets", off.Pruned)
 			}
-			if on.Pruned > 0 {
+			if on.Sets+int(min64(on.Pruned, 1<<40)) < off.Sets {
+				t.Fatalf("trial %d %v: bnb accounted for %d+%d sets, full space is %d",
+					trial, obj, on.Sets, on.Pruned, off.Sets)
+			}
+			if on.Pruned > 0 || on.SubtreesPruned > 0 {
 				pruned = true
 			}
 		}
@@ -183,6 +190,13 @@ func TestPruningIsInvisible(t *testing.T) {
 	if !pruned {
 		t.Fatal("branch-and-bound never fired on any trial; the bound is dead code")
 	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // TestEnumWorkAndBinom pins the combinatorics the budget check rests on.
@@ -234,7 +248,7 @@ func TestCombinationUnranking(t *testing.T) {
 // TestProfileLargeN checks the by-cardinality profile on the big path.
 func TestProfileLargeN(t *testing.T) {
 	g := gen.Cycle(70)
-	p, err := Profile(g, ObjOrdinary, 4, Options{Budget: 1 << 22})
+	p, err := Profile(g, ObjOrdinary, 4, Options{RunOpts: runopts.RunOpts{Budget: 1 << 22}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,15 +16,28 @@ type Result struct {
 	Value    float64 // the expansion parameter (β, βu, or βw)
 	ArgSet   uint64  // minimizing set S (bitmask over vertices; n ≤ 64 only)
 	ArgInner uint64  // for βw: the maximizing S' ⊆ S; zero otherwise
-	Sets     int     // number of candidate sets enumerated
+	Sets     int     // number of candidate sets actually evaluated
 
 	Witness      *bitset.Set // minimizing set S, any n
 	InnerWitness *bitset.Set // for βw: the maximizing S' ⊆ S; nil otherwise
-	Pruned       int64       // sets skipped by the branch-and-bound floor
+
+	// Pruned counts candidate sets skipped without evaluation: on the
+	// default branch-and-bound path, sets inside subtrees cut by the bound
+	// plus per-set floor skips inside leaves; on the flat paths, per-set
+	// floor skips only. Saturates at MaxInt64 (a single pruned subtree can
+	// cover more sets than int64 holds). Deterministic at every worker
+	// count — the search partitions work by instance shape, not schedule.
+	Pruned int64
+
+	// Visited counts search-tree nodes expanded by the branch-and-bound
+	// path (0 on the flat paths); SubtreesPruned counts whole subtrees cut
+	// without a visit. Both are worker-invariant like Pruned.
+	Visited        int64
+	SubtreesPruned int64
 
 	// Kernel names the enumeration kernel that produced the result
-	// (small|big × incremental|recompute) — observability only (it feeds
-	// wexpd's /metrics); every kernel returns bit-identical results.
+	// (small|big × bnb|incremental|recompute) — observability only (it
+	// feeds wexpd's /metrics); every kernel returns bit-identical results.
 	Kernel string
 }
 
@@ -44,7 +57,7 @@ func Exact(g *graph.Graph, obj Objective, opt Options) (Result, error) {
 	if maxK > n {
 		maxK = n
 	}
-	out, err := solve(g, obj, maxK, opt)
+	out, err := solve(g, obj, maxK, opt, false)
 	if err != nil {
 		return Result{}, err
 	}

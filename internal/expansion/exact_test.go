@@ -1,6 +1,7 @@
 package expansion
 
 import (
+	"errors"
 	"math"
 	"math/bits"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"wexp/internal/gen"
 	"wexp/internal/graph"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 )
 
 func TestExactOrdinaryComplete(t *testing.T) {
@@ -179,25 +181,37 @@ func TestExactUniqueMatchesBitsetGamma1(t *testing.T) {
 }
 
 func TestExactBudgetLimits(t *testing.T) {
-	// Default budget: Σ C(30,k≤15) ≈ 5.4e8 work units is too much...
-	if _, err := ExactOrdinary(gen.Cycle(30), 0.5); err == nil {
-		t.Fatal("n=30 α=0.5 accepted under default budget")
+	// Σ C(30,k≤15) ≈ 5.4e8 work units exceeds the default budget, so the
+	// flat paths refuse up front...
+	if _, err := Exact(gen.Cycle(30), ObjOrdinary, Options{Alpha: 0.5, Recompute: true}); err == nil {
+		t.Fatal("n=30 α=0.5 accepted by the flat path under default budget")
 	}
-	// ...but the same graph fits at a smaller α (the cutoff prunes the
-	// space instead of filtering).
-	res, err := ExactOrdinary(gen.Cycle(30), 0.1)
+	// ...while the branch-and-bound search cuts the space down and finishes
+	// the same instance inside it: β(C30, k ≤ 15) = 2/15 (a contiguous arc).
+	res, err := ExactOrdinary(gen.Cycle(30), 0.5)
+	if err != nil {
+		t.Fatalf("branch-and-bound rejected n=30 α=0.5: %v", err)
+	}
+	if math.Abs(res.Value-2.0/15) > 1e-12 {
+		t.Fatalf("β(C30, k ≤ 15) = %g, want 2/15", res.Value)
+	}
+	// A smaller α fits even the flat paths (the cutoff shrinks the space).
+	res, err = ExactOrdinary(gen.Cycle(30), 0.1)
 	if err != nil {
 		t.Fatalf("n=30 α=0.1 rejected: %v", err)
 	}
 	if math.Abs(res.Value-2.0/3) > 1e-12 {
 		t.Fatalf("β(C30, k ≤ 3) = %g, want 2/3", res.Value)
 	}
-	// Wireless work is Σ C(n,k)·2^k: n=26 at α=0.5 blows the budget.
+	// Wireless admits only the weak degree floor — useless on a cycle at
+	// k ≥ 3 — so Σ C(n,k)·2^k still blows the budget mid-search at n=26.
 	if _, err := ExactWireless(gen.Cycle(26), 0.5); err == nil {
 		t.Fatal("n=26 accepted by exact wireless solver under default budget")
+	} else if !errors.Is(err, ErrBudget) {
+		t.Fatalf("wireless overrun not an ErrBudget: %v", err)
 	}
-	// An explicit budget widens the envelope deterministically.
-	if _, err := Exact(gen.Cycle(22), ObjOrdinary, Options{Alpha: 0.5, Budget: 1 << 10}); err == nil {
+	// An explicit budget bounds the search deterministically too.
+	if _, err := Exact(gen.Cycle(22), ObjWireless, Options{RunOpts: runopts.RunOpts{Budget: 1 << 10}, Alpha: 0.5}); err == nil {
 		t.Fatal("tiny explicit budget accepted")
 	}
 	if _, err := ExactOrdinary(gen.Cycle(10), 0.0); err == nil {

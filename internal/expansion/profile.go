@@ -18,7 +18,7 @@ func Profile(g *graph.Graph, obj Objective, maxK int, opt Options) (*SizeProfile
 	if maxK < 1 || maxK > n {
 		return nil, fmt.Errorf("expansion: bad maxK %d", maxK)
 	}
-	out, err := solve(g, obj, maxK, opt)
+	out, err := solve(g, obj, maxK, opt, true)
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +109,12 @@ type AlphaPoint struct {
 // non-increasing in α by definition — the minimum runs over a growing
 // family of sets.
 func AlphaSweep(g *graph.Graph, alphas []float64) ([]AlphaPoint, error) {
+	return AlphaSweepOpts(g, alphas, Options{})
+}
+
+// AlphaSweepOpts is AlphaSweep with explicit engine options (budget, pool
+// width, cancellation context).
+func AlphaSweepOpts(g *graph.Graph, alphas []float64, opt Options) ([]AlphaPoint, error) {
 	n := g.N()
 	maxK := 0
 	for _, a := range alphas {
@@ -119,7 +125,7 @@ func AlphaSweep(g *graph.Graph, alphas []float64) ([]AlphaPoint, error) {
 	if maxK == 0 {
 		return nil, fmt.Errorf("expansion: no α admits a nonempty set")
 	}
-	tp, err := Profiles(g, maxK)
+	tp, err := ProfilesOpts(g, maxK, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync/atomic"
 	"testing"
+
+	"wexp/internal/runopts"
 )
 
 // TestRunSpecCancellation cancels a checkpointed run from its Progress
@@ -27,7 +29,7 @@ func TestRunSpecCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	_, _, err = RunSpec(spec, cfg, Options{
-		Workers:       2,
+		RunOpts:       runopts.RunOpts{Workers: 2},
 		CheckpointDir: ckpt,
 		Ctx:           ctx,
 		Progress: func(id string, done, total int) {
@@ -58,7 +60,7 @@ func TestRunSpecCancellation(t *testing.T) {
 	// recomputed, and the artifact matches the uninterrupted run.
 	var executed atomic.Int64
 	_, art, err := RunSpec(spec, cfg, Options{
-		Workers: 2, CheckpointDir: ckpt, Resume: true,
+		RunOpts: runopts.RunOpts{Workers: 2}, CheckpointDir: ckpt, Resume: true,
 		Progress: func(id string, done, total int) { executed.Add(1) },
 	})
 	if err != nil {

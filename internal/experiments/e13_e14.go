@@ -10,6 +10,7 @@ import (
 	"wexp/internal/graph"
 	"wexp/internal/radio"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 	"wexp/internal/spokesman"
 	"wexp/internal/stats"
 	"wexp/internal/table"
@@ -340,7 +341,7 @@ func e14Shards(cfg Config) ([]Shard, error) {
 				// worker count.
 				mc, err := radio.MonteCarlo(g, 0,
 					func(tr *rng.RNG) radio.Protocol { return &radio.Decay{R: tr} },
-					trials, radio.Options{Seed: r.Uint64(), MaxRounds: 2_000_000, TraceRounds: -1})
+					trials, radio.Options{RunOpts: runopts.RunOpts{Seed: r.Uint64()}, MaxRounds: 2_000_000, TraceRounds: -1})
 				if err != nil {
 					return nil, err
 				}

@@ -10,6 +10,7 @@ import (
 	"wexp/internal/graph"
 	"wexp/internal/radio"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 	"wexp/internal/spokesman"
 	"wexp/internal/stats"
 	"wexp/internal/table"
@@ -265,7 +266,7 @@ func e9Shards(cfg Config) ([]Shard, error) {
 				trials := cfg.trials(5, 2)
 				mc, err := radio.MonteCarlo(ch.G, ch.Root,
 					func(tr *rng.RNG) radio.Protocol { return &radio.Decay{R: tr} },
-					trials, radio.Options{Seed: r.Uint64(), MaxRounds: 5_000_000, TraceRounds: -1})
+					trials, radio.Options{RunOpts: runopts.RunOpts{Seed: r.Uint64()}, MaxRounds: 5_000_000, TraceRounds: -1})
 				if err != nil {
 					pt.Err = err.Error()
 					return pt, nil

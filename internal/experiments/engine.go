@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 )
 
 // Spec declares one registered experiment: its identity, the deterministic
@@ -61,9 +62,12 @@ type ShardResult struct {
 
 // Options configures the experiment engine.
 type Options struct {
-	// Workers is the shard worker-pool width; 0 means GOMAXPROCS. Artifacts
-	// are bit-identical at every width.
-	Workers int
+	// RunOpts holds the shared run-control knobs. Workers is the shard
+	// worker-pool width; 0 means GOMAXPROCS, and artifacts are bit-identical
+	// at every width. Budget and Seed are ignored here: shard work is bounded
+	// by the experiment grids themselves, and randomness is seeded per
+	// experiment from Config.Seed.
+	runopts.RunOpts
 	// OutDir, when non-empty, receives one artifact JSON per experiment
 	// plus MANIFEST.json.
 	OutDir string

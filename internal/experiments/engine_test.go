@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 )
 
 // encodeArtifact fails the test on error.
@@ -32,7 +33,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		t.Run(spec.ID, func(t *testing.T) {
 			var ref []byte
 			for _, workers := range []int{1, 2, 8} {
-				_, art, err := RunSpec(spec, cfg, Options{Workers: workers})
+				_, art, err := RunSpec(spec, cfg, Options{RunOpts: runopts.RunOpts{Workers: workers}})
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -64,7 +65,7 @@ func TestKillResume(t *testing.T) {
 
 	ckpt := t.TempDir()
 	_, _, err = RunSpec(spec, cfg, Options{
-		Workers: 2, CheckpointDir: ckpt, ShardLimit: 3,
+		RunOpts: runopts.RunOpts{Workers: 2}, CheckpointDir: ckpt, ShardLimit: 3,
 	})
 	if !errors.Is(err, ErrInterrupted) {
 		t.Fatalf("interrupted run: got err %v, want ErrInterrupted", err)
@@ -82,7 +83,7 @@ func TestKillResume(t *testing.T) {
 	// Progress arrives from worker goroutines, so the counter is atomic.
 	var executed atomic.Int64
 	_, art, err := RunSpec(spec, cfg, Options{
-		Workers: 2, CheckpointDir: ckpt, Resume: true,
+		RunOpts: runopts.RunOpts{Workers: 2}, CheckpointDir: ckpt, Resume: true,
 		Progress: func(id string, done, total int) { executed.Add(1) },
 	})
 	if err != nil {

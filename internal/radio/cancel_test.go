@@ -9,6 +9,7 @@ import (
 
 	"wexp/internal/gen"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 )
 
 // countdownCtx flips Err() to Canceled after a fixed number of
@@ -38,7 +39,7 @@ func TestMonteCarloCancelledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, workers := range []int{1, 4} {
-		_, err := MonteCarlo(g, 0, decayFactory, 32, Options{Workers: workers, Seed: 1, Ctx: ctx})
+		_, err := MonteCarlo(g, 0, decayFactory, 32, Options{RunOpts: runopts.RunOpts{Workers: workers, Seed: 1}, Ctx: ctx})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: got err %v, want context.Canceled", workers, err)
 		}
@@ -49,7 +50,7 @@ func TestMonteCarloCancelledMidRun(t *testing.T) {
 	g := gen.CPlus(16)
 	for _, workers := range []int{1, 4} {
 		ctx := newCountdownCtx(3)
-		_, err := MonteCarlo(g, 0, decayFactory, 64, Options{Workers: workers, Seed: 1, Ctx: ctx})
+		_, err := MonteCarlo(g, 0, decayFactory, 64, Options{RunOpts: runopts.RunOpts{Workers: workers, Seed: 1}, Ctx: ctx})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("workers=%d: got err %v, want context.Canceled", workers, err)
 		}
@@ -61,7 +62,7 @@ func TestMonteCarloRerunAfterCancelIsIdentical(t *testing.T) {
 	// produces the same bytes as one that was never preceded by a
 	// cancellation (trial RNG streams are pre-split per run).
 	g := gen.CPlus(16)
-	opt := Options{Workers: 2, Seed: 9, TraceRounds: -1}
+	opt := Options{RunOpts: runopts.RunOpts{Workers: 2, Seed: 9}, TraceRounds: -1}
 	want, err := MonteCarlo(g, 0, decayFactory, 16, opt)
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"wexp/internal/gen"
 	"wexp/internal/graph"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 )
 
 // lockstep runs proto on two copies of the same network — one stepping the
@@ -168,7 +169,7 @@ func TestMonteCarloWorkerInvariance(t *testing.T) {
 			var base *Result
 			for _, workers := range []int{1, 2, 8} {
 				res, err := MonteCarlo(c.g, 0, c.factory, 24,
-					Options{Workers: workers, Seed: 7, MaxRounds: 4000})
+					Options{RunOpts: runopts.RunOpts{Workers: workers, Seed: 7}, MaxRounds: 4000})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -193,7 +194,7 @@ func TestMonteCarloWorkerInvariance(t *testing.T) {
 func TestMonteCarloAggregates(t *testing.T) {
 	g := gen.CPlus(16)
 	res, err := MonteCarlo(g, 0, func(r *rng.RNG) Protocol { return &Decay{R: r} }, 32,
-		Options{Seed: 3, MaxRounds: 4000})
+		Options{RunOpts: runopts.RunOpts{Seed: 3}, MaxRounds: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}

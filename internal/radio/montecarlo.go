@@ -9,6 +9,7 @@ import (
 
 	"wexp/internal/graph"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 	"wexp/internal/stats"
 )
 
@@ -30,14 +31,16 @@ const DefaultTraceRounds = 1024
 
 // Options configures a Monte-Carlo run. The zero value of every field
 // selects a sensible default.
+//
+// The common run-control knobs are the embedded runopts.RunOpts: Workers
+// is the trial pool width (results are bit-identical at every width —
+// trial RNG streams are pre-split in index order and aggregation is by
+// trial index, so scheduling is invisible); Seed seeds the run, every
+// trial deriving its stream from it; Budget is ignored (the per-trial
+// bound is MaxRounds, in rounds rather than abstract work units).
 type Options struct {
-	// Workers is the trial worker-pool width; 0 means GOMAXPROCS. Results
-	// are bit-identical at every width: trial RNG streams are pre-split in
-	// index order and aggregation is by trial index, so scheduling is
-	// invisible.
-	Workers int
-	// Seed seeds the run; every trial derives its stream from it.
-	Seed uint64
+	runopts.RunOpts
+
 	// MaxRounds is the per-trial round budget (0 = DefaultMaxRounds).
 	MaxRounds int
 	// TraceRounds caps the per-round informed-count summaries (0 =

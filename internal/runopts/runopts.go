@@ -1,0 +1,24 @@
+// Package runopts defines the run-control knobs shared by every
+// long-running engine in this repository (exact expansion, Monte-Carlo
+// broadcast, the experiment engine). Each engine's Options struct embeds
+// RunOpts, so the common fields have one name, one documentation string,
+// and one zero-value contract everywhere; the root package re-exports the
+// type as wexp.RunOpts.
+package runopts
+
+// RunOpts is the common run-control block. The zero value of every field
+// selects a production-sensible default. Engines ignore fields that do
+// not apply to them (the expansion engine is deterministic and ignores
+// Seed; the radio engine has no work budget and ignores Budget) — the
+// per-engine Options documentation says which fields are live.
+type RunOpts struct {
+	// Workers is the worker-pool width; 0 means GOMAXPROCS. Every engine
+	// guarantees bit-identical results at every width.
+	Workers int
+	// Budget bounds the total work in engine-specific units (0 = the
+	// engine's default budget).
+	Budget uint64
+	// Seed seeds the engine's deterministic random streams. Engines that
+	// consume no randomness ignore it.
+	Seed uint64
+}

@@ -18,6 +18,7 @@ import (
 	"wexp/internal/graph"
 	"wexp/internal/radio"
 	"wexp/internal/rng"
+	"wexp/internal/runopts"
 	"wexp/internal/spokesman"
 	"wexp/internal/stats"
 )
@@ -269,19 +270,22 @@ func (s *Server) handleGraphEdges(w http.ResponseWriter, r *http.Request) {
 // --- expansion ---------------------------------------------------------------
 
 // expansionResponse is the memoized document of one exact expansion
-// computation. Every field is a deterministic function of the key —
-// notably, the engine's Pruned counter is excluded: it depends on the
-// chunk partition (and hence the worker count), which must never leak
-// into a cached body.
+// computation. Every field is a deterministic function of the key: the
+// branch-and-bound engine's Sets/Pruned/Visited/SubtreesPruned counters
+// are bit-identical at every worker count, so the search-effort record is
+// safe to cache alongside the value and witnesses.
 type expansionResponse struct {
-	Graph        string  `json:"graph"`
-	Objective    string  `json:"objective"`
-	MaxK         int     `json:"max_k"`
-	Budget       uint64  `json:"budget"`
-	Value        float64 `json:"value"`
-	Witness      []int   `json:"witness"`
-	InnerWitness []int   `json:"inner_witness,omitempty"`
-	Sets         int     `json:"sets"`
+	Graph          string  `json:"graph"`
+	Objective      string  `json:"objective"`
+	MaxK           int     `json:"max_k"`
+	Budget         uint64  `json:"budget"`
+	Value          float64 `json:"value"`
+	Witness        []int   `json:"witness"`
+	InnerWitness   []int   `json:"inner_witness,omitempty"`
+	Sets           int     `json:"sets"`
+	Pruned         int64   `json:"pruned"`
+	Visited        int64   `json:"visited"`
+	SubtreesPruned int64   `json:"subtrees_pruned"`
 }
 
 var objectives = map[string]expansion.Objective{
@@ -349,7 +353,8 @@ func (s *Server) handleExpansion(w http.ResponseWriter, r *http.Request) {
 		key: fmt.Sprintf("expansion|g=%s|obj=%s|maxk=%d|budget=%d", digest, objName, maxK, budget),
 		run: func(ctx context.Context, _ func(int, int)) (any, error) {
 			res, err := expansion.Exact(g, obj, expansion.Options{
-				MaxK: maxK, Budget: budget, Workers: s.cfg.Workers, Ctx: ctx,
+				RunOpts: runopts.RunOpts{Budget: budget, Workers: s.cfg.Workers},
+				MaxK:    maxK, Ctx: ctx,
 			})
 			if err != nil {
 				return nil, err
@@ -357,9 +362,12 @@ func (s *Server) handleExpansion(w http.ResponseWriter, r *http.Request) {
 			s.recordEngine(res)
 			resp := expansionResponse{
 				Graph: digest, Objective: objName, MaxK: maxK, Budget: budget,
-				Value:   res.Value,
-				Witness: bitsetToInts(res.Witness),
-				Sets:    res.Sets,
+				Value:          res.Value,
+				Witness:        bitsetToInts(res.Witness),
+				Sets:           res.Sets,
+				Pruned:         res.Pruned,
+				Visited:        res.Visited,
+				SubtreesPruned: res.SubtreesPruned,
 			}
 			if res.InnerWitness != nil {
 				resp.InnerWitness = bitsetToInts(res.InnerWitness)
@@ -570,8 +578,7 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 			digest, protoName, source, trials, seed, maxRounds, trace),
 		run: func(ctx context.Context, _ func(int, int)) (any, error) {
 			mc, err := radio.MonteCarlo(g, source, factory, trials, radio.Options{
-				Workers:     s.cfg.Workers,
-				Seed:        seed,
+				RunOpts:     runopts.RunOpts{Workers: s.cfg.Workers, Seed: seed},
 				MaxRounds:   maxRounds,
 				TraceRounds: trace,
 				Ctx:         ctx,
@@ -660,7 +667,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 				hook = func(_ string, done, total int) { progress(done, total) }
 			}
 			rep, err := experiments.Run(specs, cfg, experiments.Options{
-				Workers:  s.cfg.Workers,
+				RunOpts:  runopts.RunOpts{Workers: s.cfg.Workers},
 				Ctx:      ctx,
 				Progress: hook,
 			})

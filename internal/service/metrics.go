@@ -32,14 +32,17 @@ type Metrics struct {
 	JobsCancelled int64
 	JobsRunning   int64
 
-	// Expansion-engine counters: candidate sets enumerated and sets
-	// pruned by the branch-and-bound floor across all actual computations
-	// (scheduling-shaped, hence excluded from cached bodies — /metrics is
-	// their home), plus computation counts per kernel variant
-	// (small|big × incremental|recompute).
-	EngineSets    int64
-	EnginePruned  int64
-	EngineKernels map[string]int64
+	// Expansion-engine counters across all actual computations: candidate
+	// sets evaluated, sets skipped by pruning, search-tree nodes expanded,
+	// and whole subtrees cut by the branch-and-bound bounds (each
+	// computation's own counters also appear in its cached body — they are
+	// worker-invariant), plus computation counts per kernel variant
+	// (small|big × bnb|incremental|recompute).
+	EngineSets     int64
+	EnginePruned   int64
+	EngineVisited  int64
+	EngineSubtrees int64
+	EngineKernels  map[string]int64
 }
 
 // Snapshot collects the current metrics.
@@ -68,6 +71,8 @@ func (s *Server) Snapshot() Metrics {
 		JobsRunning:    running,
 		EngineSets:     s.engineSets.Load(),
 		EnginePruned:   s.enginePruned.Load(),
+		EngineVisited:  s.engineVisited.Load(),
+		EngineSubtrees: s.engineSubtrees.Load(),
 		EngineKernels:  kernels,
 	}
 }
@@ -75,20 +80,22 @@ func (s *Server) Snapshot() Metrics {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.Snapshot()
 	gauges := map[string]int64{
-		"wexpd_cache_hits":          m.CacheHits,
-		"wexpd_cache_misses":        m.CacheMisses,
-		"wexpd_cache_entries":       m.CacheEntries,
-		"wexpd_cache_bytes":         m.CacheBytes,
-		"wexpd_cache_evictions":     m.CacheEvictions,
-		"wexpd_computations":        m.Computations,
-		"wexpd_coalesced_requests":  m.Coalesced,
-		"wexpd_inflight":            m.Inflight,
-		"wexpd_graphs_stored":       m.Graphs,
-		"wexpd_jobs_created":        m.JobsCreated,
-		"wexpd_jobs_cancelled":      m.JobsCancelled,
-		"wexpd_jobs_running":        m.JobsRunning,
-		"wexpd_engine_sets_total":   m.EngineSets,
-		"wexpd_engine_pruned_total": m.EnginePruned,
+		"wexpd_cache_hits":                   m.CacheHits,
+		"wexpd_cache_misses":                 m.CacheMisses,
+		"wexpd_cache_entries":                m.CacheEntries,
+		"wexpd_cache_bytes":                  m.CacheBytes,
+		"wexpd_cache_evictions":              m.CacheEvictions,
+		"wexpd_computations":                 m.Computations,
+		"wexpd_coalesced_requests":           m.Coalesced,
+		"wexpd_inflight":                     m.Inflight,
+		"wexpd_graphs_stored":                m.Graphs,
+		"wexpd_jobs_created":                 m.JobsCreated,
+		"wexpd_jobs_cancelled":               m.JobsCancelled,
+		"wexpd_jobs_running":                 m.JobsRunning,
+		"wexpd_engine_sets_total":            m.EngineSets,
+		"wexpd_engine_pruned_total":          m.EnginePruned,
+		"wexpd_engine_visited_total":         m.EngineVisited,
+		"wexpd_engine_subtrees_pruned_total": m.EngineSubtrees,
 	}
 	names := make([]string, 0, len(gauges))
 	for n := range gauges {

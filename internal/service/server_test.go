@@ -197,10 +197,10 @@ func TestExpansionMemoization(t *testing.T) {
 	}
 }
 
-// TestEngineMetrics: the expansion-engine counters (sets enumerated,
-// pruned, kernel variant) accumulate per actual computation — a cache hit
-// must not move them — and surface through /metrics, the one place the
-// scheduling-shaped counters are allowed to live.
+// TestEngineMetrics: the expansion-engine counters (sets evaluated,
+// pruned, nodes visited, kernel variant) accumulate per actual
+// computation — a cache hit must not move them — and surface through
+// /metrics alongside the per-response copies in the cached bodies.
 func TestEngineMetrics(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	url := ts.URL + "/v1/expansion?family=hypercube&size=3&alpha=0.5"
@@ -211,8 +211,8 @@ func TestEngineMetrics(t *testing.T) {
 	if m.EngineSets <= 0 {
 		t.Fatalf("engine sets = %d, want > 0", m.EngineSets)
 	}
-	if got := m.EngineKernels["small-incremental"]; got != 1 {
-		t.Fatalf("kernel runs = %v, want one small-incremental", m.EngineKernels)
+	if got := m.EngineKernels["small-bnb"]; got != 1 {
+		t.Fatalf("kernel runs = %v, want one small-bnb", m.EngineKernels)
 	}
 	setsBefore := m.EngineSets
 	if code, _, cache := get(t, url); code != http.StatusOK || cache != "hit" {
@@ -228,7 +228,9 @@ func TestEngineMetrics(t *testing.T) {
 	for _, want := range []string{
 		"wexpd_engine_sets_total ",
 		"wexpd_engine_pruned_total ",
-		`wexpd_engine_kernel_runs{kernel="small-incremental"} 1`,
+		"wexpd_engine_visited_total ",
+		"wexpd_engine_subtrees_pruned_total ",
+		`wexpd_engine_kernel_runs{kernel="small-bnb"} 1`,
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)

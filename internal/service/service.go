@@ -84,15 +84,17 @@ type Server struct {
 	computations atomic.Int64 // computations actually run (≠ requests served)
 
 	// Expansion-engine counters, accumulated per actual computation (cache
-	// hits and coalesced waiters don't touch the engine). Sets and Pruned
-	// are scheduling-shaped and excluded from cached response bodies, so
-	// /metrics is their only live surface; the per-kernel run counts make
-	// the active kernel variant (revolving-door vs recompute oracle)
-	// observable in production.
-	engineSets   atomic.Int64
-	enginePruned atomic.Int64
-	engineMu     sync.Mutex
-	engineKernel map[string]int64
+	// hits and coalesced waiters don't touch the engine). The same
+	// worker-invariant counters also appear in each cached response body;
+	// /metrics totals them across computations, and the per-kernel run
+	// counts make the active kernel variant (branch-and-bound vs the flat
+	// incremental and recompute oracles) observable in production.
+	engineSets     atomic.Int64
+	enginePruned   atomic.Int64
+	engineVisited  atomic.Int64
+	engineSubtrees atomic.Int64
+	engineMu       sync.Mutex
+	engineKernel   map[string]int64
 
 	// computeHook, when non-nil, runs inside the singleflight execution
 	// just before the computation. Tests use it to hold a computation open
@@ -105,6 +107,8 @@ type Server struct {
 func (s *Server) recordEngine(res expansion.Result) {
 	s.engineSets.Add(int64(res.Sets))
 	s.enginePruned.Add(res.Pruned)
+	s.engineVisited.Add(res.Visited)
+	s.engineSubtrees.Add(res.SubtreesPruned)
 	s.engineMu.Lock()
 	s.engineKernel[res.Kernel]++
 	s.engineMu.Unlock()
