@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full bench-gate bench-baseline experiments profile serve api clean
+.PHONY: all build vet fmt-check test race check cover fuzz-smoke bench bench-full bench-gate bench-baseline bench-load experiments profile serve api clean
 
 # Seed-baseline total coverage; CI fails below this (see ci.yml).
 COVER_FLOOR ?= 85.0
@@ -49,6 +49,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=15s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzBuilder -fuzztime=15s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzExpansionKernels -fuzztime=20s ./internal/expansion
+	$(GO) test -run='^$$' -fuzz=FuzzWALDecode -fuzztime=15s ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzPlace -fuzztime=15s ./internal/router
 
 # One iteration of every benchmark: keeps the bench harness from rotting
 # and rewrites BENCH_expansion.json (the expansion-engine perf record).
@@ -87,6 +89,30 @@ bench-gate:
 # noisy to serve as a baseline). Commit the rewritten BENCH_*.json.
 bench-baseline:
 	$(GO) test -bench=. -benchtime=$(BENCH_BASELINE_TIME) -run='^$$' ./...
+
+# Refresh BENCH_load.json: a single wexpd plus a 3-backend routed fleet
+# (every process pinned to GOMAXPROCS=1 so the per-node capacity is
+# comparable across machines), measured with cmd/wexpload on the cached
+# and mixed profiles. Commit the rewritten BENCH_load.json.
+bench-load:
+	@mkdir -p artifacts/bench-load
+	$(GO) build -o artifacts/bench-load/wexpd ./cmd/wexpd
+	$(GO) build -o artifacts/bench-load/wexprouter ./cmd/wexprouter
+	$(GO) build -o artifacts/bench-load/wexpload ./cmd/wexpload
+	@set -e; trap 'kill 0 2>/dev/null || true' EXIT INT TERM; \
+	GOMAXPROCS=1 artifacts/bench-load/wexpd -addr 127.0.0.1:18081 & \
+	GOMAXPROCS=1 artifacts/bench-load/wexpd -addr 127.0.0.1:18082 & \
+	GOMAXPROCS=1 artifacts/bench-load/wexpd -addr 127.0.0.1:18083 & \
+	GOMAXPROCS=1 artifacts/bench-load/wexpd -addr 127.0.0.1:18084 & \
+	GOMAXPROCS=1 artifacts/bench-load/wexprouter -addr 127.0.0.1:18080 \
+		-backends http://127.0.0.1:18082,http://127.0.0.1:18083,http://127.0.0.1:18084 \
+		-edge-cache-mb 64 & \
+	sleep 1; \
+	artifacts/bench-load/wexpload -target http://127.0.0.1:18081 -label single   -profile cached -count 50000 -out BENCH_load.json; \
+	artifacts/bench-load/wexpload -target http://127.0.0.1:18080 -label routed-3 -profile cached -count 50000 -out BENCH_load.json -append; \
+	artifacts/bench-load/wexpload -target http://127.0.0.1:18081 -label single   -profile mixed  -count 30000 -out BENCH_load.json -append; \
+	artifacts/bench-load/wexpload -target http://127.0.0.1:18080 -label routed-3 -profile mixed  -count 30000 -out BENCH_load.json -append; \
+	artifacts/bench-load/wexpload -target http://127.0.0.1:18081 -label single   -profile cached -rate 20000 -count 30000 -depth 64 -out BENCH_load.json -append
 
 # Full E1–E14 reproduction run through the sharded engine: JSON artifacts,
 # shard checkpoints and MANIFEST.json land in artifacts/experiments. A

@@ -1,0 +1,63 @@
+package wexp
+
+import (
+	"context"
+	"net/http"
+
+	"wexp/internal/router"
+	"wexp/internal/service"
+)
+
+// --- Durable wexpd -----------------------------------------------------------
+
+// OpenService returns the wexpd HTTP handler with durable state when
+// ServiceConfig.DataDir is set: the content-addressed graph store spills
+// to disk, job transitions append to a write-ahead log, and on open the
+// WAL is replayed — torn tails truncated, terminal jobs restored,
+// incomplete jobs resumed through their experiment checkpoints. With an
+// empty DataDir it is equivalent to NewService.
+func OpenService(cfg ServiceConfig) (*service.Server, error) { return service.Open(cfg) }
+
+// --- The wexprouter shard router ---------------------------------------------
+
+// RouterConfig tunes the shard router: the static wexpd backend list the
+// digest space is rendezvous-hashed across, and an optional byte-level
+// edge response cache.
+type RouterConfig = router.Config
+
+// RouterMetrics is a snapshot of the router counters (per-backend
+// requests/errors/latency, edge coalescing, edge cache).
+type RouterMetrics = router.Metrics
+
+// NewRouter returns the wexprouter HTTP handler: consistent-hash routing
+// of graphs and computations over a wexpd fleet, fleet-edge request
+// coalescing, fan-out merges for listings, and b<i>.-prefixed fleet-wide
+// job IDs. See internal/router/README.md.
+func NewRouter(cfg RouterConfig) (*router.Router, error) { return router.New(cfg) }
+
+// ShardPlacement returns the index of the backend that owns key under
+// rendezvous hashing — the pure placement function wexprouter uses (-1
+// for an empty backend list). Exposed so external tooling can predict
+// placement without a router instance.
+func ShardPlacement(backends []string, key string) int { return router.Place(backends, key) }
+
+// ServeRouter runs the shard router on addr until ctx is cancelled, then
+// shuts down gracefully. A nil ctx means serve forever.
+func ServeRouter(ctx context.Context, addr string, cfg RouterConfig) error {
+	rt, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	srv := &http.Server{Addr: addr, Handler: rt}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return srv.Shutdown(context.Background())
+	}
+}

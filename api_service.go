@@ -46,12 +46,18 @@ type ServiceMetrics = service.Metrics
 func NewService(cfg ServiceConfig) *service.Server { return service.New(cfg) }
 
 // Serve runs the wexpd service on addr until ctx is cancelled, then shuts
-// down gracefully. A nil ctx means serve forever.
+// down gracefully (closing the durable state when DataDir is set). A nil
+// ctx means serve forever.
 func Serve(ctx context.Context, addr string, cfg ServiceConfig) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	srv := &http.Server{Addr: addr, Handler: service.New(cfg)}
+	s, err := service.Open(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	srv := &http.Server{Addr: addr, Handler: s}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {

@@ -50,6 +50,12 @@ var timingFields = map[string]bool{
 	"speedup":          true,
 	"requests_per_sec": true,
 	"allocs_per_op":    true,
+	// wexp-bench/load-v1 latency measurements (cmd/wexpload).
+	"p50_ns": true,
+	"p90_ns": true,
+	"p99_ns": true,
+	"max_ns": true,
+	"errors": true,
 }
 
 // allocSlack is the absolute allocs/op headroom granted on top of the

@@ -37,6 +37,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		dataDir   = flag.String("data", "", "durable state directory (graphs, jobs WAL, checkpoints); empty = in-memory")
 		cacheMB   = flag.Int64("cache-mb", 64, "result cache budget in MiB")
 		maxGraphs = flag.Int("max-graphs", 0, "graph store capacity (0 = default 4096)")
 		maxJobs   = flag.Int("max-jobs", 0, "retained job records (0 = default 1024)")
@@ -47,6 +48,7 @@ func main() {
 	flag.Parse()
 
 	cfg := wexp.ServiceConfig{
+		DataDir:    *dataDir,
 		CacheBytes: *cacheMB << 20,
 		MaxGraphs:  *maxGraphs,
 		MaxJobs:    *maxJobs,

@@ -1,0 +1,71 @@
+// Command wexpload is a deterministic load harness for wexpd and
+// wexprouter: it replays a seeded request sequence over raw pipelined
+// HTTP/1.1 connections and reports throughput plus an HDR-style latency
+// distribution as a BENCH_load.json record comparable by cmd/benchgate.
+//
+// Two generator modes:
+//
+//   - open loop (-rate R): Poisson arrivals at R req/s from a seeded
+//     exponential stream; latency is measured from the *scheduled*
+//     arrival, so server queueing delay is charged to the server.
+//   - closed loop (-rate 0, default): each connection keeps a window of
+//     -depth requests outstanding; measures peak sustainable throughput.
+//
+// Usage:
+//
+//	wexpload -target http://127.0.0.1:8081 -profile cached -count 50000
+//	wexpload -target http://127.0.0.1:8080 -label routed-3 -profile mixed \
+//	         -rate 20000 -out BENCH_load.json -append
+//
+// The same seed always produces the same request sequence, so two runs
+// against the same fleet differ only by machine noise. See the README
+// "Deployment" section for the single-node vs routed recipe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	def := defaultConfig()
+	var cfg Config
+	flag.StringVar(&cfg.Target, "target", "", "base URL of the wexpd node or wexprouter to load (required)")
+	flag.StringVar(&cfg.Label, "label", def.Label, "record label in BENCH_load.json (e.g. single, routed-3)")
+	flag.StringVar(&cfg.Profile, "profile", def.Profile, "request mix: cached (one hot key) or mixed (deterministic pool)")
+	flag.IntVar(&cfg.Count, "count", def.Count, "measured requests")
+	flag.Float64Var(&cfg.Rate, "rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	flag.IntVar(&cfg.Conns, "conns", def.Conns, "pipelined TCP connections")
+	flag.IntVar(&cfg.Depth, "depth", def.Depth, "per-connection outstanding-request window")
+	flag.Uint64Var(&cfg.Seed, "seed", def.Seed, "seed for arrivals and request selection")
+	flag.IntVar(&cfg.Warmup, "warmup", def.Warmup, "unmeasured priming passes over the URL pool")
+	flag.StringVar(&cfg.Out, "out", "", "BENCH_load.json path (empty = stdout summary only)")
+	flag.BoolVar(&cfg.Append, "append", false, "merge the record into -out instead of overwriting")
+	flag.Parse()
+
+	if cfg.Target == "" {
+		fmt.Fprintln(os.Stderr, "wexpload: -target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	rec, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wexpload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wexpload %s/%s: %.0f req/s  p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms  errors %d\n",
+		rec.Label, rec.Profile, rec.RequestsPerSec,
+		float64(rec.P50NS)/1e6, float64(rec.P90NS)/1e6, float64(rec.P99NS)/1e6,
+		float64(rec.MaxNS)/1e6, rec.Errors)
+	if cfg.Out != "" {
+		if err := writeRecord(cfg.Out, rec, cfg.Append); err != nil {
+			fmt.Fprintln(os.Stderr, "wexpload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wexpload: wrote %s\n", cfg.Out)
+	}
+	if rec.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,370 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"wexp/internal/rng"
+	"wexp/internal/stats"
+)
+
+// loadSchema is the perf-record schema of BENCH_load.json; cmd/benchgate
+// compares files of this schema record-by-record like the other BENCH
+// files.
+const loadSchema = "wexp-bench/load-v1"
+
+// Config is the full parameter set of one wexpload run; main fills it
+// from flags, tests construct it directly.
+type Config struct {
+	// Target is the base URL of the wexpd node or wexprouter front to load.
+	Target string
+	// Label names the record in BENCH_load.json (e.g. "single", "routed-3").
+	Label string
+	// Profile selects the request mix: "cached" replays one hot request,
+	// "mixed" cycles a deterministic pool of distinct cache keys.
+	Profile string
+	// Count is the number of measured requests.
+	Count int
+	// Rate is the open-loop arrival rate in requests/second; 0 selects the
+	// closed-loop (windowed) mode.
+	Rate float64
+	// Conns is the number of pipelined TCP connections.
+	Conns int
+	// Depth is the per-connection outstanding-request window.
+	Depth int
+	// Seed drives arrival times and request selection; same seed, same
+	// request sequence.
+	Seed uint64
+	// Warmup is the number of unmeasured priming passes over the URL pool
+	// before the clock starts.
+	Warmup int
+	// Out is the BENCH_load.json path ("" prints the record to stdout only).
+	Out string
+	// Append merges the record into an existing Out file instead of
+	// overwriting it (replacing any record with the same identity).
+	Append bool
+}
+
+func defaultConfig() Config {
+	return Config{Label: "single", Profile: "cached", Count: 20000, Conns: 4, Depth: 32, Seed: 1, Warmup: 2}
+}
+
+// Record is one BENCH_load.json entry. label/profile/rate/conns/count are
+// the benchgate identity; the *_ns, requests_per_sec, ns_per_op, and
+// errors fields are measurements (listed in benchgate's timingFields).
+type Record struct {
+	Label          string  `json:"label"`
+	Profile        string  `json:"profile"`
+	Rate           float64 `json:"rate"`
+	Conns          int     `json:"conns"`
+	Count          int     `json:"count"`
+	NsPerOp        float64 `json:"ns_per_op"` // mean latency, gated by benchgate
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50NS          int64   `json:"p50_ns"`
+	P90NS          int64   `json:"p90_ns"`
+	P99NS          int64   `json:"p99_ns"`
+	MaxNS          int64   `json:"max_ns"`
+	Errors         int64   `json:"errors"`
+}
+
+type loadFile struct {
+	Schema     string   `json:"schema"`
+	Go         string   `json:"go"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Records    []Record `json:"records"`
+}
+
+// profileURLs returns the deterministic request pool of a profile. Every
+// path is a GET against the wexpd /v1 API (valid through wexprouter too).
+func profileURLs(profile string) ([]string, error) {
+	switch profile {
+	case "cached":
+		// One hot key: after warmup this measures the memoized read path
+		// end to end (routing, cache lookup, response write).
+		return []string{"/v1/expansion?family=hypercube&size=3&obj=ordinary"}, nil
+	case "mixed":
+		// Distinct cache keys across ops, families, and graph digests, so
+		// a routed fleet spreads them over backends. All deterministic
+		// (fixed seeds), all cached after one warmup pass, and all sized so
+		// the exact expansion solver stays well inside the default work
+		// budget — the harness measures the service, not the solver.
+		return []string{
+			"/v1/expansion?family=hypercube&size=3&obj=ordinary",
+			"/v1/expansion?family=hypercube&size=4&obj=ordinary",
+			"/v1/expansion?family=hypercube&size=3&obj=wireless&alpha=0.5",
+			"/v1/expansion?family=torus&size=3&obj=ordinary",
+			"/v1/expansion?family=torus&size=4&obj=ordinary",
+			"/v1/expansion?family=cycle&size=12&obj=ordinary",
+			"/v1/expansion?family=cycle&size=16&obj=ordinary",
+			"/v1/expansion?family=grid&size=4&obj=ordinary",
+			"/v1/spokesman?family=hypercube&size=3&s=0,1,2&trials=8&seed=1",
+			"/v1/spokesman?family=cycle&size=16&s=0,3,7&trials=8&seed=1",
+			"/v1/broadcast?family=cycle&size=16&protocol=decay&trials=50&seed=1",
+			"/v1/broadcast?family=hypercube&size=3&protocol=flood&trials=50&seed=1",
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown profile %q (want cached|mixed)", profile)
+	}
+}
+
+// plan is the precomputed deterministic request schedule: which URL each
+// request hits and (open loop) when it departs.
+type plan struct {
+	urls  []string
+	picks []int           // per request: index into urls
+	sched []time.Duration // per request: arrival offset; nil in closed loop
+}
+
+// buildPlan derives the full request sequence from the seed. Arrival gaps
+// are exponential (Poisson arrivals) at cfg.Rate; picks are uniform over
+// the pool. Split streams keep the two choices independent.
+func buildPlan(cfg Config) (plan, error) {
+	urls, err := profileURLs(cfg.Profile)
+	if err != nil {
+		return plan{}, err
+	}
+	r := rng.New(cfg.Seed)
+	pickR, gapR := r.Split(), r.Split()
+	p := plan{urls: urls, picks: make([]int, cfg.Count)}
+	for i := range p.picks {
+		p.picks[i] = pickR.Intn(len(urls))
+	}
+	if cfg.Rate > 0 {
+		p.sched = make([]time.Duration, cfg.Count)
+		var at float64 // seconds
+		for i := range p.sched {
+			at += -math.Log(1-gapR.Float64()) / cfg.Rate
+			p.sched[i] = time.Duration(at * float64(time.Second))
+		}
+	}
+	return p, nil
+}
+
+// connResult is one connection's share of the measurement.
+type connResult struct {
+	hist *stats.LogHistogram
+	errs int64
+}
+
+// runConn drives one pipelined HTTP/1.1 connection over raw TCP. idxs are
+// the request indices assigned to this connection, in order. In open-loop
+// mode each request departs at base+sched[i] and its latency is measured
+// from the scheduled arrival (so queueing delay counts, as an open-loop
+// harness must); in closed-loop mode a window of depth requests is kept
+// outstanding and latency is measured from the actual send.
+func runConn(host string, reqBytes [][]byte, p plan, idxs []int, base time.Time, depth int) connResult {
+	res := connResult{hist: stats.NewLogHistogram()}
+	c, err := net.Dial("tcp", host)
+	if err != nil {
+		res.errs = int64(len(idxs))
+		return res
+	}
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 32<<10)
+
+	openLoop := p.sched != nil
+	starts := make(chan time.Time, depth)
+	tokens := make(chan struct{}, depth)
+	for i := 0; i < depth; i++ {
+		tokens <- struct{}{}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		proto := &http.Request{Method: http.MethodGet}
+		for st := range starts {
+			resp, err := http.ReadResponse(br, proto)
+			if err != nil {
+				// Connection lost: everything already pipelined is gone.
+				res.errs++
+				for range starts {
+					res.errs++
+				}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				res.errs++
+			} else {
+				res.hist.Record(time.Since(st).Nanoseconds())
+			}
+			if !openLoop {
+				tokens <- struct{}{}
+			}
+		}
+	}()
+
+	var werr error
+	for n, i := range idxs {
+		var st time.Time
+		if openLoop {
+			st = base.Add(p.sched[i])
+			if d := time.Until(st); d > 0 {
+				time.Sleep(d)
+			}
+		} else {
+			<-tokens
+			st = time.Now()
+		}
+		if _, werr = bw.Write(reqBytes[p.picks[i]]); werr == nil {
+			werr = bw.Flush()
+		}
+		if werr != nil {
+			res.errs += int64(len(idxs) - n)
+			break
+		}
+		starts <- st
+	}
+	close(starts)
+	wg.Wait()
+	return res
+}
+
+// runLoad executes the full measurement: warmup passes over the URL pool,
+// then cfg.Count requests over cfg.Conns pipelined connections, merged
+// into one latency histogram.
+func runLoad(cfg Config) (Record, error) {
+	if cfg.Count <= 0 || cfg.Conns <= 0 || cfg.Depth <= 0 {
+		return Record{}, fmt.Errorf("count, conns, and depth must be positive")
+	}
+	u, err := url.Parse(cfg.Target)
+	if err != nil || u.Host == "" {
+		return Record{}, fmt.Errorf("bad target %q (want http://host:port)", cfg.Target)
+	}
+	if u.Scheme != "http" {
+		return Record{}, fmt.Errorf("target scheme %q unsupported (raw-TCP client speaks http)", u.Scheme)
+	}
+	p, err := buildPlan(cfg)
+	if err != nil {
+		return Record{}, err
+	}
+
+	// Warmup primes every distinct key (family builds, result cache fills,
+	// and — through a router — the owning backend's caches) outside the
+	// measured window.
+	client := &http.Client{Timeout: 30 * time.Second}
+	for pass := 0; pass < max(cfg.Warmup, 1); pass++ {
+		for _, path := range p.urls {
+			resp, err := client.Get(cfg.Target + path)
+			if err != nil {
+				return Record{}, fmt.Errorf("warmup %s: %w", path, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return Record{}, fmt.Errorf("warmup %s: status %d", path, resp.StatusCode)
+			}
+		}
+	}
+
+	reqBytes := make([][]byte, len(p.urls))
+	for i, path := range p.urls {
+		reqBytes[i] = []byte("GET " + path + " HTTP/1.1\r\nHost: " + u.Host + "\r\nUser-Agent: wexpload\r\n\r\n")
+	}
+
+	// Round-robin request indices across connections, preserving global
+	// order within each connection.
+	assign := make([][]int, cfg.Conns)
+	for i := 0; i < cfg.Count; i++ {
+		assign[i%cfg.Conns] = append(assign[i%cfg.Conns], i)
+	}
+
+	base := time.Now()
+	results := make([]connResult, cfg.Conns)
+	var wg sync.WaitGroup
+	for ci := range assign {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			results[ci] = runConn(u.Host, reqBytes, p, assign[ci], base, cfg.Depth)
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(base)
+
+	hist := stats.NewLogHistogram()
+	var errs int64
+	for _, r := range results {
+		hist.Merge(r.hist)
+		errs += r.errs
+	}
+	rec := Record{
+		Label:          cfg.Label,
+		Profile:        cfg.Profile,
+		Rate:           cfg.Rate,
+		Conns:          cfg.Conns,
+		Count:          cfg.Count,
+		NsPerOp:        hist.Mean(),
+		RequestsPerSec: float64(hist.Count()) / elapsed.Seconds(),
+		P50NS:          hist.Quantile(0.50),
+		P90NS:          hist.Quantile(0.90),
+		P99NS:          hist.Quantile(0.99),
+		MaxNS:          hist.Max(),
+		Errors:         errs,
+	}
+	return rec, nil
+}
+
+// identity reports whether two records are the same benchgate identity
+// (all non-timing fields equal).
+func identity(a, b Record) bool {
+	return a.Label == b.Label && a.Profile == b.Profile &&
+		a.Rate == b.Rate && a.Conns == b.Conns && a.Count == b.Count
+}
+
+// writeRecord writes (or, with appendMode, merges) rec into the
+// BENCH_load.json file at path. Merging replaces an existing record with
+// the same identity so re-runs stay benchgate-clean (no duplicates).
+func writeRecord(path string, rec Record, appendMode bool) error {
+	f := loadFile{Schema: loadSchema, Go: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	if appendMode {
+		if data, err := os.ReadFile(path); err == nil {
+			var prev loadFile
+			if err := json.Unmarshal(data, &prev); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if prev.Schema != loadSchema {
+				return fmt.Errorf("%s: schema %q, want %q", path, prev.Schema, loadSchema)
+			}
+			f.Records = prev.Records
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	replaced := false
+	for i := range f.Records {
+		if identity(f.Records[i], rec) {
+			f.Records[i] = rec
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Records = append(f.Records, rec)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

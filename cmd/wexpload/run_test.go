@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wexp/internal/service"
+)
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(service.New(service.Config{Workers: 1}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Profile = "mixed"
+	cfg.Count = 500
+	cfg.Rate = 1000
+	a, err := buildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := buildPlan(cfg)
+	if !reflect.DeepEqual(a.picks, b.picks) || !reflect.DeepEqual(a.sched, b.sched) {
+		t.Fatal("same seed must produce the identical plan")
+	}
+	cfg.Seed = 2
+	c, _ := buildPlan(cfg)
+	if reflect.DeepEqual(a.picks, c.picks) {
+		t.Fatal("different seeds produced the same pick sequence")
+	}
+	// Arrival offsets must be strictly increasing (cumulative positive gaps).
+	for i := 1; i < len(a.sched); i++ {
+		if a.sched[i] <= a.sched[i-1] {
+			t.Fatalf("sched not increasing at %d: %v <= %v", i, a.sched[i], a.sched[i-1])
+		}
+	}
+	if _, err := buildPlan(Config{Profile: "bogus", Count: 1}); err == nil {
+		t.Fatal("bogus profile must error")
+	}
+}
+
+func TestProfileURLsAllServable(t *testing.T) {
+	ts := newBackend(t)
+	for _, profile := range []string{"cached", "mixed"} {
+		urls, err := profileURLs(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range urls {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s %s: status %d: %s", profile, path, resp.StatusCode, body)
+			}
+		}
+	}
+}
+
+func TestClosedLoopAgainstService(t *testing.T) {
+	ts := newBackend(t)
+	cfg := defaultConfig()
+	cfg.Target = ts.URL
+	cfg.Count = 300
+	cfg.Conns = 2
+	cfg.Depth = 8
+	cfg.Warmup = 1
+	rec, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", rec.Errors)
+	}
+	if rec.RequestsPerSec <= 0 || rec.NsPerOp <= 0 {
+		t.Fatalf("degenerate measurement: %+v", rec)
+	}
+	if !(rec.P50NS <= rec.P90NS && rec.P90NS <= rec.P99NS && rec.P99NS <= rec.MaxNS) {
+		t.Fatalf("quantiles not ordered: p50=%d p90=%d p99=%d max=%d",
+			rec.P50NS, rec.P90NS, rec.P99NS, rec.MaxNS)
+	}
+}
+
+func TestOpenLoopAgainstService(t *testing.T) {
+	ts := newBackend(t)
+	cfg := defaultConfig()
+	cfg.Target = ts.URL
+	cfg.Profile = "mixed"
+	cfg.Count = 200
+	cfg.Conns = 2
+	cfg.Depth = 16
+	cfg.Rate = 4000 // fast enough that the test finishes in ~50ms of schedule
+	cfg.Warmup = 1
+	rec, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", rec.Errors)
+	}
+	if rec.Rate != 4000 {
+		t.Fatalf("record rate = %g, want 4000", rec.Rate)
+	}
+}
+
+func TestRunLoadRejectsBadConfig(t *testing.T) {
+	if _, err := runLoad(Config{Target: "http://x", Count: 0, Conns: 1, Depth: 1}); err == nil {
+		t.Error("count=0 must error")
+	}
+	if _, err := runLoad(Config{Target: ":no-scheme", Count: 1, Conns: 1, Depth: 1}); err == nil {
+		t.Error("bad target must error")
+	}
+	if _, err := runLoad(Config{Target: "https://x", Count: 1, Conns: 1, Depth: 1}); err == nil {
+		t.Error("https target must error (raw-TCP client)")
+	}
+}
+
+func TestWriteRecordAppendAndReplace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	a := Record{Label: "single", Profile: "cached", Conns: 4, Count: 100, RequestsPerSec: 10}
+	b := Record{Label: "routed-3", Profile: "cached", Conns: 4, Count: 100, RequestsPerSec: 25}
+	if err := writeRecord(out, a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRecord(out, b, true); err != nil {
+		t.Fatal(err)
+	}
+	// Same identity as a, fresher measurement: must replace, not duplicate
+	// (benchgate rejects duplicate identities).
+	a2 := a
+	a2.RequestsPerSec = 12
+	if err := writeRecord(out, a2, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f loadFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != loadSchema {
+		t.Errorf("schema = %q, want %q", f.Schema, loadSchema)
+	}
+	if len(f.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (replace, not append)", len(f.Records))
+	}
+	if f.Records[0].RequestsPerSec != 12 || f.Records[1].Label != "routed-3" {
+		t.Errorf("unexpected records: %+v", f.Records)
+	}
+	// The on-disk record must carry ns_per_op so benchgate gates it.
+	var probe struct {
+		Records []map[string]json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := probe.Records[0]["ns_per_op"]; !ok {
+		t.Error("record is missing ns_per_op — benchgate would skip it")
+	}
+}

@@ -1,0 +1,51 @@
+// Command wexprouter is the shard router for a fleet of wexpd backends:
+// it places every graph (and every computation addressing one) on a
+// backend by rendezvous hashing of the graph's content digest, coalesces
+// identical concurrent requests at the fleet edge, and optionally replays
+// hot responses from a byte-level edge cache.
+//
+// Usage:
+//
+//	wexprouter -addr :8080 -backends http://127.0.0.1:8081,http://127.0.0.2:8082
+//	wexprouter -addr :8080 -backends ... -edge-cache-mb 64
+//
+// The routed API is the wexpd /v1 API; job IDs gain a b<i>. prefix naming
+// the owning backend. See internal/router/README.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"wexp"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		backends = flag.String("backends", "", "comma-separated wexpd base URLs (required)")
+		cacheMB  = flag.Int64("edge-cache-mb", 0, "edge response cache budget in MiB (0 = disabled)")
+	)
+	flag.Parse()
+
+	var list []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			list = append(list, b)
+		}
+	}
+	cfg := wexp.RouterConfig{Backends: list, CacheBytes: *cacheMB << 20}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("wexprouter: serving on %s over %d backends\n", *addr, len(list))
+	if err := wexp.ServeRouter(ctx, *addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "wexprouter:", err)
+		os.Exit(1)
+	}
+}

@@ -1,27 +1,29 @@
-package service
+// Package flight provides singleflight request coalescing with
+// reference-counted cancellation: concurrent calls with the same key
+// share one execution whose context is cancelled only when every
+// interested caller has cancelled. It is the stdlib-only equivalent of
+// golang.org/x/sync/singleflight, used per node by the wexpd service and
+// lifted to the fleet edge by the shard router — N identical concurrent
+// requests anywhere behind one router still compute once.
+package flight
 
 import (
 	"context"
 	"sync"
 )
 
-// flightGroup coalesces concurrent calls with the same key into one
-// execution whose result every caller receives — the stdlib-only
-// equivalent of golang.org/x/sync/singleflight, extended with
-// reference-counted cancellation: the execution runs under its own
-// context, which is cancelled only when every interested caller has
-// cancelled. One client disconnecting (or one job being deleted) never
-// aborts a computation another caller is still waiting for.
-type flightGroup struct {
+// Group coalesces concurrent Do calls with the same key into one
+// execution whose result every caller receives.
+type Group[T any] struct {
 	mu        sync.Mutex
-	calls     map[string]*flightCall
+	calls     map[string]*call[T]
 	executed  int64 // calls that ran the function
 	coalesced int64 // calls that waited on another call's execution
 }
 
-type flightCall struct {
+type call[T any] struct {
 	done chan struct{} // closed when val/err are final
-	val  []byte
+	val  T
 	err  error
 
 	mu      sync.Mutex
@@ -31,7 +33,7 @@ type flightCall struct {
 
 // drop records that one caller lost interest; the last one out cancels
 // the execution.
-func (c *flightCall) drop() {
+func (c *call[T]) drop() {
 	c.mu.Lock()
 	c.waiters--
 	last := c.waiters == 0
@@ -41,8 +43,9 @@ func (c *flightCall) drop() {
 	}
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+// New returns an empty group.
+func New[T any]() *Group[T] {
+	return &Group[T]{calls: make(map[string]*call[T])}
 }
 
 // Do executes fn once per key at a time: the first caller runs it (under
@@ -51,7 +54,8 @@ func newFlightGroup() *flightGroup {
 // cancelled stops waiting and gets ctx.Err(); the execution itself is
 // cancelled only when no caller remains. The returned bool reports
 // whether this caller was coalesced onto another caller's execution.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, error, bool) {
+func (g *Group[T]) Do(ctx context.Context, key string, fn func(context.Context) (T, error)) (T, error, bool) {
+	var zero T
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -67,19 +71,20 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 			return c.val, c.err, true
 		case <-ctx.Done():
 			c.drop()
-			return nil, ctx.Err(), true
+			return zero, ctx.Err(), true
 		}
 	}
 	runCtx, cancel := context.WithCancel(context.Background())
-	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c := &call[T]{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	g.calls[key] = c
 	g.executed++
 	g.mu.Unlock()
 
 	// The owner executes fn synchronously, so it cannot abandon the flight
 	// early — but its cancellation must still count: a watcher drops the
-	// owner's reference the moment its ctx fires, letting the engines stop
-	// at the next boundary (unless other waiters keep the flight alive).
+	// owner's reference the moment its ctx fires, letting the computation
+	// stop at the next boundary (unless other waiters keep the flight
+	// alive).
 	watcherDone := make(chan struct{})
 	go func() {
 		select {
@@ -100,19 +105,20 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 	// The owner's result respects its own cancellation even if a waiter
 	// kept the execution running to completion.
 	if ctx.Err() != nil && c.err == nil {
-		return nil, ctx.Err(), false
+		return zero, ctx.Err(), false
 	}
 	return c.val, c.err, false
 }
 
-// flightStats snapshots the execution/coalescing counters.
-type flightStats struct {
+// Stats snapshots the execution/coalescing counters.
+type Stats struct {
 	Executed  int64
 	Coalesced int64
 }
 
-func (g *flightGroup) stats() flightStats {
+// Stats returns the counters.
+func (g *Group[T]) Stats() Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return flightStats{Executed: g.executed, Coalesced: g.coalesced}
+	return Stats{Executed: g.executed, Coalesced: g.coalesced}
 }

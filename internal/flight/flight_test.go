@@ -1,0 +1,152 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGroupCoalesces(t *testing.T) {
+	g := New[[]byte]()
+	const n = 16
+	gate := make(chan struct{})
+	arrived := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrived <- struct{}{}
+			val, err, _ := g.Do(nil, "key", func(context.Context) ([]byte, error) {
+				<-gate // hold the first execution until everyone arrived
+				return []byte("value"), nil
+			})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+			results[i] = val
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-arrived
+	}
+	close(gate)
+	wg.Wait()
+	for i, r := range results {
+		if string(r) != "value" {
+			t.Fatalf("call %d got %q", i, r)
+		}
+	}
+	st := g.Stats()
+	if st.Executed+st.Coalesced != n {
+		t.Fatalf("executed %d + coalesced %d != %d calls", st.Executed, st.Coalesced, n)
+	}
+	// The gate guarantees the first call is still executing while the rest
+	// arrive — but a goroutine may be preempted between `arrived` and
+	// `Do`, landing after the flight closed and starting a new execution.
+	// What must never happen is n executions (no coalescing at all).
+	if st.Executed >= n {
+		t.Fatalf("no coalescing happened: %d executions for %d calls", st.Executed, n)
+	}
+}
+
+func TestGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	g := New[[]byte]()
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		val, err, shared := g.Do(nil, key, func(context.Context) ([]byte, error) { return []byte(key), nil })
+		if err != nil || shared || string(val) != key {
+			t.Fatalf("key %s: val=%q err=%v shared=%v", key, val, err, shared)
+		}
+	}
+	if st := g.Stats(); st.Executed != 3 || st.Coalesced != 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+// TestGroupWaiterCancelDoesNotAbortExecution: a waiter abandoning the
+// flight returns its own ctx.Err() while the execution — still wanted by
+// the owner — runs to completion.
+func TestGroupWaiterCancelDoesNotAbortExecution(t *testing.T) {
+	g := New[[]byte]()
+	inFlight := make(chan struct{})
+	gate := make(chan struct{})
+	var ownerVal []byte
+	var ownerErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ownerVal, ownerErr, _ = g.Do(nil, "key", func(runCtx context.Context) ([]byte, error) {
+			close(inFlight)
+			<-gate
+			if runCtx.Err() != nil {
+				return nil, runCtx.Err()
+			}
+			return []byte("value"), nil
+		})
+	}()
+	<-inFlight
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, shared := g.Do(ctx, "key", func(context.Context) ([]byte, error) {
+		t.Error("waiter must not execute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) || !shared {
+		t.Fatalf("cancelled waiter: err=%v shared=%v", err, shared)
+	}
+	close(gate)
+	<-done
+	if ownerErr != nil || string(ownerVal) != "value" {
+		t.Fatalf("owner was disturbed by the waiter's cancellation: val=%q err=%v", ownerVal, ownerErr)
+	}
+}
+
+// TestGroupLastCancelAbortsExecution: when every caller has cancelled,
+// the execution context fires so the computation can stop at the next
+// boundary.
+func TestGroupLastCancelAbortsExecution(t *testing.T) {
+	g := New[[]byte]()
+	inFlight := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, runErr, _ = g.Do(ctx, "key", func(runCtx context.Context) ([]byte, error) {
+			close(inFlight)
+			<-runCtx.Done() // the refcount dropping to zero must fire this
+			return nil, runCtx.Err()
+		})
+	}()
+	<-inFlight
+	cancel() // the sole caller cancels → execution ctx must be cancelled
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("execution context never fired after the last caller cancelled")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", runErr)
+	}
+}
+
+// TestGroupNonByteValue exercises the generic instantiation the router
+// uses (a struct value, not raw bytes).
+func TestGroupNonByteValue(t *testing.T) {
+	type reply struct {
+		Status int
+		Body   string
+	}
+	g := New[reply]()
+	val, err, shared := g.Do(nil, "k", func(context.Context) (reply, error) {
+		return reply{Status: 200, Body: "ok"}, nil
+	})
+	if err != nil || shared || val.Status != 200 || val.Body != "ok" {
+		t.Fatalf("val=%+v err=%v shared=%v", val, err, shared)
+	}
+}

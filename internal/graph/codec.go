@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// binaryMagic tags the pinned v1 binary CSR encoding. The durable
+// content-addressed store writes one file per graph in this format; the
+// magic (with its version digit) is the only compatibility switch, so a
+// future v2 encoding can coexist without ambiguity.
+const binaryMagic = "WEXPCSR1"
+
+// MarshalBinary encodes the graph in the pinned v1 binary CSR layout:
+//
+//	bytes 0..7   magic "WEXPCSR1"
+//	bytes 8..11  n           (uint32 LE)
+//	bytes 12..15 len(adj)    (uint32 LE, = 2m)
+//	then         offsets     ((n+1) × uint32 LE)
+//	then         adj         (len(adj) × uint32 LE)
+//
+// The encoding is a pure function of the canonical CSR form — the same
+// arrays Digest hashes — so for a given graph the bytes are identical
+// across processes, platforms, and releases (pinned by a golden test).
+// MarshalBinary never fails; the error return satisfies
+// encoding.BinaryMarshaler.
+func (g *Graph) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 16+4*(len(g.offsets)+len(g.adj)))
+	buf = append(buf, binaryMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.adj)))
+	for _, o := range g.offsets {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o))
+	}
+	for _, w := range g.adj {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(w))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes the MarshalBinary v1 format, validating the
+// structural invariants of the CSR form (monotone offsets, in-range
+// neighbors, exact length). It does not verify content identity — callers
+// that need tamper detection recompute Digest on the decoded graph and
+// compare, which subsumes any embedded checksum.
+func UnmarshalBinary(data []byte) (*Graph, error) {
+	if len(data) < 16 || string(data[:8]) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad binary header (want magic %q)", binaryMagic)
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:12]))
+	arcs := int(binary.LittleEndian.Uint32(data[12:16]))
+	if arcs%2 != 0 {
+		return nil, fmt.Errorf("graph: odd arc count %d", arcs)
+	}
+	want := 16 + 4*(n+1+arcs)
+	if n < 0 || arcs < 0 || len(data) != want {
+		return nil, fmt.Errorf("graph: binary length %d, want %d for n=%d arcs=%d", len(data), want, n, arcs)
+	}
+	offsets := make([]int32, n+1)
+	p := 16
+	for i := range offsets {
+		offsets[i] = int32(binary.LittleEndian.Uint32(data[p:]))
+		p += 4
+	}
+	if offsets[0] != 0 || int(offsets[n]) != arcs {
+		return nil, fmt.Errorf("graph: offsets span [%d,%d], want [0,%d]", offsets[0], offsets[n], arcs)
+	}
+	for i := 0; i < n; i++ {
+		if offsets[i] > offsets[i+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at vertex %d", i)
+		}
+	}
+	adj := make([]int32, arcs)
+	for i := range adj {
+		w := binary.LittleEndian.Uint32(data[p:])
+		if int(w) >= n {
+			return nil, fmt.Errorf("graph: neighbor %d out of range [0,%d)", w, n)
+		}
+		adj[i] = int32(w)
+		p += 4
+	}
+	return &Graph{n: n, m: arcs / 2, offsets: offsets, adj: adj}, nil
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// TestBinaryGolden pins the v1 binary CSR encoding byte for byte: the
+// durable store's graph files must stay readable across releases, so any
+// change here is a format break and needs a new magic, not an edit.
+func TestBinaryGolden(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	g := b.Build()
+	got, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	const golden = "5745585043535231" + // magic "WEXPCSR1"
+		"03000000" + "04000000" + // n=3, arcs=4
+		"00000000010000000300000004000000" + // offsets 0,1,3,4
+		"01000000000000000200000001000000" // adj 1,0,2,1
+	want, _ := hex.DecodeString(golden)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding drifted from the pinned v1 layout:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestBinaryRoundTrip checks encode→decode identity (digest-level) across
+// a spread of shapes, including the empty and edgeless graphs.
+func TestBinaryRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		NewBuilder(0).Build(),
+		NewBuilder(5).Build(),
+		func() *Graph {
+			b := NewBuilder(6)
+			for u := 0; u < 6; u++ {
+				for v := u + 1; v < 6; v++ {
+					b.MustAddEdge(u, v)
+				}
+			}
+			return b.Build()
+		}(),
+		func() *Graph {
+			b := NewBuilder(70) // multiword-regime size
+			for v := 1; v < 70; v++ {
+				b.MustAddEdge(v-1, v)
+			}
+			b.MustAddEdge(0, 69)
+			return b.Build()
+		}(),
+	}
+	for _, g := range graphs {
+		data, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary(%v): %v", g, err)
+		}
+		back, err := UnmarshalBinary(data)
+		if err != nil {
+			t.Fatalf("UnmarshalBinary(%v): %v", g, err)
+		}
+		if Digest(back) != Digest(g) {
+			t.Fatalf("round trip changed digest for %v", g)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape: %v → %v", g, back)
+		}
+	}
+}
+
+// TestBinaryDecodeRejects feeds structural corruptions to the decoder;
+// every one must come back a clean error, never a panic or a bad graph.
+func TestBinaryDecodeRejects(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	good, _ := b.Build().MarshalBinary()
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"short":        good[:10],
+		"bad magic":    append([]byte("WEXPCSR9"), good[8:]...),
+		"truncated":    good[:len(good)-4],
+		"trailing":     append(append([]byte{}, good...), 0, 0, 0, 0),
+		"neighbor oob": func() []byte { c := append([]byte{}, good...); c[len(c)-4] = 0xEE; return c }(),
+		"offsets skew": func() []byte { c := append([]byte{}, good...); c[16] = 9; return c }(),
+	}
+	for name, data := range cases {
+		if g, err := UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: decoded %v, want error", name, g)
+		}
+	}
+}

@@ -1,18 +1,16 @@
-package service
+// Package lru provides the byte-budgeted LRU body cache shared by the
+// wexpd result cache and the shard router's edge cache: canonical
+// request key → the exact response bytes served for it. Storing bodies
+// (rather than decoded results) is what makes the caching contract
+// byte-level: a hit replays the previous response verbatim.
+package lru
 
 import (
 	"container/list"
 	"sync"
 )
 
-// DefaultCacheBytes bounds the result cache when Config.CacheBytes is
-// zero: 64 MiB of response bodies.
-const DefaultCacheBytes = 64 << 20
-
-// Cache is the memoized result cache: canonical request key → the exact
-// response body served for it. Eviction is LRU by total byte size. Storing
-// bodies (rather than decoded results) is what makes the caching contract
-// byte-level: a hit replays the previous response verbatim.
+// Cache is a thread-safe LRU of byte values bounded by total byte size.
 type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
@@ -25,16 +23,16 @@ type Cache struct {
 	evictions int64
 }
 
-type cacheEntry struct {
+type entry struct {
 	key string
 	val []byte
 }
 
-// NewCache returns a cache bounded to maxBytes of stored values (0 means
-// DefaultCacheBytes).
-func NewCache(maxBytes int64) *Cache {
+// New returns a cache bounded to maxBytes of stored values. maxBytes
+// must be positive; callers map their own zero-default before calling.
+func New(maxBytes int64) *Cache {
 	if maxBytes <= 0 {
-		maxBytes = DefaultCacheBytes
+		panic("lru: non-positive byte budget")
 	}
 	return &Cache{
 		maxBytes: maxBytes,
@@ -43,17 +41,17 @@ func NewCache(maxBytes int64) *Cache {
 	}
 }
 
-// Get returns the cached body for key, marking it most recently used and
+// Get returns the cached value for key, marking it most recently used and
 // counting a hit or a miss.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	return c.lookup(key, true)
 }
 
-// peek is Get without the miss accounting: used for the double-check
-// inside a singleflight execution, whose request already recorded its miss
-// before entering the flight. A find still counts as a hit (bytes are
-// served from cache) and refreshes recency.
-func (c *Cache) peek(key string) ([]byte, bool) {
+// Peek is Get without the miss accounting: used for the double-check
+// inside a singleflight execution, whose request already recorded its
+// miss before entering the flight. A find still counts as a hit (bytes
+// are served from cache) and refreshes recency.
+func (c *Cache) Peek(key string) ([]byte, bool) {
 	return c.lookup(key, false)
 }
 
@@ -69,12 +67,12 @@ func (c *Cache) lookup(key string, countMiss bool) ([]byte, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	return el.Value.(*entry).val, true
 }
 
-// Put stores the body for key and evicts least-recently-used entries until
-// the byte budget holds. A value larger than the whole budget is not
-// cached at all (it would only evict everything else for one entry).
+// Put stores the value for key and evicts least-recently-used entries
+// until the byte budget holds. A value larger than the whole budget is
+// not cached at all (it would only evict everything else for one entry).
 func (c *Cache) Put(key string, val []byte) {
 	if int64(len(val)) > c.maxBytes {
 		return
@@ -82,12 +80,12 @@ func (c *Cache) Put(key string, val []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		e := el.Value.(*cacheEntry)
+		e := el.Value.(*entry)
 		c.curBytes += int64(len(val)) - int64(len(e.val))
 		e.val = val
 		c.ll.MoveToFront(el)
 	} else {
-		el := c.ll.PushFront(&cacheEntry{key: key, val: val})
+		el := c.ll.PushFront(&entry{key: key, val: val})
 		c.items[key] = el
 		c.curBytes += int64(len(val))
 	}
@@ -96,7 +94,7 @@ func (c *Cache) Put(key string, val []byte) {
 		if back == nil {
 			break
 		}
-		e := back.Value.(*cacheEntry)
+		e := back.Value.(*entry)
 		c.ll.Remove(back)
 		delete(c.items, e.key)
 		c.curBytes -= int64(len(e.val))
@@ -111,8 +109,8 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// CacheStats is a point-in-time snapshot of the cache counters.
-type CacheStats struct {
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
 	Entries   int
 	Bytes     int64
 	Hits      int64
@@ -121,10 +119,10 @@ type CacheStats struct {
 }
 
 // Stats snapshots the counters.
-func (c *Cache) Stats() CacheStats {
+func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
+	return Stats{
 		Entries:   c.ll.Len(),
 		Bytes:     c.curBytes,
 		Hits:      c.hits,

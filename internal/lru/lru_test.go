@@ -1,0 +1,93 @@
+package lru
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := New(100)
+	val := bytes.Repeat([]byte("x"), 40)
+	c.Put("a", val)
+	c.Put("b", val)
+	// Touch "a" so "b" is the LRU victim when "c" overflows the budget.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", val)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Fatalf("stats wrong after eviction: %+v", st)
+	}
+}
+
+func TestOversizedValueNotCached(t *testing.T) {
+	c := New(10)
+	c.Put("huge", bytes.Repeat([]byte("x"), 11))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("value larger than the budget must not be cached")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := New(100)
+	c.Put("k", []byte("short"))
+	c.Put("k", []byte("a-longer-value"))
+	got, ok := c.Get("k")
+	if !ok || string(got) != "a-longer-value" {
+		t.Fatalf("got %q %v", got, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != int64(len("a-longer-value")) {
+		t.Fatalf("stats wrong after update: %+v", st)
+	}
+}
+
+func TestPeekDoesNotCountMiss(t *testing.T) {
+	c := New(100)
+	if _, ok := c.Peek("absent"); ok {
+		t.Fatal("peek hit on empty cache")
+	}
+	if st := c.Stats(); st.Misses != 0 {
+		t.Fatalf("peek counted a miss: %+v", st)
+	}
+	c.Put("k", []byte("v"))
+	if _, ok := c.Peek("k"); !ok {
+		t.Fatal("peek missed a present key")
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("peek find must count as a hit: %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%17)
+				c.Put(key, []byte(key))
+				if v, ok := c.Get(key); ok && string(v) != key {
+					t.Errorf("corrupt value for %s: %q", key, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,46 @@
+// Package router implements wexprouter, the shard router in front of a
+// fleet of wexpd backends. Graphs — and every computation addressing a
+// graph — are placed on a backend by rendezvous (highest-random-weight)
+// hashing of the graph's content digest, so:
+//
+//   - placement is a pure function of (backend list, key): every router
+//     instance, and every restart, routes a digest to the same backend —
+//     no shared state, no rebalancing protocol;
+//   - each backend's content-addressed store and result cache only ever
+//     see its own shard of the digest space, multiplying the fleet's
+//     effective cache capacity instead of replicating one cache N times;
+//   - removing a backend remaps only the keys it owned (≈1/N of the
+//     space); every other key keeps its placement — the minimal-churn
+//     property the property tests pin.
+//
+// The router also lifts request coalescing to the fleet edge: N identical
+// concurrent requests collapse to one forwarded request (and therefore
+// one engine computation fleet-wide), and an optional byte-level edge
+// cache replays hot responses without a backend round trip — sound for
+// the same reason the backend cache is: response bodies are deterministic
+// functions of the canonical request.
+package router
+
+import "hash/fnv"
+
+// Place returns the index of the backend that owns key under rendezvous
+// hashing: the backend whose hash(backend, key) score is highest. It is a
+// pure function of its arguments — no state, no history. Ties (which need
+// a hash collision) break toward the lexicographically smallest backend
+// name so the choice stays total and deterministic. An empty backend list
+// returns -1.
+func Place(backends []string, key string) int {
+	best := -1
+	var bestScore uint64
+	for i, b := range backends {
+		h := fnv.New64a()
+		h.Write([]byte(b))
+		h.Write([]byte{0}) // separate backend from key: no concatenation aliasing
+		h.Write([]byte(key))
+		score := h.Sum64()
+		if best == -1 || score > bestScore || (score == bestScore && b < backends[best]) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPlaceGolden pins placement for a fixed fleet: the function must
+// stay a pure, stable function of (backends, key) across refactors —
+// changing it silently would re-shard every deployed fleet's stores.
+func TestPlaceGolden(t *testing.T) {
+	backends := []string{"http://10.0.0.1:8080", "http://10.0.0.2:8080", "http://10.0.0.3:8080"}
+	golden := []struct {
+		key  string
+		want int
+	}{
+		{"0f7c3e2a9d1b4c5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f708192a3b4c5d6", 1},
+		{"family:hypercube/10", 2},
+		{"family:torus/32", 2},
+		{"experiments:ids=E2&quick=1", 0},
+		{"abc", 2},
+		{"", 1},
+		{"job-000001", 1},
+	}
+	for _, g := range golden {
+		if got := Place(backends, g.key); got != g.want {
+			t.Errorf("Place(%q) = %d, want %d", g.key, got, g.want)
+		}
+	}
+	if Place(nil, "anything") != -1 {
+		t.Error("empty backend list must place to -1")
+	}
+}
+
+// TestPlacePurity: repeated evaluation and backend-order permutation give
+// the same owner (placement depends on the URL strings, not their order).
+func TestPlacePurity(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	permuted := []string{"http://d:1", "http://b:1", "http://a:1", "http://c:1"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		first := Place(backends, key)
+		if again := Place(backends, key); again != first {
+			t.Fatalf("Place(%q) not deterministic: %d then %d", key, first, again)
+		}
+		if backends[first] != permuted[Place(permuted, key)] {
+			t.Fatalf("Place(%q) depends on backend order", key)
+		}
+	}
+}
+
+// TestPlaceRemovalChurn pins the rendezvous minimal-churn property: when
+// one backend leaves, only the keys it owned move; every other key keeps
+// its backend. The moved fraction stays near 1/N (within a generous
+// tolerance — FNV over short keys is not a perfect die).
+func TestPlaceRemovalChurn(t *testing.T) {
+	full := []string{"http://s0:1", "http://s1:1", "http://s2:1", "http://s3:1", "http://s4:1"}
+	const keys = 2000
+	for removed := 0; removed < len(full); removed++ {
+		reduced := append(append([]string(nil), full[:removed]...), full[removed+1:]...)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("digest-%d-%d", i, i*i)
+			before := Place(full, key)
+			after := Place(reduced, key)
+			if before == removed {
+				moved++
+				continue
+			}
+			// Survivor keys must not move: same backend URL before and after.
+			if full[before] != reduced[after] {
+				t.Fatalf("key %q moved from surviving backend %s to %s when %s left",
+					key, full[before], reduced[after], full[removed])
+			}
+		}
+		// The removed backend owned ≈ keys/5; its keys are the only ones
+		// that moved. Bound the owned share to [1/2, 2]× fair share to
+		// catch gross hash-quality or tie-break regressions.
+		fair := keys / len(full)
+		if moved < fair/2 || moved > 2*fair {
+			t.Fatalf("backend %d owned %d of %d keys, expected ≈%d (hash imbalance)",
+				removed, moved, keys, fair)
+		}
+	}
+}
+
+// FuzzPlace: for arbitrary keys, placement is in range, deterministic,
+// and minimally churning under removal of a non-owner.
+func FuzzPlace(f *testing.F) {
+	f.Add("seed-key")
+	f.Add("")
+	f.Add("family:hypercube/10")
+	backends := []string{"http://s0:1", "http://s1:1", "http://s2:1", "http://s3:1"}
+	f.Fuzz(func(t *testing.T, key string) {
+		idx := Place(backends, key)
+		if idx < 0 || idx >= len(backends) {
+			t.Fatalf("Place(%q) = %d out of range", key, idx)
+		}
+		if Place(backends, key) != idx {
+			t.Fatalf("Place(%q) not deterministic", key)
+		}
+		// Remove a backend that is NOT the owner: the owner must not change.
+		victim := (idx + 1) % len(backends)
+		reduced := append(append([]string(nil), backends[:victim]...), backends[victim+1:]...)
+		if backends[idx] != reduced[Place(reduced, key)] {
+			t.Fatalf("Place(%q): owner changed when a non-owner left", key)
+		}
+	})
+}

@@ -1,0 +1,525 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"wexp/internal/flight"
+	"wexp/internal/graph"
+	"wexp/internal/lru"
+	"wexp/internal/service"
+)
+
+// maxUploadBytes bounds graph uploads, mirroring the backend's bound.
+const maxUploadBytes = 32 << 20
+
+// Config tunes the router. Backends is required; everything else has a
+// working zero value.
+type Config struct {
+	// Backends is the static list of wexpd base URLs (e.g.
+	// "http://127.0.0.1:8081") the digest space is sharded across. Order
+	// matters only for the b<i> job-ID prefixes; placement depends on the
+	// URL strings themselves.
+	Backends []string
+	// CacheBytes enables the byte-level edge response cache with the given
+	// budget. 0 disables it (the router still coalesces identical
+	// in-flight requests).
+	CacheBytes int64
+	// Client performs the forwarded requests (nil = a client with no
+	// timeout — jobs and cold computations can legitimately take long).
+	Client *http.Client
+}
+
+// backend is one wexpd instance plus its request counters.
+type backend struct {
+	url       string
+	requests  atomic.Int64
+	errors    atomic.Int64
+	latencyNS atomic.Int64
+}
+
+// Router is the shard-routing http.Handler.
+type Router struct {
+	backends []*backend
+	urls     []string // backend URLs, aligned with backends; the Place input
+	client   *http.Client
+	flight   *flight.Group[proxyReply]
+	cache    *lru.Cache // nil = edge cache disabled
+	mux      *http.ServeMux
+}
+
+// proxyReply is a captured backend response — the unit the edge
+// singleflight shares and the edge cache stores (status 200 only).
+type proxyReply struct {
+	Status      int
+	ContentType string
+	XCache      string
+	Body        []byte
+}
+
+// New validates cfg and returns a ready-to-serve Router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: no backends configured")
+	}
+	seen := map[string]bool{}
+	rt := &Router{
+		client: cfg.Client,
+		flight: flight.New[proxyReply](),
+		mux:    http.NewServeMux(),
+	}
+	for _, raw := range cfg.Backends {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" || seen[u] {
+			return nil, fmt.Errorf("router: empty or duplicate backend %q", raw)
+		}
+		seen[u] = true
+		rt.backends = append(rt.backends, &backend{url: u})
+		rt.urls = append(rt.urls, u)
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	if cfg.CacheBytes > 0 {
+		rt.cache = lru.New(cfg.CacheBytes)
+	}
+	rt.routes()
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+func (rt *Router) routes() {
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+
+	rt.mux.HandleFunc("POST /v1/graphs", rt.handleGraphPut)
+	rt.mux.HandleFunc("GET /v1/graphs", rt.handleGraphList)
+	rt.mux.HandleFunc("GET /v1/graphs/{digest}", rt.handleGraphByDigest)
+	rt.mux.HandleFunc("GET /v1/graphs/{digest}/edges", rt.handleGraphByDigest)
+
+	rt.mux.HandleFunc("GET /v1/expansion", rt.handleCompute)
+	rt.mux.HandleFunc("GET /v1/spokesman", rt.handleCompute)
+	rt.mux.HandleFunc("GET /v1/broadcast", rt.handleCompute)
+	rt.mux.HandleFunc("POST /v1/experiments", rt.handleExperiments)
+
+	rt.mux.HandleFunc("GET /v1/jobs", rt.handleJobList)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/result", rt.handleJob)
+	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleJob)
+}
+
+// --- plumbing ----------------------------------------------------------------
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func qBool(q url.Values, key string) bool {
+	switch strings.ToLower(q.Get(key)) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// forward sends one request to backend idx and captures the reply,
+// recording the per-backend counters. Transport failures and backend 5xx
+// both count as errors.
+func (rt *Router) forward(idx int, method, pathq string, body []byte) (proxyReply, error) {
+	b := rt.backends[idx]
+	b.requests.Add(1)
+	start := time.Now()
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, b.url+pathq, reader)
+	if err != nil {
+		b.errors.Add(1)
+		return proxyReply{}, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		b.errors.Add(1)
+		return proxyReply{}, fmt.Errorf("router: backend %d (%s): %v", idx, b.url, err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	b.latencyNS.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		b.errors.Add(1)
+		return proxyReply{}, fmt.Errorf("router: read backend %d response: %v", idx, err)
+	}
+	if resp.StatusCode >= 500 {
+		b.errors.Add(1)
+	}
+	return proxyReply{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		XCache:      resp.Header.Get("X-Cache"),
+		Body:        respBody,
+	}, nil
+}
+
+// writeReply relays a captured backend response, stamping which backend
+// served it and how the edge handled it (proxy, coalesced, or edge-hit).
+func writeReply(w http.ResponseWriter, rep proxyReply, idx int, edge string) {
+	if rep.ContentType != "" {
+		w.Header().Set("Content-Type", rep.ContentType)
+	}
+	if rep.XCache != "" {
+		w.Header().Set("X-Cache", rep.XCache)
+	}
+	w.Header().Set("X-Backend", strconv.Itoa(idx))
+	w.Header().Set("X-Edge", edge)
+	w.WriteHeader(rep.Status)
+	w.Write(rep.Body)
+}
+
+// relay forwards without coalescing or caching (mutating or job-creating
+// requests), rewriting any job view in the response with the backend's
+// ID prefix.
+func (rt *Router) relay(w http.ResponseWriter, idx int, method, pathq string, body []byte) {
+	rep, err := rt.forward(idx, method, pathq, body)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	rep.Body = rt.rewriteJobBody(rep.Body, idx)
+	writeReply(w, rep, idx, "proxy")
+}
+
+// serveCoalesced serves an idempotent, deterministic GET through the edge
+// cache (if enabled) and the edge singleflight: identical concurrent
+// requests across all clients of this router collapse to one forwarded
+// request — and, combined with the backend's own singleflight, one engine
+// computation fleet-wide.
+func (rt *Router) serveCoalesced(w http.ResponseWriter, r *http.Request, idx int, pathq string) {
+	if rt.cache != nil {
+		if body, ok := rt.cache.Get(pathq); ok {
+			writeReply(w, proxyReply{Status: http.StatusOK, ContentType: "application/json", Body: body}, idx, "hit")
+			return
+		}
+	}
+	rep, err, shared := rt.flight.Do(r.Context(), pathq, func(context.Context) (proxyReply, error) {
+		rep, err := rt.forward(idx, http.MethodGet, pathq, nil)
+		if err == nil && rep.Status == http.StatusOK && rt.cache != nil {
+			rt.cache.Put(pathq, rep.Body)
+		}
+		return rep, err
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	edge := "miss"
+	if shared {
+		edge = "coalesced"
+	}
+	writeReply(w, rep, idx, edge)
+}
+
+// --- routing keys ------------------------------------------------------------
+
+// routeKey derives the placement key of a request that addresses a graph:
+// the digest itself, or the family/size pair (which the owning backend
+// resolves to the same digest deterministically, so both spellings of the
+// same graph land together once stored — family keys route the *build*;
+// after that, digest-addressed requests may name any backend's store, and
+// each family instance lives where its family key routes).
+func routeKey(q url.Values) (string, error) {
+	if d := q.Get("graph"); d != "" {
+		return d, nil
+	}
+	if f := q.Get("family"); f != "" {
+		return "family:" + f + "/" + q.Get("size"), nil
+	}
+	return "", fmt.Errorf("missing graph=<digest> or family=<name>&size=<n>")
+}
+
+// place maps a key to its owning backend index.
+func (rt *Router) place(key string) int { return Place(rt.urls, key) }
+
+// canonicalPathQ rebuilds the forwarded path?query with the query in
+// url.Values.Encode's sorted key order — the canonical form, so query
+// permutations of one request share an edge-cache entry and a flight.
+func canonicalPathQ(r *http.Request) string {
+	q := r.URL.Query()
+	if len(q) == 0 {
+		return r.URL.Path
+	}
+	return r.URL.Path + "?" + q.Encode()
+}
+
+// --- graphs ------------------------------------------------------------------
+
+func (rt *Router) handleGraphPut(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("family") != "" {
+		key, _ := routeKey(q)
+		rt.relay(w, rt.place(key), http.MethodPost, canonicalPathQ(r), nil)
+		return
+	}
+	// An upload routes by content: parse the edge list here to compute the
+	// digest the owning backend will store it under.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read upload: %v", err)
+		return
+	}
+	g, err := graph.ReadEdgeList(bytes.NewReader(body))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parse edge list: %v", err)
+		return
+	}
+	rt.relay(w, rt.place(graph.DigestString(g)), http.MethodPost, canonicalPathQ(r), body)
+}
+
+func (rt *Router) handleGraphByDigest(w http.ResponseWriter, r *http.Request) {
+	rt.serveCoalesced(w, r, rt.place(r.PathValue("digest")), canonicalPathQ(r))
+}
+
+// handleGraphList fans out to every backend and merges the shards into
+// one deterministic listing (sorted by digest, like a single node's).
+func (rt *Router) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	type listing struct {
+		Count  int                   `json:"count"`
+		Graphs []service.StoredGraph `json:"graphs"`
+	}
+	var merged []service.StoredGraph
+	for idx := range rt.backends {
+		rep, err := rt.forward(idx, http.MethodGet, "/v1/graphs", nil)
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		if rep.Status != http.StatusOK {
+			writeErr(w, http.StatusBadGateway, "backend %d listing: status %d", idx, rep.Status)
+			return
+		}
+		var l listing
+		if err := json.Unmarshal(rep.Body, &l); err != nil {
+			writeErr(w, http.StatusBadGateway, "backend %d listing: %v", idx, err)
+			return
+		}
+		merged = append(merged, l.Graphs...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Digest < merged[j].Digest })
+	w.Header().Set("Content-Type", "application/json")
+	body, _ := json.Marshal(listing{Count: len(merged), Graphs: merged})
+	w.Write(body)
+}
+
+// --- computations ------------------------------------------------------------
+
+func (rt *Router) handleCompute(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key, err := routeKey(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	idx := rt.place(key)
+	if qBool(q, "async") {
+		rt.relay(w, idx, http.MethodGet, canonicalPathQ(r), nil)
+		return
+	}
+	rt.serveCoalesced(w, r, idx, canonicalPathQ(r))
+}
+
+// handleExperiments routes a suite run by its canonical parameter set (no
+// graph digest is involved — the suite generates its own graphs), so
+// repeated runs of one configuration land on one backend and memoize.
+func (rt *Router) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	canon := url.Values{}
+	for _, k := range []string{"ids", "seed", "quick", "trials"} {
+		if v := q.Get(k); v != "" {
+			canon.Set(k, v)
+		}
+	}
+	rt.relay(w, rt.place("experiments:"+canon.Encode()), http.MethodPost, canonicalPathQ(r), nil)
+}
+
+// --- jobs --------------------------------------------------------------------
+
+// Job IDs are per-backend sequences; the router namespaces them with a
+// b<idx>. prefix ("b2.job-000017") so a fleet-wide job ID names both the
+// backend and its local job. splitJobRef inverts the prefix.
+func splitJobRef(id string) (int, string, bool) {
+	rest, ok := strings.CutPrefix(id, "b")
+	if !ok {
+		return 0, "", false
+	}
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 {
+		return 0, "", false
+	}
+	idx, err := strconv.Atoi(rest[:dot])
+	if err != nil || idx < 0 {
+		return 0, "", false
+	}
+	return idx, rest[dot+1:], true
+}
+
+// rewriteJobView namespaces one job view in place.
+func rewriteJobView(v *service.JobView, idx int) {
+	v.ID = fmt.Sprintf("b%d.%s", idx, v.ID)
+	if v.ResultURL != "" {
+		v.ResultURL = "/v1/jobs/" + v.ID + "/result"
+	}
+}
+
+// rewriteJobBody namespaces a single-job response body (202 Accepted,
+// job views, cancellations). Non-job bodies pass through untouched.
+func (rt *Router) rewriteJobBody(body []byte, idx int) []byte {
+	var v service.JobView
+	if err := json.Unmarshal(body, &v); err != nil || v.ID == "" || v.State == "" {
+		return body
+	}
+	rewriteJobView(&v, idx)
+	out, err := json.Marshal(v)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	idx, localID, ok := splitJobRef(r.PathValue("id"))
+	if !ok || idx >= len(rt.backends) {
+		writeErr(w, http.StatusNotFound, "unknown job %s (router IDs look like b0.job-000001)", r.PathValue("id"))
+		return
+	}
+	pathq := strings.Replace(r.URL.Path, r.PathValue("id"), localID, 1)
+	rep, err := rt.forward(idx, r.Method, pathq, nil)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	// Result bodies are the computation's bytes — relayed verbatim so a
+	// routed fleet is byte-identical to a single node. Everything else is
+	// a job view that needs its fleet-wide name back.
+	if !strings.HasSuffix(pathq, "/result") {
+		rep.Body = rt.rewriteJobBody(rep.Body, idx)
+	}
+	writeReply(w, rep, idx, "proxy")
+}
+
+func (rt *Router) handleJobList(w http.ResponseWriter, r *http.Request) {
+	type listing struct {
+		Count int               `json:"count"`
+		Jobs  []service.JobView `json:"jobs"`
+	}
+	var merged []service.JobView
+	for idx := range rt.backends {
+		rep, err := rt.forward(idx, http.MethodGet, "/v1/jobs", nil)
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		if rep.Status != http.StatusOK {
+			writeErr(w, http.StatusBadGateway, "backend %d jobs: status %d", idx, rep.Status)
+			return
+		}
+		var l listing
+		if err := json.Unmarshal(rep.Body, &l); err != nil {
+			writeErr(w, http.StatusBadGateway, "backend %d jobs: %v", idx, err)
+			return
+		}
+		for i := range l.Jobs {
+			rewriteJobView(&l.Jobs[i], idx)
+		}
+		merged = append(merged, l.Jobs...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	w.Header().Set("Content-Type", "application/json")
+	body, _ := json.Marshal(listing{Count: len(merged), Jobs: merged})
+	w.Write(body)
+}
+
+// --- health and metrics ------------------------------------------------------
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "backends": len(rt.backends)})
+}
+
+// BackendMetrics is one backend's counters as seen from the router.
+type BackendMetrics struct {
+	URL       string
+	Requests  int64
+	Errors    int64
+	LatencyNS int64
+}
+
+// Metrics is a point-in-time snapshot of the router counters.
+type Metrics struct {
+	Backends []BackendMetrics
+	// Coalesced counts requests served by waiting on another request's
+	// in-flight forward; Forwards counts edge singleflight executions.
+	Coalesced int64
+	Forwards  int64
+	// Edge cache counters (all zero when the edge cache is disabled).
+	EdgeHits      int64
+	EdgeMisses    int64
+	EdgeEntries   int64
+	EdgeBytes     int64
+	EdgeEvictions int64
+}
+
+// Snapshot collects the current metrics.
+func (rt *Router) Snapshot() Metrics {
+	fs := rt.flight.Stats()
+	m := Metrics{Coalesced: fs.Coalesced, Forwards: fs.Executed}
+	if rt.cache != nil {
+		cs := rt.cache.Stats()
+		m.EdgeHits, m.EdgeMisses = cs.Hits, cs.Misses
+		m.EdgeEntries, m.EdgeBytes, m.EdgeEvictions = int64(cs.Entries), cs.Bytes, cs.Evictions
+	}
+	for _, b := range rt.backends {
+		m.Backends = append(m.Backends, BackendMetrics{
+			URL:       b.url,
+			Requests:  b.requests.Load(),
+			Errors:    b.errors.Load(),
+			LatencyNS: b.latencyNS.Load(),
+		})
+	}
+	return m
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := rt.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "wexprouter_backends %d\n", len(m.Backends))
+	fmt.Fprintf(w, "wexprouter_coalesced_requests %d\n", m.Coalesced)
+	fmt.Fprintf(w, "wexprouter_edge_cache_bytes %d\n", m.EdgeBytes)
+	fmt.Fprintf(w, "wexprouter_edge_cache_entries %d\n", m.EdgeEntries)
+	fmt.Fprintf(w, "wexprouter_edge_cache_evictions %d\n", m.EdgeEvictions)
+	fmt.Fprintf(w, "wexprouter_edge_cache_hits %d\n", m.EdgeHits)
+	fmt.Fprintf(w, "wexprouter_edge_cache_misses %d\n", m.EdgeMisses)
+	fmt.Fprintf(w, "wexprouter_forwards %d\n", m.Forwards)
+	for i, b := range m.Backends {
+		fmt.Fprintf(w, "wexprouter_backend_requests{backend=\"%d\",url=%q} %d\n", i, b.URL, b.Requests)
+	}
+	for i, b := range m.Backends {
+		fmt.Fprintf(w, "wexprouter_backend_errors{backend=\"%d\",url=%q} %d\n", i, b.URL, b.Errors)
+	}
+	for i, b := range m.Backends {
+		fmt.Fprintf(w, "wexprouter_backend_latency_ns{backend=\"%d\",url=%q} %d\n", i, b.URL, b.LatencyNS)
+	}
+}

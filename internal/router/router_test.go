@@ -1,0 +1,322 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/service"
+)
+
+// newFleet starts n in-process wexpd backends and a router over them.
+func newFleet(t *testing.T, n int, cacheBytes int64) ([]*service.Server, *Router, *httptest.Server) {
+	t.Helper()
+	var servers []*service.Server
+	var urls []string
+	for i := 0; i < n; i++ {
+		s := service.New(service.Config{Workers: 1})
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		servers = append(servers, s)
+		urls = append(urls, ts.URL)
+	}
+	rt, err := New(Config{Backends: urls, CacheBytes: cacheBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+	return servers, rt, front
+}
+
+func get(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+func doReq(t *testing.T, method, url string, body io.Reader) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestUploadRoutesByContent: an uploaded graph lands on exactly the
+// backend rendezvous hashing assigns its digest, re-upload dedupes
+// through the router, and digest reads route back to the owner.
+func TestUploadRoutesByContent(t *testing.T) {
+	servers, rt, front := newFleet(t, 3, 0)
+	var edges bytes.Buffer
+	if err := graph.WriteEdgeList(&edges, gen.Hypercube(3)); err != nil {
+		t.Fatal(err)
+	}
+	payload := edges.Bytes()
+
+	code, body := doReq(t, "POST", front.URL+"/v1/graphs", bytes.NewReader(payload))
+	if code != http.StatusCreated {
+		t.Fatalf("upload via router: %d %s", code, body)
+	}
+	var put struct {
+		Digest  string `json:"digest"`
+		Existed bool   `json:"existed"`
+	}
+	if err := json.Unmarshal(body, &put); err != nil {
+		t.Fatal(err)
+	}
+	owner := rt.place(put.Digest)
+	for i, s := range servers {
+		want := 0
+		if i == owner {
+			want = 1
+		}
+		if got := s.Snapshot().Graphs; got != int64(want) {
+			t.Fatalf("backend %d holds %d graphs, want %d (owner %d)", i, got, want, owner)
+		}
+	}
+
+	if code, body = doReq(t, "POST", front.URL+"/v1/graphs", bytes.NewReader(payload)); code != http.StatusOK {
+		t.Fatalf("re-upload: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &put); err != nil || !put.Existed {
+		t.Fatalf("re-upload did not dedupe: %s (err %v)", body, err)
+	}
+
+	code, viaRouter, hdr := get(t, front.URL+"/v1/graphs/"+put.Digest)
+	if code != http.StatusOK {
+		t.Fatalf("digest read via router: %d", code)
+	}
+	if hdr.Get("X-Backend") != fmt.Sprint(owner) {
+		t.Fatalf("digest read served by backend %s, want %d", hdr.Get("X-Backend"), owner)
+	}
+	var fleetList struct {
+		Count int `json:"count"`
+	}
+	_, listBody, _ := get(t, front.URL+"/v1/graphs")
+	if err := json.Unmarshal(listBody, &fleetList); err != nil || fleetList.Count != 1 {
+		t.Fatalf("merged listing: %s", listBody)
+	}
+	_ = viaRouter
+}
+
+// TestRoutedComputeByteIdentical: the same request through the router and
+// against a standalone single node produce byte-identical bodies — the
+// fleet is a transparent scale-out, not a different service.
+func TestRoutedComputeByteIdentical(t *testing.T) {
+	_, _, front := newFleet(t, 3, 0)
+	q := "/v1/expansion?family=hypercube&size=3&obj=wireless"
+	code, routed, _ := get(t, front.URL+q)
+	if code != http.StatusOK {
+		t.Fatalf("routed compute: %d %s", code, routed)
+	}
+
+	single := service.New(service.Config{Workers: 1})
+	direct := httptest.NewServer(single)
+	defer direct.Close()
+	code, ref, _ := get(t, direct.URL+q)
+	if code != http.StatusOK {
+		t.Fatalf("direct compute: %d", code)
+	}
+	if !bytes.Equal(routed, ref) {
+		t.Fatalf("routed body differs from single-node body:\n%s\nvs\n%s", routed, ref)
+	}
+}
+
+// TestFleetWideCoalescing is the router-level coalescing barrier: N
+// identical concurrent requests through the router against 3 backends
+// must trigger exactly ONE engine computation fleet-wide — the edge
+// singleflight collapses them to one forwarded request, and the owning
+// backend's own singleflight guards the rest.
+func TestFleetWideCoalescing(t *testing.T) {
+	servers, rt, front := newFleet(t, 3, 0)
+	const clients = 8
+
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	for _, s := range servers {
+		s.SetComputeHook(func(string) {
+			once.Do(func() { close(arrived) })
+			<-release
+		})
+	}
+
+	q := front.URL + "/v1/expansion?family=hypercube&size=3&obj=ordinary"
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body, _ := get(t, q)
+			if code != http.StatusOK {
+				t.Errorf("client %d: status %d body %s", i, code, body)
+			}
+			bodies[i] = body
+		}(i)
+	}
+
+	// Wait for the one forwarded request to reach an engine, then for the
+	// remaining clients to pile up behind the edge flight.
+	<-arrived
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Snapshot().Coalesced < clients-1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	var computations, engineRequests int64
+	for _, s := range servers {
+		computations += s.Snapshot().Computations
+	}
+	for _, b := range rt.Snapshot().Backends {
+		engineRequests += b.Requests
+	}
+	if computations != 1 {
+		t.Fatalf("fleet ran %d engine computations for %d identical requests, want exactly 1", computations, clients)
+	}
+	if engineRequests != 1 {
+		t.Fatalf("router forwarded %d requests, want exactly 1", engineRequests)
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("client %d received different bytes", i)
+		}
+	}
+}
+
+// TestEdgeCacheReplaysWithoutBackend: with the edge cache enabled, a
+// repeated request is served at the router without touching any backend.
+func TestEdgeCacheReplaysWithoutBackend(t *testing.T) {
+	_, rt, front := newFleet(t, 3, 1<<20)
+	q := front.URL + "/v1/expansion?family=hypercube&size=2"
+	code, first, _ := get(t, q)
+	if code != http.StatusOK {
+		t.Fatalf("first: %d", code)
+	}
+	before := int64(0)
+	for _, b := range rt.Snapshot().Backends {
+		before += b.Requests
+	}
+	code, second, hdr := get(t, q)
+	if code != http.StatusOK || hdr.Get("X-Edge") != "hit" {
+		t.Fatalf("second: %d X-Edge=%q, want an edge hit", code, hdr.Get("X-Edge"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("edge cache replayed different bytes")
+	}
+	after := int64(0)
+	for _, b := range rt.Snapshot().Backends {
+		after += b.Requests
+	}
+	if after != before {
+		t.Fatalf("edge hit still forwarded: %d → %d backend requests", before, after)
+	}
+
+	// Permuted query spellings share the canonical edge entry.
+	code, permuted, hdr := get(t, front.URL+"/v1/expansion?size=2&family=hypercube")
+	if code != http.StatusOK || hdr.Get("X-Edge") != "hit" || !bytes.Equal(first, permuted) {
+		t.Fatalf("permuted query missed the edge cache: %d X-Edge=%q", code, hdr.Get("X-Edge"))
+	}
+}
+
+// TestJobsThroughRouter: async jobs work fleet-wide — the router
+// namespaces job IDs with the owning backend (b<i>.job-NNNNNN), polling
+// and results route back through the prefix, the merged job listing shows
+// every backend's jobs, and result bytes equal a direct single-node run.
+func TestJobsThroughRouter(t *testing.T) {
+	_, _, front := newFleet(t, 3, 0)
+	code, body := doReq(t, "POST", front.URL+"/v1/experiments?ids=E2&quick=1", nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("start job: %d %s", code, body)
+	}
+	var accepted service.JobView
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := splitJobRef(accepted.ID); !ok {
+		t.Fatalf("job ID %q is not fleet-namespaced", accepted.ID)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var view service.JobView
+	for {
+		code, body, _ := get(t, front.URL+"/v1/jobs/"+accepted.ID)
+		if code != http.StatusOK {
+			t.Fatalf("poll: %d %s", code, body)
+		}
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.State != service.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if view.State != service.JobDone {
+		t.Fatalf("job: %+v", view)
+	}
+	if !strings.HasPrefix(view.ResultURL, "/v1/jobs/"+accepted.ID) {
+		t.Fatalf("result URL %q not rewritten for the fleet", view.ResultURL)
+	}
+
+	code, routed, _ := get(t, front.URL+view.ResultURL)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, routed)
+	}
+	single := service.New(service.Config{Workers: 1})
+	direct := httptest.NewServer(single)
+	defer direct.Close()
+	code, ref := doReq(t, "POST", direct.URL+"/v1/experiments?ids=E2&quick=1&async=0", nil)
+	if code != http.StatusOK {
+		t.Fatalf("reference: %d", code)
+	}
+	if !bytes.Equal(routed, ref) {
+		t.Fatal("routed job result differs from a direct single-node run")
+	}
+
+	_, listBody, _ := get(t, front.URL+"/v1/jobs")
+	var list struct {
+		Count int               `json:"count"`
+		Jobs  []service.JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(listBody, &list); err != nil || list.Count != 1 || list.Jobs[0].ID != accepted.ID {
+		t.Fatalf("merged job listing wrong: %s", listBody)
+	}
+
+	if code, body, _ := get(t, front.URL+"/v1/jobs/job-000001"); code != http.StatusNotFound {
+		t.Fatalf("un-prefixed job ID must 404 at the router: %d %s", code, body)
+	}
+}

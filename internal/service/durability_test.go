@@ -1,0 +1,424 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"wexp/internal/store"
+)
+
+// openDurable opens a durable server over dir plus an httptest frontend.
+func openDurable(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := Open(Config{DataDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatalf("open durable server: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// copyTree copies src into dst recursively — the test stand-in for what a
+// kill -9 leaves on disk. Files are copied as-is, mid-write states and
+// all; recovery must cope with whatever it finds.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		s, d := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			copyTree(t, s, d)
+			continue
+		}
+		data, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(d, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// waitJob polls a job until it leaves the running state.
+func waitJob(t *testing.T, s *Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := s.jobs.get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if v := j.snapshot(); v.State != JobRunning {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobView{}
+}
+
+// TestStoreDedupAndLabels pins the content-addressing contract at the
+// Store level: family requests and uploads of the same graph share one
+// entry, labels accumulate, and snapshots are isolated copies.
+func TestStoreDedupAndLabels(t *testing.T) {
+	s := NewStore(8)
+	e1, existed, err := s.PutFamily("hypercube", 3)
+	if err != nil || existed {
+		t.Fatalf("first put: %v existed=%v", err, existed)
+	}
+	e2, existed, err := s.PutFamily("hypercube", 3)
+	if err != nil || !existed || e2.Digest != e1.Digest {
+		t.Fatalf("second put did not dedupe: %v existed=%v", err, existed)
+	}
+	if _, _, err := s.Put(e1.Graph(), "alias"); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots are copies: e1 (taken before the alias) is frozen, a fresh
+	// Get sees both labels.
+	if len(e1.Labels) != 1 {
+		t.Fatalf("old snapshot mutated: %v", e1.Labels)
+	}
+	cur, ok, err := s.Get(e1.Digest)
+	if err != nil || !ok || len(cur.Labels) != 2 {
+		t.Fatalf("labels = %v (ok=%v err=%v), want family label + alias", cur.Labels, ok, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store len = %d, want 1", s.Len())
+	}
+}
+
+// TestDurableStoreOverflowEvicts is the regression test for the capacity
+// bound applying to the wrong tier: a durable store must accept graphs
+// beyond MaxGraphs (evicting decoded graphs from the cache tier, reloading
+// on demand) rather than refusing with 507 — that bound belongs to the
+// memory-only store, where eviction would lose data (TestStoreCapacity).
+func TestDurableStoreOverflowEvicts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, MaxGraphs: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var digests []string
+	for i, q := range []string{"family=hypercube&size=2", "family=hypercube&size=3", "family=hypercube&size=4"} {
+		code, body := doReq(t, "POST", ts.URL+"/v1/graphs?"+q, nil)
+		if code != http.StatusCreated {
+			t.Fatalf("graph %d beyond the cache bound: status %d body %s (durable tier must never 507)", i, code, body)
+		}
+		var put graphPutResponse
+		if err := json.Unmarshal(body, &put); err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, put.Digest)
+	}
+	if got := s.store.Len(); got != 3 {
+		t.Fatalf("durable tier holds %d graphs, want 3", got)
+	}
+	if got := s.store.CachedLen(); got > 2 {
+		t.Fatalf("cache tier holds %d decoded graphs, bound is 2", got)
+	}
+	if s.store.Evictions() == 0 {
+		t.Fatal("no cache-tier evictions recorded")
+	}
+	// Every graph is still servable: evicted entries reload from disk.
+	for _, d := range digests {
+		if code, body, _ := get(t, ts.URL+"/v1/graphs/"+d); code != http.StatusOK {
+			t.Fatalf("graph %s after eviction: status %d body %s", d, code, body)
+		}
+	}
+}
+
+// TestDurableGraphsSurviveRestart: a new process over the same DataDir
+// sees every stored graph, with labels, and serves identical bytes.
+func TestDurableGraphsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	sA, tsA := openDurable(t, dir)
+	code, body := doReq(t, "POST", tsA.URL+"/v1/graphs?family=torus&size=4", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	var put graphPutResponse
+	if err := json.Unmarshal(body, &put); err != nil {
+		t.Fatal(err)
+	}
+	_, edgesA := doReq(t, "GET", tsA.URL+"/v1/graphs/"+put.Digest+"/edges", nil)
+	sA.Close()
+	tsA.Close()
+
+	_, tsB := openDurable(t, dir)
+	code, body, _ = get(t, tsB.URL+"/v1/graphs/"+put.Digest)
+	if code != http.StatusOK {
+		t.Fatalf("graph lost across restart: %d %s", code, body)
+	}
+	var got StoredGraph
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != put.N || got.M != put.M || len(got.Labels) == 0 {
+		t.Fatalf("restored metadata wrong: %+v vs %+v", got, put)
+	}
+	_, edgesB := doReq(t, "GET", tsB.URL+"/v1/graphs/"+put.Digest+"/edges", nil)
+	if !bytes.Equal(edgesA, edgesB) {
+		t.Fatal("edge-list bytes differ across restart")
+	}
+}
+
+// TestCrashRecoveryResumesJob is the crash/recover scenario end to end,
+// in-process: a durable server runs an async experiments job; mid-job —
+// with shard checkpoints and a WAL on disk, possibly with an unsynced
+// tail — the DataDir is snapshotted (the kill -9 moment); a second server
+// opened over the snapshot must resume the job through its checkpoints
+// and serve a result byte-identical to an uninterrupted run.
+func TestCrashRecoveryResumesJob(t *testing.T) {
+	dirA := t.TempDir()
+	sA, err := Open(Config{DataDir: dirA, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(sA)
+	defer tsA.Close()
+
+	// Freeze the job after its first shard completes, so the snapshot
+	// catches it genuinely mid-flight.
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	sA.jobs.progressHook = func(_ string, done, total int) {
+		if done >= 1 && done < total {
+			once.Do(func() { close(blocked) })
+			<-release
+		}
+	}
+
+	code, body := doReq(t, "POST", tsA.URL+"/v1/experiments?ids=E2&quick=1", nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("start job: %d %s", code, body)
+	}
+	var accepted JobView
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	<-blocked
+	dirB := t.TempDir()
+	copyTree(t, dirA, dirB)
+	close(release)
+	sA.Close()
+
+	// The snapshot must contain at least one shard checkpoint — otherwise
+	// this test degrades to a plain re-run and proves nothing about resume.
+	ckRoot := filepath.Join(dirB, "checkpoints")
+	cks, err := os.ReadDir(ckRoot)
+	if err != nil || len(cks) == 0 {
+		t.Fatalf("no checkpoint directory captured in the crash snapshot: %v", err)
+	}
+
+	sB, err := Open(Config{DataDir: dirB, Workers: 1})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer sB.Close()
+	if m := sB.Snapshot(); m.JobsResumed != 1 {
+		t.Fatalf("jobs resumed = %d, want 1", m.JobsResumed)
+	}
+	view := waitJob(t, sB, accepted.ID)
+	if view.State != JobDone || !view.Resumed {
+		t.Fatalf("recovered job: %+v, want done+resumed", view)
+	}
+
+	tsB := httptest.NewServer(sB)
+	defer tsB.Close()
+	code, resumedBody, _ := get(t, tsB.URL+"/v1/jobs/"+accepted.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("resumed result: %d %s", code, resumedBody)
+	}
+
+	// Reference: the same request on a fresh in-memory server, never
+	// interrupted.
+	_, tsC := newTestServer(t, Config{Workers: 1})
+	code, refBody := doReq(t, "POST", tsC.URL+"/v1/experiments?ids=E2&quick=1&async=0", nil)
+	if code != http.StatusOK {
+		t.Fatalf("reference run: %d %s", code, refBody)
+	}
+	if !bytes.Equal(resumedBody, refBody) {
+		t.Fatalf("resumed artifact differs from uninterrupted run:\n%s\nvs\n%s", resumedBody, refBody)
+	}
+}
+
+// TestRecoveryTornWALTail: garbage appended to the WAL (a torn last
+// write) must not block recovery — the tail is truncated, the completed
+// job's record survives, and its result is reproducible.
+func TestRecoveryTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	sA, tsA := openDurable(t, dir)
+	code, body := doReq(t, "POST", tsA.URL+"/v1/experiments?ids=E2&quick=1", nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("start job: %d %s", code, body)
+	}
+	var accepted JobView
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if v := waitJob(t, sA, accepted.ID); v.State != JobDone {
+		t.Fatalf("job: %+v", v)
+	}
+	_, refBody, _ := get(t, tsA.URL+"/v1/jobs/"+accepted.ID+"/result")
+	sA.Close()
+	tsA.Close()
+
+	walPath := filepath.Join(dir, "jobs.wal")
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\x13\x00\x00\x00torn-half-a-frame")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sB, tsB := openDurable(t, dir)
+	if m := sB.Snapshot(); m.WALTornBytes == 0 {
+		t.Fatal("torn tail not detected")
+	}
+	j, ok := sB.jobs.get(accepted.ID)
+	if !ok || j.snapshot().State != JobDone {
+		t.Fatalf("terminal job lost after torn-tail recovery: %v", ok)
+	}
+	code, gotBody, _ := get(t, tsB.URL+"/v1/jobs/"+accepted.ID+"/result")
+	if code != http.StatusOK || !bytes.Equal(gotBody, refBody) {
+		t.Fatalf("result after recovery: %d, bytes equal = %v", code, bytes.Equal(gotBody, refBody))
+	}
+}
+
+// TestRecoveryHonorsCancel: a cancellation requested before the crash is
+// honored on restart — the job completes as cancelled, not resumed.
+func TestRecoveryHonorsCancel(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := store.OpenWAL(filepath.Join(dir, "jobs.wal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []store.JobRecord{
+		{Job: "job-000007", Event: "accepted", Op: "experiments", Query: "ids=E2&quick=1", Key: "k"},
+		{Job: "job-000007", Event: "cancel"},
+	}
+	for _, r := range recs {
+		if err := w.Append(r, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	s, ts := openDurable(t, dir)
+	j, ok := s.jobs.get("job-000007")
+	if !ok || j.snapshot().State != JobCancelled {
+		t.Fatalf("job = %+v (ok=%v), want cancelled", j, ok)
+	}
+	// The ID sequence continues past recovered IDs: no reuse.
+	code, body := doReq(t, "POST", ts.URL+"/v1/experiments?ids=E2&quick=1", nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("new job: %d %s", code, body)
+	}
+	var next JobView
+	if err := json.Unmarshal(body, &next); err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "job-000008" {
+		t.Fatalf("next job ID %s, want job-000008", next.ID)
+	}
+}
+
+// TestRecoveryUnrebuildableJob: an incomplete job whose persisted request
+// no longer validates (here: an experiment ID that does not exist) must
+// recover as failed — visible, explained, not resumed, not a panic.
+func TestRecoveryUnrebuildableJob(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := store.OpenWAL(filepath.Join(dir, "jobs.wal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := store.JobRecord{Job: "job-000001", Event: "accepted", Op: "experiments", Query: "ids=E999", Key: "k"}
+	if err := w.Append(rec, true); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	s, ts := openDurable(t, dir)
+	j, ok := s.jobs.get("job-000001")
+	if !ok {
+		t.Fatal("job lost")
+	}
+	v := j.snapshot()
+	if v.State != JobFailed || v.Error == "" {
+		t.Fatalf("job = %+v, want failed with an explanation", v)
+	}
+	code, _, _ := get(t, ts.URL+"/v1/jobs/job-000001/result")
+	if code != http.StatusConflict {
+		t.Fatalf("result of failed job: %d, want 409", code)
+	}
+}
+
+// TestCorruptCASEntryCleanError: a flipped bit in a durable graph file is
+// caught by verify-on-read and surfaces as a clean 500 — on the graph
+// endpoint and on computations addressing the digest — never a panic or
+// silently wrong bytes.
+func TestCorruptCASEntryCleanError(t *testing.T) {
+	dir := t.TempDir()
+	sA, tsA := openDurable(t, dir)
+	code, body := doReq(t, "POST", tsA.URL+"/v1/graphs?family=hypercube&size=3", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	var put graphPutResponse
+	if err := json.Unmarshal(body, &put); err != nil {
+		t.Fatal(err)
+	}
+	sA.Close()
+	tsA.Close()
+
+	gfile := filepath.Join(dir, "graphs", put.Digest+".g")
+	data, err := os.ReadFile(gfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(gfile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, tsB := openDurable(t, dir)
+	for _, url := range []string{
+		"/v1/graphs/" + put.Digest,
+		"/v1/expansion?graph=" + put.Digest,
+	} {
+		code, body, _ := get(t, tsB.URL+url)
+		if code != http.StatusInternalServerError {
+			t.Fatalf("%s on corrupt entry: status %d body %s, want 500", url, code, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("%s: not a clean JSON error: %s", url, body)
+		}
+	}
+}

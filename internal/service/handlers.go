@@ -3,11 +3,14 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -141,7 +144,12 @@ func qBool(q url.Values, key string) bool {
 // (registered on first use, deduped by digest thereafter).
 func (s *Server) resolveGraph(q url.Values) (StoredGraph, error) {
 	if d := q.Get("graph"); d != "" {
-		e, ok := s.store.Get(d)
+		e, ok, err := s.store.Get(d)
+		if err != nil {
+			// A durable entry that fails verification (corrupt or tampered
+			// file) is a server-side storage fault, not a client error.
+			return StoredGraph{}, errf(http.StatusInternalServerError, "graph %s: %v", d, err)
+		}
 		if !ok {
 			return StoredGraph{}, errf(http.StatusNotFound, "unknown graph %s (upload it via POST /v1/graphs)", d)
 		}
@@ -244,7 +252,11 @@ func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.store.Get(r.PathValue("digest"))
+	e, ok, err := s.store.Get(r.PathValue("digest"))
+	if err != nil {
+		writeErr(w, errf(http.StatusInternalServerError, "graph %s: %v", r.PathValue("digest"), err))
+		return
+	}
 	if !ok {
 		writeErr(w, errf(http.StatusNotFound, "unknown graph %s", r.PathValue("digest")))
 		return
@@ -253,7 +265,11 @@ func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGraphEdges(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.store.Get(r.PathValue("digest"))
+	e, ok, err := s.store.Get(r.PathValue("digest"))
+	if err != nil {
+		writeErr(w, errf(http.StatusInternalServerError, "graph %s: %v", r.PathValue("digest"), err))
+		return
+	}
 	if !ok {
 		writeErr(w, errf(http.StatusNotFound, "unknown graph %s", r.PathValue("digest")))
 		return
@@ -297,10 +313,20 @@ var objectives = map[string]expansion.Objective{
 
 func (s *Server) handleExpansion(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	e, err := s.resolveGraph(q)
+	spec, err := s.buildSpec("expansion", q)
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	s.serveComputed(w, r, spec, qBool(q, "async"))
+}
+
+// specExpansion validates an expansion request query and builds its
+// memoizable computation.
+func (s *Server) specExpansion(q url.Values) (computeSpec, error) {
+	e, err := s.resolveGraph(q)
+	if err != nil {
+		return computeSpec{}, err
 	}
 	objName := q.Get("obj")
 	if objName == "" {
@@ -308,31 +334,26 @@ func (s *Server) handleExpansion(w http.ResponseWriter, r *http.Request) {
 	}
 	obj, ok := objectives[objName]
 	if !ok {
-		writeErr(w, errf(http.StatusBadRequest, "unknown obj=%q (want ordinary|unique|wireless|edge)", objName))
-		return
+		return computeSpec{}, errf(http.StatusBadRequest, "unknown obj=%q (want ordinary|unique|wireless|edge)", objName)
 	}
 	alpha, err := qFloat(q, "alpha", 0.5)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	maxK, err := qInt(q, "maxk", 0)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	budget, err := qUint64(q, "budget", 0)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	if budget == 0 {
 		budget = min(expansion.DefaultBudget, s.cfg.maxBudget())
 	}
 	if budget > s.cfg.maxBudget() {
-		writeErr(w, errf(http.StatusUnprocessableEntity,
-			"budget %d exceeds the server cap %d", budget, s.cfg.maxBudget()))
-		return
+		return computeSpec{}, errf(http.StatusUnprocessableEntity,
+			"budget %d exceeds the server cap %d", budget, s.cfg.maxBudget())
 	}
 	// Canonicalize the size cap: alpha resolves to the same MaxK the
 	// engine would use, so alpha=0.5 and the equivalent maxk share one
@@ -341,9 +362,8 @@ func (s *Server) handleExpansion(w http.ResponseWriter, r *http.Request) {
 		maxK = expansion.MaxSetSize(e.N, alpha)
 	}
 	if maxK < 1 || maxK > e.N {
-		writeErr(w, errf(http.StatusBadRequest,
-			"size cap %d out of range [1,%d] (alpha=%s)", maxK, e.N, fmtFloat(alpha)))
-		return
+		return computeSpec{}, errf(http.StatusBadRequest,
+			"size cap %d out of range [1,%d] (alpha=%s)", maxK, e.N, fmtFloat(alpha))
 	}
 
 	g := e.Graph()
@@ -375,7 +395,7 @@ func (s *Server) handleExpansion(w http.ResponseWriter, r *http.Request) {
 			return resp, nil
 		},
 	}
-	s.serveComputed(w, r, spec, qBool(q, "async"))
+	return spec, nil
 }
 
 // --- spokesman ---------------------------------------------------------------
@@ -396,29 +416,35 @@ type spokesmanResponse struct {
 
 func (s *Server) handleSpokesman(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	e, err := s.resolveGraph(q)
+	spec, err := s.buildSpec("spokesman", q)
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	s.serveComputed(w, r, spec, qBool(q, "async"))
+}
+
+// specSpokesman validates a spokesman request query and builds its
+// memoizable computation.
+func (s *Server) specSpokesman(q url.Values) (computeSpec, error) {
+	e, err := s.resolveGraph(q)
+	if err != nil {
+		return computeSpec{}, err
 	}
 	set, err := parseVertexSet(q.Get("s"), e.N)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	trials, err := qInt(q, "trials", 16)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	if trials < 1 || trials > 100_000 {
-		writeErr(w, errf(http.StatusBadRequest, "trials=%d out of range [1,100000]", trials))
-		return
+		return computeSpec{}, errf(http.StatusBadRequest, "trials=%d out of range [1,100000]", trials)
 	}
 	seed, err := qUint64(q, "seed", 1)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 
 	g := e.Graph()
@@ -443,7 +469,7 @@ func (s *Server) handleSpokesman(w http.ResponseWriter, r *http.Request) {
 			}, nil
 		},
 	}
-	s.serveComputed(w, r, spec, qBool(q, "async"))
+	return spec, nil
 }
 
 // parseVertexSet parses "0,3,7" into a sorted duplicate-free vertex list —
@@ -510,10 +536,20 @@ var protocols = map[string]func(r *rng.RNG) radio.Protocol{
 
 func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	e, err := s.resolveGraph(q)
+	spec, err := s.buildSpec("broadcast", q)
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	s.serveComputed(w, r, spec, qBool(q, "async"))
+}
+
+// specBroadcast validates a broadcast request query and builds its
+// memoizable computation.
+func (s *Server) specBroadcast(q url.Values) (computeSpec, error) {
+	e, err := s.resolveGraph(q)
+	if err != nil {
+		return computeSpec{}, err
 	}
 	protoName := q.Get("protocol")
 	if protoName == "" {
@@ -521,46 +557,37 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 	}
 	factory, ok := protocols[protoName]
 	if !ok {
-		writeErr(w, errf(http.StatusBadRequest,
-			"unknown protocol=%q (want flood|prob-flood|round-robin|decay|spokesman)", protoName))
-		return
+		return computeSpec{}, errf(http.StatusBadRequest,
+			"unknown protocol=%q (want flood|prob-flood|round-robin|decay|spokesman)", protoName)
 	}
 	source, err := qInt(q, "source", 0)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	trials, err := qInt(q, "trials", 32)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	if trials < 1 || trials > s.cfg.maxTrials() {
-		writeErr(w, errf(http.StatusBadRequest, "trials=%d out of range [1,%d]", trials, s.cfg.maxTrials()))
-		return
+		return computeSpec{}, errf(http.StatusBadRequest, "trials=%d out of range [1,%d]", trials, s.cfg.maxTrials())
 	}
 	seed, err := qUint64(q, "seed", 1)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	maxRounds, err := qInt(q, "maxrounds", 10_000)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	if maxRounds < 1 || maxRounds > radio.DefaultMaxRounds {
-		writeErr(w, errf(http.StatusBadRequest, "maxrounds=%d out of range [1,%d]", maxRounds, radio.DefaultMaxRounds))
-		return
+		return computeSpec{}, errf(http.StatusBadRequest, "maxrounds=%d out of range [1,%d]", maxRounds, radio.DefaultMaxRounds)
 	}
 	trace, err := qInt(q, "trace", -1)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return computeSpec{}, err
 	}
 	if trace > 4096 {
-		writeErr(w, errf(http.StatusBadRequest, "trace=%d exceeds the cap 4096", trace))
-		return
+		return computeSpec{}, errf(http.StatusBadRequest, "trace=%d exceeds the cap 4096", trace)
 	}
 	if trace <= 0 {
 		trace = -1 // canonical "no per-round summaries"
@@ -569,8 +596,7 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 	g := e.Graph()
 	digest := e.Digest
 	if source < 0 || source >= e.N {
-		writeErr(w, errf(http.StatusBadRequest, "source %d out of range [0,%d)", source, e.N))
-		return
+		return computeSpec{}, errf(http.StatusBadRequest, "source %d out of range [0,%d)", source, e.N)
 	}
 	spec := computeSpec{
 		op: "broadcast",
@@ -598,7 +624,7 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
 			}, nil
 		},
 	}
-	s.serveComputed(w, r, spec, qBool(q, "async"))
+	return spec, nil
 }
 
 // --- experiments -------------------------------------------------------------
@@ -624,26 +650,11 @@ type experimentSummary struct {
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	ids, err := canonicalExperimentIDs(q.Get("ids"))
+	spec, err := s.buildSpec("experiments", q)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	seed, err := qUint64(q, "seed", 20180220)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	trials, err := qInt(q, "trials", 0)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	if trials < 0 {
-		writeErr(w, errf(http.StatusBadRequest, "trials must be non-negative"))
-		return
-	}
-	quick := qBool(q, "quick")
 	// Experiments are the service's heaviest operation: they default to
 	// the job engine. async=0 forces a synchronous run (quick grids only
 	// in practice).
@@ -651,12 +662,39 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("async"); v != "" {
 		async = qBool(q, "async")
 	}
+	s.serveComputed(w, r, spec, async)
+}
+
+// specExperiments validates an experiments request query and builds its
+// memoizable computation. On a durable server the run checkpoints each
+// completed shard under DataDir, keyed by the cache key — so a crashed
+// job, re-driven after restart, resumes from its finished shards and
+// still produces the byte-identical artifact.
+func (s *Server) specExperiments(q url.Values) (computeSpec, error) {
+	ids, err := canonicalExperimentIDs(q.Get("ids"))
+	if err != nil {
+		return computeSpec{}, err
+	}
+	seed, err := qUint64(q, "seed", 20180220)
+	if err != nil {
+		return computeSpec{}, err
+	}
+	trials, err := qInt(q, "trials", 0)
+	if err != nil {
+		return computeSpec{}, err
+	}
+	if trials < 0 {
+		return computeSpec{}, errf(http.StatusBadRequest, "trials must be non-negative")
+	}
+	quick := qBool(q, "quick")
 
 	cfg := experiments.Config{Seed: seed, Quick: quick, Trials: trials}
+	key := fmt.Sprintf("experiments|ids=%s|seed=%d|quick=%t|trials=%d",
+		strings.Join(ids, ","), seed, quick, trials)
+	ckdir := s.checkpointDir(key)
 	spec := computeSpec{
-		op: "experiments",
-		key: fmt.Sprintf("experiments|ids=%s|seed=%d|quick=%t|trials=%d",
-			strings.Join(ids, ","), seed, quick, trials),
+		op:  "experiments",
+		key: key,
 		run: func(ctx context.Context, progress func(int, int)) (any, error) {
 			specs, err := experiments.Select(ids)
 			if err != nil {
@@ -667,12 +705,19 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 				hook = func(_ string, done, total int) { progress(done, total) }
 			}
 			rep, err := experiments.Run(specs, cfg, experiments.Options{
-				RunOpts:  runopts.RunOpts{Workers: s.cfg.Workers},
-				Ctx:      ctx,
-				Progress: hook,
+				RunOpts:       runopts.RunOpts{Workers: s.cfg.Workers},
+				Ctx:           ctx,
+				Progress:      hook,
+				CheckpointDir: ckdir,
+				Resume:        ckdir != "",
 			})
 			if err != nil {
 				return nil, err
+			}
+			if ckdir != "" {
+				// The run is complete and its bytes are about to be cached;
+				// the shard checkpoints have served their purpose.
+				os.RemoveAll(ckdir)
 			}
 			resp := experimentsResponse{
 				IDs: ids, Seed: seed, Quick: quick, Trials: trials,
@@ -687,7 +732,57 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 			return resp, nil
 		},
 	}
-	s.serveComputed(w, r, spec, async)
+	return spec, nil
+}
+
+// checkpointDir maps a cache key to its shard-checkpoint directory under
+// DataDir ("" on a memory-only server: no checkpointing). Keys are hashed
+// — they contain characters with meaning to filesystems.
+func (s *Server) checkpointDir(key string) string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.cfg.DataDir, "checkpoints", fmt.Sprintf("%x", sum[:8]))
+}
+
+// buildSpec validates a request query for op and builds the memoizable
+// computation, stamping the spec with its serializable (op, query) form —
+// what the WAL persists and rebuildSpec re-parses during recovery.
+func (s *Server) buildSpec(op string, q url.Values) (computeSpec, error) {
+	var (
+		spec computeSpec
+		err  error
+	)
+	switch op {
+	case "expansion":
+		spec, err = s.specExpansion(q)
+	case "spokesman":
+		spec, err = s.specSpokesman(q)
+	case "broadcast":
+		spec, err = s.specBroadcast(q)
+	case "experiments":
+		spec, err = s.specExperiments(q)
+	default:
+		return computeSpec{}, fmt.Errorf("service: unknown operation %q", op)
+	}
+	if err != nil {
+		return computeSpec{}, err
+	}
+	spec.query = q.Encode()
+	return spec, nil
+}
+
+// rebuildSpec reconstructs a computation from its WAL-persisted form.
+func (s *Server) rebuildSpec(op, query string) (computeSpec, error) {
+	if op == "" && query == "" {
+		return computeSpec{}, fmt.Errorf("service: job predates the WAL spec format")
+	}
+	q, err := url.ParseQuery(query)
+	if err != nil {
+		return computeSpec{}, fmt.Errorf("service: re-parse job query: %w", err)
+	}
+	return s.buildSpec(op, q)
 }
 
 // canonicalExperimentIDs validates a comma-separated ID list against the
@@ -751,6 +846,12 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	view := j.snapshot()
 	if view.State != JobDone {
 		writeErr(w, errf(http.StatusConflict, "job %s is %s, not done", view.ID, view.State))
+		return
+	}
+	if j.spec.run == nil {
+		// A terminal job restored from the WAL whose request could not be
+		// rebuilt: the record survives for polling, the body does not.
+		writeErr(w, errf(http.StatusGone, "job %s: result no longer reproducible", view.ID))
 		return
 	}
 	// Serve through the normal memoized path: usually a pure cache hit; if

@@ -4,7 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+
+	"wexp/internal/store"
 )
 
 // JobState is the lifecycle state of a job. Transitions:
@@ -33,6 +37,9 @@ type JobView struct {
 	// result is a normal cached computation: fetching it replays the
 	// byte-identical memoized response.
 	ResultURL string `json:"result_url,omitempty"`
+	// Resumed reports that this job was recovered from the WAL after a
+	// restart and re-driven to completion.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // job is the engine's internal record. spec is retained so the result
@@ -44,6 +51,8 @@ type job struct {
 	spec            computeSpec
 	cancel          context.CancelFunc
 	cancelRequested bool
+
+	eng *jobEngine // for WAL appends on transitions
 }
 
 func (j *job) snapshot() JobView {
@@ -55,7 +64,15 @@ func (j *job) snapshot() JobView {
 func (j *job) setProgress(done, total int) {
 	j.mu.Lock()
 	j.view.Done, j.view.Total = done, total
+	id := j.view.ID
 	j.mu.Unlock()
+	// Progress records are unsynced: losing the tail costs a stale gauge
+	// after a crash, and recovery re-runs the job anyway (the experiment
+	// checkpoints, not the WAL, carry the completed work).
+	j.eng.append(store.JobRecord{Job: id, Event: "progress", Done: done, Total: total}, false)
+	if j.eng.progressHook != nil {
+		j.eng.progressHook(id, done, total)
+	}
 }
 
 // finish records the terminal state. Success wins: a DELETE that lands
@@ -64,7 +81,6 @@ func (j *job) setProgress(done, total int) {
 // context wins over the error it caused.
 func (j *job) finish(err error, ctx context.Context, resultURL string) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch {
 	case err == nil:
 		j.view.State = JobDone
@@ -76,11 +92,23 @@ func (j *job) finish(err error, ctx context.Context, resultURL string) {
 		j.view.State = JobFailed
 		j.view.Error = err.Error()
 	}
+	rec := store.JobRecord{
+		Job: j.view.ID, Event: string(j.view.State),
+		Error: j.view.Error, ResultURL: j.view.ResultURL,
+	}
+	j.mu.Unlock()
+	j.eng.append(rec, true)
 }
 
 // jobEngine owns every job the server has started. Completed jobs are kept
 // (bounded by maxJobs) so clients can poll terminal states; the oldest
 // terminal jobs are dropped once the bound is hit.
+//
+// When a WAL is attached, every transition is logged: accepted (with the
+// op, the canonical request query, and the cache key — enough to rebuild
+// the computation), progress, cancel, and the terminal state. Recovery
+// replays the log, restores terminal jobs as records, and re-drives
+// incomplete jobs.
 type jobEngine struct {
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -88,8 +116,16 @@ type jobEngine struct {
 	nextID  int
 	maxJobs int
 
+	wal *store.WAL // nil = volatile jobs
+	wg  sync.WaitGroup
+
 	created   int64
 	cancelled int64
+	resumed   int64
+
+	// progressHook, when non-nil, observes every progress transition.
+	// The crash-recovery tests use it to freeze a job mid-run.
+	progressHook func(id string, done, total int)
 }
 
 // defaultMaxJobs bounds the job table when Config.MaxJobs is zero.
@@ -102,20 +138,84 @@ func newJobEngine(maxJobs int) *jobEngine {
 	return &jobEngine{jobs: make(map[string]*job), maxJobs: maxJobs}
 }
 
+// append writes a WAL record if a WAL is attached. WAL errors are
+// swallowed after the engine is closed (shutdown races a finishing job)
+// and otherwise surface as... nothing the client can act on mid-flight:
+// job state stays authoritative in memory; the next recovery simply sees
+// less history.
+func (e *jobEngine) append(rec store.JobRecord, sync bool) {
+	if e.wal == nil {
+		return
+	}
+	_ = e.wal.Append(rec, sync)
+}
+
 // create registers a new running job and returns it with its cancellable
-// context. IDs are sequential per server instance.
+// context. IDs are sequential per server instance and continue across
+// restarts (recovery advances nextID past every logged job).
 func (e *jobEngine) create(spec computeSpec) (*job, context.Context) {
-	ctx, cancel := context.WithCancel(context.Background())
 	e.mu.Lock()
 	e.nextID++
 	id := fmt.Sprintf("job-%06d", e.nextID)
-	j := &job{view: JobView{ID: id, Op: spec.op, State: JobRunning}, spec: spec, cancel: cancel}
+	j, ctx := e.registerLocked(id, spec, false)
+	e.mu.Unlock()
+	e.append(store.JobRecord{
+		Job: id, Event: "accepted", Op: spec.op, Query: spec.query, Key: spec.key,
+	}, true)
+	return j, ctx
+}
+
+// registerLocked installs a running job under id. Caller holds e.mu.
+func (e *jobEngine) registerLocked(id string, spec computeSpec, resumed bool) (*job, context.Context) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		view:   JobView{ID: id, Op: spec.op, State: JobRunning, Resumed: resumed},
+		spec:   spec,
+		cancel: cancel,
+		eng:    e,
+	}
 	e.jobs[id] = j
 	e.order = append(e.order, id)
 	e.created++
+	if resumed {
+		e.resumed++
+	}
 	e.evictLocked()
-	e.mu.Unlock()
 	return j, ctx
+}
+
+// restoreTerminal installs a recovered terminal job record (no goroutine,
+// no context). spec may be zero-valued if the computation could not be
+// rebuilt; the result endpoint guards against that.
+func (e *jobEngine) restoreTerminal(view JobView, spec computeSpec) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j := &job{view: view, spec: spec, cancel: func() {}, eng: e}
+	e.jobs[view.ID] = j
+	e.order = append(e.order, view.ID)
+	e.evictLocked()
+}
+
+// noteID advances the ID sequence past a recovered job ID.
+func (e *jobEngine) noteID(id string) {
+	n, ok := parseJobID(id)
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	if n > e.nextID {
+		e.nextID = n
+	}
+	e.mu.Unlock()
+}
+
+func parseJobID(id string) (int, bool) {
+	s, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	return n, err == nil
 }
 
 // evictLocked drops the oldest terminal jobs beyond maxJobs. Running jobs
@@ -162,6 +262,7 @@ func (e *jobEngine) cancelJob(id string) (JobView, bool) {
 		e.mu.Lock()
 		e.cancelled++
 		e.mu.Unlock()
+		e.append(store.JobRecord{Job: id, Event: "cancel"}, true)
 	}
 	j.cancel()
 	return j.snapshot(), true
@@ -182,8 +283,8 @@ func (e *jobEngine) list() []JobView {
 	return out
 }
 
-// counts returns (created, cancelled, running) for /metrics.
-func (e *jobEngine) counts() (created, cancelled, running int64) {
+// counts returns (created, cancelled, resumed, running) for /metrics.
+func (e *jobEngine) counts() (created, cancelled, resumed, running int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, j := range e.jobs {
@@ -191,5 +292,64 @@ func (e *jobEngine) counts() (created, cancelled, running int64) {
 			running++
 		}
 	}
-	return e.created, e.cancelled, running
+	return e.created, e.cancelled, e.resumed, running
+}
+
+// close cancels every running job, waits for their goroutines to finish
+// their final WAL appends, and closes the WAL.
+func (e *jobEngine) close() {
+	e.mu.Lock()
+	for _, j := range e.jobs {
+		j.cancel()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	if e.wal != nil {
+		e.wal.Close()
+	}
+}
+
+// replayedJob is the state of one job reconstructed from the WAL.
+type replayedJob struct {
+	id        string
+	op        string
+	query     string
+	key       string
+	state     JobState // "" while only accepted/progress records seen
+	done      int
+	total     int
+	errMsg    string
+	resultURL string
+	cancelled bool // a cancel record was seen
+}
+
+// replayWAL folds the WAL's records into per-job states, in first-seen
+// order. Records for jobs without an accepted record (evicted history)
+// are dropped.
+func replayWAL(records []store.JobRecord) []*replayedJob {
+	byID := map[string]*replayedJob{}
+	var order []*replayedJob
+	for _, r := range records {
+		j, ok := byID[r.Job]
+		if !ok {
+			if r.Event != "accepted" {
+				continue
+			}
+			j = &replayedJob{id: r.Job, op: r.Op, query: r.Query, key: r.Key}
+			byID[r.Job] = j
+			order = append(order, j)
+			continue
+		}
+		switch r.Event {
+		case "progress":
+			j.done, j.total = r.Done, r.Total
+		case "cancel":
+			j.cancelled = true
+		case string(JobDone), string(JobFailed), string(JobCancelled):
+			j.state = JobState(r.Event)
+			j.errMsg = r.Error
+			j.resultURL = r.ResultURL
+		}
+	}
+	return order
 }

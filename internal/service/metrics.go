@@ -25,12 +25,25 @@ type Metrics struct {
 	Computations int64
 	// Coalesced counts requests that waited on another request's in-flight
 	// execution of the same key.
-	Coalesced     int64
-	Inflight      int64
-	Graphs        int64
-	JobsCreated   int64
-	JobsCancelled int64
-	JobsRunning   int64
+	Coalesced int64
+	Inflight  int64
+	// Graphs counts stored graphs (the durable tier when one exists);
+	// GraphsCached counts the decoded graphs resident in memory, and
+	// GraphEvictions the cache-tier evictions (both equal Graphs / zero on
+	// a memory-only server, which never evicts).
+	Graphs         int64
+	GraphsCached   int64
+	GraphEvictions int64
+	JobsCreated    int64
+	JobsCancelled  int64
+	JobsRunning    int64
+	// JobsResumed counts jobs re-driven from the WAL after a restart.
+	JobsResumed int64
+	// WALRecords is the number of valid WAL records replayed at startup;
+	// WALTornBytes the length of the torn tail truncated (0 for a clean
+	// log or a memory-only server).
+	WALRecords   int64
+	WALTornBytes int64
 
 	// Expansion-engine counters across all actual computations: candidate
 	// sets evaluated, sets skipped by pruning, search-tree nodes expanded,
@@ -48,8 +61,8 @@ type Metrics struct {
 // Snapshot collects the current metrics.
 func (s *Server) Snapshot() Metrics {
 	cs := s.cache.Stats()
-	fs := s.flight.stats()
-	created, cancelled, running := s.jobs.counts()
+	fs := s.flight.Stats()
+	created, cancelled, resumed, running := s.jobs.counts()
 	s.engineMu.Lock()
 	kernels := make(map[string]int64, len(s.engineKernel))
 	for k, v := range s.engineKernel {
@@ -66,9 +79,14 @@ func (s *Server) Snapshot() Metrics {
 		Coalesced:      fs.Coalesced,
 		Inflight:       s.inflight.Load(),
 		Graphs:         int64(s.store.Len()),
+		GraphsCached:   int64(s.store.CachedLen()),
+		GraphEvictions: s.store.Evictions(),
 		JobsCreated:    created,
 		JobsCancelled:  cancelled,
 		JobsRunning:    running,
+		JobsResumed:    resumed,
+		WALRecords:     int64(s.walReplay.Records),
+		WALTornBytes:   s.walReplay.TruncatedBytes,
 		EngineSets:     s.engineSets.Load(),
 		EnginePruned:   s.enginePruned.Load(),
 		EngineVisited:  s.engineVisited.Load(),
@@ -89,9 +107,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"wexpd_coalesced_requests":           m.Coalesced,
 		"wexpd_inflight":                     m.Inflight,
 		"wexpd_graphs_stored":                m.Graphs,
+		"wexpd_graphs_cached":                m.GraphsCached,
+		"wexpd_graph_evictions":              m.GraphEvictions,
 		"wexpd_jobs_created":                 m.JobsCreated,
 		"wexpd_jobs_cancelled":               m.JobsCancelled,
 		"wexpd_jobs_running":                 m.JobsRunning,
+		"wexpd_jobs_resumed":                 m.JobsResumed,
+		"wexpd_wal_records_replayed":         m.WALRecords,
+		"wexpd_wal_torn_bytes":               m.WALTornBytes,
 		"wexpd_engine_sets_total":            m.EngineSets,
 		"wexpd_engine_pruned_total":          m.EnginePruned,
 		"wexpd_engine_visited_total":         m.EngineVisited,

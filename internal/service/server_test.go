@@ -293,7 +293,7 @@ func TestSingleflightCoalescing(t *testing.T) {
 			// cache instead; the computation count stays 1 regardless).
 			deadline := time.After(2 * time.Second)
 			for {
-				if s.flight.stats().Coalesced >= clients-1 {
+				if s.flight.Stats().Coalesced >= clients-1 {
 					return
 				}
 				select {

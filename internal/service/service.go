@@ -2,13 +2,15 @@
 // daemon: a stdlib-only HTTP/JSON layer over the deterministic engines of
 // this repository.
 //
-// Four components cooperate:
+// Five components cooperate:
 //
 //   - a content-addressed graph Store — graphs are keyed by their
 //     canonical SHA-256 digest (graph.Digest), so uploading the same graph
 //     twice, or requesting the same named family twice, dedupes to one
-//     entry;
-//   - a memoized result Cache — responses are cached at the byte level
+//     entry. With Config.DataDir set the store is durable: every graph is
+//     spilled to disk in a pinned binary CSR encoding and the in-memory
+//     tier becomes a bounded cache over it;
+//   - a memoized result cache — responses are cached at the byte level
 //     under a canonical (graph digest, operation, options) key with LRU
 //     eviction, so identical requests return byte-identical bodies and
 //     the second one never recomputes;
@@ -18,29 +20,53 @@
 //   - a cancellable job engine — long computations run asynchronously
 //     under a per-job context.Context that the expansion, radio, and
 //     experiment engines observe at chunk/trial/shard boundaries, so
-//     DELETE stops a job promptly without corrupting anything.
+//     DELETE stops a job promptly without corrupting anything;
+//   - a write-ahead log (durable mode) — every job transition is logged,
+//     so a crashed server restarts, replays the log, and re-drives
+//     incomplete jobs to completion (experiments resume from their shard
+//     checkpoints rather than recomputing finished shards).
 //
 // Every cached computation is deterministic (the engines are bit-identical
-// at any worker count), which is what makes byte-level memoization sound:
-// a recomputation after eviction reproduces the evicted bytes.
+// at any worker count), which is what makes byte-level memoization — and
+// crash-resumed jobs producing byte-identical artifacts — sound: a
+// recomputation after eviction or a crash reproduces the same bytes.
 package service
 
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"wexp/internal/expansion"
+	"wexp/internal/flight"
+	"wexp/internal/lru"
+	"wexp/internal/store"
 )
+
+// DefaultCacheBytes bounds the result cache when Config.CacheBytes is
+// zero.
+const DefaultCacheBytes = 64 << 20
 
 // Config tunes the server. The zero value of every field selects a
 // production-sensible default.
 type Config struct {
+	// DataDir, when non-empty, makes the server durable: graphs persist in
+	// a content-addressed store under DataDir, job transitions append to a
+	// WAL, and experiment jobs checkpoint their shards — so a restart
+	// recovers the full graph store and resumes incomplete jobs. Empty
+	// means fully in-memory (the pre-durability behavior).
+	DataDir string
 	// CacheBytes bounds the result cache (0 = DefaultCacheBytes).
 	CacheBytes int64
-	// MaxGraphs bounds the graph store (0 = DefaultMaxGraphs).
+	// MaxGraphs bounds the graph store (0 = DefaultMaxGraphs). In durable
+	// mode it bounds only the decoded in-memory cache tier — the durable
+	// tier accepts graphs without limit and evicted entries reload from
+	// disk; in memory-only mode overflow is refused with 507.
 	MaxGraphs int
 	// MaxJobs bounds retained job records (0 = 1024). Running jobs are
 	// never evicted.
@@ -75,10 +101,14 @@ func (c Config) maxTrials() int {
 type Server struct {
 	cfg    Config
 	store  *Store
-	cache  *Cache
-	flight *flightGroup
+	cache  *lru.Cache
+	flight *flight.Group[[]byte]
 	jobs   *jobEngine
 	mux    *http.ServeMux
+
+	// walReplay records what WAL recovery found at startup (zero for a
+	// fresh or memory-only server).
+	walReplay store.ReplayStats
 
 	inflight     atomic.Int64 // computations currently executing
 	computations atomic.Int64 // computations actually run (≠ requests served)
@@ -114,20 +144,75 @@ func (s *Server) recordEngine(res expansion.Result) {
 	s.engineMu.Unlock()
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// Open returns a ready-to-serve Server. With cfg.DataDir set it opens (or
+// creates) the durable state underneath — content-addressed graph files,
+// the jobs WAL, experiment checkpoints — replays the WAL, truncating any
+// torn tail a crash left behind, and resumes incomplete jobs.
+func Open(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:          cfg,
-		store:        NewStore(cfg.MaxGraphs),
-		cache:        NewCache(cfg.CacheBytes),
-		flight:       newFlightGroup(),
+		cache:        lru.New(orDefault(cfg.CacheBytes, DefaultCacheBytes)),
+		flight:       flight.New[[]byte](),
 		jobs:         newJobEngine(cfg.MaxJobs),
 		mux:          http.NewServeMux(),
 		engineKernel: map[string]int64{},
 	}
+	var recovered []store.JobRecord
+	if cfg.DataDir == "" {
+		s.store = NewStore(cfg.MaxGraphs)
+	} else {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: data dir: %w", err)
+		}
+		cas, err := store.OpenCAS(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		wal, rs, err := store.OpenWAL(filepath.Join(cfg.DataDir, "jobs.wal"), func(r store.JobRecord) {
+			recovered = append(recovered, r)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = NewDurableStore(cfg.MaxGraphs, cas)
+		s.jobs.wal = wal
+		s.walReplay = rs
+	}
 	s.routes()
+	s.recoverJobs(recovered)
+	return s, nil
+}
+
+// New returns a ready-to-serve Server. It is the in-memory constructor:
+// with DataDir unset, construction cannot fail. A durable Config should
+// use Open; New panics if opening the durable state fails.
+func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
+
+func orDefault(v, def int64) int64 {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// Close cancels running jobs, waits for their final WAL records, and
+// closes the WAL. The Server must not serve requests afterwards.
+func (s *Server) Close() error {
+	s.jobs.close()
+	return nil
+}
+
+// SetComputeHook registers fn to run inside each singleflight execution
+// just before the computation starts. The router's coalescing tests use
+// it to hold a computation open while identical requests pile up across
+// the fleet; pass nil to remove. Not safe to call while serving.
+func (s *Server) SetComputeHook(fn func(key string)) { s.computeHook = fn }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -152,14 +237,17 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 }
 
-// computeSpec is one memoizable computation: a canonical cache key and the
-// function producing the JSON-marshalable response document. run must be a
-// pure function of the key (plus the immutable store content it reads) —
-// the memoization contract.
+// computeSpec is one memoizable computation: a canonical cache key, the
+// canonical request query it was built from (the serializable form the WAL
+// persists, from which recovery rebuilds the spec), and the function
+// producing the JSON-marshalable response document. run must be a pure
+// function of the key (plus the immutable store content it reads) — the
+// memoization contract.
 type computeSpec struct {
-	op  string
-	key string
-	run func(ctx context.Context, progress func(done, total int)) (any, error)
+	op    string
+	key   string
+	query string
+	run   func(ctx context.Context, progress func(done, total int)) (any, error)
 }
 
 // servedFrom reports how execute satisfied a request: a cache replay, a
@@ -193,7 +281,7 @@ func (s *Server) execute(ctx context.Context, spec computeSpec, progress func(do
 		// filled the cache between the miss above and acquiring the
 		// flight. The lookup is uncounted — this request's miss is already
 		// recorded — but a find is reported as a hit to the caller.
-		if body, ok := s.cache.peek(spec.key); ok {
+		if body, ok := s.cache.Peek(spec.key); ok {
 			innerHit = true
 			return body, nil
 		}
@@ -230,9 +318,70 @@ func (s *Server) execute(ctx context.Context, spec computeSpec, progress func(do
 // the job's result URL — is a cache hit.
 func (s *Server) startJob(spec computeSpec) JobView {
 	j, ctx := s.jobs.create(spec)
+	s.runJob(j, ctx, spec)
+	return j.snapshot()
+}
+
+// runJob drives a registered job to its terminal state in a goroutine
+// tracked by the engine's WaitGroup, so Close waits for the final WAL
+// record.
+func (s *Server) runJob(j *job, ctx context.Context, spec computeSpec) {
+	s.jobs.wg.Add(1)
 	go func() {
+		defer s.jobs.wg.Done()
 		_, _, err := s.execute(ctx, spec, j.setProgress)
 		j.finish(err, ctx, "/v1/jobs/"+j.snapshot().ID+"/result")
 	}()
-	return j.snapshot()
+}
+
+// recoverJobs turns the replayed WAL into job state: terminal jobs are
+// restored as poll-able records, jobs whose cancellation was requested
+// before the crash complete as cancelled, and incomplete jobs are rebuilt
+// from their persisted request query and re-driven — experiments resume
+// from their shard checkpoints, so finished work is not recomputed and the
+// final artifact is byte-identical to an uninterrupted run.
+func (s *Server) recoverJobs(records []store.JobRecord) {
+	for _, rj := range replayWAL(records) {
+		s.jobs.noteID(rj.id)
+		if rj.state != "" {
+			// Terminal before the crash: restore the record. The spec is
+			// rebuilt best-effort so the result URL still replays (through
+			// the cache-or-recompute path); if the request no longer parses,
+			// the result endpoint reports the rebuild error.
+			spec, _ := s.rebuildSpec(rj.op, rj.query)
+			s.jobs.restoreTerminal(JobView{
+				ID: rj.id, Op: rj.op, State: rj.state,
+				Done: rj.done, Total: rj.total,
+				Error: rj.errMsg, ResultURL: rj.resultURL,
+			}, spec)
+			continue
+		}
+		if rj.cancelled {
+			// The client asked for cancellation before the crash; honor it
+			// instead of resuming, and log the terminal state the original
+			// process never got to write.
+			s.jobs.restoreTerminal(JobView{
+				ID: rj.id, Op: rj.op, State: JobCancelled,
+				Done: rj.done, Total: rj.total,
+				Error: context.Canceled.Error(),
+			}, computeSpec{})
+			s.jobs.append(store.JobRecord{
+				Job: rj.id, Event: string(JobCancelled), Error: context.Canceled.Error(),
+			}, true)
+			continue
+		}
+		spec, err := s.rebuildSpec(rj.op, rj.query)
+		if err != nil {
+			msg := fmt.Sprintf("recovery: rebuild %s job: %v", rj.op, err)
+			s.jobs.restoreTerminal(JobView{
+				ID: rj.id, Op: rj.op, State: JobFailed, Error: msg, Resumed: true,
+			}, computeSpec{})
+			s.jobs.append(store.JobRecord{Job: rj.id, Event: string(JobFailed), Error: msg}, true)
+			continue
+		}
+		s.jobs.mu.Lock()
+		j, ctx := s.jobs.registerLocked(rj.id, spec, true)
+		s.jobs.mu.Unlock()
+		s.runJob(j, ctx, spec)
+	}
 }

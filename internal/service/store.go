@@ -1,12 +1,14 @@
 package service
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"sync"
 
 	"wexp/internal/gen"
 	"wexp/internal/graph"
+	"wexp/internal/store"
 )
 
 // StoredGraph is a snapshot of one entry of the content-addressed graph
@@ -25,15 +27,17 @@ type StoredGraph struct {
 	g *graph.Graph
 }
 
-// Graph returns the stored immutable graph.
+// Graph returns the stored immutable graph (nil on index-only snapshots
+// from List in durable mode; Get always populates it).
 func (s StoredGraph) Graph() *graph.Graph { return s.g }
 
-// storeEntry is the store's internal mutable record; labels is only
-// touched under Store.mu.
+// storeEntry is the store's internal mutable record; labels and lru are
+// only touched under Store.mu.
 type storeEntry struct {
 	digest string
 	g      *graph.Graph
 	labels []string
+	lru    *list.Element // position in Store.order (durable mode only)
 }
 
 // snapshot copies the entry into a lock-free view. Caller holds Store.mu.
@@ -63,32 +67,51 @@ func (e *storeEntry) addLabel(label string) {
 // Store is the content-addressed graph store: graphs are keyed by their
 // canonical digest, so storing the same graph twice — whether uploaded
 // as an edge list or requested as a named family — dedupes to one entry.
-// Graphs are immutable and never evicted (only computed results live in
-// the LRU cache); MaxGraphs bounds the store.
+//
+// It is two-tier. The durable tier (optional, a store.CAS directory) holds
+// every graph forever in the pinned binary CSR encoding; the in-memory
+// tier holds decoded graphs and is just a cache over it, bounded by max
+// entries with LRU eviction — an evicted graph reloads (and re-verifies)
+// from disk on demand. Without a durable tier the in-memory tier IS the
+// store: eviction would lose data, so overflow reports ErrStoreFull
+// (507) instead. The capacity bound therefore applies to the cache tier,
+// never to the durable tier.
 type Store struct {
 	mu       sync.Mutex
 	max      int
 	graphs   map[string]*storeEntry
+	order    *list.List        // LRU order of in-memory entries (durable mode); front = most recent
 	families map[string]string // "family/size" → digest, to skip rebuilding
+	cas      *store.CAS        // nil = memory-only
+
+	evictions int64
 }
 
-// NewStore returns a store holding at most max graphs (0 means
-// DefaultMaxGraphs).
-func NewStore(max int) *Store {
+// NewStore returns a memory-only store holding at most max graphs (0
+// means DefaultMaxGraphs).
+func NewStore(max int) *Store { return NewDurableStore(max, nil) }
+
+// NewDurableStore returns a store backed by cas (may be nil for
+// memory-only), caching at most max decoded graphs in memory.
+func NewDurableStore(max int, cas *store.CAS) *Store {
 	if max <= 0 {
 		max = DefaultMaxGraphs
 	}
 	return &Store{
 		max:      max,
 		graphs:   make(map[string]*storeEntry),
+		order:    list.New(),
 		families: make(map[string]string),
+		cas:      cas,
 	}
 }
 
 // DefaultMaxGraphs bounds the graph store when Config.MaxGraphs is zero.
 const DefaultMaxGraphs = 4096
 
-// ErrStoreFull reports that the graph store reached its capacity.
+// ErrStoreFull reports that the memory-only graph store reached its
+// capacity. A durable store never returns it: the bound there governs
+// the cache tier, which evicts instead.
 var ErrStoreFull = fmt.Errorf("service: graph store full")
 
 // Put stores g under its canonical digest and returns a snapshot of the
@@ -98,6 +121,15 @@ func (s *Store) Put(g *graph.Graph, label string) (StoredGraph, bool, error) {
 	d := graph.DigestString(g)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.cas != nil {
+		_, existedOnDisk, err := s.cas.Put(g, []string{label})
+		if err != nil {
+			return StoredGraph{}, false, err
+		}
+		e := s.cacheLocked(d, g)
+		e.labels = s.diskLabels(d)
+		return e.snapshot(), existedOnDisk, nil
+	}
 	if e, ok := s.graphs[d]; ok {
 		e.addLabel(label)
 		return e.snapshot(), true, nil
@@ -111,15 +143,67 @@ func (s *Store) Put(g *graph.Graph, label string) (StoredGraph, bool, error) {
 	return e.snapshot(), false, nil
 }
 
-// Get returns a snapshot of the entry for a digest.
-func (s *Store) Get(digest string) (StoredGraph, bool) {
+// diskLabels reads the canonical label set of a durable entry. Caller
+// holds s.mu; the CAS has its own lock.
+func (s *Store) diskLabels(digest string) []string {
+	meta, _ := s.cas.Meta(digest)
+	return append([]string(nil), meta.Labels...)
+}
+
+// cacheLocked inserts (or refreshes) the in-memory entry for a
+// durable-tier graph, evicting the least recently used entries beyond
+// the bound. Caller holds s.mu and guarantees the graph is on disk.
+func (s *Store) cacheLocked(digest string, g *graph.Graph) *storeEntry {
+	if e, ok := s.graphs[digest]; ok {
+		s.order.MoveToFront(e.lru)
+		return e
+	}
+	e := &storeEntry{digest: digest, g: g}
+	e.lru = s.order.PushFront(e)
+	s.graphs[digest] = e
+	for len(s.graphs) > s.max {
+		back := s.order.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*storeEntry)
+		s.order.Remove(back)
+		delete(s.graphs, victim.digest)
+		s.evictions++
+	}
+	return e
+}
+
+// Get returns a snapshot of the entry for a digest. In durable mode a
+// memory miss falls through to the CAS (verify-on-read) and re-caches;
+// a corrupt durable entry surfaces as an error, distinct from a miss.
+func (s *Store) Get(digest string) (StoredGraph, bool, error) {
+	s.mu.Lock()
+	if e, ok := s.graphs[digest]; ok {
+		if s.cas != nil {
+			s.order.MoveToFront(e.lru)
+			e.labels = s.diskLabels(digest)
+		}
+		snap := e.snapshot()
+		s.mu.Unlock()
+		return snap, true, nil
+	}
+	if s.cas == nil {
+		s.mu.Unlock()
+		return StoredGraph{}, false, nil
+	}
+	s.mu.Unlock()
+	// Load outside the lock: decoding and digest verification are the
+	// expensive part. A racing duplicate load converges in cacheLocked.
+	g, ok, err := s.cas.Get(digest)
+	if err != nil || !ok {
+		return StoredGraph{}, false, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.graphs[digest]
-	if !ok {
-		return StoredGraph{}, false
-	}
-	return e.snapshot(), true
+	e := s.cacheLocked(digest, g)
+	e.labels = s.diskLabels(digest)
+	return e.snapshot(), true, nil
 }
 
 // PutFamily resolves a named family instance (building it at most once per
@@ -129,11 +213,15 @@ func (s *Store) PutFamily(family string, size int) (StoredGraph, bool, error) {
 	fkey := fmt.Sprintf("%s/%d", family, size)
 	s.mu.Lock()
 	if d, ok := s.families[fkey]; ok {
-		e := s.graphs[d].snapshot()
 		s.mu.Unlock()
-		return e, true, nil
+		if e, ok, err := s.Get(d); err == nil && ok {
+			return e, true, nil
+		}
+		// The cached digest went unreadable (corrupt durable entry);
+		// fall through and rebuild.
+	} else {
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	// Build outside the lock: generators can be expensive. A racing
 	// duplicate build dedupes through Put.
 	g, err := buildFamily(family, size)
@@ -162,18 +250,49 @@ func buildFamily(family string, size int) (g *graph.Graph, err error) {
 	return gen.FromFamily(gen.Family(family), size)
 }
 
-// Len returns the number of stored graphs.
+// Len returns the number of stored graphs (durable tier when present).
 func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cas != nil {
+		return s.cas.Len()
+	}
+	return len(s.graphs)
+}
+
+// CachedLen returns the number of decoded graphs resident in memory.
+func (s *Store) CachedLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.graphs)
 }
 
+// Evictions returns the number of cache-tier evictions (0 in memory-only
+// mode, which never evicts).
+func (s *Store) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
 // List returns snapshots sorted by digest — a canonical order, so the
-// listing endpoint's body is deterministic for a given store content.
+// listing endpoint's body is deterministic for a given store content. In
+// durable mode the listing comes from the index and snapshots carry
+// metadata only (no decoded graph).
 func (s *Store) List() []StoredGraph {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.cas != nil {
+		listed := s.cas.List()
+		out := make([]StoredGraph, 0, len(listed))
+		for _, l := range listed {
+			out = append(out, StoredGraph{
+				Digest: l.Digest, N: l.N, M: l.M,
+				Labels: append([]string(nil), l.Labels...),
+			})
+		}
+		return out
+	}
 	out := make([]StoredGraph, 0, len(s.graphs))
 	for _, e := range s.graphs {
 		out = append(out, e.snapshot())

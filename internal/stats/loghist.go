@@ -1,0 +1,153 @@
+package stats
+
+import "math/bits"
+
+// LogHistogram is an HDR-style log-linear histogram of non-negative int64
+// samples (latencies in nanoseconds, typically): values below 2^subBits
+// get exact unit buckets, and each octave above is split into sub/2
+// linear sub-buckets, bounding the relative quantile error by
+// 2^-(subBits-1) ≈ 3% while keeping the bucket array small and fixed —
+// recording is O(1) with no allocation, suitable for the hot path of a
+// load generator.
+//
+// The zero value is NOT ready to use; call NewLogHistogram.
+type LogHistogram struct {
+	counts []int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	subBits = 6
+	sub     = 1 << subBits // exact buckets below this value
+	half    = sub / 2      // linear sub-buckets per octave above
+	// 63-subBits+1 octaves cover the full non-negative int64 range.
+	logBuckets = sub + (63-subBits+1)*half
+)
+
+// NewLogHistogram returns an empty histogram covering [0, MaxInt64].
+func NewLogHistogram() *LogHistogram {
+	return &LogHistogram{counts: make([]int64, logBuckets), min: int64(^uint64(0) >> 1)}
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < sub {
+		return int(v)
+	}
+	msb := bits.Len64(uint64(v)) - 1 // ≥ subBits
+	octave := msb - subBits + 1
+	normalized := int(v >> octave) // ∈ [half, sub)
+	return sub + (octave-1)*half + (normalized - half)
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of bucket b.
+func bucketBounds(b int) (lo, hi int64) {
+	if b < sub {
+		return int64(b), int64(b) + 1
+	}
+	octave := (b-sub)/half + 1
+	normalized := int64((b-sub)%half + half)
+	return normalized << octave, (normalized + 1) << octave
+}
+
+// Record adds one sample. Negative samples clamp to zero.
+func (h *LogHistogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LogHistogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all recorded samples.
+func (h *LogHistogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *LogHistogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *LogHistogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (h *LogHistogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1): the
+// midpoint of the bucket holding the rank-⌈q·n⌉ sample, clamped to the
+// exact observed min and max so the tails never over-report. Relative
+// error is bounded by the bucket width, ≈3%. Returns 0 if empty.
+func (h *LogHistogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	rank := int64(q*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var seen int64
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			lo, hi := bucketBounds(b)
+			mid := lo + (hi-lo)/2
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h (other is unchanged). Histograms from
+// concurrent workers merge exactly: bucket counts add.
+func (h *LogHistogram) Merge(other *LogHistogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

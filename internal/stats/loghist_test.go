@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"wexp/internal/rng"
+)
+
+func TestLogHistogramBucketRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 63, 64, 65, 127, 128, 1000, 4096, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range vals {
+		b := bucketOf(v)
+		lo, hi := bucketBounds(b)
+		if v < lo || (v >= hi && hi > lo) {
+			t.Errorf("value %d maps to bucket %d with bounds [%d,%d)", v, b, lo, hi)
+		}
+		if b < 0 || b >= logBuckets {
+			t.Errorf("bucket %d for %d out of range [0,%d)", b, v, logBuckets)
+		}
+	}
+	// Bucket indices must be monotone in the value.
+	prev := -1
+	for v := int64(0); v < 10000; v++ {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestLogHistogramExactSmallValues(t *testing.T) {
+	h := NewLogHistogram()
+	for v := int64(0); v < 50; v++ {
+		h.Record(v)
+	}
+	// Values below 64 land in unit buckets: quantiles are exact
+	// (modulo min/max clamping at the ends).
+	// Rank ⌈0.5·50⌉ = 25 → the 25th smallest of 0..49 is 24.
+	if got := h.Quantile(0.5); got != 24 {
+		t.Errorf("median = %d, want 24", got)
+	}
+	if h.Min() != 0 || h.Max() != 49 || h.Count() != 50 {
+		t.Errorf("min/max/count = %d/%d/%d, want 0/49/50", h.Min(), h.Max(), h.Count())
+	}
+	if h.Sum() != 49*50/2 {
+		t.Errorf("sum = %d, want %d", h.Sum(), 49*50/2)
+	}
+}
+
+func TestLogHistogramQuantileAccuracy(t *testing.T) {
+	// Log-uniform samples spanning six orders of magnitude: the regime a
+	// latency histogram must handle. The estimate must stay within the
+	// 2^-(subBits-1) relative error bound of the exact quantile.
+	r := rng.New(7)
+	h := NewLogHistogram()
+	var exact []int64
+	for i := 0; i < 20000; i++ {
+		v := int64(math.Exp(r.Float64()*math.Log(1e9))) + 50
+		h.Record(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	bound := 1.0 / float64(half) // 2^-(subBits-1)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(len(exact))+0.5) - 1
+		want := exact[rank]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got)-float64(want)) / float64(want)
+		if relErr > bound+1e-9 {
+			t.Errorf("q=%g: got %d want %d (rel err %.4f > %.4f)", q, got, want, relErr, bound)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) < h.Quantile(0.999) {
+		t.Errorf("tail quantiles inconsistent: q0=%d min=%d q1=%d", h.Quantile(0), h.Min(), h.Quantile(1))
+	}
+	if h.Max() != exact[len(exact)-1] {
+		t.Errorf("max = %d, want %d", h.Max(), exact[len(exact)-1])
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	r := rng.New(11)
+	whole, a, b := NewLogHistogram(), NewLogHistogram(), NewLogHistogram()
+	for i := 0; i < 5000; i++ {
+		v := r.Int63() % 1_000_000
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() ||
+		a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merge lost mass: count %d/%d sum %d/%d", a.Count(), whole.Count(), a.Sum(), whole.Sum())
+	}
+	// Bucket counts add exactly, so every quantile matches the single
+	// histogram bit for bit.
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%g: merged %d != whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	a.Merge(nil) // must be a no-op
+	if a.Count() != whole.Count() {
+		t.Error("Merge(nil) changed the histogram")
+	}
+}
+
+func TestLogHistogramEmptyAndNegative(t *testing.T) {
+	h := NewLogHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps to zero
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Errorf("negative sample: min=%d count=%d, want 0/1", h.Min(), h.Count())
+	}
+}

@@ -1,0 +1,224 @@
+// Package store provides the durable state layer of the wexpd service:
+// a disk-backed content-addressed store for graphs (CAS) and a
+// checksummed write-ahead log (WAL) for job state. Both are designed so
+// that every byte on disk is a pure function of content identity — a CAS
+// file of the digest it is named after, a WAL record of the job
+// transition it logs — which is what makes crash recovery testable
+// byte for byte.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"wexp/internal/graph"
+)
+
+// casSchema versions the index file; graph files are versioned by the
+// magic of the pinned v1 binary CSR encoding (graph.MarshalBinary).
+const casSchema = "wexp-cas-index/v1"
+
+// IndexEntry is the durable metadata of one stored graph: everything the
+// listing endpoint needs without opening the graph file.
+type IndexEntry struct {
+	N      int      `json:"n"`
+	M      int      `json:"m"`
+	Labels []string `json:"labels,omitempty"`
+}
+
+// indexFile is the on-disk shape of INDEX.json.
+type indexFile struct {
+	Schema string                `json:"schema"`
+	Graphs map[string]IndexEntry `json:"graphs"`
+}
+
+// CAS is the content-addressed graph store: one file per graph under
+// dir/graphs/<digest>.g in the pinned v1 binary CSR encoding, plus
+// INDEX.json carrying per-graph metadata. All writes are atomic
+// (temp file + rename), so a crash at any point leaves either the old or
+// the new state, never a torn file; reads verify the decoded graph's
+// digest against its filename, so silent corruption degrades to a clean
+// error.
+type CAS struct {
+	mu    sync.Mutex
+	dir   string
+	index map[string]IndexEntry
+}
+
+// OpenCAS opens (creating if needed) the CAS rooted at dir and loads the
+// index. A missing index means an empty store; an unreadable one is an
+// error — refusing to serve is better than silently forgetting graphs.
+func OpenCAS(dir string) (*CAS, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "graphs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: create CAS dir: %w", err)
+	}
+	c := &CAS{dir: dir, index: map[string]IndexEntry{}}
+	raw, err := os.ReadFile(c.indexPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return c, nil
+		}
+		return nil, fmt.Errorf("store: read index: %w", err)
+	}
+	var idx indexFile
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		return nil, fmt.Errorf("store: parse index: %w", err)
+	}
+	if idx.Schema != casSchema {
+		return nil, fmt.Errorf("store: index schema %q, want %q", idx.Schema, casSchema)
+	}
+	if idx.Graphs != nil {
+		c.index = idx.Graphs
+	}
+	return c, nil
+}
+
+func (c *CAS) indexPath() string { return filepath.Join(c.dir, "INDEX.json") }
+
+func (c *CAS) graphPath(digest string) string {
+	return filepath.Join(c.dir, "graphs", digest+".g")
+}
+
+// writeAtomic writes data to path via a temp file in the same directory
+// and an atomic rename.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// saveIndexLocked rewrites INDEX.json atomically. Caller holds c.mu.
+func (c *CAS) saveIndexLocked() error {
+	data, err := json.Marshal(indexFile{Schema: casSchema, Graphs: c.index})
+	if err != nil {
+		return fmt.Errorf("store: encode index: %w", err)
+	}
+	if err := writeAtomic(c.indexPath(), data); err != nil {
+		return fmt.Errorf("store: write index: %w", err)
+	}
+	return nil
+}
+
+// Put stores g under its digest with the given labels (sorted, merged
+// with any existing entry's). Storing an already-present digest only
+// updates labels; the graph file is written once. Returns whether the
+// digest was already present.
+func (c *CAS) Put(g *graph.Graph, labels []string) (digest string, existed bool, err error) {
+	digest = graph.DigestString(g)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, existed := c.index[digest]
+	if !existed {
+		data, merr := g.MarshalBinary()
+		if merr != nil {
+			return "", false, fmt.Errorf("store: encode graph: %w", merr)
+		}
+		if err := writeAtomic(c.graphPath(digest), data); err != nil {
+			return "", false, fmt.Errorf("store: write graph %s: %w", digest, err)
+		}
+		entry = IndexEntry{N: g.N(), M: g.M()}
+	}
+	if merged, changed := mergeLabels(entry.Labels, labels); changed || !existed {
+		entry.Labels = merged
+		c.index[digest] = entry
+		if err := c.saveIndexLocked(); err != nil {
+			return "", false, err
+		}
+	}
+	return digest, existed, nil
+}
+
+// mergeLabels unions add into have (both treated as sets), returning the
+// sorted result and whether anything was added. Empty labels are dropped.
+func mergeLabels(have, add []string) ([]string, bool) {
+	seen := make(map[string]bool, len(have))
+	for _, l := range have {
+		seen[l] = true
+	}
+	changed := false
+	out := append([]string(nil), have...)
+	for _, l := range add {
+		if l != "" && !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+			changed = true
+		}
+	}
+	sort.Strings(out)
+	return out, changed
+}
+
+// Get loads and decodes the graph for digest, verifying that the decoded
+// content re-hashes to the digest it was filed under. A missing digest
+// returns (nil, false, nil); a present-but-corrupt file returns an error.
+func (c *CAS) Get(digest string) (*graph.Graph, bool, error) {
+	c.mu.Lock()
+	_, ok := c.index[digest]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(c.graphPath(digest))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: read graph %s: %w", digest, err)
+	}
+	g, err := graph.UnmarshalBinary(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: decode graph %s: %w", digest, err)
+	}
+	if got := graph.DigestString(g); got != digest {
+		return nil, false, fmt.Errorf("store: graph %s fails verification (content hashes to %s)", digest, got)
+	}
+	return g, true, nil
+}
+
+// Meta returns the index entry for digest.
+func (c *CAS) Meta(digest string) (IndexEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.index[digest]
+	return e, ok
+}
+
+// List returns every stored digest with its metadata, sorted by digest.
+func (c *CAS) List() []ListedGraph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ListedGraph, 0, len(c.index))
+	for d, e := range c.index {
+		out = append(out, ListedGraph{Digest: d, IndexEntry: e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out
+}
+
+// ListedGraph pairs a digest with its index metadata.
+type ListedGraph struct {
+	Digest string
+	IndexEntry
+}
+
+// Len returns the number of stored graphs.
+func (c *CAS) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}

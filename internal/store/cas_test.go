@@ -1,0 +1,140 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wexp/internal/graph"
+)
+
+func buildPath(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(v-1, v)
+	}
+	return b.Build()
+}
+
+func TestCASPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCAS(dir)
+	if err != nil {
+		t.Fatalf("OpenCAS: %v", err)
+	}
+	g := buildPath(t, 8)
+	d, existed, err := c.Put(g, []string{"upload"})
+	if err != nil || existed {
+		t.Fatalf("Put: existed=%t err=%v", existed, err)
+	}
+	if d != graph.DigestString(g) {
+		t.Fatalf("Put returned digest %s, want %s", d, graph.DigestString(g))
+	}
+	// Second put dedupes and merges labels.
+	if _, existed, err = c.Put(g, []string{"path(8)"}); err != nil || !existed {
+		t.Fatalf("second Put: existed=%t err=%v", existed, err)
+	}
+	back, ok, err := c.Get(d)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%t err=%v", ok, err)
+	}
+	if graph.DigestString(back) != d {
+		t.Fatalf("Get returned a different graph")
+	}
+	meta, ok := c.Meta(d)
+	if !ok || meta.N != 8 || meta.M != 7 {
+		t.Fatalf("Meta = %+v ok=%t", meta, ok)
+	}
+	if want := []string{"path(8)", "upload"}; len(meta.Labels) != 2 || meta.Labels[0] != want[0] || meta.Labels[1] != want[1] {
+		t.Fatalf("labels = %v, want %v", meta.Labels, want)
+	}
+}
+
+// TestCASSurvivesReopen is the durability contract: a fresh CAS over the
+// same directory serves the same graphs and metadata.
+func TestCASSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenCAS(dir)
+	var digests []string
+	for n := 3; n <= 6; n++ {
+		d, _, err := c.Put(buildPath(t, n), []string{"x"})
+		if err != nil {
+			t.Fatalf("Put n=%d: %v", n, err)
+		}
+		digests = append(digests, d)
+	}
+	c2, err := OpenCAS(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if c2.Len() != len(digests) {
+		t.Fatalf("reopened Len = %d, want %d", c2.Len(), len(digests))
+	}
+	for _, d := range digests {
+		g, ok, err := c2.Get(d)
+		if err != nil || !ok {
+			t.Fatalf("reopened Get(%s): ok=%t err=%v", d, ok, err)
+		}
+		if graph.DigestString(g) != d {
+			t.Fatalf("reopened Get(%s) verification drift", d)
+		}
+	}
+	// Listing is deterministic: byte-identical across instances.
+	l1, l2 := c.List(), c2.List()
+	if len(l1) != len(l2) {
+		t.Fatalf("list lengths differ: %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i].Digest != l2[i].Digest || l1[i].N != l2[i].N {
+			t.Fatalf("list entry %d differs: %+v vs %+v", i, l1[i], l2[i])
+		}
+	}
+}
+
+// TestCASCorruptEntry flips a byte in a stored graph file: Get must
+// degrade to a clean verification error, not a panic or a wrong graph.
+func TestCASCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenCAS(dir)
+	d, _, err := c.Put(buildPath(t, 10), nil)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	path := filepath.Join(dir, "graphs", d+".g")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read graph file: %v", err)
+	}
+	data[len(data)-1] ^= 0x01 // corrupt a neighbor entry
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write corrupted file: %v", err)
+	}
+	if _, _, err := c.Get(d); err == nil {
+		t.Fatalf("Get on corrupted entry succeeded, want verification error")
+	} else if !strings.Contains(err.Error(), "verification") && !strings.Contains(err.Error(), "decode") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+	// Deleting the file behind the index is also a clean error.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(d); err == nil {
+		t.Fatalf("Get on missing file succeeded, want error")
+	}
+	// An unknown digest is a miss, not an error.
+	if _, ok, err := c.Get(strings.Repeat("0", 64)); ok || err != nil {
+		t.Fatalf("unknown digest: ok=%t err=%v, want miss", ok, err)
+	}
+}
+
+func TestCASBadIndex(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "INDEX.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCAS(dir); err == nil {
+		t.Fatalf("OpenCAS over garbage index succeeded, want error")
+	}
+}

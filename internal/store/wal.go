@@ -1,0 +1,210 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// JobRecord is one WAL entry: a single transition in a job's lifecycle.
+// The full schema (one JSON object per record, length- and
+// CRC-framed) is documented in internal/service/README.md.
+//
+// Events:
+//
+//	accepted  — job created; Op/Query/Key identify the computation so a
+//	            recovering server can rebuild and resume it
+//	progress  — shard-level progress (experiments jobs)
+//	cancel    — a client requested cancellation
+//	done | failed | cancelled — terminal states
+type JobRecord struct {
+	// Seq is the monotone record sequence number, assigned by Append.
+	Seq uint64 `json:"seq"`
+	// Job is the job ID the record belongs to.
+	Job string `json:"job"`
+	// Event is the transition (see above).
+	Event string `json:"event"`
+
+	Op        string `json:"op,omitempty"`
+	Query     string `json:"query,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Done      int    `json:"done,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// castagnoli is the CRC-32C table shared by every record frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameRecord appends one framed record to buf:
+//
+//	u32 LE payload length | u32 LE CRC-32C(payload) | payload
+func frameRecord(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// maxRecordBytes bounds a single WAL record. Job transitions are small;
+// a length prefix beyond this is treated as a torn/corrupt tail rather
+// than an instruction to allocate gigabytes.
+const maxRecordBytes = 1 << 20
+
+// decodeFrame splits one framed record off data, returning the payload
+// and the remainder. An incomplete or checksum-failing frame returns an
+// error; the caller treats everything from that offset on as a torn
+// tail.
+func decodeFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) < 8 {
+		return nil, nil, fmt.Errorf("store: truncated frame header (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data[:4])
+	if n > maxRecordBytes {
+		return nil, nil, fmt.Errorf("store: frame length %d exceeds limit", n)
+	}
+	if len(data) < 8+int(n) {
+		return nil, nil, fmt.Errorf("store: truncated frame body (want %d, have %d)", n, len(data)-8)
+	}
+	payload = data[8 : 8+n]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(data[4:8]); got != want {
+		return nil, nil, fmt.Errorf("store: frame checksum mismatch (%08x != %08x)", got, want)
+	}
+	return payload, data[8+int(n):], nil
+}
+
+// decodeRecord parses one framed JobRecord. It is the unit the WAL fuzz
+// target drives: any byte stream must come back as a record or a clean
+// error.
+func decodeRecord(data []byte) (JobRecord, []byte, error) {
+	payload, rest, err := decodeFrame(data)
+	if err != nil {
+		return JobRecord{}, nil, err
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return JobRecord{}, nil, fmt.Errorf("store: frame payload: %w", err)
+	}
+	return rec, rest, nil
+}
+
+// WAL is the append-only job-state log. Every record is framed with a
+// length prefix and a CRC-32C; replay stops at the first torn or
+// corrupt frame and truncates the file there, so a crash mid-append
+// costs at most the record being written.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	seq  uint64
+	size int64 // current valid length
+}
+
+// ReplayStats reports what OpenWAL found.
+type ReplayStats struct {
+	// Records is the number of valid records replayed.
+	Records int
+	// TruncatedBytes is the length of the torn tail dropped, 0 for a
+	// clean log.
+	TruncatedBytes int64
+}
+
+// OpenWAL opens (creating if needed) the log at path, replays every
+// valid record into fn (in append order), truncates any torn tail, and
+// returns the WAL positioned for appending. fn may be nil to discard.
+func OpenWAL(path string, fn func(JobRecord)) (*WAL, ReplayStats, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, ReplayStats{}, fmt.Errorf("store: open WAL: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, ReplayStats{}, fmt.Errorf("store: read WAL: %w", err)
+	}
+	w := &WAL{f: f}
+	var stats ReplayStats
+	rest := data
+	for len(rest) > 0 {
+		rec, next, err := decodeRecord(rest)
+		if err != nil {
+			// Torn tail: drop it. Everything before the bad frame is valid.
+			stats.TruncatedBytes = int64(len(rest))
+			break
+		}
+		if rec.Seq > w.seq {
+			w.seq = rec.Seq
+		}
+		if fn != nil {
+			fn(rec)
+		}
+		stats.Records++
+		rest = next
+	}
+	w.size = int64(len(data)) - stats.TruncatedBytes
+	if stats.TruncatedBytes > 0 {
+		if err := f.Truncate(w.size); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("store: truncate torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(w.size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, stats, fmt.Errorf("store: seek WAL: %w", err)
+	}
+	return w, stats, nil
+}
+
+// Append assigns the record its sequence number and writes it. When sync
+// is true the record is fsynced before Append returns — used for
+// accepted and terminal transitions; progress records ride on the next
+// sync (losing one costs a stale progress gauge, never correctness).
+func (w *WAL) Append(rec JobRecord, sync bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: WAL is closed")
+	}
+	w.seq++
+	rec.Seq = w.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode WAL record: %w", err)
+	}
+	frame := frameRecord(nil, payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: append WAL record: %w", err)
+	}
+	w.size += int64(len(frame))
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// Seq returns the last assigned sequence number.
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Close syncs and closes the log. Appends after Close fail cleanly.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "jobs.wal")
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := walPath(t)
+	w, stats, err := OpenWAL(path, nil)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if stats.Records != 0 || stats.TruncatedBytes != 0 {
+		t.Fatalf("fresh WAL stats = %+v", stats)
+	}
+	recs := []JobRecord{
+		{Job: "job-000001", Event: "accepted", Op: "expansion", Query: "graph=abc&maxk=3", Key: "expansion|g=abc|maxk=3"},
+		{Job: "job-000001", Event: "progress", Done: 2, Total: 7},
+		{Job: "job-000001", Event: "done", ResultURL: "/v1/jobs/job-000001/result"},
+	}
+	for i, r := range recs {
+		if err := w.Append(r, i != 1); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if w.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", w.Seq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w.Append(JobRecord{}, false); err == nil {
+		t.Fatalf("Append after Close succeeded")
+	}
+
+	var got []JobRecord
+	w2, stats, err := OpenWAL(path, func(r JobRecord) { got = append(got, r) })
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	if stats.Records != 3 || stats.TruncatedBytes != 0 {
+		t.Fatalf("replay stats = %+v", stats)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || r.Job != recs[i].Job || r.Event != recs[i].Event {
+			t.Fatalf("record %d = %+v, want %+v with seq %d", i, r, recs[i], i+1)
+		}
+	}
+	// Appends continue the sequence after recovery.
+	if err := w2.Append(JobRecord{Job: "job-000002", Event: "accepted"}, true); err != nil {
+		t.Fatalf("post-recovery Append: %v", err)
+	}
+	if w2.Seq() != 4 {
+		t.Fatalf("post-recovery Seq = %d, want 4", w2.Seq())
+	}
+}
+
+// TestWALTornTail simulates a crash mid-append: valid records followed by
+// a torn frame. Recovery must replay the valid prefix, truncate the tail
+// on disk, and leave the log cleanly appendable.
+func TestWALTornTail(t *testing.T) {
+	tails := map[string]func([]byte) []byte{
+		"half header": func(b []byte) []byte { return append(b, 0x05, 0x00) },
+		"length, no body": func(b []byte) []byte {
+			return binary.LittleEndian.AppendUint32(b, 100)
+		},
+		"bad checksum": func(b []byte) []byte {
+			rec := frameRecord(nil, []byte(`{"seq":9,"job":"x","event":"done"}`))
+			rec[5] ^= 0xFF
+			return append(b, rec...)
+		},
+		"absurd length": func(b []byte) []byte {
+			return binary.LittleEndian.AppendUint32(b, 1<<30)
+		},
+		"garbage json": func(b []byte) []byte {
+			return frameRecord(b, []byte("not json at all"))
+		},
+	}
+	for name, tear := range tails {
+		t.Run(name, func(t *testing.T) {
+			path := walPath(t)
+			w, _, err := OpenWAL(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Append(JobRecord{Job: "job-000001", Event: "accepted"}, true)
+			w.Append(JobRecord{Job: "job-000001", Event: "done"}, true)
+			w.Close()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goodLen := len(data)
+			if err := os.WriteFile(path, tear(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			var got []JobRecord
+			w2, stats, err := OpenWAL(path, func(r JobRecord) { got = append(got, r) })
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			if stats.Records != 2 {
+				t.Fatalf("replayed %d records, want 2", stats.Records)
+			}
+			if stats.TruncatedBytes == 0 {
+				t.Fatalf("no torn tail reported")
+			}
+			// The file itself is truncated back to the valid prefix.
+			if fi, err := os.Stat(path); err != nil || fi.Size() != int64(goodLen) {
+				t.Fatalf("file size after recovery = %v (err %v), want %d", fi.Size(), err, goodLen)
+			}
+			// And appending after recovery yields a clean, fully valid log.
+			if err := w2.Append(JobRecord{Job: "job-000002", Event: "accepted"}, true); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			w2.Close()
+			_, stats, err = OpenWAL(path, nil)
+			if err != nil || stats.Records != 3 || stats.TruncatedBytes != 0 {
+				t.Fatalf("final reopen: stats=%+v err=%v", stats, err)
+			}
+		})
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{{}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	var buf []byte
+	for _, p := range payloads {
+		buf = frameRecord(buf, p)
+	}
+	rest := buf
+	for i, p := range payloads {
+		got, next, err := decodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+		rest = next
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+// FuzzWALDecode drives the record codec with arbitrary bytes: decoding
+// must always return a clean error or a record whose re-encoding decodes
+// to the same thing — never panic, never over-read.
+func FuzzWALDecode(f *testing.F) {
+	good := frameRecord(nil, []byte(`{"seq":1,"job":"job-000001","event":"accepted","op":"expansion"}`))
+	f.Add(good)
+	f.Add(append(good, good...))
+	f.Add(good[:5])
+	f.Add([]byte{})
+	f.Add(binary.LittleEndian.AppendUint32(nil, 1<<31))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for len(rest) > 0 {
+			rec, next, err := decodeRecord(rest)
+			if err != nil {
+				return // torn tail; recovery stops here by design
+			}
+			if len(next) >= len(rest) {
+				t.Fatalf("decode made no progress")
+			}
+			// Round-trip stability: re-framing the decoded record decodes
+			// to an identical record.
+			payload, merr := json.Marshal(rec)
+			if merr != nil {
+				t.Fatalf("re-encode: %v", merr)
+			}
+			back, _, err := decodeRecord(frameRecord(nil, payload))
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if back != rec {
+				t.Fatalf("round trip drift: %+v vs %+v", rec, back)
+			}
+			rest = next
+		}
+	})
+}
