@@ -42,6 +42,27 @@ const (
 // branch-and-bound engine.
 type BipartiteExpansionResult = expansion.BipartiteResult
 
+// Certificate states what an expansion Result's value is worth: an exact
+// proof, a randomized certificate with an explicit failure probability, or
+// an uncertified estimate. It marshals into response bodies verbatim.
+type Certificate = expansion.Certificate
+
+// CertKind enumerates the certificate kinds.
+type CertKind = expansion.CertKind
+
+// The three certificate kinds, from strongest to weakest.
+const (
+	CertExact     = expansion.CertExact
+	CertCertified = expansion.CertCertified
+	CertEstimate  = expansion.CertEstimate
+)
+
+// RandomizedOptions parameterizes the randomized certified solver: the
+// shared run knobs plus the target failure probability and the per-stratum
+// sampling/search effort. The zero value selects sound defaults
+// (failure ≤ 1e-9).
+type RandomizedOptions = expansion.RandOptions
+
 // ErrBudget is the sentinel wrapped by every budget-exceeded error from
 // the exact engines; test with errors.Is to distinguish "raise the budget
 // or shrink the instance" from hard input errors.
@@ -71,6 +92,17 @@ func UniqueExpansionWith(ctx context.Context, g *Graph, opt ExpansionOptions) (E
 // WirelessExpansionWith computes βw(G) exactly under opt, honouring ctx.
 func WirelessExpansionWith(ctx context.Context, g *Graph, opt ExpansionOptions) (ExpansionResult, error) {
 	return Expansion(ctx, g, ObjWireless, opt)
+}
+
+// RandomizedExpansionWith runs the PPSZ-style randomized certified solver
+// on obj under opt, honouring ctx (which supersedes opt.Ctx). The returned
+// value is always a witnessed upper bound; the certificate brackets it from
+// below with an explicit failure probability (or proves it exact when every
+// cardinality stratum fits the exhaustive cutoff). Results, certificates,
+// and trial counts are bit-identical at every opt.Workers.
+func RandomizedExpansionWith(ctx context.Context, g *Graph, obj Objective, opt RandomizedOptions) (ExpansionResult, error) {
+	opt.Ctx = ctx
+	return expansion.Randomized(g, obj, opt)
 }
 
 // EdgeExpansionWith computes the Cheeger constant h(G) exactly under opt,

@@ -340,6 +340,14 @@ type expansionBenchRecord struct {
 	// instead of hiding inside a timing tolerance.
 	PruneRate       float64 `json:"prune_rate"`
 	VisitedFraction float64 `json:"visited_fraction"`
+
+	// Randomized-tier rows only: the certificate's trial count and failure
+	// probability. Both are deterministic functions of the instance and the
+	// fixed bench seed (pre-split per-trial RNG streams, worker-invariant),
+	// so benchgate keys on them too — a drift in the randomized schedule or
+	// failure accounting breaks record matching like a search-shape drift.
+	Trials      int     `json:"trials,omitempty"`
+	FailureProb float64 `json:"failure_prob,omitempty"`
 }
 
 // BenchmarkExpansionEngine measures the by-cardinality exact engine on
@@ -351,14 +359,15 @@ type expansionBenchRecord struct {
 // -bench=ExpansionEngine`), so a filtered run cannot truncate it.
 func BenchmarkExpansionEngine(b *testing.B) {
 	type cfg struct {
-		solver    string
-		obj       expansion.Objective
-		n         int
-		p         float64
-		alpha     float64
-		workers   int
-		recompute bool
-		noprune   bool // pin the flat incremental kernel (else default = branch-and-bound)
+		solver     string
+		obj        expansion.Objective
+		n          int
+		p          float64
+		alpha      float64
+		workers    int
+		recompute  bool
+		noprune    bool // pin the flat incremental kernel (else default = branch-and-bound)
+		randomized bool // run the randomized certified tier instead of the exact engine
 	}
 	// The -serial/-recompute pairs pin the revolving-door kernel speedup at
 	// a fixed single-worker workload: n = 24 (α = 0.5, the α of the other
@@ -366,23 +375,27 @@ func BenchmarkExpansionEngine(b *testing.B) {
 	// paper's sparse bounded-degree regime, where O(deg(out)+deg(in))
 	// per-set maintenance is the design point — for the bitset kernel.
 	cfgs := []cfg{
-		{"ordinary", expansion.ObjOrdinary, 16, 0.3, 0.5, 0, false, false},
-		{"ordinary", expansion.ObjOrdinary, 20, 0.3, 0.5, 0, false, false},
-		{"ordinary", expansion.ObjOrdinary, 24, 0.3, 0.25, 0, false, false},
-		{"ordinary", expansion.ObjOrdinary, 32, 0.3, 0.125, 0, false, false},
-		{"unique", expansion.ObjUnique, 20, 0.3, 0.5, 0, false, false},
-		{"wireless", expansion.ObjWireless, 16, 0.3, 0.25, 0, false, false},
-		{"wireless-serial", expansion.ObjWireless, 16, 0.3, 0.25, 1, false, true},
-		{"ordinary-serial", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, false, true},
-		{"ordinary-serial-recompute", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, true, false},
-		{"unique-serial", expansion.ObjUnique, 20, 0.3, 0.5, 1, false, true},
-		{"unique-serial-recompute", expansion.ObjUnique, 20, 0.3, 0.5, 1, true, false},
-		{"ordinary-big", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, false, true},
-		{"ordinary-big-recompute", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, true, false},
+		{"ordinary", expansion.ObjOrdinary, 16, 0.3, 0.5, 0, false, false, false},
+		{"ordinary", expansion.ObjOrdinary, 20, 0.3, 0.5, 0, false, false, false},
+		{"ordinary", expansion.ObjOrdinary, 24, 0.3, 0.25, 0, false, false, false},
+		{"ordinary", expansion.ObjOrdinary, 32, 0.3, 0.125, 0, false, false, false},
+		{"unique", expansion.ObjUnique, 20, 0.3, 0.5, 0, false, false, false},
+		{"wireless", expansion.ObjWireless, 16, 0.3, 0.25, 0, false, false, false},
+		{"wireless-serial", expansion.ObjWireless, 16, 0.3, 0.25, 1, false, true, false},
+		{"ordinary-serial", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, false, true, false},
+		{"ordinary-serial-recompute", expansion.ObjOrdinary, 24, 0.3, 0.5, 1, true, false, false},
+		{"unique-serial", expansion.ObjUnique, 20, 0.3, 0.5, 1, false, true, false},
+		{"unique-serial-recompute", expansion.ObjUnique, 20, 0.3, 0.5, 1, true, false, false},
+		{"ordinary-big", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, false, true, false},
+		{"ordinary-big-recompute", expansion.ObjOrdinary, 72, 0.08, 4.0 / 72.0, 1, true, false, false},
 		// The branch-and-bound frontier row: n = 120 with k ≤ 6 spans a
 		// C(120,6) ≈ 5.4e9-set space that no flat enumeration fits; only
 		// subtree pruning makes it a benchmarkable op.
-		{"ordinary-bnb-frontier", expansion.ObjOrdinary, 120, 0.08, 6.0 / 120.0, 0, false, false},
+		{"ordinary-bnb-frontier", expansion.ObjOrdinary, 120, 0.08, 6.0 / 120.0, 0, false, false, false},
+		// The randomized certified tier on the same frontier instance: the
+		// per-op cost of a failure ≤ 1e-9 certificate where exact search is
+		// the alternative, plus the trials/failure_prob identity columns.
+		{"ordinary-randomized-frontier", expansion.ObjOrdinary, 120, 0.08, 6.0 / 120.0, 0, false, false, true},
 	}
 	// Each incremental row is paired with the row of its recompute oracle
 	// for the speedup column.
@@ -396,8 +409,16 @@ func BenchmarkExpansionEngine(b *testing.B) {
 		b.Run(fmt.Sprintf("%s/n=%d", c.solver, c.n), func(b *testing.B) {
 			g := gen.ErdosRenyi(c.n, c.p, rng.New(uint64(c.n)*1000+7))
 			opt := expansion.Options{RunOpts: runopts.RunOpts{Workers: c.workers}, Alpha: c.alpha, Recompute: c.recompute, NoPrune: c.noprune}
+			solve := func() (expansion.Result, error) {
+				if c.randomized {
+					return expansion.Randomized(g, c.obj, expansion.RandOptions{
+						RunOpts: runopts.RunOpts{Workers: c.workers, Seed: 1}, Alpha: c.alpha})
+				}
+				return expansion.Exact(g, c.obj, opt)
+			}
 			var sets int
 			var pruned, visited int64
+			var cert expansion.Certificate
 			b.ReportAllocs()
 			// Level the heap before timing: earlier benchmarks in this
 			// process leave garbage whose collection would otherwise land
@@ -408,12 +429,13 @@ func BenchmarkExpansionEngine(b *testing.B) {
 			runtime.ReadMemStats(&ms0)
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
-				res, err := expansion.Exact(g, c.obj, opt)
+				res, err := solve()
 				if err != nil {
 					b.Fatal(err)
 				}
 				sets = res.Sets
 				pruned, visited = res.Pruned, res.Visited
+				cert = res.Cert
 			}
 			elapsed := time.Since(start)
 			runtime.ReadMemStats(&ms1)
@@ -436,6 +458,8 @@ func BenchmarkExpansionEngine(b *testing.B) {
 
 				PruneRate:       float64(pruned) / space,
 				VisitedFraction: float64(visited) / space,
+				Trials:          cert.Trials,
+				FailureProb:     cert.FailureProb,
 			}
 			ran[ci] = true
 		})

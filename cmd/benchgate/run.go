@@ -44,6 +44,13 @@ type benchFile struct {
 // key so the key is stable run to run. allocs_per_op is among them: it is
 // gated like ns_per_op (with an absolute slack for pool jitter), not used
 // to match records.
+//
+// Deliberately NOT here: the randomized-tier columns `trials` and
+// `failure_prob` of wexp-bench/expansion-v1. Both are deterministic
+// functions of the instance and the fixed bench seed (per-trial pre-split
+// RNG streams), so they are identity fields — a drift in the randomized
+// schedule or the failure accounting surfaces as a MISSING/NEW record pair
+// instead of hiding inside the timing tolerance.
 var timingFields = map[string]bool{
 	"ns_per_op":        true,
 	"sets_per_sec":     true,

@@ -104,6 +104,62 @@ func TestGateMissingRecord(t *testing.T) {
 	}
 }
 
+// TestGateRandomizedIdentityFields: the randomized-tier columns `trials`
+// and `failure_prob` are identity fields, not timings — a fresh record
+// whose trial count or failure accounting drifted must stop matching its
+// baseline (MISSING + NEW) rather than slip through the ns/op tolerance,
+// while a timing-only change on an unchanged certificate still gates
+// normally.
+func TestGateRandomizedIdentityFields(t *testing.T) {
+	const randBase = `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary-randomized-frontier", "n": 120, "alpha": 0.05, "workers": 0, "trials": 11640, "failure_prob": 1.2e-10, "ns_per_op": 1000}
+	  ]
+	}`
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", randBase)
+
+	// Same certificate, slower timing beyond tolerance: a plain FAIL.
+	fresh := writeBench(t, dir, "fresh.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary-randomized-frontier", "n": 120, "alpha": 0.05, "workers": 0, "trials": 11640, "failure_prob": 1.2e-10, "ns_per_op": 2000}
+	  ]
+	}`)
+	out, err := gate(t, 0.25, true, base, fresh)
+	if err == nil || !strings.Contains(out, "FAIL") {
+		t.Fatalf("timing regression on a randomized row not caught: err=%v\n%s", err, out)
+	}
+
+	// Drifted trial count: the record no longer matches its baseline.
+	drift := writeBench(t, dir, "drift.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary-randomized-frontier", "n": 120, "alpha": 0.05, "workers": 0, "trials": 11641, "failure_prob": 1.2e-10, "ns_per_op": 1000}
+	  ]
+	}`)
+	out, err = gate(t, 0.25, true, base, drift)
+	if err == nil {
+		t.Fatalf("trial-count drift slipped through the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "MISSING") || !strings.Contains(out, "NEW") {
+		t.Fatalf("drifted randomized record should be MISSING+NEW:\n%s", out)
+	}
+
+	// Drifted failure accounting: same.
+	failDrift := writeBench(t, dir, "faildrift.json", `{
+	  "schema": "wexp-bench/expansion-v1",
+	  "records": [
+	    {"solver": "ordinary-randomized-frontier", "n": 120, "alpha": 0.05, "workers": 0, "trials": 11640, "failure_prob": 2.4e-10, "ns_per_op": 1000}
+	  ]
+	}`)
+	out, err = gate(t, 0.25, true, base, failDrift)
+	if err == nil || !strings.Contains(out, "MISSING") {
+		t.Fatalf("failure-prob drift slipped through the gate: err=%v\n%s", err, out)
+	}
+}
+
 func TestGateNewRecordReported(t *testing.T) {
 	dir := t.TempDir()
 	base := writeBench(t, dir, "base.json", baseJSON)

@@ -8,8 +8,10 @@ import (
 	"strings"
 	"testing"
 
+	"wexp/internal/expansion"
 	"wexp/internal/gen"
 	"wexp/internal/graph"
+	"wexp/internal/rng"
 )
 
 var update = os.Getenv("UPDATE_GOLDEN") != ""
@@ -78,8 +80,9 @@ func TestRunJSONObservation21(t *testing.T) {
 }
 
 func TestRunEstimatePathDeterministic(t *testing.T) {
-	// Above the exact budget the tool falls back to seeded estimators; the
-	// same seed must reproduce the same JSON bytes.
+	// Above the exact budget the tool falls back to the randomized certified
+	// tier and, past that, to seeded estimators; the same seed must
+	// reproduce the same JSON bytes whichever tier each quantity lands on.
 	cfg := defaultConfig()
 	cfg.Family, cfg.Size, cfg.Alpha, cfg.Seed, cfg.Format = "margulis", 6, 0.25, 7, "json"
 	var a, b bytes.Buffer
@@ -100,6 +103,53 @@ func TestRunEstimatePathDeterministic(t *testing.T) {
 		if m.Mode == "exact" {
 			t.Fatalf("margulis(6) at α=0.25 should be over budget, got exact row %+v", m)
 		}
+	}
+}
+
+func TestRunCertifiedFrontier(t *testing.T) {
+	// The acceptance instance: n=200, k ≤ 8 is far past the exact frontier,
+	// so the CLI must fall to the randomized tier and report a certified β
+	// with failure_prob ≤ 1e-9 inside the default budget.
+	path := filepath.Join(t.TempDir(), "er200.edges")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, gen.ErdosRenyi(200, 0.08, rng.New(200))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	cfg := defaultConfig()
+	cfg.Load, cfg.Alpha, cfg.Seed, cfg.Format = path, 0.04, 42, "json"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep wexpReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	var beta *measurement
+	for i := range rep.Measurements {
+		if rep.Measurements[i].Quantity == "β (ordinary)" {
+			beta = &rep.Measurements[i]
+		}
+	}
+	if beta == nil {
+		t.Fatal("no β row")
+	}
+	if beta.Mode != "certified" {
+		t.Fatalf("β mode = %q, want certified (row %+v)", beta.Mode, beta)
+	}
+	c := beta.Certificate
+	if c == nil || c.Kind != expansion.CertCertified {
+		t.Fatalf("β certificate missing or wrong kind: %+v", c)
+	}
+	if c.FailureProb <= 0 || c.FailureProb > 1e-9 {
+		t.Fatalf("failure_prob = %g, want (0, 1e-9]", c.FailureProb)
+	}
+	if c.Trials == 0 || beta.Numeric <= 0 {
+		t.Fatalf("certified row carries no work: %+v", beta)
 	}
 }
 

@@ -44,13 +44,16 @@ func defaultConfig() Config {
 }
 
 // measurement is one quantity row, feeding both the text table and the
-// JSON document.
+// JSON document. Certificate states what the number is worth — exact
+// proof, randomized certificate with explicit failure probability, or
+// uncertified estimate — and is omitted on formula rows.
 type measurement struct {
-	Quantity string  `json:"quantity"`
-	Value    string  `json:"value"`
-	Numeric  float64 `json:"numeric,omitempty"`
-	Mode     string  `json:"mode"`
-	Notes    string  `json:"notes,omitempty"`
+	Quantity    string                 `json:"quantity"`
+	Value       string                 `json:"value"`
+	Numeric     float64                `json:"numeric,omitempty"`
+	Mode        string                 `json:"mode"`
+	Notes       string                 `json:"notes,omitempty"`
+	Certificate *expansion.Certificate `json:"certificate,omitempty"`
 }
 
 // profileRow is one row of the exact per-size expansion profile.
@@ -108,12 +111,13 @@ func run(cfg Config, w io.Writer) error {
 	}
 	rep.ArboricityLo, rep.ArboricityHi = g.ArboricityEstimate()
 
-	add := func(quantity string, numeric float64, value, mode, notes string) {
+	add := func(quantity string, numeric float64, value, mode, notes string, cert *expansion.Certificate) {
 		if value == "" {
 			value = fmt.Sprintf("%g", numeric)
 		}
 		rep.Measurements = append(rep.Measurements, measurement{
 			Quantity: quantity, Value: value, Numeric: numeric, Mode: mode, Notes: notes,
+			Certificate: cert,
 		})
 	}
 
@@ -122,14 +126,31 @@ func run(cfg Config, w io.Writer) error {
 	if maxK < 1 {
 		return fmt.Errorf("α=%g admits no nonempty set on n=%d", cfg.Alpha, g.N())
 	}
-	// Attempt each quantity exactly through the branch-and-bound engine,
-	// which charges the budget as it searches instead of refusing up front:
-	// instances far beyond the flat-enumeration frontier still complete
-	// when their search trees prune well. A budget blow-up (ErrBudget) on
-	// one quantity degrades only that quantity — to a sampled bracket for
-	// βw, to seeded upper bounds for β and βu.
+	// Four-tier fallback gate, per quantity: (1) the exact branch-and-bound
+	// engine, which charges the budget as it searches instead of refusing up
+	// front — instances far beyond the flat-enumeration frontier still
+	// complete when their search trees prune well; (2) on ErrBudget, the
+	// randomized certified solver, whose answer carries an explicit failure
+	// probability; (3) if the randomized plan is itself over budget (e.g.
+	// the 2^k wireless oracle at large k), sampled estimates — a bracket for
+	// βw, seeded upper bounds for β and βu. A blow-up on one quantity
+	// degrades only that quantity.
 	tryExact := func(obj expansion.Objective) (expansion.Result, bool, error) {
 		res, err := expansion.Exact(g, obj, opt)
+		if err == nil {
+			return res, true, nil
+		}
+		if errors.Is(err, expansion.ErrBudget) {
+			return expansion.Result{}, false, nil
+		}
+		return expansion.Result{}, false, err
+	}
+	ropt := expansion.RandOptions{
+		RunOpts: runopts.RunOpts{Budget: cfg.Budget, Workers: cfg.Workers, Seed: cfg.Seed},
+		Alpha:   cfg.Alpha,
+	}
+	tryCertified := func(obj expansion.Objective) (expansion.Result, bool, error) {
+		res, err := expansion.Randomized(g, obj, ropt)
 		if err == nil {
 			return res, true, nil
 		}
@@ -141,18 +162,38 @@ func run(cfg Config, w io.Writer) error {
 	searchNotes := func(res expansion.Result) string {
 		return fmt.Sprintf("%d sets, %d pruned, %d visited", res.Sets, res.Pruned, res.Visited)
 	}
+	certNotes := func(res expansion.Result) string {
+		c := res.Cert
+		if c.Kind == expansion.CertExact {
+			return fmt.Sprintf("exhaustive strata, %d sets", res.Sets)
+		}
+		return fmt.Sprintf("%d trials, failure ≤ %.3g, value ∈ [%.4g, %.4g]",
+			c.Trials, c.FailureProb, c.CILow, c.CIHigh)
+	}
+	estimateCert := func() *expansion.Certificate {
+		return &expansion.Certificate{Kind: expansion.CertEstimate}
+	}
 
 	rb, okB, err := tryExact(expansion.ObjOrdinary)
 	if err != nil {
 		return err
 	}
 	betaScale := 0.0
+	// betaUpper is a sound upper bound on β whenever haveBetaUpper: exact or
+	// randomized values are witnessed by a concrete set, so both qualify.
+	betaUpper, haveBetaUpper := 0.0, false
 	if okB {
-		add("β (ordinary)", rb.Value, "", "exact", searchNotes(rb))
-		betaScale = rb.Value
+		add("β (ordinary)", rb.Value, "", "exact", searchNotes(rb), &rb.Cert)
+		betaScale, betaUpper, haveBetaUpper = rb.Value, rb.Value, true
+	} else if rcb, okC, cerr := tryCertified(expansion.ObjOrdinary); cerr != nil {
+		return cerr
+	} else if okC {
+		add("β (ordinary)", rcb.Value, "", "certified", certNotes(rcb), &rcb.Cert)
+		betaScale, betaUpper, haveBetaUpper = rcb.Value, rcb.Value, true
 	} else {
 		est := expansion.EstimateOrdinary(g, cfg.Alpha, cfg.Trials, r)
-		add("β (ordinary)", est.Bound, "", "upper bound", fmt.Sprintf("%d sets sampled", est.Sampled))
+		add("β (ordinary)", est.Bound, "", "upper bound",
+			fmt.Sprintf("%d sets sampled", est.Sampled), estimateCert())
 		betaScale = est.Bound
 	}
 
@@ -161,22 +202,27 @@ func run(cfg Config, w io.Writer) error {
 		return err
 	}
 	if okW {
-		add("βw (wireless)", rw.Value, "", "exact", searchNotes(rw))
+		add("βw (wireless)", rw.Value, "", "exact", searchNotes(rw), &rw.Cert)
+	} else if rcw, okC, cerr := tryCertified(expansion.ObjWireless); cerr != nil {
+		return cerr
+	} else if okC {
+		add("βw (wireless)", rcw.Value, "", "certified", certNotes(rcw), &rcw.Cert)
 	} else {
 		lower, upper := wirelessBracket(g, cfg.Alpha, cfg.Trials, r)
 		notes := "family lower / sampled upper"
-		if okB {
-			// Obs 2.1 certifies βw ≤ β, so the exact β tightens the sampled
-			// upper bound; the lower bound holds only over the sampled family.
-			if rb.Value < upper {
-				upper = rb.Value
+		if haveBetaUpper {
+			// Obs 2.1 certifies βw ≤ β, so any sound upper bound on β
+			// tightens the sampled upper bound; the lower bound holds only
+			// over the sampled family.
+			if betaUpper < upper {
+				upper = betaUpper
 			}
 			if lower > upper {
 				lower = upper
 			}
 			notes = "family lower / certified upper (βw search over budget)"
 		}
-		add("βw (wireless)", 0, fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket", notes)
+		add("βw (wireless)", 0, fmt.Sprintf("[%.4g, %.4g]", lower, upper), "bracket", notes, estimateCert())
 	}
 
 	ru, okU, err := tryExact(expansion.ObjUnique)
@@ -184,17 +230,21 @@ func run(cfg Config, w io.Writer) error {
 		return err
 	}
 	if okU {
-		add("βu (unique)", ru.Value, "", "exact", "Obs 2.1: β ≥ βw ≥ βu")
+		add("βu (unique)", ru.Value, "", "exact", "Obs 2.1: β ≥ βw ≥ βu", &ru.Cert)
+	} else if rcu, okC, cerr := tryCertified(expansion.ObjUnique); cerr != nil {
+		return cerr
+	} else if okC {
+		add("βu (unique)", rcu.Value, "", "certified", certNotes(rcu), &rcu.Cert)
 	} else {
 		estU := expansion.EstimateUnique(g, cfg.Alpha, cfg.Trials, r)
-		add("βu (unique)", estU.Bound, "", "upper bound", "")
+		add("βu (unique)", estU.Bound, "", "upper bound", "", estimateCert())
 	}
 
 	scaleNotes := ""
 	if okB && okW {
 		scaleNotes = "βw = Ω(β/log 2·min{∆/β, ∆β})"
 	}
-	add("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), betaScale), "", "formula", scaleNotes)
+	add("Thm 1.1 scale", bounds.Theorem11(g.MaxDegree(), betaScale), "", "formula", scaleNotes, nil)
 
 	if cfg.Profile {
 		tp, err := expansion.ProfilesOpts(g, maxK, opt)

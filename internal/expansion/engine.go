@@ -385,9 +385,11 @@ func (e *engineOut) aggregate() Result {
 		}
 	}
 	if best == nil {
+		res.Cert = Certificate{Kind: CertExact}
 		return res
 	}
 	res.Value = float64(best.num) / float64(bestK)
+	res.Cert = Certificate{Kind: CertExact, CILow: res.Value, CIHigh: res.Value}
 	fillWitness(&res, best, e.n)
 	return res
 }

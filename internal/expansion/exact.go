@@ -36,9 +36,14 @@ type Result struct {
 	SubtreesPruned int64
 
 	// Kernel names the enumeration kernel that produced the result
-	// (small|big × bnb|incremental|recompute) — observability only (it
-	// feeds wexpd's /metrics); every kernel returns bit-identical results.
+	// (small|big × bnb|incremental|recompute, or randomized-ppsz) —
+	// observability only (it feeds wexpd's /metrics); every kernel returns
+	// bit-identical results.
 	Kernel string
+
+	// Cert states what Value is worth: exact proof, randomized certificate
+	// with explicit failure probability, or uncertified estimate.
+	Cert Certificate
 }
 
 // Exact computes the chosen expansion objective exactly, enumerating

@@ -1,0 +1,64 @@
+package expansion
+
+import (
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/rng"
+	"wexp/internal/runopts"
+)
+
+// FuzzRandomizedCertificate drives randomized graphs, objectives, size caps,
+// seeds and pool widths through the randomized certified solver and requires
+// that its verdict never contradicts the exact oracle:
+//
+//   - the Value is a witnessed upper bound, so it must never fall below the
+//     exact optimum, on any input;
+//   - when every stratum fits the exhaustive cutoff (always true here:
+//     n ≤ 16 and k ≤ 4 keep C(n,k) ≤ C(16,4) = 1820 ≤ 2048) the solver is a
+//     full enumeration and must reproduce the exact value bit-for-bit with
+//     an exact-kind, zero-failure certificate — so the fuzz property is a
+//     proof obligation, not a probabilistic one, and can never flake.
+//
+// The random-trial strata are exercised by the seeded differential corpus
+// test instead (fixed seeds: deterministic, so CI-safe).
+func FuzzRandomizedCertificate(f *testing.F) {
+	f.Add(uint64(1), uint64(1), uint8(9), uint8(3), uint8(0), uint8(3), uint8(1))
+	f.Add(uint64(42), uint64(7), uint8(12), uint8(6), uint8(2), uint8(4), uint8(3))
+	f.Add(uint64(7), uint64(99), uint8(5), uint8(1), uint8(3), uint8(2), uint8(8))
+	f.Add(uint64(1234), uint64(0), uint8(16), uint8(2), uint8(1), uint8(4), uint8(2))
+	f.Fuzz(func(t *testing.T, gseed, seed uint64, nRaw, pRaw, objRaw, kRaw, wRaw uint8) {
+		n := 4 + int(nRaw)%13 // 4..16
+		p := 0.1 + float64(pRaw%8)*0.1
+		obj := allObjectives[objRaw%4]
+		maxK := 1 + int(kRaw)%4 // 1..4: C(16,4)=1820 ≤ cutoff ⇒ all exhaustive
+		if maxK > n {
+			maxK = n
+		}
+		workers := 1 + int(wRaw)%8
+		g := gen.ErdosRenyi(n, p, rng.New(gseed))
+		oracle, err := Exact(g, obj, Options{MaxK: maxK})
+		if err != nil {
+			t.Fatalf("exact oracle: %v", err)
+		}
+		rd, err := Randomized(g, obj, RandOptions{MaxK: maxK,
+			RunOpts: runopts.RunOpts{Workers: workers, Seed: seed}})
+		if err != nil {
+			t.Fatalf("randomized errored where oracle ran: %v", err)
+		}
+		if rd.Value < oracle.Value {
+			t.Fatalf("randomized %v below exact %v — witnessed upper bound broken (cert %+v)",
+				rd.Value, oracle.Value, rd.Cert)
+		}
+		if rd.Cert.Kind != CertExact {
+			t.Fatalf("all-exhaustive strata must certify exact, got %q", rd.Cert.Kind)
+		}
+		if rd.Value != oracle.Value || rd.ArgSet != oracle.ArgSet {
+			t.Fatalf("exhaustive randomized (%v,%b) != exact (%v,%b)",
+				rd.Value, rd.ArgSet, oracle.Value, oracle.ArgSet)
+		}
+		if rd.Cert.FailureProb != 0 || rd.Cert.Trials != 0 {
+			t.Fatalf("exhaustive certificate carries randomness: %+v", rd.Cert)
+		}
+	})
+}

@@ -99,16 +99,10 @@ type Options struct {
 // CheckpointDir is set.
 var ErrInterrupted = errors.New("experiments: interrupted by shard limit")
 
-// expSalt derives the per-experiment seed salt from the ID (FNV-1a), so
-// every experiment consumes an independent stream of Config.Seed.
-func expSalt(id string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(id); i++ {
-		h ^= uint64(id[i])
-		h *= 1099511628211
-	}
-	return h
-}
+// expSalt derives the per-experiment seed salt from the ID, so every
+// experiment consumes an independent stream of Config.Seed. The hash itself
+// (FNV-1a) lives in internal/rng as the library-wide stream-label idiom.
+func expSalt(id string) uint64 { return rng.Salt(id) }
 
 // checkpointFile is the on-disk schema of one completed shard.
 type checkpointFile struct {

@@ -61,15 +61,38 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
 	}
-	un := uint64(n)
-	hi, lo := bits.Mul64(r.Uint64(), un)
-	if lo < un {
-		thresh := -un % un
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias; the
+// full 64-bit range lets callers draw uniform combination ranks up to
+// C(n, k) without overflow.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
 		for lo < thresh {
-			hi, lo = bits.Mul64(r.Uint64(), un)
+			hi, lo = bits.Mul64(r.Uint64(), n)
 		}
 	}
-	return int(hi)
+	return hi
+}
+
+// Salt hashes a stream label to a 64-bit value (FNV-1a) suitable for
+// XOR-mixing into a base seed: rng.New(seed ^ rng.Salt("phase")). Distinct
+// labels give decorrelated streams from one user-facing seed, which is the
+// library-wide idiom for deterministic, worker-invariant trial pools.
+func Salt(label string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Int63 returns a uniform non-negative int64.

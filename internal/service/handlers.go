@@ -285,24 +285,32 @@ func (s *Server) handleGraphEdges(w http.ResponseWriter, r *http.Request) {
 
 // --- expansion ---------------------------------------------------------------
 
-// expansionResponse is the memoized document of one exact expansion
-// computation. Every field is a deterministic function of the key: the
-// branch-and-bound engine's Sets/Pruned/Visited/SubtreesPruned counters
-// are bit-identical at every worker count, so the search-effort record is
-// safe to cache alongside the value and witnesses.
+// expansionResponse is the memoized document of one expansion computation
+// (exact, or randomized-certified when the exact search is over budget).
+// Every field is a deterministic function of the key: the branch-and-bound
+// counters are bit-identical at every worker count, and the randomized
+// tier runs under a fixed server-side seed with worker-invariant trials —
+// so the full document, certificate included, is safe to cache alongside
+// the value and witnesses.
 type expansionResponse struct {
-	Graph          string  `json:"graph"`
-	Objective      string  `json:"objective"`
-	MaxK           int     `json:"max_k"`
-	Budget         uint64  `json:"budget"`
-	Value          float64 `json:"value"`
-	Witness        []int   `json:"witness"`
-	InnerWitness   []int   `json:"inner_witness,omitempty"`
-	Sets           int     `json:"sets"`
-	Pruned         int64   `json:"pruned"`
-	Visited        int64   `json:"visited"`
-	SubtreesPruned int64   `json:"subtrees_pruned"`
+	Graph          string                `json:"graph"`
+	Objective      string                `json:"objective"`
+	MaxK           int                   `json:"max_k"`
+	Budget         uint64                `json:"budget"`
+	Value          float64               `json:"value"`
+	Witness        []int                 `json:"witness"`
+	InnerWitness   []int                 `json:"inner_witness,omitempty"`
+	Sets           int                   `json:"sets"`
+	Pruned         int64                 `json:"pruned"`
+	Visited        int64                 `json:"visited"`
+	SubtreesPruned int64                 `json:"subtrees_pruned"`
+	Certificate    expansion.Certificate `json:"certificate"`
 }
+
+// serviceRandSeed seeds the randomized certified fallback. It is a fixed
+// constant rather than a request parameter so the response body stays a
+// pure function of the cache key (graph, objective, maxk, budget).
+const serviceRandSeed = 0x77657870 // "wexp"
 
 var objectives = map[string]expansion.Objective{
 	"ordinary": expansion.ObjOrdinary,
@@ -376,6 +384,16 @@ func (s *Server) specExpansion(q url.Values) (computeSpec, error) {
 				RunOpts: runopts.RunOpts{Budget: budget, Workers: s.cfg.Workers},
 				MaxK:    maxK, Ctx: ctx,
 			})
+			if err != nil && errors.Is(err, expansion.ErrBudget) {
+				// Over the exact budget: fall to the randomized certified
+				// tier, which answers with an explicit failure probability
+				// instead of a refusal. Deterministic under the fixed seed,
+				// so the memoized body stays key-pure.
+				res, err = expansion.Randomized(g, obj, expansion.RandOptions{
+					RunOpts: runopts.RunOpts{Budget: budget, Workers: s.cfg.Workers, Seed: serviceRandSeed},
+					MaxK:    maxK, Ctx: ctx,
+				})
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -388,6 +406,7 @@ func (s *Server) specExpansion(q url.Values) (computeSpec, error) {
 				Pruned:         res.Pruned,
 				Visited:        res.Visited,
 				SubtreesPruned: res.SubtreesPruned,
+				Certificate:    res.Cert,
 			}
 			if res.InnerWitness != nil {
 				resp.InnerWitness = bitsetToInts(res.InnerWitness)

@@ -55,7 +55,12 @@ type Metrics struct {
 	EnginePruned   int64
 	EngineVisited  int64
 	EngineSubtrees int64
-	EngineKernels  map[string]int64
+	// EngineCertified counts computations answered by the randomized
+	// certified tier (exact search over budget); EngineTrials totals the
+	// randomized trials those computations spent.
+	EngineCertified int64
+	EngineTrials    int64
+	EngineKernels   map[string]int64
 }
 
 // Snapshot collects the current metrics.
@@ -70,28 +75,30 @@ func (s *Server) Snapshot() Metrics {
 	}
 	s.engineMu.Unlock()
 	return Metrics{
-		CacheHits:      cs.Hits,
-		CacheMisses:    cs.Misses,
-		CacheEntries:   int64(cs.Entries),
-		CacheBytes:     cs.Bytes,
-		CacheEvictions: cs.Evictions,
-		Computations:   s.computations.Load(),
-		Coalesced:      fs.Coalesced,
-		Inflight:       s.inflight.Load(),
-		Graphs:         int64(s.store.Len()),
-		GraphsCached:   int64(s.store.CachedLen()),
-		GraphEvictions: s.store.Evictions(),
-		JobsCreated:    created,
-		JobsCancelled:  cancelled,
-		JobsRunning:    running,
-		JobsResumed:    resumed,
-		WALRecords:     int64(s.walReplay.Records),
-		WALTornBytes:   s.walReplay.TruncatedBytes,
-		EngineSets:     s.engineSets.Load(),
-		EnginePruned:   s.enginePruned.Load(),
-		EngineVisited:  s.engineVisited.Load(),
-		EngineSubtrees: s.engineSubtrees.Load(),
-		EngineKernels:  kernels,
+		CacheHits:       cs.Hits,
+		CacheMisses:     cs.Misses,
+		CacheEntries:    int64(cs.Entries),
+		CacheBytes:      cs.Bytes,
+		CacheEvictions:  cs.Evictions,
+		Computations:    s.computations.Load(),
+		Coalesced:       fs.Coalesced,
+		Inflight:        s.inflight.Load(),
+		Graphs:          int64(s.store.Len()),
+		GraphsCached:    int64(s.store.CachedLen()),
+		GraphEvictions:  s.store.Evictions(),
+		JobsCreated:     created,
+		JobsCancelled:   cancelled,
+		JobsRunning:     running,
+		JobsResumed:     resumed,
+		WALRecords:      int64(s.walReplay.Records),
+		WALTornBytes:    s.walReplay.TruncatedBytes,
+		EngineSets:      s.engineSets.Load(),
+		EnginePruned:    s.enginePruned.Load(),
+		EngineVisited:   s.engineVisited.Load(),
+		EngineSubtrees:  s.engineSubtrees.Load(),
+		EngineCertified: s.engineCertified.Load(),
+		EngineTrials:    s.engineTrials.Load(),
+		EngineKernels:   kernels,
 	}
 }
 
@@ -119,6 +126,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"wexpd_engine_pruned_total":          m.EnginePruned,
 		"wexpd_engine_visited_total":         m.EngineVisited,
 		"wexpd_engine_subtrees_pruned_total": m.EngineSubtrees,
+		"wexpd_engine_certified_runs":        m.EngineCertified,
+		"wexpd_engine_trials_total":          m.EngineTrials,
 	}
 	names := make([]string, 0, len(gauges))
 	for n := range gauges {

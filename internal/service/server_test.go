@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -11,8 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"wexp/internal/expansion"
 	"wexp/internal/gen"
 	"wexp/internal/graph"
+	"wexp/internal/rng"
 )
 
 // newTestServer returns a Server plus an httptest frontend.
@@ -230,10 +233,87 @@ func TestEngineMetrics(t *testing.T) {
 		"wexpd_engine_pruned_total ",
 		"wexpd_engine_visited_total ",
 		"wexpd_engine_subtrees_pruned_total ",
+		"wexpd_engine_certified_runs 0",
+		"wexpd_engine_trials_total 0",
 		`wexpd_engine_kernel_runs{kernel="small-bnb"} 1`,
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestExpansionCertifiedFallback: past the exact budget the expansion
+// endpoint must answer through the randomized certified tier instead of
+// refusing — the body carries a certified-kind certificate with an
+// explicit failure probability, the document stays memoizable (the
+// fallback runs under a fixed server-side seed, so it is a pure function
+// of the cache key), and /metrics counts the certified run and its trials.
+func TestExpansionCertifiedFallback(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var edges bytes.Buffer
+	if err := graph.WriteEdgeList(&edges, gen.ErdosRenyi(96, 0.08, rng.New(9))); err != nil {
+		t.Fatal(err)
+	}
+	code, body := doReq(t, "POST", ts.URL+"/v1/graphs", bytes.NewReader(edges.Bytes()))
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d body %s", code, body)
+	}
+	var put graphPutResponse
+	if err := json.Unmarshal(body, &put); err != nil {
+		t.Fatal(err)
+	}
+
+	url := fmt.Sprintf("%s/v1/expansion?graph=%s&maxk=6&budget=%d", ts.URL, put.Digest, uint64(1)<<22)
+	code, body1, cache1 := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("certified request: status %d body %s", code, body1)
+	}
+	if cache1 != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", cache1)
+	}
+	var resp expansionResponse
+	if err := json.Unmarshal(body1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	c := resp.Certificate
+	if c.Kind != expansion.CertCertified {
+		t.Fatalf("certificate kind = %q, want certified (body %s)", c.Kind, body1)
+	}
+	if c.FailureProb <= 0 || c.FailureProb > 1e-9 {
+		t.Fatalf("failure_prob = %g, want (0, 1e-9]", c.FailureProb)
+	}
+	if c.Trials == 0 || len(resp.Witness) == 0 || resp.Value <= 0 {
+		t.Fatalf("certified body carries no work: %s", body1)
+	}
+
+	// The certified document memoizes like the exact ones.
+	code, body2, cache2 := get(t, url)
+	if code != http.StatusOK || cache2 != "hit" {
+		t.Fatalf("second request: status %d cache %q", code, cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("certified bodies differ:\n%s\n%s", body1, body2)
+	}
+
+	m := s.Snapshot()
+	if m.EngineCertified != 1 {
+		t.Fatalf("certified runs = %d, want 1", m.EngineCertified)
+	}
+	if m.EngineTrials != int64(c.Trials) {
+		t.Fatalf("trial gauge = %d, certificate says %d", m.EngineTrials, c.Trials)
+	}
+	code, mbody, _ := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"wexpd_engine_certified_runs 1",
+		fmt.Sprintf("wexpd_engine_trials_total %d", c.Trials),
+		`wexpd_engine_kernel_runs{kernel="randomized-ppsz"} 1`,
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, mbody)
 		}
 	}
 }

@@ -119,12 +119,14 @@ type Server struct {
 	// /metrics totals them across computations, and the per-kernel run
 	// counts make the active kernel variant (branch-and-bound vs the flat
 	// incremental and recompute oracles) observable in production.
-	engineSets     atomic.Int64
-	enginePruned   atomic.Int64
-	engineVisited  atomic.Int64
-	engineSubtrees atomic.Int64
-	engineMu       sync.Mutex
-	engineKernel   map[string]int64
+	engineSets      atomic.Int64
+	enginePruned    atomic.Int64
+	engineVisited   atomic.Int64
+	engineSubtrees  atomic.Int64
+	engineCertified atomic.Int64 // computations answered by the randomized certified tier
+	engineTrials    atomic.Int64 // randomized trials spent across those computations
+	engineMu        sync.Mutex
+	engineKernel    map[string]int64
 
 	// computeHook, when non-nil, runs inside the singleflight execution
 	// just before the computation. Tests use it to hold a computation open
@@ -139,6 +141,10 @@ func (s *Server) recordEngine(res expansion.Result) {
 	s.enginePruned.Add(res.Pruned)
 	s.engineVisited.Add(res.Visited)
 	s.engineSubtrees.Add(res.SubtreesPruned)
+	if res.Cert.Kind == expansion.CertCertified {
+		s.engineCertified.Add(1)
+	}
+	s.engineTrials.Add(int64(res.Cert.Trials))
 	s.engineMu.Lock()
 	s.engineKernel[res.Kernel]++
 	s.engineMu.Unlock()

@@ -1,0 +1,190 @@
+package stats
+
+import "math"
+
+// Interval is a two-sided confidence interval for a binomial proportion.
+type Interval struct {
+	Low  float64
+	High float64
+}
+
+// WilsonInterval returns the Wilson score interval for observing k successes
+// in n trials at confidence level 1-alpha. It is well-behaved for k = 0 and
+// k = n (unlike the normal approximation) and is the cheap default for
+// reporting sampled-fraction estimates. Returns [0,1] for n <= 0.
+func WilsonInterval(k, n int, alpha float64) Interval {
+	if n <= 0 {
+		return Interval{0, 1}
+	}
+	z := normalQuantile(1 - alpha/2)
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{lo, hi}
+}
+
+// ClopperPearson returns the exact (conservative) Clopper–Pearson interval
+// for k successes in n trials at confidence level 1-alpha. The bounds are
+// found by bisection on the exact binomial tail computed in log space, so
+// the helper needs no special functions beyond math.Lgamma and never
+// undercovers. Returns [0,1] for n <= 0.
+func ClopperPearson(k, n int, alpha float64) Interval {
+	if n <= 0 {
+		return Interval{0, 1}
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	half := alpha / 2
+	iv := Interval{0, 1}
+	if k > 0 {
+		// Largest p with P[X >= k | p] <= alpha/2 fails; the bound is the p
+		// where the upper tail equals alpha/2.
+		iv.Low = bisectBinomial(func(p float64) float64 {
+			return binomUpperTail(k, n, p) - half
+		})
+	}
+	if k < n {
+		// Smallest p with P[X <= k | p] <= alpha/2.
+		iv.High = bisectBinomial(func(p float64) float64 {
+			return half - binomLowerTail(k, n, p)
+		})
+	}
+	return iv
+}
+
+// bisectBinomial finds the root of a monotone-increasing f on (0, 1) to
+// ~1e-12 absolute tolerance.
+func bisectBinomial(f func(float64) float64) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// binomLowerTail returns P[X <= k] for X ~ Binomial(n, p), summing exact
+// terms in log space.
+func binomLowerTail(k, n int, p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		if k >= n {
+			return 1
+		}
+		return 0
+	}
+	s := 0.0
+	for i := 0; i <= k; i++ {
+		s += math.Exp(logBinomPMF(i, n, p))
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// binomUpperTail returns P[X >= k] for X ~ Binomial(n, p).
+func binomUpperTail(k, n int, p float64) float64 {
+	if p <= 0 {
+		if k <= 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	s := 0.0
+	for i := k; i <= n; i++ {
+		s += math.Exp(logBinomPMF(i, n, p))
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// logBinomPMF returns log P[X = k] for X ~ Binomial(n, p), 0 < p < 1.
+func logBinomPMF(k, n int, p float64) float64 {
+	lc, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lc - lk - lnk + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+}
+
+// normalQuantile returns the standard normal quantile Φ⁻¹(p) using the
+// Acklam rational approximation (relative error < 1.15e-9), which is more
+// than enough precision for interval half-widths.
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+
+		plow  = 0.02425
+		phigh = 1 - plow
+	)
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+}

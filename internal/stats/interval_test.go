@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.0001, -3.719016},
+	}
+	for _, c := range cases {
+		got := normalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("normalQuantile endpoints should be infinite")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Reference values computed from the closed-form Wilson formula.
+	iv := WilsonInterval(8, 10, 0.05)
+	if math.Abs(iv.Low-0.4901) > 5e-4 || math.Abs(iv.High-0.9433) > 5e-4 {
+		t.Errorf("Wilson(8,10) = [%v, %v], want ≈ [0.4901, 0.9433]", iv.Low, iv.High)
+	}
+	// Degenerate counts stay inside [0,1] and are non-trivial.
+	z := WilsonInterval(0, 20, 0.05)
+	if z.Low != 0 || z.High <= 0 || z.High >= 0.5 {
+		t.Errorf("Wilson(0,20) = %+v out of expected shape", z)
+	}
+	f := WilsonInterval(20, 20, 0.05)
+	if f.High != 1 || f.Low >= 1 || f.Low <= 0.5 {
+		t.Errorf("Wilson(20,20) = %+v out of expected shape", f)
+	}
+	if got := WilsonInterval(1, 0, 0.05); got.Low != 0 || got.High != 1 {
+		t.Errorf("Wilson with n=0 should be [0,1], got %+v", got)
+	}
+}
+
+func TestClopperPearson(t *testing.T) {
+	// Classic textbook value: 0 successes in n trials has upper bound
+	// 1 - (alpha/2)^(1/n) ("rule of three" neighborhood).
+	iv := ClopperPearson(0, 30, 0.05)
+	wantHi := 1 - math.Pow(0.025, 1.0/30)
+	if iv.Low != 0 {
+		t.Errorf("CP(0,30) low = %v, want 0", iv.Low)
+	}
+	if math.Abs(iv.High-wantHi) > 1e-9 {
+		t.Errorf("CP(0,30) high = %v, want %v", iv.High, wantHi)
+	}
+	// Symmetry: CP(k,n) low == 1 - CP(n-k,n) high.
+	a := ClopperPearson(7, 25, 0.05)
+	b := ClopperPearson(18, 25, 0.05)
+	if math.Abs(a.Low-(1-b.High)) > 1e-9 || math.Abs(a.High-(1-b.Low)) > 1e-9 {
+		t.Errorf("CP symmetry violated: %+v vs %+v", a, b)
+	}
+	// Exact interval must contain the point estimate and the Wilson interval's
+	// coverage (CP is conservative: at least as wide).
+	w := WilsonInterval(7, 25, 0.05)
+	p := 7.0 / 25.0
+	if a.Low > p || a.High < p {
+		t.Errorf("CP(7,25) = %+v does not contain p=%v", a, p)
+	}
+	if a.Low > w.Low+1e-9 || a.High < w.High-1e-9 {
+		t.Errorf("CP %+v narrower than Wilson %+v", a, w)
+	}
+	if got := ClopperPearson(3, 0, 0.05); got.Low != 0 || got.High != 1 {
+		t.Errorf("CP with n=0 should be [0,1], got %+v", got)
+	}
+}
+
+func TestBinomialTails(t *testing.T) {
+	// P[X <= 1 | n=3, p=0.5] = 4/8; P[X >= 2] = 4/8.
+	if got := binomLowerTail(1, 3, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("lower tail = %v, want 0.5", got)
+	}
+	if got := binomUpperTail(2, 3, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("upper tail = %v, want 0.5", got)
+	}
+	if got := binomLowerTail(5, 5, 0.3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full lower tail = %v, want 1", got)
+	}
+}

@@ -124,7 +124,6 @@ func LinearFit(x, y []float64) Fit {
 	if len(x) != len(y) {
 		panic("stats: LinearFit length mismatch")
 	}
-	n := float64(len(x))
 	if len(x) < 2 {
 		return Fit{}
 	}
@@ -146,7 +145,6 @@ func LinearFit(x, y []float64) Fit {
 	} else {
 		fit.R2 = 1 // y constant and fully explained
 	}
-	_ = n
 	return fit
 }
 
