@@ -57,6 +57,7 @@ lint:
 # Short fuzz runs of every fuzz target; same set as CI's fuzz-smoke job.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRadioStep -fuzztime=30s ./internal/radio
+	$(GO) test -run='^$$' -fuzz=FuzzRadioModels -fuzztime=30s ./internal/radio
 	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=15s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzBuilder -fuzztime=15s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzExpansionKernels -fuzztime=20s ./internal/expansion

@@ -279,9 +279,39 @@ func Broadcast(g *Graph, source int, p Protocol, maxRounds int) (BroadcastResult
 type ProtocolFactory = radio.Factory
 
 // MonteCarloOptions configures BroadcastMonteCarlo (worker-pool width,
-// seed, round budget, per-round trace depth). Results are bit-identical
-// at every worker count.
+// seed, round budget, per-round trace depth, receive-rule model). Results
+// are bit-identical at every worker count.
 type MonteCarloOptions = radio.Options
+
+// RadioModel is the pluggable per-round receive rule: the unit-disk
+// collision rule of the paper, SINR/physical interference, probabilistic
+// arc fading, multi-message broadcast, or adversarial jamming. Install one
+// via MonteCarloOptions.Model; nil keeps the historical unit-disk path.
+type RadioModel = radio.Model
+
+// Receive-rule model types, constructible directly when the spec-string
+// form of ParseRadioModel is too coarse.
+type (
+	// UnitDiskModel is the paper's rule: a silent vertex receives iff
+	// exactly one neighbor transmits.
+	UnitDiskModel = radio.UnitDisk
+	// SINRModel is physical interference with distance-free
+	// degree-weighted power and a deterministic threshold.
+	SINRModel = radio.SINR
+	// FadingModel erases each delivered arc independently with
+	// probability P from a pre-split per-round stream.
+	FadingModel = radio.Fading
+	// MultiMessageModel broadcasts M messages concurrently; completion
+	// requires every vertex to hold all of them.
+	MultiMessageModel = radio.MultiMessage
+	// JamModel silences the Budget most valuable receivers each round.
+	JamModel = radio.Jam
+)
+
+// ParseRadioModel parses a receive-rule spec such as "unit-disk", "sinr",
+// "fading:0.3", "multi:4", or "jam:2,frontier" into a RadioModel with
+// canonical parameter defaults.
+func ParseRadioModel(spec string) (RadioModel, error) { return radio.ParseModel(spec) }
 
 // MonteCarloResult aggregates a Monte-Carlo broadcast run: per-trial
 // records, round-count summary and completion histogram, collision and

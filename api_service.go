@@ -19,6 +19,18 @@ func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, 
 // ReadEdgeList parses the WriteEdgeList format.
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
+// EdgeListOptions relaxes ReadEdgeListOptions toward real-world exports:
+// OneBased shifts 1-based ids, InferN accepts headerless SNAP-style input
+// (vertex count = max id + 1). The zero value is the strict format.
+type EdgeListOptions = graph.EdgeListOptions
+
+// ReadEdgeListOptions parses an edge list under the given options —
+// comments, blank lines, and whitespace runs are accepted in every mode,
+// and duplicate edges collapse.
+func ReadEdgeListOptions(r io.Reader, opt EdgeListOptions) (*Graph, error) {
+	return graph.ReadEdgeListOptions(r, opt)
+}
+
 // GraphDigest returns the canonical SHA-256 digest of the graph as
 // lowercase hex. The digest is a pure function of the labeled structure
 // (edge insertion order and duplicates never affect it) and is stable

@@ -185,7 +185,7 @@ func TestPublicLambda2(t *testing.T) {
 
 func TestPublicExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 14 || ids[0] != "E1" {
+	if len(ids) != 16 || ids[0] != "E1" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	res, err := RunExperiment("E2", ExperimentConfig{Seed: 1, Quick: true})

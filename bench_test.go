@@ -199,16 +199,17 @@ type radioBenchRecord struct {
 	Family  string  `json:"family"`
 	N       int     `json:"n"`
 	M       int     `json:"m"`
-	Engine  string  `json:"engine"` // "scalar" | "vectorized"
+	Engine  string  `json:"engine"` // "scalar" | "vectorized" | "model:<spec>"
 	NsPerOp float64 `json:"ns_per_op"`
 	Speedup float64 `json:"speedup,omitempty"` // vectorized rows: scalar ns / vectorized ns
 }
 
 // BenchmarkRadioEngine measures the scalar oracle against the
 // word-parallel step at n = 256/1024/4096 on Erdős–Rényi, hypercube, and
-// C⁺ instances, and writes BENCH_radio.json. The record is rewritten
-// only when every configuration ran, so a filtered run cannot truncate
-// it.
+// C⁺ instances, plus the interference-model receive rules (unit-disk vs
+// SINR vs fading) at n = 1024/4096, and writes BENCH_radio.json. The
+// record is rewritten only when every configuration ran, so a filtered
+// run cannot truncate it.
 func BenchmarkRadioEngine(b *testing.B) {
 	type cfg struct {
 		family string
@@ -231,11 +232,23 @@ func BenchmarkRadioEngine(b *testing.B) {
 			cfg{"cplus", n, func() *graph.Graph { return gen.CPlus(n - 1) }},
 		)
 	}
+	// The interference-model grid rides along after the engine pairs:
+	// the same flood-load round under each pluggable receive rule.
+	type modelCfg struct {
+		n    int
+		spec string
+	}
+	var modelCfgs []modelCfg
+	for _, n := range []int{1024, 4096} {
+		for _, spec := range []string{"unit-disk", "sinr", "fading:0.25"} {
+			modelCfgs = append(modelCfgs, modelCfg{n, spec})
+		}
+	}
 	// Indexed by configuration and overwritten on every invocation: the
 	// harness re-runs each sub-benchmark while calibrating b.N, and the
 	// final (largest-b.N) invocation is the one worth recording.
-	records := make([]radioBenchRecord, 2*len(cfgs))
-	ran := make([]bool, 2*len(cfgs))
+	records := make([]radioBenchRecord, 2*len(cfgs)+len(modelCfgs))
+	ran := make([]bool, len(records))
 	for ci, c := range cfgs {
 		g := c.make()
 		for ei, engine := range []string{"scalar", "vectorized"} {
@@ -267,13 +280,43 @@ func BenchmarkRadioEngine(b *testing.B) {
 			})
 		}
 	}
+	for mi, mc := range modelCfgs {
+		idx := 2*len(cfgs) + mi
+		mc := mc
+		g := gen.ErdosRenyi(mc.n, 0.1, rng.New(uint64(mc.n)*77+5))
+		b.Run(fmt.Sprintf("erdos-renyi/n=%d/model=%s", mc.n, mc.spec), func(b *testing.B) {
+			model, err := radio.ParseModel(mc.spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net, err := radio.NewNetwork(g, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.UseModel(model, 1)
+			transmit := make([]bool, g.N())
+			for v := range transmit {
+				net.Informed[v] = true
+				transmit[v] = true
+			}
+			net.InformedCount = g.N()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				net.StepRound(transmit)
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+			records[idx] = radioBenchRecord{Family: "erdos-renyi", N: g.N(), M: g.M(), Engine: "model:" + mc.spec, NsPerOp: ns}
+			ran[idx] = true
+		})
+	}
 	for _, ok := range ran {
 		if !ok {
 			return // filtered run: keep the existing record
 		}
 	}
 	// Fill speedups now that both engines of each pair have final numbers.
-	for i := 1; i < len(records); i += 2 {
+	for i := 1; i < 2*len(cfgs); i += 2 {
 		if records[i-1].NsPerOp > 0 {
 			records[i].Speedup = records[i-1].NsPerOp / records[i].NsPerOp
 		}

@@ -7,32 +7,49 @@
 //	radiosim -family torus -size 16 -protocol decay -trials 100 -workers 8
 //	radiosim -chain 8 -s 32 -trials 5                Section 5 chain
 //	radiosim -family hypercube -size 6 -format json
+//	radiosim -family torus -size 16 -model sinr      physical interference
 //
-// Trials fan over a deterministic worker pool (results are bit-identical
-// at any -workers value); deterministic protocols run a single trial.
+// -model selects the receive rule: unit-disk (default), sinr[:α,β,n0,P],
+// fading[:p[,seed]], multi[:m], or jam[:k[,policy]]. Trials fan over a
+// deterministic worker pool (results are bit-identical at any -workers
+// value); deterministic protocols run a single trial.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with its environment abstracted so tests can assert the
+// exit status and stderr of failing invocations. Errors never reach
+// stdout: a non-zero status comes with diagnostics on stderr only.
+func realMain(args []string, stdout, stderr io.Writer) int {
 	cfg := defaultConfig()
-	flag.StringVar(&cfg.Family, "family", cfg.Family, "graph family (see cmd/wexp)")
-	flag.IntVar(&cfg.Size, "size", cfg.Size, "family size parameter")
-	flag.StringVar(&cfg.Protocol, "protocol", cfg.Protocol, "flood|prob-flood|decay|round-robin|spokesman|all")
-	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "RNG seed")
-	flag.IntVar(&cfg.MaxRounds, "max-rounds", cfg.MaxRounds, "round budget per trial")
-	flag.IntVar(&cfg.Chain, "chain", cfg.Chain, "instead of -family: Section 5 chain with this many hops")
-	flag.IntVar(&cfg.S, "s", cfg.S, "core parameter for -chain (power of two)")
-	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "Monte-Carlo trials for randomized protocols")
-	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "trial worker-pool width (0 = GOMAXPROCS; results identical at any width)")
-	flag.StringVar(&cfg.Format, "format", cfg.Format, "output format: text|json")
-	flag.Parse()
-	if err := run(cfg, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "radiosim:", err)
-		os.Exit(1)
+	fs := flag.NewFlagSet("radiosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.Family, "family", cfg.Family, "graph family (see cmd/wexp)")
+	fs.IntVar(&cfg.Size, "size", cfg.Size, "family size parameter")
+	fs.StringVar(&cfg.Protocol, "protocol", cfg.Protocol, "flood|prob-flood|decay|round-robin|spokesman|all")
+	fs.StringVar(&cfg.Model, "model", cfg.Model, "receive rule: unit-disk|sinr|fading|multi|jam (with :params)")
+	fs.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "RNG seed")
+	fs.IntVar(&cfg.MaxRounds, "max-rounds", cfg.MaxRounds, "round budget per trial")
+	fs.IntVar(&cfg.Chain, "chain", cfg.Chain, "instead of -family: Section 5 chain with this many hops")
+	fs.IntVar(&cfg.S, "s", cfg.S, "core parameter for -chain (power of two)")
+	fs.IntVar(&cfg.Trials, "trials", cfg.Trials, "Monte-Carlo trials for randomized protocols")
+	fs.IntVar(&cfg.Workers, "workers", cfg.Workers, "trial worker-pool width (0 = GOMAXPROCS; results identical at any width)")
+	fs.StringVar(&cfg.Format, "format", cfg.Format, "output format: text|json")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	if err := run(cfg, stdout); err != nil {
+		fmt.Fprintln(stderr, "radiosim:", err)
+		return 1
+	}
+	return 0
 }

@@ -100,6 +100,84 @@ func TestRunTextFormat(t *testing.T) {
 	}
 }
 
+func TestRunJSONGoldenSINR(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Family, cfg.Size, cfg.Model, cfg.Protocol, cfg.Trials, cfg.Format =
+		"torus", 4, "sinr", "decay", 4, "json"
+	golden(t, cfg, "torus4_sinr.json")
+}
+
+func TestRunJSONGoldenFading(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Size, cfg.Model, cfg.Protocol, cfg.Trials, cfg.Format =
+		8, "fading:0.25", "decay", 4, "json"
+	golden(t, cfg, "cplus8_fading.json")
+}
+
+func TestRunUnitDiskModelMatchesDefault(t *testing.T) {
+	// -model unit-disk must reproduce the default output byte for byte:
+	// the model subsystem does not perturb protocol RNG streams.
+	cfg := defaultConfig()
+	cfg.Size, cfg.Format = 8, "json"
+	var a, b bytes.Buffer
+	if err := run(cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Model = "unit-disk"
+	if err := run(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("explicit -model unit-disk differs from default output")
+	}
+}
+
+// TestMainExitStatus asserts the CLI contract on failure: non-zero status,
+// diagnostics on stderr only, nothing on stdout — with the stderr shape
+// pinned by a golden file.
+func TestMainExitStatus(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-protocol", "nope"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("error output leaked to stdout: %q", stdout.String())
+	}
+	path := filepath.Join("testdata", "errpath.txt")
+	if update {
+		if err := os.WriteFile(path, stderr.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stderr.Bytes(), want) {
+		t.Fatalf("stderr differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, stderr.Bytes(), want)
+	}
+
+	// Flag-parse failures exit 2 (flag prints its own usage to stderr).
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("flag error exit code = %d, want 2", code)
+	}
+	if stdout.Len() != 0 || stderr.Len() == 0 {
+		t.Fatal("flag error should report on stderr only")
+	}
+
+	// The success path exits 0 with output on stdout.
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"-size", "8", "-protocol", "flood"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if stdout.Len() == 0 || stderr.Len() != 0 {
+		t.Fatal("success should write stdout only")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cfg := defaultConfig()
 	cfg.Protocol = "nope"
@@ -120,5 +198,10 @@ func TestRunErrors(t *testing.T) {
 	cfg.Trials = 0
 	if err := run(cfg, &bytes.Buffer{}); err == nil {
 		t.Fatal("zero trials accepted")
+	}
+	cfg = defaultConfig()
+	cfg.Model = "warp-drive"
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown model accepted")
 	}
 }

@@ -21,6 +21,7 @@ type Config struct {
 	Family    string
 	Size      int
 	Protocol  string
+	Model     string // receive-rule spec, see radio.ParseModel
 	Seed      uint64
 	MaxRounds int
 	Chain     int
@@ -35,6 +36,7 @@ func defaultConfig() Config {
 		Family:    "cplus",
 		Size:      16,
 		Protocol:  "all",
+		Model:     "unit-disk",
 		Seed:      1,
 		MaxRounds: 1_000_000,
 		S:         16,
@@ -71,6 +73,7 @@ type protoReport struct {
 // report is the full JSON document.
 type report struct {
 	Graph   graphInfo     `json:"graph"`
+	Model   string        `json:"model"`
 	Seed    uint64        `json:"seed"`
 	Results []protoReport `json:"results"`
 }
@@ -128,11 +131,15 @@ func run(cfg Config, w io.Writer) error {
 	if cfg.Trials < 1 {
 		return fmt.Errorf("trials must be positive, got %d", cfg.Trials)
 	}
+	model, err := radio.ParseModel(cfg.Model)
+	if err != nil {
+		return err
+	}
 	info, err := buildInstance(cfg)
 	if err != nil {
 		return err
 	}
-	rep := report{Graph: info, Seed: cfg.Seed}
+	rep := report{Graph: info, Model: model.Name(), Seed: cfg.Seed}
 	matched := false
 	for _, p := range protocolOrder {
 		if cfg.Protocol != "all" && cfg.Protocol != p.name {
@@ -153,6 +160,7 @@ func run(cfg Config, w io.Writer) error {
 			RunOpts:     runopts.RunOpts{Workers: cfg.Workers, Seed: cfg.Seed},
 			MaxRounds:   maxRounds,
 			TraceRounds: -1, // summary output only; no per-round quantiles
+			Model:       model,
 		})
 		if err != nil {
 			return err
@@ -179,7 +187,7 @@ func run(cfg Config, w io.Writer) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
 	}
-	fmt.Fprintf(w, "%s: n=%d m=%d ∆=%d\n", info.Name, info.N, info.M, info.MaxDegree)
+	fmt.Fprintf(w, "%s: n=%d m=%d ∆=%d model=%s\n", info.Name, info.N, info.M, info.MaxDegree, rep.Model)
 	if info.Diameter > 0 {
 		fmt.Fprintf(w, "diameter=%d — paper lower bound scale D·log2(n/D) = %.1f\n",
 			info.Diameter, info.LowerBound)

@@ -91,6 +91,7 @@ func (r *Result) Markdown() string {
 var All = []*Spec{
 	SpecE1, SpecE2, SpecE3, SpecE4, SpecE5, SpecE6, SpecE7,
 	SpecE8, SpecE9, SpecE10, SpecE11, SpecE12, SpecE13, SpecE14,
+	SpecE15, SpecE16,
 }
 
 // ByID returns the registered spec with the given ID.

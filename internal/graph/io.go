@@ -30,9 +30,36 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // ReadEdgeList parses the WriteEdgeList format. Blank lines and '#'
 // comments are ignored; the "n" header must precede any edge.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListOptions(r, EdgeListOptions{})
+}
+
+// EdgeListOptions relaxes ReadEdgeList toward real-world exports (SNAP and
+// friends). The zero value is the strict WriteEdgeList format.
+type EdgeListOptions struct {
+	// OneBased treats vertex ids as 1-based, as many published edge lists
+	// are; id 0 becomes an error.
+	OneBased bool
+	// InferN accepts headerless input: when no "n" line appears before the
+	// edges, the vertex count is inferred as the maximum id + 1 (after the
+	// OneBased shift). SNAP exports carry counts only in '# Nodes: …'
+	// comments, which are skipped like any comment. A header, if present,
+	// still wins and still rejects out-of-range ids.
+	InferN bool
+}
+
+// ReadEdgeListOptions parses an edge list under the given options. '#'
+// comments, blank lines, and arbitrary whitespace runs (spaces or tabs)
+// between the two endpoint ids are accepted in every mode; duplicate edges
+// — e.g. a directed export listing both (u,v) and (v,u) — collapse to one
+// undirected edge.
+func ReadEdgeListOptions(r io.Reader, opt EdgeListOptions) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var b *Builder
+	headerN := -1
+	sawHeader := false
+	type edge struct{ u, v, line int }
+	var edges []edge
+	maxID := -1
 	line := 0
 	for sc.Scan() {
 		line++
@@ -43,7 +70,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		fields := strings.Fields(text)
 		switch {
 		case fields[0] == "n":
-			if b != nil {
+			if sawHeader {
 				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
 			}
 			if len(fields) != 2 {
@@ -53,9 +80,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[1])
 			}
-			b = NewBuilder(n)
+			if len(edges) > 0 {
+				return nil, fmt.Errorf("graph: line %d: header after edges", line)
+			}
+			headerN, sawHeader = n, true
 		default:
-			if b == nil {
+			if !sawHeader && !opt.InferN {
 				return nil, fmt.Errorf("graph: line %d: edge before header", line)
 			}
 			if len(fields) != 2 {
@@ -65,16 +95,39 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
 			}
-			if err := b.AddEdge(u, v); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			if opt.OneBased {
+				if u < 1 || v < 1 {
+					return nil, fmt.Errorf("graph: line %d: vertex id < 1 in 1-based input: %q", line, text)
+				}
+				u, v = u-1, v-1
 			}
+			if u > maxID {
+				maxID = u
+			}
+			if v > maxID {
+				maxID = v
+			}
+			edges = append(edges, edge{u, v, line})
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if b == nil {
-		return nil, fmt.Errorf("graph: missing header")
+	n := headerN
+	if !sawHeader {
+		if !opt.InferN {
+			return nil, fmt.Errorf("graph: missing header")
+		}
+		if maxID < 0 {
+			return nil, fmt.Errorf("graph: empty input (no header, no edges)")
+		}
+		n = maxID + 1
+	}
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.u, e.v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", e.line, err)
+		}
 	}
 	return b.Build(), nil
 }

@@ -63,6 +63,112 @@ func TestReadEdgeListErrors(t *testing.T) {
 	}
 }
 
+func TestReadEdgeListOptions(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		opt   EdgeListOptions
+		n, m  int
+		isErr bool
+	}{
+		{
+			name: "snap-headerless",
+			in:   "# Directed graph (each unordered pair once)\n# Nodes: 4 Edges: 3\n0\t1\n1\t2\n2\t3\n",
+			opt:  EdgeListOptions{InferN: true},
+			n:    4, m: 3,
+		},
+		{
+			name: "snap-one-based",
+			in:   "# FromNodeId\tToNodeId\n1\t2\n2\t3\n3\t1\n",
+			opt:  EdgeListOptions{InferN: true, OneBased: true},
+			n:    3, m: 3,
+		},
+		{
+			name: "whitespace-runs",
+			in:   "n 3\n  0   1 \n\t1\t\t2\t\n",
+			opt:  EdgeListOptions{},
+			n:    3, m: 2,
+		},
+		{
+			name: "directed-both-ways-collapse",
+			in:   "0 1\n1 0\n1 2\n2 1\n",
+			opt:  EdgeListOptions{InferN: true},
+			n:    3, m: 2,
+		},
+		{
+			name: "header-wins-over-inference",
+			in:   "n 10\n0 1\n",
+			opt:  EdgeListOptions{InferN: true},
+			n:    10, m: 1,
+		},
+		{
+			name: "one-based-with-header",
+			in:   "n 3\n1 2\n2 3\n",
+			opt:  EdgeListOptions{OneBased: true},
+			n:    3, m: 2,
+		},
+		{
+			name: "isolated-high-id-sets-n",
+			in:   "0 1\n5 6\n",
+			opt:  EdgeListOptions{InferN: true},
+			n:    7, m: 2,
+		},
+		{
+			name:  "zero-id-in-one-based",
+			in:    "0 1\n",
+			opt:   EdgeListOptions{InferN: true, OneBased: true},
+			isErr: true,
+		},
+		{
+			name:  "headerless-without-infern",
+			in:    "0 1\n",
+			opt:   EdgeListOptions{},
+			isErr: true,
+		},
+		{
+			name:  "empty-with-infern",
+			in:    "# only comments\n",
+			opt:   EdgeListOptions{InferN: true},
+			isErr: true,
+		},
+		{
+			name:  "header-after-edges",
+			in:    "0 1\nn 5\n",
+			opt:   EdgeListOptions{InferN: true},
+			isErr: true,
+		},
+		{
+			name:  "self-loop-inferred",
+			in:    "2 2\n",
+			opt:   EdgeListOptions{InferN: true},
+			isErr: true,
+		},
+		{
+			name:  "out-of-range-vs-header",
+			in:    "n 2\n1 2\n",
+			opt:   EdgeListOptions{InferN: true},
+			isErr: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := ReadEdgeListOptions(strings.NewReader(c.in), c.opt)
+			if c.isErr {
+				if err == nil {
+					t.Fatalf("input %q accepted as %v", c.in, g)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != c.n || g.M() != c.m {
+				t.Fatalf("got n=%d m=%d, want n=%d m=%d", g.N(), g.M(), c.n, c.m)
+			}
+		})
+	}
+}
+
 func TestBipartiteEdgeListRoundTrip(t *testing.T) {
 	bb := NewBipartiteBuilder(3, 4)
 	for _, e := range [][2]int{{0, 0}, {0, 3}, {1, 1}, {2, 2}} {

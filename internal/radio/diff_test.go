@@ -11,11 +11,12 @@ import (
 	"wexp/internal/runopts"
 )
 
-// lockstep runs proto on two copies of the same network — one stepping the
-// vectorized engine, one the scalar oracle — feeding both the identical
-// transmit set each round, and fails on the first divergence in any
-// observable: newly-informed count, Informed, InformedCount, Collisions,
-// Transmissions, or per-vertex informed-at rounds.
+// lockstep runs proto on three copies of the same network — one stepping
+// the vectorized engine, one the scalar oracle, one routed through the
+// UnitDisk model — feeding all the identical transmit set each round, and
+// fails on the first divergence in any observable: newly-informed count,
+// Informed, InformedCount, Collisions, Transmissions, or per-vertex
+// informed-at rounds.
 func lockstep(t *testing.T, g *graph.Graph, source int, proto Protocol, maxRounds int) {
 	t.Helper()
 	// Force the word-parallel kernel even on graphs where the adaptive
@@ -31,6 +32,11 @@ func lockstep(t *testing.T, g *graph.Graph, source int, proto Protocol, maxRound
 	if err != nil {
 		t.Fatal(err)
 	}
+	mod, err := NewNetworkRows(g, source, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.UseModel(UnitDisk{}, 0)
 	transmit := make([]bool, g.N())
 	for vec.Round < maxRounds && !vec.Done() {
 		for i := range transmit {
@@ -39,10 +45,18 @@ func lockstep(t *testing.T, g *graph.Graph, source int, proto Protocol, maxRound
 		proto.Transmitters(vec, transmit)
 		nv := vec.Step(transmit)
 		ns := sca.StepScalar(transmit)
+		nm := mod.StepRound(transmit)
 		if nv != ns {
 			t.Fatalf("round %d: newly informed %d (vectorized) != %d (scalar)", vec.Round, nv, ns)
 		}
+		if nm != ns {
+			t.Fatalf("round %d: newly informed %d (unit-disk model) != %d (scalar)", mod.Round, nm, ns)
+		}
 		compareNetworks(t, vec, sca)
+		compareNetworks(t, mod, sca)
+		if mod.Done() != vec.Done() {
+			t.Fatalf("round %d: Done %v (unit-disk model) != %v (engine)", mod.Round, mod.Done(), vec.Done())
+		}
 	}
 }
 

@@ -6,6 +6,91 @@ import (
 	"wexp/internal/graph"
 )
 
+// FuzzRadioModels checks the cross-model invariants over adversarial
+// (graph, model, transmit) inputs: the informed set only ever grows, the
+// informed count matches the flags, per-round stats are monotone, and the
+// UnitDisk model agrees bit-for-bit with the scalar oracle.
+func FuzzRadioModels(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3}, []byte{0, 2, 1}, uint8(0))
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 4, 5}, []byte{0, 4, 5, 1}, uint8(1))
+	f.Add([]byte{3, 7, 7, 11, 11, 3}, []byte{3, 7, 11, 2}, uint8(2))
+	f.Add([]byte{1, 2, 2, 3, 3, 4, 4, 1}, []byte{1, 3, 0}, uint8(3))
+	f.Add([]byte{}, []byte{}, uint8(4))
+	f.Fuzz(func(t *testing.T, edges, transmitters []byte, sel uint8) {
+		const n = 24
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			u, v := int(edges[i])%n, int(edges[i+1])%n
+			if u != v {
+				b.MustAddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		models := []Model{
+			UnitDisk{},
+			&SINR{Alpha: 1, Beta: 0.5, N0: 0.1, Power: 1},
+			&Fading{P: float64(sel%128) / 128, Seed: uint64(sel)},
+			&MultiMessage{M: 1 + int(sel)%8},
+			&Jam{Budget: int(sel) % 4, Policy: []string{JamByDegree, JamByFrontier}[int(sel/4)%2]},
+		}
+		m := models[int(sel)%len(models)]
+		net, err := NewNetwork(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.UseModel(m, uint64(sel))
+		oracle, _ := NewNetwork(g, 0) // tracks UnitDisk only
+		prevInformed := make([]bool, n)
+		copy(prevInformed, net.Informed)
+		prevCount := net.InformedCount
+		for round := 0; round < 4; round++ {
+			transmit := make([]bool, n)
+			for i := round; i < len(transmitters); i += 4 {
+				transmit[int(transmitters[i])%n] = true
+			}
+			newly := net.StepRound(transmit)
+			if newly < 0 {
+				t.Fatalf("round %d: negative newly %d", round, newly)
+			}
+			count := 0
+			for v := 0; v < n; v++ {
+				if prevInformed[v] && !net.Informed[v] {
+					t.Fatalf("round %d: vertex %d became uninformed", round, v)
+				}
+				if net.Informed[v] {
+					count++
+					if at := net.InformedAt(v); at < 0 || at > net.Round {
+						t.Fatalf("round %d: vertex %d informed-at %d out of range", round, v, at)
+					}
+				}
+			}
+			if count != net.InformedCount {
+				t.Fatalf("round %d: InformedCount %d, flags say %d", round, net.InformedCount, count)
+			}
+			if net.InformedCount-prevCount != newly {
+				t.Fatalf("round %d: newly %d but count went %d -> %d", round, newly, prevCount, net.InformedCount)
+			}
+			if net.Collisions < 0 || net.Transmissions < 0 {
+				t.Fatalf("round %d: negative stats", round)
+			}
+			if _, isUD := m.(UnitDisk); isUD {
+				ns := oracle.StepScalar(transmit)
+				if ns != newly || oracle.InformedCount != net.InformedCount ||
+					oracle.Collisions != net.Collisions || oracle.Transmissions != net.Transmissions {
+					t.Fatalf("round %d: UnitDisk model diverged from scalar oracle", round)
+				}
+				for v := 0; v < n; v++ {
+					if oracle.Informed[v] != net.Informed[v] {
+						t.Fatalf("round %d: UnitDisk Informed[%d] mismatch", round, v)
+					}
+				}
+			}
+			copy(prevInformed, net.Informed)
+			prevCount = net.InformedCount
+		}
+	})
+}
+
 // FuzzRadioStep feeds arbitrary (graph, informed set, transmit masks)
 // triples to both engines and requires bit-for-bit agreement on every
 // observable — the same contract the differential corpus checks, but over

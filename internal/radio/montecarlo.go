@@ -47,6 +47,12 @@ type Options struct {
 	// DefaultTraceRounds, negative = none). Totals and per-trial records
 	// always cover the full run regardless of this cap.
 	TraceRounds int
+	// Model selects the per-round receive rule (nil = the legacy
+	// unit-disk path, byte-identical to runs predating the Model
+	// subsystem). Each trial gets a private fork whose salt is pre-split
+	// from a dedicated stream, so trial RNG streams for protocols are
+	// unchanged and aggregates stay bit-identical at any worker count.
+	Model Model
 	// Ctx, when non-nil, cancels the run: workers observe it at trial
 	// boundaries and MonteCarlo returns Ctx.Err(). A nil Ctx means run to
 	// completion.
@@ -80,9 +86,12 @@ type RoundSummary struct {
 // function of (graph, source, factory, trials, Options.Seed,
 // Options.MaxRounds, Options.TraceRounds) — the worker count never shows.
 type Result struct {
-	Protocol  string `json:"protocol"`
+	Protocol string `json:"protocol"`
+	// Model is the canonical receive-rule name; empty on legacy runs
+	// (Options.Model == nil) so their serialized form is unchanged.
+	Model     string `json:"model,omitempty"`
 	Trials    int    `json:"trials"`
-	Completed int    `json:"completed"` // trials that informed every vertex
+	Completed int    `json:"completed"` // trials that met the model's completion condition
 
 	// Rounds summarizes per-trial round counts over all trials (budget-
 	// capped trials contribute MaxRounds).
@@ -135,6 +144,18 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 		rngs[i] = parent.Split()
 	}
 
+	// Per-trial model salts come from their own stream so installing a
+	// model never perturbs the protocol streams above: a UnitDisk run
+	// replays a legacy run bit for bit.
+	var modelSalts []uint64
+	if opt.Model != nil {
+		ms := rng.New(opt.Seed ^ rng.Salt("radio/model"))
+		modelSalts = make([]uint64, trials)
+		for i := range modelSalts {
+			modelSalts[i] = ms.Uint64()
+		}
+	}
+
 	type trialOut struct {
 		res      TrialResult
 		informed []int32 // informed count after round t, t ≤ traceRounds
@@ -149,6 +170,9 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 			outs[i].err = err
 			return
 		}
+		if opt.Model != nil {
+			net.UseModel(opt.Model, modelSalts[i])
+		}
 		var trace []int32
 		if traceRounds > 0 {
 			trace = append(trace, int32(net.InformedCount))
@@ -159,7 +183,7 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 				transmit[j] = false
 			}
 			p.Transmitters(net, transmit)
-			net.Step(transmit)
+			net.StepRound(transmit)
 			if net.Round <= traceRounds {
 				trace = append(trace, int32(net.InformedCount))
 			}
@@ -218,6 +242,9 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 
 	// Deterministic merge: everything below iterates in trial index order.
 	res := &Result{Trials: trials}
+	if opt.Model != nil {
+		res.Model = opt.Model.Name()
+	}
 	rounds := make([]float64, 0, trials)
 	var completion []float64
 	maxTrace := 0

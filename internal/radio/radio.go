@@ -34,6 +34,9 @@ type Network struct {
 
 	rows    *AdjRows     // per-vertex adjacency bitset rows, shared across trials
 	scratch *stepScratch // vector-engine scratch, allocated on first vectorized Step
+
+	source int   // broadcast origin, recorded for models that seed extra state
+	model  Model // receive-rule override; nil = the legacy unit-disk fast path
 }
 
 // NewNetwork creates a network with the single source informed at round 0.
@@ -62,6 +65,7 @@ func NewNetworkRows(g *graph.Graph, source int, rows *AdjRows) (*Network, error)
 		G:        g,
 		Informed: make([]bool, g.N()),
 		rows:     rows,
+		source:   source,
 	}
 	n.informedAtRnd = make([]int, g.N())
 	for i := range n.informedAtRnd {
@@ -118,8 +122,56 @@ func (n *Network) StepScalar(transmit []bool) int {
 	return newly
 }
 
-// Done reports whether every vertex is informed.
-func (n *Network) Done() bool { return n.InformedCount == n.G.N() }
+// Done reports whether the execution's completion condition holds: every
+// vertex informed under the default rule, or the installed Model's
+// condition (e.g. MultiMessage requires every vertex to hold all M
+// messages).
+func (n *Network) Done() bool {
+	if n.model != nil {
+		return n.model.Done(n)
+	}
+	return n.InformedCount == n.G.N()
+}
+
+// Source returns the broadcast origin the network was built with.
+func (n *Network) Source() int { return n.source }
+
+// UseModel installs the receive-rule model for this execution: the model
+// is forked with salt (giving it private state and its random identity)
+// and initialized against the network. A nil model restores the default
+// unit-disk rule.
+func (n *Network) UseModel(m Model, salt uint64) {
+	if m == nil {
+		n.model = nil
+		return
+	}
+	n.model = m.Fork(salt)
+	n.model.Init(n)
+}
+
+// StepRound executes one synchronous round under the installed model
+// (unit-disk when none is installed) and returns the number of newly
+// informed vertices.
+func (n *Network) StepRound(transmit []bool) int {
+	if n.model == nil {
+		return n.Step(transmit)
+	}
+	return n.model.Step(n, transmit)
+}
+
+// inform marks v informed at the current round if it is not already,
+// reporting whether it was newly informed. Models use it so informed-at
+// rounds and the informed count stay consistent with the engine's own
+// bookkeeping.
+func (n *Network) inform(v int) bool {
+	if n.Informed[v] {
+		return false
+	}
+	n.Informed[v] = true
+	n.informedAtRnd[v] = n.Round
+	n.InformedCount++
+	return true
+}
 
 // InformedAt returns the round at which v became informed, or -1.
 func (n *Network) InformedAt(v int) int { return n.informedAtRnd[v] }

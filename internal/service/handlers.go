@@ -533,6 +533,7 @@ func intsToCSV(xs []int) string {
 type broadcastResponse struct {
 	Graph              string               `json:"graph"`
 	Protocol           string               `json:"protocol"`
+	Model              string               `json:"model"`
 	Source             int                  `json:"source"`
 	Trials             int                  `json:"trials"`
 	Seed               uint64               `json:"seed"`
@@ -611,6 +612,14 @@ func (s *Server) specBroadcast(q url.Values) (computeSpec, error) {
 	if trace <= 0 {
 		trace = -1 // canonical "no per-round summaries"
 	}
+	// The receive-rule model. The canonical parameterized name (not the
+	// raw query string) goes into the cache key, so "fading" and
+	// "fading:0.25" share an entry.
+	model, err := radio.ParseModel(q.Get("model"))
+	if err != nil {
+		return computeSpec{}, errf(http.StatusBadRequest, "%v", err)
+	}
+	modelName := model.Name()
 
 	g := e.Graph()
 	digest := e.Digest
@@ -619,20 +628,21 @@ func (s *Server) specBroadcast(q url.Values) (computeSpec, error) {
 	}
 	spec := computeSpec{
 		op: "broadcast",
-		key: fmt.Sprintf("broadcast|g=%s|proto=%s|source=%d|trials=%d|seed=%d|maxrounds=%d|trace=%d",
-			digest, protoName, source, trials, seed, maxRounds, trace),
+		key: fmt.Sprintf("broadcast|g=%s|proto=%s|model=%s|source=%d|trials=%d|seed=%d|maxrounds=%d|trace=%d",
+			digest, protoName, modelName, source, trials, seed, maxRounds, trace),
 		run: func(ctx context.Context, _ func(int, int)) (any, error) {
 			mc, err := radio.MonteCarlo(g, source, factory, trials, radio.Options{
 				RunOpts:     runopts.RunOpts{Workers: s.cfg.Workers, Seed: seed},
 				MaxRounds:   maxRounds,
 				TraceRounds: trace,
+				Model:       model,
 				Ctx:         ctx,
 			})
 			if err != nil {
 				return nil, err
 			}
 			return broadcastResponse{
-				Graph: digest, Protocol: protoName, Source: source,
+				Graph: digest, Protocol: protoName, Model: modelName, Source: source,
 				Trials: trials, Seed: seed, MaxRounds: maxRounds,
 				Completed:          mc.Completed,
 				Rounds:             mc.Rounds,

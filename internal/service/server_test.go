@@ -332,6 +332,46 @@ func TestAlphaAndMaxKShareCacheEntry(t *testing.T) {
 	}
 }
 
+// TestBroadcastModelCacheKeying: the receive-rule model is part of the
+// canonical broadcast cache key — a fading request never shares an entry
+// with the default unit-disk model, each misses then hits with byte-equal
+// bodies, and spellings that canonicalize to the same model do share.
+func TestBroadcastModelCacheKeying(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := ts.URL + "/v1/broadcast?family=cplus&size=10&protocol=decay&trials=8&seed=3"
+	code, def1, cache := get(t, base)
+	if code != http.StatusOK || cache != "miss" {
+		t.Fatalf("default model: status %d cache %q", code, cache)
+	}
+	code, fad1, cache := get(t, base+"&model=fading:0.25")
+	if code != http.StatusOK || cache != "miss" {
+		t.Fatalf("fading model should be keyed separately: status %d cache %q", code, cache)
+	}
+	_, fad2, cache := get(t, base+"&model=fading:0.25")
+	if cache != "hit" || !bytes.Equal(fad1, fad2) {
+		t.Fatalf("repeat fading request: cache %q, byte-equal %v", cache, bytes.Equal(fad1, fad2))
+	}
+	// "fading" canonicalizes to fading(p=0.25) — same entry.
+	_, fad3, cache := get(t, base+"&model=fading")
+	if cache != "hit" || !bytes.Equal(fad1, fad3) {
+		t.Fatalf("canonicalized spelling should share the entry: cache %q", cache)
+	}
+	if bytes.Equal(def1, fad1) {
+		t.Fatal("unit-disk and fading bodies are identical")
+	}
+	if !bytes.Contains(fad1, []byte(`"model":"fading(p=0.25)"`)) {
+		t.Fatalf("response body missing canonical model name:\n%s", fad1)
+	}
+	// An explicit unit-disk model is the same computation as the default.
+	_, def2, cache := get(t, base+"&model=unit-disk")
+	if cache != "hit" || !bytes.Equal(def1, def2) {
+		t.Fatalf("explicit unit-disk should share the default entry: cache %q", cache)
+	}
+	if code, body, _ := get(t, base+"&model=warp"); code != http.StatusBadRequest {
+		t.Fatalf("unknown model: status %d body %s", code, body)
+	}
+}
+
 // TestCrossServerDeterminism: the cached body is not an accident of one
 // process — a fresh server computing the same request produces the same
 // bytes (the engines are deterministic), which is what makes byte-level
