@@ -89,13 +89,14 @@ BENCH_BASELINE_DIR := artifacts/bench-baseline
 
 bench-gate:
 	@mkdir -p $(BENCH_BASELINE_DIR)
-	@cp BENCH_expansion.json BENCH_radio.json BENCH_service.json $(BENCH_BASELINE_DIR)/
-	@trap 'cp $(BENCH_BASELINE_DIR)/BENCH_expansion.json $(BENCH_BASELINE_DIR)/BENCH_radio.json $(BENCH_BASELINE_DIR)/BENCH_service.json .' EXIT INT TERM; \
+	@cp BENCH_expansion.json BENCH_radio.json BENCH_service.json BENCH_ingest.json $(BENCH_BASELINE_DIR)/
+	@trap 'cp $(BENCH_BASELINE_DIR)/BENCH_expansion.json $(BENCH_BASELINE_DIR)/BENCH_radio.json $(BENCH_BASELINE_DIR)/BENCH_service.json $(BENCH_BASELINE_DIR)/BENCH_ingest.json .' EXIT INT TERM; \
 	$(GO) test -bench=. -benchtime=$(BENCH_GATE_TIME) -run='^$$' ./... && \
 	$(GO) run ./cmd/benchgate -tol $(BENCH_GATE_TOL) \
 		$(BENCH_BASELINE_DIR)/BENCH_expansion.json BENCH_expansion.json \
 		$(BENCH_BASELINE_DIR)/BENCH_radio.json BENCH_radio.json \
-		$(BENCH_BASELINE_DIR)/BENCH_service.json BENCH_service.json
+		$(BENCH_BASELINE_DIR)/BENCH_service.json BENCH_service.json \
+		$(BENCH_BASELINE_DIR)/BENCH_ingest.json BENCH_ingest.json
 
 # Refresh the committed perf baselines with steady-state timings (the
 # regime bench-gate measures in; `make bench`'s single iteration is too

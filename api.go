@@ -279,9 +279,17 @@ func Broadcast(g *Graph, source int, p Protocol, maxRounds int) (BroadcastResult
 type ProtocolFactory = radio.Factory
 
 // MonteCarloOptions configures BroadcastMonteCarlo (worker-pool width,
-// seed, round budget, per-round trace depth, receive-rule model). Results
-// are bit-identical at every worker count.
+// seed, round budget, per-round trace depth, receive-rule model, memory
+// model). Results are bit-identical at every worker count.
 type MonteCarloOptions = radio.Options
+
+// RadioMemModel is the explicit memory model selecting the engine's
+// adjacency strategy: dense bit rows when they fit the budget, sparse
+// CSR traversal above it (the path that makes n ≥ 10⁶ graphs run in
+// O(n + m) memory per trial). The zero value selects the defaults; set it
+// via MonteCarloOptions.Mem. The strategy never changes results — only
+// memory and speed.
+type RadioMemModel = radio.MemModel
 
 // RadioModel is the pluggable per-round receive rule: the unit-disk
 // collision rule of the paper, SINR/physical interference, probabilistic

@@ -31,6 +31,26 @@ func ReadEdgeListOptions(r io.Reader, opt EdgeListOptions) (*Graph, error) {
 	return graph.ReadEdgeListOptions(r, opt)
 }
 
+// IngestStats reports what a streaming ingestion consumed: input lines and
+// bytes seen by the scanner, and edge records parsed before duplicate
+// collapse.
+type IngestStats = graph.IngestStats
+
+// StreamEdgeList parses an edge list from a one-shot stream (pipe, HTTP
+// body, multi-gigabyte file) and builds the CSR graph directly in O(n + m)
+// words of memory — no intermediate edge buffer. It accepts exactly the
+// ReadEdgeListOptions grammar; parse errors carry the offending line
+// number and byte offset.
+func StreamEdgeList(r io.Reader, opt EdgeListOptions) (*Graph, error) {
+	return graph.StreamEdgeList(r, opt)
+}
+
+// StreamEdgeListStats is StreamEdgeList returning ingestion statistics
+// alongside the graph.
+func StreamEdgeListStats(r io.Reader, opt EdgeListOptions) (*Graph, IngestStats, error) {
+	return graph.StreamEdgeListStats(r, opt)
+}
+
 // GraphDigest returns the canonical SHA-256 digest of the graph as
 // lowercase hex. The digest is a pure function of the labeled structure
 // (edge insertion order and duplicates never affect it) and is stable

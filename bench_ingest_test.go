@@ -1,0 +1,103 @@
+package wexp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"wexp/internal/graph"
+)
+
+// --- Streaming-ingestion perf record -----------------------------------------
+
+// ingestBenchRecord is one (n, m) data point of the perf record emitted as
+// BENCH_ingest.json: the cost of streaming a text edge list into CSR.
+// BytesPerEdge is heap allocation per parsed edge (TotalAlloc delta over
+// the run) — the memory-bound column benchgate gates alongside ns/op; a
+// regression here means the ingester started buffering again.
+type ingestBenchRecord struct {
+	Mode         string  `json:"mode"` // "stream"
+	N            int     `json:"n"`
+	M            int     `json:"m"`
+	InputBytes   int     `json:"input_bytes"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EdgesPerSec  float64 `json:"edges_per_sec"`
+	BytesPerEdge float64 `json:"bytes_per_edge"`
+}
+
+// BenchmarkIngest measures StreamEdgeList on synthetic edge lists at two
+// scales and writes BENCH_ingest.json. The record is rewritten only when
+// every configuration ran, so a filtered run cannot truncate it.
+func BenchmarkIngest(b *testing.B) {
+	cfgs := []struct{ n, extra int }{
+		{20_000, 180_000},
+		{100_000, 900_000},
+	}
+	records := make([]ingestBenchRecord, len(cfgs))
+	ran := make([]bool, len(records))
+	for ci, c := range cfgs {
+		m := c.n - 1 + c.extra
+		data, err := io.ReadAll(graph.SynthEdgeList(c.n, c.extra, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("stream/n=%d/m=%d", c.n, m), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				g, err := graph.StreamEdgeList(bytes.NewReader(data), graph.EdgeListOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.N() != c.n {
+					b.Fatalf("ingested n=%d, want %d", g.N(), c.n)
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			ns := float64(elapsed.Nanoseconds()) / float64(b.N)
+			alloc := float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N)
+			records[ci] = ingestBenchRecord{
+				Mode:         "stream",
+				N:            c.n,
+				M:            m,
+				InputBytes:   len(data),
+				NsPerOp:      ns,
+				EdgesPerSec:  float64(m) / (ns / 1e9),
+				BytesPerEdge: alloc / float64(m),
+			}
+			ran[ci] = true
+		})
+	}
+	for _, ok := range ran {
+		if !ok {
+			return // filtered run: keep the existing record
+		}
+	}
+	payload := struct {
+		Schema     string              `json:"schema"`
+		Go         string              `json:"go"`
+		GOMAXPROCS int                 `json:"gomaxprocs"`
+		Records    []ingestBenchRecord `json:"records"`
+	}{
+		Schema:     "wexp-bench/ingest-v1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Records:    records,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal ingest perf record: %v", err)
+	}
+	if err := os.WriteFile("BENCH_ingest.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_ingest.json: %v", err)
+	}
+}

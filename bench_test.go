@@ -244,10 +244,15 @@ func BenchmarkRadioEngine(b *testing.B) {
 			modelCfgs = append(modelCfgs, modelCfg{n, spec})
 		}
 	}
+	// Million-vertex rows: the sparse CSR engine against the scalar oracle
+	// on a RandomSparse instance far past the dense-row budget (dense bit
+	// rows at this n would need ~n²/8 ≈ 125 GB).
+	type bigCfg struct{ n, m int }
+	bigs := []bigCfg{{1_000_000, 8_000_000}}
 	// Indexed by configuration and overwritten on every invocation: the
 	// harness re-runs each sub-benchmark while calibrating b.N, and the
 	// final (largest-b.N) invocation is the one worth recording.
-	records := make([]radioBenchRecord, 2*len(cfgs)+len(modelCfgs))
+	records := make([]radioBenchRecord, 2*len(cfgs)+len(modelCfgs)+2*len(bigs))
 	ran := make([]bool, len(records))
 	for ci, c := range cfgs {
 		g := c.make()
@@ -310,6 +315,38 @@ func BenchmarkRadioEngine(b *testing.B) {
 			ran[idx] = true
 		})
 	}
+	for bi, bc := range bigs {
+		base := 2*len(cfgs) + len(modelCfgs) + 2*bi
+		g := gen.RandomSparse(bc.n, bc.m, rng.New(uint64(bc.n)*77+5))
+		for ei, engine := range []string{"scalar", "sparse"} {
+			idx := base + ei
+			engine := engine
+			b.Run(fmt.Sprintf("random-sparse/n=%d/%s", bc.n, engine), func(b *testing.B) {
+				net, err := radio.NewNetwork(g, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				transmit := make([]bool, g.N())
+				for v := range transmit {
+					net.Informed[v] = true
+					transmit[v] = true
+				}
+				net.InformedCount = g.N()
+				step := net.Step // auto-selected: sparse CSR at this n
+				if engine == "scalar" {
+					step = net.StepScalar
+				}
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					step(transmit)
+				}
+				ns := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+				records[idx] = radioBenchRecord{Family: "random-sparse", N: g.N(), M: g.M(), Engine: engine, NsPerOp: ns}
+				ran[idx] = true
+			})
+		}
+	}
 	for _, ok := range ran {
 		if !ok {
 			return // filtered run: keep the existing record
@@ -319,6 +356,12 @@ func BenchmarkRadioEngine(b *testing.B) {
 	for i := 1; i < 2*len(cfgs); i += 2 {
 		if records[i-1].NsPerOp > 0 {
 			records[i].Speedup = records[i-1].NsPerOp / records[i].NsPerOp
+		}
+	}
+	for bi := range bigs {
+		base := 2*len(cfgs) + len(modelCfgs) + 2*bi
+		if records[base].NsPerOp > 0 {
+			records[base+1].Speedup = records[base].NsPerOp / records[base+1].NsPerOp
 		}
 	}
 	payload := struct {

@@ -63,6 +63,11 @@ var timingFields = map[string]bool{
 	"p99_ns": true,
 	"max_ns": true,
 	"errors": true,
+	// wexp-bench/ingest-v1 (BENCH_ingest.json) measurements. bytes_per_edge
+	// is gated like allocs_per_op — a regression means the streaming
+	// ingester started buffering edges again.
+	"edges_per_sec":  true,
+	"bytes_per_edge": true,
 }
 
 // allocSlack is the absolute allocs/op headroom granted on top of the
@@ -70,11 +75,18 @@ var timingFields = map[string]bool{
 // points, so identical code can differ by a few pool refills per op.
 const allocSlack = 16.0
 
+// bytesPerEdgeSlack is the absolute bytes/edge headroom for the ingest
+// record: slab rounding and GC timing shift the TotalAlloc delta by a few
+// bytes per edge on identical code.
+const bytesPerEdgeSlack = 8.0
+
 // measurement is one record's gated outputs.
 type measurement struct {
-	ns        float64
-	allocs    float64
-	hasAllocs bool
+	ns           float64
+	allocs       float64
+	hasAllocs    bool
+	bytesPerEdge float64
+	hasBPE       bool
 }
 
 // recordKey returns the canonical identity of a record: its non-timing
@@ -120,6 +132,12 @@ func loadBench(path string) (schema string, byKey map[string]measurement, order 
 				return "", nil, nil, fmt.Errorf("%s: bad allocs_per_op: %w", path, err)
 			}
 			m.hasAllocs = true
+		}
+		if raw, ok := rec["bytes_per_edge"]; ok {
+			if err := json.Unmarshal(raw, &m.bytesPerEdge); err != nil {
+				return "", nil, nil, fmt.Errorf("%s: bad bytes_per_edge: %w", path, err)
+			}
+			m.hasBPE = true
 		}
 		key, err := recordKey(rec)
 		if err != nil {
@@ -190,6 +208,14 @@ func run(cfg Config, w io.Writer) error {
 				regressions++
 				fmt.Fprintf(w, "FAIL     %s: %.4g → %.4g allocs/op (beyond +%.0f%% + %g)\n",
 					key, baseM.allocs, freshM.allocs, cfg.Tol*100, allocSlack)
+			}
+			// Ingest memory gate: same shape as the allocation gate, over
+			// heap bytes per parsed edge.
+			if baseM.hasBPE && freshM.hasBPE &&
+				freshM.bytesPerEdge > baseM.bytesPerEdge*(1+cfg.Tol)+bytesPerEdgeSlack {
+				regressions++
+				fmt.Fprintf(w, "FAIL     %s: %.4g → %.4g bytes/edge (beyond +%.0f%% + %g)\n",
+					key, baseM.bytesPerEdge, freshM.bytesPerEdge, cfg.Tol*100, bytesPerEdgeSlack)
 			}
 		}
 		for _, key := range freshOrder {

@@ -213,6 +213,40 @@ func TestGateAllocations(t *testing.T) {
 	}
 }
 
+// TestGateBytesPerEdge: the ingest record's bytes_per_edge column is a
+// gated measurement like allocs_per_op — edges_per_sec stays a timing
+// field (matching survives throughput changes), jitter within
+// tolerance+slack passes, and a real buffering regression fails.
+func TestGateBytesPerEdge(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", `{
+	  "schema": "wexp-bench/ingest-v1",
+	  "records": [
+	    {"mode": "stream", "n": 20000, "m": 199999, "input_bytes": 2000000, "ns_per_op": 1000, "edges_per_sec": 1e7, "bytes_per_edge": 20}
+	  ]
+	}`)
+	within := writeBench(t, dir, "within.json", `{
+	  "schema": "wexp-bench/ingest-v1",
+	  "records": [
+	    {"mode": "stream", "n": 20000, "m": 199999, "input_bytes": 2000000, "ns_per_op": 1000, "edges_per_sec": 5e6, "bytes_per_edge": 32}
+	  ]
+	}`)
+	out, err := gate(t, 0.25, true, base, within)
+	if err != nil {
+		t.Fatalf("bytes/edge jitter within tolerance+slack failed: %v\n%s", err, out)
+	}
+	beyond := writeBench(t, dir, "beyond.json", `{
+	  "schema": "wexp-bench/ingest-v1",
+	  "records": [
+	    {"mode": "stream", "n": 20000, "m": 199999, "input_bytes": 2000000, "ns_per_op": 1000, "edges_per_sec": 1e7, "bytes_per_edge": 96}
+	  ]
+	}`)
+	out, err = gate(t, 0.25, true, base, beyond)
+	if err == nil || !strings.Contains(out, "bytes/edge") {
+		t.Fatalf("bytes/edge regression not caught: err=%v\n%s", err, out)
+	}
+}
+
 func TestGateSchemaMismatchAndBadInput(t *testing.T) {
 	dir := t.TempDir()
 	base := writeBench(t, dir, "base.json", baseJSON)
@@ -239,6 +273,7 @@ func TestGateAgainstCommittedBaselines(t *testing.T) {
 	err := run(Config{Tol: 0.25, Strict: true, Pairs: []Pair{
 		{"../../BENCH_expansion.json", "../../BENCH_expansion.json"},
 		{"../../BENCH_radio.json", "../../BENCH_radio.json"},
+		{"../../BENCH_ingest.json", "../../BENCH_ingest.json"},
 	}}, &buf)
 	if err != nil {
 		t.Fatalf("self-comparison failed: %v\n%s", err, buf.String())

@@ -8,6 +8,8 @@
 //	radiosim -chain 8 -s 32 -trials 5                Section 5 chain
 //	radiosim -family hypercube -size 6 -format json
 //	radiosim -family torus -size 16 -model sinr      physical interference
+//	radiosim -graph graph.txt -protocol decay        edge-list file (streamed)
+//	cat snap.txt | radiosim -graph - -infer-n        SNAP export on stdin
 //
 // -model selects the receive rule: unit-disk (default), sinr[:α,β,n0,P],
 // fading[:p[,seed]], multi[:m], or jam[:k[,policy]]. Trials fan over a
@@ -35,6 +37,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	fs.StringVar(&cfg.Family, "family", cfg.Family, "graph family (see cmd/wexp)")
 	fs.IntVar(&cfg.Size, "size", cfg.Size, "family size parameter")
+	fs.StringVar(&cfg.Graph, "graph", cfg.Graph, "stream an edge-list file instead of -family ('-' = stdin)")
+	fs.BoolVar(&cfg.OneBased, "one-based", cfg.OneBased, "with -graph: vertex ids are 1-based")
+	fs.BoolVar(&cfg.InferN, "infer-n", cfg.InferN, "with -graph: headerless input, n = max id + 1")
+	fs.IntVar(&cfg.Source, "source", cfg.Source, "with -graph: broadcast source vertex")
 	fs.StringVar(&cfg.Protocol, "protocol", cfg.Protocol, "flood|prob-flood|decay|round-robin|spokesman|all")
 	fs.StringVar(&cfg.Model, "model", cfg.Model, "receive rule: unit-disk|sinr|fading|multi|jam (with :params)")
 	fs.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "RNG seed")

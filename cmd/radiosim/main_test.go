@@ -132,6 +132,74 @@ func TestRunUnitDiskModelMatchesDefault(t *testing.T) {
 	}
 }
 
+// TestRunGraphStdin streams an edge list through the -graph - path and
+// checks the instance header and completion; the input is consumed as a
+// stream (the reader is a one-shot strings.Reader, never rewound).
+func TestRunGraphStdin(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Graph, cfg.Protocol, cfg.Trials, cfg.Format = "-", "decay", 3, "json"
+	cfg.Stdin = strings.NewReader("n 6\n0 1\n1 2\n2 3\n3 4\n4 5\n0 3\n")
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Graph.Name != "edge-list(stdin)" || rep.Graph.N != 6 || rep.Graph.M != 6 {
+		t.Fatalf("graph header wrong: %+v", rep.Graph)
+	}
+	if rep.Results[0].Completed != 3 {
+		t.Fatalf("decay should complete all trials on a 6-path: %+v", rep.Results[0])
+	}
+}
+
+// TestRunGraphFile reads the same instance from a file, with SNAP-style
+// headerless one-based input and a non-zero source.
+func TestRunGraphFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("# directed export\n1 2\n2 1\n2 3\n3 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultConfig()
+	cfg.Graph, cfg.OneBased, cfg.InferN, cfg.Source = path, true, true, 2
+	cfg.Protocol, cfg.Trials, cfg.Format = "decay", 2, "json"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Graph.N != 4 || rep.Graph.M != 3 {
+		t.Fatalf("graph header wrong: %+v", rep.Graph)
+	}
+}
+
+// TestRunGraphErrors pins the failure modes of the -graph path: malformed
+// input (with line/offset diagnostics), missing file, bad source.
+func TestRunGraphErrors(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Graph = "-"
+	cfg.Stdin = strings.NewReader("n 3\n0 1x\n")
+	err := run(cfg, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed edge list: err = %v, want line-anchored parse error", err)
+	}
+	cfg.Stdin = strings.NewReader("n 3\n0 1\n")
+	cfg.Source = 7
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	cfg = defaultConfig()
+	cfg.Graph = filepath.Join(t.TempDir(), "missing.txt")
+	if err := run(cfg, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing graph file accepted")
+	}
+}
+
 // TestMainExitStatus asserts the CLI contract on failure: non-zero status,
 // diagnostics on stderr only, nothing on stdout — with the stderr shape
 // pinned by a golden file.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
 	"wexp/internal/badgraph"
 	"wexp/internal/bounds"
@@ -29,6 +30,19 @@ type Config struct {
 	Trials    int
 	Workers   int
 	Format    string
+
+	// Graph streams an edge list instead of generating a family: a file
+	// path, or "-" for stdin. The input is never buffered — a 10⁷-edge
+	// list ingests straight into CSR (see graph.StreamEdgeList) — so piped
+	// SNAP exports work at million-vertex scale.
+	Graph    string
+	OneBased bool // edge-list ids are 1-based
+	InferN   bool // headerless edge list: infer n as max id + 1
+	Source   int  // broadcast source vertex for -graph instances
+
+	// Stdin is the reader behind "-graph -"; main wires os.Stdin, tests
+	// substitute fixtures.
+	Stdin io.Reader
 }
 
 func defaultConfig() Config {
@@ -79,6 +93,43 @@ type report struct {
 }
 
 func buildInstance(cfg Config) (graphInfo, error) {
+	if cfg.Graph != "" {
+		var (
+			src  io.Reader
+			name string
+		)
+		if cfg.Graph == "-" {
+			if cfg.Stdin == nil {
+				cfg.Stdin = os.Stdin
+			}
+			src, name = cfg.Stdin, "edge-list(stdin)"
+		} else {
+			f, err := os.Open(cfg.Graph)
+			if err != nil {
+				return graphInfo{}, err
+			}
+			defer f.Close()
+			src, name = f, fmt.Sprintf("edge-list(%s)", cfg.Graph)
+		}
+		g, err := graph.StreamEdgeList(src, graph.EdgeListOptions{
+			OneBased: cfg.OneBased,
+			InferN:   cfg.InferN,
+		})
+		if err != nil {
+			return graphInfo{}, err
+		}
+		if cfg.Source < 0 || cfg.Source >= g.N() {
+			return graphInfo{}, fmt.Errorf("source %d out of range [0,%d)", cfg.Source, g.N())
+		}
+		return graphInfo{
+			Name:      name,
+			N:         g.N(),
+			M:         g.M(),
+			MaxDegree: g.MaxDegree(),
+			g:         g,
+			source:    cfg.Source,
+		}, nil
+	}
 	if cfg.Chain > 0 {
 		ch, err := badgraph.NewChain(cfg.Chain, cfg.S, rng.New(cfg.Seed))
 		if err != nil {

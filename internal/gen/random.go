@@ -100,6 +100,33 @@ func ErdosRenyi(n int, p float64, r *rng.RNG) *graph.Graph {
 	return b.Build()
 }
 
+// RandomSparse returns a connected pseudo-random graph with n vertices
+// and approximately m edges in O(n + m) time and memory: a random
+// recursive tree (vertex v attaches to a uniform earlier vertex) plus
+// m−(n−1) uniform extra edges. Self-loops are resampled; duplicate edges
+// collapse at Build, so the final edge count can fall slightly short of m.
+// Unlike ErdosRenyi — whose generation is Θ(n²) regardless of density —
+// this scales to million-vertex instances, which is what the large-graph
+// radio benchmarks need.
+func RandomSparse(n, m int, r *rng.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if n < 2 {
+		return b.Build()
+	}
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(v, r.Intn(v))
+	}
+	for i := n - 1; i < m; i++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		for u == v {
+			v = r.Intn(n)
+		}
+		b.MustAddEdge(u, v)
+	}
+	return b.Build()
+}
+
 // RandomTree returns a uniform random labelled tree on n vertices via a
 // random Prüfer-like attachment: vertex i (i ≥ 1) attaches to a uniform
 // earlier vertex. (This is a random recursive tree, not uniform over all

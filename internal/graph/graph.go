@@ -185,24 +185,10 @@ func (b *Builder) Build() *Graph {
 		adj[next[e[1]]] = e[0]
 		next[e[1]]++
 	}
-	offsets := make([]int32, n+1)
-	copy(offsets, deg)
-	// Sort each adjacency list and drop duplicates in place.
-	out := adj[:0]
-	newOff := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		lst := adj[offsets[v]:offsets[v+1]]
-		sortInt32(lst)
-		newOff[v] = int32(len(out))
-		var prev int32 = -1
-		for _, w := range lst {
-			if w != prev {
-				out = append(out, w)
-				prev = w
-			}
-		}
-	}
-	newOff[n] = int32(len(out))
+	// Sort each adjacency list and drop duplicates in place, then copy to
+	// exact size (the builder's arc array may be much larger than the
+	// deduplicated result).
+	out, newOff := canonicalizeAdj(n, deg, adj)
 	final := make([]int32, len(out))
 	copy(final, out)
 	return &Graph{n: n, m: len(final) / 2, offsets: newOff, adj: final}

@@ -52,84 +52,14 @@ type EdgeListOptions struct {
 // between the two endpoint ids are accepted in every mode; duplicate edges
 // — e.g. a directed export listing both (u,v) and (v,u) — collapse to one
 // undirected edge.
+//
+// Each endpoint field must be a strict base-10 integer (strconv.Atoi
+// semantics): trailing junk like "1 2x" is rejected rather than silently
+// parsed as (1,2). The implementation is StreamEdgeList, which builds the
+// CSR graph in O(n + m) words without buffering edges; errors carry the
+// scanner's line number and byte offset.
 func ReadEdgeListOptions(r io.Reader, opt EdgeListOptions) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	headerN := -1
-	sawHeader := false
-	type edge struct{ u, v, line int }
-	var edges []edge
-	maxID := -1
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		switch {
-		case fields[0] == "n":
-			if sawHeader {
-				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
-			}
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("graph: line %d: malformed header %q", line, text)
-			}
-			var n int
-			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n < 0 {
-				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[1])
-			}
-			if len(edges) > 0 {
-				return nil, fmt.Errorf("graph: line %d: header after edges", line)
-			}
-			headerN, sawHeader = n, true
-		default:
-			if !sawHeader && !opt.InferN {
-				return nil, fmt.Errorf("graph: line %d: edge before header", line)
-			}
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("graph: line %d: malformed edge %q", line, text)
-			}
-			var u, v int
-			if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
-			}
-			if opt.OneBased {
-				if u < 1 || v < 1 {
-					return nil, fmt.Errorf("graph: line %d: vertex id < 1 in 1-based input: %q", line, text)
-				}
-				u, v = u-1, v-1
-			}
-			if u > maxID {
-				maxID = u
-			}
-			if v > maxID {
-				maxID = v
-			}
-			edges = append(edges, edge{u, v, line})
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	n := headerN
-	if !sawHeader {
-		if !opt.InferN {
-			return nil, fmt.Errorf("graph: missing header")
-		}
-		if maxID < 0 {
-			return nil, fmt.Errorf("graph: empty input (no header, no edges)")
-		}
-		n = maxID + 1
-	}
-	b := NewBuilder(n)
-	for _, e := range edges {
-		if err := b.AddEdge(e.u, e.v); err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", e.line, err)
-		}
-	}
-	return b.Build(), nil
+	return StreamEdgeList(r, opt)
 }
 
 // WriteBipartiteEdgeList writes a bipartite graph as:

@@ -490,13 +490,32 @@ func (m *Jam) Fork(uint64) Model { return &Jam{Budget: m.Budget, Policy: m.Polic
 // Init implements Model.
 func (m *Jam) Init(*Network) {}
 
-// Step implements Model, delegating to the scalar or word-parallel path by
-// the graph's AdjRows decision (same rule the engine's Step uses).
+// Step implements Model, delegating to the sparse, word-parallel, or
+// scalar path by the graph's AdjRows decision (same rule the engine's Step
+// uses).
 func (m *Jam) Step(n *Network, transmit []bool) int {
-	if n.rows.vector {
+	switch {
+	case n.rows.kind == rowsSparse:
+		return m.stepSparse(n, transmit)
+	case n.rows.vector:
 		return m.stepVector(n, transmit)
+	default:
+		return m.stepScalar(n, transmit)
 	}
-	return m.stepScalar(n, transmit)
+}
+
+// stepSparse is the CSR-backed path: the shared sparse accumulator pass
+// computes newly = hit \ multi \ active, and the jammer's commit rule
+// silences the top-Budget candidates exactly as on the other paths.
+func (m *Jam) stepSparse(n *Network, transmit []bool) int {
+	sc := n.sparseAccumulate(transmit)
+	m.cands = m.cands[:0]
+	for v := range sc.newly.All() {
+		if !n.Informed[v] {
+			m.cands = append(m.cands, int32(v))
+		}
+	}
+	return m.commit(n, m.cands)
 }
 
 // value is the jammer's preference for candidate v under the policy.

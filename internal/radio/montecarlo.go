@@ -57,6 +57,10 @@ type Options struct {
 	// boundaries and MonteCarlo returns Ctx.Err(). A nil Ctx means run to
 	// completion.
 	Ctx context.Context
+	// Mem is the explicit memory model that picks the adjacency strategy
+	// (dense bit rows vs sparse CSR traversal). The zero value selects the
+	// defaults; see MemModel.
+	Mem MemModel
 }
 
 // TrialResult is the per-trial record of a Monte-Carlo run.
@@ -134,7 +138,7 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 	if traceRounds > maxRounds {
 		traceRounds = maxRounds
 	}
-	rows := BuildAdjRows(g)
+	rows := BuildAdjRowsMem(g, opt.Mem)
 
 	// Pre-split one stream per trial in index order: the only RNG
 	// consumption that depends on anything but the trial index.
@@ -163,13 +167,33 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 		name     string
 	}
 	outs := make([]trialOut, trials)
+
+	// Trial arenas: a Network (with its informed/informed-at arrays and
+	// lazily built engine scratch) plus a transmit slice together cost
+	// O(n + m') words at large n, so allocating them per trial would make
+	// peak memory grow with the trial count between GC cycles. The pool
+	// bounds steady state to O(workers) arenas: each worker recycles the
+	// arena it just finished via resetFor.
+	type trialArena struct {
+		net      *Network
+		transmit []bool
+	}
+	var arenas sync.Pool
 	runTrial := func(i int) {
 		p := factory(rngs[i])
-		net, err := NewNetworkRows(g, source, rows)
-		if err != nil {
-			outs[i].err = err
-			return
+		var arena *trialArena
+		if x := arenas.Get(); x != nil {
+			arena = x.(*trialArena)
+			arena.net.resetFor(source)
+		} else {
+			net, err := NewNetworkRows(g, source, rows)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			arena = &trialArena{net: net, transmit: make([]bool, g.N())}
 		}
+		net := arena.net
 		if opt.Model != nil {
 			net.UseModel(opt.Model, modelSalts[i])
 		}
@@ -177,7 +201,7 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 		if traceRounds > 0 {
 			trace = append(trace, int32(net.InformedCount))
 		}
-		transmit := make([]bool, g.N())
+		transmit := arena.transmit
 		for net.Round < maxRounds && !net.Done() {
 			for j := range transmit {
 				transmit[j] = false
@@ -200,6 +224,7 @@ func MonteCarlo(g *graph.Graph, source int, factory Factory, trials int, opt Opt
 			informed: trace,
 			name:     p.Name(),
 		}
+		arenas.Put(arena)
 	}
 
 	workers := opt.Workers

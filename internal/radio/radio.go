@@ -30,10 +30,11 @@ type Network struct {
 	Transmissions int // total transmit actions
 	InformedCount int
 	receivedHits  []int32 // scalar-engine scratch, allocated on first StepScalar
-	informedAtRnd []int   // round at which each vertex became informed (-1 if never)
+	informedAtRnd []int32 // round at which each vertex became informed (-1 if never)
 
-	rows    *AdjRows     // per-vertex adjacency bitset rows, shared across trials
-	scratch *stepScratch // vector-engine scratch, allocated on first vectorized Step
+	rows    *AdjRows       // shared adjacency strategy (bit rows or CSR-only)
+	scratch *stepScratch   // dense-engine scratch, allocated on first vectorized Step
+	sparse  *sparseScratch // sparse-engine scratch, allocated on first sparse Step
 
 	source int   // broadcast origin, recorded for models that seed extra state
 	model  Model // receive-rule override; nil = the legacy unit-disk fast path
@@ -67,14 +68,27 @@ func NewNetworkRows(g *graph.Graph, source int, rows *AdjRows) (*Network, error)
 		rows:     rows,
 		source:   source,
 	}
-	n.informedAtRnd = make([]int, g.N())
+	n.informedAtRnd = make([]int32, g.N())
+	n.resetFor(source)
+	return n, nil
+}
+
+// resetFor rewinds the network to a fresh round-0 state with the given
+// source informed, keeping every allocation (Informed, informed-at rounds,
+// engine scratch) for reuse. MonteCarlo's trial arenas recycle networks
+// through it so steady-state memory stays O(workers × per-trial scratch)
+// regardless of the trial count. The caller must re-install any Model.
+func (n *Network) resetFor(source int) {
+	clear(n.Informed)
 	for i := range n.informedAtRnd {
 		n.informedAtRnd[i] = -1
 	}
+	n.Round, n.Collisions, n.Transmissions = 0, 0, 0
+	n.model = nil
+	n.source = source
 	n.Informed[source] = true
 	n.informedAtRnd[source] = 0
 	n.InformedCount = 1
-	return n, nil
 }
 
 // StepScalar executes one synchronous round with the original per-vertex
@@ -111,7 +125,7 @@ func (n *Network) StepScalar(transmit []bool) int {
 		case hits[v] == 1:
 			if !n.Informed[v] {
 				n.Informed[v] = true
-				n.informedAtRnd[v] = n.Round
+				n.informedAtRnd[v] = int32(n.Round)
 				newly++
 				n.InformedCount++
 			}
@@ -168,13 +182,15 @@ func (n *Network) inform(v int) bool {
 		return false
 	}
 	n.Informed[v] = true
-	n.informedAtRnd[v] = n.Round
+	n.informedAtRnd[v] = int32(n.Round)
 	n.InformedCount++
 	return true
 }
 
-// InformedAt returns the round at which v became informed, or -1.
-func (n *Network) InformedAt(v int) int { return n.informedAtRnd[v] }
+// InformedAt returns the round at which v became informed, or -1. Rounds
+// are stored as int32 (4 bytes per vertex matters at n = 10⁶; round counts
+// are bounded by MaxRounds, far under 2³¹).
+func (n *Network) InformedAt(v int) int { return int(n.informedAtRnd[v]) }
 
 // CountInformedIn returns how many of the given vertices are informed.
 func (n *Network) CountInformedIn(verts []int) int {

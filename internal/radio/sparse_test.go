@@ -1,0 +1,310 @@
+package radio
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"wexp/internal/gen"
+	"wexp/internal/graph"
+	"wexp/internal/rng"
+	"wexp/internal/runopts"
+)
+
+// sparseRows forces the CSR-backed sparse strategy on any graph by
+// shrinking the dense-row budget to one byte.
+func sparseRows(g *graph.Graph) *AdjRows {
+	return BuildAdjRowsMem(g, MemModel{DenseRowBudget: 1})
+}
+
+// setChunkThresholds overrides the receiver-chunking thresholds for the
+// duration of a test so the chunked scatter runs on corpus-sized graphs.
+func setChunkThresholds(t *testing.T, minVerts, minArcs int) {
+	t.Helper()
+	savedV, savedA := sparseChunkMinVerts, sparseChunkMinArcs
+	sparseChunkMinVerts, sparseChunkMinArcs = minVerts, minArcs
+	t.Cleanup(func() {
+		sparseChunkMinVerts, sparseChunkMinArcs = savedV, savedA
+	})
+}
+
+// lockstepSparse runs proto on four copies of the same network — sparse
+// direct scatter, sparse chunked scatter, dense word-parallel, and the
+// scalar oracle — feeding all the identical transmit set each round, and
+// fails on the first divergence in any observable.
+func lockstepSparse(t *testing.T, g *graph.Graph, source int, proto Protocol, maxRounds int) {
+	t.Helper()
+	srows := sparseRows(g)
+	if srows.Strategy() != "sparse" {
+		t.Fatalf("forced-sparse rows report strategy %q", srows.Strategy())
+	}
+	drows := BuildAdjRows(g)
+	drows.vector = true
+	spd, err := NewNetworkRows(g, source, srows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spc, err := NewNetworkRows(g, source, srows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den, err := NewNetworkRows(g, source, drows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sca, err := NewNetwork(g, source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transmit := make([]bool, g.N())
+	huge := 1 << 30
+	for spd.Round < maxRounds && !spd.Done() {
+		for i := range transmit {
+			transmit[i] = false
+		}
+		proto.Transmitters(spd, transmit)
+		ns := sca.StepScalar(transmit)
+		// Direct scatter: thresholds out of reach.
+		setChunkThresholds(t, huge, huge)
+		nd := spd.Step(transmit)
+		// Chunked scatter: always bucket.
+		setChunkThresholds(t, 0, 0)
+		nc := spc.Step(transmit)
+		nv := den.Step(transmit)
+		if nd != ns || nc != ns || nv != ns {
+			t.Fatalf("round %d: newly informed scalar=%d sparse-direct=%d sparse-chunked=%d dense=%d",
+				sca.Round, ns, nd, nc, nv)
+		}
+		compareNetworks(t, spd, sca)
+		compareNetworks(t, spc, sca)
+		compareNetworks(t, den, sca)
+	}
+}
+
+// TestSparseStepMatchesScalarCorpus is the sparse leg of the differential
+// corpus: every family × protocol × seed runs the sparse engine (direct
+// and chunked) in lockstep against the scalar oracle and the dense
+// word-parallel path.
+func TestSparseStepMatchesScalarCorpus(t *testing.T) {
+	families := []struct {
+		name string
+		make func(r *rng.RNG) *graph.Graph
+	}{
+		{"path-17", func(*rng.RNG) *graph.Graph { return gen.Path(17) }},
+		{"cycle-24", func(*rng.RNG) *graph.Graph { return gen.Cycle(24) }},
+		{"cplus-12", func(*rng.RNG) *graph.Graph { return gen.CPlus(12) }},
+		{"torus-5x5", func(*rng.RNG) *graph.Graph { return gen.Torus(5, 5) }},
+		{"hypercube-5", func(*rng.RNG) *graph.Graph { return gen.Hypercube(5) }},
+		{"star-16", func(*rng.RNG) *graph.Graph { return gen.Star(16) }},
+		{"er-30", func(r *rng.RNG) *graph.Graph { return gen.ErdosRenyi(30, 0.15, r) }},
+		// n = 70 crosses the one-word boundary of the bitset accumulators.
+		{"er-70", func(r *rng.RNG) *graph.Graph { return gen.ErdosRenyi(70, 0.08, r) }},
+	}
+	protocols := []struct {
+		name string
+		make func(n int, r *rng.RNG) Protocol
+	}{
+		{"flood", func(int, *rng.RNG) Protocol { return Flood{} }},
+		{"round-robin", func(int, *rng.RNG) Protocol { return RoundRobin{} }},
+		{"decay", func(_ int, r *rng.RNG) Protocol { return &Decay{R: r} }},
+		{"prob-flood", func(_ int, r *rng.RNG) Protocol { return &ProbFlood{P: 0.3, R: r} }},
+		{"spokesman", func(_ int, r *rng.RNG) Protocol { return &Spokesman{R: r, Trials: 2} }},
+		{"random-schedule", func(n int, r *rng.RNG) Protocol {
+			sched, err := NewRandomSchedule(n, 16, 0.2, r)
+			if err != nil {
+				panic(err)
+			}
+			return sched
+		}},
+	}
+	for _, fam := range families {
+		for _, pr := range protocols {
+			for seed := uint64(1); seed <= 5; seed++ {
+				t.Run(fmt.Sprintf("%s/%s/seed-%d", fam.name, pr.name, seed), func(t *testing.T) {
+					r := rng.New(seed)
+					g := fam.make(r)
+					lockstepSparse(t, g, 0, pr.make(g.N(), r), 80)
+				})
+			}
+		}
+	}
+}
+
+// TestSparseStepPreinformed covers states a protocol run never reaches
+// from a single source: arbitrary informed sets and transmit flags on
+// uninformed vertices, stepped once per random state on both sparse paths.
+func TestSparseStepPreinformed(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 60; trial++ {
+		g := gen.ErdosRenyi(48, 0.12, r)
+		srows := sparseRows(g)
+		spd, _ := NewNetworkRows(g, 0, srows)
+		spc, _ := NewNetworkRows(g, 0, srows)
+		sca, _ := NewNetwork(g, 0)
+		transmit := make([]bool, g.N())
+		for v := 1; v < g.N(); v++ {
+			if r.Bernoulli(0.4) {
+				spd.Informed[v] = true
+				spc.Informed[v] = true
+				sca.Informed[v] = true
+				spd.InformedCount++
+				spc.InformedCount++
+				sca.InformedCount++
+			}
+		}
+		for v := range transmit {
+			transmit[v] = r.Bernoulli(0.5)
+		}
+		huge := 1 << 30
+		ns := sca.StepScalar(transmit)
+		setChunkThresholds(t, huge, huge)
+		nd := spd.Step(transmit)
+		setChunkThresholds(t, 0, 0)
+		nc := spc.Step(transmit)
+		if nd != ns || nc != ns {
+			t.Fatalf("trial %d: newly informed scalar=%d direct=%d chunked=%d", trial, ns, nd, nc)
+		}
+		compareNetworks(t, spd, sca)
+		compareNetworks(t, spc, sca)
+	}
+}
+
+// TestSparseModelsMatchDense runs every receive-rule model under MonteCarlo
+// twice — adjacency strategy forced sparse vs the default dense — and
+// requires bit-identical results. Models draw all randomness from pre-split
+// streams keyed by seed and trial index, so the strategy must be invisible.
+func TestSparseModelsMatchDense(t *testing.T) {
+	r := rng.New(7)
+	g := gen.ErdosRenyi(64, 0.15, r)
+	models := []Model{
+		nil, // legacy unit-disk fast path
+		UnitDisk{},
+		&SINR{},
+		&Fading{P: 0.7},
+		&MultiMessage{M: 2},
+		&Jam{Budget: 2},
+		&Jam{Budget: 1, Policy: JamByFrontier},
+	}
+	for _, m := range models {
+		name := "legacy"
+		if m != nil {
+			name = m.Name()
+		}
+		t.Run(name, func(t *testing.T) {
+			factory := func(r *rng.RNG) Protocol { return &Decay{R: r} }
+			base := Options{
+				RunOpts:   runopts.RunOpts{Seed: 11, Workers: 1},
+				MaxRounds: 120,
+				Model:     m,
+			}
+			dense, err := MonteCarlo(g, 0, factory, 12, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forced := base
+			forced.Mem = MemModel{DenseRowBudget: 1}
+			sparse, err := MonteCarlo(g, 0, factory, 12, forced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(dense, sparse) {
+				t.Fatalf("model %s: sparse strategy diverged from dense\ndense:  %+v\nsparse: %+v",
+					name, dense, sparse)
+			}
+		})
+	}
+}
+
+// TestMonteCarloSparseWorkerInvariance pins the determinism contract on
+// the sparse engine: identical results at workers 1, 2, and 8.
+func TestMonteCarloSparseWorkerInvariance(t *testing.T) {
+	r := rng.New(3)
+	g := gen.ErdosRenyi(96, 0.1, r)
+	factory := func(r *rng.RNG) Protocol { return &Decay{R: r} }
+	var ref *Result
+	for _, workers := range []int{1, 2, 8} {
+		res, err := MonteCarlo(g, 0, factory, 24, Options{
+			RunOpts:   runopts.RunOpts{Seed: 5, Workers: workers},
+			MaxRounds: 200,
+			Model:     &Fading{P: 0.8},
+			Mem:       MemModel{DenseRowBudget: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Fatalf("workers=%d diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestAdjRowsStrategySelection pins the memory model's selection rule:
+// dense iff n · ⌈n/64⌉ · 8 bytes fit the budget.
+func TestAdjRowsStrategySelection(t *testing.T) {
+	g := gen.Cycle(100) // words = 2 → dense rows cost exactly 1600 bytes
+	cost := int64(100 * 2 * 8)
+	if rows := BuildAdjRowsMem(g, MemModel{DenseRowBudget: cost}); rows.kind != rowsDense || rows.rows == nil {
+		t.Fatalf("budget == cost must stay dense, got %s", rows.Strategy())
+	}
+	if rows := BuildAdjRowsMem(g, MemModel{DenseRowBudget: cost - 1}); rows.kind != rowsSparse || rows.rows != nil {
+		t.Fatalf("budget < cost must go sparse, got %s", rows.Strategy())
+	}
+	// The default budget keeps every small graph on the dense strategy the
+	// legacy engine used (the vector heuristic is unchanged).
+	if rows := BuildAdjRows(g); rows.kind != rowsDense {
+		t.Fatalf("default budget on n=100 must be dense, got %s", rows.Strategy())
+	}
+	// A million-vertex CSR must select sparse under the default model
+	// without materializing anything quadratic; constructing the strategy
+	// for it is O(1).
+	big := hugeEmptyGraph(1 << 20)
+	if rows := BuildAdjRows(big); rows.kind != rowsSparse || rows.rows != nil {
+		t.Fatalf("n=2^20 must be sparse by default, got %s", rows.Strategy())
+	}
+}
+
+// hugeEmptyGraph builds an edgeless n-vertex graph (CSR is just the offset
+// array, so this is cheap even at n = 2^20).
+func hugeEmptyGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	return b.Build()
+}
+
+// TestMonteCarloArenaReuse bounds steady-state allocation: with pooled
+// trial arenas, 200 single-worker trials on an 8k-vertex graph must not
+// allocate fresh per-trial networks (≈100 KiB each) every trial.
+func TestMonteCarloArenaReuse(t *testing.T) {
+	r := rng.New(21)
+	g := gen.ErdosRenyi(8192, 0.0008, r)
+	factory := func(r *rng.RNG) Protocol { return &Decay{R: r} }
+	opts := Options{
+		RunOpts:     runopts.RunOpts{Seed: 9, Workers: 1},
+		MaxRounds:   4,
+		TraceRounds: -1,
+		Mem:         MemModel{DenseRowBudget: 1},
+	}
+	// Warm up once so lazily built scratch does not count.
+	if _, err := MonteCarlo(g, 0, factory, 2, opts); err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	trials := 200
+	if _, err := MonteCarlo(g, 0, factory, trials, opts); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	perTrialBudget := uint64(8 << 10) // protocol + result records, not arenas
+	fixed := uint64(4 << 20)          // rows, pre-split RNGs, aggregation
+	total := after.TotalAlloc - before.TotalAlloc
+	if total > fixed+uint64(trials)*perTrialBudget {
+		t.Fatalf("MonteCarlo allocated %d bytes over %d trials (%.0f B/trial); arenas are not being reused",
+			total, trials, float64(total)/float64(trials))
+	}
+}

@@ -223,7 +223,11 @@ func (s *Server) handleGraphPut(w http.ResponseWriter, r *http.Request) {
 			err = errf(http.StatusBadRequest, "%v", err)
 		}
 	} else {
-		g, rerr := graph.ReadEdgeList(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		// The request body streams straight into CSR: StreamEdgeList never
+		// buffers the edge list, so upload memory is O(n + m) words per
+		// request regardless of body size (the byte cap below bounds
+		// wire-level abuse, not parser memory).
+		g, rerr := graph.StreamEdgeList(http.MaxBytesReader(w, r.Body, maxUploadBytes), graph.EdgeListOptions{})
 		if rerr != nil {
 			writeErr(w, errf(http.StatusBadRequest, "parse edge list: %v", rerr))
 			return
